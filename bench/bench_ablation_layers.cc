@@ -1,0 +1,97 @@
+// Ablation: the price of each toolkit abstraction layer (DESIGN.md §5).
+//
+// The same do-nothing agent written at four layers — numeric (layer 0), symbolic
+// (layer 1), descriptor (layer 2), pathname (layer 2) — measured on a cheap call
+// (getpid), a descriptor call (fstat), and a pathname call (stat). Higher layers
+// buy abstraction with a per-call decode/object cost; the paper's advice is that
+// "the agent writer decides what layers of toolkit objects are appropriate to
+// the particular task and includes only those toolkit objects."
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/toolkit/toolkit.h"
+
+namespace {
+
+class NoopNumeric final : public ia::NumericSyscall {
+ public:
+  std::string name() const override { return "noop_numeric"; }
+
+ protected:
+  void init(ia::ProcessContext&) override { register_interest_all(); }
+};
+
+class NoopSymbolic final : public ia::SymbolicSyscall {
+ public:
+  std::string name() const override { return "noop_symbolic"; }
+};
+
+class NoopDescriptor final : public ia::DescriptorSet {
+ public:
+  std::string name() const override { return "noop_descriptor"; }
+};
+
+class NoopPathname final : public ia::PathnameSet {
+ public:
+  std::string name() const override { return "noop_pathname"; }
+};
+
+}  // namespace
+
+int main() {
+  struct Layer {
+    const char* name;
+    ia::bench::AgentFactory factory;
+  };
+  const Layer layers[] = {
+      {"(no agent)", nullptr},
+      {"numeric (layer 0)",
+       [] { return std::vector<ia::AgentRef>{std::make_shared<NoopNumeric>()}; }},
+      {"symbolic (layer 1)",
+       [] { return std::vector<ia::AgentRef>{std::make_shared<NoopSymbolic>()}; }},
+      {"descriptor (layer 2)",
+       [] { return std::vector<ia::AgentRef>{std::make_shared<NoopDescriptor>()}; }},
+      {"pathname (layer 2)",
+       [] { return std::vector<ia::AgentRef>{std::make_shared<NoopPathname>()}; }},
+  };
+
+  std::printf("Ablation: per-call cost (µs) of a transparent agent at each toolkit layer\n\n");
+  std::printf("  %-22s %12s %12s %12s\n", "Layer", "getpid()", "fstat()", "stat()");
+
+  for (const Layer& layer : layers) {
+    ia::Kernel kernel;
+    kernel.fs().MkdirAll("/a/b/c/d/e");
+    kernel.fs().InstallFile("/a/b/c/d/e/f", "contents");
+    const std::vector<ia::AgentRef> agents =
+        layer.factory != nullptr ? layer.factory() : std::vector<ia::AgentRef>{};
+
+    const double getpid_us = ia::bench::MeasurePerCallMicros(
+        kernel, agents, [](ia::ProcessContext& ctx) { ctx.Getpid(); }, 100000);
+    const double fstat_us = ia::bench::MeasurePerCallMicros(
+        kernel, agents,
+        [](ia::ProcessContext& ctx) {
+          static thread_local int fd = -1;
+          if (fd < 0) {
+            fd = ctx.Open("/a/b/c/d/e/f", ia::kORdonly);
+          }
+          ia::Stat st;
+          ctx.Fstat(fd, &st);
+        },
+        100000);
+    const double stat_us = ia::bench::MeasurePerCallMicros(
+        kernel, agents,
+        [](ia::ProcessContext& ctx) {
+          ia::Stat st;
+          ctx.Stat("/a/b/c/d/e/f", &st);
+        },
+        50000);
+    std::printf("  %-22s %10.3f µs %10.3f µs %10.3f µs\n", layer.name, getpid_us, fstat_us,
+                stat_us);
+  }
+
+  std::printf(
+      "\nExpected shape: cost grows modestly with layer height; the numeric layer\n"
+      "adds only dispatch; symbolic adds decode; descriptor/pathname add object\n"
+      "lookup and (for stat) pathname-object construction.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation: the pay-per-use property (paper §3.4.2: "Calls not intercepted by
+// interposition agents go directly to the underlying system and result in no
+// additional overhead") and the cost of stacking agents (Figures 1-3/1-4).
+//
+//   Part 1: getpid() cost with (a) no agent, (b) an agent interested only in
+//           gettimeofday — (b) must cost the same as (a).
+//   Part 2: getpid() cost under stacks of 1..4 pass-through interceptors — cost
+//           should grow linearly with the number of interested frames.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/toolkit/toolkit.h"
+
+namespace {
+
+// Interested ONLY in gettimeofday; getpid must fly past untouched.
+class GtodOnlyAgent final : public ia::NumericSyscall {
+ public:
+  std::string name() const override { return "gtod_only"; }
+
+ protected:
+  void init(ia::ProcessContext&) override { register_interest(ia::kSysGettimeofday); }
+};
+
+// Pass-through interceptor of everything.
+class PassthroughAgent final : public ia::NumericSyscall {
+ public:
+  std::string name() const override { return "passthrough"; }
+
+ protected:
+  void init(ia::ProcessContext&) override { register_interest_all(); }
+};
+
+double GetpidCost(const std::vector<ia::AgentRef>& agents) {
+  // Take the minimum of several measurements: scheduling noise only adds time.
+  double best = 1e9;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    ia::Kernel kernel;
+    const double us = ia::bench::MeasurePerCallMicros(
+        kernel, agents, [](ia::ProcessContext& ctx) { ctx.Getpid(); }, 200000);
+    best = std::min(best, us);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: pay-per-use interception and agent stacking\n\n");
+
+  const double bare_us = GetpidCost({});
+  const double uninterested_us = GetpidCost({std::make_shared<GtodOnlyAgent>()});
+  std::printf("Part 1 — pay-per-use (getpid, agent interested only in gettimeofday):\n");
+  std::printf("  %-40s %10.3f µs\n", "no agent", bare_us);
+  std::printf("  %-40s %10.3f µs\n", "agent present, call not intercepted", uninterested_us);
+  const double rel = bare_us > 0 ? (uninterested_us - bare_us) / bare_us * 100.0 : 0.0;
+  std::printf("  absolute difference: %+.3f µs (a constant ~tens-of-ns stack scan;\n"
+              "  the paper's kernel redirection made uncaught calls exactly free)\n\n",
+              uninterested_us - bare_us);
+  (void)rel;
+
+  std::printf("Part 2 — stacked pass-through agents (getpid):\n");
+  std::printf("  %-40s %10s %12s\n", "stack depth", "µs/call", "µs/frame");
+  double depth1_us = 0;
+  for (int depth = 0; depth <= 4; ++depth) {
+    std::vector<ia::AgentRef> agents;
+    for (int i = 0; i < depth; ++i) {
+      agents.push_back(std::make_shared<PassthroughAgent>());
+    }
+    const double us = GetpidCost(agents);
+    if (depth == 1) {
+      depth1_us = us;
+    }
+    const double per_frame = depth > 0 ? (us - bare_us) / depth : 0.0;
+    std::printf("  %-40d %10.3f %12.3f\n", depth, us, per_frame);
+  }
+  (void)depth1_us;
+
+  std::printf(
+      "\nExpected shape: part 1 rows are equal (uncaught calls are free); part 2\n"
+      "cost rises ~linearly — each interested frame adds one dispatch+forward.\n");
+  return 0;
+}

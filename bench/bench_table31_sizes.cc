@@ -1,0 +1,92 @@
+// Table 3-1: "Sizes of agents, measured in semicolons."
+//
+//   Paper:   agent    toolkit  agent-specific  total
+//            timex       2467              35   2502
+//            trace       2467            1348   3815
+//            union       3977             166   4143
+//
+// Shape claims: the toolkit dominates simple agents; timex is tiny; trace is
+// proportional to the size of the interface (every call printed); union is far
+// smaller than trace despite touching all 70 pathname/descriptor calls, because
+// it is written against the pathname/directory abstractions; union reuses the
+// extra descriptor/open-object/pathname toolkit layers.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using ia::bench::CountSemicolonsInFiles;
+
+// "The symbolic system call and lower levels of the toolkit" (used by timex and
+// trace): interception boilerplate + layers 0 and 1.
+const std::vector<std::string> kSymbolicAndLower = {
+    "src/interpose/agent.h",          "src/interpose/agent.cc",
+    "src/toolkit/numeric_syscall.h",  "src/toolkit/down_api.h",
+    "src/toolkit/down_api.cc",        "src/toolkit/symbolic_syscall.h",
+    "src/toolkit/symbolic_syscall.cc",
+};
+
+// The additional "descriptor, open object, and pathname levels" reused by union
+// (and dfs_trace): layers 2 and 3.
+const std::vector<std::string> kObjectLayers = {
+    "src/toolkit/open_object.h",    "src/toolkit/open_object.cc",
+    "src/toolkit/directory.h",      "src/toolkit/directory.cc",
+    "src/toolkit/descriptor_set.h", "src/toolkit/descriptor_set.cc",
+    "src/toolkit/pathname_set.h",   "src/toolkit/pathname_set.cc",
+};
+
+struct AgentRow {
+  const char* name;
+  std::vector<std::string> agent_files;
+  bool uses_object_layers;
+};
+
+}  // namespace
+
+int main() {
+  const int symbolic_stmts = CountSemicolonsInFiles(kSymbolicAndLower);
+  const int object_stmts = CountSemicolonsInFiles(kObjectLayers);
+
+  const AgentRow rows[] = {
+      {"timex", {"src/agents/timex.h"}, false},
+      {"trace", {"src/agents/trace.h", "src/agents/trace.cc"}, false},
+      {"union", {"src/agents/union_fs.h", "src/agents/union_fs.cc"}, true},
+      {"dfs_trace", {"src/agents/dfs_trace.h", "src/agents/dfs_trace.cc"}, true},
+  };
+
+  std::printf("Table 3-1: Sizes of agents, measured in semicolons\n");
+  std::printf("(paper: timex 2467+35, trace 2467+1348, union 3977+166)\n\n");
+  std::printf("  %-10s %10s %10s %10s\n", "Agent", "Toolkit", "Agent", "Total");
+  std::printf("  %-10s %10s %10s %10s\n", "Name", "Stmts", "Stmts", "Stmts");
+  int timex_agent = 0;
+  int trace_agent = 0;
+  int union_agent = 0;
+  for (const AgentRow& row : rows) {
+    const int toolkit = symbolic_stmts + (row.uses_object_layers ? object_stmts : 0);
+    const int agent = CountSemicolonsInFiles(row.agent_files);
+    std::printf("  %-10s %10d %10d %10d\n", row.name, toolkit, agent, toolkit + agent);
+    if (std::string(row.name) == "timex") {
+      timex_agent = agent;
+    }
+    if (std::string(row.name) == "trace") {
+      trace_agent = agent;
+    }
+    if (std::string(row.name) == "union") {
+      union_agent = agent;
+    }
+  }
+
+  std::printf("\nShape checks (paper Section 3.3.4):\n");
+  std::printf("  toolkit dominates the simplest agent (timex):        %s\n",
+              symbolic_stmts > 10 * timex_agent ? "yes" : "NO");
+  std::printf("  trace agent code ~ proportional to interface size:   %s\n",
+              trace_agent > 5 * timex_agent ? "yes" : "NO");
+  std::printf("  union written against abstractions << trace:         %s\n",
+              union_agent < trace_agent ? "yes" : "NO");
+  std::printf("  union reuses the larger (object-layer) toolkit:      %s\n",
+              symbolic_stmts + CountSemicolonsInFiles(kObjectLayers) > symbolic_stmts
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Table 3-2: "Time to format my dissertation" — a compute-dominated,
+// single-process, moderate-syscall workload run bare and under three agents.
+//
+//   Paper (VAX 6250, 716 syscalls, base 141.5 s):
+//     none   141.5 s        -
+//     timex  142.0 s     +0.5%
+//     trace  145.0 s     +2.5%
+//     union  146.5 s     +3.5%
+//
+// Shape claims: agent overhead is nearly negligible for syscall-light
+// compute-heavy work, ordered none < timex < trace ~ union, all within a few
+// percent.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/agents/timex.h"
+#include "src/agents/trace.h"
+#include "src/agents/union_fs.h"
+#include "src/apps/apps.h"
+
+namespace {
+
+void Setup(ia::Kernel& kernel) {
+  ia::InstallStandardPrograms(kernel);
+  ia::SetupScribeWorkload(kernel);
+}
+
+}  // namespace
+
+int main() {
+  ia::KernelConfig config;
+  // Give Compute() real weight so the run is compute-dominated like Scribe was.
+  config.compute_spin_scale = 0.4;
+
+  ia::SpawnOptions spawn;
+  spawn.path = "/usr/bin/scribe";
+  spawn.argv = {"scribe", "dissertation.mss"};
+  spawn.cwd = "/home/mbj";
+
+  const std::vector<ia::UnionMount> mounts = {{"/union", {"/usr/lib", "/usr/bin"}}};
+  const std::vector<ia::bench::NamedConfig> configs = {
+      {"none", nullptr},
+      {"timex",
+       [] { return std::vector<ia::AgentRef>{std::make_shared<ia::TimexAgent>(3600)}; }},
+      {"trace",
+       [] {
+         return std::vector<ia::AgentRef>{std::make_shared<ia::TraceAgent>(
+             ia::TraceOptions{.log_path = "/tmp/t.log"})};
+       }},
+      {"union",
+       [&mounts] {
+         return std::vector<ia::AgentRef>{std::make_shared<ia::UnionAgent>(mounts)};
+       }},
+  };
+
+  std::printf("Table 3-2: Time to format my dissertation\n");
+  std::printf("(average of 9 interleaved runs after 1 discarded; paper: +0.5%% / +2.5%% / +3.5%%)\n\n");
+  std::printf("  %-12s %10s %8s\n", "Agent Name", "Seconds", "Slowdown");
+
+  const std::vector<ia::bench::WorkloadResult> results =
+      ia::bench::TimeWorkloadsInterleaved(Setup, spawn, configs, config);
+  const double baseline = results[0].mean_seconds;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    ia::bench::PrintSlowdownRow(configs[i].name, results[i], baseline);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "bench/bench_util.h"
+
+#include <fstream>
+
+#ifndef IA_SOURCE_DIR
+#define IA_SOURCE_DIR "."
+#endif
+
+namespace ia {
+namespace bench {
+
+int CountSemicolons(const std::string& host_path) {
+  std::ifstream in(host_path, std::ios::binary);
+  if (!in) {
+    return -1;
+  }
+  int count = 0;
+  char c;
+  while (in.get(c)) {
+    if (c == ';') {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int CountSemicolonsInFiles(const std::vector<std::string>& relative_paths) {
+  int total = 0;
+  for (const std::string& relative : relative_paths) {
+    const int count = CountSemicolons(std::string(IA_SOURCE_DIR) + "/" + relative);
+    if (count > 0) {
+      total += count;
+    }
+  }
+  return total;
+}
+
+}  // namespace bench
+}  // namespace ia

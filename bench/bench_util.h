@@ -1,0 +1,157 @@
+// Shared harness pieces for the paper-table benchmarks.
+//
+// The paper's methodology is reproduced exactly where it is stated: workload
+// tables (3-2, 3-3) report the average of nine successive runs after an initial
+// discarded run; micro tables (3-4, 3-5) report per-operation microseconds from
+// long in-process loops.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/stats.h"
+#include "src/interpose/agent.h"
+#include "src/kernel/kernel.h"
+
+namespace ia {
+namespace bench {
+
+struct WorkloadResult {
+  double mean_seconds = 0;
+  double stddev_seconds = 0;
+  int64_t syscalls = 0;  // syscalls per run (from the last run)
+};
+
+using AgentFactory = std::function<std::vector<AgentRef>()>;
+
+// Builds a fresh world, runs the workload once discarded + `runs` timed times.
+// `setup` installs programs and input trees; `spawn` describes the client.
+// Agents are constructed fresh per run (agents holding descriptors or frames are
+// per-world objects).
+inline WorkloadResult TimeWorkload(const std::function<void(Kernel&)>& setup,
+                                   const SpawnOptions& spawn, const AgentFactory& factory,
+                                   const KernelConfig& config, int runs = 9) {
+  WorkloadResult result;
+  RunningStats stats;
+  for (int run = 0; run <= runs; ++run) {
+    Kernel kernel(config);
+    setup(kernel);
+    const std::vector<AgentRef> agents = factory != nullptr ? factory() : std::vector<AgentRef>{};
+    const int64_t calls_before = kernel.TotalSyscallCount();
+    const int64_t start = MonotonicMicros();
+    const int status = agents.empty()
+                           ? kernel.HostWaitPid(kernel.Spawn(spawn))
+                           : RunUnderAgents(kernel, agents, spawn);
+    const int64_t elapsed = MonotonicMicros() - start;
+    if (!WifExited(status) || WExitStatus(status) != 0) {
+      std::fprintf(stderr, "workload failed (status %#x)\n", status);
+    }
+    if (run == 0) {
+      continue;  // paper: "after an initial run from which the time was discarded"
+    }
+    stats.Add(static_cast<double>(elapsed) / 1e6);
+    result.syscalls = kernel.TotalSyscallCount() - calls_before;
+  }
+  result.mean_seconds = stats.Mean();
+  result.stddev_seconds = stats.StdDev();
+  return result;
+}
+
+struct NamedConfig {
+  std::string name;
+  AgentFactory factory;  // null = no agent
+};
+
+// Times several agent configurations INTERLEAVED: one full discarded warm-up
+// pass, then `runs` passes each visiting every configuration once. Interleaving
+// cancels the allocator/page-cache drift that sequential blocks suffer from.
+inline std::vector<WorkloadResult> TimeWorkloadsInterleaved(
+    const std::function<void(Kernel&)>& setup, const SpawnOptions& spawn,
+    const std::vector<NamedConfig>& configs, const KernelConfig& config, int runs = 9) {
+  std::vector<RunningStats> stats(configs.size());
+  std::vector<WorkloadResult> results(configs.size());
+  for (int run = 0; run <= runs; ++run) {
+    for (size_t i = 0; i < configs.size(); ++i) {
+      Kernel kernel(config);
+      setup(kernel);
+      const std::vector<AgentRef> agents =
+          configs[i].factory != nullptr ? configs[i].factory() : std::vector<AgentRef>{};
+      const int64_t calls_before = kernel.TotalSyscallCount();
+      const int64_t start = MonotonicMicros();
+      const int status = agents.empty()
+                             ? kernel.HostWaitPid(kernel.Spawn(spawn))
+                             : RunUnderAgents(kernel, agents, spawn);
+      const int64_t elapsed = MonotonicMicros() - start;
+      if (!WifExited(status) || WExitStatus(status) != 0) {
+        std::fprintf(stderr, "workload failed under %s (status %#x)\n",
+                     configs[i].name.c_str(), status);
+      }
+      if (run == 0) {
+        continue;  // warm-up pass
+      }
+      stats[i].Add(static_cast<double>(elapsed) / 1e6);
+      results[i].syscalls = kernel.TotalSyscallCount() - calls_before;
+    }
+  }
+  for (size_t i = 0; i < configs.size(); ++i) {
+    // Median: one descheduled run must not swing a whole configuration.
+    results[i].mean_seconds = stats[i].Median();
+    results[i].stddev_seconds = stats[i].StdDev();
+  }
+  return results;
+}
+
+// Prints one row of a Tables 3-2/3-3 style report.
+inline void PrintSlowdownRow(const std::string& agent_name, const WorkloadResult& result,
+                             double baseline_seconds) {
+  if (agent_name == "none") {
+    std::printf("  %-12s %10.4f %8s   (±%.4f)  %8lld syscalls\n", agent_name.c_str(),
+                result.mean_seconds, "-", result.stddev_seconds,
+                static_cast<long long>(result.syscalls));
+    return;
+  }
+  std::printf("  %-12s %10.4f %7.1f%%   (±%.4f)  %8lld syscalls\n", agent_name.c_str(),
+              result.mean_seconds, PercentSlowdown(baseline_seconds, result.mean_seconds),
+              result.stddev_seconds, static_cast<long long>(result.syscalls));
+}
+
+// Measures a per-call operation inside a simulated process: spawns a client that
+// runs `op` `iterations` times and reports mean host-µs per operation.
+inline double MeasurePerCallMicros(Kernel& kernel, const std::vector<AgentRef>& agents,
+                                   const std::function<void(ProcessContext&)>& op,
+                                   int iterations = 20000) {
+  double per_call = 0;
+  SpawnOptions options;
+  options.body = [&op, &per_call, iterations](ProcessContext& ctx) {
+    // Warm up.
+    for (int i = 0; i < 200; ++i) {
+      op(ctx);
+    }
+    const int64_t start = MonotonicMicros();
+    for (int i = 0; i < iterations; ++i) {
+      op(ctx);
+    }
+    per_call = static_cast<double>(MonotonicMicros() - start) / iterations;
+    return 0;
+  };
+  const int status = agents.empty() ? kernel.HostWaitPid(kernel.Spawn(options))
+                                    : RunUnderAgents(kernel, agents, options);
+  if (!WifExited(status) || WExitStatus(status) != 0) {
+    std::fprintf(stderr, "measurement process failed\n");
+  }
+  return per_call;
+}
+
+// Counts semicolons in a source file — the paper's statement metric ("Note: The
+// actual metric used was to count semicolons").
+int CountSemicolons(const std::string& host_path);
+int CountSemicolonsInFiles(const std::vector<std::string>& relative_paths);
+
+}  // namespace bench
+}  // namespace ia
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,76 @@
+// Protected environments for running untrusted binaries (paper §1.4): "A wrapper
+// environment ... that allows untrusted, possibly malicious, binaries to be run
+// within a restricted environment that monitors and emulates the actions they
+// take, possibly without actually performing them".
+//
+// Build & run:  ./build/examples/sandbox_untrusted
+#include <cstdio>
+
+#include "src/agents/monitor.h"
+#include "src/agents/sandbox.h"
+#include "src/apps/apps.h"
+
+namespace {
+
+// The "downloaded binary": reads what it should not, overwrites system files,
+// tries to kill other processes, then burns syscalls in a loop.
+int MaliciousMain(ia::ProcessContext& ctx) {
+  ctx.WriteString(1, "malware: starting up\n");
+
+  std::string secret;
+  if (ctx.ReadWholeFile("/etc/passwd", &secret) == 0) {
+    ctx.WriteString(1, "malware: stole /etc/passwd!\n");
+  } else {
+    ctx.WriteString(1, "malware: /etc/passwd unreadable\n");
+  }
+
+  if (ctx.WriteWholeFile("/etc/passwd", "root::0:0::/:/bin/sh\n") == 0) {
+    ctx.WriteString(1, "malware: trojaned /etc/passwd (or so it thinks)\n");
+  }
+
+  if (ctx.Kill(999, ia::kSigKill) < 0) {
+    ctx.WriteString(1, "malware: cannot signal other processes\n");
+  }
+
+  ctx.WriteString(1, "malware: spinning...\n");
+  for (;;) {
+    ctx.Getpid();  // the syscall budget will end this
+  }
+}
+
+}  // namespace
+
+int main() {
+  ia::KernelConfig config;
+  config.console_echo_to_host = true;
+  ia::Kernel kernel(config);
+  ia::InstallStandardPrograms(kernel);
+  kernel.InstallProgram("/tmp/downloaded", "malware", MaliciousMain);
+
+  ia::SandboxPolicy policy;
+  policy.read_prefixes = {"/bin", "/usr", "/dev", "/tmp"};  // note: /etc excluded
+  policy.write_prefixes = {"/tmp/jail"};
+  policy.emulate_denied_writes = true;  // writes "succeed" without happening
+  policy.max_syscalls = 2000;           // resource restriction
+  auto sandbox = std::make_shared<ia::SandboxAgent>(policy);
+  auto monitor = std::make_shared<ia::MonitorAgent>();
+
+  std::printf("--- running untrusted binary under sandbox ---\n");
+  ia::SpawnOptions options;
+  options.path = "/tmp/downloaded";
+  options.argv = {"downloaded"};
+  const int status = ia::RunUnderAgents(kernel, {monitor, sandbox}, options);
+
+  if (ia::WifSignaled(status)) {
+    std::printf("--- client terminated by %s after exceeding its budget ---\n",
+                std::string(ia::SignalName(ia::WTermSig(status))).c_str());
+  } else {
+    std::printf("--- client exited with status %d ---\n", ia::WExitStatus(status));
+  }
+  std::printf("policy violations observed: %lld\n",
+              static_cast<long long>(sandbox->violations()));
+  std::printf("calls admitted to the system: %lld\n",
+              static_cast<long long>(monitor->TotalCalls()));
+  std::printf("\n%s", monitor->FormatReport().c_str());
+  return 0;
+}

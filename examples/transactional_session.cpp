@@ -1,0 +1,99 @@
+// Transactional software environments (paper §1.4): a "run transaction" command
+// that runs an unmodified program (here: a /bin/sh script) so that all persistent
+// side effects are remembered and the user chooses commit or abort at the end —
+// including one transaction nested inside another.
+//
+// Build & run:  ./build/examples/transactional_session
+#include <cstdio>
+
+#include "src/agents/txn.h"
+#include "src/apps/apps.h"
+
+namespace {
+
+void ShowFile(ia::Kernel& kernel, const std::string& file_path) {
+  ia::Cred root;
+  ia::NameiEnv env{kernel.fs().root(), kernel.fs().root(), &root};
+  ia::NameiResult nr;
+  if (kernel.fs().Namei(env, file_path, ia::NameiOp::kLookup, true, &nr) != 0) {
+    std::printf("  %-24s <absent>\n", file_path.c_str());
+    return;
+  }
+  std::string contents = nr.inode->data;
+  if (!contents.empty() && contents.back() == '\n') {
+    contents.pop_back();
+  }
+  std::printf("  %-24s %s\n", file_path.c_str(), contents.c_str());
+}
+
+void ShowState(ia::Kernel& kernel, const char* label) {
+  std::printf("%s\n", label);
+  ShowFile(kernel, "/data/account.txt");
+  ShowFile(kernel, "/data/audit.log");
+  ShowFile(kernel, "/data/temp.txt");
+}
+
+}  // namespace
+
+int main() {
+  ia::Kernel kernel;
+  ia::InstallStandardPrograms(kernel);
+  kernel.fs().InstallFile("/data/account.txt", "balance=100\n");
+
+  // run_transaction /bin/sh script: the script mutates /data under a txn agent.
+  kernel.fs().InstallFile("/tmp/session.sh",
+                          "#!/bin/sh\n"
+                          "echo balance=42 > /data/account.txt\n"
+                          "echo withdrew 58 > /data/audit.log\n"
+                          "echo scratch > /data/temp.txt\n"
+                          "rm /data/temp.txt\n",
+                          0755);
+
+  ShowState(kernel, "=== before the transactional session ===");
+
+  // Session 1: run and ABORT.
+  {
+    auto txn = std::make_shared<ia::TxnAgent>("/data", "/tmp/.txn_session");
+    ia::SpawnOptions options;
+    options.body = [&txn](ia::ProcessContext& ctx) {
+      int status = 0;
+      ctx.Spawn("/tmp/session.sh", {"session.sh"}, &status);
+      // The "commit or abort choice at the end of such a session":
+      txn->Abort(ctx);
+      return ia::WExitStatus(status);
+    };
+    ia::RunUnderAgents(kernel, {txn}, options);
+    ShowState(kernel, "\n=== after running the session and choosing ABORT ===");
+  }
+
+  // Session 2: run and COMMIT.
+  {
+    auto txn = std::make_shared<ia::TxnAgent>("/data", "/tmp/.txn_session");
+    ia::SpawnOptions options;
+    options.body = [&txn](ia::ProcessContext& ctx) {
+      int status = 0;
+      ctx.Spawn("/tmp/session.sh", {"session.sh"}, &status);
+      txn->Commit(ctx);
+      return ia::WExitStatus(status);
+    };
+    ia::RunUnderAgents(kernel, {txn}, options);
+    ShowState(kernel, "\n=== after running the session again and choosing COMMIT ===");
+  }
+
+  // Session 3: nested transactions — inner commits, outer aborts.
+  {
+    auto outer = std::make_shared<ia::TxnAgent>("/data", "/tmp/.txn_outer");
+    auto inner = std::make_shared<ia::TxnAgent>("/data", "/tmp/.txn_inner");
+    ia::SpawnOptions options;
+    options.body = [&outer, &inner](ia::ProcessContext& ctx) {
+      ctx.WriteWholeFile("/data/account.txt", "balance=0\n");
+      inner->Commit(ctx);  // lands in the OUTER transaction only
+      outer->Abort(ctx);   // ...which is then discarded
+      return 0;
+    };
+    ia::RunUnderAgents(kernel, {outer, inner}, options);
+    ShowState(kernel,
+              "\n=== after a nested session (inner COMMIT inside outer ABORT) ===");
+  }
+  return 0;
+}

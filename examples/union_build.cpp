@@ -1,0 +1,51 @@
+// User-configurable filesystem views (paper §3.3.3): union directories letting
+// distinct source and object directories appear as one, "as a software
+// development environment ... when running make".
+//
+// Build & run:  ./build/examples/union_build
+#include <cstdio>
+
+#include "src/agents/union_fs.h"
+#include "src/apps/apps.h"
+
+int main() {
+  ia::KernelConfig config;
+  config.console_echo_to_host = true;
+  ia::Kernel kernel(config);
+  ia::InstallStandardPrograms(kernel);
+
+  // Separate read-only source tree and writable object tree.
+  kernel.fs().InstallFile("/proj/src/main.c", "#include \"util.h\"\nint main() { return 0; }\n");
+  kernel.fs().InstallFile("/proj/src/util.c", "int util(int x) { return x + 1; }\n");
+  kernel.fs().InstallFile("/proj/src/util.h", "int util(int x);\n");
+  kernel.fs().InstallFile("/proj/src/Makefile", "main: main.c util.h\nutil: util.c util.h\n");
+  kernel.fs().MkdirAll("/proj/obj");
+  kernel.fs().MkdirAll("/proj/build");  // the mount point itself (kept empty)
+
+  // One union directory: /proj/build = /proj/obj (writable, first) + /proj/src.
+  auto agent = std::make_shared<ia::UnionAgent>(
+      std::vector<ia::UnionMount>{{"/proj/build", {"/proj/obj", "/proj/src"}}});
+
+  const auto run = [&](const std::vector<std::string>& argv) {
+    std::printf("$ ");
+    for (const std::string& a : argv) {
+      std::printf("%s ", a.c_str());
+    }
+    std::printf("\n");
+    ia::SpawnOptions options;
+    options.path = "/bin/" + argv[0];
+    options.argv = argv;
+    options.cwd = "/proj/build";
+    return ia::RunUnderAgents(kernel, {agent}, options);
+  };
+
+  run({"ls", "-l", "/proj/build"});
+  // make sees sources from /proj/src; cc's outputs land in /proj/obj because the
+  // union routes creations to the first member.
+  run({"make", "/proj/build/Makefile"});
+  run({"ls", "/proj/obj"});
+  run({"ls", "/proj/build"});
+
+  std::printf("--- /proj/src is untouched; objects landed in /proj/obj ---\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Builds everything, runs the full test suite, and regenerates every paper
+# table, capturing test_output.txt and bench_output.txt at the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -x "$b" ] && [ ! -d "$b" ]; then
+      echo "================================================================"
+      echo "== $b"
+      echo "================================================================"
+      "$b"
+      echo
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "Done: see test_output.txt and bench_output.txt"

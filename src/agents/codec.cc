@@ -1,0 +1,79 @@
+#include "src/agents/codec.h"
+
+#include "src/base/errno_codes.h"
+#include "src/base/prng.h"
+
+namespace ia {
+namespace {
+
+constexpr char kRleMagic[] = "RLE1";
+constexpr char kXorMagic[] = "XOR1";
+
+}  // namespace
+
+std::string RleCodec::Encode(const std::string& plain) const {
+  std::string out(kRleMagic, 4);
+  size_t i = 0;
+  while (i < plain.size()) {
+    const char byte = plain[i];
+    size_t run = 1;
+    while (run < 255 && i + run < plain.size() && plain[i + run] == byte) {
+      ++run;
+    }
+    out.push_back(static_cast<char>(run));
+    out.push_back(byte);
+    i += run;
+  }
+  return out;
+}
+
+int RleCodec::Decode(const std::string& stored, std::string* plain) const {
+  plain->clear();
+  if (stored.empty()) {
+    return 0;  // an empty file decodes to an empty file
+  }
+  if (stored.size() < 4 || stored.compare(0, 4, kRleMagic) != 0) {
+    return -kEInval;
+  }
+  size_t pos = 4;
+  while (pos + 1 < stored.size() + 1 && pos < stored.size()) {
+    if (pos + 2 > stored.size()) {
+      return -kEInval;  // truncated pair
+    }
+    const auto run = static_cast<unsigned char>(stored[pos]);
+    const char byte = stored[pos + 1];
+    if (run == 0) {
+      return -kEInval;
+    }
+    plain->append(run, byte);
+    pos += 2;
+  }
+  return 0;
+}
+
+std::string XorCodec::ApplyStream(const std::string& in) const {
+  Prng prng(key_);
+  std::string out = in;
+  for (char& c : out) {
+    c = static_cast<char>(c ^ static_cast<char>(prng.Next() & 0xff));
+  }
+  return out;
+}
+
+std::string XorCodec::Encode(const std::string& plain) const {
+  return std::string(kXorMagic, 4) + ApplyStream(plain);
+}
+
+int XorCodec::Decode(const std::string& stored, std::string* plain) const {
+  plain->clear();
+  if (stored.empty()) {
+    return 0;
+  }
+  if (stored.size() < 4 || stored.compare(0, 4, kXorMagic) != 0) {
+    return -kEInval;
+  }
+  *plain = ApplyStream(stored.substr(4));
+  return 0;
+}
+
+}  // namespace ia

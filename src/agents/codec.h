@@ -1,0 +1,50 @@
+// Byte-stream codecs used by the transparent compression and encryption agents.
+#ifndef SRC_AGENTS_CODEC_H_
+#define SRC_AGENTS_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ia {
+
+// A reversible whole-file byte transform.
+class ByteCodec {
+ public:
+  virtual ~ByteCodec() = default;
+
+  virtual std::string codec_name() const = 0;
+
+  // Logical (application-visible) bytes -> stored bytes.
+  virtual std::string Encode(const std::string& plain) const = 0;
+
+  // Stored bytes -> logical bytes; negative errno if the input is not in this
+  // codec's format (e.g. missing magic).
+  virtual int Decode(const std::string& stored, std::string* plain) const = 0;
+};
+
+// Run-length encoding: "RLE1" magic then (count, byte) pairs. Compresses runs;
+// worst case doubles (transparent compression demo, not a production compressor).
+class RleCodec final : public ByteCodec {
+ public:
+  std::string codec_name() const override { return "rle"; }
+  std::string Encode(const std::string& plain) const override;
+  int Decode(const std::string& stored, std::string* plain) const override;
+};
+
+// XOR keystream "encryption": "XOR1" magic then bytes XORed with an xorshift64*
+// keystream seeded by the key. Symmetric; a stand-in for a real cipher.
+class XorCodec final : public ByteCodec {
+ public:
+  explicit XorCodec(uint64_t key) : key_(key) {}
+  std::string codec_name() const override { return "xor"; }
+  std::string Encode(const std::string& plain) const override;
+  int Decode(const std::string& stored, std::string* plain) const override;
+
+ private:
+  std::string ApplyStream(const std::string& in) const;
+  uint64_t key_;
+};
+
+}  // namespace ia
+
+#endif  // SRC_AGENTS_CODEC_H_

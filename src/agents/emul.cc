@@ -1,0 +1,59 @@
+#include "src/agents/emul.h"
+
+namespace ia {
+
+int HpuxToNativeSyscall(int foreign) {
+  switch (foreign) {
+    case kHpuxExit:
+      return kSysExit;
+    case kHpuxFork:
+      return kSysFork;
+    case kHpuxRead:
+      return kSysRead;
+    case kHpuxWrite:
+      return kSysWrite;
+    case kHpuxOpen:
+      return kSysOpen;
+    case kHpuxClose:
+      return kSysClose;
+    case kHpuxWait:
+      return kSysWait4;
+    case kHpuxUnlink:
+      return kSysUnlink;
+    case kHpuxGetpid:
+      return kSysGetpid;
+    case kHpuxStat:
+      return kSysStat;
+    case kHpuxMkdir:
+      return kSysMkdir;
+    case kHpuxGettimeofday:
+      return kSysGettimeofday;
+    case kHpuxLseek:
+      return kSysLseek;
+    case kHpuxAccess:
+      return kSysAccess;
+    case kHpuxChdir:
+      return kSysChdir;
+    default:
+      return -1;
+  }
+}
+
+int HpuxToNativeOpenFlags(int foreign_flags) {
+  int native = foreign_flags & 0x3;  // accmode values coincide
+  if ((foreign_flags & kHpuxOAppend) != 0) {
+    native |= kOAppend;
+  }
+  if ((foreign_flags & kHpuxOCreat) != 0) {
+    native |= kOCreat;
+  }
+  if ((foreign_flags & kHpuxOTrunc) != 0) {
+    native |= kOTrunc;
+  }
+  if ((foreign_flags & kHpuxOExcl) != 0) {
+    native |= kOExcl;
+  }
+  return native;
+}
+
+}  // namespace ia

@@ -1,0 +1,85 @@
+// The emul agent: emulation of other operating systems (paper §1.4): "Alternate
+// system call implementations can be used to concurrently run binaries from
+// variant operating systems on the same platform. For instance, it could be used
+// to run ULTRIX, HP-UX, or UNIX System V binaries in a Mach/BSD environment."
+//
+// The simulated "foreign binary" issues HPUX-flavoured system call numbers (and
+// foreign open(2) flag encodings); the agent remaps them onto the native 4.3BSD
+// interface. Built at the numeric layer: remapping call numbers needs no decode
+// (paper §2.3: "one range of system call numbers could be remapped to calls on a
+// different range at this level").
+#ifndef SRC_AGENTS_EMUL_H_
+#define SRC_AGENTS_EMUL_H_
+
+#include "src/toolkit/toolkit.h"
+
+namespace ia {
+
+// The foreign ("HP-UX flavoured") system call numbering, placed in a range the
+// native 4.3BSD table leaves unused.
+enum HpuxSyscallNumber : int {
+  kHpuxBase = 160,
+  kHpuxExit = 161,
+  kHpuxFork = 162,
+  kHpuxRead = 163,
+  kHpuxWrite = 164,
+  kHpuxOpen = 165,
+  kHpuxClose = 166,
+  kHpuxWait = 167,
+  kHpuxUnlink = 168,
+  kHpuxGetpid = 169,
+  kHpuxStat = 170,
+  kHpuxMkdir = 171,
+  kHpuxGettimeofday = 172,
+  kHpuxLseek = 173,
+  kHpuxAccess = 174,
+  kHpuxChdir = 175,
+  kHpuxLimit = 176,
+};
+
+// Foreign open(2) flag encoding (System V-ish values, unlike 4.3BSD's).
+inline constexpr int kHpuxORdonly = 0;
+inline constexpr int kHpuxOWronly = 1;
+inline constexpr int kHpuxORdwr = 2;
+inline constexpr int kHpuxOAppend = 0x0010;
+inline constexpr int kHpuxOCreat = 0x0100;
+inline constexpr int kHpuxOTrunc = 0x0200;
+inline constexpr int kHpuxOExcl = 0x0400;
+
+// Maps a foreign number to the native one; -1 if not a foreign number.
+int HpuxToNativeSyscall(int foreign);
+
+// Maps foreign open flags to native 4.3BSD flags.
+int HpuxToNativeOpenFlags(int foreign_flags);
+
+class HpuxEmulAgent final : public NumericSyscall {
+ public:
+  std::string name() const override { return "hpux_emul"; }
+
+  int64_t emulated_calls() const { return emulated_; }
+
+ protected:
+  void init(ProcessContext& /*ctx*/) override {
+    register_interest_range(kHpuxBase, kHpuxLimit - 1);
+  }
+
+  SyscallStatus syscall(AgentCall& call) override {
+    const int native = HpuxToNativeSyscall(call.number());
+    if (native < 0) {
+      return -kENosys;
+    }
+    ++emulated_;
+    SyscallArgs args = call.args();
+    if (call.number() == kHpuxOpen) {
+      args.SetInt(1, HpuxToNativeOpenFlags(static_cast<int>(args.Int(1))));
+    }
+    return call.Call(native, args, call.rv());
+  }
+
+ private:
+  int64_t emulated_ = 0;
+};
+
+}  // namespace ia
+
+#endif  // SRC_AGENTS_EMUL_H_

@@ -1,0 +1,28 @@
+#include "src/agents/monitor.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ia {
+
+std::string MonitorAgent::FormatReport() const {
+  std::vector<std::pair<int64_t, int>> nonzero;
+  for (int number = 0; number < kMaxSyscall; ++number) {
+    const int64_t count = counts_[static_cast<size_t>(number)].load(std::memory_order_relaxed);
+    if (count > 0) {
+      nonzero.emplace_back(count, number);
+    }
+  }
+  std::sort(nonzero.rbegin(), nonzero.rend());
+  std::string report = "--- system call usage ---\n";
+  for (const auto& [count, number] : nonzero) {
+    report += StringPrintf("%10lld  %s\n", static_cast<long long>(count),
+                           SyscallName(number).c_str());
+  }
+  report += StringPrintf("%10lld  (total), %lld signal(s)\n",
+                         static_cast<long long>(TotalCalls()),
+                         static_cast<long long>(TotalSignals()));
+  return report;
+}
+
+}  // namespace ia

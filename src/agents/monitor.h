@@ -1,0 +1,77 @@
+// The monitor agent: system call and resource usage monitoring (paper §1.4,
+// "System Call Tracing and Monitoring Facilities", and §2.4 "System Call and
+// Resource Usage Monitoring: This demonstrates the ability to intercept the full
+// system call interface").
+//
+// Built at the *numeric* layer (layer 0): it treats calls as uninterpreted
+// numbers and counts them — the cheapest possible whole-interface agent, used by
+// the layering ablation benchmark.
+#ifndef SRC_AGENTS_MONITOR_H_
+#define SRC_AGENTS_MONITOR_H_
+
+#include <array>
+#include <atomic>
+
+#include "src/base/strings.h"
+#include "src/toolkit/toolkit.h"
+
+namespace ia {
+
+class MonitorAgent final : public NumericSyscall {
+ public:
+  // If `report_fd` >= 0, a usage report is written there when a client exits.
+  explicit MonitorAgent(int report_fd = -1) : report_fd_(report_fd) {}
+
+  std::string name() const override { return "monitor"; }
+
+  int64_t CountOf(int number) const {
+    if (number < 0 || number >= kMaxSyscall) {
+      return 0;
+    }
+    return counts_[static_cast<size_t>(number)].load(std::memory_order_relaxed);
+  }
+
+  int64_t TotalCalls() const {
+    int64_t total = 0;
+    for (const auto& count : counts_) {
+      total += count.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  int64_t TotalSignals() const { return signals_.load(std::memory_order_relaxed); }
+
+  // Formats the non-zero counters, most frequent first.
+  std::string FormatReport() const;
+
+ protected:
+  void init(ProcessContext& /*ctx*/) override {
+    register_interest_all();
+    register_signal_interest_all();
+  }
+
+  SyscallStatus syscall(AgentCall& call) override {
+    const int number = call.number();
+    if (number >= 0 && number < kMaxSyscall) {
+      counts_[static_cast<size_t>(number)].fetch_add(1, std::memory_order_relaxed);
+    }
+    if (number == kSysExit && report_fd_ >= 0) {
+      DownApi(call).WriteString(report_fd_, FormatReport());
+    }
+    return call.CallDown();
+  }
+
+  void signal_handler(AgentSignal& signal) override {
+    signals_.fetch_add(1, std::memory_order_relaxed);
+    signal.ForwardUp();
+  }
+
+ private:
+  int report_fd_;
+  std::array<std::atomic<int64_t>, kMaxSyscall> counts_{};
+  std::atomic<int64_t> signals_{0};
+};
+
+}  // namespace ia
+
+#endif  // SRC_AGENTS_MONITOR_H_

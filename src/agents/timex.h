@@ -1,0 +1,52 @@
+// The timex agent (paper §3.3.1): changes the apparent time of day.
+//
+// "The code specific to this agent consists of only two routines: a new derived
+// implementation of the gettimeofday() system call and an initialization routine
+// to accept the desired effective time of day from the command line."
+#ifndef SRC_AGENTS_TIMEX_H_
+#define SRC_AGENTS_TIMEX_H_
+
+#include "src/toolkit/toolkit.h"
+
+namespace ia {
+
+class TimexAgent final : public SymbolicSyscall {
+ public:
+  // The agent shifts apparent time by `offset_seconds`; alternatively, construct
+  // with an absolute target and the offset is computed at first use.
+  explicit TimexAgent(int64_t offset_seconds) : offset_(offset_seconds) {}
+
+  std::string name() const override { return "timex"; }
+
+  int64_t offset_seconds() const { return offset_; }
+
+ protected:
+  SyscallStatus sys_gettimeofday(AgentCall& call, TimeVal* tp, TimeZone* tzp) override {
+    const SyscallStatus ret = SymbolicSyscall::sys_gettimeofday(call, tp, tzp);
+    if (ret >= 0 && tp != nullptr) {
+      tp->tv_sec += offset_;
+    }
+    return ret;
+  }
+
+  // Keep settimeofday coherent with the funky view: a client setting time T
+  // expects a later gettimeofday to read T, so compensate before passing down.
+  SyscallStatus sys_settimeofday(AgentCall& call, const TimeVal* tp,
+                                 const TimeZone* tzp) override {
+    if (tp == nullptr) {
+      return SymbolicSyscall::sys_settimeofday(call, tp, tzp);
+    }
+    TimeVal adjusted = *tp;
+    adjusted.tv_sec -= offset_;
+    SyscallArgs args = call.args();
+    args.SetPtr(0, &adjusted);
+    return call.CallDown(args);
+  }
+
+ private:
+  int64_t offset_;  // difference between real and funky time
+};
+
+}  // namespace ia
+
+#endif  // SRC_AGENTS_TIMEX_H_

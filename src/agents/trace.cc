@@ -1,0 +1,385 @@
+#include "src/agents/trace.h"
+
+#include "src/base/strings.h"
+
+namespace ia {
+namespace {
+
+std::string QuotedOrNull(const char* s) {
+  if (s == nullptr) {
+    return "NULL";
+  }
+  return StringPrintf("\"%s\"", s);
+}
+
+}  // namespace
+
+void TraceAgent::init(ProcessContext& ctx) {
+  SymbolicSyscall::init(ctx);
+  if (!options_.log_path.empty() && log_fd_ < 0) {
+    // Open the log on the raw context: the agent is not yet interposed here.
+    log_fd_ = ctx.Open(options_.log_path, kOWronly | kOCreat | kOAppend, 0644);
+  }
+}
+
+void TraceAgent::Emit(DownApi api, const std::string& line) {
+  if (options_.unbuffered) {
+    api.WriteString(OutputFd(), line);
+    return;
+  }
+  std::string to_flush;
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu_);
+    buffer_ += line;
+    if (buffer_.size() < 8192) {
+      return;
+    }
+    to_flush.swap(buffer_);
+  }
+  api.WriteString(OutputFd(), to_flush);
+}
+
+void TraceAgent::Flush(DownApi api) {
+  std::string to_flush;
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu_);
+    to_flush.swap(buffer_);
+  }
+  if (!to_flush.empty()) {
+    api.WriteString(OutputFd(), to_flush);
+  }
+}
+
+SyscallStatus TraceAgent::Traced(AgentCall& call, const std::string& text) {
+  traced_calls_.fetch_add(1, std::memory_order_relaxed);
+  DownApi api(call);
+  const Pid pid = call.ctx().process().pid;
+  Emit(api, StringPrintf("%d: %s ... ]\n", pid, text.c_str()));
+  const SyscallStatus ret = call.CallDown();
+  if (ret < 0) {
+    Emit(api, StringPrintf("%d: ... %s -> %s\n", pid, text.c_str(),
+                           std::string(ErrnoName(ret)).c_str()));
+  } else {
+    Emit(api, StringPrintf("%d: ... %s -> %lld\n", pid, text.c_str(),
+                           static_cast<long long>(call.rv()->rv[0])));
+  }
+  return ret;
+}
+
+SyscallStatus TraceAgent::TracedNoReturn(AgentCall& call, const std::string& text) {
+  traced_calls_.fetch_add(1, std::memory_order_relaxed);
+  DownApi api(call);
+  Emit(api, StringPrintf("%d: %s\n", call.ctx().process().pid, text.c_str()));
+  Flush(api);
+  return call.CallDown();
+}
+
+SyscallStatus TraceAgent::sys_exit(AgentCall& call, int status) {
+  return TracedNoReturn(call, StringPrintf("exit(%d)", status));
+}
+
+SyscallStatus TraceAgent::sys_fork(AgentCall& call) { return Traced(call, "fork()"); }
+
+SyscallStatus TraceAgent::sys_read(AgentCall& call, int fd, void* buf, int64_t cnt) {
+  return Traced(call, StringPrintf("read(%d, 0x%llx, 0x%llx)", fd,
+                                   static_cast<unsigned long long>(
+                                       reinterpret_cast<uintptr_t>(buf)),
+                                   static_cast<unsigned long long>(cnt)));
+}
+
+SyscallStatus TraceAgent::sys_write(AgentCall& call, int fd, const void* buf, int64_t cnt) {
+  return Traced(call, StringPrintf("write(%d, 0x%llx, 0x%llx)", fd,
+                                   static_cast<unsigned long long>(
+                                       reinterpret_cast<uintptr_t>(buf)),
+                                   static_cast<unsigned long long>(cnt)));
+}
+
+SyscallStatus TraceAgent::sys_open(AgentCall& call, const char* path, int flags, Mode mode) {
+  return Traced(call,
+                StringPrintf("open(%s, %#x, 0%o)", QuotedOrNull(path).c_str(), flags, mode));
+}
+
+SyscallStatus TraceAgent::sys_close(AgentCall& call, int fd) {
+  return Traced(call, StringPrintf("close(%d)", fd));
+}
+
+SyscallStatus TraceAgent::sys_wait4(AgentCall& call, Pid pid, int* /*status*/, int options,
+                                    Rusage* /*usage*/) {
+  return Traced(call, StringPrintf("wait4(%d, ..., %#x)", pid, options));
+}
+
+SyscallStatus TraceAgent::sys_link(AgentCall& call, const char* path, const char* new_path) {
+  return Traced(call, StringPrintf("link(%s, %s)", QuotedOrNull(path).c_str(),
+                                   QuotedOrNull(new_path).c_str()));
+}
+
+SyscallStatus TraceAgent::sys_unlink(AgentCall& call, const char* path) {
+  return Traced(call, StringPrintf("unlink(%s)", QuotedOrNull(path).c_str()));
+}
+
+SyscallStatus TraceAgent::sys_chdir(AgentCall& call, const char* path) {
+  return Traced(call, StringPrintf("chdir(%s)", QuotedOrNull(path).c_str()));
+}
+
+SyscallStatus TraceAgent::sys_chmod(AgentCall& call, const char* path, Mode mode) {
+  return Traced(call, StringPrintf("chmod(%s, 0%o)", QuotedOrNull(path).c_str(), mode));
+}
+
+SyscallStatus TraceAgent::sys_lseek(AgentCall& call, int fd, Off offset, int whence) {
+  return Traced(call, StringPrintf("lseek(%d, %lld, %d)", fd, static_cast<long long>(offset),
+                                   whence));
+}
+
+SyscallStatus TraceAgent::sys_access(AgentCall& call, const char* path, int amode) {
+  return Traced(call, StringPrintf("access(%s, %d)", QuotedOrNull(path).c_str(), amode));
+}
+
+SyscallStatus TraceAgent::sys_kill(AgentCall& call, Pid pid, int signo) {
+  return Traced(call, StringPrintf("kill(%d, %s)", pid,
+                                   std::string(SignalName(signo)).c_str()));
+}
+
+SyscallStatus TraceAgent::sys_stat(AgentCall& call, const char* path, Stat* /*st*/) {
+  return Traced(call, StringPrintf("stat(%s, ...)", QuotedOrNull(path).c_str()));
+}
+
+SyscallStatus TraceAgent::sys_lstat(AgentCall& call, const char* path, Stat* /*st*/) {
+  return Traced(call, StringPrintf("lstat(%s, ...)", QuotedOrNull(path).c_str()));
+}
+
+SyscallStatus TraceAgent::sys_fstat(AgentCall& call, int fd, Stat* /*st*/) {
+  return Traced(call, StringPrintf("fstat(%d, ...)", fd));
+}
+
+SyscallStatus TraceAgent::sys_dup(AgentCall& call, int fd) {
+  return Traced(call, StringPrintf("dup(%d)", fd));
+}
+
+SyscallStatus TraceAgent::sys_dup2(AgentCall& call, int from, int to) {
+  return Traced(call, StringPrintf("dup2(%d, %d)", from, to));
+}
+
+SyscallStatus TraceAgent::sys_pipe(AgentCall& call) { return Traced(call, "pipe()"); }
+
+SyscallStatus TraceAgent::sys_symlink(AgentCall& call, const char* target,
+                                      const char* link_path) {
+  return Traced(call, StringPrintf("symlink(%s, %s)", QuotedOrNull(target).c_str(),
+                                   QuotedOrNull(link_path).c_str()));
+}
+
+SyscallStatus TraceAgent::sys_readlink(AgentCall& call, const char* path, char* /*buf*/,
+                                       int64_t bufsize) {
+  return Traced(call, StringPrintf("readlink(%s, ..., %lld)", QuotedOrNull(path).c_str(),
+                                   static_cast<long long>(bufsize)));
+}
+
+SyscallStatus TraceAgent::sys_execve(AgentCall& call, const char* path) {
+  return Traced(call, StringPrintf("execve(%s, ...)", QuotedOrNull(path).c_str()));
+}
+
+SyscallStatus TraceAgent::sys_rename(AgentCall& call, const char* from, const char* to) {
+  return Traced(call, StringPrintf("rename(%s, %s)", QuotedOrNull(from).c_str(),
+                                   QuotedOrNull(to).c_str()));
+}
+
+SyscallStatus TraceAgent::sys_mkdir(AgentCall& call, const char* path, Mode mode) {
+  return Traced(call, StringPrintf("mkdir(%s, 0%o)", QuotedOrNull(path).c_str(), mode));
+}
+
+SyscallStatus TraceAgent::sys_rmdir(AgentCall& call, const char* path) {
+  return Traced(call, StringPrintf("rmdir(%s)", QuotedOrNull(path).c_str()));
+}
+
+SyscallStatus TraceAgent::sys_getdirentries(AgentCall& call, int fd, char* /*buf*/, int nbytes,
+                                            int64_t* /*basep*/) {
+  return Traced(call, StringPrintf("getdirentries(%d, ..., %d, ...)", fd, nbytes));
+}
+
+SyscallStatus TraceAgent::sys_gettimeofday(AgentCall& call, TimeVal* /*tp*/, TimeZone* /*tzp*/) {
+  return Traced(call, "gettimeofday(...)");
+}
+
+SyscallStatus TraceAgent::sys_sigvec(AgentCall& call, int signo, uintptr_t disposition,
+                                     uint32_t mask) {
+  return Traced(call, StringPrintf("sigvec(%s, %#llx, %#x)",
+                                   std::string(SignalName(signo)).c_str(),
+                                   static_cast<unsigned long long>(disposition), mask));
+}
+
+SyscallStatus TraceAgent::sys_creat(AgentCall& call, const char* path, Mode mode) {
+  return Traced(call, StringPrintf("creat(%s, 0%o)", QuotedOrNull(path).c_str(), mode));
+}
+
+SyscallStatus TraceAgent::sys_fchdir(AgentCall& call, int fd) {
+  return Traced(call, StringPrintf("fchdir(%d)", fd));
+}
+
+SyscallStatus TraceAgent::sys_mknod(AgentCall& call, const char* path, Mode mode) {
+  return Traced(call, StringPrintf("mknod(%s, 0%o)", QuotedOrNull(path).c_str(), mode));
+}
+
+SyscallStatus TraceAgent::sys_chown(AgentCall& call, const char* path, Uid uid, Gid gid) {
+  return Traced(call,
+                StringPrintf("chown(%s, %d, %d)", QuotedOrNull(path).c_str(), uid, gid));
+}
+
+SyscallStatus TraceAgent::sys_getpid(AgentCall& call) { return Traced(call, "getpid()"); }
+
+SyscallStatus TraceAgent::sys_setuid(AgentCall& call, Uid uid) {
+  return Traced(call, StringPrintf("setuid(%d)", uid));
+}
+
+SyscallStatus TraceAgent::sys_getuid(AgentCall& call) { return Traced(call, "getuid()"); }
+
+SyscallStatus TraceAgent::sys_geteuid(AgentCall& call) { return Traced(call, "geteuid()"); }
+
+SyscallStatus TraceAgent::sys_sync(AgentCall& call) { return Traced(call, "sync()"); }
+
+SyscallStatus TraceAgent::sys_killpg(AgentCall& call, Pid pgrp, int signo) {
+  return Traced(call, StringPrintf("killpg(%d, %s)", pgrp,
+                                   std::string(SignalName(signo)).c_str()));
+}
+
+SyscallStatus TraceAgent::sys_getppid(AgentCall& call) { return Traced(call, "getppid()"); }
+
+SyscallStatus TraceAgent::sys_getegid(AgentCall& call) { return Traced(call, "getegid()"); }
+
+SyscallStatus TraceAgent::sys_getgid(AgentCall& call) { return Traced(call, "getgid()"); }
+
+SyscallStatus TraceAgent::sys_ioctl(AgentCall& call, int fd, uint64_t request, void* /*argp*/) {
+  return Traced(call, StringPrintf("ioctl(%d, %#llx, ...)", fd,
+                                   static_cast<unsigned long long>(request)));
+}
+
+SyscallStatus TraceAgent::sys_umask(AgentCall& call, Mode mask) {
+  return Traced(call, StringPrintf("umask(0%o)", mask));
+}
+
+SyscallStatus TraceAgent::sys_chroot(AgentCall& call, const char* path) {
+  return Traced(call, StringPrintf("chroot(%s)", QuotedOrNull(path).c_str()));
+}
+
+SyscallStatus TraceAgent::sys_fchmod(AgentCall& call, int fd, Mode mode) {
+  return Traced(call, StringPrintf("fchmod(%d, 0%o)", fd, mode));
+}
+
+SyscallStatus TraceAgent::sys_fchown(AgentCall& call, int fd, Uid uid, Gid gid) {
+  return Traced(call, StringPrintf("fchown(%d, %d, %d)", fd, uid, gid));
+}
+
+SyscallStatus TraceAgent::sys_getpagesize(AgentCall& call) {
+  return Traced(call, "getpagesize()");
+}
+
+SyscallStatus TraceAgent::sys_getdtablesize(AgentCall& call) {
+  return Traced(call, "getdtablesize()");
+}
+
+SyscallStatus TraceAgent::sys_fcntl(AgentCall& call, int fd, int cmd, int64_t arg) {
+  return Traced(call, StringPrintf("fcntl(%d, %d, %lld)", fd, cmd,
+                                   static_cast<long long>(arg)));
+}
+
+SyscallStatus TraceAgent::sys_fsync(AgentCall& call, int fd) {
+  return Traced(call, StringPrintf("fsync(%d)", fd));
+}
+
+SyscallStatus TraceAgent::sys_flock(AgentCall& call, int fd, int operation) {
+  return Traced(call, StringPrintf("flock(%d, %d)", fd, operation));
+}
+
+SyscallStatus TraceAgent::sys_setpgrp(AgentCall& call, Pid pid, Pid pgrp) {
+  return Traced(call, StringPrintf("setpgrp(%d, %d)", pid, pgrp));
+}
+
+SyscallStatus TraceAgent::sys_getpgrp(AgentCall& call) { return Traced(call, "getpgrp()"); }
+
+SyscallStatus TraceAgent::sys_sigblock(AgentCall& call, uint32_t mask) {
+  return Traced(call, StringPrintf("sigblock(%#x)", mask));
+}
+
+SyscallStatus TraceAgent::sys_sigsetmask(AgentCall& call, uint32_t mask) {
+  return Traced(call, StringPrintf("sigsetmask(%#x)", mask));
+}
+
+SyscallStatus TraceAgent::sys_sigpause(AgentCall& call, uint32_t mask) {
+  return Traced(call, StringPrintf("sigpause(%#x)", mask));
+}
+
+SyscallStatus TraceAgent::sys_settimeofday(AgentCall& call, const TimeVal* tp,
+                                           const TimeZone* /*tzp*/) {
+  return Traced(call, StringPrintf("settimeofday({%lld, %lld}, ...)",
+                                   tp != nullptr ? static_cast<long long>(tp->tv_sec) : 0LL,
+                                   tp != nullptr ? static_cast<long long>(tp->tv_usec) : 0LL));
+}
+
+SyscallStatus TraceAgent::sys_getrusage(AgentCall& call, int who, Rusage* /*usage*/) {
+  return Traced(call, StringPrintf("getrusage(%d, ...)", who));
+}
+
+SyscallStatus TraceAgent::sys_truncate(AgentCall& call, const char* path, Off length) {
+  return Traced(call, StringPrintf("truncate(%s, %lld)", QuotedOrNull(path).c_str(),
+                                   static_cast<long long>(length)));
+}
+
+SyscallStatus TraceAgent::sys_ftruncate(AgentCall& call, int fd, Off length) {
+  return Traced(call, StringPrintf("ftruncate(%d, %lld)", fd,
+                                   static_cast<long long>(length)));
+}
+
+SyscallStatus TraceAgent::sys_utimes(AgentCall& call, const char* path,
+                                     const TimeVal* /*times*/) {
+  return Traced(call, StringPrintf("utimes(%s, ...)", QuotedOrNull(path).c_str()));
+}
+
+SyscallStatus TraceAgent::sys_getgroups(AgentCall& call, int gidsetlen, Gid* /*gidset*/) {
+  return Traced(call, StringPrintf("getgroups(%d, ...)", gidsetlen));
+}
+
+SyscallStatus TraceAgent::sys_setgroups(AgentCall& call, int ngroups, const Gid* /*gidset*/) {
+  return Traced(call, StringPrintf("setgroups(%d, ...)", ngroups));
+}
+
+SyscallStatus TraceAgent::sys_getlogin(AgentCall& call, char* /*buf*/, int len) {
+  return Traced(call, StringPrintf("getlogin(..., %d)", len));
+}
+
+SyscallStatus TraceAgent::sys_setlogin(AgentCall& call, const char* name) {
+  return Traced(call, StringPrintf("setlogin(%s)", QuotedOrNull(name).c_str()));
+}
+
+SyscallStatus TraceAgent::sys_gethostname(AgentCall& call, char* /*buf*/, int len) {
+  return Traced(call, StringPrintf("gethostname(..., %d)", len));
+}
+
+SyscallStatus TraceAgent::sys_sethostname(AgentCall& call, const char* name, int64_t len) {
+  return Traced(call, StringPrintf("sethostname(%s, %lld)", QuotedOrNull(name).c_str(),
+                                   static_cast<long long>(len)));
+}
+
+SyscallStatus TraceAgent::unknown_syscall(AgentCall& call) {
+  const SyscallArgs& a = call.args();
+  return Traced(call, StringPrintf("syscall#%d(0x%llx, 0x%llx, 0x%llx)", call.number(),
+                                   static_cast<unsigned long long>(a.U64(0)),
+                                   static_cast<unsigned long long>(a.U64(1)),
+                                   static_cast<unsigned long long>(a.U64(2))));
+}
+
+SyscallStatus TraceAgent::sys_generic(AgentCall& call) {
+  const SyscallArgs& a = call.args();
+  return Traced(call, StringPrintf("%s(0x%llx, 0x%llx, 0x%llx)",
+                                   SyscallName(call.number()).c_str(),
+                                   static_cast<unsigned long long>(a.U64(0)),
+                                   static_cast<unsigned long long>(a.U64(1)),
+                                   static_cast<unsigned long long>(a.U64(2))));
+}
+
+void TraceAgent::signal_handler(AgentSignal& signal) {
+  traced_signals_.fetch_add(1, std::memory_order_relaxed);
+  DownApi api(signal);
+  Emit(api, StringPrintf("%d: --- signal %s ---\n", signal.ctx().process().pid,
+                         std::string(SignalName(signal.signo())).c_str()));
+  signal.ForwardUp();
+}
+
+}  // namespace ia

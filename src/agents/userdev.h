@@ -1,0 +1,93 @@
+// The userdev agent: logical devices implemented entirely in user space
+// (paper §1.4: "logical devices implemented entirely in user space").
+//
+// The agent invents device files that do not exist below it at all: opens are
+// satisfied with a reserved lower-level descriptor (on /dev/null) whose
+// behaviour is overridden by a custom OpenObject; stat() answers are
+// synthesized. Clients see ordinary character devices.
+#ifndef SRC_AGENTS_USERDEV_H_
+#define SRC_AGENTS_USERDEV_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/toolkit/toolkit.h"
+
+namespace ia {
+
+// A device implemented by agent code. Offsets are per-open-object.
+class UserDevice {
+ public:
+  virtual ~UserDevice() = default;
+
+  virtual std::string device_name() const = 0;
+
+  // Returns bytes produced (0 = EOF) or negative errno.
+  virtual int64_t Read(Off offset, char* buf, int64_t count) = 0;
+
+  // Returns bytes consumed or negative errno.
+  virtual int64_t Write(Off offset, const char* buf, int64_t count) = 0;
+
+  virtual int Ioctl(uint64_t request, void* argp) {
+    (void)request;
+    (void)argp;
+    return -kENotty;
+  }
+};
+
+// /dev/fortune: each read() returns the next saying, then EOF until reopened.
+class FortuneDevice final : public UserDevice {
+ public:
+  explicit FortuneDevice(std::vector<std::string> fortunes)
+      : fortunes_(std::move(fortunes)) {}
+
+  std::string device_name() const override { return "fortune"; }
+  int64_t Read(Off offset, char* buf, int64_t count) override;
+  int64_t Write(Off offset, const char* buf, int64_t count) override;
+
+ private:
+  std::mutex mu_;
+  std::vector<std::string> fortunes_;
+  size_t next_ = 0;
+};
+
+// /dev/counter: reads return the decimal value + '\n'; writes set it.
+class CounterDevice final : public UserDevice {
+ public:
+  std::string device_name() const override { return "counter"; }
+  int64_t Read(Off offset, char* buf, int64_t count) override;
+  int64_t Write(Off offset, const char* buf, int64_t count) override;
+  int Ioctl(uint64_t request, void* argp) override;
+
+  int64_t value() const { return value_; }
+
+  // ioctl request codes for this logical device.
+  static constexpr uint64_t kIoctlIncrement = 0xC0001;
+  static constexpr uint64_t kIoctlReset = 0xC0002;
+
+ private:
+  std::mutex mu_;
+  int64_t value_ = 0;
+};
+
+class UserDevAgent final : public PathnameSet {
+ public:
+  std::string name() const override { return "userdev"; }
+
+  // Registers `device` at absolute pathname `path` (e.g. "/dev/fortune").
+  void AddDevice(const std::string& path, std::shared_ptr<UserDevice> device);
+
+  std::shared_ptr<UserDevice> FindDevice(const std::string& path);
+
+ protected:
+  PathnameRef getpn(AgentCall& call, const char* path) override;
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<UserDevice>> devices_;
+};
+
+}  // namespace ia
+
+#endif  // SRC_AGENTS_USERDEV_H_

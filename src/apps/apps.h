@@ -1,0 +1,73 @@
+// Simulated application programs — the unmodified 4.3BSD binaries of the paper's
+// evaluation, expressed as program images over the system-call interface.
+//
+// Every program here interacts with the world exclusively through its
+// ProcessContext (the system interface), so interposition agents see exactly the
+// call streams the paper's workloads generated: Scribe formatting a dissertation
+// (moderate syscalls, single process), Make + cc building eight C programs
+// (syscall-heavy, 64 fork/exec pairs), the Andrew-benchmark filesystem workload,
+// a small set of coreutils, and a tiny shell.
+#ifndef SRC_APPS_APPS_H_
+#define SRC_APPS_APPS_H_
+
+#include "src/kernel/kernel.h"
+
+namespace ia {
+
+// Installs every simulated program under /bin and /usr/bin.
+void InstallStandardPrograms(Kernel& kernel);
+
+// --- individual program mains (exposed for direct spawning in tests) ---------
+int EchoMain(ProcessContext& ctx);
+int CatMain(ProcessContext& ctx);
+int CpMain(ProcessContext& ctx);
+int MvMain(ProcessContext& ctx);
+int RmMain(ProcessContext& ctx);
+int LnMain(ProcessContext& ctx);
+int LsMain(ProcessContext& ctx);
+int MkdirMain(ProcessContext& ctx);
+int RmdirMain(ProcessContext& ctx);
+int TouchMain(ProcessContext& ctx);
+int WcMain(ProcessContext& ctx);
+int HeadMain(ProcessContext& ctx);
+int GrepMain(ProcessContext& ctx);
+int PwdMain(ProcessContext& ctx);
+int TrueMain(ProcessContext& ctx);
+int FalseMain(ProcessContext& ctx);
+int DateMain(ProcessContext& ctx);
+int HostnameMain(ProcessContext& ctx);
+int ShellMain(ProcessContext& ctx);
+
+// The Scribe-like document formatter: scribe <input.mss> (writes .doc/.aux/.log).
+int ScribeMain(ProcessContext& ctx);
+
+// The build pipeline: make [makefile], cc -o out in.c, and the phases cc runs.
+int MakeMain(ProcessContext& ctx);
+int CcMain(ProcessContext& ctx);
+int CppMain(ProcessContext& ctx);
+int Cc1Main(ProcessContext& ctx);
+int AsMain(ProcessContext& ctx);
+int LdMain(ProcessContext& ctx);
+
+// The Andrew-benchmark-style filesystem workload: andrew <base-dir>.
+int AndrewMain(ProcessContext& ctx);
+
+// A "foreign binary": issues HP-UX-flavoured syscall numbers (needs hpux_emul).
+int HpuxHelloMain(ProcessContext& ctx);
+
+// --- workload construction ----------------------------------------------------
+// Installs the dissertation source tree for the Scribe run (paper Table 3-2).
+void SetupScribeWorkload(Kernel& kernel, const std::string& dir = "/home/mbj");
+
+// Installs sources + Makefile for the eight-program build (paper Table 3-3).
+// Returns the directory containing the Makefile.
+std::string SetupMakeWorkload(Kernel& kernel, int programs = 8,
+                              const std::string& dir = "/home/mbj/progs");
+
+// Installs the source tree the Andrew workload copies/scans/reads.
+void SetupAndrewTree(Kernel& kernel, const std::string& dir = "/usr/andrew",
+                     int files = 20, int subdirs = 4);
+
+}  // namespace ia
+
+#endif  // SRC_APPS_APPS_H_

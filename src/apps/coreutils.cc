@@ -1,0 +1,323 @@
+// Small coreutils-style programs over the simulated system interface.
+#include <algorithm>
+
+#include "src/apps/apps.h"
+#include "src/base/strings.h"
+
+namespace ia {
+namespace {
+
+// Prints "name: message: ERRNO\n" on stderr and returns 1.
+int Fail(ProcessContext& ctx, const std::string& who, const std::string& what, int err) {
+  ctx.WriteString(2, StringPrintf("%s: %s: %s\n", who.c_str(), what.c_str(),
+                                  std::string(ErrnoName(err)).c_str()));
+  return 1;
+}
+
+}  // namespace
+
+int EchoMain(ProcessContext& ctx) {
+  std::string line;
+  for (size_t i = 1; i < ctx.argv().size(); ++i) {
+    if (i > 1) {
+      line += " ";
+    }
+    line += ctx.argv()[i];
+  }
+  line += "\n";
+  ctx.WriteString(1, line);
+  return 0;
+}
+
+int CatMain(ProcessContext& ctx) {
+  if (ctx.argv().size() < 2) {
+    // No operands: copy stdin to stdout until EOF.
+    char buf[4096];
+    for (;;) {
+      const int64_t n = ctx.Read(0, buf, sizeof(buf));
+      if (n <= 0) {
+        break;
+      }
+      ctx.Write(1, buf, n);
+    }
+    return 0;
+  }
+  int status = 0;
+  for (size_t i = 1; i < ctx.argv().size(); ++i) {
+    const std::string& file = ctx.argv()[i];
+    const int fd = ctx.Open(file, kORdonly);
+    if (fd < 0) {
+      status = Fail(ctx, "cat", file, fd);
+      continue;
+    }
+    char buf[4096];
+    for (;;) {
+      const int64_t n = ctx.Read(fd, buf, sizeof(buf));
+      if (n <= 0) {
+        break;
+      }
+      ctx.Write(1, buf, n);
+    }
+    ctx.Close(fd);
+  }
+  return status;
+}
+
+int CpMain(ProcessContext& ctx) {
+  if (ctx.argv().size() != 3) {
+    ctx.WriteString(2, "usage: cp from to\n");
+    return 2;
+  }
+  const std::string& from = ctx.argv()[1];
+  const std::string& to = ctx.argv()[2];
+  const int in = ctx.Open(from, kORdonly);
+  if (in < 0) {
+    return Fail(ctx, "cp", from, in);
+  }
+  Stat st;
+  ctx.Fstat(in, &st);
+  const int out = ctx.Open(to, kOWronly | kOCreat | kOTrunc, st.st_mode & 07777);
+  if (out < 0) {
+    ctx.Close(in);
+    return Fail(ctx, "cp", to, out);
+  }
+  char buf[4096];
+  for (;;) {
+    const int64_t n = ctx.Read(in, buf, sizeof(buf));
+    if (n <= 0) {
+      break;
+    }
+    ctx.Write(out, buf, n);
+  }
+  ctx.Close(in);
+  ctx.Close(out);
+  return 0;
+}
+
+int MvMain(ProcessContext& ctx) {
+  if (ctx.argv().size() != 3) {
+    ctx.WriteString(2, "usage: mv from to\n");
+    return 2;
+  }
+  const int err = ctx.Rename(ctx.argv()[1], ctx.argv()[2]);
+  if (err < 0) {
+    return Fail(ctx, "mv", ctx.argv()[1], err);
+  }
+  return 0;
+}
+
+int RmMain(ProcessContext& ctx) {
+  int status = 0;
+  for (size_t i = 1; i < ctx.argv().size(); ++i) {
+    const int err = ctx.Unlink(ctx.argv()[i]);
+    if (err < 0) {
+      status = Fail(ctx, "rm", ctx.argv()[i], err);
+    }
+  }
+  return status;
+}
+
+int LnMain(ProcessContext& ctx) {
+  // ln [-s] target linkname
+  const auto& argv = ctx.argv();
+  if (argv.size() == 4 && argv[1] == "-s") {
+    const int err = ctx.Symlink(argv[2], argv[3]);
+    return err < 0 ? Fail(ctx, "ln", argv[3], err) : 0;
+  }
+  if (argv.size() == 3) {
+    const int err = ctx.Link(argv[1], argv[2]);
+    return err < 0 ? Fail(ctx, "ln", argv[2], err) : 0;
+  }
+  ctx.WriteString(2, "usage: ln [-s] target linkname\n");
+  return 2;
+}
+
+int LsMain(ProcessContext& ctx) {
+  // ls [-l] [dir]
+  const auto& argv = ctx.argv();
+  bool long_format = false;
+  std::string dir = ".";
+  for (size_t i = 1; i < argv.size(); ++i) {
+    if (argv[i] == "-l") {
+      long_format = true;
+    } else {
+      dir = argv[i];
+    }
+  }
+  std::vector<std::string> names;
+  const int err = ctx.ListDirectory(dir, &names);
+  if (err < 0) {
+    return Fail(ctx, "ls", dir, err);
+  }
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    if (name == "." || name == "..") {
+      continue;
+    }
+    if (long_format) {
+      Stat st;
+      const std::string full = path::JoinPath(dir, name);
+      if (ctx.Lstat(full, &st) == 0) {
+        const char type = SIsDir(st.st_mode) ? 'd' : (SIsLnk(st.st_mode) ? 'l' : '-');
+        ctx.WriteString(1, StringPrintf("%c%03o %2d %4d %4d %8lld %s\n", type,
+                                        st.st_mode & 0777, st.st_nlink, st.st_uid, st.st_gid,
+                                        static_cast<long long>(st.st_size), name.c_str()));
+        continue;
+      }
+    }
+    ctx.WriteString(1, name + "\n");
+  }
+  return 0;
+}
+
+int MkdirMain(ProcessContext& ctx) {
+  int status = 0;
+  for (size_t i = 1; i < ctx.argv().size(); ++i) {
+    const int err = ctx.Mkdir(ctx.argv()[i], 0755);
+    if (err < 0) {
+      status = Fail(ctx, "mkdir", ctx.argv()[i], err);
+    }
+  }
+  return status;
+}
+
+int RmdirMain(ProcessContext& ctx) {
+  int status = 0;
+  for (size_t i = 1; i < ctx.argv().size(); ++i) {
+    const int err = ctx.Rmdir(ctx.argv()[i]);
+    if (err < 0) {
+      status = Fail(ctx, "rmdir", ctx.argv()[i], err);
+    }
+  }
+  return status;
+}
+
+int TouchMain(ProcessContext& ctx) {
+  int status = 0;
+  for (size_t i = 1; i < ctx.argv().size(); ++i) {
+    const int fd = ctx.Open(ctx.argv()[i], kOWronly | kOCreat, 0644);
+    if (fd < 0) {
+      status = Fail(ctx, "touch", ctx.argv()[i], fd);
+      continue;
+    }
+    ctx.Close(fd);
+    ctx.Utimes(ctx.argv()[i], nullptr);
+  }
+  return status;
+}
+
+int WcMain(ProcessContext& ctx) {
+  int status = 0;
+  for (size_t i = 1; i < ctx.argv().size(); ++i) {
+    std::string contents;
+    const int err = ctx.ReadWholeFile(ctx.argv()[i], &contents);
+    if (err < 0) {
+      status = Fail(ctx, "wc", ctx.argv()[i], err);
+      continue;
+    }
+    int64_t lines = 0;
+    int64_t words = 0;
+    bool in_word = false;
+    for (const char c : contents) {
+      if (c == '\n') {
+        ++lines;
+      }
+      if (c == ' ' || c == '\t' || c == '\n') {
+        in_word = false;
+      } else if (!in_word) {
+        in_word = true;
+        ++words;
+      }
+    }
+    ctx.WriteString(1, StringPrintf("%8lld %8lld %8lld %s\n", static_cast<long long>(lines),
+                                    static_cast<long long>(words),
+                                    static_cast<long long>(contents.size()),
+                                    ctx.argv()[i].c_str()));
+  }
+  return status;
+}
+
+int HeadMain(ProcessContext& ctx) {
+  // head [-n N] file
+  const auto& argv = ctx.argv();
+  int limit = 10;
+  std::string file;
+  for (size_t i = 1; i < argv.size(); ++i) {
+    if (argv[i] == "-n" && i + 1 < argv.size()) {
+      limit = std::atoi(argv[++i].c_str());
+    } else {
+      file = argv[i];
+    }
+  }
+  std::string contents;
+  const int err = ctx.ReadWholeFile(file, &contents);
+  if (err < 0) {
+    return Fail(ctx, "head", file, err);
+  }
+  int emitted = 0;
+  size_t pos = 0;
+  while (emitted < limit && pos < contents.size()) {
+    size_t eol = contents.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = contents.size() - 1;
+    }
+    ctx.WriteString(1, contents.substr(pos, eol - pos + 1));
+    pos = eol + 1;
+    ++emitted;
+  }
+  return 0;
+}
+
+int GrepMain(ProcessContext& ctx) {
+  // grep pattern file... (fixed-string match)
+  const auto& argv = ctx.argv();
+  if (argv.size() < 3) {
+    ctx.WriteString(2, "usage: grep pattern file...\n");
+    return 2;
+  }
+  const std::string& pattern = argv[1];
+  bool matched = false;
+  for (size_t i = 2; i < argv.size(); ++i) {
+    std::string contents;
+    if (ctx.ReadWholeFile(argv[i], &contents) < 0) {
+      continue;
+    }
+    for (const std::string& line : Split(contents, '\n')) {
+      if (line.find(pattern) != std::string::npos) {
+        matched = true;
+        ctx.WriteString(1, StringPrintf("%s: %s\n", argv[i].c_str(), line.c_str()));
+      }
+    }
+  }
+  return matched ? 0 : 1;
+}
+
+int PwdMain(ProcessContext& ctx) {
+  std::string wd;
+  const int err = ctx.Getwd(&wd);
+  if (err < 0) {
+    return Fail(ctx, "pwd", ".", err);
+  }
+  ctx.WriteString(1, wd + "\n");
+  return 0;
+}
+
+int TrueMain(ProcessContext& /*ctx*/) { return 0; }
+int FalseMain(ProcessContext& /*ctx*/) { return 1; }
+
+int DateMain(ProcessContext& ctx) {
+  TimeVal tv;
+  ctx.Gettimeofday(&tv, nullptr);
+  ctx.WriteString(1, StringPrintf("%lld.%06lld\n", static_cast<long long>(tv.tv_sec),
+                                  static_cast<long long>(tv.tv_usec)));
+  return 0;
+}
+
+int HostnameMain(ProcessContext& ctx) {
+  char buf[256];
+  ctx.Gethostname(buf, sizeof(buf));
+  ctx.WriteString(1, std::string(buf) + "\n");
+  return 0;
+}
+
+}  // namespace ia

@@ -1,0 +1,40 @@
+#include "src/apps/apps.h"
+
+namespace ia {
+
+void InstallStandardPrograms(Kernel& kernel) {
+  kernel.InstallProgram("/bin/echo", "echo", EchoMain);
+  kernel.InstallProgram("/bin/cat", "cat", CatMain);
+  kernel.InstallProgram("/bin/cp", "cp", CpMain);
+  kernel.InstallProgram("/bin/mv", "mv", MvMain);
+  kernel.InstallProgram("/bin/rm", "rm", RmMain);
+  kernel.InstallProgram("/bin/ln", "ln", LnMain);
+  kernel.InstallProgram("/bin/ls", "ls", LsMain);
+  kernel.InstallProgram("/bin/mkdir", "mkdir", MkdirMain);
+  kernel.InstallProgram("/bin/rmdir", "rmdir", RmdirMain);
+  kernel.InstallProgram("/bin/touch", "touch", TouchMain);
+  kernel.InstallProgram("/bin/wc", "wc", WcMain);
+  kernel.InstallProgram("/bin/head", "head", HeadMain);
+  kernel.InstallProgram("/bin/grep", "grep", GrepMain);
+  kernel.InstallProgram("/bin/pwd", "pwd", PwdMain);
+  kernel.InstallProgram("/bin/true", "true", TrueMain);
+  kernel.InstallProgram("/bin/false", "false", FalseMain);
+  kernel.InstallProgram("/bin/date", "date", DateMain);
+  kernel.InstallProgram("/bin/hostname", "hostname", HostnameMain);
+  kernel.InstallProgram("/bin/sh", "sh", ShellMain);
+  kernel.InstallProgram("/bin/csh", "sh", ShellMain);  // close enough for /bin/csh users
+
+  kernel.InstallProgram("/usr/bin/scribe", "scribe", ScribeMain);
+
+  kernel.InstallProgram("/bin/make", "make", MakeMain);
+  kernel.InstallProgram("/bin/cc", "cc", CcMain);
+  kernel.InstallProgram("/usr/bin/cpp", "cpp", CppMain);
+  kernel.InstallProgram("/usr/bin/cc1", "cc1", Cc1Main);
+  kernel.InstallProgram("/bin/as", "as", AsMain);
+  kernel.InstallProgram("/bin/ld", "ld", LdMain);
+
+  kernel.InstallProgram("/usr/bin/andrew", "andrew", AndrewMain);
+  kernel.InstallProgram("/usr/bin/hpux_hello", "hpux_hello", HpuxHelloMain);
+}
+
+}  // namespace ia

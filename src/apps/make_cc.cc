@@ -1,0 +1,336 @@
+// The make + cc build pipeline (the paper's Table 3-3 workload: "the elapsed
+// time that it takes to compile eight small C programs using Make and the GNU C
+// compiler ... To do this, Make runs the GNU C compiler, which in turn runs the
+// C preprocessor, the C code generator, the assembler, and the linker for each
+// program. This task requires [tens of thousands of] system calls, including 64
+// fork()/execve() pairs.")
+//
+// make spawns sh -c "cc ...", and cc fork/execs cpp, cc1, as, and ld — six
+// processes per program, eight programs.
+#include <algorithm>
+
+#include "src/apps/apps.h"
+#include "src/base/strings.h"
+
+namespace ia {
+namespace {
+
+// Locates an executable by searching ".", /bin, /usr/bin.
+std::string FindProgram(ProcessContext& ctx, const std::string& name) {
+  if (name.find('/') != std::string::npos) {
+    return name;
+  }
+  for (const char* dir : {".", "/bin", "/usr/bin"}) {
+    const std::string candidate = path::JoinPath(dir, name);
+    if (ctx.Access(candidate, kXOk) == 0) {
+      return candidate;
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// make: stat dependencies, run "sh -c 'cc -o target source'" for stale targets.
+// ---------------------------------------------------------------------------
+int MakeMain(ProcessContext& ctx) {
+  const auto& argv = ctx.argv();
+  const std::string makefile = argv.size() > 1 ? argv[1] : "Makefile";
+
+  std::string rules;
+  if (ctx.ReadWholeFile(makefile, &rules) < 0) {
+    ctx.WriteString(2, "make: no Makefile\n");
+    return 2;
+  }
+
+  int built = 0;
+  for (const std::string& line : Split(rules, '\n')) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      continue;
+    }
+    const std::string target = line.substr(0, colon);
+    std::vector<std::string> sources = Split(line.substr(colon + 1), ' ');
+    if (sources.empty()) {
+      continue;
+    }
+
+    // Rebuild when the target is missing or older than any dependency.
+    bool stale = false;
+    Stat target_st;
+    if (ctx.Stat(target, &target_st) < 0) {
+      stale = true;
+    }
+    for (const std::string& source : sources) {
+      Stat source_st;
+      if (ctx.Stat(source, &source_st) < 0) {
+        ctx.WriteString(2, StringPrintf("make: %s: missing dependency %s\n", target.c_str(),
+                                        source.c_str()));
+        return 2;
+      }
+      if (!stale && source_st.st_mtime_sec > target_st.st_mtime_sec) {
+        stale = true;
+      }
+    }
+    if (!stale) {
+      continue;
+    }
+
+    const std::string command =
+        StringPrintf("cc -o %s %s", target.c_str(), sources[0].c_str());
+    ctx.WriteString(1, command + "\n");
+    int status = 0;
+    const int err = ctx.Spawn("/bin/sh", {"sh", "-c", command}, &status);
+    if (err < 0 || !WifExited(status) || WExitStatus(status) != 0) {
+      ctx.WriteString(2, StringPrintf("make: *** [%s] error\n", target.c_str()));
+      return 1;
+    }
+    ++built;
+  }
+  ctx.WriteString(1, StringPrintf("make: built %d target(s)\n", built));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// cc: driver running cpp -> cc1 -> as -> ld with temporaries in /tmp.
+// ---------------------------------------------------------------------------
+int CcMain(ProcessContext& ctx) {
+  const auto& argv = ctx.argv();
+  std::string output = "a.out";
+  std::string source;
+  for (size_t i = 1; i < argv.size(); ++i) {
+    if (argv[i] == "-o" && i + 1 < argv.size()) {
+      output = argv[++i];
+    } else if (!argv[i].empty() && argv[i][0] != '-') {
+      source = argv[i];
+    }
+  }
+  if (source.empty()) {
+    ctx.WriteString(2, "cc: no input file\n");
+    return 2;
+  }
+
+  const Pid pid = ctx.Getpid();
+  const std::string i_file = StringPrintf("/tmp/cc%d.i", pid);
+  const std::string s_file = StringPrintf("/tmp/cc%d.s", pid);
+  const std::string o_file = StringPrintf("/tmp/cc%d.o", pid);
+
+  struct Phase {
+    std::string tool;
+    std::vector<std::string> args;
+  };
+  const Phase phases[] = {
+      {"cpp", {"cpp", source, i_file}},
+      {"cc1", {"cc1", i_file, s_file}},
+      {"as", {"as", s_file, o_file}},
+      {"ld", {"ld", "-o", output, o_file}},
+  };
+  for (const Phase& phase : phases) {
+    int status = 0;
+    const int err = ctx.Spawn(FindProgram(ctx, phase.tool), phase.args, &status);
+    if (err < 0 || !WifExited(status) || WExitStatus(status) != 0) {
+      ctx.WriteString(2, StringPrintf("cc: %s failed\n", phase.tool.c_str()));
+      ctx.Unlink(i_file);
+      ctx.Unlink(s_file);
+      ctx.Unlink(o_file);
+      return 1;
+    }
+  }
+  ctx.Unlink(i_file);
+  ctx.Unlink(s_file);
+  ctx.Unlink(o_file);
+  return 0;
+}
+
+// cpp: strips comments and expands #include "file" one level.
+int CppMain(ProcessContext& ctx) {
+  const auto& argv = ctx.argv();
+  if (argv.size() != 3) {
+    ctx.WriteString(2, "usage: cpp in out\n");
+    return 2;
+  }
+  std::string source;
+  if (ctx.ReadWholeFile(argv[1], &source) < 0) {
+    return 1;
+  }
+  const std::string dir = path::Dirname(argv[1]);
+  std::string out = StringPrintf("# 1 \"%s\"\n", argv[1].c_str());
+  for (const std::string& line : Split(source, '\n', /*keep_empty=*/true)) {
+    if (StartsWith(line, "#include \"")) {
+      const size_t open_quote = line.find('"');
+      const size_t close_quote = line.rfind('"');
+      const std::string header = line.substr(open_quote + 1, close_quote - open_quote - 1);
+      std::string header_text;
+      if (ctx.ReadWholeFile(path::JoinPath(dir, header), &header_text) == 0) {
+        out += header_text;
+        out += "\n";
+      }
+      continue;
+    }
+    if (StartsWith(line, "#include <")) {
+      continue;  // system headers vanish; the simulated libc is implicit
+    }
+    const size_t comment = line.find("/*");
+    out += comment == std::string::npos ? line : line.substr(0, comment);
+    out += "\n";
+  }
+  ctx.Compute(500);
+  return ctx.WriteWholeFile(argv[2], out) < 0 ? 1 : 0;
+}
+
+// cc1: "code generator" — emits one pseudo-instruction per token group.
+int Cc1Main(ProcessContext& ctx) {
+  const auto& argv = ctx.argv();
+  if (argv.size() != 3) {
+    ctx.WriteString(2, "usage: cc1 in out\n");
+    return 2;
+  }
+  std::string source;
+  if (ctx.ReadWholeFile(argv[1], &source) < 0) {
+    return 1;
+  }
+  const int out = ctx.Open(argv[2], kOWronly | kOCreat | kOTrunc, 0644);
+  if (out < 0) {
+    return 1;
+  }
+  // Assembly is emitted line by line, one write(2) each — 1992 compilers wrote
+  // through a thin stdio and the paper's make run was syscall-dense.
+  ctx.WriteString(out, "\t.text\n");
+  int label = 0;
+  for (const std::string& line : Split(source, '\n')) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (line.find('(') != std::string::npos && line.find('{') != std::string::npos) {
+      ctx.WriteString(out, StringPrintf("L%d:\n", label++));
+      ctx.WriteString(out, "\tpushl\t%ebp\n");
+      ctx.WriteString(out, "\tmovl\t%esp,%ebp\n");
+    }
+    const size_t tokens = Split(line, ' ').size();
+    for (size_t t = 0; t < tokens; ++t) {
+      ctx.WriteString(out, StringPrintf("\tmovl\t$%zu,%%eax\n", t));
+    }
+    if (line.find('}') != std::string::npos) {
+      ctx.WriteString(out, "\tleave\n\tret\n");
+    }
+    ctx.Compute(30);  // per-statement code generation work
+  }
+  ctx.Close(out);
+  return 0;
+}
+
+// as: turns pseudo-assembly into a pseudo object file.
+int AsMain(ProcessContext& ctx) {
+  const auto& argv = ctx.argv();
+  if (argv.size() != 3) {
+    ctx.WriteString(2, "usage: as in out\n");
+    return 2;
+  }
+  std::string assembly;
+  if (ctx.ReadWholeFile(argv[1], &assembly) < 0) {
+    return 1;
+  }
+  std::string object = "OBJ1";
+  uint32_t checksum = 0;
+  int instructions = 0;
+  for (const std::string& line : Split(assembly, '\n')) {
+    for (const char c : line) {
+      checksum = checksum * 31 + static_cast<unsigned char>(c);
+    }
+    if (!line.empty() && line[0] == '\t') {
+      ++instructions;
+    }
+  }
+  object += StringPrintf("%08x:%d\n", checksum, instructions);
+  object.append(static_cast<size_t>(instructions) * 4, '\0');  // "machine code"
+  ctx.Compute(600);
+  // Object files go out in 512-byte "blocks".
+  const int out = ctx.Open(argv[2], kOWronly | kOCreat | kOTrunc, 0644);
+  if (out < 0) {
+    return 1;
+  }
+  for (size_t pos = 0; pos < object.size(); pos += 512) {
+    const int64_t n = std::min<size_t>(512, object.size() - pos);
+    if (ctx.Write(out, object.data() + pos, n) < 0) {
+      ctx.Close(out);
+      return 1;
+    }
+  }
+  ctx.Close(out);
+  return 0;
+}
+
+// ld: concatenates objects behind an executable header.
+int LdMain(ProcessContext& ctx) {
+  const auto& argv = ctx.argv();
+  std::string output = "a.out";
+  std::vector<std::string> objects;
+  for (size_t i = 1; i < argv.size(); ++i) {
+    if (argv[i] == "-o" && i + 1 < argv.size()) {
+      output = argv[++i];
+    } else {
+      objects.push_back(argv[i]);
+    }
+  }
+  std::string image = "EXE1\n";
+  for (const std::string& object : objects) {
+    std::string bytes;
+    if (ctx.ReadWholeFile(object, &bytes) < 0) {
+      ctx.WriteString(2, StringPrintf("ld: cannot open %s\n", object.c_str()));
+      return 1;
+    }
+    image += bytes;
+  }
+  ctx.Compute(800);
+  if (ctx.WriteWholeFile(output, image, 0755) < 0) {
+    return 1;
+  }
+  return 0;
+}
+
+std::string SetupMakeWorkload(Kernel& kernel, int programs, const std::string& dir) {
+  kernel.fs().MkdirAll(dir);
+  kernel.fs().InstallFile(path::JoinPath(dir, "util.h"),
+                          "extern int put(const char* s);\n"
+                          "extern int get(char* buf, int n);\n"
+                          "#define BUFSIZE 512\n");
+  std::string makefile = "# eight small C programs (paper Table 3-3)\n";
+  constexpr int kHelpersPerProgram = 24;
+  for (int i = 1; i <= programs; ++i) {
+    const std::string name = StringPrintf("prog%d", i);
+    std::string source = StringPrintf(
+        "#include <stdio.h>\n"
+        "#include \"util.h\"\n"
+        "/* program %d */\n",
+        i);
+    for (int h = 0; h < kHelpersPerProgram; ++h) {
+      source += StringPrintf(
+          "int helper_%d_%d(int x) {\n"
+          "  int acc = x + %d;\n"
+          "  acc = acc * %d + 17;\n"
+          "  acc = acc ^ (acc >> 3);\n"
+          "  return acc;\n"
+          "}\n",
+          i, h, h, i + 3);
+    }
+    source += StringPrintf(
+        "int main(int argc, char** argv) {\n"
+        "  char buf[BUFSIZE];\n"
+        "  int value = helper_%d_0(argc);\n"
+        "  put(\"prog%d running\\n\");\n"
+        "  get(buf, BUFSIZE);\n"
+        "  return value & 0xff;\n"
+        "}\n",
+        i, i);
+    kernel.fs().InstallFile(path::JoinPath(dir, name + ".c"), source);
+    makefile += StringPrintf("%s: %s.c util.h\n", name.c_str(), name.c_str());
+  }
+  kernel.fs().InstallFile(path::JoinPath(dir, "Makefile"), makefile);
+  return dir;
+}
+
+}  // namespace ia

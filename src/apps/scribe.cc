@@ -1,0 +1,201 @@
+// The Scribe-like document formatter (the paper's Table 3-2 workload: "the
+// elapsed time that it takes to format a preliminary draft of my dissertation
+// with Scribe ... This task requires 716 system calls").
+//
+// The formatter is single-process, compute-dominated, with a moderate syscall
+// mix: it stats and reads the manuscript and its @include'd chapters, formats
+// paragraphs (justification, page breaking — real string work plus virtual CPU
+// time), and writes the paginated .doc plus .aux and .log files.
+#include "src/apps/apps.h"
+#include "src/base/strings.h"
+
+namespace ia {
+namespace {
+
+constexpr int kPageWidth = 72;
+constexpr int kPageLines = 54;
+
+// Justifies `words` into lines of at most kPageWidth columns.
+std::vector<std::string> FillParagraph(const std::vector<std::string>& words) {
+  std::vector<std::string> lines;
+  std::string line;
+  for (const std::string& word : words) {
+    if (!line.empty() && line.size() + 1 + word.size() > kPageWidth) {
+      lines.push_back(line);
+      line.clear();
+    }
+    if (!line.empty()) {
+      line += " ";
+    }
+    line += word;
+  }
+  if (!line.empty()) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+}  // namespace
+
+int ScribeMain(ProcessContext& ctx) {
+  const auto& argv = ctx.argv();
+  if (argv.size() < 2) {
+    ctx.WriteString(2, "usage: scribe manuscript.mss\n");
+    return 2;
+  }
+  const std::string& manuscript = argv[1];
+  const std::string stem = manuscript.substr(0, manuscript.rfind('.'));
+
+  Stat st;
+  if (ctx.Stat(manuscript, &st) < 0) {
+    ctx.WriteString(2, "scribe: cannot open manuscript\n");
+    return 1;
+  }
+
+  std::string source;
+  if (ctx.ReadWholeFile(manuscript, &source) < 0) {
+    return 1;
+  }
+
+  // Pull in @include(file) chapters, each via its own stat+open+read sequence.
+  std::string expanded;
+  for (const std::string& line : Split(source, '\n', /*keep_empty=*/true)) {
+    if (StartsWith(line, "@include(") && EndsWith(line, ")")) {
+      const std::string include = line.substr(9, line.size() - 10);
+      const std::string inc_path = path::JoinPath(path::Dirname(manuscript), include);
+      Stat inc_st;
+      if (ctx.Stat(inc_path, &inc_st) == 0) {
+        std::string chapter;
+        if (ctx.ReadWholeFile(inc_path, &chapter) == 0) {
+          expanded += chapter;
+          expanded += "\n";
+        }
+      }
+      continue;
+    }
+    expanded += line;
+    expanded += "\n";
+  }
+
+  const int log_fd = ctx.Open(stem + ".log", kOWronly | kOCreat | kOTrunc, 0644);
+  const int out_fd = ctx.Open(stem + ".doc", kOWronly | kOCreat | kOTrunc, 0644);
+  if (out_fd < 0) {
+    return 1;
+  }
+
+  // Format paragraph by paragraph; the string work below is the "real work" that
+  // dominated the paper's 916-second run, modeled with Compute().
+  std::vector<std::string> aux_entries;
+  int page = 1;
+  int line_on_page = 0;
+  std::vector<std::string> words;
+  int paragraphs = 0;
+
+  const auto flush_page = [&](bool final_page) {
+    if (line_on_page == 0 && !final_page) {
+      return;
+    }
+    // One write per page footer, like a formatter emitting device output.
+    ctx.WriteString(out_fd, StringPrintf("\n%34s- %d -\n\f", "", page));
+    ++page;
+    line_on_page = 0;
+  };
+
+  const auto emit_lines = [&](const std::vector<std::string>& lines) {
+    for (const std::string& line : lines) {
+      ctx.WriteString(out_fd, line + "\n");
+      if (++line_on_page >= kPageLines) {
+        flush_page(false);
+      }
+    }
+  };
+
+  const auto end_paragraph = [&] {
+    if (words.empty()) {
+      return;
+    }
+    ++paragraphs;
+    ctx.Compute(400 + static_cast<int64_t>(words.size()) * 25);  // justification work
+    emit_lines(FillParagraph(words));
+    ctx.WriteString(out_fd, "\n");
+    ++line_on_page;
+    words.clear();
+  };
+
+  for (const std::string& line : Split(expanded, '\n', /*keep_empty=*/true)) {
+    if (StartsWith(line, "@section(") || StartsWith(line, "@chapter(")) {
+      end_paragraph();
+      const size_t open = line.find('(');
+      const std::string title = line.substr(open + 1, line.rfind(')') - open - 1);
+      aux_entries.push_back(StringPrintf("%s\t%d", title.c_str(), page));
+      emit_lines({"", title, std::string(title.size(), '-'), ""});
+      ctx.Compute(900);  // section layout work
+      continue;
+    }
+    if (line.empty()) {
+      end_paragraph();
+      continue;
+    }
+    for (const std::string& word : Split(line, ' ')) {
+      words.push_back(word);
+    }
+  }
+  end_paragraph();
+  flush_page(true);
+  ctx.Close(out_fd);
+
+  // Auxiliary table-of-contents file.
+  std::string aux = StringPrintf("%% scribe aux for %s\n", manuscript.c_str());
+  for (const std::string& entry : aux_entries) {
+    aux += entry;
+    aux += "\n";
+  }
+  ctx.WriteWholeFile(stem + ".aux", aux);
+
+  if (log_fd >= 0) {
+    ctx.WriteString(log_fd, StringPrintf("formatted %d paragraph(s), %d page(s)\n",
+                                         paragraphs, page - 1));
+    ctx.Close(log_fd);
+  }
+  return 0;
+}
+
+void SetupScribeWorkload(Kernel& kernel, const std::string& dir) {
+  Prng prng(0x5c121be);
+  kernel.fs().MkdirAll(dir);
+
+  // A manuscript with @include'd chapters, sized so one formatting run makes on
+  // the order of the paper's 716 system calls.
+  static const char* const kWords[] = {
+      "interposition", "agent",    "system",   "interface", "toolkit", "object",
+      "pathname",      "kernel",   "signal",   "descriptor", "process", "binary",
+      "transparent",   "emulate",  "monitor",  "restrict",  "union",   "directory",
+      "transaction",   "commit",   "abort",    "the",       "a",       "of",
+      "and",           "with",     "under",    "between",   "provides", "implements",
+  };
+  constexpr int kWordCount = sizeof(kWords) / sizeof(kWords[0]);
+
+  std::string manuscript = "@chapter(Transparently Interposing User Code)\n";
+  for (int chapter = 1; chapter <= 6; ++chapter) {
+    manuscript += StringPrintf("@include(chap%d.mss)\n", chapter);
+    std::string chapter_text = StringPrintf("@chapter(Chapter %d)\n", chapter);
+    const int sections = 3 + static_cast<int>(prng.Below(3));
+    for (int section = 1; section <= sections; ++section) {
+      chapter_text += StringPrintf("@section(Section %d.%d)\n", chapter, section);
+      const int paragraphs = 4 + static_cast<int>(prng.Below(4));
+      for (int paragraph = 0; paragraph < paragraphs; ++paragraph) {
+        const int words = 40 + static_cast<int>(prng.Below(80));
+        for (int w = 0; w < words; ++w) {
+          chapter_text += kWords[prng.Below(kWordCount)];
+          chapter_text += (w + 1) % 12 == 0 ? "\n" : " ";
+        }
+        chapter_text += "\n\n";
+      }
+    }
+    kernel.fs().InstallFile(path::JoinPath(dir, StringPrintf("chap%d.mss", chapter)),
+                            chapter_text);
+  }
+  kernel.fs().InstallFile(path::JoinPath(dir, "dissertation.mss"), manuscript);
+}
+
+}  // namespace ia

@@ -1,0 +1,242 @@
+// A small Bourne-flavoured shell: simple commands, arguments, "#" comments,
+// builtins (cd, exit), redirection (<, >, >>), pipelines (|), and ";" sequencing.
+// Used by make (sh -c "...") and by the examples as the interactive surface.
+#include "src/apps/apps.h"
+#include "src/base/strings.h"
+
+namespace ia {
+namespace {
+
+std::string FindProgramInPath(ProcessContext& ctx, const std::string& name) {
+  if (name.find('/') != std::string::npos) {
+    return name;
+  }
+  for (const char* dir : {".", "/bin", "/usr/bin"}) {
+    const std::string candidate = path::JoinPath(dir, name);
+    if (ctx.Access(candidate, kXOk) == 0) {
+      return candidate;
+    }
+  }
+  return name;
+}
+
+struct SimpleCommand {
+  std::vector<std::string> argv;
+  std::string stdin_file;
+  std::string stdout_file;
+  bool stdout_append = false;
+};
+
+// Splits a command string on unquoted whitespace; handles "..." quoting.
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  bool in_quotes = false;
+  for (const char c : text) {
+    if (c == '"') {
+      in_quotes = !in_quotes;
+      continue;
+    }
+    if (!in_quotes && (c == ' ' || c == '\t')) {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (!current.empty()) {
+    tokens.push_back(current);
+  }
+  return tokens;
+}
+
+bool ParseSimple(const std::vector<std::string>& tokens, SimpleCommand* out) {
+  out->argv.clear();
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i] == "<" && i + 1 < tokens.size()) {
+      out->stdin_file = tokens[++i];
+    } else if (tokens[i] == ">" && i + 1 < tokens.size()) {
+      out->stdout_file = tokens[++i];
+      out->stdout_append = false;
+    } else if (tokens[i] == ">>" && i + 1 < tokens.size()) {
+      out->stdout_file = tokens[++i];
+      out->stdout_append = true;
+    } else {
+      out->argv.push_back(tokens[i]);
+    }
+  }
+  return !out->argv.empty();
+}
+
+// Applies redirections in a child and execs; returns only on failure.
+int RunChild(ProcessContext& ctx, const SimpleCommand& command) {
+  if (!command.stdin_file.empty()) {
+    const int fd = ctx.Open(command.stdin_file, kORdonly);
+    if (fd < 0) {
+      ctx.WriteString(2, StringPrintf("sh: %s: cannot open\n", command.stdin_file.c_str()));
+      return 1;
+    }
+    ctx.Dup2(fd, 0);
+    ctx.Close(fd);
+  }
+  if (!command.stdout_file.empty()) {
+    const int flags = kOWronly | kOCreat | (command.stdout_append ? kOAppend : kOTrunc);
+    const int fd = ctx.Open(command.stdout_file, flags, 0644);
+    if (fd < 0) {
+      ctx.WriteString(2, StringPrintf("sh: %s: cannot create\n", command.stdout_file.c_str()));
+      return 1;
+    }
+    ctx.Dup2(fd, 1);
+    ctx.Close(fd);
+  }
+  const std::string program = FindProgramInPath(ctx, command.argv[0]);
+  ctx.Execve(program, command.argv);
+  ctx.WriteString(2, StringPrintf("sh: %s: not found\n", command.argv[0].c_str()));
+  return 127;
+}
+
+// Runs one pipeline stage list; returns the exit status of the last stage.
+int RunPipeline(ProcessContext& ctx, const std::vector<SimpleCommand>& stages) {
+  std::vector<Pid> children;
+  int prev_read = -1;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    int pipe_fds[2] = {-1, -1};
+    const bool last = i + 1 == stages.size();
+    if (!last && ctx.Pipe(pipe_fds) != 0) {
+      return 1;
+    }
+    const SimpleCommand stage = stages[i];
+    const int in_fd = prev_read;
+    const int out_fd = last ? -1 : pipe_fds[1];
+    const Pid child = ctx.Fork([stage, in_fd, out_fd](ProcessContext& c) -> int {
+      if (in_fd >= 0) {
+        c.Dup2(in_fd, 0);
+        c.Close(in_fd);
+      }
+      if (out_fd >= 0) {
+        c.Dup2(out_fd, 1);
+        c.Close(out_fd);
+      }
+      return RunChild(c, stage);
+    });
+    if (in_fd >= 0) {
+      ctx.Close(in_fd);
+    }
+    if (out_fd >= 0) {
+      ctx.Close(out_fd);
+    }
+    prev_read = last ? -1 : pipe_fds[0];
+    if (child > 0) {
+      children.push_back(child);
+    }
+  }
+  int last_status = 0;
+  for (const Pid child : children) {
+    int status = 0;
+    ctx.Wait4(child, &status, 0, nullptr);
+    last_status = status;
+  }
+  return WifExited(last_status) ? WExitStatus(last_status) : 128 + WTermSig(last_status);
+}
+
+// Executes one line; returns its status, or -1 when "exit" was requested.
+int ExecuteLine(ProcessContext& ctx, const std::string& raw_line, int* exit_code) {
+  int status = 0;
+  for (const std::string& segment : Split(raw_line, ';')) {
+    const std::string line = segment;
+    std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty() || tokens[0][0] == '#') {
+      continue;
+    }
+    // Builtins.
+    if (tokens[0] == "cd") {
+      const std::string target = tokens.size() > 1 ? tokens[1] : "/";
+      const int err = ctx.Chdir(target);
+      if (err < 0) {
+        ctx.WriteString(2, StringPrintf("sh: cd: %s: %s\n", target.c_str(),
+                                        std::string(ErrnoName(err)).c_str()));
+        status = 1;
+      } else {
+        status = 0;
+      }
+      continue;
+    }
+    if (tokens[0] == "exit") {
+      *exit_code = tokens.size() > 1 ? std::atoi(tokens[1].c_str()) : status;
+      return -1;
+    }
+    // Pipeline split.
+    std::vector<SimpleCommand> stages;
+    std::vector<std::string> stage_tokens;
+    const auto flush_stage = [&]() -> bool {
+      SimpleCommand command;
+      if (!ParseSimple(stage_tokens, &command)) {
+        return false;
+      }
+      stages.push_back(std::move(command));
+      stage_tokens.clear();
+      return true;
+    };
+    bool parse_ok = true;
+    for (const std::string& token : tokens) {
+      if (token == "|") {
+        parse_ok = flush_stage() && parse_ok;
+      } else {
+        stage_tokens.push_back(token);
+      }
+    }
+    parse_ok = flush_stage() && parse_ok;
+    if (!parse_ok || stages.empty()) {
+      ctx.WriteString(2, "sh: syntax error\n");
+      status = 2;
+      continue;
+    }
+    status = RunPipeline(ctx, stages);
+  }
+  return status;
+}
+
+}  // namespace
+
+int ShellMain(ProcessContext& ctx) {
+  const auto& argv = ctx.argv();
+
+  // sh -c "command"
+  if (argv.size() >= 3 && argv[1] == "-c") {
+    int exit_code = 0;
+    const int status = ExecuteLine(ctx, argv[2], &exit_code);
+    return status == -1 ? exit_code : status;
+  }
+
+  // sh script | sh (stdin)
+  std::string script;
+  if (argv.size() >= 2) {
+    if (ctx.ReadWholeFile(argv[1], &script) < 0) {
+      ctx.WriteString(2, StringPrintf("sh: %s: cannot open\n", argv[1].c_str()));
+      return 127;
+    }
+  } else {
+    char buf[1024];
+    for (;;) {
+      const int64_t n = ctx.Read(0, buf, sizeof(buf));
+      if (n <= 0) {
+        break;
+      }
+      script.append(buf, static_cast<size_t>(n));
+    }
+  }
+
+  int status = 0;
+  int exit_code = 0;
+  for (const std::string& line : Split(script, '\n')) {
+    status = ExecuteLine(ctx, line, &exit_code);
+    if (status == -1) {
+      return exit_code;
+    }
+  }
+  return status;
+}
+
+}  // namespace ia

@@ -1,0 +1,13 @@
+#include "src/base/clock.h"
+
+#include <chrono>
+
+namespace ia {
+
+int64_t MonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace ia

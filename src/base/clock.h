@@ -1,0 +1,36 @@
+// Virtual and wall clocks.
+//
+// The simulated kernel keeps a *virtual* microsecond clock so tests and the
+// paper-shape cost model are deterministic: each simulated system call advances
+// virtual time by a modeled cost. Benchmarks additionally measure real wall time.
+#ifndef SRC_BASE_CLOCK_H_
+#define SRC_BASE_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace ia {
+
+// Microseconds since the virtual epoch.
+using VirtualMicros = int64_t;
+
+// A monotonically advancing virtual clock, advanced explicitly by its owner.
+// Reads are lock-free so hosts/benchmarks may sample it while the kernel runs.
+class VirtualClock {
+ public:
+  explicit VirtualClock(VirtualMicros epoch_micros = 0) : now_(epoch_micros) {}
+
+  VirtualMicros Now() const { return now_.load(std::memory_order_relaxed); }
+  void Advance(VirtualMicros delta) { now_.fetch_add(delta, std::memory_order_relaxed); }
+  void Set(VirtualMicros now) { now_.store(now, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<VirtualMicros> now_;
+};
+
+// Returns wall-clock microseconds from a steady monotonic source.
+int64_t MonotonicMicros();
+
+}  // namespace ia
+
+#endif  // SRC_BASE_CLOCK_H_

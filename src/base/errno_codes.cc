@@ -1,0 +1,81 @@
+#include "src/base/errno_codes.h"
+
+namespace ia {
+namespace {
+
+struct ErrnoEntry {
+  int value;
+  std::string_view name;
+  std::string_view description;
+};
+
+constexpr ErrnoEntry kErrnoTable[] = {
+    {kOk, "OK", "Success"},
+    {kEPerm, "EPERM", "Operation not permitted"},
+    {kENoent, "ENOENT", "No such file or directory"},
+    {kESrch, "ESRCH", "No such process"},
+    {kEIntr, "EINTR", "Interrupted system call"},
+    {kEIo, "EIO", "Input/output error"},
+    {kENxio, "ENXIO", "Device not configured"},
+    {kE2Big, "E2BIG", "Argument list too long"},
+    {kENoexec, "ENOEXEC", "Exec format error"},
+    {kEBadf, "EBADF", "Bad file descriptor"},
+    {kEChild, "ECHILD", "No child processes"},
+    {kEAgain, "EAGAIN", "Resource temporarily unavailable"},
+    {kENomem, "ENOMEM", "Cannot allocate memory"},
+    {kEAcces, "EACCES", "Permission denied"},
+    {kEFault, "EFAULT", "Bad address"},
+    {kENotblk, "ENOTBLK", "Block device required"},
+    {kEBusy, "EBUSY", "Device busy"},
+    {kEExist, "EEXIST", "File exists"},
+    {kEXdev, "EXDEV", "Cross-device link"},
+    {kENodev, "ENODEV", "Operation not supported by device"},
+    {kENotdir, "ENOTDIR", "Not a directory"},
+    {kEIsdir, "EISDIR", "Is a directory"},
+    {kEInval, "EINVAL", "Invalid argument"},
+    {kENfile, "ENFILE", "Too many open files in system"},
+    {kEMfile, "EMFILE", "Too many open files"},
+    {kENotty, "ENOTTY", "Inappropriate ioctl for device"},
+    {kETxtbsy, "ETXTBSY", "Text file busy"},
+    {kEFbig, "EFBIG", "File too large"},
+    {kENospc, "ENOSPC", "No space left on device"},
+    {kESpipe, "ESPIPE", "Illegal seek"},
+    {kERofs, "EROFS", "Read-only filesystem"},
+    {kEMlink, "EMLINK", "Too many links"},
+    {kEPipe, "EPIPE", "Broken pipe"},
+    {kEDom, "EDOM", "Numerical argument out of domain"},
+    {kERange, "ERANGE", "Result too large"},
+    {kEWouldblock, "EWOULDBLOCK", "Operation would block"},
+    {kELoop, "ELOOP", "Too many levels of symbolic links"},
+    {kENametoolong, "ENAMETOOLONG", "File name too long"},
+    {kENotempty, "ENOTEMPTY", "Directory not empty"},
+    {kENosys, "ENOSYS", "Function not implemented"},
+};
+
+}  // namespace
+
+std::string_view ErrnoName(int err) {
+  if (err < 0) {
+    err = -err;
+  }
+  for (const ErrnoEntry& entry : kErrnoTable) {
+    if (entry.value == err) {
+      return entry.name;
+    }
+  }
+  return "EUNKNOWN";
+}
+
+std::string_view ErrnoDescription(int err) {
+  if (err < 0) {
+    err = -err;
+  }
+  for (const ErrnoEntry& entry : kErrnoTable) {
+    if (entry.value == err) {
+      return entry.description;
+    }
+  }
+  return "Unknown error";
+}
+
+}  // namespace ia

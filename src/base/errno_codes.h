@@ -1,0 +1,62 @@
+// BSD errno values with macro-safe spellings.
+//
+// Host headers (<cerrno>, <fcntl.h>, ...) define EINVAL et al. as macros, so the
+// simulated 4.3BSD interface spells its error constants kE<Name>. Values match the
+// historical 4.3BSD <errno.h> numbering so that traced output is recognizable.
+#ifndef SRC_BASE_ERRNO_CODES_H_
+#define SRC_BASE_ERRNO_CODES_H_
+
+#include <string_view>
+
+namespace ia {
+
+inline constexpr int kOk = 0;
+inline constexpr int kEPerm = 1;         // Operation not permitted
+inline constexpr int kENoent = 2;        // No such file or directory
+inline constexpr int kESrch = 3;         // No such process
+inline constexpr int kEIntr = 4;         // Interrupted system call
+inline constexpr int kEIo = 5;           // Input/output error
+inline constexpr int kENxio = 6;         // Device not configured
+inline constexpr int kE2Big = 7;         // Argument list too long
+inline constexpr int kENoexec = 8;       // Exec format error
+inline constexpr int kEBadf = 9;         // Bad file descriptor
+inline constexpr int kEChild = 10;       // No child processes
+inline constexpr int kEAgain = 11;       // Resource temporarily unavailable
+inline constexpr int kENomem = 12;       // Cannot allocate memory
+inline constexpr int kEAcces = 13;       // Permission denied
+inline constexpr int kEFault = 14;       // Bad address
+inline constexpr int kENotblk = 15;      // Block device required
+inline constexpr int kEBusy = 16;        // Device busy
+inline constexpr int kEExist = 17;       // File exists
+inline constexpr int kEXdev = 18;        // Cross-device link
+inline constexpr int kENodev = 19;       // Operation not supported by device
+inline constexpr int kENotdir = 20;      // Not a directory
+inline constexpr int kEIsdir = 21;       // Is a directory
+inline constexpr int kEInval = 22;       // Invalid argument
+inline constexpr int kENfile = 23;       // Too many open files in system
+inline constexpr int kEMfile = 24;       // Too many open files
+inline constexpr int kENotty = 25;       // Inappropriate ioctl for device
+inline constexpr int kETxtbsy = 26;      // Text file busy
+inline constexpr int kEFbig = 27;        // File too large
+inline constexpr int kENospc = 28;       // No space left on device
+inline constexpr int kESpipe = 29;       // Illegal seek
+inline constexpr int kERofs = 30;        // Read-only filesystem
+inline constexpr int kEMlink = 31;       // Too many links
+inline constexpr int kEPipe = 32;        // Broken pipe
+inline constexpr int kEDom = 33;         // Numerical argument out of domain
+inline constexpr int kERange = 34;       // Result too large
+inline constexpr int kEWouldblock = 35;  // Operation would block
+inline constexpr int kENametoolong = 63; // File name too long
+inline constexpr int kENotempty = 66;    // Directory not empty
+inline constexpr int kELoop = 62;        // Too many levels of symbolic links
+inline constexpr int kENosys = 78;       // Function not implemented
+
+// Returns the conventional symbolic name ("ENOENT") for a BSD errno value.
+std::string_view ErrnoName(int err);
+
+// Returns a short human-readable description for a BSD errno value.
+std::string_view ErrnoDescription(int err);
+
+}  // namespace ia
+
+#endif  // SRC_BASE_ERRNO_CODES_H_

@@ -1,0 +1,35 @@
+// Deterministic pseudo-random number generator (xorshift64*), used by /dev/random
+// and the workload generators so every run is reproducible.
+#ifndef SRC_BASE_PRNG_H_
+#define SRC_BASE_PRNG_H_
+
+#include <cstdint>
+
+namespace ia {
+
+class Prng {
+ public:
+  explicit Prng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed ? seed : 1) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+  // Uniform value in [0, bound). `bound` must be nonzero.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) / static_cast<double>(1ULL << 53);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace ia
+
+#endif  // SRC_BASE_PRNG_H_

@@ -1,0 +1,68 @@
+#include "src/base/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ia {
+
+void RunningStats::Add(double sample) { samples_.push_back(sample); }
+
+double RunningStats::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : samples_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double RunningStats::Min() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double RunningStats::Max() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double RunningStats::StdDev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  double sum_sq = 0.0;
+  for (double s : samples_) {
+    sum_sq += (s - mean) * (s - mean);
+  }
+  return std::sqrt(sum_sq / static_cast<double>(samples_.size() - 1));
+}
+
+double RunningStats::Median() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t mid = sorted.size() / 2;
+  if (sorted.size() % 2 == 1) {
+    return sorted[mid];
+  }
+  return (sorted[mid - 1] + sorted[mid]) / 2.0;
+}
+
+double PercentSlowdown(double baseline, double measured) {
+  if (baseline <= 0.0) {
+    return 0.0;
+  }
+  return (measured - baseline) / baseline * 100.0;
+}
+
+}  // namespace ia

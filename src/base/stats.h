@@ -1,0 +1,33 @@
+// Simple running statistics used by the benchmark harnesses.
+#ifndef SRC_BASE_STATS_H_
+#define SRC_BASE_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ia {
+
+// Accumulates samples and reports summary statistics.
+class RunningStats {
+ public:
+  void Add(double sample);
+
+  size_t Count() const { return samples_.size(); }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double StdDev() const;
+  double Median() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+// Percentage slowdown of `measured` relative to `baseline` (paper Tables 3-2/3-3).
+double PercentSlowdown(double baseline, double measured);
+
+}  // namespace ia
+
+#endif  // SRC_BASE_STATS_H_

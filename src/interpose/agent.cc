@@ -1,0 +1,125 @@
+#include "src/interpose/agent.h"
+
+namespace ia {
+namespace {
+
+bool IsForkNumber(int number) { return number == kSysFork || number == kSysVfork; }
+bool IsExecNumber(int number) { return number == kSysExecve || number == kSysExecv; }
+
+}  // namespace
+
+SyscallStatus AgentCall::CallDown() {
+  auto host = std::static_pointer_cast<AgentHost>(ctx_.emulation().At(frame_).handler);
+  return host->DownCall(ctx_, frame_, number_, args_, rv_);
+}
+
+SyscallStatus AgentCall::CallDown(const SyscallArgs& new_args) {
+  auto host = std::static_pointer_cast<AgentHost>(ctx_.emulation().At(frame_).handler);
+  return host->DownCall(ctx_, frame_, number_, new_args, rv_);
+}
+
+SyscallStatus AgentCall::Call(int number, const SyscallArgs& args, SyscallResult* rv) {
+  auto host = std::static_pointer_cast<AgentHost>(ctx_.emulation().At(frame_).handler);
+  return host->DownCall(ctx_, frame_, number, args, rv);
+}
+
+int AgentHost::Install(ProcessContext& ctx, const AgentRef& agent) {
+  auto host = std::shared_ptr<AgentHost>(new AgentHost(agent));
+  AgentBinding binding;
+  agent->Init(ctx, binding);
+  host->agent_interest_ = binding.syscalls();
+  host->agent_signal_interest_ = binding.signals();
+
+  EmulationFrame frame;
+  frame.handler = host;
+  // Bookkeeping interceptions keep the agent alive across fork and execve even
+  // when the agent itself has no interest in those calls.
+  frame.syscall_interest = binding.syscalls();
+  frame.syscall_interest.set(kSysFork);
+  frame.syscall_interest.set(kSysVfork);
+  frame.syscall_interest.set(kSysExecve);
+  frame.syscall_interest.set(kSysExecv);
+  frame.signal_interest = binding.signals();
+  const int index = ctx.PushEmulation(std::move(frame));
+  agent->OnInstalled(ctx, index);
+  return index;
+}
+
+SyscallStatus AgentHost::HandleSyscall(ProcessContext& ctx, int frame, int number,
+                                       const SyscallArgs& args, SyscallResult* rv) {
+  if (number >= 0 && number < kMaxSyscall &&
+      agent_interest_.test(static_cast<size_t>(number))) {
+    AgentCall call(ctx, frame, number, args, rv);
+    return agent_->OnSyscall(call);
+  }
+  // Interception exists only for boilerplate bookkeeping; stay transparent.
+  return DownCall(ctx, frame, number, args, rv);
+}
+
+void AgentHost::HandleSignal(ProcessContext& ctx, int frame, int signo) {
+  if ((agent_signal_interest_ & SigMask(signo)) != 0) {
+    AgentSignal signal(ctx, frame, signo);
+    agent_->OnSignal(signal);
+    return;
+  }
+  ctx.ForwardSignal(frame, signo);
+}
+
+SyscallStatus AgentHost::DownCall(ProcessContext& ctx, int frame, int number,
+                                  const SyscallArgs& args, SyscallResult* rv) {
+  if (IsForkNumber(number)) {
+    // Propagate this agent into the child: wrap the pending child body so the
+    // child re-installs the agent before running (paper: the ~10ms fork
+    // bookkeeping, toolkit init_child()).
+    Process& proc = ctx.process();
+    std::function<int(ProcessContext&)> body = std::move(proc.pending_fork_body);
+    AgentRef child_agent = agent_->ForkInstance();
+    proc.pending_fork_body = [child_agent, body](ProcessContext& child_ctx) -> int {
+      AgentHost::Install(child_ctx, child_agent);
+      child_agent->InitChild(child_ctx);
+      return body != nullptr ? body(child_ctx) : 0;
+    };
+    return ctx.SyscallBelow(frame, number, args, rv);
+  }
+  if (IsExecNumber(number)) {
+    // Reimplement execve enough to survive it: the underlying exec would wipe the
+    // emulation state, so continue down with the preserve flag set (paper: execve
+    // "must be completely reimplemented by the toolkit from lower-level
+    // primitives ... the agent needs to be preserved").
+    SyscallArgs preserved = args;
+    preserved.SetInt(2, preserved.Long(2) | 1);
+    return ctx.SyscallBelow(frame, number, preserved, rv);
+  }
+  return ctx.SyscallBelow(frame, number, args, rv);
+}
+
+Pid SpawnUnderAgents(Kernel& kernel, const std::vector<AgentRef>& agents,
+                     const SpawnOptions& options) {
+  SpawnOptions loader = options;
+  const std::string target_path = options.path;
+  const std::vector<std::string> target_argv = options.argv;
+  const std::function<int(ProcessContext&)> target_body = options.body;
+  loader.body = [agents, target_path, target_argv, target_body](ProcessContext& ctx) -> int {
+    for (const AgentRef& agent : agents) {
+      AgentHost::Install(ctx, agent);
+    }
+    if (target_body != nullptr) {
+      return target_body(ctx);
+    }
+    const int err = ctx.Execve(target_path, target_argv);
+    ctx.WriteString(2, "agent loader: exec failed\n");
+    return err < 0 ? 127 : 0;
+  };
+  return kernel.Spawn(loader);
+}
+
+int RunUnderAgents(Kernel& kernel, const std::vector<AgentRef>& agents,
+                   const SpawnOptions& options) {
+  const Pid pid = SpawnUnderAgents(kernel, agents, options);
+  if (pid < 0) {
+    return pid;
+  }
+  return kernel.HostWaitPid(pid);
+}
+
+}  // namespace ia

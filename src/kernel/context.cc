@@ -1,0 +1,873 @@
+#include "src/kernel/context.h"
+
+#include <cstring>
+
+#include "src/base/strings.h"
+#include "src/kernel/direntry_codec.h"
+#include "src/kernel/kernel.h"
+
+namespace ia {
+
+// ---------------------------------------------------------------------------
+// Raw syscall path.
+// ---------------------------------------------------------------------------
+
+SyscallStatus ProcessContext::Syscall(int number, const SyscallArgs& args, SyscallResult* rv) {
+  SyscallResult local;
+  if (rv == nullptr) {
+    rv = &local;
+  }
+  SyscallStatus status;
+  {
+    // Exception-safe depth tracking: agent handlers may unwind (exit/terminate).
+    struct DepthGuard {
+      int& depth;
+      explicit DepthGuard(int& d) : depth(d) { ++depth; }
+      ~DepthGuard() { --depth; }
+    } guard(syscall_depth_);
+    const int frame = proc_->emulation.NextInterestedBelow(proc_->emulation.Depth(), number);
+    if (frame >= 0) {
+      // Keep the handler alive across the call even if the stack is mutated below us.
+      std::shared_ptr<SyscallHandler> handler = proc_->emulation.At(frame).handler;
+      status = handler->HandleSyscall(*this, frame, number, args, rv);
+    } else {
+      status = kernel_->DoSyscall(*proc_, number, args, rv);
+    }
+  }
+  if (syscall_depth_ == 0) {
+    ProcessBoundary();
+  }
+  return status;
+}
+
+SyscallStatus ProcessContext::SyscallBelow(int frame, int number, const SyscallArgs& args,
+                                           SyscallResult* rv) {
+  SyscallResult local;
+  if (rv == nullptr) {
+    rv = &local;
+  }
+  const int next = proc_->emulation.NextInterestedBelow(frame, number);
+  if (next >= 0) {
+    std::shared_ptr<SyscallHandler> handler = proc_->emulation.At(next).handler;
+    return handler->HandleSyscall(*this, next, number, args, rv);
+  }
+  return kernel_->DoSyscall(*proc_, number, args, rv);
+}
+
+SyscallStatus ProcessContext::TrapKernel(int number, const SyscallArgs& args, SyscallResult* rv) {
+  SyscallResult local;
+  if (rv == nullptr) {
+    rv = &local;
+  }
+  return kernel_->DoSyscall(*proc_, number, args, rv);
+}
+
+void ProcessContext::ProcessBoundary() {
+  if (signal_depth_ == 0) {
+    CheckPendingSignals();
+    if (proc_->sigpause_restore) {
+      proc_->sig_mask = proc_->sigpause_saved_mask;
+      proc_->sigpause_restore = false;
+    }
+  }
+  if (proc_->exit_pending) {
+    const int wait_status = proc_->exit_wait_status;
+    kernel_->FinalizeExit(*proc_, wait_status);
+    throw ExitUnwind{wait_status};
+  }
+  if (proc_->pending_exec.valid) {
+    if (!proc_->pending_exec.preserve_emulation) {
+      proc_->emulation.Clear();
+    }
+    throw ExecveUnwind{};
+  }
+}
+
+void ProcessContext::TerminateBySignal(int signo) {
+  const int wait_status = WaitStatusSignaled(signo);
+  kernel_->FinalizeExit(*proc_, wait_status);
+  throw ExitUnwind{wait_status};
+}
+
+// ---------------------------------------------------------------------------
+// Signal upcall path.
+// ---------------------------------------------------------------------------
+
+void ProcessContext::CheckPendingSignals() {
+  ++signal_depth_;
+  struct DepthGuard {
+    int& depth;
+    ~DepthGuard() { --depth; }
+  } guard{signal_depth_};
+  for (;;) {
+    const int signo = kernel_->TakeDeliverableSignal(*proc_);
+    if (signo == 0) {
+      return;
+    }
+    if (signo == kSigKill) {
+      // SIGKILL is not interposable: with agents sharing the victim's address
+      // space, the kernel's kill reaches them exactly as it reaches the client.
+      TerminateBySignal(kSigKill);
+    }
+    RouteSignal(signo);
+    if (proc_->exit_pending) {
+      return;  // a handler requested exit; the boundary finishes the job
+    }
+  }
+}
+
+void ProcessContext::RouteSignal(int signo) {
+  const int frame = proc_->emulation.NextSignalInterestAbove(-1, signo);
+  if (frame >= 0) {
+    std::shared_ptr<SyscallHandler> handler = proc_->emulation.At(frame).handler;
+    handler->HandleSignal(*this, frame, signo);
+    return;
+  }
+  DeliverToApplication(signo);
+}
+
+void ProcessContext::ForwardSignal(int frame, int signo) {
+  const int next = proc_->emulation.NextSignalInterestAbove(frame, signo);
+  if (next >= 0) {
+    std::shared_ptr<SyscallHandler> handler = proc_->emulation.At(next).handler;
+    handler->HandleSignal(*this, next, signo);
+    return;
+  }
+  DeliverToApplication(signo);
+}
+
+void ProcessContext::DeliverToApplication(int signo) {
+  const SignalAction action = proc_->actions[static_cast<size_t>(signo)];
+  if (action.IsIgnore()) {
+    return;
+  }
+  if (action.IsHandler() && action.fn != nullptr) {
+    const uint32_t saved_mask = proc_->sig_mask;
+    proc_->sig_mask |= action.mask | SigMask(signo);
+    action.fn(*this, signo);
+    proc_->sig_mask = saved_mask;
+    return;
+  }
+  switch (DefaultActionFor(signo)) {
+    case SigDefault::kTerminate:
+      TerminateBySignal(signo);
+    case SigDefault::kIgnore:
+    case SigDefault::kContinue:
+      return;
+    case SigDefault::kStop:
+      kernel_->StopSelf(*proc_);
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trampoline.
+// ---------------------------------------------------------------------------
+
+void ProcessContext::RunToCompletion() {
+  for (;;) {
+    if (!proc_->pending_exec.valid) {
+      return;
+    }
+    ProgramMain main = std::move(proc_->pending_exec.main);
+    proc_->argv = std::move(proc_->pending_exec.argv);
+    proc_->image_name = std::move(proc_->pending_exec.image_name);
+    proc_->image_path = std::move(proc_->pending_exec.path);
+    proc_->pending_exec = PendingExec{};
+    try {
+      const int code = main != nullptr ? main(*this) : 0;
+      Exit(code);
+    } catch (const ExecveUnwind&) {
+      continue;
+    } catch (const ExitUnwind&) {
+      return;  // FinalizeExit has already run
+    }
+  }
+}
+
+void ProcessContext::Exit(int code) {
+  SyscallArgs args;
+  args.SetInt(0, code);
+  Syscall(kSysExit, args, nullptr);
+  // Reached only if an agent swallowed the exit or we are nested inside a handler
+  // frame: _exit(2) must not return, so force the unwind.
+  if (!proc_->exit_pending) {
+    proc_->exit_pending = true;
+    proc_->exit_wait_status = WaitStatusExited(code & 0xff);
+  }
+  kernel_->FinalizeExit(*proc_, proc_->exit_wait_status);
+  throw ExitUnwind{proc_->exit_wait_status};
+}
+
+// ---------------------------------------------------------------------------
+// Typed wrappers.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Returns rv[0] on success, the (negative) status on failure.
+int64_t ValueOrError(SyscallStatus status, const SyscallResult& rv) {
+  return status < 0 ? status : rv.rv[0];
+}
+
+}  // namespace
+
+int ProcessContext::Open(const std::string& path, int flags, Mode mode) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetPtr(0, path.c_str());
+  args.SetInt(1, flags);
+  args.SetInt(2, mode);
+  return static_cast<int>(ValueOrError(Syscall(kSysOpen, args, &rv), rv));
+}
+
+int ProcessContext::Close(int fd) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  return Syscall(kSysClose, args, nullptr);
+}
+
+int64_t ProcessContext::Read(int fd, void* buf, int64_t count) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, fd);
+  args.SetPtr(1, buf);
+  args.SetInt(2, count);
+  return ValueOrError(Syscall(kSysRead, args, &rv), rv);
+}
+
+int64_t ProcessContext::Write(int fd, const void* buf, int64_t count) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, fd);
+  args.SetPtr(1, buf);
+  args.SetInt(2, count);
+  return ValueOrError(Syscall(kSysWrite, args, &rv), rv);
+}
+
+int64_t ProcessContext::Readv(int fd, const IoVec* iov, int iovcnt) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, fd);
+  args.SetPtr(1, iov);
+  args.SetInt(2, iovcnt);
+  return ValueOrError(Syscall(kSysReadv, args, &rv), rv);
+}
+
+int64_t ProcessContext::Writev(int fd, const IoVec* iov, int iovcnt) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, fd);
+  args.SetPtr(1, iov);
+  args.SetInt(2, iovcnt);
+  return ValueOrError(Syscall(kSysWritev, args, &rv), rv);
+}
+
+int64_t ProcessContext::Lseek(int fd, Off offset, int whence) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, fd);
+  args.SetInt(1, offset);
+  args.SetInt(2, whence);
+  return ValueOrError(Syscall(kSysLseek, args, &rv), rv);
+}
+
+int ProcessContext::Stat(const std::string& path, ia::Stat* st) {
+  SyscallArgs args;
+  args.SetPtr(0, path.c_str());
+  args.SetPtr(1, st);
+  return Syscall(kSysStat, args, nullptr);
+}
+
+int ProcessContext::Lstat(const std::string& path, ia::Stat* st) {
+  SyscallArgs args;
+  args.SetPtr(0, path.c_str());
+  args.SetPtr(1, st);
+  return Syscall(kSysLstat, args, nullptr);
+}
+
+int ProcessContext::Fstat(int fd, ia::Stat* st) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  args.SetPtr(1, st);
+  return Syscall(kSysFstat, args, nullptr);
+}
+
+int ProcessContext::Link(const std::string& existing, const std::string& new_path) {
+  SyscallArgs args;
+  args.SetPtr(0, existing.c_str());
+  args.SetPtr(1, new_path.c_str());
+  return Syscall(kSysLink, args, nullptr);
+}
+
+int ProcessContext::Unlink(const std::string& path) {
+  SyscallArgs args;
+  args.SetPtr(0, path.c_str());
+  return Syscall(kSysUnlink, args, nullptr);
+}
+
+int ProcessContext::Symlink(const std::string& target, const std::string& link_path) {
+  SyscallArgs args;
+  args.SetPtr(0, target.c_str());
+  args.SetPtr(1, link_path.c_str());
+  return Syscall(kSysSymlink, args, nullptr);
+}
+
+int ProcessContext::Readlink(const std::string& path, char* buf, int64_t bufsize) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetPtr(0, path.c_str());
+  args.SetPtr(1, buf);
+  args.SetInt(2, bufsize);
+  return static_cast<int>(ValueOrError(Syscall(kSysReadlink, args, &rv), rv));
+}
+
+int ProcessContext::Rename(const std::string& from, const std::string& to) {
+  SyscallArgs args;
+  args.SetPtr(0, from.c_str());
+  args.SetPtr(1, to.c_str());
+  return Syscall(kSysRename, args, nullptr);
+}
+
+int ProcessContext::Mkdir(const std::string& path, Mode mode) {
+  SyscallArgs args;
+  args.SetPtr(0, path.c_str());
+  args.SetInt(1, mode);
+  return Syscall(kSysMkdir, args, nullptr);
+}
+
+int ProcessContext::Rmdir(const std::string& path) {
+  SyscallArgs args;
+  args.SetPtr(0, path.c_str());
+  return Syscall(kSysRmdir, args, nullptr);
+}
+
+int ProcessContext::Chdir(const std::string& path) {
+  SyscallArgs args;
+  args.SetPtr(0, path.c_str());
+  return Syscall(kSysChdir, args, nullptr);
+}
+
+int ProcessContext::Fchdir(int fd) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  return Syscall(kSysFchdir, args, nullptr);
+}
+
+int ProcessContext::Chroot(const std::string& path) {
+  SyscallArgs args;
+  args.SetPtr(0, path.c_str());
+  return Syscall(kSysChroot, args, nullptr);
+}
+
+int ProcessContext::Chmod(const std::string& path, Mode mode) {
+  SyscallArgs args;
+  args.SetPtr(0, path.c_str());
+  args.SetInt(1, mode);
+  return Syscall(kSysChmod, args, nullptr);
+}
+
+int ProcessContext::Fchmod(int fd, Mode mode) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  args.SetInt(1, mode);
+  return Syscall(kSysFchmod, args, nullptr);
+}
+
+int ProcessContext::Chown(const std::string& path, Uid uid, Gid gid) {
+  SyscallArgs args;
+  args.SetPtr(0, path.c_str());
+  args.SetInt(1, uid);
+  args.SetInt(2, gid);
+  return Syscall(kSysChown, args, nullptr);
+}
+
+int ProcessContext::Fchown(int fd, Uid uid, Gid gid) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  args.SetInt(1, uid);
+  args.SetInt(2, gid);
+  return Syscall(kSysFchown, args, nullptr);
+}
+
+int ProcessContext::Access(const std::string& path, int amode) {
+  SyscallArgs args;
+  args.SetPtr(0, path.c_str());
+  args.SetInt(1, amode);
+  return Syscall(kSysAccess, args, nullptr);
+}
+
+int ProcessContext::Utimes(const std::string& path, const TimeVal* times) {
+  SyscallArgs args;
+  args.SetPtr(0, path.c_str());
+  args.SetPtr(1, times);
+  return Syscall(kSysUtimes, args, nullptr);
+}
+
+int ProcessContext::Truncate(const std::string& path, Off length) {
+  SyscallArgs args;
+  args.SetPtr(0, path.c_str());
+  args.SetInt(1, length);
+  return Syscall(kSysTruncate, args, nullptr);
+}
+
+int ProcessContext::Ftruncate(int fd, Off length) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  args.SetInt(1, length);
+  return Syscall(kSysFtruncate, args, nullptr);
+}
+
+Mode ProcessContext::Umask(Mode mask) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, mask);
+  Syscall(kSysUmask, args, &rv);
+  return static_cast<Mode>(rv.rv[0]);
+}
+
+int ProcessContext::Dup(int fd) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, fd);
+  return static_cast<int>(ValueOrError(Syscall(kSysDup, args, &rv), rv));
+}
+
+int ProcessContext::Dup2(int from, int to) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, from);
+  args.SetInt(1, to);
+  return static_cast<int>(ValueOrError(Syscall(kSysDup2, args, &rv), rv));
+}
+
+int ProcessContext::Pipe(int fds_out[2]) {
+  SyscallArgs args;
+  SyscallResult rv;
+  const SyscallStatus status = Syscall(kSysPipe, args, &rv);
+  if (status < 0) {
+    return status;
+  }
+  fds_out[0] = static_cast<int>(rv.rv[0]);
+  fds_out[1] = static_cast<int>(rv.rv[1]);
+  return 0;
+}
+
+int ProcessContext::Fcntl(int fd, int cmd, int64_t arg) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, fd);
+  args.SetInt(1, cmd);
+  args.SetInt(2, arg);
+  return static_cast<int>(ValueOrError(Syscall(kSysFcntl, args, &rv), rv));
+}
+
+int ProcessContext::Flock(int fd, int operation) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  args.SetInt(1, operation);
+  return Syscall(kSysFlock, args, nullptr);
+}
+
+int ProcessContext::Fsync(int fd) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  return Syscall(kSysFsync, args, nullptr);
+}
+
+int ProcessContext::Sync() {
+  SyscallArgs args;
+  return Syscall(kSysSync, args, nullptr);
+}
+
+int ProcessContext::Ioctl(int fd, uint64_t request, void* argp) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  args.arg[1] = request;
+  args.SetPtr(2, argp);
+  return Syscall(kSysIoctl, args, nullptr);
+}
+
+int ProcessContext::Getdirentries(int fd, char* buf, int nbytes, int64_t* basep) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, fd);
+  args.SetPtr(1, buf);
+  args.SetInt(2, nbytes);
+  args.SetPtr(3, basep);
+  return static_cast<int>(ValueOrError(Syscall(kSysGetdirentries, args, &rv), rv));
+}
+
+Pid ProcessContext::Getpid() {
+  SyscallArgs args;
+  SyscallResult rv;
+  Syscall(kSysGetpid, args, &rv);
+  return static_cast<Pid>(rv.rv[0]);
+}
+
+Pid ProcessContext::Getppid() {
+  SyscallArgs args;
+  SyscallResult rv;
+  Syscall(kSysGetppid, args, &rv);
+  return static_cast<Pid>(rv.rv[0]);
+}
+
+Uid ProcessContext::Getuid() {
+  SyscallArgs args;
+  SyscallResult rv;
+  Syscall(kSysGetuid, args, &rv);
+  return static_cast<Uid>(rv.rv[0]);
+}
+
+Uid ProcessContext::Geteuid() {
+  SyscallArgs args;
+  SyscallResult rv;
+  Syscall(kSysGeteuid, args, &rv);
+  return static_cast<Uid>(rv.rv[0]);
+}
+
+Gid ProcessContext::Getgid() {
+  SyscallArgs args;
+  SyscallResult rv;
+  Syscall(kSysGetgid, args, &rv);
+  return static_cast<Gid>(rv.rv[0]);
+}
+
+Gid ProcessContext::Getegid() {
+  SyscallArgs args;
+  SyscallResult rv;
+  Syscall(kSysGetegid, args, &rv);
+  return static_cast<Gid>(rv.rv[0]);
+}
+
+int ProcessContext::Setuid(Uid uid) {
+  SyscallArgs args;
+  args.SetInt(0, uid);
+  return Syscall(kSysSetuid, args, nullptr);
+}
+
+int ProcessContext::Getgroups(int gidsetlen, Gid* gidset) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, gidsetlen);
+  args.SetPtr(1, gidset);
+  return static_cast<int>(ValueOrError(Syscall(kSysGetgroups, args, &rv), rv));
+}
+
+int ProcessContext::Setgroups(int ngroups, const Gid* gidset) {
+  SyscallArgs args;
+  args.SetInt(0, ngroups);
+  args.SetPtr(1, gidset);
+  return Syscall(kSysSetgroups, args, nullptr);
+}
+
+Pid ProcessContext::Getpgrp() {
+  SyscallArgs args;
+  SyscallResult rv;
+  Syscall(kSysGetpgrp, args, &rv);
+  return static_cast<Pid>(rv.rv[0]);
+}
+
+int ProcessContext::Setpgrp(Pid pid, Pid pgrp) {
+  SyscallArgs args;
+  args.SetInt(0, pid);
+  args.SetInt(1, pgrp);
+  return Syscall(kSysSetpgrp, args, nullptr);
+}
+
+int ProcessContext::Getlogin(char* buf, int len) {
+  SyscallArgs args;
+  args.SetPtr(0, buf);
+  args.SetInt(1, len);
+  return Syscall(kSysGetlogin, args, nullptr);
+}
+
+int ProcessContext::Setlogin(const std::string& name) {
+  SyscallArgs args;
+  args.SetPtr(0, name.c_str());
+  return Syscall(kSysSetlogin, args, nullptr);
+}
+
+int ProcessContext::Gethostname(char* buf, int len) {
+  SyscallArgs args;
+  args.SetPtr(0, buf);
+  args.SetInt(1, len);
+  return Syscall(kSysGethostname, args, nullptr);
+}
+
+int ProcessContext::Sethostname(const std::string& name) {
+  SyscallArgs args;
+  args.SetPtr(0, name.c_str());
+  args.SetInt(1, static_cast<int64_t>(name.size()));
+  return Syscall(kSysSethostname, args, nullptr);
+}
+
+int ProcessContext::Getdtablesize() {
+  SyscallArgs args;
+  SyscallResult rv;
+  Syscall(kSysGetdtablesize, args, &rv);
+  return static_cast<int>(rv.rv[0]);
+}
+
+int ProcessContext::Getpagesize() {
+  SyscallArgs args;
+  SyscallResult rv;
+  Syscall(kSysGetpagesize, args, &rv);
+  return static_cast<int>(rv.rv[0]);
+}
+
+int ProcessContext::Kill(Pid pid, int signo) {
+  SyscallArgs args;
+  args.SetInt(0, pid);
+  args.SetInt(1, signo);
+  return Syscall(kSysKill, args, nullptr);
+}
+
+int ProcessContext::Killpg(Pid pgrp, int signo) {
+  SyscallArgs args;
+  args.SetInt(0, pgrp);
+  args.SetInt(1, signo);
+  return Syscall(kSysKillpg, args, nullptr);
+}
+
+int ProcessContext::Sigvec(int signo, uintptr_t disposition,
+                           std::function<void(ProcessContext&, int)> handler,
+                           uint32_t handler_mask) {
+  proc_->staging_handler = std::move(handler);
+  SyscallArgs args;
+  args.SetInt(0, signo);
+  args.SetInt(1, static_cast<int64_t>(disposition));
+  args.SetInt(2, handler_mask);
+  return Syscall(kSysSigvec, args, nullptr);
+}
+
+uint32_t ProcessContext::Sigblock(uint32_t mask) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, mask);
+  Syscall(kSysSigblock, args, &rv);
+  return static_cast<uint32_t>(rv.rv[0]);
+}
+
+uint32_t ProcessContext::Sigsetmask(uint32_t mask) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, mask);
+  Syscall(kSysSigsetmask, args, &rv);
+  return static_cast<uint32_t>(rv.rv[0]);
+}
+
+int ProcessContext::Sigpause(uint32_t mask) {
+  SyscallArgs args;
+  args.SetInt(0, mask);
+  return Syscall(kSysSigpause, args, nullptr);
+}
+
+int ProcessContext::Gettimeofday(TimeVal* tp, TimeZone* tzp) {
+  SyscallArgs args;
+  args.SetPtr(0, tp);
+  args.SetPtr(1, tzp);
+  return Syscall(kSysGettimeofday, args, nullptr);
+}
+
+int ProcessContext::Settimeofday(const TimeVal* tp, const TimeZone* tzp) {
+  SyscallArgs args;
+  args.SetPtr(0, tp);
+  args.SetPtr(1, tzp);
+  return Syscall(kSysSettimeofday, args, nullptr);
+}
+
+int ProcessContext::Getrusage(int who, Rusage* usage) {
+  SyscallArgs args;
+  args.SetInt(0, who);
+  args.SetPtr(1, usage);
+  return Syscall(kSysGetrusage, args, nullptr);
+}
+
+Pid ProcessContext::Fork(std::function<int(ProcessContext&)> child_body) {
+  proc_->pending_fork_body = std::move(child_body);
+  SyscallArgs args;
+  SyscallResult rv;
+  const SyscallStatus status = Syscall(kSysFork, args, &rv);
+  return status < 0 ? static_cast<Pid>(status) : static_cast<Pid>(rv.rv[0]);
+}
+
+int ProcessContext::Execve(const std::string& path, const std::vector<std::string>& argv_in) {
+  proc_->exec_argv_staging = argv_in;
+  SyscallArgs args;
+  args.SetPtr(0, path.c_str());
+  args.SetInt(2, 0);  // flags: plain execve clears the emulation stack
+  return Syscall(kSysExecve, args, nullptr);
+  // On success, the boundary throws ExecveUnwind before this returns to the caller.
+}
+
+Pid ProcessContext::Wait(int* status) { return Wait4(-1, status, 0, nullptr); }
+
+Pid ProcessContext::Wait4(Pid pid, int* status, int options, Rusage* usage) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, pid);
+  args.SetPtr(1, status);
+  args.SetInt(2, options);
+  args.SetPtr(3, usage);
+  const SyscallStatus st = Syscall(kSysWait4, args, &rv);
+  return st < 0 ? static_cast<Pid>(st) : static_cast<Pid>(rv.rv[0]);
+}
+
+void ProcessContext::Compute(int64_t micros) {
+  kernel_->ConsumeCpu(*proc_, micros);
+  if (syscall_depth_ == 0 && signal_depth_ == 0) {
+    CheckPendingSignals();
+    if (proc_->exit_pending) {
+      const int wait_status = proc_->exit_wait_status;
+      kernel_->FinalizeExit(*proc_, wait_status);
+      throw ExitUnwind{wait_status};
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conveniences.
+// ---------------------------------------------------------------------------
+
+int ProcessContext::WriteString(int fd, const std::string& text) {
+  int64_t done = 0;
+  while (done < static_cast<int64_t>(text.size())) {
+    const int64_t n = Write(fd, text.data() + done, static_cast<int64_t>(text.size()) - done);
+    if (n < 0) {
+      return static_cast<int>(n);
+    }
+    if (n == 0) {
+      return -kEIo;
+    }
+    done += n;
+  }
+  return 0;
+}
+
+int ProcessContext::ReadWholeFile(const std::string& path, std::string* out) {
+  const int fd = Open(path, kORdonly);
+  if (fd < 0) {
+    return fd;
+  }
+  out->clear();
+  char buf[4096];
+  for (;;) {
+    const int64_t n = Read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      Close(fd);
+      return static_cast<int>(n);
+    }
+    if (n == 0) {
+      break;
+    }
+    out->append(buf, static_cast<size_t>(n));
+  }
+  Close(fd);
+  return 0;
+}
+
+int ProcessContext::WriteWholeFile(const std::string& path, const std::string& contents,
+                                   Mode mode) {
+  const int fd = Open(path, kOWronly | kOCreat | kOTrunc, mode);
+  if (fd < 0) {
+    return fd;
+  }
+  const int err = WriteString(fd, contents);
+  Close(fd);
+  return err;
+}
+
+int ProcessContext::ListDirectory(const std::string& path, std::vector<std::string>* names) {
+  names->clear();
+  const int fd = Open(path, kORdonly);
+  if (fd < 0) {
+    return fd;
+  }
+  char buf[2048];
+  int64_t base = 0;
+  for (;;) {
+    const int n = Getdirentries(fd, buf, sizeof(buf), &base);
+    if (n < 0) {
+      Close(fd);
+      return n;
+    }
+    if (n == 0) {
+      break;
+    }
+    for (const Dirent& d : DecodeDirents(buf, static_cast<size_t>(n))) {
+      names->push_back(d.d_name);
+    }
+  }
+  Close(fd);
+  return 0;
+}
+
+int ProcessContext::Getwd(std::string* out) {
+  // Classic getwd(3): climb toward "/" matching inode numbers in each parent.
+  std::string prefix;  // grows "../", "../../", ...
+  std::vector<std::string> parts;
+  for (int depth = 0; depth < 64; ++depth) {
+    ia::Stat cur;
+    int err = Stat(prefix.empty() ? "." : prefix, &cur);
+    if (err < 0) {
+      return err;
+    }
+    ia::Stat up;
+    const std::string up_path = prefix + "..";
+    err = Stat(up_path, &up);
+    if (err < 0) {
+      return err;
+    }
+    if (up.st_ino == cur.st_ino && up.st_dev == cur.st_dev) {
+      break;  // reached "/"
+    }
+    std::vector<std::string> names;
+    err = ListDirectory(up_path, &names);
+    if (err < 0) {
+      return err;
+    }
+    bool found = false;
+    for (const std::string& name : names) {
+      if (name == "." || name == "..") {
+        continue;
+      }
+      ia::Stat st;
+      if (Lstat(up_path + "/" + name, &st) == 0 && st.st_ino == cur.st_ino) {
+        parts.push_back(name);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return -kENoent;
+    }
+    prefix += "../";
+  }
+  out->clear();
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    *out += "/";
+    *out += *it;
+  }
+  if (out->empty()) {
+    *out = "/";
+  }
+  return 0;
+}
+
+int ProcessContext::Spawn(const std::string& path, const std::vector<std::string>& argv_in,
+                          int* status) {
+  const Pid child = Fork([path, argv_in](ProcessContext& child_ctx) -> int {
+    const int err = child_ctx.Execve(path, argv_in);
+    child_ctx.WriteString(2, StringPrintf("exec %s: %s\n", path.c_str(),
+                                          std::string(ErrnoName(err)).c_str()));
+    return 127;
+  });
+  if (child < 0) {
+    return child;
+  }
+  const Pid got = Wait4(child, status, 0, nullptr);
+  return got < 0 ? static_cast<int>(got) : 0;
+}
+
+}  // namespace ia

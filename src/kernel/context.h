@@ -1,0 +1,200 @@
+// ProcessContext — the user-mode runtime of a simulated process.
+//
+// It is simultaneously:
+//   * the trap path: Syscall() routes a call through the process's emulation stack
+//     (interposition agents) and finally into the kernel;
+//   * the "libc": typed convenience wrappers over the raw system-call interface;
+//   * the upcall path: incoming signals are routed through interested agents and
+//     then to the application's registered handler or default action.
+//
+// Application programs receive a ProcessContext& as their only capability, exactly
+// as a 4.3BSD binary's only capability is the system-call interface.
+#ifndef SRC_KERNEL_CONTEXT_H_
+#define SRC_KERNEL_CONTEXT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/kernel/process.h"
+
+namespace ia {
+
+class Kernel;
+
+// Thrown to unwind a process thread back to its image trampoline.
+struct ExecveUnwind {};
+struct ExitUnwind {
+  int wait_status = 0;
+};
+
+class ProcessContext {
+ public:
+  ProcessContext(Kernel* kernel, Process* proc) : kernel_(kernel), proc_(proc) {}
+
+  ProcessContext(const ProcessContext&) = delete;
+  ProcessContext& operator=(const ProcessContext&) = delete;
+
+  Kernel& kernel() { return *kernel_; }
+  Process& process() { return *proc_; }
+  const std::vector<std::string>& argv() const { return proc_->argv; }
+
+  // ---------------------------------------------------------------------------
+  // Raw system-call path.
+  // ---------------------------------------------------------------------------
+
+  // Application-level system call: enters the emulation stack from the top. At the
+  // outermost nesting level, pending execs and signals are processed on return
+  // (the "return to user mode" boundary).
+  SyscallStatus Syscall(int number, const SyscallArgs& args, SyscallResult* rv);
+
+  // Continues an intercepted call below `frame` (htg_unix_syscall() equivalent).
+  SyscallStatus SyscallBelow(int frame, int number, const SyscallArgs& args, SyscallResult* rv);
+
+  // Calls directly into the kernel, bypassing all emulation frames.
+  SyscallStatus TrapKernel(int number, const SyscallArgs& args, SyscallResult* rv);
+
+  // ---------------------------------------------------------------------------
+  // Interception primitives (task_set_emulation() equivalents).
+  // ---------------------------------------------------------------------------
+
+  // Pushes an emulation frame; returns its index. The topmost frame is closest to
+  // the application.
+  int PushEmulation(EmulationFrame frame) { return proc_->emulation.Push(std::move(frame)); }
+
+  EmulationStack& emulation() { return proc_->emulation; }
+
+  // ---------------------------------------------------------------------------
+  // Signal upcall path.
+  // ---------------------------------------------------------------------------
+
+  // Routes `signo` starting at the lowest interested frame; called by the kernel's
+  // delivery point. Agents continue routing with ForwardSignal().
+  void RouteSignal(int signo);
+
+  // Forwards a signal from `frame` toward the application.
+  void ForwardSignal(int frame, int signo);
+
+  // Runs the application's own disposition for `signo` (handler/default).
+  void DeliverToApplication(int signo);
+
+  // Processes all deliverable pending signals now (a delivery point).
+  void CheckPendingSignals();
+
+  // ---------------------------------------------------------------------------
+  // Typed system-call wrappers (the "libc"). All return >= 0 or negative errno.
+  // ---------------------------------------------------------------------------
+  int Open(const std::string& path, int flags, Mode mode = 0644);
+  int Close(int fd);
+  int64_t Read(int fd, void* buf, int64_t count);
+  int64_t Write(int fd, const void* buf, int64_t count);
+  int64_t Readv(int fd, const IoVec* iov, int iovcnt);
+  int64_t Writev(int fd, const IoVec* iov, int iovcnt);
+  int64_t Lseek(int fd, Off offset, int whence);
+  int Stat(const std::string& path, ia::Stat* st);
+  int Lstat(const std::string& path, ia::Stat* st);
+  int Fstat(int fd, ia::Stat* st);
+  int Link(const std::string& existing, const std::string& new_path);
+  int Unlink(const std::string& path);
+  int Symlink(const std::string& target, const std::string& link_path);
+  int Readlink(const std::string& path, char* buf, int64_t bufsize);
+  int Rename(const std::string& from, const std::string& to);
+  int Mkdir(const std::string& path, Mode mode = 0755);
+  int Rmdir(const std::string& path);
+  int Chdir(const std::string& path);
+  int Fchdir(int fd);
+  int Chroot(const std::string& path);
+  int Chmod(const std::string& path, Mode mode);
+  int Fchmod(int fd, Mode mode);
+  int Chown(const std::string& path, Uid uid, Gid gid);
+  int Fchown(int fd, Uid uid, Gid gid);
+  int Access(const std::string& path, int amode);
+  int Utimes(const std::string& path, const TimeVal* times);
+  int Truncate(const std::string& path, Off length);
+  int Ftruncate(int fd, Off length);
+  Mode Umask(Mode mask);
+  int Dup(int fd);
+  int Dup2(int from, int to);
+  int Pipe(int fds_out[2]);
+  int Fcntl(int fd, int cmd, int64_t arg);
+  int Flock(int fd, int operation);
+  int Fsync(int fd);
+  int Sync();
+  int Ioctl(int fd, uint64_t request, void* argp);
+  int Getdirentries(int fd, char* buf, int nbytes, int64_t* basep);
+
+  Pid Getpid();
+  Pid Getppid();
+  Uid Getuid();
+  Uid Geteuid();
+  Gid Getgid();
+  Gid Getegid();
+  int Setuid(Uid uid);
+  int Getgroups(int gidsetlen, Gid* gidset);
+  int Setgroups(int ngroups, const Gid* gidset);
+  Pid Getpgrp();
+  int Setpgrp(Pid pid, Pid pgrp);
+  int Getlogin(char* buf, int len);
+  int Setlogin(const std::string& name);
+  int Gethostname(char* buf, int len);
+  int Sethostname(const std::string& name);
+  int Getdtablesize();
+  int Getpagesize();
+
+  int Kill(Pid pid, int signo);
+  int Killpg(Pid pgrp, int signo);
+  // Registers a handler closure; disposition kSigDfl/kSigIgn use no closure.
+  int Sigvec(int signo, uintptr_t disposition, std::function<void(ProcessContext&, int)> handler,
+             uint32_t handler_mask = 0);
+  uint32_t Sigblock(uint32_t mask);
+  uint32_t Sigsetmask(uint32_t mask);
+  int Sigpause(uint32_t mask);
+
+  int Gettimeofday(TimeVal* tp, TimeZone* tzp);
+  int Settimeofday(const TimeVal* tp, const TimeZone* tzp);
+  int Getrusage(int who, Rusage* usage);
+
+  // fork(): performs 4.3BSD bookkeeping; `child_body` is the child's continuation
+  // ("the code after fork() returned 0"). Returns child pid (in the parent).
+  Pid Fork(std::function<int(ProcessContext&)> child_body);
+  int Execve(const std::string& path, const std::vector<std::string>& argv_in);
+  Pid Wait(int* status);
+  Pid Wait4(Pid pid, int* status, int options, Rusage* usage);
+  [[noreturn]] void Exit(int code);
+
+  // Consumes virtual CPU time (models application "real work" deterministically).
+  void Compute(int64_t micros);
+
+  // ---------------------------------------------------------------------------
+  // Higher-level conveniences built purely on the syscalls above.
+  // ---------------------------------------------------------------------------
+  int WriteString(int fd, const std::string& text);
+  // Reads the whole file; returns errno<0 on failure.
+  int ReadWholeFile(const std::string& path, std::string* out);
+  int WriteWholeFile(const std::string& path, const std::string& contents, Mode mode = 0644);
+  // Classic getwd(3): walks ".." entries using only stat/getdirentries syscalls.
+  int Getwd(std::string* out);
+  // Reads all directory entry names via getdirentries.
+  int ListDirectory(const std::string& path, std::vector<std::string>* names);
+  // fork + execve + wait4 (the system(3) shape used by make-style workloads).
+  int Spawn(const std::string& path, const std::vector<std::string>& argv_in, int* status);
+
+  // Runs the process's image trampoline; called on the process's host thread.
+  void RunToCompletion();
+
+  // --- internals shared with the kernel ----------------------------------------
+  int syscall_depth() const { return syscall_depth_; }
+
+ private:
+  void ProcessBoundary();  // return-to-user-mode work: pending exec, signals
+  [[noreturn]] void TerminateBySignal(int signo);
+
+  Kernel* kernel_;
+  Process* proc_;
+  int syscall_depth_ = 0;
+  int signal_depth_ = 0;
+};
+
+}  // namespace ia
+
+#endif  // SRC_KERNEL_CONTEXT_H_

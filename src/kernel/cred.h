@@ -1,0 +1,59 @@
+// Process credentials and permission checking (4.3BSD uid/gid/groups model).
+#ifndef SRC_KERNEL_CRED_H_
+#define SRC_KERNEL_CRED_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "src/kernel/types.h"
+
+namespace ia {
+
+struct Cred {
+  Uid ruid = 0;  // real uid
+  Uid euid = 0;  // effective uid
+  Gid rgid = 0;
+  Gid egid = 0;
+  std::vector<Gid> groups;
+
+  bool IsSuperuser() const { return euid == 0; }
+
+  bool InGroup(Gid g) const {
+    return egid == g || std::find(groups.begin(), groups.end(), g) != groups.end();
+  }
+};
+
+// Checks `want` (a combination of kROk/kWOk/kXOk) against an inode's owner, group,
+// and mode bits. The superuser passes everything except execute on objects with no
+// execute bit at all, as in 4.3BSD.
+inline bool CredPermits(const Cred& cred, Uid owner, Gid group, Mode mode, int want) {
+  if (cred.IsSuperuser()) {
+    if ((want & kXOk) != 0 && (mode & (kSIxusr | kSIxgrp | kSIxoth)) == 0) {
+      return false;
+    }
+    return true;
+  }
+  int shift;
+  if (cred.euid == owner) {
+    shift = 6;
+  } else if (cred.InGroup(group)) {
+    shift = 3;
+  } else {
+    shift = 0;
+  }
+  const Mode bits = (mode >> shift) & 07;
+  if ((want & kROk) != 0 && (bits & 04) == 0) {
+    return false;
+  }
+  if ((want & kWOk) != 0 && (bits & 02) == 0) {
+    return false;
+  }
+  if ((want & kXOk) != 0 && (bits & 01) == 0) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ia
+
+#endif  // SRC_KERNEL_CRED_H_

@@ -1,0 +1,51 @@
+#include "src/kernel/devices.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ia {
+
+int64_t NullDevice::Read(char* /*buf*/, int64_t /*count*/, Off /*offset*/) { return 0; }
+int64_t NullDevice::Write(const char* /*buf*/, int64_t count, Off /*offset*/) { return count; }
+
+int64_t ZeroDevice::Read(char* buf, int64_t count, Off /*offset*/) {
+  std::memset(buf, 0, static_cast<size_t>(count));
+  return count;
+}
+int64_t ZeroDevice::Write(const char* /*buf*/, int64_t count, Off /*offset*/) { return count; }
+
+int64_t ConsoleDevice::Read(char* buf, int64_t count, Off /*offset*/) {
+  const int64_t n = std::min<int64_t>(count, static_cast<int64_t>(input_.size()));
+  std::memcpy(buf, input_.data(), static_cast<size_t>(n));
+  input_.erase(0, static_cast<size_t>(n));
+  return n;  // 0 == EOF when the queue is drained, like a closed tty
+}
+
+int64_t ConsoleDevice::Write(const char* buf, int64_t count, Off /*offset*/) {
+  transcript_.append(buf, static_cast<size_t>(count));
+  if (echo_to_host_) {
+    std::fwrite(buf, 1, static_cast<size_t>(count), stdout);
+    std::fflush(stdout);
+  }
+  return count;
+}
+
+int ConsoleDevice::Ioctl(uint64_t request, void* argp) {
+  if (request == kTiocGwinsz && argp != nullptr) {
+    auto* dims = static_cast<uint16_t*>(argp);
+    dims[0] = 24;  // rows
+    dims[1] = 80;  // cols
+    return 0;
+  }
+  return -kENotty;
+}
+
+int64_t RandomDevice::Read(char* buf, int64_t count, Off /*offset*/) {
+  for (int64_t i = 0; i < count; ++i) {
+    buf[i] = static_cast<char>(prng_.Next() & 0xff);
+  }
+  return count;
+}
+int64_t RandomDevice::Write(const char* /*buf*/, int64_t count, Off /*offset*/) { return count; }
+
+}  // namespace ia

@@ -1,0 +1,60 @@
+// Standard character devices: /dev/null, /dev/zero, /dev/tty, /dev/random.
+#ifndef SRC_KERNEL_DEVICES_H_
+#define SRC_KERNEL_DEVICES_H_
+
+#include <string>
+
+#include "src/base/prng.h"
+#include "src/kernel/vfs.h"
+
+namespace ia {
+
+class NullDevice final : public Device {
+ public:
+  int64_t Read(char* buf, int64_t count, Off offset) override;
+  int64_t Write(const char* buf, int64_t count, Off offset) override;
+  Dev rdev() const override { return 0x0203; }
+};
+
+class ZeroDevice final : public Device {
+ public:
+  int64_t Read(char* buf, int64_t count, Off offset) override;
+  int64_t Write(const char* buf, int64_t count, Off offset) override;
+  Dev rdev() const override { return 0x020c; }
+};
+
+// The console: writes accumulate in an internal transcript (tests read it back);
+// optionally echoed to the host's stdout. Reads consume from a settable input queue.
+class ConsoleDevice final : public Device {
+ public:
+  int64_t Read(char* buf, int64_t count, Off offset) override;
+  int64_t Write(const char* buf, int64_t count, Off offset) override;
+  int Ioctl(uint64_t request, void* argp) override;
+  Dev rdev() const override { return 0x0100; }
+
+  void set_echo_to_host(bool echo) { echo_to_host_ = echo; }
+  void QueueInput(std::string_view text) { input_.append(text); }
+  const std::string& transcript() const { return transcript_; }
+  void ClearTranscript() { transcript_.clear(); }
+
+ private:
+  std::string transcript_;
+  std::string input_;
+  bool echo_to_host_ = false;
+};
+
+// Deterministic random device.
+class RandomDevice final : public Device {
+ public:
+  explicit RandomDevice(uint64_t seed = 0xdecafbadULL) : prng_(seed) {}
+  int64_t Read(char* buf, int64_t count, Off offset) override;
+  int64_t Write(const char* buf, int64_t count, Off offset) override;
+  Dev rdev() const override { return 0x0f00; }
+
+ private:
+  Prng prng_;
+};
+
+}  // namespace ia
+
+#endif  // SRC_KERNEL_DEVICES_H_

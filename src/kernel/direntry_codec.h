@@ -1,0 +1,70 @@
+// Packing and unpacking of 4.3BSD `struct direct` records as returned by
+// getdirentries(2): u32 ino, u16 reclen, u16 namlen, name bytes, NUL, padded so
+// every record starts on a 4-byte boundary.
+#ifndef SRC_KERNEL_DIRENTRY_CODEC_H_
+#define SRC_KERNEL_DIRENTRY_CODEC_H_
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/kernel/types.h"
+
+namespace ia {
+
+inline constexpr size_t kDirentHeaderSize = 8;  // ino(4) + reclen(2) + namlen(2)
+
+// Record length for a name: header + name + NUL, rounded up to 4 bytes.
+inline size_t DirentRecordLength(size_t name_length) {
+  return (kDirentHeaderSize + name_length + 1 + 3) & ~size_t{3};
+}
+
+// Appends one record to `buf` if it fits in `capacity`; returns true on success.
+inline bool EncodeDirent(Ino ino, const std::string& name, char* buf, size_t capacity,
+                         size_t* used) {
+  const size_t reclen = DirentRecordLength(name.size());
+  if (*used + reclen > capacity) {
+    return false;
+  }
+  char* p = buf + *used;
+  const uint32_t ino32 = static_cast<uint32_t>(ino);
+  const uint16_t reclen16 = static_cast<uint16_t>(reclen);
+  const uint16_t namlen16 = static_cast<uint16_t>(name.size());
+  std::memcpy(p, &ino32, 4);
+  std::memcpy(p + 4, &reclen16, 2);
+  std::memcpy(p + 6, &namlen16, 2);
+  std::memcpy(p + 8, name.data(), name.size());
+  std::memset(p + 8 + name.size(), 0, reclen - 8 - name.size());
+  *used += reclen;
+  return true;
+}
+
+// Decodes all records in buf[0..len); malformed tails are ignored.
+inline std::vector<Dirent> DecodeDirents(const char* buf, size_t len) {
+  std::vector<Dirent> out;
+  size_t pos = 0;
+  while (pos + kDirentHeaderSize <= len) {
+    uint32_t ino32 = 0;
+    uint16_t reclen = 0;
+    uint16_t namlen = 0;
+    std::memcpy(&ino32, buf + pos, 4);
+    std::memcpy(&reclen, buf + pos + 4, 2);
+    std::memcpy(&namlen, buf + pos + 6, 2);
+    if (reclen < kDirentHeaderSize || pos + reclen > len ||
+        kDirentHeaderSize + namlen > reclen) {
+      break;
+    }
+    Dirent d;
+    d.d_ino = ino32;
+    d.d_reclen = reclen;
+    d.d_namlen = namlen;
+    d.d_name.assign(buf + pos + kDirentHeaderSize, namlen);
+    out.push_back(std::move(d));
+    pos += reclen;
+  }
+  return out;
+}
+
+}  // namespace ia
+
+#endif  // SRC_KERNEL_DIRENTRY_CODEC_H_

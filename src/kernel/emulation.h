@@ -1,0 +1,92 @@
+// The kernel's system-call interception primitive — the Mach 2.5
+// task_set_emulation() equivalent.
+//
+// Each process carries an *emulation stack* of frames. A frame names a handler and
+// the set of syscall numbers and signals it has registered interest in. Application
+// system calls enter at the top of the stack (the frame closest to the application)
+// and are delivered to the first interested frame; a handler continues the call
+// downward with ProcessContext::SyscallBelow() (the htg_unix_syscall() equivalent).
+// Signals travel the other way: the kernel delivers to the bottom-most interested
+// frame, which forwards upward with ProcessContext::ForwardSignal() until the
+// application's own handler (or default action) runs.
+#ifndef SRC_KERNEL_EMULATION_H_
+#define SRC_KERNEL_EMULATION_H_
+
+#include <bitset>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/kernel/types.h"
+
+namespace ia {
+
+class ProcessContext;
+
+// Implemented by interposition code (the toolkit's boilerplate layer).
+class SyscallHandler {
+ public:
+  virtual ~SyscallHandler() = default;
+
+  // Handles an intercepted syscall. `frame` identifies this handler's position so it
+  // can continue the call downward via ctx.SyscallBelow(frame, ...). Returns the
+  // syscall status (negative errno or >= 0).
+  virtual SyscallStatus HandleSyscall(ProcessContext& ctx, int frame, int number,
+                                      const SyscallArgs& args, SyscallResult* rv) = 0;
+
+  // Handles an intercepted incoming signal. Forward upward (toward the application)
+  // with ctx.ForwardSignal(frame, signo) to preserve delivery.
+  virtual void HandleSignal(ProcessContext& ctx, int frame, int signo) = 0;
+};
+
+struct EmulationFrame {
+  std::shared_ptr<SyscallHandler> handler;
+  std::bitset<kMaxSyscall> syscall_interest;
+  uint32_t signal_interest = 0;
+  uint64_t cookie = 0;  // opaque tag for the owner (interpose layer uses it)
+};
+
+// The per-process emulation state. Frame index 0 is closest to the kernel; the
+// highest index is closest to the application.
+class EmulationStack {
+ public:
+  // Pushes a frame on top (closest to the application). Returns its index.
+  int Push(EmulationFrame frame) {
+    frames_.push_back(std::move(frame));
+    return static_cast<int>(frames_.size()) - 1;
+  }
+
+  void Clear() { frames_.clear(); }
+  bool Empty() const { return frames_.empty(); }
+  int Depth() const { return static_cast<int>(frames_.size()); }
+
+  EmulationFrame& At(int index) { return frames_[static_cast<size_t>(index)]; }
+  const EmulationFrame& At(int index) const { return frames_[static_cast<size_t>(index)]; }
+
+  // Highest interested frame strictly below `from_frame` for `number`, or -1.
+  int NextInterestedBelow(int from_frame, int number) const {
+    for (int i = from_frame - 1; i >= 0; --i) {
+      if (frames_[static_cast<size_t>(i)].syscall_interest.test(static_cast<size_t>(number))) {
+        return i;
+      }
+    }
+    return -1;
+  }
+
+  // Lowest interested frame strictly above `from_frame` for `signo`, or -1.
+  int NextSignalInterestAbove(int from_frame, int signo) const {
+    for (int i = from_frame + 1; i < Depth(); ++i) {
+      if ((frames_[static_cast<size_t>(i)].signal_interest & SigMask(signo)) != 0) {
+        return i;
+      }
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<EmulationFrame> frames_;
+};
+
+}  // namespace ia
+
+#endif  // SRC_KERNEL_EMULATION_H_

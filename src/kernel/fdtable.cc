@@ -1,0 +1,100 @@
+#include "src/kernel/fdtable.h"
+
+namespace ia {
+
+OpenFile::~OpenFile() {
+  if (flock_mode != 0 && inode != nullptr) {
+    if (flock_mode == kLockEx) {
+      inode->flock_exclusive = false;
+    } else {
+      inode->flock_shared -= 1;
+    }
+  }
+  if (pipe != nullptr) {
+    if (pipe_write_end) {
+      pipe->writers -= 1;
+    } else {
+      pipe->readers -= 1;
+    }
+  }
+}
+
+OpenFileRef MakePipeEnd(std::shared_ptr<Pipe> pipe, bool write_end) {
+  auto file = std::make_shared<OpenFile>();
+  file->pipe = std::move(pipe);
+  file->pipe_write_end = write_end;
+  file->flags = write_end ? kOWronly : kORdonly;
+  if (write_end) {
+    file->pipe->writers += 1;
+  } else {
+    file->pipe->readers += 1;
+  }
+  return file;
+}
+
+int FdTable::AllocateSlot(int from) {
+  if (from < 0) {
+    return -kEInval;
+  }
+  for (int fd = from; fd < kMaxFilesPerProcess; ++fd) {
+    if (!slots_[fd].InUse()) {
+      return fd;
+    }
+  }
+  return -kEMfile;
+}
+
+int FdTable::Close(int fd) {
+  if (!Valid(fd)) {
+    return -kEBadf;
+  }
+  slots_[fd].file.reset();
+  slots_[fd].close_on_exec = false;
+  return 0;
+}
+
+int FdTable::Dup2(int from, int to) {
+  if (!Valid(from) || to < 0 || to >= kMaxFilesPerProcess) {
+    return -kEBadf;
+  }
+  if (from == to) {
+    return to;
+  }
+  slots_[to].file = slots_[from].file;
+  slots_[to].close_on_exec = false;
+  return to;
+}
+
+void FdTable::CloseOnExec() {
+  for (FdEntry& slot : slots_) {
+    if (slot.InUse() && slot.close_on_exec) {
+      slot.file.reset();
+      slot.close_on_exec = false;
+    }
+  }
+}
+
+void FdTable::CloseAll() {
+  for (FdEntry& slot : slots_) {
+    slot.file.reset();
+    slot.close_on_exec = false;
+  }
+}
+
+FdTable FdTable::Clone() const {
+  FdTable copy;
+  copy.slots_ = slots_;
+  return copy;
+}
+
+int FdTable::OpenCount() const {
+  int count = 0;
+  for (const FdEntry& slot : slots_) {
+    if (slot.InUse()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace ia

@@ -1,0 +1,97 @@
+// Open-file objects and per-process descriptor tables.
+//
+// Matches 4.3BSD structure: a descriptor slot points at a shared "struct file"
+// (OpenFile here) carrying the offset and flags; dup() and fork() share OpenFiles,
+// so offsets move together. Pipe end lifetimes are tracked at OpenFile granularity.
+#ifndef SRC_KERNEL_FDTABLE_H_
+#define SRC_KERNEL_FDTABLE_H_
+
+#include <array>
+#include <memory>
+
+#include "src/kernel/pipe.h"
+#include "src/kernel/vfs.h"
+
+namespace ia {
+
+class OpenFile {
+ public:
+  OpenFile() = default;
+  ~OpenFile();
+
+  OpenFile(const OpenFile&) = delete;
+  OpenFile& operator=(const OpenFile&) = delete;
+
+  InodeRef inode;               // null for anonymous pipe ends
+  std::shared_ptr<Pipe> pipe;   // set for pipes and opened fifos
+  bool pipe_write_end = false;  // which end of `pipe` this file is
+  int flags = 0;                // accmode | kOAppend | kONonblock
+  Off offset = 0;
+  int flock_mode = 0;           // kLockSh or kLockEx while held via this file
+
+  bool CanRead() const { return (flags & kOAccmode) != kOWronly; }
+  bool CanWrite() const { return (flags & kOAccmode) != kORdonly; }
+  bool IsPipe() const { return pipe != nullptr; }
+};
+
+using OpenFileRef = std::shared_ptr<OpenFile>;
+
+// Creates an OpenFile for a pipe end, registering it with the pipe.
+OpenFileRef MakePipeEnd(std::shared_ptr<Pipe> pipe, bool write_end);
+
+struct FdEntry {
+  OpenFileRef file;
+  bool close_on_exec = false;
+
+  bool InUse() const { return file != nullptr; }
+};
+
+class FdTable {
+ public:
+  // Returns the lowest free descriptor >= `from`, or -kEMfile.
+  int AllocateSlot(int from = 0);
+
+  bool Valid(int fd) const { return fd >= 0 && fd < kMaxFilesPerProcess && slots_[fd].InUse(); }
+
+  OpenFileRef Get(int fd) const {
+    if (fd < 0 || fd >= kMaxFilesPerProcess) {
+      return nullptr;
+    }
+    return slots_[fd].file;
+  }
+
+  FdEntry* Entry(int fd) {
+    if (fd < 0 || fd >= kMaxFilesPerProcess) {
+      return nullptr;
+    }
+    return &slots_[fd];
+  }
+
+  void Set(int fd, OpenFileRef file, bool close_on_exec = false) {
+    slots_[fd].file = std::move(file);
+    slots_[fd].close_on_exec = close_on_exec;
+  }
+
+  // Closes `fd`; returns 0 or -kEBadf.
+  int Close(int fd);
+
+  // dup2 semantics: closes `to` if open, then points it at `from`'s file.
+  int Dup2(int from, int to);
+
+  // Drops every close-on-exec descriptor (execve path).
+  void CloseOnExec();
+
+  void CloseAll();
+
+  // fork(): child shares OpenFiles.
+  FdTable Clone() const;
+
+  int OpenCount() const;
+
+ private:
+  std::array<FdEntry, kMaxFilesPerProcess> slots_;
+};
+
+}  // namespace ia
+
+#endif  // SRC_KERNEL_FDTABLE_H_

@@ -1,0 +1,1857 @@
+#include "src/kernel/kernel.h"
+
+#include <cstring>
+
+#include "src/base/strings.h"
+#include "src/kernel/direntry_codec.h"
+
+namespace ia {
+namespace {
+
+// Adds `micros` to a TimeVal, normalizing the usec field.
+void AddMicros(TimeVal* tv, int64_t micros) {
+  tv->tv_usec += micros;
+  tv->tv_sec += tv->tv_usec / 1000000;
+  tv->tv_usec %= 1000000;
+}
+
+// Default virtual-time costs (µsec) for the deterministic clock, approximating the
+// no-agent column of paper Table 3-5.
+struct DefaultCost {
+  int number;
+  int32_t micros;
+};
+
+constexpr DefaultCost kDefaultCosts[] = {
+    {kSysGetpid, 25},   {kSysGettimeofday, 47}, {kSysFstat, 90},   {kSysRead, 370},
+    {kSysWrite, 370},   {kSysStat, 892},        {kSysLstat, 892},  {kSysOpen, 900},
+    {kSysClose, 60},    {kSysFork, 3500},       {kSysWait4, 2500}, {kSysExit, 2000},
+    {kSysExecve, 9000}, {kSysGetdirentries, 300},
+};
+
+constexpr int32_t kDefaultSyscallCost = 150;
+
+}  // namespace
+
+Kernel::Kernel(const KernelConfig& config) {
+  compute_spin_scale_ = config.compute_spin_scale;
+  clock_.Set(config.epoch_seconds * 1000000);
+  fs_.set_now(config.epoch_seconds);
+  console_.set_echo_to_host(config.console_echo_to_host);
+
+  for (int i = 0; i < kMaxSyscall; ++i) {
+    syscall_cost_[i] = kDefaultSyscallCost;
+  }
+  for (const DefaultCost& cost : kDefaultCosts) {
+    syscall_cost_[cost.number] = cost.micros;
+  }
+
+  fs_.MkdirAll("/dev");
+  fs_.MkdirAll("/tmp", 01777);
+  fs_.MkdirAll("/usr/bin");
+  fs_.MkdirAll("/usr/lib");
+  fs_.MkdirAll("/usr/tmp", 01777);
+  fs_.MkdirAll("/bin");
+  fs_.MkdirAll("/etc");
+  fs_.MkdirAll("/home");
+  fs_.InstallDeviceNode("/dev/null", &null_dev_, 0666);
+  fs_.InstallDeviceNode("/dev/zero", &zero_dev_, 0666);
+  fs_.InstallDeviceNode("/dev/tty", &console_, 0666);
+  fs_.InstallDeviceNode("/dev/console", &console_, 0600);
+  fs_.InstallDeviceNode("/dev/random", &random_dev_, 0444);
+  fs_.InstallFile("/etc/motd", "4.3 BSD UNIX (simulated) #1: Fri Jan 1 00:00:00 PST 1993\n");
+  fs_.InstallFile("/etc/passwd", "root:*:0:0:Charlie &:/:/bin/csh\n");
+}
+
+Kernel::~Kernel() { Shutdown(); }
+
+void Kernel::SetSyscallCost(int number, int32_t micros) {
+  if (number >= 0 && number < kMaxSyscall) {
+    syscall_cost_[number] = micros;
+  }
+}
+
+int32_t Kernel::SyscallCost(int number) const {
+  if (number < 0 || number >= kMaxSyscall) {
+    return kDefaultSyscallCost;
+  }
+  return syscall_cost_[number];
+}
+
+void Kernel::InstallProgram(const std::string& path, const std::string& image, ProgramMain main,
+                            Mode mode) {
+  programs_.Register(image, std::move(main));
+  InodeRef file = fs_.InstallFile(path, StringPrintf("\177IMG %s\n", image.c_str()), mode);
+  if (file != nullptr) {
+    file->exec_image = image;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Host-side process control.
+// ---------------------------------------------------------------------------
+
+Process& Kernel::CreateProcessLocked(Pid ppid) {
+  const Pid pid = next_pid_++;
+  auto proc = std::make_shared<Process>(pid, ppid);
+  proc->context = std::make_unique<ProcessContext>(this, proc.get());
+  table_[pid] = proc;
+  return *proc;
+}
+
+void Kernel::StartProcessThreadLocked(const ProcessRef& proc) {
+  proc->state = ProcState::kRunning;
+  threads_[proc->pid] = std::thread([proc] { proc->context->RunToCompletion(); });
+}
+
+Pid Kernel::Spawn(const SpawnOptions& options) {
+  Lock lk(mu_);
+  if (shutting_down_) {
+    return -kEAgain;
+  }
+  Process& proc = CreateProcessLocked(0);
+  proc.host_owned = true;
+  proc.pgrp = proc.pid;
+  proc.cred.ruid = proc.cred.euid = options.uid;
+  proc.cred.rgid = proc.cred.egid = options.gid;
+  proc.root = fs_.root();
+
+  NameiEnv env{fs_.root(), fs_.root(), &proc.cred};
+  NameiResult nr;
+  if (fs_.Namei(env, options.cwd, NameiOp::kLookup, /*follow_final=*/true, &nr) == 0 &&
+      nr.inode->IsDirectory()) {
+    proc.cwd = nr.inode;
+  } else {
+    proc.cwd = fs_.root();
+  }
+
+  if (options.open_console_stdio) {
+    NameiResult tty;
+    if (fs_.Namei(env, "/dev/tty", NameiOp::kLookup, true, &tty) == 0) {
+      for (int fd = 0; fd <= 2; ++fd) {
+        auto file = std::make_shared<OpenFile>();
+        file->inode = tty.inode;
+        file->flags = fd == 0 ? kORdonly : kOWronly;
+        proc.fds.Set(fd, file);
+      }
+    }
+  }
+
+  if (options.body != nullptr) {
+    proc.pending_exec.main = options.body;
+    proc.pending_exec.argv = options.argv;
+    proc.pending_exec.image_name = "<host-body>";
+    proc.pending_exec.path = options.path;
+    proc.pending_exec.valid = true;
+  } else {
+    proc.exec_argv_staging = options.argv;
+    PendingExec pending;
+    const int err = ResolveExecutableLocked(proc, options.path, &pending);
+    if (err != 0) {
+      table_.erase(proc.pid);
+      return err;
+    }
+    proc.pending_exec = std::move(pending);
+  }
+
+  StartProcessThreadLocked(table_[proc.pid]);
+  return proc.pid;
+}
+
+ProcessRef Kernel::FindLocked(Pid pid) {
+  auto it = table_.find(pid);
+  return it == table_.end() ? nullptr : it->second;
+}
+
+int Kernel::ReapLocked(Pid pid, Lock& lk, Rusage* child_usage) {
+  ProcessRef proc = FindLocked(pid);
+  if (proc == nullptr || proc->state != ProcState::kZombie) {
+    return -kESrch;
+  }
+  const int status = proc->exit_status;
+  if (child_usage != nullptr) {
+    *child_usage = proc->rusage;
+  }
+  std::thread thread;
+  auto tit = threads_.find(pid);
+  if (tit != threads_.end()) {
+    thread = std::move(tit->second);
+    threads_.erase(tit);
+  }
+  table_.erase(pid);
+  lk.unlock();
+  if (thread.joinable()) {
+    thread.join();
+  }
+  lk.lock();
+  return status;
+}
+
+void Kernel::ReapHostOrphansLocked(Lock& lk) {
+  for (;;) {
+    Pid victim = 0;
+    for (const auto& [pid, proc] : table_) {
+      if (proc->state == ProcState::kZombie && proc->ppid == 0 && !proc->host_owned) {
+        victim = pid;
+        break;
+      }
+    }
+    if (victim == 0) {
+      return;
+    }
+    ReapLocked(victim, lk, nullptr);
+  }
+}
+
+int Kernel::HostWaitPid(Pid pid) {
+  Lock lk(mu_);
+  for (;;) {
+    ReapHostOrphansLocked(lk);
+    ProcessRef proc = FindLocked(pid);
+    if (proc == nullptr) {
+      return -kESrch;
+    }
+    if (proc->state == ProcState::kZombie) {
+      return ReapLocked(pid, lk, nullptr);
+    }
+    cv_.wait(lk);
+  }
+}
+
+void Kernel::Shutdown() {
+  Lock lk(mu_);
+  shutting_down_ = true;
+  for (const auto& [pid, proc] : table_) {
+    if (proc->state != ProcState::kZombie) {
+      PostSignalLocked(*proc, kSigKill);
+    }
+  }
+  cv_.notify_all();
+  while (!table_.empty()) {
+    Pid victim = 0;
+    for (const auto& [pid, proc] : table_) {
+      if (proc->state == ProcState::kZombie) {
+        victim = pid;
+        break;
+      }
+    }
+    if (victim != 0) {
+      ReapLocked(victim, lk, nullptr);
+      continue;
+    }
+    cv_.wait(lk);
+  }
+}
+
+int Kernel::LiveProcessCount() {
+  Lock lk(mu_);
+  int count = 0;
+  for (const auto& [pid, proc] : table_) {
+    if (proc->state != ProcState::kZombie) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int64_t Kernel::TotalSyscallCount() {
+  Lock lk(mu_);
+  return total_syscalls_;
+}
+
+std::vector<Pid> Kernel::Pids() {
+  Lock lk(mu_);
+  std::vector<Pid> pids;
+  pids.reserve(table_.size());
+  for (const auto& [pid, proc] : table_) {
+    pids.push_back(pid);
+  }
+  return pids;
+}
+
+// ---------------------------------------------------------------------------
+// Signal support.
+// ---------------------------------------------------------------------------
+
+void Kernel::PostSignalLocked(Process& target, int signo) {
+  if (target.state == ProcState::kZombie) {
+    return;
+  }
+  if (signo == kSigCont) {
+    target.sig_pending &=
+        ~(SigMask(kSigStop) | SigMask(kSigTstp) | SigMask(kSigTtin) | SigMask(kSigTtou));
+    target.sigcont_pending = true;
+  }
+  if (signo == kSigStop || signo == kSigTstp || signo == kSigTtin || signo == kSigTtou) {
+    target.sig_pending &= ~SigMask(kSigCont);
+  }
+  target.sig_pending |= SigMask(signo);
+  target.rusage.ru_nsignals += 1;
+  cv_.notify_all();
+}
+
+int Kernel::KillOneLocked(Process& sender, Process& target, int signo) {
+  const bool permitted = sender.cred.IsSuperuser() || sender.cred.ruid == target.cred.ruid ||
+                         sender.cred.euid == target.cred.ruid;
+  if (!permitted) {
+    return -kEPerm;
+  }
+  if (signo == 0) {
+    return 0;
+  }
+  PostSignalLocked(target, signo);
+  return 0;
+}
+
+int Kernel::TakeDeliverableSignal(Process& proc) {
+  Lock lk(mu_);
+  uint32_t candidates = proc.sig_pending & ~proc.sig_mask;
+  candidates |= proc.sig_pending & (SigMask(kSigKill) | SigMask(kSigStop));
+  if (candidates == 0) {
+    return 0;
+  }
+  if ((candidates & SigMask(kSigKill)) != 0) {
+    proc.sig_pending &= ~SigMask(kSigKill);
+    return kSigKill;
+  }
+  for (int signo = 1; signo < kNumSignals; ++signo) {
+    if ((candidates & SigMask(signo)) == 0) {
+      continue;
+    }
+    const SignalAction& action = proc.actions[static_cast<size_t>(signo)];
+    if (action.IsIgnore() ||
+        (action.IsDefault() && DefaultActionFor(signo) == SigDefault::kIgnore)) {
+      proc.sig_pending &= ~SigMask(signo);  // discard, as delivery would do nothing
+      continue;
+    }
+    proc.sig_pending &= ~SigMask(signo);
+    return signo;
+  }
+  return 0;
+}
+
+bool Kernel::HasDeliverableSignal(Process& proc) {
+  Lock lk(mu_);
+  return proc.HasDeliverableSignal();
+}
+
+void Kernel::FinalizeExit(Process& proc, int wait_status) {
+  Lock lk(mu_);
+  if (proc.state == ProcState::kZombie) {
+    return;
+  }
+  proc.fds.CloseAll();
+  proc.cwd.reset();
+  proc.root.reset();
+  proc.emulation.Clear();
+  for (const auto& [pid, other] : table_) {
+    if (other->ppid == proc.pid) {
+      other->ppid = 0;  // orphans re-parent to the host ("init")
+    }
+  }
+  proc.exit_status = wait_status;
+  proc.state = ProcState::kZombie;
+  ProcessRef parent = FindLocked(proc.ppid);
+  if (parent != nullptr) {
+    PostSignalLocked(*parent, kSigChld);
+  }
+  cv_.notify_all();
+}
+
+void Kernel::StopSelf(Process& proc) {
+  Lock lk(mu_);
+  proc.state = ProcState::kStopped;
+  proc.sigcont_pending = false;
+  ProcessRef parent = FindLocked(proc.ppid);
+  if (parent != nullptr) {
+    PostSignalLocked(*parent, kSigChld);
+  }
+  cv_.notify_all();
+  cv_.wait(lk, [&] {
+    return proc.sigcont_pending || (proc.sig_pending & SigMask(kSigKill)) != 0 || shutting_down_;
+  });
+  proc.sigcont_pending = false;
+  proc.state = ProcState::kRunning;
+  cv_.notify_all();
+}
+
+void Kernel::ConsumeCpu(Process& proc, int64_t micros) {
+  {
+    Lock lk(mu_);
+    clock_.Advance(micros);
+    fs_.set_now(clock_.Now() / 1000000);
+    AddMicros(&proc.rusage.ru_utime, micros);
+  }
+  if (compute_spin_scale_ > 0.0) {
+    // Burn real CPU outside the big lock so wall-clock benchmarks see genuine
+    // application work between system calls.
+    const auto spin_us = static_cast<int64_t>(static_cast<double>(micros) * compute_spin_scale_);
+    const int64_t deadline = MonotonicMicros() + spin_us;
+    while (MonotonicMicros() < deadline) {
+      // spin
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The trap and dispatcher.
+// ---------------------------------------------------------------------------
+
+SyscallStatus Kernel::DoSyscall(Process& proc, int number, const SyscallArgs& args,
+                                SyscallResult* rv) {
+  Lock lk(mu_);
+  clock_.Advance(SyscallCost(number));
+  fs_.set_now(clock_.Now() / 1000000);
+  AddMicros(&proc.rusage.ru_stime, SyscallCost(number));
+  proc.rusage.ru_nsyscalls += 1;
+  total_syscalls_ += 1;
+
+  const SyscallStatus status = DispatchLocked(proc, number, args, rv, lk);
+
+  if (ktrace_ != nullptr && IsFileReferenceSyscall(number)) {
+    KtraceRecord record;
+    record.pid = proc.pid;
+    record.syscall = number;
+    record.result = status;
+    record.vtime_usec = clock_.Now();
+    switch (number) {
+      case kSysOpen:
+      case kSysCreat:
+      case kSysStat:
+      case kSysLstat:
+      case kSysLink:
+      case kSysUnlink:
+      case kSysSymlink:
+      case kSysReadlink:
+      case kSysRename:
+      case kSysMkdir:
+      case kSysRmdir:
+      case kSysChdir:
+      case kSysChroot:
+      case kSysChmod:
+      case kSysChown:
+      case kSysAccess:
+      case kSysUtimes:
+      case kSysTruncate:
+      case kSysExecve: {
+        const char* path = args.Ptr<const char>(0);
+        if (path != nullptr) {
+          record.path = path;
+        }
+        break;
+      }
+      case kSysClose:
+      case kSysFstat:
+      case kSysFtruncate:
+      case kSysLseek:
+        record.fd = args.Int(0);
+        break;
+      default:
+        break;
+    }
+    ktrace_->Record(record);
+  }
+
+  cv_.notify_all();
+  return status;
+}
+
+SyscallStatus Kernel::DispatchLocked(Process& p, int number, const SyscallArgs& a,
+                                     SyscallResult* rv, Lock& lk) {
+  switch (number) {
+    case kSysExit:
+      return SysExit(p, a);
+    case kSysFork:
+    case kSysVfork:
+      return SysFork(p, rv);
+    case kSysRead:
+      return SysRead(p, a, rv, lk);
+    case kSysWrite:
+      return SysWrite(p, a, rv, lk);
+    case kSysReadv:
+      return SysReadv(p, a, rv, lk);
+    case kSysWritev:
+      return SysWritev(p, a, rv, lk);
+    case kSysOpen:
+      return SysOpen(p, a, rv);
+    case kSysCreat: {
+      SyscallArgs open_args = a;
+      open_args.SetInt(1, kOWronly | kOCreat | kOTrunc);
+      open_args.SetInt(2, a.Int(1));
+      return SysOpen(p, open_args, rv);
+    }
+    case kSysClose:
+      return SysClose(p, a, rv);
+    case kSysWait:
+    case kSysWait4:
+      return SysWait4(p, a, rv, lk);
+    case kSysLink:
+      return SysLink(p, a);
+    case kSysUnlink:
+      return SysUnlink(p, a);
+    case kSysChdir:
+      return SysChdir(p, a);
+    case kSysFchdir:
+      return SysFchdir(p, a);
+    case kSysMknod:
+      return SysMknod(p, a);
+    case kSysChmod:
+      return SysChmod(p, a);
+    case kSysFchmod:
+      return SysFchmod(p, a);
+    case kSysChown:
+      return SysChown(p, a);
+    case kSysFchown:
+      return SysFchown(p, a);
+    case kSysLseek:
+      return SysLseek(p, a, rv);
+    case kSysGetpid:
+      rv->rv[0] = p.pid;
+      return 0;
+    case kSysGetppid:
+      rv->rv[0] = p.ppid;
+      return 0;
+    case kSysGetuid:
+      rv->rv[0] = p.cred.ruid;
+      rv->rv[1] = p.cred.euid;
+      return 0;
+    case kSysGeteuid:
+      rv->rv[0] = p.cred.euid;
+      return 0;
+    case kSysGetgid:
+      rv->rv[0] = p.cred.rgid;
+      rv->rv[1] = p.cred.egid;
+      return 0;
+    case kSysGetegid:
+      rv->rv[0] = p.cred.egid;
+      return 0;
+    case kSysSetuid:
+      return SysSetuid(p, a);
+    case kSysGetgroups:
+      return SysGetgroups(p, a, rv);
+    case kSysSetgroups:
+      return SysSetgroups(p, a);
+    case kSysGetpgrp:
+      rv->rv[0] = p.pgrp;
+      return 0;
+    case kSysSetpgrp:
+      return SysSetpgrp(p, a);
+    case kSysAccess:
+      return SysAccess(p, a);
+    case kSysSync:
+      return 0;  // all "disk" writes are already durable in memory
+    case kSysFsync:
+      return p.fds.Valid(a.Int(0)) ? 0 : -kEBadf;
+    case kSysKill:
+      return SysKill(p, a);
+    case kSysKillpg:
+      return SysKillpg(p, a);
+    case kSysStat:
+      return SysStatCommon(p, a, /*follow=*/true);
+    case kSysLstat:
+      return SysStatCommon(p, a, /*follow=*/false);
+    case kSysFstat:
+      return SysFstat(p, a);
+    case kSysDup:
+      return SysDup(p, a, rv);
+    case kSysDup2:
+      return SysDup2(p, a, rv);
+    case kSysPipe:
+      return SysPipe(p, rv);
+    case kSysFcntl:
+      return SysFcntl(p, a, rv);
+    case kSysFlock:
+      return SysFlock(p, a);
+    case kSysIoctl:
+      return SysIoctl(p, a);
+    case kSysSymlink:
+      return SysSymlink(p, a);
+    case kSysReadlink:
+      return SysReadlink(p, a, rv);
+    case kSysExecv:
+    case kSysExecve:
+      return SysExecve(p, a);
+    case kSysUmask:
+      return SysUmask(p, a, rv);
+    case kSysChroot:
+      return SysChroot(p, a);
+    case kSysGetpagesize:
+      rv->rv[0] = 4096;
+      return 0;
+    case kSysGetdtablesize:
+      rv->rv[0] = kMaxFilesPerProcess;
+      return 0;
+    case kSysGetlogin:
+      return SysGetlogin(p, a);
+    case kSysSetlogin:
+      return SysSetlogin(p, a);
+    case kSysGethostname:
+      return SysGethostname(p, a);
+    case kSysSethostname:
+      return SysSethostname(p, a);
+    case kSysSigvec:
+    case kSysSigaction:
+      return SysSigvec(p, a);
+    case kSysSigblock:
+      return SysSigblock(p, a, rv);
+    case kSysSigsetmask:
+      return SysSigsetmask(p, a, rv);
+    case kSysSigpause:
+      return SysSigpause(p, a, lk);
+    case kSysGettimeofday:
+      return SysGettimeofday(p, a);
+    case kSysSettimeofday:
+      return SysSettimeofday(p, a);
+    case kSysGetrusage:
+      return SysGetrusage(p, a);
+    case kSysRename:
+      return SysRename(p, a);
+    case kSysTruncate:
+      return SysTruncate(p, a);
+    case kSysFtruncate:
+      return SysFtruncate(p, a);
+    case kSysMkdir:
+      return SysMkdir(p, a);
+    case kSysRmdir:
+      return SysRmdir(p, a);
+    case kSysUtimes:
+      return SysUtimes(p, a);
+    case kSysGetdirentries:
+      return SysGetdirentries(p, a, rv);
+    default:
+      return -kENosys;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Descriptor and file syscalls.
+// ---------------------------------------------------------------------------
+
+SyscallStatus Kernel::SysOpen(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+  const char* path = a.Ptr<const char>(0);
+  if (path == nullptr) {
+    return -kEFault;
+  }
+  const int flags = a.Int(1);
+  const Mode mode = static_cast<Mode>(a.Int(2)) & ~p.umask_bits;
+
+  InodeRef inode;
+  const int err = fs_.Open(EnvOf(p), path, flags, mode, &inode);
+  if (err != 0) {
+    return err;
+  }
+
+  const int fd = p.fds.AllocateSlot();
+  if (fd < 0) {
+    return fd;
+  }
+
+  OpenFileRef file;
+  if (inode->IsFifo()) {
+    if (inode->fifo_pipe == nullptr) {
+      inode->fifo_pipe = std::make_shared<Pipe>();
+    }
+    const int accmode = flags & kOAccmode;
+    file = MakePipeEnd(inode->fifo_pipe, /*write_end=*/accmode != kORdonly);
+    file->inode = inode;
+    file->flags = flags;
+  } else {
+    file = std::make_shared<OpenFile>();
+    file->inode = inode;
+    file->flags = flags;
+    if ((flags & kOAppend) != 0) {
+      file->offset = static_cast<Off>(inode->data.size());
+    }
+  }
+  p.fds.Set(fd, file);
+  rv->rv[0] = fd;
+  return fd;
+}
+
+SyscallStatus Kernel::SysClose(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/) {
+  return p.fds.Close(a.Int(0));
+}
+
+SyscallStatus Kernel::SysRead(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk) {
+  const int fd = a.Int(0);
+  char* buf = a.Ptr<char>(1);
+  const int64_t count = a.Long(2);
+  OpenFileRef file = p.fds.Get(fd);
+  if (file == nullptr) {
+    return -kEBadf;
+  }
+  if (!file->CanRead()) {
+    return -kEBadf;
+  }
+  if (buf == nullptr) {
+    return -kEFault;
+  }
+  if (count < 0) {
+    return -kEInval;
+  }
+  if (count == 0) {
+    rv->rv[0] = 0;
+    return 0;
+  }
+
+  if (file->IsPipe()) {
+    for (;;) {
+      if (file->pipe->BytesBuffered() > 0) {
+        const int64_t n = file->pipe->ReadSome(buf, count);
+        rv->rv[0] = n;
+        cv_.notify_all();
+        return static_cast<SyscallStatus>(n);
+      }
+      if (file->pipe->writers == 0) {
+        rv->rv[0] = 0;
+        return 0;  // EOF
+      }
+      if ((file->flags & kONonblock) != 0) {
+        return -kEWouldblock;
+      }
+      if (p.HasDeliverableSignal()) {
+        return -kEIntr;
+      }
+      cv_.wait(lk);
+    }
+  }
+
+  const InodeRef inode = file->inode;
+  if (inode == nullptr) {
+    return -kEBadf;
+  }
+  if (inode->IsDirectory()) {
+    return -kEIsdir;
+  }
+  if (inode->IsDevice()) {
+    const int64_t n = inode->device->Read(buf, count, file->offset);
+    if (n > 0) {
+      file->offset += n;
+    }
+    rv->rv[0] = n;
+    return static_cast<SyscallStatus>(n);
+  }
+  // Regular file.
+  const int64_t size = static_cast<int64_t>(inode->data.size());
+  const int64_t avail = size - file->offset;
+  const int64_t n = avail <= 0 ? 0 : std::min(count, avail);
+  if (n > 0) {
+    std::memcpy(buf, inode->data.data() + file->offset, static_cast<size_t>(n));
+    file->offset += n;
+    inode->atime = fs_.now();
+    p.rusage.ru_inblock += (n + 4095) / 4096;
+  }
+  rv->rv[0] = n;
+  return static_cast<SyscallStatus>(n);
+}
+
+SyscallStatus Kernel::SysWrite(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk) {
+  const int fd = a.Int(0);
+  const char* buf = a.Ptr<const char>(1);
+  const int64_t count = a.Long(2);
+  OpenFileRef file = p.fds.Get(fd);
+  if (file == nullptr || !file->CanWrite()) {
+    return -kEBadf;
+  }
+  if (buf == nullptr) {
+    return -kEFault;
+  }
+  if (count < 0) {
+    return -kEInval;
+  }
+  if (count == 0) {
+    rv->rv[0] = 0;
+    return 0;
+  }
+
+  if (file->IsPipe()) {
+    int64_t total = 0;
+    for (;;) {
+      if (file->pipe->readers == 0) {
+        PostSignalLocked(p, kSigPipe);
+        return total > 0 ? static_cast<SyscallStatus>(total) : -kEPipe;
+      }
+      const int64_t n = file->pipe->WriteSome(buf + total, count - total);
+      if (n > 0) {
+        total += n;
+        cv_.notify_all();
+      }
+      if (total == count) {
+        rv->rv[0] = total;
+        return static_cast<SyscallStatus>(total);
+      }
+      if ((file->flags & kONonblock) != 0) {
+        if (total > 0) {
+          rv->rv[0] = total;
+          return static_cast<SyscallStatus>(total);
+        }
+        return -kEWouldblock;
+      }
+      if (p.HasDeliverableSignal()) {
+        if (total > 0) {
+          rv->rv[0] = total;
+          return static_cast<SyscallStatus>(total);
+        }
+        return -kEIntr;
+      }
+      cv_.wait(lk);
+    }
+  }
+
+  const InodeRef inode = file->inode;
+  if (inode == nullptr) {
+    return -kEBadf;
+  }
+  if (inode->IsDirectory()) {
+    return -kEIsdir;
+  }
+  if (inode->IsDevice()) {
+    const int64_t n = inode->device->Write(buf, count, file->offset);
+    if (n > 0) {
+      file->offset += n;
+    }
+    rv->rv[0] = n;
+    return static_cast<SyscallStatus>(n);
+  }
+  // Regular file.
+  if ((file->flags & kOAppend) != 0) {
+    file->offset = static_cast<Off>(inode->data.size());
+  }
+  const int64_t end = file->offset + count;
+  if (end > static_cast<int64_t>(inode->data.size())) {
+    fs_.ResizeFile(inode, end);
+  }
+  std::memcpy(inode->data.data() + file->offset, buf, static_cast<size_t>(count));
+  file->offset = end;
+  inode->mtime = fs_.now();
+  p.rusage.ru_oublock += (count + 4095) / 4096;
+  rv->rv[0] = count;
+  return static_cast<SyscallStatus>(count);
+}
+
+SyscallStatus Kernel::SysReadv(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk) {
+  const int fd = a.Int(0);
+  const auto* iov = a.Ptr<const IoVec>(1);
+  const int iovcnt = a.Int(2);
+  if (iov == nullptr) {
+    return -kEFault;
+  }
+  if (iovcnt <= 0 || iovcnt > kMaxIoVecs) {
+    return -kEInval;
+  }
+  int64_t total = 0;
+  for (int i = 0; i < iovcnt; ++i) {
+    if (iov[i].iov_len == 0) {
+      continue;
+    }
+    SyscallArgs seg;
+    seg.SetInt(0, fd);
+    seg.SetPtr(1, iov[i].iov_base);
+    seg.SetInt(2, iov[i].iov_len);
+    SyscallResult seg_rv;
+    const SyscallStatus st = SysRead(p, seg, &seg_rv, lk);
+    if (st < 0) {
+      return total > 0 ? static_cast<SyscallStatus>(total) : st;
+    }
+    total += seg_rv.rv[0];
+    if (seg_rv.rv[0] < iov[i].iov_len) {
+      break;  // short read: stop the scatter
+    }
+  }
+  rv->rv[0] = total;
+  return static_cast<SyscallStatus>(total);
+}
+
+SyscallStatus Kernel::SysWritev(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk) {
+  const int fd = a.Int(0);
+  const auto* iov = a.Ptr<const IoVec>(1);
+  const int iovcnt = a.Int(2);
+  if (iov == nullptr) {
+    return -kEFault;
+  }
+  if (iovcnt <= 0 || iovcnt > kMaxIoVecs) {
+    return -kEInval;
+  }
+  int64_t total = 0;
+  for (int i = 0; i < iovcnt; ++i) {
+    if (iov[i].iov_len == 0) {
+      continue;
+    }
+    SyscallArgs seg;
+    seg.SetInt(0, fd);
+    seg.SetPtr(1, iov[i].iov_base);
+    seg.SetInt(2, iov[i].iov_len);
+    SyscallResult seg_rv;
+    const SyscallStatus st = SysWrite(p, seg, &seg_rv, lk);
+    if (st < 0) {
+      return total > 0 ? static_cast<SyscallStatus>(total) : st;
+    }
+    total += seg_rv.rv[0];
+    if (seg_rv.rv[0] < iov[i].iov_len) {
+      break;
+    }
+  }
+  rv->rv[0] = total;
+  return static_cast<SyscallStatus>(total);
+}
+
+SyscallStatus Kernel::SysLseek(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+  OpenFileRef file = p.fds.Get(a.Int(0));
+  if (file == nullptr) {
+    return -kEBadf;
+  }
+  if (file->IsPipe()) {
+    return -kESpipe;
+  }
+  const Off offset = a.Long(1);
+  const int whence = a.Int(2);
+  Off base = 0;
+  switch (whence) {
+    case kSeekSet:
+      base = 0;
+      break;
+    case kSeekCur:
+      base = file->offset;
+      break;
+    case kSeekEnd:
+      base = file->inode != nullptr ? static_cast<Off>(file->inode->data.size()) : 0;
+      break;
+    default:
+      return -kEInval;
+  }
+  const Off target = base + offset;
+  if (target < 0) {
+    return -kEInval;
+  }
+  file->offset = target;
+  rv->rv[0] = target;
+  return static_cast<SyscallStatus>(target >= 0 ? 0 : target);
+}
+
+SyscallStatus Kernel::SysStatCommon(Process& p, const SyscallArgs& a, bool follow) {
+  const char* path = a.Ptr<const char>(0);
+  auto* st = a.Ptr<ia::Stat>(1);
+  if (path == nullptr || st == nullptr) {
+    return -kEFault;
+  }
+  return fs_.Stat(EnvOf(p), path, follow, st);
+}
+
+SyscallStatus Kernel::SysFstat(Process& p, const SyscallArgs& a) {
+  OpenFileRef file = p.fds.Get(a.Int(0));
+  auto* st = a.Ptr<ia::Stat>(1);
+  if (file == nullptr) {
+    return -kEBadf;
+  }
+  if (st == nullptr) {
+    return -kEFault;
+  }
+  if (file->inode != nullptr) {
+    file->inode->FillStat(st);
+  } else {
+    // Anonymous pipe.
+    *st = ia::Stat{};
+    st->st_mode = kSIfifo | 0600;
+    st->st_size = static_cast<Off>(file->pipe != nullptr ? file->pipe->BytesBuffered() : 0);
+    st->st_nlink = 1;
+  }
+  return 0;
+}
+
+SyscallStatus Kernel::SysLink(Process& p, const SyscallArgs& a) {
+  const char* existing = a.Ptr<const char>(0);
+  const char* new_path = a.Ptr<const char>(1);
+  if (existing == nullptr || new_path == nullptr) {
+    return -kEFault;
+  }
+  return fs_.Link(EnvOf(p), existing, new_path);
+}
+
+SyscallStatus Kernel::SysUnlink(Process& p, const SyscallArgs& a) {
+  const char* path = a.Ptr<const char>(0);
+  if (path == nullptr) {
+    return -kEFault;
+  }
+  return fs_.Unlink(EnvOf(p), path);
+}
+
+SyscallStatus Kernel::SysSymlink(Process& p, const SyscallArgs& a) {
+  const char* target = a.Ptr<const char>(0);
+  const char* link_path = a.Ptr<const char>(1);
+  if (target == nullptr || link_path == nullptr) {
+    return -kEFault;
+  }
+  return fs_.Symlink(EnvOf(p), target, link_path);
+}
+
+SyscallStatus Kernel::SysReadlink(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+  const char* path = a.Ptr<const char>(0);
+  char* buf = a.Ptr<char>(1);
+  const int64_t bufsize = a.Long(2);
+  if (path == nullptr || buf == nullptr) {
+    return -kEFault;
+  }
+  std::string target;
+  const int err = fs_.Readlink(EnvOf(p), path, &target);
+  if (err != 0) {
+    return err;
+  }
+  const int64_t n = std::min<int64_t>(bufsize, static_cast<int64_t>(target.size()));
+  std::memcpy(buf, target.data(), static_cast<size_t>(n));
+  rv->rv[0] = n;
+  return static_cast<SyscallStatus>(n);
+}
+
+SyscallStatus Kernel::SysRename(Process& p, const SyscallArgs& a) {
+  const char* from = a.Ptr<const char>(0);
+  const char* to = a.Ptr<const char>(1);
+  if (from == nullptr || to == nullptr) {
+    return -kEFault;
+  }
+  return fs_.Rename(EnvOf(p), from, to);
+}
+
+SyscallStatus Kernel::SysMkdir(Process& p, const SyscallArgs& a) {
+  const char* path = a.Ptr<const char>(0);
+  if (path == nullptr) {
+    return -kEFault;
+  }
+  const Mode mode = static_cast<Mode>(a.Int(1)) & ~p.umask_bits;
+  return fs_.Mkdir(EnvOf(p), path, mode);
+}
+
+SyscallStatus Kernel::SysRmdir(Process& p, const SyscallArgs& a) {
+  const char* path = a.Ptr<const char>(0);
+  if (path == nullptr) {
+    return -kEFault;
+  }
+  return fs_.Rmdir(EnvOf(p), path);
+}
+
+SyscallStatus Kernel::SysChdir(Process& p, const SyscallArgs& a) {
+  const char* path = a.Ptr<const char>(0);
+  if (path == nullptr) {
+    return -kEFault;
+  }
+  NameiResult nr;
+  const int err = fs_.Namei(EnvOf(p), path, NameiOp::kLookup, true, &nr);
+  if (err != 0) {
+    return err;
+  }
+  if (!nr.inode->IsDirectory()) {
+    return -kENotdir;
+  }
+  if (!CredPermits(p.cred, nr.inode->uid, nr.inode->gid, nr.inode->mode_bits, kXOk)) {
+    return -kEAcces;
+  }
+  p.cwd = nr.inode;
+  return 0;
+}
+
+SyscallStatus Kernel::SysFchdir(Process& p, const SyscallArgs& a) {
+  OpenFileRef file = p.fds.Get(a.Int(0));
+  if (file == nullptr || file->inode == nullptr) {
+    return -kEBadf;
+  }
+  if (!file->inode->IsDirectory()) {
+    return -kENotdir;
+  }
+  p.cwd = file->inode;
+  return 0;
+}
+
+SyscallStatus Kernel::SysChroot(Process& p, const SyscallArgs& a) {
+  if (!p.cred.IsSuperuser()) {
+    return -kEPerm;
+  }
+  const char* path = a.Ptr<const char>(0);
+  if (path == nullptr) {
+    return -kEFault;
+  }
+  NameiResult nr;
+  const int err = fs_.Namei(EnvOf(p), path, NameiOp::kLookup, true, &nr);
+  if (err != 0) {
+    return err;
+  }
+  if (!nr.inode->IsDirectory()) {
+    return -kENotdir;
+  }
+  p.root = nr.inode;
+  p.cwd = nr.inode;
+  return 0;
+}
+
+SyscallStatus Kernel::SysChmod(Process& p, const SyscallArgs& a) {
+  const char* path = a.Ptr<const char>(0);
+  if (path == nullptr) {
+    return -kEFault;
+  }
+  return fs_.Chmod(EnvOf(p), path, static_cast<Mode>(a.Int(1)));
+}
+
+SyscallStatus Kernel::SysFchmod(Process& p, const SyscallArgs& a) {
+  OpenFileRef file = p.fds.Get(a.Int(0));
+  if (file == nullptr || file->inode == nullptr) {
+    return -kEBadf;
+  }
+  if (!p.cred.IsSuperuser() && p.cred.euid != file->inode->uid) {
+    return -kEPerm;
+  }
+  file->inode->mode_bits = static_cast<Mode>(a.Int(1)) & 07777;
+  file->inode->ctime = fs_.now();
+  return 0;
+}
+
+SyscallStatus Kernel::SysChown(Process& p, const SyscallArgs& a) {
+  const char* path = a.Ptr<const char>(0);
+  if (path == nullptr) {
+    return -kEFault;
+  }
+  return fs_.Chown(EnvOf(p), path, a.Int(1), a.Int(2));
+}
+
+SyscallStatus Kernel::SysFchown(Process& p, const SyscallArgs& a) {
+  OpenFileRef file = p.fds.Get(a.Int(0));
+  if (file == nullptr || file->inode == nullptr) {
+    return -kEBadf;
+  }
+  if (!p.cred.IsSuperuser()) {
+    return -kEPerm;
+  }
+  if (a.Int(1) != -1) {
+    file->inode->uid = a.Int(1);
+  }
+  if (a.Int(2) != -1) {
+    file->inode->gid = a.Int(2);
+  }
+  file->inode->ctime = fs_.now();
+  return 0;
+}
+
+SyscallStatus Kernel::SysAccess(Process& p, const SyscallArgs& a) {
+  const char* path = a.Ptr<const char>(0);
+  if (path == nullptr) {
+    return -kEFault;
+  }
+  return fs_.Access(EnvOf(p), path, a.Int(1));
+}
+
+SyscallStatus Kernel::SysUtimes(Process& p, const SyscallArgs& a) {
+  const char* path = a.Ptr<const char>(0);
+  if (path == nullptr) {
+    return -kEFault;
+  }
+  return fs_.Utimes(EnvOf(p), path, a.Ptr<const TimeVal>(1));
+}
+
+SyscallStatus Kernel::SysTruncate(Process& p, const SyscallArgs& a) {
+  const char* path = a.Ptr<const char>(0);
+  if (path == nullptr) {
+    return -kEFault;
+  }
+  return fs_.Truncate(EnvOf(p), path, a.Long(1));
+}
+
+SyscallStatus Kernel::SysFtruncate(Process& p, const SyscallArgs& a) {
+  OpenFileRef file = p.fds.Get(a.Int(0));
+  if (file == nullptr || file->inode == nullptr) {
+    return -kEBadf;
+  }
+  if (!file->CanWrite()) {
+    return -kEInval;
+  }
+  const Off length = a.Long(1);
+  if (length < 0 || !file->inode->IsRegular()) {
+    return -kEInval;
+  }
+  fs_.ResizeFile(file->inode, length);
+  file->inode->mtime = file->inode->ctime = fs_.now();
+  return 0;
+}
+
+SyscallStatus Kernel::SysUmask(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+  rv->rv[0] = p.umask_bits;
+  p.umask_bits = static_cast<Mode>(a.Int(0)) & 0777;
+  return 0;
+}
+
+SyscallStatus Kernel::SysDup(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+  const int fd = a.Int(0);
+  if (!p.fds.Valid(fd)) {
+    return -kEBadf;
+  }
+  const int new_fd = p.fds.AllocateSlot();
+  if (new_fd < 0) {
+    return new_fd;
+  }
+  p.fds.Set(new_fd, p.fds.Get(fd));
+  rv->rv[0] = new_fd;
+  return new_fd;
+}
+
+SyscallStatus Kernel::SysDup2(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+  const int result = p.fds.Dup2(a.Int(0), a.Int(1));
+  if (result >= 0) {
+    rv->rv[0] = result;
+  }
+  return result;
+}
+
+SyscallStatus Kernel::SysPipe(Process& p, SyscallResult* rv) {
+  const int read_fd = p.fds.AllocateSlot();
+  if (read_fd < 0) {
+    return read_fd;
+  }
+  auto pipe = std::make_shared<Pipe>();
+  p.fds.Set(read_fd, MakePipeEnd(pipe, /*write_end=*/false));
+  const int write_fd = p.fds.AllocateSlot();
+  if (write_fd < 0) {
+    p.fds.Close(read_fd);
+    return write_fd;
+  }
+  p.fds.Set(write_fd, MakePipeEnd(pipe, /*write_end=*/true));
+  rv->rv[0] = read_fd;
+  rv->rv[1] = write_fd;
+  return read_fd;
+}
+
+SyscallStatus Kernel::SysFcntl(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+  const int fd = a.Int(0);
+  const int cmd = a.Int(1);
+  const int64_t arg = a.Long(2);
+  FdEntry* entry = p.fds.Entry(fd);
+  if (entry == nullptr || !entry->InUse()) {
+    return -kEBadf;
+  }
+  switch (cmd) {
+    case kFDupfd: {
+      const int new_fd = p.fds.AllocateSlot(static_cast<int>(arg));
+      if (new_fd < 0) {
+        return new_fd;
+      }
+      p.fds.Set(new_fd, entry->file);
+      rv->rv[0] = new_fd;
+      return new_fd;
+    }
+    case kFGetfd:
+      rv->rv[0] = entry->close_on_exec ? 1 : 0;
+      return 0;
+    case kFSetfd:
+      entry->close_on_exec = (arg & 1) != 0;
+      return 0;
+    case kFGetfl:
+      rv->rv[0] = entry->file->flags;
+      return 0;
+    case kFSetfl: {
+      const int settable = kOAppend | kONonblock;
+      entry->file->flags = (entry->file->flags & ~settable) | (static_cast<int>(arg) & settable);
+      return 0;
+    }
+    default:
+      return -kEInval;
+  }
+}
+
+SyscallStatus Kernel::SysFlock(Process& p, const SyscallArgs& a) {
+  OpenFileRef file = p.fds.Get(a.Int(0));
+  if (file == nullptr || file->inode == nullptr) {
+    return -kEBadf;
+  }
+  const int op = a.Int(1);
+  InodeRef inode = file->inode;
+  const auto release = [&] {
+    if (file->flock_mode == kLockEx) {
+      inode->flock_exclusive = false;
+    } else if (file->flock_mode == kLockSh) {
+      inode->flock_shared -= 1;
+    }
+    file->flock_mode = 0;
+  };
+  if ((op & kLockUn) != 0) {
+    release();
+    cv_.notify_all();
+    return 0;
+  }
+  const bool exclusive = (op & kLockEx) != 0;
+  if (!exclusive && (op & kLockSh) == 0) {
+    return -kEInval;
+  }
+  release();  // re-locking changes mode, as flock(2) allows
+  const bool conflict =
+      inode->flock_exclusive || (exclusive && inode->flock_shared > 0);
+  if (conflict) {
+    return -kEWouldblock;  // non-queued advisory locks; callers retry
+  }
+  if (exclusive) {
+    inode->flock_exclusive = true;
+    file->flock_mode = kLockEx;
+  } else {
+    inode->flock_shared += 1;
+    file->flock_mode = kLockSh;
+  }
+  return 0;
+}
+
+SyscallStatus Kernel::SysIoctl(Process& p, const SyscallArgs& a) {
+  OpenFileRef file = p.fds.Get(a.Int(0));
+  if (file == nullptr) {
+    return -kEBadf;
+  }
+  if (file->inode == nullptr || !file->inode->IsDevice()) {
+    return -kENotty;
+  }
+  return file->inode->device->Ioctl(a.U64(1), a.Ptr<void>(2));
+}
+
+SyscallStatus Kernel::SysGetdirentries(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+  OpenFileRef file = p.fds.Get(a.Int(0));
+  char* buf = a.Ptr<char>(1);
+  const int nbytes = a.Int(2);
+  auto* basep = a.Ptr<int64_t>(3);
+  if (file == nullptr || file->inode == nullptr) {
+    return -kEBadf;
+  }
+  if (!file->inode->IsDirectory()) {
+    return -kENotdir;
+  }
+  if (buf == nullptr || nbytes <= 0) {
+    return -kEFault;
+  }
+
+  // Build the logical listing: ".", "..", then entries in map order. The file
+  // offset is an entry index.
+  const InodeRef dir = file->inode;
+  InodeRef parent = dir->parent.lock();
+  if (parent == nullptr) {
+    parent = dir;
+  }
+  const int64_t total = 2 + static_cast<int64_t>(dir->entries.size());
+  int64_t index = file->offset;
+  if (basep != nullptr) {
+    *basep = index;
+  }
+  size_t used = 0;
+  while (index < total) {
+    Ino ino;
+    std::string name;
+    if (index == 0) {
+      ino = dir->ino();
+      name = ".";
+    } else if (index == 1) {
+      ino = parent->ino();
+      name = "..";
+    } else {
+      auto it = dir->entries.begin();
+      std::advance(it, index - 2);
+      ino = it->second->ino();
+      name = it->first;
+    }
+    if (!EncodeDirent(ino, name, buf, static_cast<size_t>(nbytes), &used)) {
+      break;
+    }
+    ++index;
+  }
+  if (used == 0 && index < total) {
+    return -kEInval;  // buffer too small for even one record
+  }
+  file->offset = index;
+  dir->atime = fs_.now();
+  rv->rv[0] = static_cast<int64_t>(used);
+  return static_cast<SyscallStatus>(used);
+}
+
+SyscallStatus Kernel::SysMknod(Process& p, const SyscallArgs& a) {
+  const char* path = a.Ptr<const char>(0);
+  if (path == nullptr) {
+    return -kEFault;
+  }
+  const Mode mode = static_cast<Mode>(a.Int(1));
+  if ((mode & kSIfmt) == kSIfifo) {
+    return fs_.MknodFifo(EnvOf(p), path, mode & ~p.umask_bits);
+  }
+  if (!p.cred.IsSuperuser()) {
+    return -kEPerm;
+  }
+  return -kEInval;  // only FIFOs are supported
+}
+
+// ---------------------------------------------------------------------------
+// Process syscalls.
+// ---------------------------------------------------------------------------
+
+SyscallStatus Kernel::SysFork(Process& p, SyscallResult* rv) {
+  std::function<int(ProcessContext&)> body = std::move(p.pending_fork_body);
+  p.pending_fork_body = nullptr;
+
+  Process& child = CreateProcessLocked(p.pid);
+  child.pgrp = p.pgrp;
+  child.cred = p.cred;
+  child.login = p.login;
+  child.fds = p.fds.Clone();
+  child.cwd = p.cwd;
+  child.root = p.root;
+  child.umask_bits = p.umask_bits;
+  child.actions = p.actions;
+  child.sig_mask = p.sig_mask;
+  child.image_name = p.image_name;
+  child.image_path = p.image_path;
+
+  child.pending_exec.main =
+      body != nullptr ? std::move(body) : [](ProcessContext&) -> int { return 0; };
+  child.pending_exec.argv = p.argv;
+  child.pending_exec.image_name = p.image_name;
+  child.pending_exec.path = p.image_path;
+  child.pending_exec.valid = true;
+
+  StartProcessThreadLocked(table_[child.pid]);
+
+  rv->rv[0] = child.pid;
+  rv->rv[1] = 0;  // parent side; 4.3BSD sets rv[1]=1 in the child
+  return static_cast<SyscallStatus>(child.pid);
+}
+
+int Kernel::ResolveExecutableLocked(Process& p, const std::string& path, PendingExec* out) {
+  NameiResult nr;
+  int err = fs_.Namei(EnvOf(p), path, NameiOp::kLookup, /*follow_final=*/true, &nr);
+  if (err != 0) {
+    return err;
+  }
+  InodeRef file = nr.inode;
+  if (file->IsDirectory()) {
+    return -kEIsdir;
+  }
+  if (!file->IsRegular()) {
+    return -kEAcces;
+  }
+  if (!CredPermits(p.cred, file->uid, file->gid, file->mode_bits, kXOk)) {
+    return -kEAcces;
+  }
+
+  std::vector<std::string> argv = std::move(p.exec_argv_staging);
+  p.exec_argv_staging.clear();
+  std::string resolved_path = path;
+
+  if (file->exec_image.empty()) {
+    // "#!" interpreter scripts: one level of indirection.
+    if (file->data.size() >= 2 && file->data[0] == '#' && file->data[1] == '!') {
+      const size_t eol = file->data.find('\n');
+      std::string interp_line =
+          file->data.substr(2, eol == std::string::npos ? std::string::npos : eol - 2);
+      std::vector<std::string> interp_words = Split(interp_line, ' ');
+      if (interp_words.empty()) {
+        return -kENoexec;
+      }
+      NameiResult interp_nr;
+      err = fs_.Namei(EnvOf(p), interp_words[0], NameiOp::kLookup, true, &interp_nr);
+      if (err != 0) {
+        return err;
+      }
+      if (interp_nr.inode->exec_image.empty()) {
+        return -kENoexec;
+      }
+      const ProgramMain* main = programs_.Find(interp_nr.inode->exec_image);
+      if (main == nullptr) {
+        return -kENoexec;
+      }
+      std::vector<std::string> new_argv = interp_words;
+      new_argv.push_back(path);
+      for (size_t i = 1; i < argv.size(); ++i) {
+        new_argv.push_back(argv[i]);
+      }
+      out->main = *main;
+      out->image_name = interp_nr.inode->exec_image;
+      out->path = interp_words[0];
+      out->argv = std::move(new_argv);
+      out->valid = true;
+      return 0;
+    }
+    return -kENoexec;
+  }
+
+  const ProgramMain* main = programs_.Find(file->exec_image);
+  if (main == nullptr) {
+    return -kENoexec;
+  }
+  if (argv.empty()) {
+    argv.push_back(path::Basename(path));
+  }
+  out->main = *main;
+  out->image_name = file->exec_image;
+  out->path = resolved_path;
+  out->argv = std::move(argv);
+  out->valid = true;
+
+  // setuid/setgid execution.
+  if ((file->mode_bits & kSIsuid) != 0) {
+    p.cred.euid = file->uid;
+  }
+  if ((file->mode_bits & kSIsgid) != 0) {
+    p.cred.egid = file->gid;
+  }
+  return 0;
+}
+
+SyscallStatus Kernel::SysExecve(Process& p, const SyscallArgs& a) {
+  const char* path = a.Ptr<const char>(0);
+  if (path == nullptr) {
+    return -kEFault;
+  }
+  const bool preserve_emulation = (a.Long(2) & 1) != 0;
+  PendingExec pending;
+  const int err = ResolveExecutableLocked(p, path, &pending);
+  if (err != 0) {
+    return err;
+  }
+  pending.preserve_emulation = preserve_emulation;
+
+  // Point of no return: reset signal dispositions (caught -> default) and
+  // close-on-exec descriptors. The image jump happens at the return-to-user
+  // boundary in ProcessContext.
+  for (SignalAction& action : p.actions) {
+    if (action.IsHandler()) {
+      action = SignalAction{};
+    }
+  }
+  p.fds.CloseOnExec();
+  p.pending_exec = std::move(pending);
+  return 0;
+}
+
+SyscallStatus Kernel::SysExit(Process& p, const SyscallArgs& a) {
+  p.exit_pending = true;
+  p.exit_wait_status = WaitStatusExited(a.Int(0) & 0xff);
+  return 0;
+}
+
+SyscallStatus Kernel::SysWait4(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk) {
+  const Pid selector = a.Int(0);
+  auto* status_out = a.Ptr<int>(1);
+  const int options = a.Int(2);
+  auto* usage_out = a.Ptr<Rusage>(3);
+
+  const auto matches = [&](const Process& child) {
+    if (child.ppid != p.pid) {
+      return false;
+    }
+    if (selector > 0) {
+      return child.pid == selector;
+    }
+    if (selector == 0) {
+      return child.pgrp == p.pgrp;
+    }
+    if (selector == -1) {
+      return true;
+    }
+    return child.pgrp == -selector;
+  };
+
+  for (;;) {
+    bool have_children = false;
+    Pid zombie = 0;
+    for (const auto& [pid, child] : table_) {
+      if (!matches(*child)) {
+        continue;
+      }
+      have_children = true;
+      if (child->state == ProcState::kZombie) {
+        zombie = pid;
+        break;
+      }
+    }
+    if (zombie != 0) {
+      Rusage child_usage;
+      const int status = ReapLocked(zombie, lk, &child_usage);
+      AddMicros(&p.child_rusage.ru_utime,
+                child_usage.ru_utime.tv_sec * 1000000 + child_usage.ru_utime.tv_usec);
+      AddMicros(&p.child_rusage.ru_stime,
+                child_usage.ru_stime.tv_sec * 1000000 + child_usage.ru_stime.tv_usec);
+      p.child_rusage.ru_nsyscalls += child_usage.ru_nsyscalls;
+      p.child_rusage.ru_inblock += child_usage.ru_inblock;
+      p.child_rusage.ru_oublock += child_usage.ru_oublock;
+      p.child_rusage.ru_nsignals += child_usage.ru_nsignals;
+      if (status_out != nullptr) {
+        *status_out = status;
+      }
+      if (usage_out != nullptr) {
+        *usage_out = child_usage;
+      }
+      rv->rv[0] = zombie;
+      return static_cast<SyscallStatus>(zombie);
+    }
+    if (!have_children) {
+      return -kEChild;
+    }
+    if ((options & kWNoHang) != 0) {
+      rv->rv[0] = 0;
+      return 0;
+    }
+    if (p.HasDeliverableSignal()) {
+      return -kEIntr;
+    }
+    cv_.wait(lk);
+  }
+}
+
+SyscallStatus Kernel::SysKill(Process& p, const SyscallArgs& a) {
+  const Pid target_pid = a.Int(0);
+  const int signo = a.Int(1);
+  if (signo < 0 || signo >= kNumSignals) {
+    return -kEInval;
+  }
+  if (target_pid > 0) {
+    ProcessRef target = FindLocked(target_pid);
+    if (target == nullptr || target->state == ProcState::kZombie) {
+      return -kESrch;
+    }
+    return KillOneLocked(p, *target, signo);
+  }
+  // pid == 0: own process group; pid < -1: group |pid|; pid == -1: broadcast.
+  const Pid group = target_pid == 0 ? p.pgrp : -target_pid;
+  int hits = 0;
+  int err = -kESrch;
+  for (const auto& [pid, target] : table_) {
+    if (target->state == ProcState::kZombie) {
+      continue;
+    }
+    if (target_pid == -1) {
+      if (pid == p.pid || !p.cred.IsSuperuser()) {
+        continue;
+      }
+    } else if (target->pgrp != group) {
+      continue;
+    }
+    const int one = KillOneLocked(p, *target, signo);
+    if (one == 0) {
+      ++hits;
+    } else {
+      err = one;
+    }
+  }
+  return hits > 0 ? 0 : err;
+}
+
+SyscallStatus Kernel::SysKillpg(Process& p, const SyscallArgs& a) {
+  SyscallArgs kill_args;
+  kill_args.SetInt(0, -a.Int(0));
+  kill_args.SetInt(1, a.Int(1));
+  return SysKill(p, kill_args);
+}
+
+SyscallStatus Kernel::SysSetpgrp(Process& p, const SyscallArgs& a) {
+  Pid target_pid = a.Int(0);
+  Pid pgrp = a.Int(1);
+  if (target_pid == 0) {
+    target_pid = p.pid;
+  }
+  if (pgrp == 0) {
+    pgrp = target_pid;
+  }
+  if (pgrp < 0) {
+    return -kEInval;
+  }
+  ProcessRef target = FindLocked(target_pid);
+  if (target == nullptr) {
+    return -kESrch;
+  }
+  if (!p.cred.IsSuperuser() && target->cred.ruid != p.cred.ruid) {
+    return -kEPerm;
+  }
+  target->pgrp = pgrp;
+  return 0;
+}
+
+SyscallStatus Kernel::SysSetuid(Process& p, const SyscallArgs& a) {
+  const Uid uid = a.Int(0);
+  if (!p.cred.IsSuperuser() && uid != p.cred.ruid) {
+    return -kEPerm;
+  }
+  p.cred.ruid = p.cred.euid = uid;
+  return 0;
+}
+
+SyscallStatus Kernel::SysGetgroups(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+  const int setlen = a.Int(0);
+  Gid* gidset = a.Ptr<Gid>(1);
+  const int count = static_cast<int>(p.cred.groups.size());
+  if (setlen == 0) {
+    rv->rv[0] = count;
+    return count;
+  }
+  if (gidset == nullptr) {
+    return -kEFault;
+  }
+  if (setlen < count) {
+    return -kEInval;
+  }
+  for (int i = 0; i < count; ++i) {
+    gidset[i] = p.cred.groups[static_cast<size_t>(i)];
+  }
+  rv->rv[0] = count;
+  return count;
+}
+
+SyscallStatus Kernel::SysSetgroups(Process& p, const SyscallArgs& a) {
+  if (!p.cred.IsSuperuser()) {
+    return -kEPerm;
+  }
+  const int ngroups = a.Int(0);
+  const Gid* gidset = a.Ptr<const Gid>(1);
+  if (ngroups < 0 || ngroups > 16) {
+    return -kEInval;
+  }
+  if (ngroups > 0 && gidset == nullptr) {
+    return -kEFault;
+  }
+  p.cred.groups.assign(gidset, gidset + ngroups);
+  return 0;
+}
+
+SyscallStatus Kernel::SysGetlogin(Process& p, const SyscallArgs& a) {
+  char* buf = a.Ptr<char>(0);
+  const int len = a.Int(1);
+  if (buf == nullptr || len <= 0) {
+    return -kEFault;
+  }
+  const int n = std::min<int>(len - 1, static_cast<int>(p.login.size()));
+  std::memcpy(buf, p.login.data(), static_cast<size_t>(n));
+  buf[n] = '\0';
+  return 0;
+}
+
+SyscallStatus Kernel::SysSetlogin(Process& p, const SyscallArgs& a) {
+  if (!p.cred.IsSuperuser()) {
+    return -kEPerm;
+  }
+  const char* name = a.Ptr<const char>(0);
+  if (name == nullptr) {
+    return -kEFault;
+  }
+  p.login = name;
+  return 0;
+}
+
+SyscallStatus Kernel::SysGethostname(Process& /*p*/, const SyscallArgs& a) {
+  char* buf = a.Ptr<char>(0);
+  const int len = a.Int(1);
+  if (buf == nullptr || len <= 0) {
+    return -kEFault;
+  }
+  const int n = std::min<int>(len - 1, static_cast<int>(hostname_.size()));
+  std::memcpy(buf, hostname_.data(), static_cast<size_t>(n));
+  buf[n] = '\0';
+  return 0;
+}
+
+SyscallStatus Kernel::SysSethostname(Process& p, const SyscallArgs& a) {
+  if (!p.cred.IsSuperuser()) {
+    return -kEPerm;
+  }
+  const char* name = a.Ptr<const char>(0);
+  if (name == nullptr) {
+    return -kEFault;
+  }
+  hostname_.assign(name, static_cast<size_t>(a.Long(1)));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Signal syscalls.
+// ---------------------------------------------------------------------------
+
+SyscallStatus Kernel::SysSigvec(Process& p, const SyscallArgs& a) {
+  const int signo = a.Int(0);
+  const auto disposition = static_cast<uintptr_t>(a.U64(1));
+  const auto handler_mask = static_cast<uint32_t>(a.U64(2));
+  if (signo <= 0 || signo >= kNumSignals) {
+    return -kEInval;
+  }
+  if ((signo == kSigKill || signo == kSigStop) && disposition != kSigDfl) {
+    return -kEInval;
+  }
+  SignalAction& action = p.actions[static_cast<size_t>(signo)];
+  action.disposition = disposition;
+  action.mask = handler_mask;
+  if (disposition >= 2) {
+    action.fn = std::move(p.staging_handler);
+  } else {
+    action.fn = nullptr;
+  }
+  p.staging_handler = nullptr;
+  return 0;
+}
+
+SyscallStatus Kernel::SysSigblock(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+  const auto mask = static_cast<uint32_t>(a.U64(0));
+  rv->rv[0] = p.sig_mask;
+  p.sig_mask |= mask & ~(SigMask(kSigKill) | SigMask(kSigStop));
+  return 0;
+}
+
+SyscallStatus Kernel::SysSigsetmask(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+  const auto mask = static_cast<uint32_t>(a.U64(0));
+  rv->rv[0] = p.sig_mask;
+  p.sig_mask = mask & ~(SigMask(kSigKill) | SigMask(kSigStop));
+  cv_.notify_all();
+  return 0;
+}
+
+SyscallStatus Kernel::SysSigpause(Process& p, const SyscallArgs& a, Lock& lk) {
+  const auto mask = static_cast<uint32_t>(a.U64(0));
+  p.sigpause_saved_mask = p.sig_mask;
+  p.sigpause_restore = true;
+  p.sig_mask = mask & ~(SigMask(kSigKill) | SigMask(kSigStop));
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return p.HasDeliverableSignal() || shutting_down_; });
+  // The temporary mask stays in force until the woken signal's handler has run;
+  // ProcessContext's boundary restores the saved mask afterwards.
+  return -kEIntr;  // sigpause always returns EINTR after a signal
+}
+
+// ---------------------------------------------------------------------------
+// Time and accounting syscalls.
+// ---------------------------------------------------------------------------
+
+SyscallStatus Kernel::SysGettimeofday(Process& /*p*/, const SyscallArgs& a) {
+  auto* tp = a.Ptr<TimeVal>(0);
+  auto* tzp = a.Ptr<TimeZone>(1);
+  if (tp != nullptr) {
+    tp->tv_sec = clock_.Now() / 1000000;
+    tp->tv_usec = clock_.Now() % 1000000;
+  }
+  if (tzp != nullptr) {
+    *tzp = TimeZone{};
+  }
+  return 0;
+}
+
+SyscallStatus Kernel::SysSettimeofday(Process& p, const SyscallArgs& a) {
+  if (!p.cred.IsSuperuser()) {
+    return -kEPerm;
+  }
+  const auto* tp = a.Ptr<const TimeVal>(0);
+  if (tp == nullptr) {
+    return -kEFault;
+  }
+  clock_.Set(tp->tv_sec * 1000000 + tp->tv_usec);
+  fs_.set_now(tp->tv_sec);
+  return 0;
+}
+
+SyscallStatus Kernel::SysGetrusage(Process& p, const SyscallArgs& a) {
+  const int who = a.Int(0);
+  auto* usage = a.Ptr<Rusage>(1);
+  if (usage == nullptr) {
+    return -kEFault;
+  }
+  if (who == kRusageSelf) {
+    *usage = p.rusage;
+    return 0;
+  }
+  if (who == kRusageChildren) {
+    *usage = p.child_rusage;
+    return 0;
+  }
+  return -kEInval;
+}
+
+}  // namespace ia

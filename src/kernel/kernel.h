@@ -1,0 +1,218 @@
+// The simulated 4.3BSD kernel.
+//
+// A single big lock serializes all kernel-mode execution (4.3BSD was a
+// uniprocessor kernel); each simulated process runs on a host thread and enters
+// the kernel through DoSyscall(). Blocking calls (pipe I/O, wait4, sigpause,
+// flock) sleep on the kernel-wide condition variable and honor signals with
+// EINTR, as 4.3BSD does.
+#ifndef SRC_KERNEL_KERNEL_H_
+#define SRC_KERNEL_KERNEL_H_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/kernel/context.h"
+#include "src/kernel/devices.h"
+#include "src/kernel/ktrace.h"
+#include "src/kernel/process.h"
+#include "src/kernel/programs.h"
+#include "src/kernel/vfs.h"
+
+namespace ia {
+
+struct KernelConfig {
+  int64_t epoch_seconds = 725846400;  // 1993-01-01T00:00:00Z, in the paper's era
+  bool console_echo_to_host = false;
+  // ProcessContext::Compute(us) always advances the virtual clock; when this is
+  // nonzero it also busy-waits us*scale host-microseconds, so wall-clock
+  // benchmarks see applications that do "real work" between system calls (the
+  // paper's Scribe run is compute-dominated).
+  double compute_spin_scale = 0.0;
+};
+
+struct SpawnOptions {
+  // Either an executable path in the VFS...
+  std::string path;
+  // ...or a direct body (used by agent loaders and tests).
+  std::function<int(ProcessContext&)> body;
+  std::vector<std::string> argv;
+  Uid uid = 0;
+  Gid gid = 0;
+  std::string cwd = "/";
+  bool open_console_stdio = true;  // fds 0,1,2 on /dev/tty
+};
+
+class Kernel {
+ public:
+  explicit Kernel(const KernelConfig& config = KernelConfig{});
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- world construction ------------------------------------------------------
+  Filesystem& fs() { return fs_; }
+  ProgramRegistry& programs() { return programs_; }
+  ConsoleDevice& console() { return console_; }
+  VirtualClock& clock() { return clock_; }
+
+  // Registers `main` as image `image` and installs an executable file at `path`.
+  void InstallProgram(const std::string& path, const std::string& image, ProgramMain main,
+                      Mode mode = 0755);
+
+  // --- host-side process control -----------------------------------------------
+  Pid Spawn(const SpawnOptions& options);
+
+  // Blocks the *host* until `pid` (a host-spawned process) exits; reaps it.
+  // Returns the wait-status or negative errno.
+  int HostWaitPid(Pid pid);
+
+  // Kills everything and joins all threads. Idempotent; called by the destructor.
+  void Shutdown();
+
+  // --- the trap ------------------------------------------------------------------
+  SyscallStatus DoSyscall(Process& proc, int number, const SyscallArgs& args, SyscallResult* rv);
+
+  // --- support used by ProcessContext ---------------------------------------------
+  // Picks, clears, and returns the next deliverable pending signal, or 0.
+  int TakeDeliverableSignal(Process& proc);
+  bool HasDeliverableSignal(Process& proc);
+  // Finishes a process: close fds, reparent children, zombie + SIGCHLD. Thread-safe.
+  void FinalizeExit(Process& proc, int wait_status);
+  // Blocks the calling process in the stopped state until SIGCONT/SIGKILL.
+  void StopSelf(Process& proc);
+  // Virtual "user work": advances the clock and utime. A signal-delivery point.
+  void ConsumeCpu(Process& proc, int64_t micros);
+
+  // --- introspection ----------------------------------------------------------------
+  int LiveProcessCount();
+  int64_t TotalSyscallCount();
+  std::vector<Pid> Pids();
+
+  // In-kernel tracing (the monolithic DFSTrace stand-in). Not owned.
+  void SetKtrace(KtraceSink* sink) { ktrace_ = sink; }
+
+  // Per-syscall virtual-time costs (µsec); defaults approximate paper Table 3-5.
+  void SetSyscallCost(int number, int32_t micros);
+  int32_t SyscallCost(int number) const;
+
+ private:
+  friend class ProcessContext;
+
+  using Lock = std::unique_lock<std::mutex>;
+
+  NameiEnv EnvOf(Process& proc) const { return NameiEnv{proc.root, proc.cwd, &proc.cred}; }
+
+  SyscallStatus DispatchLocked(Process& proc, int number, const SyscallArgs& args,
+                               SyscallResult* rv, Lock& lk);
+
+  // One method per implemented system call (all hold the big lock on entry).
+  SyscallStatus SysOpen(Process& p, const SyscallArgs& a, SyscallResult* rv);
+  SyscallStatus SysClose(Process& p, const SyscallArgs& a, SyscallResult* rv);
+  SyscallStatus SysRead(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysWrite(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysReadv(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysWritev(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysLseek(Process& p, const SyscallArgs& a, SyscallResult* rv);
+  SyscallStatus SysStatCommon(Process& p, const SyscallArgs& a, bool follow);
+  SyscallStatus SysFstat(Process& p, const SyscallArgs& a);
+  SyscallStatus SysLink(Process& p, const SyscallArgs& a);
+  SyscallStatus SysUnlink(Process& p, const SyscallArgs& a);
+  SyscallStatus SysSymlink(Process& p, const SyscallArgs& a);
+  SyscallStatus SysReadlink(Process& p, const SyscallArgs& a, SyscallResult* rv);
+  SyscallStatus SysRename(Process& p, const SyscallArgs& a);
+  SyscallStatus SysMkdir(Process& p, const SyscallArgs& a);
+  SyscallStatus SysRmdir(Process& p, const SyscallArgs& a);
+  SyscallStatus SysChdir(Process& p, const SyscallArgs& a);
+  SyscallStatus SysFchdir(Process& p, const SyscallArgs& a);
+  SyscallStatus SysChroot(Process& p, const SyscallArgs& a);
+  SyscallStatus SysChmod(Process& p, const SyscallArgs& a);
+  SyscallStatus SysFchmod(Process& p, const SyscallArgs& a);
+  SyscallStatus SysChown(Process& p, const SyscallArgs& a);
+  SyscallStatus SysFchown(Process& p, const SyscallArgs& a);
+  SyscallStatus SysAccess(Process& p, const SyscallArgs& a);
+  SyscallStatus SysUtimes(Process& p, const SyscallArgs& a);
+  SyscallStatus SysTruncate(Process& p, const SyscallArgs& a);
+  SyscallStatus SysFtruncate(Process& p, const SyscallArgs& a);
+  SyscallStatus SysUmask(Process& p, const SyscallArgs& a, SyscallResult* rv);
+  SyscallStatus SysDup(Process& p, const SyscallArgs& a, SyscallResult* rv);
+  SyscallStatus SysDup2(Process& p, const SyscallArgs& a, SyscallResult* rv);
+  SyscallStatus SysPipe(Process& p, SyscallResult* rv);
+  SyscallStatus SysFcntl(Process& p, const SyscallArgs& a, SyscallResult* rv);
+  SyscallStatus SysFlock(Process& p, const SyscallArgs& a);
+  SyscallStatus SysIoctl(Process& p, const SyscallArgs& a);
+  SyscallStatus SysGetdirentries(Process& p, const SyscallArgs& a, SyscallResult* rv);
+  SyscallStatus SysMknod(Process& p, const SyscallArgs& a);
+
+  SyscallStatus SysFork(Process& p, SyscallResult* rv);
+  SyscallStatus SysExecve(Process& p, const SyscallArgs& a);
+  SyscallStatus SysExit(Process& p, const SyscallArgs& a);
+  SyscallStatus SysWait4(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysKill(Process& p, const SyscallArgs& a);
+  SyscallStatus SysKillpg(Process& p, const SyscallArgs& a);
+
+  SyscallStatus SysSigvec(Process& p, const SyscallArgs& a);
+  SyscallStatus SysSigblock(Process& p, const SyscallArgs& a, SyscallResult* rv);
+  SyscallStatus SysSigsetmask(Process& p, const SyscallArgs& a, SyscallResult* rv);
+  SyscallStatus SysSigpause(Process& p, const SyscallArgs& a, Lock& lk);
+
+  SyscallStatus SysGettimeofday(Process& p, const SyscallArgs& a);
+  SyscallStatus SysSettimeofday(Process& p, const SyscallArgs& a);
+  SyscallStatus SysGetrusage(Process& p, const SyscallArgs& a);
+
+  SyscallStatus SysSetpgrp(Process& p, const SyscallArgs& a);
+  SyscallStatus SysSetuid(Process& p, const SyscallArgs& a);
+  SyscallStatus SysGetgroups(Process& p, const SyscallArgs& a, SyscallResult* rv);
+  SyscallStatus SysSetgroups(Process& p, const SyscallArgs& a);
+  SyscallStatus SysGetlogin(Process& p, const SyscallArgs& a);
+  SyscallStatus SysSetlogin(Process& p, const SyscallArgs& a);
+  SyscallStatus SysGethostname(Process& p, const SyscallArgs& a);
+  SyscallStatus SysSethostname(Process& p, const SyscallArgs& a);
+
+  // Posts `signo` to `target` (lock held).
+  void PostSignalLocked(Process& target, int signo);
+  int KillOneLocked(Process& sender, Process& target, int signo);
+
+  // Reaps `pid` (zombie): joins its thread with the lock dropped. Returns status.
+  int ReapLocked(Pid pid, Lock& lk, Rusage* child_usage);
+  void ReapHostOrphansLocked(Lock& lk);
+
+  ProcessRef FindLocked(Pid pid);
+
+  Process& CreateProcessLocked(Pid ppid);
+  void StartProcessThreadLocked(const ProcessRef& proc);
+
+  int ResolveExecutableLocked(Process& p, const std::string& path, PendingExec* out);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Pid, ProcessRef> table_;
+  std::map<Pid, std::thread> threads_;
+  Pid next_pid_ = 1;
+  bool shutting_down_ = false;
+
+  Filesystem fs_;
+  ProgramRegistry programs_;
+  VirtualClock clock_;
+  std::string hostname_ = "vax6250";
+
+  NullDevice null_dev_;
+  ZeroDevice zero_dev_;
+  ConsoleDevice console_;
+  RandomDevice random_dev_;
+
+  double compute_spin_scale_ = 0.0;
+  KtraceSink* ktrace_ = nullptr;
+  int32_t syscall_cost_[kMaxSyscall] = {};
+  int64_t total_syscalls_ = 0;
+};
+
+}  // namespace ia
+
+#endif  // SRC_KERNEL_KERNEL_H_

@@ -1,0 +1,38 @@
+#include "src/kernel/ktrace.h"
+
+namespace ia {
+
+bool IsFileReferenceSyscall(int number) {
+  switch (number) {
+    case kSysOpen:
+    case kSysCreat:
+    case kSysClose:
+    case kSysStat:
+    case kSysLstat:
+    case kSysFstat:
+    case kSysLink:
+    case kSysUnlink:
+    case kSysSymlink:
+    case kSysReadlink:
+    case kSysRename:
+    case kSysMkdir:
+    case kSysRmdir:
+    case kSysChdir:
+    case kSysChroot:
+    case kSysChmod:
+    case kSysChown:
+    case kSysAccess:
+    case kSysUtimes:
+    case kSysTruncate:
+    case kSysFtruncate:
+    case kSysExecve:
+    case kSysFork:
+    case kSysExit:
+    case kSysLseek:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace ia

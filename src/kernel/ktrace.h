@@ -1,0 +1,46 @@
+// In-kernel tracing hooks — the stand-in for the original monolithic DFSTrace
+// implementation (data collection code compiled into the kernel syscall path),
+// against which the paper compares its agent-based dfs_trace (Section 3.5.3).
+#ifndef SRC_KERNEL_KTRACE_H_
+#define SRC_KERNEL_KTRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/types.h"
+
+namespace ia {
+
+struct KtraceRecord {
+  Pid pid = 0;
+  int syscall = 0;
+  int64_t result = 0;
+  int fd = -1;           // for descriptor calls
+  std::string path;      // for pathname calls (first path argument)
+  int64_t vtime_usec = 0;
+};
+
+class KtraceSink {
+ public:
+  virtual ~KtraceSink() = default;
+  virtual void Record(const KtraceRecord& record) = 0;
+};
+
+// Collects records in memory (cheap, like the kernel buffer DFSTrace used).
+class VectorKtraceSink final : public KtraceSink {
+ public:
+  void Record(const KtraceRecord& record) override { records_.push_back(record); }
+
+  const std::vector<KtraceRecord>& records() const { return records_; }
+  void Clear() { records_.clear(); }
+
+ private:
+  std::vector<KtraceRecord> records_;
+};
+
+// Returns true for the file-reference syscalls DFSTrace collects.
+bool IsFileReferenceSyscall(int number);
+
+}  // namespace ia
+
+#endif  // SRC_KERNEL_KTRACE_H_

@@ -1,0 +1,50 @@
+// Bounded pipe buffer with 4.3BSD semantics (4KB capacity, EOF on writer close,
+// EPIPE/SIGPIPE on reader close). Blocking is implemented by the kernel, which owns
+// the big lock and condition variable; this object is passive data.
+#ifndef SRC_KERNEL_PIPE_H_
+#define SRC_KERNEL_PIPE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+
+#include "src/kernel/types.h"
+
+namespace ia {
+
+class Pipe {
+ public:
+  static constexpr size_t kCapacity = 4096;
+
+  size_t BytesBuffered() const { return buffer_.size(); }
+  size_t SpaceAvailable() const { return kCapacity - buffer_.size(); }
+
+  // Transfers up to min(count, space); returns bytes accepted.
+  int64_t WriteSome(const char* buf, int64_t count) {
+    const int64_t n = std::min<int64_t>(count, static_cast<int64_t>(SpaceAvailable()));
+    buffer_.insert(buffer_.end(), buf, buf + n);
+    total_written_ += n;
+    return n;
+  }
+
+  // Transfers up to min(count, buffered); returns bytes copied out.
+  int64_t ReadSome(char* buf, int64_t count) {
+    const int64_t n = std::min<int64_t>(count, static_cast<int64_t>(buffer_.size()));
+    std::copy_n(buffer_.begin(), n, buf);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + n);
+    return n;
+  }
+
+  int readers = 0;  // open read ends (struct-file granularity)
+  int writers = 0;  // open write ends
+
+  int64_t total_written() const { return total_written_; }
+
+ private:
+  std::deque<char> buffer_;
+  int64_t total_written_ = 0;
+};
+
+}  // namespace ia
+
+#endif  // SRC_KERNEL_PIPE_H_

@@ -1,0 +1,29 @@
+#include "src/kernel/process.h"
+
+#include "src/kernel/context.h"
+
+namespace ia {
+
+Process::~Process() = default;
+
+SigDefault DefaultActionFor(int signo) {
+  switch (signo) {
+    case kSigUrg:
+    case kSigChld:
+    case kSigIo:
+    case kSigWinch:
+    case kSigInfo:
+      return SigDefault::kIgnore;
+    case kSigStop:
+    case kSigTstp:
+    case kSigTtin:
+    case kSigTtou:
+      return SigDefault::kStop;
+    case kSigCont:
+      return SigDefault::kContinue;
+    default:
+      return SigDefault::kTerminate;
+  }
+}
+
+}  // namespace ia

@@ -1,0 +1,148 @@
+// Process objects for the simulated 4.3BSD kernel.
+//
+// Each live process runs on a dedicated host thread; the kernel serializes all
+// kernel-mode work with a single big lock (4.3BSD was a uniprocessor kernel).
+#ifndef SRC_KERNEL_PROCESS_H_
+#define SRC_KERNEL_PROCESS_H_
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/kernel/cred.h"
+#include "src/kernel/emulation.h"
+#include "src/kernel/fdtable.h"
+#include "src/kernel/programs.h"
+#include "src/kernel/types.h"
+
+namespace ia {
+
+class ProcessContext;
+
+enum class ProcState {
+  kEmbryo,   // created, thread not yet running user code
+  kRunning,  // executing (or blocked in a syscall)
+  kStopped,  // stopped by SIGSTOP/SIGTSTP, waiting for SIGCONT
+  kZombie,   // exited, awaiting wait4() by the parent
+};
+
+// User-level signal disposition. `fn` is the "handler address" — with agents living
+// in their client's address space, a host closure is the faithful analogue.
+struct SignalAction {
+  uintptr_t disposition = kSigDfl;  // kSigDfl, kSigIgn, or a user-handler tag (>= 2)
+  std::function<void(ProcessContext&, int)> fn;
+  uint32_t mask = 0;  // additionally blocked while the handler runs
+
+  bool IsDefault() const { return disposition == kSigDfl; }
+  bool IsIgnore() const { return disposition == kSigIgn; }
+  bool IsHandler() const { return disposition >= 2; }
+};
+
+// Default action categories per 4.3BSD signal(3).
+enum class SigDefault { kTerminate, kIgnore, kStop, kContinue };
+SigDefault DefaultActionFor(int signo);
+
+struct PendingExec {
+  ProgramMain main;
+  std::string image_name;
+  std::string path;
+  std::vector<std::string> argv;
+  bool preserve_emulation = false;
+  bool valid = false;
+};
+
+class Process {
+ public:
+  Process(Pid pid_in, Pid ppid_in) : pid(pid_in), ppid(ppid_in) {}
+  ~Process();  // out of line: ProcessContext is incomplete here
+
+  // --- identity ---------------------------------------------------------------
+  const Pid pid;
+  Pid ppid;
+  Pid pgrp = 0;
+  Cred cred;
+  std::string login = "root";
+
+  // --- state ------------------------------------------------------------------
+  ProcState state = ProcState::kEmbryo;
+  int exit_status = 0;      // wait4 encoding, valid when kZombie
+  bool sigcont_pending = false;
+  bool host_owned = false;  // spawned (and reaped) by the host harness
+  bool exit_pending = false;
+  int exit_wait_status = 0;
+
+  // --- resources ----------------------------------------------------------------
+  FdTable fds;
+  InodeRef cwd;
+  InodeRef root;
+  Mode umask_bits = 022;
+  Rusage rusage;
+  Rusage child_rusage;  // accumulated from reaped children
+
+  // --- program image -------------------------------------------------------------
+  std::string image_name;
+  std::string image_path;
+  std::vector<std::string> argv;
+  PendingExec pending_exec;
+
+  // fork(): the child body is carried out-of-band (a host-stack cannot be copied);
+  // the interception layer may wrap it to propagate agents into the child.
+  std::function<int(ProcessContext&)> pending_fork_body;
+
+  // execve()/sigvec() side channels: argv strings and handler closures cannot cross
+  // the numeric syscall ABI, so the libc stages them here before trapping.
+  std::vector<std::string> exec_argv_staging;
+  std::function<void(ProcessContext&, int)> staging_handler;
+
+  // --- signals ----------------------------------------------------------------------
+  std::array<SignalAction, kNumSignals> actions;
+  uint32_t sig_pending = 0;
+  uint32_t sig_mask = 0;
+  // sigpause(2) restores the caller's mask only after the woken signal's handler
+  // has run; the boundary performs the restore.
+  bool sigpause_restore = false;
+  uint32_t sigpause_saved_mask = 0;
+
+  // --- interposition (kernel primitive state) ------------------------------------------
+  EmulationStack emulation;
+
+  // --- host-side execution -----------------------------------------------------------
+  std::unique_ptr<ProcessContext> context;
+  std::thread thread;
+
+  bool HasPendingSignal(int signo) const { return (sig_pending & SigMask(signo)) != 0; }
+
+  // A signal that would be acted upon if we hit a delivery point now: pending,
+  // unblocked, and not effectively ignored.
+  bool HasDeliverableSignal() const {
+    uint32_t candidates = sig_pending & ~sig_mask;
+    // SIGKILL/SIGSTOP cannot be blocked.
+    candidates |= sig_pending & (SigMask(kSigKill) | SigMask(kSigStop));
+    if (candidates == 0) {
+      return false;
+    }
+    for (int signo = 1; signo < kNumSignals; ++signo) {
+      if ((candidates & SigMask(signo)) == 0) {
+        continue;
+      }
+      const SignalAction& action = actions[static_cast<size_t>(signo)];
+      if (action.IsIgnore()) {
+        continue;
+      }
+      if (action.IsDefault() && DefaultActionFor(signo) == SigDefault::kIgnore) {
+        continue;
+      }
+      return true;
+    }
+    return false;
+  }
+};
+
+using ProcessRef = std::shared_ptr<Process>;
+
+}  // namespace ia
+
+#endif  // SRC_KERNEL_PROCESS_H_

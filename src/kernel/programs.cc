@@ -1,0 +1,26 @@
+#include "src/kernel/programs.h"
+
+namespace ia {
+
+void ProgramRegistry::Register(const std::string& image, ProgramMain main) {
+  images_[image] = std::move(main);
+}
+
+const ProgramMain* ProgramRegistry::Find(const std::string& image) const {
+  auto it = images_.find(image);
+  if (it == images_.end()) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+std::vector<std::string> ProgramRegistry::ImageNames() const {
+  std::vector<std::string> names;
+  names.reserve(images_.size());
+  for (const auto& [name, main] : images_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace ia

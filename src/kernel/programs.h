@@ -1,0 +1,39 @@
+// Executable-image registry.
+//
+// Simulated "binaries" are C++ entry points registered under image names; a VFS
+// file whose `exec_image` names a registered image is executable via execve(2).
+// This substitutes for loading a.out images from disk while preserving the shape
+// of the exec path (path resolution, permission checks, argument passing, fd and
+// signal reset) that interposition agents must reimplement.
+#ifndef SRC_KERNEL_PROGRAMS_H_
+#define SRC_KERNEL_PROGRAMS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ia {
+
+class ProcessContext;
+
+// A program's main(): receives its process context (the "libc"), returns exit status.
+using ProgramMain = std::function<int(ProcessContext&)>;
+
+class ProgramRegistry {
+ public:
+  // Registers `main` under `image`. Re-registration replaces (tests use this).
+  void Register(const std::string& image, ProgramMain main);
+
+  // Returns null if no such image.
+  const ProgramMain* Find(const std::string& image) const;
+
+  std::vector<std::string> ImageNames() const;
+
+ private:
+  std::map<std::string, ProgramMain> images_;
+};
+
+}  // namespace ia
+
+#endif  // SRC_KERNEL_PROGRAMS_H_

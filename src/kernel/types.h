@@ -1,0 +1,409 @@
+// 4.3BSD system-interface ABI types and constants for the simulated kernel.
+//
+// All names are macro-safe spellings of the historical constants (host headers
+// define O_RDONLY, SIGKILL, ... as macros). Values track 4.3BSD where practical so
+// traced output and tests read naturally.
+#ifndef SRC_KERNEL_TYPES_H_
+#define SRC_KERNEL_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ia {
+
+using Pid = int32_t;
+using Uid = int32_t;
+using Gid = int32_t;
+using Ino = uint64_t;
+using Off = int64_t;
+using Mode = uint32_t;
+using Dev = int32_t;
+
+// ---------------------------------------------------------------------------
+// open(2) flags (4.3BSD <sys/file.h> values).
+// ---------------------------------------------------------------------------
+inline constexpr int kORdonly = 0x0000;
+inline constexpr int kOWronly = 0x0001;
+inline constexpr int kORdwr = 0x0002;
+inline constexpr int kOAccmode = 0x0003;
+inline constexpr int kONonblock = 0x0004;
+inline constexpr int kOAppend = 0x0008;
+inline constexpr int kOCreat = 0x0200;
+inline constexpr int kOTrunc = 0x0400;
+inline constexpr int kOExcl = 0x0800;
+
+// lseek whence.
+inline constexpr int kSeekSet = 0;
+inline constexpr int kSeekCur = 1;
+inline constexpr int kSeekEnd = 2;
+
+// access(2) modes.
+inline constexpr int kFOk = 0;
+inline constexpr int kXOk = 1;
+inline constexpr int kWOk = 2;
+inline constexpr int kROk = 4;
+
+// ---------------------------------------------------------------------------
+// File mode bits (<sys/stat.h>).
+// ---------------------------------------------------------------------------
+inline constexpr Mode kSIfmt = 0170000;
+inline constexpr Mode kSIfifo = 0010000;
+inline constexpr Mode kSIfchr = 0020000;
+inline constexpr Mode kSIfdir = 0040000;
+inline constexpr Mode kSIfblk = 0060000;
+inline constexpr Mode kSIfreg = 0100000;
+inline constexpr Mode kSIflnk = 0120000;
+inline constexpr Mode kSIfsock = 0140000;
+
+inline constexpr Mode kSIsuid = 0004000;
+inline constexpr Mode kSIsgid = 0002000;
+inline constexpr Mode kSIsvtx = 0001000;
+
+inline constexpr Mode kSIrwxu = 0000700;
+inline constexpr Mode kSIrusr = 0000400;
+inline constexpr Mode kSIwusr = 0000200;
+inline constexpr Mode kSIxusr = 0000100;
+inline constexpr Mode kSIrwxg = 0000070;
+inline constexpr Mode kSIrgrp = 0000040;
+inline constexpr Mode kSIwgrp = 0000020;
+inline constexpr Mode kSIxgrp = 0000010;
+inline constexpr Mode kSIrwxo = 0000007;
+inline constexpr Mode kSIroth = 0000004;
+inline constexpr Mode kSIwoth = 0000002;
+inline constexpr Mode kSIxoth = 0000001;
+
+constexpr bool SIsDir(Mode m) { return (m & kSIfmt) == kSIfdir; }
+constexpr bool SIsReg(Mode m) { return (m & kSIfmt) == kSIfreg; }
+constexpr bool SIsLnk(Mode m) { return (m & kSIfmt) == kSIflnk; }
+constexpr bool SIsChr(Mode m) { return (m & kSIfmt) == kSIfchr; }
+constexpr bool SIsFifo(Mode m) { return (m & kSIfmt) == kSIfifo; }
+constexpr bool SIsSock(Mode m) { return (m & kSIfmt) == kSIfsock; }
+
+// ---------------------------------------------------------------------------
+// Signals (4.3BSD numbering).
+// ---------------------------------------------------------------------------
+inline constexpr int kSigHup = 1;
+inline constexpr int kSigInt = 2;
+inline constexpr int kSigQuit = 3;
+inline constexpr int kSigIll = 4;
+inline constexpr int kSigTrap = 5;
+inline constexpr int kSigAbrt = 6;
+inline constexpr int kSigEmt = 7;
+inline constexpr int kSigFpe = 8;
+inline constexpr int kSigKill = 9;
+inline constexpr int kSigBus = 10;
+inline constexpr int kSigSegv = 11;
+inline constexpr int kSigSys = 12;
+inline constexpr int kSigPipe = 13;
+inline constexpr int kSigAlrm = 14;
+inline constexpr int kSigTerm = 15;
+inline constexpr int kSigUrg = 16;
+inline constexpr int kSigStop = 17;
+inline constexpr int kSigTstp = 18;
+inline constexpr int kSigCont = 19;
+inline constexpr int kSigChld = 20;
+inline constexpr int kSigTtin = 21;
+inline constexpr int kSigTtou = 22;
+inline constexpr int kSigIo = 23;
+inline constexpr int kSigXcpu = 24;
+inline constexpr int kSigXfsz = 25;
+inline constexpr int kSigVtalrm = 26;
+inline constexpr int kSigProf = 27;
+inline constexpr int kSigWinch = 28;
+inline constexpr int kSigInfo = 29;
+inline constexpr int kSigUsr1 = 30;
+inline constexpr int kSigUsr2 = 31;
+inline constexpr int kNumSignals = 32;  // Valid signal numbers are 1..31.
+
+constexpr uint32_t SigMask(int signo) { return 1u << signo; }
+
+// Signal handler dispositions (values of the handler pointer in 4.3BSD).
+inline constexpr uintptr_t kSigDfl = 0;
+inline constexpr uintptr_t kSigIgn = 1;
+
+// Returns "SIGKILL" style names.
+std::string_view SignalName(int signo);
+
+// ---------------------------------------------------------------------------
+// On-"disk"/ABI structures passed across the system interface.
+// ---------------------------------------------------------------------------
+struct TimeVal {
+  int64_t tv_sec = 0;
+  int64_t tv_usec = 0;
+};
+
+struct TimeZone {
+  int tz_minuteswest = 0;
+  int tz_dsttime = 0;
+};
+
+struct Stat {
+  Dev st_dev = 0;
+  Ino st_ino = 0;
+  Mode st_mode = 0;
+  int32_t st_nlink = 0;
+  Uid st_uid = 0;
+  Gid st_gid = 0;
+  Dev st_rdev = 0;
+  Off st_size = 0;
+  int64_t st_atime_sec = 0;  // seconds, virtual clock
+  int64_t st_mtime_sec = 0;
+  int64_t st_ctime_sec = 0;
+  int32_t st_blksize = 4096;
+  int64_t st_blocks = 0;
+};
+
+// struct direct from 4.3BSD <sys/dir.h>; returned (packed, 4-byte aligned records)
+// by getdirentries(2).
+struct Dirent {
+  Ino d_ino = 0;
+  uint16_t d_reclen = 0;
+  uint16_t d_namlen = 0;
+  std::string d_name;
+};
+
+inline constexpr int kMaxNameLen = 255;
+inline constexpr int kMaxPathLen = 1024;
+inline constexpr int kMaxSymlinkDepth = 8;  // MAXSYMLINKS in 4.3BSD.
+inline constexpr int kMaxFilesPerProcess = 64;
+inline constexpr int kMaxArgsBytes = 20 * 1024;  // NCARGS flavor.
+
+// readv/writev scatter-gather segment (<sys/uio.h>).
+struct IoVec {
+  void* iov_base = nullptr;
+  int64_t iov_len = 0;
+};
+inline constexpr int kMaxIoVecs = 16;  // UIO_MAXIOV flavour
+
+// rusage subset (<sys/resource.h>).
+struct Rusage {
+  TimeVal ru_utime;
+  TimeVal ru_stime;
+  int64_t ru_nsyscalls = 0;  // extension: syscall count (monitoring agents use this)
+  int64_t ru_inblock = 0;
+  int64_t ru_oublock = 0;
+  int64_t ru_nsignals = 0;
+};
+
+inline constexpr int kRusageSelf = 0;
+inline constexpr int kRusageChildren = -1;
+
+// wait(2) status encoding (4.3BSD union wait semantics, flattened).
+constexpr int WaitStatusExited(int code) { return (code & 0xff) << 8; }
+constexpr int WaitStatusSignaled(int signo) { return signo & 0x7f; }
+constexpr bool WifExited(int status) { return (status & 0x7f) == 0; }
+constexpr int WExitStatus(int status) { return (status >> 8) & 0xff; }
+constexpr bool WifSignaled(int status) { return (status & 0x7f) != 0 && (status & 0x7f) != 0x7f; }
+constexpr int WTermSig(int status) { return status & 0x7f; }
+
+// wait4 options.
+inline constexpr int kWNoHang = 1;
+
+// flock(2) operations.
+inline constexpr int kLockSh = 1;
+inline constexpr int kLockEx = 2;
+inline constexpr int kLockNb = 4;
+inline constexpr int kLockUn = 8;
+
+// fcntl commands (subset).
+inline constexpr int kFDupfd = 0;
+inline constexpr int kFGetfd = 1;
+inline constexpr int kFSetfd = 2;
+inline constexpr int kFGetfl = 3;
+inline constexpr int kFSetfl = 4;
+
+// ioctl requests (tiny subset used by the console device).
+inline constexpr uint64_t kTiocGwinsz = 0x40087468;
+
+// ---------------------------------------------------------------------------
+// System call numbers (4.3BSD <syscall.h> numbering for the implemented subset).
+// ---------------------------------------------------------------------------
+enum SyscallNumber : int {
+  kSysIndir = 0,  // historical "syscall()" indirection; unused
+  kSysExit = 1,
+  kSysFork = 2,
+  kSysRead = 3,
+  kSysWrite = 4,
+  kSysOpen = 5,
+  kSysClose = 6,
+  kSysWait4 = 7,  // 4.3BSD: old wait at 7 retired; wait4 lives here in this subset
+  kSysCreat = 8,
+  kSysLink = 9,
+  kSysUnlink = 10,
+  kSysExecv = 11,
+  kSysChdir = 12,
+  kSysFchdir = 13,
+  kSysMknod = 14,
+  kSysChmod = 15,
+  kSysChown = 16,
+  kSysBreak = 17,
+  kSysGetfsstat = 18,
+  kSysLseek = 19,
+  kSysGetpid = 20,
+  kSysMount = 21,
+  kSysUmount = 22,
+  kSysSetuid = 23,
+  kSysGetuid = 24,
+  kSysGeteuid = 25,
+  kSysPtrace = 26,
+  kSysRecvmsg = 27,
+  kSysSendmsg = 28,
+  kSysRecvfrom = 29,
+  kSysAccept = 30,
+  kSysGetpeername = 31,
+  kSysGetsockname = 32,
+  kSysAccess = 33,
+  kSysChflags = 34,
+  kSysFchflags = 35,
+  kSysSync = 36,
+  kSysKill = 37,
+  kSysStat = 38,
+  kSysGetppid = 39,
+  kSysLstat = 40,
+  kSysDup = 41,
+  kSysPipe = 42,
+  kSysGetegid = 43,
+  kSysProfil = 44,
+  kSysKtrace = 45,
+  kSysSigaction = 46,  // 4.3BSD sigvec
+  kSysGetgid = 47,
+  kSysSigprocmask = 48,  // 4.3BSD sigblock/sigsetmask live at 109/110; see below
+  kSysGetlogin = 49,
+  kSysSetlogin = 50,
+  kSysAcct = 51,
+  kSysSigpending = 52,
+  kSysSigaltstack = 53,
+  kSysIoctl = 54,
+  kSysReboot = 55,
+  kSysRevoke = 56,
+  kSysSymlink = 57,
+  kSysReadlink = 58,
+  kSysExecve = 59,
+  kSysUmask = 60,
+  kSysChroot = 61,
+  kSysFstat = 62,
+  kSysGetkerninfo = 63,
+  kSysGetpagesize = 64,
+  kSysMsync = 65,
+  kSysVfork = 66,
+
+  kSysSbrk = 69,
+  kSysSstk = 70,
+  kSysMmap = 71,
+  kSysVadvise = 72,
+  kSysMunmap = 73,
+  kSysMprotect = 74,
+  kSysMadvise = 75,
+  kSysVhangup = 76,
+
+  kSysMincore = 78,
+  kSysGetgroups = 79,
+  kSysSetgroups = 80,
+  kSysGetpgrp = 81,
+  kSysSetpgrp = 82,
+  kSysSetitimer = 83,
+  kSysWait = 84,
+  kSysSwapon = 85,
+  kSysGetitimer = 86,
+  kSysGethostname = 87,
+  kSysSethostname = 88,
+  kSysGetdtablesize = 89,
+  kSysDup2 = 90,
+
+  kSysFcntl = 92,
+  kSysSelect = 93,
+
+  kSysFsync = 95,
+  kSysSetpriority = 96,
+  kSysSocket = 97,
+  kSysConnect = 98,
+
+  kSysGetpriority = 100,
+
+  kSysSigreturn = 103,
+  kSysBind = 104,
+  kSysSetsockopt = 105,
+  kSysListen = 106,
+
+  kSysSigvec = 108,
+  kSysSigblock = 109,
+  kSysSigsetmask = 110,
+  kSysSigpause = 111,
+  kSysSigstack = 112,
+
+  kSysGettimeofday = 116,
+  kSysGetrusage = 117,
+  kSysGetsockopt = 118,
+
+  kSysReadv = 120,
+  kSysWritev = 121,
+  kSysSettimeofday = 122,
+  kSysFchown = 123,
+  kSysFchmod = 124,
+
+  kSysRename = 128,
+  kSysTruncate = 129,
+  kSysFtruncate = 130,
+  kSysFlock = 131,
+
+  kSysSendto = 133,
+  kSysShutdown = 134,
+  kSysSocketpair = 135,
+  kSysMkdir = 136,
+  kSysRmdir = 137,
+  kSysUtimes = 138,
+
+  kSysAdjtime = 140,
+
+  kSysKillpg = 146,
+
+  kSysQuotactl = 148,
+
+  kSysGetdirentries = 156,
+  kSysStatfs = 157,
+  kSysFstatfs = 158,
+
+  kMaxSyscall = 192,
+};
+
+// Returns "read", "open", ... for a syscall number; "#<n>" if unknown.
+std::string SyscallName(int number);
+
+// Returns the syscall number for a name, or -1.
+int SyscallNumberByName(std::string_view name);
+
+// ---------------------------------------------------------------------------
+// Raw system-call argument convention.
+//
+// The paper's layer-0 interface passes "vectors of untyped numeric arguments";
+// with agents sharing their client's address space, pointer arguments are plain
+// host pointers smuggled through uint64_t slots.
+// ---------------------------------------------------------------------------
+inline constexpr int kMaxSyscallArgs = 6;
+
+struct SyscallArgs {
+  uint64_t arg[kMaxSyscallArgs] = {0, 0, 0, 0, 0, 0};
+
+  template <typename T>
+  T* Ptr(int i) const {
+    return reinterpret_cast<T*>(static_cast<uintptr_t>(arg[i]));
+  }
+  int32_t Int(int i) const { return static_cast<int32_t>(arg[i]); }
+  int64_t Long(int i) const { return static_cast<int64_t>(arg[i]); }
+  uint64_t U64(int i) const { return arg[i]; }
+
+  void SetPtr(int i, const void* p) { arg[i] = static_cast<uint64_t>(reinterpret_cast<uintptr_t>(p)); }
+  void SetInt(int i, int64_t v) { arg[i] = static_cast<uint64_t>(v); }
+};
+
+// rv[2] from the paper: most calls use rv[0]; pipe() uses both.
+struct SyscallResult {
+  int64_t rv[2] = {0, 0};
+};
+
+// Negative errno on failure, >= 0 on success (value additionally in rv[0]).
+using SyscallStatus = int;
+
+}  // namespace ia
+
+#endif  // SRC_KERNEL_TYPES_H_

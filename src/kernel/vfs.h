@@ -1,0 +1,212 @@
+// In-memory UFS-like filesystem: inodes, directories, symlinks, devices, pipes,
+// hard links, permissions, and 4.3BSD namei() semantics.
+//
+// All VFS entry points report errors as negative BSD errno values. Synchronization
+// is provided by the caller (the kernel big lock); the VFS itself is single-threaded.
+#ifndef SRC_KERNEL_VFS_H_
+#define SRC_KERNEL_VFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/errno_codes.h"
+#include "src/kernel/cred.h"
+#include "src/kernel/types.h"
+
+namespace ia {
+
+class Inode;
+class Pipe;
+using InodeRef = std::shared_ptr<Inode>;
+
+// Character-device operations; instances are registered with the Filesystem and
+// referenced by device inodes. Not owned by inodes.
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  // Reads up to `count` bytes into `buf` at `offset`; returns bytes read or -errno.
+  virtual int64_t Read(char* buf, int64_t count, Off offset) = 0;
+
+  // Writes `count` bytes from `buf` at `offset`; returns bytes written or -errno.
+  virtual int64_t Write(const char* buf, int64_t count, Off offset) = 0;
+
+  virtual int Ioctl(uint64_t request, void* argp);
+
+  virtual Dev rdev() const = 0;
+};
+
+enum class InodeType {
+  kRegular,
+  kDirectory,
+  kSymlink,
+  kCharDevice,
+  kFifo,
+  kSocket,
+};
+
+// A UFS-style inode. Directories hold name->inode maps (std::map for deterministic
+// iteration order); regular files hold their bytes inline.
+class Inode {
+ public:
+  Inode(Ino number, InodeType type, Mode mode_bits, Uid uid, Gid gid);
+
+  Ino ino() const { return ino_; }
+  InodeType type() const { return type_; }
+  bool IsDirectory() const { return type_ == InodeType::kDirectory; }
+  bool IsRegular() const { return type_ == InodeType::kRegular; }
+  bool IsSymlink() const { return type_ == InodeType::kSymlink; }
+  bool IsDevice() const { return type_ == InodeType::kCharDevice; }
+  bool IsFifo() const { return type_ == InodeType::kFifo; }
+
+  // Full mode including the type bits, as stat(2) reports it.
+  Mode FullMode() const;
+
+  // Fills a Stat from this inode.
+  void FillStat(Stat* st) const;
+
+  // --- metadata (checked/updated by Filesystem ops) -------------------------
+  Mode mode_bits = 0644;  // permission + setuid bits only
+  Uid uid = 0;
+  Gid gid = 0;
+  int32_t nlink = 0;
+  int64_t atime = 0;
+  int64_t mtime = 0;
+  int64_t ctime = 0;
+
+  // --- regular file payload --------------------------------------------------
+  std::string data;
+
+  // Executable image binding: non-empty for files created via RegisterProgram-backed
+  // InstallProgramFile(); execve() resolves this to a program entry point.
+  std::string exec_image;
+
+  // --- directory payload ------------------------------------------------------
+  std::map<std::string, InodeRef> entries;
+  std::weak_ptr<Inode> parent;  // ".." link; weak to break ref cycles
+
+  // --- advisory flock(2) state --------------------------------------------------
+  int flock_shared = 0;       // count of shared holders
+  bool flock_exclusive = false;
+
+  // --- symlink payload ---------------------------------------------------------
+  std::string symlink_target;
+
+  // --- device payload ----------------------------------------------------------
+  Device* device = nullptr;  // registered with Filesystem; not owned
+
+  // --- fifo payload ------------------------------------------------------------
+  std::shared_ptr<Pipe> fifo_pipe;
+
+ private:
+  Ino ino_;
+  InodeType type_;
+};
+
+// Result of a pathname resolution.
+struct NameiResult {
+  InodeRef inode;          // resolved inode (null if kParent and final missing)
+  InodeRef parent;         // directory containing the final component
+  std::string final_name;  // final pathname component (empty when path is "/")
+};
+
+// namei() lookup modes.
+enum class NameiOp {
+  kLookup,  // final component must exist
+  kCreate,  // parent must exist; final may be missing (inode null then)
+  kDelete,  // final must exist; parent write permission checked by caller
+};
+
+// Per-lookup environment: where "/" and "." are, and as whom we resolve.
+struct NameiEnv {
+  InodeRef root;
+  InodeRef cwd;
+  const Cred* cred = nullptr;
+};
+
+// The in-memory filesystem. One instance per simulated kernel.
+class Filesystem {
+ public:
+  Filesystem();
+
+  InodeRef root() const { return root_; }
+
+  // Current file time, in seconds; set by the kernel each tick.
+  void set_now(int64_t seconds) { now_ = seconds; }
+  int64_t now() const { return now_; }
+
+  // Allocates a fresh unattached inode.
+  InodeRef AllocInode(InodeType type, Mode mode_bits, const Cred& cred);
+
+  // Resolves `path` per 4.3BSD namei: per-component execute checks, symlink
+  // expansion with kMaxSymlinkDepth, "" is ENOENT, trailing slashes require a
+  // directory. `follow_final` controls whether a final-component symlink is
+  // followed (false for lstat/readlink/unlink...).
+  int Namei(const NameiEnv& env, std::string_view path, NameiOp op, bool follow_final,
+            NameiResult* out);
+
+  // --- whole operations (all apply permission checks + update times) ----------
+  int Open(const NameiEnv& env, std::string_view path, int flags, Mode mode, InodeRef* out);
+  int Mkdir(const NameiEnv& env, std::string_view path, Mode mode, InodeRef* out = nullptr);
+  int Rmdir(const NameiEnv& env, std::string_view path);
+  int Link(const NameiEnv& env, std::string_view existing, std::string_view new_path);
+  int Unlink(const NameiEnv& env, std::string_view path);
+  int Symlink(const NameiEnv& env, std::string_view target, std::string_view link_path);
+  int Readlink(const NameiEnv& env, std::string_view path, std::string* target);
+  int Rename(const NameiEnv& env, std::string_view from, std::string_view to);
+  int Stat(const NameiEnv& env, std::string_view path, bool follow, ia::Stat* st);
+  int Access(const NameiEnv& env, std::string_view path, int amode);
+  int Chmod(const NameiEnv& env, std::string_view path, Mode mode);
+  int Chown(const NameiEnv& env, std::string_view path, Uid uid, Gid gid);
+  int Utimes(const NameiEnv& env, std::string_view path, const TimeVal* times);
+  int Truncate(const NameiEnv& env, std::string_view path, Off length);
+  int MknodFifo(const NameiEnv& env, std::string_view path, Mode mode);
+
+  // Attaches a directory entry; updates nlink/ctime. Fails with kEExist.
+  int AttachEntry(const InodeRef& dir, const std::string& name, const InodeRef& child);
+
+  // Detaches an entry; updates nlink/ctime. Does not check emptiness and does
+  // not account bytes (a detach may be half of a rename).
+  int DetachEntry(const InodeRef& dir, const std::string& name);
+
+  // Subtracts a regular file's bytes from the total when its last link is gone.
+  void AccountIfDeleted(const InodeRef& inode);
+
+  // Registers a device node at `path` (creating parents as needed, superuser context).
+  InodeRef InstallDeviceNode(std::string_view path, Device* device, Mode mode_bits);
+
+  // Creates directories along `path` as root (bootstrap/setup helper).
+  InodeRef MkdirAll(std::string_view path, Mode mode_bits = 0755);
+
+  // Creates (or replaces) a regular file at `path` with `contents` as root.
+  InodeRef InstallFile(std::string_view path, std::string_view contents, Mode mode_bits = 0644);
+
+  // Resolves the absolute pathname of `inode` by walking ".." links ("/a/b/c"),
+  // for getwd()-style queries. Returns empty if unlinked from the tree.
+  std::string AbsolutePathOf(const InodeRef& inode) const;
+
+  // Counts inodes reachable from the root (statistics/tests).
+  size_t CountReachableInodes() const;
+
+  int64_t total_bytes() const { return total_bytes_; }
+
+  // Truncate/extend a regular file's data, accounting bytes.
+  int ResizeFile(const InodeRef& inode, Off length);
+
+ private:
+  int LookupComponent(const NameiEnv& env, const InodeRef& dir, const std::string& name,
+                      InodeRef* out) const;
+
+  InodeRef root_;
+  Ino next_ino_ = 2;  // ino 2 is the root, per UFS convention
+  int64_t now_ = 0;
+  int64_t total_bytes_ = 0;
+};
+
+}  // namespace ia
+
+#endif  // SRC_KERNEL_VFS_H_

@@ -1,0 +1,256 @@
+#include "src/toolkit/descriptor_set.h"
+
+namespace ia {
+
+void DescriptorSet::init(ProcessContext& ctx) {
+  SymbolicSyscall::init(ctx);
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.try_emplace(ctx.process().pid);
+}
+
+void DescriptorSet::InitChild(ProcessContext& ctx) {
+  // fork(): the child's descriptor table is a copy of the parent's; the entries
+  // share OpenObjects exactly as struct files are shared in 4.3BSD.
+  std::lock_guard<std::mutex> lock(mu_);
+  const Pid pid = ctx.process().pid;
+  const Pid ppid = ctx.process().ppid;
+  auto parent_it = tables_.find(ppid);
+  if (parent_it != tables_.end()) {
+    tables_[pid] = parent_it->second;
+  } else {
+    tables_.try_emplace(pid);
+  }
+}
+
+void DescriptorSet::InstallDescriptor(ProcessContext& ctx, int fd, OpenObjectRef object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_[ctx.process().pid][fd] = std::make_shared<Descriptor>(fd, std::move(object));
+}
+
+void DescriptorSet::DropDescriptor(ProcessContext& ctx, int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(ctx.process().pid);
+  if (it != tables_.end()) {
+    it->second.erase(fd);
+  }
+}
+
+DescriptorRef DescriptorSet::Find(Pid pid, int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(pid);
+  if (it == tables_.end()) {
+    return nullptr;
+  }
+  auto fit = it->second.find(fd);
+  return fit == it->second.end() ? nullptr : fit->second;
+}
+
+int DescriptorSet::TrackedCount(Pid pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(pid);
+  return it == tables_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+OpenObjectRef DescriptorSet::MakeDefaultObject(AgentCall& call, int fd,
+                                               const std::string& path) {
+  DownApi api(call);
+  Stat st;
+  if (api.Fstat(fd, &st) == 0 && SIsDir(st.st_mode)) {
+    return std::make_shared<Directory>(fd, path);
+  }
+  return std::make_shared<OpenObject>(fd, path);
+}
+
+DescriptorRef DescriptorSet::LookupDescriptor(AgentCall& call, int fd) {
+  const Pid pid = call.ctx().process().pid;
+  DescriptorRef descriptor = Find(pid, fd);
+  if (descriptor != nullptr) {
+    return descriptor;
+  }
+  // Unseen descriptor (inherited stdio, opened before the agent attached):
+  // materialize the default object lazily so the name space stays uniform.
+  OpenObjectRef object = MakeDefaultObject(call, fd, "");
+  descriptor = std::make_shared<Descriptor>(fd, std::move(object));
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_[pid][fd] = descriptor;
+  return descriptor;
+}
+
+// ---------------------------------------------------------------------------
+// Calls routed through the object.
+// ---------------------------------------------------------------------------
+
+SyscallStatus DescriptorSet::sys_read(AgentCall& call, int fd, void* buf, int64_t cnt) {
+  return LookupDescriptor(call, fd)->object()->read(call, buf, cnt);
+}
+
+SyscallStatus DescriptorSet::sys_write(AgentCall& call, int fd, const void* buf, int64_t cnt) {
+  return LookupDescriptor(call, fd)->object()->write(call, buf, cnt);
+}
+
+SyscallStatus DescriptorSet::sys_lseek(AgentCall& call, int fd, Off offset, int whence) {
+  return LookupDescriptor(call, fd)->object()->lseek(call, offset, whence);
+}
+
+SyscallStatus DescriptorSet::sys_fstat(AgentCall& call, int fd, Stat* st) {
+  return LookupDescriptor(call, fd)->object()->fstat(call, st);
+}
+
+SyscallStatus DescriptorSet::sys_ftruncate(AgentCall& call, int fd, Off length) {
+  return LookupDescriptor(call, fd)->object()->ftruncate(call, length);
+}
+
+SyscallStatus DescriptorSet::sys_fchmod(AgentCall& call, int fd, Mode mode) {
+  return LookupDescriptor(call, fd)->object()->fchmod(call, mode);
+}
+
+SyscallStatus DescriptorSet::sys_fchown(AgentCall& call, int fd, Uid uid, Gid gid) {
+  return LookupDescriptor(call, fd)->object()->fchown(call, uid, gid);
+}
+
+SyscallStatus DescriptorSet::sys_flock(AgentCall& call, int fd, int operation) {
+  return LookupDescriptor(call, fd)->object()->flock(call, operation);
+}
+
+SyscallStatus DescriptorSet::sys_fsync(AgentCall& call, int fd) {
+  return LookupDescriptor(call, fd)->object()->fsync(call);
+}
+
+SyscallStatus DescriptorSet::sys_ioctl(AgentCall& call, int fd, uint64_t request, void* argp) {
+  return LookupDescriptor(call, fd)->object()->ioctl(call, request, argp);
+}
+
+SyscallStatus DescriptorSet::sys_fchdir(AgentCall& call, int fd) {
+  return LookupDescriptor(call, fd)->object()->fchdir(call);
+}
+
+SyscallStatus DescriptorSet::sys_getdirentries(AgentCall& call, int fd, char* buf, int nbytes,
+                                               int64_t* basep) {
+  return LookupDescriptor(call, fd)->object()->getdirentries(call, buf, nbytes, basep);
+}
+
+SyscallStatus DescriptorSet::sys_close(AgentCall& call, int fd) {
+  DescriptorRef descriptor = Find(call.ctx().process().pid, fd);
+  SyscallStatus status;
+  if (descriptor != nullptr) {
+    status = descriptor->object()->close(call);
+  } else {
+    status = call.CallDown();
+  }
+  DropDescriptor(call.ctx(), fd);
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// Name-space maintenance.
+// ---------------------------------------------------------------------------
+
+SyscallStatus DescriptorSet::RegisterOpened(AgentCall& call, int fd, const std::string& path) {
+  InstallDescriptor(call.ctx(), fd, MakeDefaultObject(call, fd, path));
+  return fd;
+}
+
+SyscallStatus DescriptorSet::sys_open(AgentCall& call, const char* path, int /*flags*/,
+                                      Mode /*mode*/) {
+  const SyscallStatus status = call.CallDown();
+  if (status >= 0) {
+    RegisterOpened(call, static_cast<int>(call.rv()->rv[0]), path != nullptr ? path : "");
+  }
+  return status;
+}
+
+SyscallStatus DescriptorSet::sys_creat(AgentCall& call, const char* path, Mode /*mode*/) {
+  const SyscallStatus status = call.CallDown();
+  if (status >= 0) {
+    RegisterOpened(call, static_cast<int>(call.rv()->rv[0]), path != nullptr ? path : "");
+  }
+  return status;
+}
+
+SyscallStatus DescriptorSet::sys_dup(AgentCall& call, int fd) {
+  DescriptorRef descriptor = Find(call.ctx().process().pid, fd);
+  const SyscallStatus status = call.CallDown();
+  if (status >= 0 && descriptor != nullptr) {
+    // The duplicate shares the object (reference counting via shared_ptr).
+    InstallDescriptor(call.ctx(), static_cast<int>(call.rv()->rv[0]), descriptor->object());
+  }
+  return status;
+}
+
+SyscallStatus DescriptorSet::sys_dup2(AgentCall& call, int from, int to) {
+  DescriptorRef descriptor = Find(call.ctx().process().pid, from);
+  const SyscallStatus status = call.CallDown();
+  if (status >= 0) {
+    if (descriptor != nullptr) {
+      InstallDescriptor(call.ctx(), to, descriptor->object());
+    } else {
+      DropDescriptor(call.ctx(), to);
+    }
+  }
+  return status;
+}
+
+SyscallStatus DescriptorSet::sys_fcntl(AgentCall& call, int fd, int cmd, int64_t /*arg*/) {
+  DescriptorRef descriptor = Find(call.ctx().process().pid, fd);
+  const SyscallStatus status = call.CallDown();
+  if (status >= 0 && cmd == kFDupfd && descriptor != nullptr) {
+    InstallDescriptor(call.ctx(), static_cast<int>(call.rv()->rv[0]), descriptor->object());
+  }
+  return status;
+}
+
+SyscallStatus DescriptorSet::sys_pipe(AgentCall& call) {
+  const SyscallStatus status = call.CallDown();
+  if (status >= 0) {
+    const int read_fd = static_cast<int>(call.rv()->rv[0]);
+    const int write_fd = static_cast<int>(call.rv()->rv[1]);
+    InstallDescriptor(call.ctx(), read_fd, std::make_shared<OpenObject>(read_fd, ""));
+    InstallDescriptor(call.ctx(), write_fd, std::make_shared<OpenObject>(write_fd, ""));
+  }
+  return status;
+}
+
+void DescriptorSet::DropAllForExec(AgentCall& call) {
+  // execve(2) preserves descriptors that are not close-on-exec — and with them
+  // their open objects (a custom object on fd 1 keeps interposing in the new
+  // image). Drop exactly the descriptors the lower level is about to drop.
+  const Pid pid = call.ctx().process().pid;
+  std::vector<int> tracked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(pid);
+    if (it == tables_.end()) {
+      return;
+    }
+    tracked.reserve(it->second.size());
+    for (const auto& [fd, descriptor] : it->second) {
+      tracked.push_back(fd);
+    }
+  }
+  DownApi api(call);
+  std::vector<int> doomed;
+  for (const int fd : tracked) {
+    const int cloexec = api.Fcntl(fd, kFGetfd, 0);
+    if (cloexec != 0) {  // close-on-exec set, or the descriptor is already gone
+      doomed.push_back(fd);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(pid);
+  if (it == tables_.end()) {
+    return;
+  }
+  for (const int fd : doomed) {
+    it->second.erase(fd);
+  }
+}
+
+SyscallStatus DescriptorSet::sys_execve(AgentCall& call, const char* /*path*/) {
+  const SyscallStatus status = call.CallDown();
+  if (status >= 0) {
+    DropAllForExec(call);
+  }
+  return status;
+}
+
+}  // namespace ia

@@ -1,0 +1,101 @@
+// Toolkit layer 2 — descriptors and the descriptor name space (paper §2.3).
+//
+// DescriptorSet maintains, per client process, the mapping from descriptor
+// numbers to Descriptor objects referencing reference-counted OpenObjects. All
+// descriptor-using system calls are routed through the referenced object's
+// method, so agents change descriptor behaviour by substituting derived
+// OpenObjects rather than by reimplementing the calls.
+#ifndef SRC_TOOLKIT_DESCRIPTOR_SET_H_
+#define SRC_TOOLKIT_DESCRIPTOR_SET_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/toolkit/directory.h"
+#include "src/toolkit/symbolic_syscall.h"
+
+namespace ia {
+
+// An active descriptor: a name-space slot referencing an open object. dup()'d and
+// fork-inherited descriptors share the OpenObject (so state such as union-directory
+// iteration is shared exactly as file offsets are shared in 4.3BSD).
+class Descriptor {
+ public:
+  Descriptor(int fd, OpenObjectRef object) : fd_(fd), object_(std::move(object)) {}
+
+  int fd() const { return fd_; }
+  const OpenObjectRef& object() const { return object_; }
+
+ private:
+  int fd_;
+  OpenObjectRef object_;
+};
+
+using DescriptorRef = std::shared_ptr<Descriptor>;
+
+class DescriptorSet : public SymbolicSyscall {
+ public:
+  // Installs `object` as descriptor `fd` of the calling process.
+  void InstallDescriptor(ProcessContext& ctx, int fd, OpenObjectRef object);
+
+  // The descriptor for `fd`, materializing a default object lazily for
+  // descriptors the agent has not seen (e.g. inherited stdio).
+  DescriptorRef LookupDescriptor(AgentCall& call, int fd);
+
+  void DropDescriptor(ProcessContext& ctx, int fd);
+
+  // Wraps a successful open of `path` that produced `fd`: makes the default
+  // object and installs the descriptor. Derived pathname objects use this after
+  // opening a redirected target.
+  virtual SyscallStatus RegisterOpened(AgentCall& call, int fd, const std::string& path);
+
+  // Number of descriptors currently tracked for `pid` (tests/statistics).
+  int TrackedCount(Pid pid);
+
+ protected:
+  void init(ProcessContext& ctx) override;
+  void InitChild(ProcessContext& ctx) override;
+
+  // Creates the default object for an already-open lower-level descriptor:
+  // a Directory for directories, a plain OpenObject otherwise.
+  virtual OpenObjectRef MakeDefaultObject(AgentCall& call, int fd, const std::string& path);
+
+  // --- descriptor system calls, routed through the object --------------------
+  SyscallStatus sys_read(AgentCall& call, int fd, void* buf, int64_t cnt) override;
+  SyscallStatus sys_write(AgentCall& call, int fd, const void* buf, int64_t cnt) override;
+  SyscallStatus sys_lseek(AgentCall& call, int fd, Off offset, int whence) override;
+  SyscallStatus sys_fstat(AgentCall& call, int fd, Stat* st) override;
+  SyscallStatus sys_ftruncate(AgentCall& call, int fd, Off length) override;
+  SyscallStatus sys_fchmod(AgentCall& call, int fd, Mode mode) override;
+  SyscallStatus sys_fchown(AgentCall& call, int fd, Uid uid, Gid gid) override;
+  SyscallStatus sys_flock(AgentCall& call, int fd, int operation) override;
+  SyscallStatus sys_fsync(AgentCall& call, int fd) override;
+  SyscallStatus sys_ioctl(AgentCall& call, int fd, uint64_t request, void* argp) override;
+  SyscallStatus sys_fchdir(AgentCall& call, int fd) override;
+  SyscallStatus sys_getdirentries(AgentCall& call, int fd, char* buf, int nbytes,
+                                  int64_t* basep) override;
+  SyscallStatus sys_close(AgentCall& call, int fd) override;
+
+  // --- descriptor name-space maintenance --------------------------------------
+  SyscallStatus sys_open(AgentCall& call, const char* path, int flags, Mode mode) override;
+  SyscallStatus sys_creat(AgentCall& call, const char* path, Mode mode) override;
+  SyscallStatus sys_dup(AgentCall& call, int fd) override;
+  SyscallStatus sys_dup2(AgentCall& call, int from, int to) override;
+  SyscallStatus sys_fcntl(AgentCall& call, int fd, int cmd, int64_t arg) override;
+  SyscallStatus sys_pipe(AgentCall& call) override;
+  SyscallStatus sys_execve(AgentCall& call, const char* path) override;
+
+  // Drops every tracked descriptor of the calling process (successful execve).
+  void DropAllForExec(AgentCall& call);
+
+ private:
+  DescriptorRef Find(Pid pid, int fd);
+
+  std::mutex mu_;
+  std::map<Pid, std::map<int, DescriptorRef>> tables_;
+};
+
+}  // namespace ia
+
+#endif  // SRC_TOOLKIT_DESCRIPTOR_SET_H_

@@ -1,0 +1,95 @@
+#include "src/toolkit/directory.h"
+
+#include "src/kernel/direntry_codec.h"
+
+namespace ia {
+
+int Directory::next_direntry(AgentCall& call, Dirent* out) {
+  if (buffered_.empty() && !lower_eof_) {
+    DownApi api(call);
+    char buf[2048];
+    int64_t base = 0;
+    const int n = api.Getdirentries(real_fd_, buf, sizeof(buf), &base);
+    if (n < 0) {
+      return n;
+    }
+    if (n == 0) {
+      lower_eof_ = true;
+    } else {
+      for (Dirent& d : DecodeDirents(buf, static_cast<size_t>(n))) {
+        buffered_.push_back(std::move(d));
+      }
+    }
+  }
+  if (buffered_.empty()) {
+    return 0;
+  }
+  *out = std::move(buffered_.front());
+  buffered_.pop_front();
+  return 1;
+}
+
+int Directory::rewind(AgentCall& call) {
+  buffered_.clear();
+  lower_eof_ = false;
+  has_pushback_ = false;
+  logical_offset_ = 0;
+  DownApi api(call);
+  const int64_t pos = api.Lseek(real_fd_, 0, kSeekSet);
+  return pos < 0 ? static_cast<int>(pos) : 0;
+}
+
+SyscallStatus Directory::getdirentries(AgentCall& call, char* buf, int nbytes, int64_t* basep) {
+  if (buf == nullptr || nbytes <= 0) {
+    return -kEFault;
+  }
+  if (basep != nullptr) {
+    *basep = logical_offset_;
+  }
+  size_t used = 0;
+  for (;;) {
+    Dirent entry;
+    if (has_pushback_) {
+      entry = std::move(pushback_);
+      has_pushback_ = false;
+    } else {
+      const int got = next_direntry(call, &entry);
+      if (got < 0) {
+        return used > 0 ? static_cast<SyscallStatus>(used) : got;
+      }
+      if (got == 0) {
+        break;
+      }
+    }
+    if (!EncodeDirent(entry.d_ino, entry.d_name, buf, static_cast<size_t>(nbytes), &used)) {
+      // Record does not fit this buffer: hold it for the next call.
+      pushback_ = std::move(entry);
+      has_pushback_ = true;
+      if (used == 0) {
+        return -kEInval;  // buffer cannot hold even one record
+      }
+      break;
+    }
+    logical_offset_ += 1;
+  }
+  if (call.rv() != nullptr) {
+    call.rv()->rv[0] = static_cast<int64_t>(used);
+  }
+  return static_cast<SyscallStatus>(used);
+}
+
+SyscallStatus Directory::lseek(AgentCall& call, Off offset, int whence) {
+  if (offset == 0 && whence == kSeekSet) {
+    const int err = rewind(call);
+    if (err < 0) {
+      return err;
+    }
+    if (call.rv() != nullptr) {
+      call.rv()->rv[0] = 0;
+    }
+    return 0;
+  }
+  return call.CallDown();
+}
+
+}  // namespace ia

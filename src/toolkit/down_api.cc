@@ -1,0 +1,64 @@
+#include "src/toolkit/down_api.h"
+
+#include "src/kernel/direntry_codec.h"
+
+namespace ia {
+
+int DownApi::ReadWholeFile(const std::string& path, std::string* out) {
+  const int fd = Open(path, kORdonly);
+  if (fd < 0) {
+    return fd;
+  }
+  out->clear();
+  char buf[4096];
+  for (;;) {
+    const int64_t n = Read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      Close(fd);
+      return static_cast<int>(n);
+    }
+    if (n == 0) {
+      break;
+    }
+    out->append(buf, static_cast<size_t>(n));
+  }
+  Close(fd);
+  return 0;
+}
+
+int DownApi::WriteWholeFile(const std::string& path, const std::string& contents, Mode mode) {
+  const int fd = Open(path, kOWronly | kOCreat | kOTrunc, mode);
+  if (fd < 0) {
+    return fd;
+  }
+  const int err = WriteString(fd, contents);
+  Close(fd);
+  return err;
+}
+
+int DownApi::ListDirectory(const std::string& path, std::vector<Dirent>* entries) {
+  entries->clear();
+  const int fd = Open(path, kORdonly);
+  if (fd < 0) {
+    return fd;
+  }
+  char buf[2048];
+  int64_t base = 0;
+  for (;;) {
+    const int n = Getdirentries(fd, buf, sizeof(buf), &base);
+    if (n < 0) {
+      Close(fd);
+      return n;
+    }
+    if (n == 0) {
+      break;
+    }
+    for (Dirent& d : DecodeDirents(buf, static_cast<size_t>(n))) {
+      entries->push_back(std::move(d));
+    }
+  }
+  Close(fd);
+  return 0;
+}
+
+}  // namespace ia

@@ -1,0 +1,260 @@
+// DownApi — a typed mini-libc over the *next-lower* system interface.
+//
+// Agents frequently need to make their own system calls (open a log, stat a
+// member directory, ...) while handling an intercepted call. Those calls must go
+// down from the agent's frame — the htg_unix_syscall() path — rather than
+// re-entering the agent. DownApi wraps ProcessContext::SyscallBelow() with the
+// same typed signatures ProcessContext offers to applications.
+//
+// Note: fork/execve must go through AgentCall::Call() (AgentHost applies
+// propagation bookkeeping there); DownApi deliberately omits them.
+#ifndef SRC_TOOLKIT_DOWN_API_H_
+#define SRC_TOOLKIT_DOWN_API_H_
+
+#include <string>
+#include <vector>
+
+#include "src/interpose/agent.h"
+
+namespace ia {
+
+class DownApi {
+ public:
+  DownApi(ProcessContext& ctx, int frame) : ctx_(ctx), frame_(frame) {}
+  explicit DownApi(const AgentCall& call) : ctx_(call.ctx()), frame_(call.frame()) {}
+  explicit DownApi(const AgentSignal& signal) : ctx_(signal.ctx()), frame_(-1) {}
+
+  ProcessContext& ctx() const { return ctx_; }
+  int frame() const { return frame_; }
+
+  SyscallStatus Raw(int number, const SyscallArgs& args, SyscallResult* rv) {
+    // frame_ == -1 means "below everything" (signal context has no frame).
+    if (frame_ < 0) {
+      return ctx_.TrapKernel(number, args, rv);
+    }
+    return ctx_.SyscallBelow(frame_, number, args, rv);
+  }
+
+  int Open(const std::string& path, int flags, Mode mode = 0644) {
+    SyscallArgs a;
+    SyscallResult rv;
+    a.SetPtr(0, path.c_str());
+    a.SetInt(1, flags);
+    a.SetInt(2, mode);
+    const SyscallStatus st = Raw(kSysOpen, a, &rv);
+    return st < 0 ? st : static_cast<int>(rv.rv[0]);
+  }
+
+  int Close(int fd) {
+    SyscallArgs a;
+    a.SetInt(0, fd);
+    return Raw(kSysClose, a, nullptr);
+  }
+
+  int64_t Read(int fd, void* buf, int64_t count) {
+    SyscallArgs a;
+    SyscallResult rv;
+    a.SetInt(0, fd);
+    a.SetPtr(1, buf);
+    a.SetInt(2, count);
+    const SyscallStatus st = Raw(kSysRead, a, &rv);
+    return st < 0 ? st : rv.rv[0];
+  }
+
+  int64_t Write(int fd, const void* buf, int64_t count) {
+    SyscallArgs a;
+    SyscallResult rv;
+    a.SetInt(0, fd);
+    a.SetPtr(1, buf);
+    a.SetInt(2, count);
+    const SyscallStatus st = Raw(kSysWrite, a, &rv);
+    return st < 0 ? st : rv.rv[0];
+  }
+
+  int WriteString(int fd, const std::string& text) {
+    int64_t done = 0;
+    while (done < static_cast<int64_t>(text.size())) {
+      const int64_t n = Write(fd, text.data() + done, static_cast<int64_t>(text.size()) - done);
+      if (n < 0) {
+        return static_cast<int>(n);
+      }
+      if (n == 0) {
+        return -kEIo;
+      }
+      done += n;
+    }
+    return 0;
+  }
+
+  int64_t Lseek(int fd, Off offset, int whence) {
+    SyscallArgs a;
+    SyscallResult rv;
+    a.SetInt(0, fd);
+    a.SetInt(1, offset);
+    a.SetInt(2, whence);
+    const SyscallStatus st = Raw(kSysLseek, a, &rv);
+    return st < 0 ? st : rv.rv[0];
+  }
+
+  int Stat(const std::string& path, ia::Stat* st) {
+    SyscallArgs a;
+    a.SetPtr(0, path.c_str());
+    a.SetPtr(1, st);
+    return Raw(kSysStat, a, nullptr);
+  }
+
+  int Lstat(const std::string& path, ia::Stat* st) {
+    SyscallArgs a;
+    a.SetPtr(0, path.c_str());
+    a.SetPtr(1, st);
+    return Raw(kSysLstat, a, nullptr);
+  }
+
+  int Fstat(int fd, ia::Stat* st) {
+    SyscallArgs a;
+    a.SetInt(0, fd);
+    a.SetPtr(1, st);
+    return Raw(kSysFstat, a, nullptr);
+  }
+
+  int Access(const std::string& path, int amode) {
+    SyscallArgs a;
+    a.SetPtr(0, path.c_str());
+    a.SetInt(1, amode);
+    return Raw(kSysAccess, a, nullptr);
+  }
+
+  int Unlink(const std::string& path) {
+    SyscallArgs a;
+    a.SetPtr(0, path.c_str());
+    return Raw(kSysUnlink, a, nullptr);
+  }
+
+  int Link(const std::string& existing, const std::string& new_path) {
+    SyscallArgs a;
+    a.SetPtr(0, existing.c_str());
+    a.SetPtr(1, new_path.c_str());
+    return Raw(kSysLink, a, nullptr);
+  }
+
+  int Symlink(const std::string& target, const std::string& link_path) {
+    SyscallArgs a;
+    a.SetPtr(0, target.c_str());
+    a.SetPtr(1, link_path.c_str());
+    return Raw(kSysSymlink, a, nullptr);
+  }
+
+  int Readlink(const std::string& path, char* buf, int64_t bufsize) {
+    SyscallArgs a;
+    SyscallResult rv;
+    a.SetPtr(0, path.c_str());
+    a.SetPtr(1, buf);
+    a.SetInt(2, bufsize);
+    const SyscallStatus st = Raw(kSysReadlink, a, &rv);
+    return st < 0 ? st : static_cast<int>(rv.rv[0]);
+  }
+
+  int Rename(const std::string& from, const std::string& to) {
+    SyscallArgs a;
+    a.SetPtr(0, from.c_str());
+    a.SetPtr(1, to.c_str());
+    return Raw(kSysRename, a, nullptr);
+  }
+
+  int Mkdir(const std::string& path, Mode mode = 0755) {
+    SyscallArgs a;
+    a.SetPtr(0, path.c_str());
+    a.SetInt(1, mode);
+    return Raw(kSysMkdir, a, nullptr);
+  }
+
+  int Rmdir(const std::string& path) {
+    SyscallArgs a;
+    a.SetPtr(0, path.c_str());
+    return Raw(kSysRmdir, a, nullptr);
+  }
+
+  int Chmod(const std::string& path, Mode mode) {
+    SyscallArgs a;
+    a.SetPtr(0, path.c_str());
+    a.SetInt(1, mode);
+    return Raw(kSysChmod, a, nullptr);
+  }
+
+  int Truncate(const std::string& path, Off length) {
+    SyscallArgs a;
+    a.SetPtr(0, path.c_str());
+    a.SetInt(1, length);
+    return Raw(kSysTruncate, a, nullptr);
+  }
+
+  int Ftruncate(int fd, Off length) {
+    SyscallArgs a;
+    a.SetInt(0, fd);
+    a.SetInt(1, length);
+    return Raw(kSysFtruncate, a, nullptr);
+  }
+
+  int Fcntl(int fd, int cmd, int64_t arg) {
+    SyscallArgs a;
+    SyscallResult rv;
+    a.SetInt(0, fd);
+    a.SetInt(1, cmd);
+    a.SetInt(2, arg);
+    const SyscallStatus st = Raw(kSysFcntl, a, &rv);
+    return st < 0 ? st : static_cast<int>(rv.rv[0]);
+  }
+
+  int Dup(int fd) {
+    SyscallArgs a;
+    SyscallResult rv;
+    a.SetInt(0, fd);
+    const SyscallStatus st = Raw(kSysDup, a, &rv);
+    return st < 0 ? st : static_cast<int>(rv.rv[0]);
+  }
+
+  int Getdirentries(int fd, char* buf, int nbytes, int64_t* basep) {
+    SyscallArgs a;
+    SyscallResult rv;
+    a.SetInt(0, fd);
+    a.SetPtr(1, buf);
+    a.SetInt(2, nbytes);
+    a.SetPtr(3, basep);
+    const SyscallStatus st = Raw(kSysGetdirentries, a, &rv);
+    return st < 0 ? st : static_cast<int>(rv.rv[0]);
+  }
+
+  int Gettimeofday(TimeVal* tp, TimeZone* tzp) {
+    SyscallArgs a;
+    a.SetPtr(0, tp);
+    a.SetPtr(1, tzp);
+    return Raw(kSysGettimeofday, a, nullptr);
+  }
+
+  Pid Getpid() {
+    SyscallArgs a;
+    SyscallResult rv;
+    Raw(kSysGetpid, a, &rv);
+    return static_cast<Pid>(rv.rv[0]);
+  }
+
+  int Kill(Pid pid, int signo) {
+    SyscallArgs a;
+    a.SetInt(0, pid);
+    a.SetInt(1, signo);
+    return Raw(kSysKill, a, nullptr);
+  }
+
+  // Reads whole file / lists directory — conveniences built on the calls above.
+  int ReadWholeFile(const std::string& path, std::string* out);
+  int WriteWholeFile(const std::string& path, const std::string& contents, Mode mode = 0644);
+  int ListDirectory(const std::string& path, std::vector<Dirent>* entries);
+
+ private:
+  ProcessContext& ctx_;
+  int frame_;
+};
+
+}  // namespace ia
+
+#endif  // SRC_TOOLKIT_DOWN_API_H_

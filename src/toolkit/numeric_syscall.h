@@ -1,0 +1,58 @@
+// Toolkit layer 0 — the numeric system call layer (paper Section 2.3).
+//
+// "The lowest (or zeroth) layer of the toolkit which is directly used by any
+// interposition agents presents the system interface as a single entry point
+// accepting vectors of untyped numeric arguments. It provides the ability to
+// register for specific numeric system calls to be intercepted and for incoming
+// signal handlers to be registered."
+//
+// Paper-published method names (init, syscall, signal_handler, register_interest)
+// are kept verbatim; the in-flight call handle is passed explicitly because one
+// agent instance may serve several client processes at once.
+#ifndef SRC_TOOLKIT_NUMERIC_SYSCALL_H_
+#define SRC_TOOLKIT_NUMERIC_SYSCALL_H_
+
+#include <mutex>
+
+#include "src/interpose/agent.h"
+
+namespace ia {
+
+class NumericSyscall : public Agent {
+ public:
+  void Init(ProcessContext& ctx, AgentBinding& binding) final {
+    // One agent instance may be installed into several processes concurrently
+    // (Figure 1-4); the registration scratch state must not be shared unlocked.
+    std::lock_guard<std::mutex> lock(init_mu_);
+    binding_ = &binding;
+    init(ctx);
+    binding_ = nullptr;
+  }
+  SyscallStatus OnSyscall(AgentCall& call) final { return syscall(call); }
+  void OnSignal(AgentSignal& signal) final { signal_handler(signal); }
+
+ protected:
+  // Called at install time; register interests here.
+  virtual void init(ProcessContext& ctx) { (void)ctx; }
+
+  // Every intercepted call arrives here as untyped numeric arguments.
+  virtual SyscallStatus syscall(AgentCall& call) { return call.CallDown(); }
+
+  // Every intercepted incoming signal arrives here.
+  virtual void signal_handler(AgentSignal& signal) { signal.ForwardUp(); }
+
+  // --- registration (valid only inside init()) --------------------------------
+  void register_interest(int number) { binding_->InterceptSyscall(number); }
+  void register_interest_range(int low, int high) { binding_->InterceptSyscallRange(low, high); }
+  void register_interest_all() { binding_->InterceptAllSyscalls(); }
+  void register_signal_interest(int signo) { binding_->InterceptSignal(signo); }
+  void register_signal_interest_all() { binding_->InterceptAllSignals(); }
+
+ private:
+  std::mutex init_mu_;
+  AgentBinding* binding_ = nullptr;
+};
+
+}  // namespace ia
+
+#endif  // SRC_TOOLKIT_NUMERIC_SYSCALL_H_

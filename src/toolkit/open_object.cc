@@ -1,0 +1,44 @@
+#include "src/toolkit/open_object.h"
+
+namespace ia {
+
+SyscallStatus OpenObject::read(AgentCall& call, void* /*buf*/, int64_t /*cnt*/) {
+  return call.CallDown();
+}
+
+SyscallStatus OpenObject::write(AgentCall& call, const void* /*buf*/, int64_t /*cnt*/) {
+  return call.CallDown();
+}
+
+SyscallStatus OpenObject::lseek(AgentCall& call, Off /*offset*/, int /*whence*/) {
+  return call.CallDown();
+}
+
+SyscallStatus OpenObject::fstat(AgentCall& call, Stat* /*st*/) { return call.CallDown(); }
+
+SyscallStatus OpenObject::ftruncate(AgentCall& call, Off /*length*/) { return call.CallDown(); }
+
+SyscallStatus OpenObject::fchmod(AgentCall& call, Mode /*mode*/) { return call.CallDown(); }
+
+SyscallStatus OpenObject::fchown(AgentCall& call, Uid /*uid*/, Gid /*gid*/) {
+  return call.CallDown();
+}
+
+SyscallStatus OpenObject::flock(AgentCall& call, int /*operation*/) { return call.CallDown(); }
+
+SyscallStatus OpenObject::fsync(AgentCall& call) { return call.CallDown(); }
+
+SyscallStatus OpenObject::ioctl(AgentCall& call, uint64_t /*request*/, void* /*argp*/) {
+  return call.CallDown();
+}
+
+SyscallStatus OpenObject::fchdir(AgentCall& call) { return call.CallDown(); }
+
+SyscallStatus OpenObject::getdirentries(AgentCall& call, char* /*buf*/, int /*nbytes*/,
+                                        int64_t* /*basep*/) {
+  return call.CallDown();
+}
+
+SyscallStatus OpenObject::close(AgentCall& call) { return call.CallDown(); }
+
+}  // namespace ia

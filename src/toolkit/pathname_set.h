@@ -1,0 +1,114 @@
+// Toolkit layer 2 — pathnames and the filesystem name space (paper §2.3).
+//
+// "The key to both of these interrelated classes is the getpn() operation, which
+// looks up a pathname string and resolves it to a reference to a pathname object.
+// The default implementation of all the pathname_set system call methods simply
+// resolves their pathname strings to pathname objects using getpn() and then
+// invokes the corresponding pathname method on the resulting object."
+//
+// Agents transform the name space by overriding getpn() (union directories,
+// sandbox jails, transactional redirection); they change per-object behaviour by
+// returning derived Pathname objects.
+#ifndef SRC_TOOLKIT_PATHNAME_SET_H_
+#define SRC_TOOLKIT_PATHNAME_SET_H_
+
+#include <memory>
+#include <string>
+
+#include "src/toolkit/descriptor_set.h"
+
+namespace ia {
+
+class PathnameSet;
+
+// A resolved pathname. Operations default to continuing the intercepted call
+// downward with this object's path substituted for the path argument — so a
+// Pathname whose text differs from what the application passed transparently
+// redirects the operation.
+class Pathname {
+ public:
+  Pathname(PathnameSet* owner, std::string path) : owner_(owner), path_(std::move(path)) {}
+  virtual ~Pathname() = default;
+
+  const std::string& path() const { return path_; }
+  PathnameSet* owner() const { return owner_; }
+
+  // open(2) on this pathname. The default opens below and registers the default
+  // open object; overrides may install custom objects (e.g. union directories).
+  virtual SyscallStatus open(AgentCall& call, int flags, Mode mode);
+
+  virtual SyscallStatus stat(AgentCall& call, Stat* st);
+  virtual SyscallStatus lstat(AgentCall& call, Stat* st);
+  virtual SyscallStatus access(AgentCall& call, int amode);
+  virtual SyscallStatus chmod(AgentCall& call, Mode mode);
+  virtual SyscallStatus chown(AgentCall& call, Uid uid, Gid gid);
+  virtual SyscallStatus unlink(AgentCall& call);
+  virtual SyscallStatus link_to(AgentCall& call, Pathname& new_path);
+  virtual SyscallStatus symlink_at(AgentCall& call, const char* target);
+  virtual SyscallStatus readlink(AgentCall& call, char* buf, int64_t bufsize);
+  virtual SyscallStatus rename_to(AgentCall& call, Pathname& to);
+  virtual SyscallStatus mkdir(AgentCall& call, Mode mode);
+  virtual SyscallStatus rmdir(AgentCall& call);
+  virtual SyscallStatus truncate(AgentCall& call, Off length);
+  virtual SyscallStatus utimes(AgentCall& call, const TimeVal* times);
+  virtual SyscallStatus chdir(AgentCall& call);
+  virtual SyscallStatus chroot(AgentCall& call);
+  virtual SyscallStatus execve(AgentCall& call);
+  virtual SyscallStatus mknod(AgentCall& call, Mode mode);
+
+ protected:
+  // Continues the intercepted call with path_ substituted at argument `slot`.
+  SyscallStatus DownWithPath(AgentCall& call, int slot = 0);
+
+  PathnameSet* owner_;
+  std::string path_;
+};
+
+using PathnameRef = std::unique_ptr<Pathname>;
+
+class PathnameSet : public DescriptorSet {
+ public:
+  // Expands `path` against the client's working directory into a lexically clean
+  // absolute pathname. Name-space-transforming agents (union, sandbox, txn, ...)
+  // match on this, so relative names cannot slip past a prefix policy. This is
+  // the agent-maintained cwd knowledge the paper's pathname_set kept by watching
+  // chdir(); with the agent in the client's address space the query is direct.
+  static std::string AbsoluteClientPath(AgentCall& call, const char* path);
+
+ protected:
+  // The name-space choke point: resolves a pathname string to a Pathname object.
+  // `path` is never null. Agents override this to transform the name space.
+  virtual PathnameRef getpn(AgentCall& /*call*/, const char* path) {
+    return std::make_unique<Pathname>(this, path);
+  }
+
+  // --- pathname system calls, routed through Pathname objects ------------------
+  SyscallStatus sys_open(AgentCall& call, const char* path, int flags, Mode mode) override;
+  SyscallStatus sys_creat(AgentCall& call, const char* path, Mode mode) override;
+  SyscallStatus sys_stat(AgentCall& call, const char* path, Stat* st) override;
+  SyscallStatus sys_lstat(AgentCall& call, const char* path, Stat* st) override;
+  SyscallStatus sys_access(AgentCall& call, const char* path, int amode) override;
+  SyscallStatus sys_chmod(AgentCall& call, const char* path, Mode mode) override;
+  SyscallStatus sys_chown(AgentCall& call, const char* path, Uid uid, Gid gid) override;
+  SyscallStatus sys_unlink(AgentCall& call, const char* path) override;
+  SyscallStatus sys_link(AgentCall& call, const char* path, const char* new_path) override;
+  SyscallStatus sys_symlink(AgentCall& call, const char* target,
+                            const char* link_path) override;
+  SyscallStatus sys_readlink(AgentCall& call, const char* path, char* buf,
+                             int64_t bufsize) override;
+  SyscallStatus sys_rename(AgentCall& call, const char* from, const char* to) override;
+  SyscallStatus sys_mkdir(AgentCall& call, const char* path, Mode mode) override;
+  SyscallStatus sys_rmdir(AgentCall& call, const char* path) override;
+  SyscallStatus sys_truncate(AgentCall& call, const char* path, Off length) override;
+  SyscallStatus sys_utimes(AgentCall& call, const char* path, const TimeVal* times) override;
+  SyscallStatus sys_chdir(AgentCall& call, const char* path) override;
+  SyscallStatus sys_chroot(AgentCall& call, const char* path) override;
+  SyscallStatus sys_execve(AgentCall& call, const char* path) override;
+  SyscallStatus sys_mknod(AgentCall& call, const char* path, Mode mode) override;
+
+  friend class Pathname;
+};
+
+}  // namespace ia
+
+#endif  // SRC_TOOLKIT_PATHNAME_SET_H_

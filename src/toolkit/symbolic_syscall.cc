@@ -1,0 +1,240 @@
+#include "src/toolkit/symbolic_syscall.h"
+
+namespace ia {
+
+void SymbolicSyscall::init(ProcessContext& /*ctx*/) {
+  // The symbolic layer decodes the entire interface: intercept everything, both
+  // directions (paper goal 2, completeness).
+  register_interest_all();
+  register_signal_interest_all();
+}
+
+SyscallStatus SymbolicSyscall::syscall(AgentCall& call) {
+  const SyscallArgs& a = call.args();
+  switch (call.number()) {
+    case kSysExit:
+      return sys_exit(call, a.Int(0));
+    case kSysFork:
+    case kSysVfork:
+      return sys_fork(call);
+    case kSysRead:
+      return sys_read(call, a.Int(0), a.Ptr<void>(1), a.Long(2));
+    case kSysWrite:
+      return sys_write(call, a.Int(0), a.Ptr<const void>(1), a.Long(2));
+    case kSysOpen:
+      return sys_open(call, a.Ptr<const char>(0), a.Int(1), static_cast<Mode>(a.Int(2)));
+    case kSysClose:
+      return sys_close(call, a.Int(0));
+    case kSysWait:
+    case kSysWait4:
+      return sys_wait4(call, a.Int(0), a.Ptr<int>(1), a.Int(2), a.Ptr<Rusage>(3));
+    case kSysCreat:
+      return sys_creat(call, a.Ptr<const char>(0), static_cast<Mode>(a.Int(1)));
+    case kSysLink:
+      return sys_link(call, a.Ptr<const char>(0), a.Ptr<const char>(1));
+    case kSysUnlink:
+      return sys_unlink(call, a.Ptr<const char>(0));
+    case kSysChdir:
+      return sys_chdir(call, a.Ptr<const char>(0));
+    case kSysFchdir:
+      return sys_fchdir(call, a.Int(0));
+    case kSysMknod:
+      return sys_mknod(call, a.Ptr<const char>(0), static_cast<Mode>(a.Int(1)));
+    case kSysChmod:
+      return sys_chmod(call, a.Ptr<const char>(0), static_cast<Mode>(a.Int(1)));
+    case kSysChown:
+      return sys_chown(call, a.Ptr<const char>(0), a.Int(1), a.Int(2));
+    case kSysLseek:
+      return sys_lseek(call, a.Int(0), a.Long(1), a.Int(2));
+    case kSysGetpid:
+      return sys_getpid(call);
+    case kSysSetuid:
+      return sys_setuid(call, a.Int(0));
+    case kSysGetuid:
+      return sys_getuid(call);
+    case kSysGeteuid:
+      return sys_geteuid(call);
+    case kSysAccess:
+      return sys_access(call, a.Ptr<const char>(0), a.Int(1));
+    case kSysSync:
+      return sys_sync(call);
+    case kSysKill:
+      return sys_kill(call, a.Int(0), a.Int(1));
+    case kSysKillpg:
+      return sys_killpg(call, a.Int(0), a.Int(1));
+    case kSysStat:
+      return sys_stat(call, a.Ptr<const char>(0), a.Ptr<Stat>(1));
+    case kSysGetppid:
+      return sys_getppid(call);
+    case kSysLstat:
+      return sys_lstat(call, a.Ptr<const char>(0), a.Ptr<Stat>(1));
+    case kSysDup:
+      return sys_dup(call, a.Int(0));
+    case kSysPipe:
+      return sys_pipe(call);
+    case kSysGetegid:
+      return sys_getegid(call);
+    case kSysGetgid:
+      return sys_getgid(call);
+    case kSysIoctl:
+      return sys_ioctl(call, a.Int(0), a.U64(1), a.Ptr<void>(2));
+    case kSysSymlink:
+      return sys_symlink(call, a.Ptr<const char>(0), a.Ptr<const char>(1));
+    case kSysReadlink:
+      return sys_readlink(call, a.Ptr<const char>(0), a.Ptr<char>(1), a.Long(2));
+    case kSysExecv:
+    case kSysExecve:
+      return sys_execve(call, a.Ptr<const char>(0));
+    case kSysUmask:
+      return sys_umask(call, static_cast<Mode>(a.Int(0)));
+    case kSysChroot:
+      return sys_chroot(call, a.Ptr<const char>(0));
+    case kSysFstat:
+      return sys_fstat(call, a.Int(0), a.Ptr<Stat>(1));
+    case kSysFchmod:
+      return sys_fchmod(call, a.Int(0), static_cast<Mode>(a.Int(1)));
+    case kSysFchown:
+      return sys_fchown(call, a.Int(0), a.Int(1), a.Int(2));
+    case kSysGetpagesize:
+      return sys_getpagesize(call);
+    case kSysGetdtablesize:
+      return sys_getdtablesize(call);
+    case kSysDup2:
+      return sys_dup2(call, a.Int(0), a.Int(1));
+    case kSysFcntl:
+      return sys_fcntl(call, a.Int(0), a.Int(1), a.Long(2));
+    case kSysFsync:
+      return sys_fsync(call, a.Int(0));
+    case kSysFlock:
+      return sys_flock(call, a.Int(0), a.Int(1));
+    case kSysSetpgrp:
+      return sys_setpgrp(call, a.Int(0), a.Int(1));
+    case kSysGetpgrp:
+      return sys_getpgrp(call);
+    case kSysSigvec:
+    case kSysSigaction:
+      return sys_sigvec(call, a.Int(0), static_cast<uintptr_t>(a.U64(1)),
+                        static_cast<uint32_t>(a.U64(2)));
+    case kSysSigblock:
+      return sys_sigblock(call, static_cast<uint32_t>(a.U64(0)));
+    case kSysSigsetmask:
+      return sys_sigsetmask(call, static_cast<uint32_t>(a.U64(0)));
+    case kSysSigpause:
+      return sys_sigpause(call, static_cast<uint32_t>(a.U64(0)));
+    case kSysGettimeofday:
+      return sys_gettimeofday(call, a.Ptr<TimeVal>(0), a.Ptr<TimeZone>(1));
+    case kSysSettimeofday:
+      return sys_settimeofday(call, a.Ptr<const TimeVal>(0), a.Ptr<const TimeZone>(1));
+    case kSysGetrusage:
+      return sys_getrusage(call, a.Int(0), a.Ptr<Rusage>(1));
+    case kSysRename:
+      return sys_rename(call, a.Ptr<const char>(0), a.Ptr<const char>(1));
+    case kSysTruncate:
+      return sys_truncate(call, a.Ptr<const char>(0), a.Long(1));
+    case kSysFtruncate:
+      return sys_ftruncate(call, a.Int(0), a.Long(1));
+    case kSysMkdir:
+      return sys_mkdir(call, a.Ptr<const char>(0), static_cast<Mode>(a.Int(1)));
+    case kSysRmdir:
+      return sys_rmdir(call, a.Ptr<const char>(0));
+    case kSysUtimes:
+      return sys_utimes(call, a.Ptr<const char>(0), a.Ptr<const TimeVal>(1));
+    case kSysGetdirentries:
+      return sys_getdirentries(call, a.Int(0), a.Ptr<char>(1), a.Int(2), a.Ptr<int64_t>(3));
+    case kSysGetgroups:
+      return sys_getgroups(call, a.Int(0), a.Ptr<Gid>(1));
+    case kSysSetgroups:
+      return sys_setgroups(call, a.Int(0), a.Ptr<const Gid>(1));
+    case kSysGetlogin:
+      return sys_getlogin(call, a.Ptr<char>(0), a.Int(1));
+    case kSysSetlogin:
+      return sys_setlogin(call, a.Ptr<const char>(0));
+    case kSysGethostname:
+      return sys_gethostname(call, a.Ptr<char>(0), a.Int(1));
+    case kSysSethostname:
+      return sys_sethostname(call, a.Ptr<const char>(0), a.Long(1));
+    default:
+      return unknown_syscall(call);
+  }
+}
+
+// Defaults: every decoded method funnels into sys_generic(), whose default is
+// transparent pass-through. An agent that wants a per-call hook for calls it does
+// not otherwise treat specially overrides sys_generic().
+#define IA_SYM_DEFAULT(name, params)                       \
+  SyscallStatus SymbolicSyscall::name params {             \
+    return sys_generic(call);                              \
+  }
+
+IA_SYM_DEFAULT(sys_exit, (AgentCall& call, int))
+IA_SYM_DEFAULT(sys_fork, (AgentCall& call))
+IA_SYM_DEFAULT(sys_read, (AgentCall& call, int, void*, int64_t))
+IA_SYM_DEFAULT(sys_write, (AgentCall& call, int, const void*, int64_t))
+IA_SYM_DEFAULT(sys_open, (AgentCall& call, const char*, int, Mode))
+IA_SYM_DEFAULT(sys_close, (AgentCall& call, int))
+IA_SYM_DEFAULT(sys_wait4, (AgentCall& call, Pid, int*, int, Rusage*))
+IA_SYM_DEFAULT(sys_creat, (AgentCall& call, const char*, Mode))
+IA_SYM_DEFAULT(sys_link, (AgentCall& call, const char*, const char*))
+IA_SYM_DEFAULT(sys_unlink, (AgentCall& call, const char*))
+IA_SYM_DEFAULT(sys_chdir, (AgentCall& call, const char*))
+IA_SYM_DEFAULT(sys_fchdir, (AgentCall& call, int))
+IA_SYM_DEFAULT(sys_mknod, (AgentCall& call, const char*, Mode))
+IA_SYM_DEFAULT(sys_chmod, (AgentCall& call, const char*, Mode))
+IA_SYM_DEFAULT(sys_chown, (AgentCall& call, const char*, Uid, Gid))
+IA_SYM_DEFAULT(sys_lseek, (AgentCall& call, int, Off, int))
+IA_SYM_DEFAULT(sys_getpid, (AgentCall& call))
+IA_SYM_DEFAULT(sys_setuid, (AgentCall& call, Uid))
+IA_SYM_DEFAULT(sys_getuid, (AgentCall& call))
+IA_SYM_DEFAULT(sys_geteuid, (AgentCall& call))
+IA_SYM_DEFAULT(sys_access, (AgentCall& call, const char*, int))
+IA_SYM_DEFAULT(sys_sync, (AgentCall& call))
+IA_SYM_DEFAULT(sys_kill, (AgentCall& call, Pid, int))
+IA_SYM_DEFAULT(sys_killpg, (AgentCall& call, Pid, int))
+IA_SYM_DEFAULT(sys_stat, (AgentCall& call, const char*, Stat*))
+IA_SYM_DEFAULT(sys_getppid, (AgentCall& call))
+IA_SYM_DEFAULT(sys_lstat, (AgentCall& call, const char*, Stat*))
+IA_SYM_DEFAULT(sys_dup, (AgentCall& call, int))
+IA_SYM_DEFAULT(sys_pipe, (AgentCall& call))
+IA_SYM_DEFAULT(sys_getegid, (AgentCall& call))
+IA_SYM_DEFAULT(sys_getgid, (AgentCall& call))
+IA_SYM_DEFAULT(sys_ioctl, (AgentCall& call, int, uint64_t, void*))
+IA_SYM_DEFAULT(sys_symlink, (AgentCall& call, const char*, const char*))
+IA_SYM_DEFAULT(sys_readlink, (AgentCall& call, const char*, char*, int64_t))
+IA_SYM_DEFAULT(sys_execve, (AgentCall& call, const char*))
+IA_SYM_DEFAULT(sys_umask, (AgentCall& call, Mode))
+IA_SYM_DEFAULT(sys_chroot, (AgentCall& call, const char*))
+IA_SYM_DEFAULT(sys_fstat, (AgentCall& call, int, Stat*))
+IA_SYM_DEFAULT(sys_fchmod, (AgentCall& call, int, Mode))
+IA_SYM_DEFAULT(sys_fchown, (AgentCall& call, int, Uid, Gid))
+IA_SYM_DEFAULT(sys_getpagesize, (AgentCall& call))
+IA_SYM_DEFAULT(sys_getdtablesize, (AgentCall& call))
+IA_SYM_DEFAULT(sys_dup2, (AgentCall& call, int, int))
+IA_SYM_DEFAULT(sys_fcntl, (AgentCall& call, int, int, int64_t))
+IA_SYM_DEFAULT(sys_fsync, (AgentCall& call, int))
+IA_SYM_DEFAULT(sys_flock, (AgentCall& call, int, int))
+IA_SYM_DEFAULT(sys_setpgrp, (AgentCall& call, Pid, Pid))
+IA_SYM_DEFAULT(sys_getpgrp, (AgentCall& call))
+IA_SYM_DEFAULT(sys_sigvec, (AgentCall& call, int, uintptr_t, uint32_t))
+IA_SYM_DEFAULT(sys_sigblock, (AgentCall& call, uint32_t))
+IA_SYM_DEFAULT(sys_sigsetmask, (AgentCall& call, uint32_t))
+IA_SYM_DEFAULT(sys_sigpause, (AgentCall& call, uint32_t))
+IA_SYM_DEFAULT(sys_gettimeofday, (AgentCall& call, TimeVal*, TimeZone*))
+IA_SYM_DEFAULT(sys_settimeofday, (AgentCall& call, const TimeVal*, const TimeZone*))
+IA_SYM_DEFAULT(sys_getrusage, (AgentCall& call, int, Rusage*))
+IA_SYM_DEFAULT(sys_rename, (AgentCall& call, const char*, const char*))
+IA_SYM_DEFAULT(sys_truncate, (AgentCall& call, const char*, Off))
+IA_SYM_DEFAULT(sys_ftruncate, (AgentCall& call, int, Off))
+IA_SYM_DEFAULT(sys_mkdir, (AgentCall& call, const char*, Mode))
+IA_SYM_DEFAULT(sys_rmdir, (AgentCall& call, const char*))
+IA_SYM_DEFAULT(sys_utimes, (AgentCall& call, const char*, const TimeVal*))
+IA_SYM_DEFAULT(sys_getdirentries, (AgentCall& call, int, char*, int, int64_t*))
+IA_SYM_DEFAULT(sys_getgroups, (AgentCall& call, int, Gid*))
+IA_SYM_DEFAULT(sys_setgroups, (AgentCall& call, int, const Gid*))
+IA_SYM_DEFAULT(sys_getlogin, (AgentCall& call, char*, int))
+IA_SYM_DEFAULT(sys_setlogin, (AgentCall& call, const char*))
+IA_SYM_DEFAULT(sys_gethostname, (AgentCall& call, char*, int))
+IA_SYM_DEFAULT(sys_sethostname, (AgentCall& call, const char*, int64_t))
+
+#undef IA_SYM_DEFAULT
+
+}  // namespace ia

@@ -1,0 +1,120 @@
+// Toolkit layer 1 — the symbolic system call layer (paper Section 2.3).
+//
+// "The first layer of the toolkit intended for direct use by most interposition
+// agents presents the system interface as a set of system call methods on a
+// system interface object. When this layer is used by an agent, application
+// system calls are mapped into invocations on the system call methods of this
+// object. (This mapping is itself done by a toolkit-supplied derived version of
+// the numeric_syscall object.)"
+//
+// Every sys_* method defaults to sys_generic(), which defaults to transparent
+// pass-through; agents override exactly the methods whose behaviour they change
+// and inherit the rest (paper goal 3: code proportional to new functionality).
+#ifndef SRC_TOOLKIT_SYMBOLIC_SYSCALL_H_
+#define SRC_TOOLKIT_SYMBOLIC_SYSCALL_H_
+
+#include "src/toolkit/down_api.h"
+#include "src/toolkit/numeric_syscall.h"
+
+namespace ia {
+
+class SymbolicSyscall : public NumericSyscall {
+ protected:
+  // Registers interest in the full system interface (calls and signals), as the
+  // paper's symbolic layer does; the decode below then maps numbers to methods.
+  // Overrides must call SymbolicSyscall::init().
+  void init(ProcessContext& ctx) override;
+
+  // The toolkit-supplied decoder (the bsd_numeric_syscall role). Derived agents
+  // needing a whole-interface pre/post hook may wrap it, calling the base.
+  SyscallStatus syscall(AgentCall& call) override;
+
+  void signal_handler(AgentSignal& signal) override { signal.ForwardUp(); }
+
+  // --- one method per 4.3BSD system call --------------------------------------
+  // Defaults forward to sys_generic(). Pointer arguments live in the client's
+  // address space (agents share it, as on Mach 2.5).
+  virtual SyscallStatus sys_exit(AgentCall& call, int status);
+  virtual SyscallStatus sys_fork(AgentCall& call);
+  virtual SyscallStatus sys_read(AgentCall& call, int fd, void* buf, int64_t cnt);
+  virtual SyscallStatus sys_write(AgentCall& call, int fd, const void* buf, int64_t cnt);
+  virtual SyscallStatus sys_open(AgentCall& call, const char* path, int flags, Mode mode);
+  virtual SyscallStatus sys_close(AgentCall& call, int fd);
+  virtual SyscallStatus sys_wait4(AgentCall& call, Pid pid, int* status, int options,
+                                  Rusage* usage);
+  virtual SyscallStatus sys_creat(AgentCall& call, const char* path, Mode mode);
+  virtual SyscallStatus sys_link(AgentCall& call, const char* path, const char* new_path);
+  virtual SyscallStatus sys_unlink(AgentCall& call, const char* path);
+  virtual SyscallStatus sys_chdir(AgentCall& call, const char* path);
+  virtual SyscallStatus sys_fchdir(AgentCall& call, int fd);
+  virtual SyscallStatus sys_mknod(AgentCall& call, const char* path, Mode mode);
+  virtual SyscallStatus sys_chmod(AgentCall& call, const char* path, Mode mode);
+  virtual SyscallStatus sys_chown(AgentCall& call, const char* path, Uid uid, Gid gid);
+  virtual SyscallStatus sys_lseek(AgentCall& call, int fd, Off offset, int whence);
+  virtual SyscallStatus sys_getpid(AgentCall& call);
+  virtual SyscallStatus sys_setuid(AgentCall& call, Uid uid);
+  virtual SyscallStatus sys_getuid(AgentCall& call);
+  virtual SyscallStatus sys_geteuid(AgentCall& call);
+  virtual SyscallStatus sys_access(AgentCall& call, const char* path, int amode);
+  virtual SyscallStatus sys_sync(AgentCall& call);
+  virtual SyscallStatus sys_kill(AgentCall& call, Pid pid, int signo);
+  virtual SyscallStatus sys_killpg(AgentCall& call, Pid pgrp, int signo);
+  virtual SyscallStatus sys_stat(AgentCall& call, const char* path, Stat* st);
+  virtual SyscallStatus sys_getppid(AgentCall& call);
+  virtual SyscallStatus sys_lstat(AgentCall& call, const char* path, Stat* st);
+  virtual SyscallStatus sys_dup(AgentCall& call, int fd);
+  virtual SyscallStatus sys_pipe(AgentCall& call);
+  virtual SyscallStatus sys_getegid(AgentCall& call);
+  virtual SyscallStatus sys_getgid(AgentCall& call);
+  virtual SyscallStatus sys_ioctl(AgentCall& call, int fd, uint64_t request, void* argp);
+  virtual SyscallStatus sys_symlink(AgentCall& call, const char* target, const char* link_path);
+  virtual SyscallStatus sys_readlink(AgentCall& call, const char* path, char* buf,
+                                     int64_t bufsize);
+  virtual SyscallStatus sys_execve(AgentCall& call, const char* path);
+  virtual SyscallStatus sys_umask(AgentCall& call, Mode mask);
+  virtual SyscallStatus sys_chroot(AgentCall& call, const char* path);
+  virtual SyscallStatus sys_fstat(AgentCall& call, int fd, Stat* st);
+  virtual SyscallStatus sys_fchmod(AgentCall& call, int fd, Mode mode);
+  virtual SyscallStatus sys_fchown(AgentCall& call, int fd, Uid uid, Gid gid);
+  virtual SyscallStatus sys_getpagesize(AgentCall& call);
+  virtual SyscallStatus sys_getdtablesize(AgentCall& call);
+  virtual SyscallStatus sys_dup2(AgentCall& call, int from, int to);
+  virtual SyscallStatus sys_fcntl(AgentCall& call, int fd, int cmd, int64_t arg);
+  virtual SyscallStatus sys_fsync(AgentCall& call, int fd);
+  virtual SyscallStatus sys_flock(AgentCall& call, int fd, int operation);
+  virtual SyscallStatus sys_setpgrp(AgentCall& call, Pid pid, Pid pgrp);
+  virtual SyscallStatus sys_getpgrp(AgentCall& call);
+  virtual SyscallStatus sys_sigvec(AgentCall& call, int signo, uintptr_t disposition,
+                                   uint32_t mask);
+  virtual SyscallStatus sys_sigblock(AgentCall& call, uint32_t mask);
+  virtual SyscallStatus sys_sigsetmask(AgentCall& call, uint32_t mask);
+  virtual SyscallStatus sys_sigpause(AgentCall& call, uint32_t mask);
+  virtual SyscallStatus sys_gettimeofday(AgentCall& call, TimeVal* tp, TimeZone* tzp);
+  virtual SyscallStatus sys_settimeofday(AgentCall& call, const TimeVal* tp,
+                                         const TimeZone* tzp);
+  virtual SyscallStatus sys_getrusage(AgentCall& call, int who, Rusage* usage);
+  virtual SyscallStatus sys_rename(AgentCall& call, const char* from, const char* to);
+  virtual SyscallStatus sys_truncate(AgentCall& call, const char* path, Off length);
+  virtual SyscallStatus sys_ftruncate(AgentCall& call, int fd, Off length);
+  virtual SyscallStatus sys_mkdir(AgentCall& call, const char* path, Mode mode);
+  virtual SyscallStatus sys_rmdir(AgentCall& call, const char* path);
+  virtual SyscallStatus sys_utimes(AgentCall& call, const char* path, const TimeVal* times);
+  virtual SyscallStatus sys_getdirentries(AgentCall& call, int fd, char* buf, int nbytes,
+                                          int64_t* basep);
+  virtual SyscallStatus sys_getgroups(AgentCall& call, int gidsetlen, Gid* gidset);
+  virtual SyscallStatus sys_setgroups(AgentCall& call, int ngroups, const Gid* gidset);
+  virtual SyscallStatus sys_getlogin(AgentCall& call, char* buf, int len);
+  virtual SyscallStatus sys_setlogin(AgentCall& call, const char* name);
+  virtual SyscallStatus sys_gethostname(AgentCall& call, char* buf, int len);
+  virtual SyscallStatus sys_sethostname(AgentCall& call, const char* name, int64_t len);
+
+  // Any implemented call whose method is not overridden, after decode.
+  virtual SyscallStatus sys_generic(AgentCall& call) { return call.CallDown(); }
+
+  // Calls with no symbolic decoding (outside the implemented 4.3BSD subset).
+  virtual SyscallStatus unknown_syscall(AgentCall& call) { return call.CallDown(); }
+};
+
+}  // namespace ia
+
+#endif  // SRC_TOOLKIT_SYMBOLIC_SYSCALL_H_

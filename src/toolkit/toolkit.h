@@ -1,0 +1,13 @@
+// Umbrella header for the interposition toolkit (paper Figure 2-1 hierarchy).
+#ifndef SRC_TOOLKIT_TOOLKIT_H_
+#define SRC_TOOLKIT_TOOLKIT_H_
+
+#include "src/toolkit/directory.h"       // layer 3: secondary objects
+#include "src/toolkit/descriptor_set.h"  // layer 2: descriptors + open objects
+#include "src/toolkit/down_api.h"        // call-down helper (htg_unix_syscall)
+#include "src/toolkit/numeric_syscall.h" // layer 0: numeric system calls
+#include "src/toolkit/open_object.h"     // layer 2: open objects
+#include "src/toolkit/pathname_set.h"    // layer 2: pathnames
+#include "src/toolkit/symbolic_syscall.h" // layer 1: symbolic system calls
+
+#endif  // SRC_TOOLKIT_TOOLKIT_H_

@@ -1,0 +1,239 @@
+// Tests for the simulated application programs (coreutils, shell, build tools).
+#include "tests/test_helpers.h"
+
+#include "src/base/strings.h"
+
+namespace ia {
+namespace {
+
+using test::FileContents;
+using test::MakeWorld;
+
+int RunProg(Kernel& kernel, const std::string& prog_path, const std::vector<std::string>& argv,
+        const std::string& cwd = "/") {
+  SpawnOptions options;
+  options.path = prog_path;
+  options.argv = argv;
+  options.cwd = cwd;
+  const Pid pid = kernel.Spawn(options);
+  EXPECT_GT(pid, 0) << prog_path;
+  return kernel.HostWaitPid(pid);
+}
+
+std::string Console(Kernel& kernel) {
+  std::string out = kernel.console().transcript();
+  kernel.console().ClearTranscript();
+  return out;
+}
+
+TEST(Coreutils, Echo) {
+  auto kernel = MakeWorld();
+  RunProg(*kernel, "/bin/echo", {"echo", "one", "two"});
+  EXPECT_EQ(Console(*kernel), "one two\n");
+  RunProg(*kernel, "/bin/echo", {"echo"});
+  EXPECT_EQ(Console(*kernel), "\n");
+}
+
+TEST(Coreutils, CatConcatenatesAndReportsErrors) {
+  auto kernel = MakeWorld();
+  kernel->fs().InstallFile("/a", "AAA");
+  kernel->fs().InstallFile("/b", "BBB");
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/cat", {"cat", "/a", "/b"})), 0);
+  EXPECT_EQ(Console(*kernel), "AAABBB");
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/cat", {"cat", "/missing"})), 1);
+  EXPECT_NE(Console(*kernel).find("ENOENT"), std::string::npos);
+}
+
+TEST(Coreutils, CpPreservesMode) {
+  auto kernel = MakeWorld();
+  kernel->fs().InstallFile("/src.sh", "#!/bin/sh\n", 0755);
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/cp", {"cp", "/src.sh", "/dst.sh"})), 0);
+  EXPECT_EQ(FileContents(*kernel, "/dst.sh"), "#!/bin/sh\n");
+  Cred root;
+  NameiEnv env{kernel->fs().root(), kernel->fs().root(), &root};
+  NameiResult nr;
+  ASSERT_EQ(kernel->fs().Namei(env, "/dst.sh", NameiOp::kLookup, true, &nr), 0);
+  EXPECT_EQ(nr.inode->mode_bits & 0777, 0755u);
+}
+
+TEST(Coreutils, MvRmLn) {
+  auto kernel = MakeWorld();
+  kernel->fs().InstallFile("/f1", "data");
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/mv", {"mv", "/f1", "/f2"})), 0);
+  EXPECT_EQ(FileContents(*kernel, "/f1"), "<missing>");
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/ln", {"ln", "/f2", "/f3"})), 0);
+  EXPECT_EQ(FileContents(*kernel, "/f3"), "data");
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/ln", {"ln", "-s", "/f2", "/sym"})), 0);
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/rm", {"rm", "/f2", "/f3"})), 0);
+  EXPECT_EQ(FileContents(*kernel, "/f2"), "<missing>");
+}
+
+TEST(Coreutils, WcCountsLinesWordsBytes) {
+  auto kernel = MakeWorld();
+  kernel->fs().InstallFile("/text", "one two\nthree\n");
+  RunProg(*kernel, "/bin/wc", {"wc", "/text"});
+  const std::string out = Console(*kernel);
+  EXPECT_NE(out.find("2"), std::string::npos);   // lines
+  EXPECT_NE(out.find("3"), std::string::npos);   // words
+  EXPECT_NE(out.find("14"), std::string::npos);  // bytes
+}
+
+TEST(Coreutils, GrepFindsAndSetsStatus) {
+  auto kernel = MakeWorld();
+  kernel->fs().InstallFile("/hay", "needle in here\nnothing\n");
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/grep", {"grep", "needle", "/hay"})), 0);
+  EXPECT_NE(Console(*kernel).find("needle in here"), std::string::npos);
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/grep", {"grep", "absent", "/hay"})), 1);
+}
+
+TEST(Coreutils, HeadLimitsLines) {
+  auto kernel = MakeWorld();
+  kernel->fs().InstallFile("/ten", "1\n2\n3\n4\n5\n6\n7\n8\n9\n10\n");
+  RunProg(*kernel, "/bin/head", {"head", "-n", "3", "/ten"});
+  EXPECT_EQ(Console(*kernel), "1\n2\n3\n");
+}
+
+TEST(Coreutils, LsSortsAndHidesDots) {
+  auto kernel = MakeWorld();
+  kernel->fs().InstallFile("/d/zebra", "");
+  kernel->fs().InstallFile("/d/apple", "");
+  RunProg(*kernel, "/bin/ls", {"ls", "/d"});
+  EXPECT_EQ(Console(*kernel), "apple\nzebra\n");
+}
+
+TEST(Coreutils, PwdTrueFalseDateHostname) {
+  auto kernel = MakeWorld();
+  kernel->fs().MkdirAll("/work/here");
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/pwd", {"pwd"}, "/work/here")), 0);
+  EXPECT_EQ(Console(*kernel), "/work/here\n");
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/true", {"true"})), 0);
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/false", {"false"})), 1);
+  RunProg(*kernel, "/bin/hostname", {"hostname"});
+  EXPECT_EQ(Console(*kernel), "vax6250\n");
+  RunProg(*kernel, "/bin/date", {"date"});
+  EXPECT_NE(Console(*kernel).find("7258"), std::string::npos);  // 1993 epoch prefix
+}
+
+TEST(Shell, ExitStatusAndSequencing) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/sh", {"sh", "-c", "false"})), 1);
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/sh", {"sh", "-c", "false; true"})), 0);
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/sh", {"sh", "-c", "exit 7"})), 7);
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/sh", {"sh", "-c", "no_such_cmd"})), 127);
+}
+
+TEST(Shell, QuotingAndComments) {
+  auto kernel = MakeWorld();
+  RunProg(*kernel, "/bin/sh", {"sh", "-c", "echo \"hello   world\""});
+  EXPECT_EQ(Console(*kernel), "hello   world\n");
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/sh", {"sh", "-c", "# just a comment"})), 0);
+}
+
+TEST(Shell, InputRedirection) {
+  auto kernel = MakeWorld();
+  kernel->fs().InstallFile("/input", "from a file");
+  RunProg(*kernel, "/bin/sh", {"sh", "-c", "cat < /input"});
+  EXPECT_EQ(Console(*kernel), "from a file");
+}
+
+TEST(Shell, AppendRedirection) {
+  auto kernel = MakeWorld();
+  RunProg(*kernel, "/bin/sh", {"sh", "-c", "echo one > /tmp/log; echo two >> /tmp/log"});
+  EXPECT_EQ(FileContents(*kernel, "/tmp/log"), "one\ntwo\n");
+}
+
+TEST(Shell, ThreeStagePipeline) {
+  auto kernel = MakeWorld();
+  kernel->fs().InstallFile("/words", "cherry\napple\nbanana apple\n");
+  RunProg(*kernel, "/bin/sh",
+      {"sh", "-c", "cat /words | grep apple | wc /dev/null > /tmp/count"});
+  // The pipeline ran; grep found 2 lines, wc processed /dev/null (0 0 0).
+  EXPECT_NE(FileContents(*kernel, "/tmp/count").find("0"), std::string::npos);
+}
+
+TEST(BuildTools, CppExpandsIncludesAndStripsComments) {
+  auto kernel = MakeWorld();
+  kernel->fs().InstallFile("/src/head.h", "int decl(void);");
+  kernel->fs().InstallFile("/src/in.c",
+                           "#include \"head.h\"\n#include <stdio.h>\n"
+                           "int x; /* strip me */\n");
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/usr/bin/cpp", {"cpp", "/src/in.c", "/tmp/out.i"})),
+            0);
+  const std::string out = FileContents(*kernel, "/tmp/out.i");
+  EXPECT_NE(out.find("int decl(void);"), std::string::npos);
+  EXPECT_EQ(out.find("stdio.h"), std::string::npos);
+  EXPECT_EQ(out.find("strip me"), std::string::npos);
+  EXPECT_NE(out.find("int x;"), std::string::npos);
+}
+
+TEST(BuildTools, Cc1EmitsAssembly) {
+  auto kernel = MakeWorld();
+  kernel->fs().InstallFile("/tmp/in.i", "int f(int a) {\nreturn a;\n}\n");
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/usr/bin/cc1", {"cc1", "/tmp/in.i", "/tmp/out.s"})),
+            0);
+  const std::string assembly = FileContents(*kernel, "/tmp/out.s");
+  EXPECT_NE(assembly.find(".text"), std::string::npos);
+  EXPECT_NE(assembly.find("pushl"), std::string::npos);
+  EXPECT_NE(assembly.find("ret"), std::string::npos);
+}
+
+TEST(BuildTools, AsAndLdProduceExecutable) {
+  auto kernel = MakeWorld();
+  kernel->fs().InstallFile("/tmp/a.s", "\t.text\n\tmovl\t$1,%eax\n\tret\n");
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/as", {"as", "/tmp/a.s", "/tmp/a.o"})), 0);
+  EXPECT_EQ(FileContents(*kernel, "/tmp/a.o").substr(0, 4), "OBJ1");
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/ld", {"ld", "-o", "/tmp/prog", "/tmp/a.o"})), 0);
+  EXPECT_EQ(FileContents(*kernel, "/tmp/prog").substr(0, 4), "EXE1");
+  // The linked output is executable.
+  Cred root;
+  NameiEnv env{kernel->fs().root(), kernel->fs().root(), &root};
+  NameiResult nr;
+  ASSERT_EQ(kernel->fs().Namei(env, "/tmp/prog", NameiOp::kLookup, true, &nr), 0);
+  EXPECT_NE(nr.inode->mode_bits & 0111, 0u);
+}
+
+TEST(BuildTools, CcDriverCleansTemporaries) {
+  auto kernel = MakeWorld();
+  const std::string dir = SetupMakeWorkload(*kernel, 1);
+  EXPECT_EQ(
+      WExitStatus(RunProg(*kernel, "/bin/cc", {"cc", "-o", "prog1", "prog1.c"}, dir)), 0);
+  EXPECT_EQ(FileContents(*kernel, dir + "/prog1").substr(0, 4), "EXE1");
+  // No /tmp/cc*.{i,s,o} left behind.
+  Cred root;
+  NameiEnv env{kernel->fs().root(), kernel->fs().root(), &root};
+  NameiResult nr;
+  ASSERT_EQ(kernel->fs().Namei(env, "/tmp", NameiOp::kLookup, true, &nr), 0);
+  for (const auto& [name, child] : nr.inode->entries) {
+    EXPECT_TRUE(name.rfind("cc", 0) != 0) << "leftover temp: " << name;
+  }
+}
+
+TEST(BuildTools, MakeReportsMissingDependency) {
+  auto kernel = MakeWorld();
+  kernel->fs().InstallFile("/proj/Makefile", "target: absent.c\n");
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/bin/make", {"make"}, "/proj")), 2);
+  EXPECT_NE(Console(*kernel).find("missing dependency"), std::string::npos);
+}
+
+TEST(Scribe, AuxAndLogProduced) {
+  auto kernel = MakeWorld();
+  SetupScribeWorkload(*kernel);
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/usr/bin/scribe",
+                            {"scribe", "dissertation.mss"}, "/home/mbj")),
+            0);
+  const std::string log = FileContents(*kernel, "/home/mbj/dissertation.log");
+  EXPECT_NE(log.find("paragraph"), std::string::npos);
+  EXPECT_NE(log.find("page"), std::string::npos);
+  // Pages are numbered.
+  const std::string doc = FileContents(*kernel, "/home/mbj/dissertation.doc");
+  EXPECT_NE(doc.find("- 1 -"), std::string::npos);
+  EXPECT_NE(doc.find("- 2 -"), std::string::npos);
+}
+
+TEST(Scribe, MissingManuscriptFails) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(WExitStatus(RunProg(*kernel, "/usr/bin/scribe", {"scribe", "/absent.mss"})), 1);
+}
+
+}  // namespace
+}  // namespace ia

@@ -1,0 +1,271 @@
+// Cross-agent composition and lifetime-corner tests.
+#include "tests/test_helpers.h"
+
+#include <functional>
+#include <set>
+
+#include "src/agents/sandbox.h"
+#include "src/agents/timex.h"
+#include "src/agents/txn.h"
+#include "src/agents/union_fs.h"
+#include "src/agents/userdev.h"
+#include "src/base/prng.h"
+#include "src/base/strings.h"
+
+namespace ia {
+namespace {
+
+using test::ExitCodeOf;
+using test::FileContents;
+using test::MakeWorld;
+using test::RunBodyUnder;
+
+TEST(Composition, TxnOverUnionCommitsIntoFirstMember) {
+  // Stack: union (closest to kernel) under txn (closest to app). The client
+  // edits /u/file transactionally; commit writes through the union, which
+  // routes the mutation to the member where the file lives.
+  auto kernel = MakeWorld();
+  kernel->fs().MkdirAll("/w");
+  kernel->fs().InstallFile("/r/file.txt", "original");
+  auto union_agent = std::make_shared<UnionAgent>(
+      std::vector<UnionMount>{{"/u", {"/w", "/r"}}});
+  auto txn = std::make_shared<TxnAgent>("/u", "/tmp/.txn");
+  SpawnOptions spawn;
+  spawn.body = [&txn](ProcessContext& ctx) {
+    if (ctx.WriteWholeFile("/u/file.txt", "edited in txn") != 0) {
+      return 1;
+    }
+    std::string view;
+    ctx.ReadWholeFile("/u/file.txt", &view);
+    if (view != "edited in txn") {
+      return 2;
+    }
+    txn->Commit(ctx);
+    return 0;
+  };
+  const int status = RunUnderAgents(*kernel, {union_agent, txn}, spawn);
+  EXPECT_EQ(WExitStatus(status), 0);
+  // The commit went through the union: the edit landed on the file in place.
+  EXPECT_EQ(FileContents(*kernel, "/r/file.txt"), "edited in txn");
+}
+
+TEST(Composition, TxnOverUnionAbortLeavesMembersUntouched) {
+  auto kernel = MakeWorld();
+  kernel->fs().MkdirAll("/w");
+  kernel->fs().InstallFile("/r/file.txt", "original");
+  auto union_agent = std::make_shared<UnionAgent>(
+      std::vector<UnionMount>{{"/u", {"/w", "/r"}}});
+  auto txn = std::make_shared<TxnAgent>("/u", "/tmp/.txn");
+  SpawnOptions spawn;
+  spawn.body = [&txn](ProcessContext& ctx) {
+    ctx.WriteWholeFile("/u/file.txt", "doomed edit");
+    ctx.WriteWholeFile("/u/new.txt", "doomed file");
+    txn->Abort(ctx);
+    return 0;
+  };
+  const int status = RunUnderAgents(*kernel, {union_agent, txn}, spawn);
+  EXPECT_EQ(WExitStatus(status), 0);
+  EXPECT_EQ(FileContents(*kernel, "/r/file.txt"), "original");
+  EXPECT_EQ(FileContents(*kernel, "/w/new.txt"), "<missing>");
+  EXPECT_EQ(FileContents(*kernel, "/w/file.txt"), "<missing>");
+}
+
+TEST(Composition, SandboxAboveUserdevAllowsDeviceOnly) {
+  // The sandbox (closest to the app) restricts the name space; the userdev agent
+  // below it provides the logical device. The client may read the device but
+  // nothing else.
+  auto kernel = MakeWorld();
+  auto dev = std::make_shared<UserDevAgent>();
+  dev->AddDevice("/dev/fortune", std::make_shared<FortuneDevice>(
+                                     std::vector<std::string>{"lucky\n"}));
+  SandboxPolicy policy;
+  policy.read_prefixes = {"/dev"};
+  policy.write_prefixes = {};
+  auto sandbox = std::make_shared<SandboxAgent>(policy);
+  const int status =
+      RunBodyUnder(*kernel, {dev, sandbox}, [](ProcessContext& ctx) {
+        std::string fortune;
+        if (ctx.ReadWholeFile("/dev/fortune", &fortune) != 0 || fortune != "lucky\n") {
+          return 1;
+        }
+        std::string motd;
+        if (ctx.ReadWholeFile("/etc/motd", &motd) != -kEPerm) {
+          return 2;
+        }
+        return 0;
+      });
+  EXPECT_EQ(WExitStatus(status), 0);
+}
+
+TEST(Composition, TimexVisibleThroughWholeStack) {
+  auto kernel = MakeWorld();
+  auto timex = std::make_shared<TimexAgent>(10000);
+  auto union_agent = std::make_shared<UnionAgent>(
+      std::vector<UnionMount>{{"/u", {"/v1"}}});
+  SandboxPolicy policy;  // permissive
+  policy.write_prefixes = {"/"};
+  auto sandbox = std::make_shared<SandboxAgent>(policy);
+  const int64_t real = kernel->clock().Now() / 1000000;
+  const int status =
+      RunBodyUnder(*kernel, {timex, union_agent, sandbox}, [real](ProcessContext& ctx) {
+        TimeVal tv;
+        ctx.Gettimeofday(&tv, nullptr);
+        return tv.tv_sec >= real + 10000 ? 0 : 1;
+      });
+  EXPECT_EQ(WExitStatus(status), 0);
+}
+
+// ---------------------------------------------------------------------------
+// VFS lifetime corners driven through the full syscall path.
+// ---------------------------------------------------------------------------
+
+TEST(Lifetime, OpenFileSurvivesUnlink) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              ctx.WriteWholeFile("/tmp/doomed", "still readable");
+              const int fd = ctx.Open("/tmp/doomed", kORdonly);
+              if (ctx.Unlink("/tmp/doomed") != 0) {
+                return 1;
+              }
+              ia::Stat st;
+              if (ctx.Stat("/tmp/doomed", &st) != -kENoent) {
+                return 2;
+              }
+              char buf[32] = {};
+              const int64_t n = ctx.Read(fd, buf, sizeof(buf));
+              if (n != 14 || std::string(buf, 14) != "still readable") {
+                return 3;  // classic unlink-while-open semantics
+              }
+              return 0;
+            }),
+            0);
+}
+
+TEST(Lifetime, RenameWhileOpenKeepsDescriptorValid) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              ctx.WriteWholeFile("/tmp/a", "content");
+              const int fd = ctx.Open("/tmp/a", kORdonly);
+              ctx.Rename("/tmp/a", "/tmp/b");
+              char buf[8] = {};
+              return ctx.Read(fd, buf, 7) == 7 ? 0 : 1;
+            }),
+            0);
+}
+
+// ---------------------------------------------------------------------------
+// VFS accounting invariants under random operation sequences.
+// ---------------------------------------------------------------------------
+
+class VfsInvariantProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VfsInvariantProperty, BytesAndLinksStayConsistent) {
+  Filesystem fs;
+  Cred cred;
+  NameiEnv env{fs.root(), fs.root(), &cred};
+  Prng prng(GetParam());
+  std::vector<std::string> files;
+  std::vector<std::string> dirs{""};
+
+  for (int i = 0; i < 300; ++i) {
+    const std::string dir = dirs[prng.Below(dirs.size())];
+    switch (prng.Below(7)) {
+      case 0: {
+        const std::string p = dir + StringPrintf("/f%llu",
+                                                 static_cast<unsigned long long>(prng.Below(30)));
+        InodeRef inode;
+        if (fs.Open(env, p, kOCreat | kOWronly, 0644, &inode) == 0) {
+          fs.ResizeFile(inode, static_cast<Off>(prng.Below(1000)));
+          files.push_back(p);
+        }
+        break;
+      }
+      case 1:
+        if (!files.empty()) {
+          fs.Unlink(env, files[prng.Below(files.size())]);
+        }
+        break;
+      case 2: {
+        const std::string p = dir + StringPrintf("/d%llu",
+                                                 static_cast<unsigned long long>(prng.Below(8)));
+        if (fs.Mkdir(env, p, 0755) == 0) {
+          dirs.push_back(p);
+        }
+        break;
+      }
+      case 3:
+        if (dirs.size() > 1) {
+          fs.Rmdir(env, dirs[1 + prng.Below(dirs.size() - 1)]);
+        }
+        break;
+      case 4:
+        if (!files.empty()) {
+          const std::string from = files[prng.Below(files.size())];
+          const std::string to = dir + StringPrintf("/r%d", i);
+          if (fs.Rename(env, from, to) == 0) {
+            files.push_back(to);
+          }
+        }
+        break;
+      case 5:
+        if (!files.empty()) {
+          const std::string existing = files[prng.Below(files.size())];
+          const std::string link = dir + StringPrintf("/h%d", i);
+          if (fs.Link(env, existing, link) == 0) {
+            files.push_back(link);
+          }
+        }
+        break;
+      case 6:
+        if (!files.empty()) {
+          fs.Truncate(env, files[prng.Below(files.size())],
+                      static_cast<Off>(prng.Below(500)));
+        }
+        break;
+    }
+  }
+
+  // Invariant 1: total_bytes equals the sum of reachable regular-file sizes,
+  // counting multiply-linked inodes once.
+  int64_t sum = 0;
+  std::set<const Inode*> seen;
+  std::function<void(const InodeRef&)> walk = [&](const InodeRef& d) {
+    for (const auto& [name, child] : d->entries) {
+      if (child->IsRegular() && seen.insert(child.get()).second) {
+        sum += static_cast<int64_t>(child->data.size());
+      }
+      if (child->IsDirectory()) {
+        walk(child);
+      }
+    }
+  };
+  walk(fs.root());
+  EXPECT_EQ(fs.total_bytes(), sum) << "seed " << GetParam();
+
+  // Invariant 2: directory nlink = 2 + number of subdirectories; regular file
+  // nlink = number of directory entries referencing the inode.
+  std::map<const Inode*, int> refs;
+  std::function<void(const InodeRef&)> count = [&](const InodeRef& d) {
+    int subdirs = 0;
+    for (const auto& [name, child] : d->entries) {
+      refs[child.get()] += 1;
+      if (child->IsDirectory()) {
+        ++subdirs;
+        count(child);
+      }
+    }
+    EXPECT_EQ(d->nlink, 2 + subdirs) << "seed " << GetParam();
+  };
+  count(fs.root());
+  for (const auto& [inode, ref_count] : refs) {
+    if (inode->IsRegular()) {
+      EXPECT_EQ(inode->nlink, ref_count) << "seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VfsInvariantProperty,
+                         ::testing::Values(3, 9, 27, 81, 243, 729));
+
+}  // namespace
+}  // namespace ia

@@ -1,0 +1,96 @@
+// Robustness sweep: every system call number issued with all-zero arguments
+// (null pointers, zero descriptors, zero lengths) must be handled gracefully —
+// an errno, never a crash — bare, under the full symbolic decoder, and under the
+// sandbox. This is the "hostile ABI surface" test for the decoder and kernel.
+#include "tests/test_helpers.h"
+
+#include "src/agents/sandbox.h"
+#include "src/toolkit/toolkit.h"
+
+namespace ia {
+namespace {
+
+using test::MakeWorld;
+using test::RunBodyUnder;
+
+class PassSymbolicAgent final : public SymbolicSyscall {
+ public:
+  std::string name() const override { return "pass_symbolic"; }
+};
+
+// Numbers that legitimately change control flow or block with zero arguments.
+bool SkipInSweep(int number) {
+  switch (number) {
+    case kSysExit:      // terminates the sweep process
+    case kSysFork:      // spawns children (covered separately)
+    case kSysVfork:
+    case kSysSigpause:  // blocks awaiting a signal
+      return true;
+    default:
+      return false;
+  }
+}
+
+int SweepAllNumbers(ProcessContext& ctx) {
+  for (int number = 1; number < kMaxSyscall; ++number) {
+    if (SkipInSweep(number)) {
+      continue;
+    }
+    SyscallArgs args;  // all zeros: null pointers everywhere
+    SyscallResult rv;
+    const SyscallStatus status = ctx.Syscall(number, args, &rv);
+    // Any result is fine; the process must simply still be here. A few calls
+    // genuinely succeed with zero args (getpid, sync, umask, ...).
+    (void)status;
+  }
+  return 0;
+}
+
+TEST(DecodeFuzz, ZeroArgsSurviveBareKernel) {
+  auto kernel = MakeWorld();
+  const int status = test::RunBody(*kernel, SweepAllNumbers);
+  ASSERT_TRUE(WifExited(status));
+  EXPECT_EQ(WExitStatus(status), 0);
+}
+
+TEST(DecodeFuzz, ZeroArgsSurviveSymbolicDecoder) {
+  auto kernel = MakeWorld();
+  const int status =
+      RunBodyUnder(*kernel, {std::make_shared<PassSymbolicAgent>()}, SweepAllNumbers);
+  ASSERT_TRUE(WifExited(status));
+  EXPECT_EQ(WExitStatus(status), 0);
+}
+
+TEST(DecodeFuzz, ZeroArgsSurviveSandbox) {
+  auto kernel = MakeWorld();
+  SandboxPolicy policy;
+  policy.write_prefixes = {"/tmp"};
+  const int status = RunBodyUnder(*kernel, {std::make_shared<SandboxAgent>(policy)},
+                                  SweepAllNumbers);
+  ASSERT_TRUE(WifExited(status));
+  EXPECT_EQ(WExitStatus(status), 0);
+}
+
+TEST(DecodeFuzz, RawForkWithNoBodyIsReapable) {
+  // A raw fork syscall with no pending child body produces a child that runs
+  // the default (empty) image and exits 0.
+  auto kernel = MakeWorld();
+  const int status = test::RunBody(*kernel, [](ProcessContext& ctx) {
+    SyscallArgs args;
+    SyscallResult rv;
+    const SyscallStatus st = ctx.Syscall(kSysFork, args, &rv);
+    if (st <= 0) {
+      return 1;
+    }
+    int child_status = 0;
+    if (ctx.Wait4(static_cast<Pid>(rv.rv[0]), &child_status, 0, nullptr) != rv.rv[0]) {
+      return 2;
+    }
+    return WExitStatus(child_status);
+  });
+  ASSERT_TRUE(WifExited(status));
+  EXPECT_EQ(WExitStatus(status), 0);
+}
+
+}  // namespace
+}  // namespace ia

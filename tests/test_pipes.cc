@@ -1,0 +1,213 @@
+// Pipe semantics: blocking, EOF, capacity, SIGPIPE, nonblocking modes.
+#include "tests/test_helpers.h"
+
+namespace ia {
+namespace {
+
+using test::ExitCodeOf;
+using test::MakeWorld;
+using test::RunBody;
+
+TEST(Pipes, BasicTransferPreservesOrder) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              int fds[2];
+              ctx.Pipe(fds);
+              const std::string message = "ordered bytes 0123456789";
+              ctx.WriteString(fds[1], message);
+              char buf[64] = {};
+              const int64_t n = ctx.Read(fds[0], buf, sizeof(buf));
+              return std::string(buf, static_cast<size_t>(n)) == message ? 0 : 1;
+            }),
+            0);
+}
+
+TEST(Pipes, EofWhenAllWritersClose) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              int fds[2];
+              ctx.Pipe(fds);
+              const Pid child = ctx.Fork([&fds](ProcessContext& c) {
+                c.Close(fds[0]);
+                c.WriteString(fds[1], "bye");
+                c.Close(fds[1]);
+                return 0;
+              });
+              ctx.Close(fds[1]);  // parent's write end too
+              std::string received;
+              char buf[16];
+              for (;;) {
+                const int64_t n = ctx.Read(fds[0], buf, sizeof(buf));
+                if (n < 0) {
+                  return 1;
+                }
+                if (n == 0) {
+                  break;  // EOF only after the child's end closed
+                }
+                received.append(buf, static_cast<size_t>(n));
+              }
+              int status = 0;
+              ctx.Wait4(child, &status, 0, nullptr);
+              return received == "bye" ? 0 : 2;
+            }),
+            0);
+}
+
+TEST(Pipes, DupKeepsWriteEndAlive) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              int fds[2];
+              ctx.Pipe(fds);
+              const int dup_write = ctx.Dup(fds[1]);
+              ctx.Close(fds[1]);
+              // Write end still open through the dup: no EOF yet.
+              ctx.WriteString(dup_write, "x");
+              char b;
+              if (ctx.Read(fds[0], &b, 1) != 1) {
+                return 1;
+              }
+              ctx.Close(dup_write);
+              if (ctx.Read(fds[0], &b, 1) != 0) {
+                return 2;  // now EOF
+              }
+              return 0;
+            }),
+            0);
+}
+
+TEST(Pipes, WriteToClosedReaderRaisesSigpipe) {
+  auto kernel = MakeWorld();
+  const int status = RunBody(*kernel, [](ProcessContext& ctx) {
+    int fds[2];
+    ctx.Pipe(fds);
+    ctx.Close(fds[0]);
+    ctx.WriteString(fds[1], "doomed");  // EPIPE + SIGPIPE (default: terminate)
+    return 0;
+  });
+  EXPECT_TRUE(WifSignaled(status));
+  EXPECT_EQ(WTermSig(status), kSigPipe);
+}
+
+TEST(Pipes, EpipeVisibleWhenSigpipeIgnored) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              ctx.Sigvec(kSigPipe, kSigIgn, nullptr);
+              int fds[2];
+              ctx.Pipe(fds);
+              ctx.Close(fds[0]);
+              char b = 'x';
+              return ctx.Write(fds[1], &b, 1) == -kEPipe ? 0 : 1;
+            }),
+            0);
+}
+
+TEST(Pipes, NonblockingReadAndWrite) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              int fds[2];
+              ctx.Pipe(fds);
+              ctx.Fcntl(fds[0], kFSetfl, kONonblock);
+              ctx.Fcntl(fds[1], kFSetfl, kONonblock);
+              char buf[64];
+              if (ctx.Read(fds[0], buf, sizeof(buf)) != -kEWouldblock) {
+                return 1;  // empty: would block
+              }
+              // Fill to capacity.
+              const std::string chunk(1024, 'z');
+              int64_t total = 0;
+              for (;;) {
+                const int64_t n = ctx.Write(fds[1], chunk.data(), chunk.size());
+                if (n == -kEWouldblock) {
+                  break;
+                }
+                if (n < 0) {
+                  return 2;
+                }
+                total += n;
+                if (total > 1 << 20) {
+                  return 3;  // runaway: capacity not enforced
+                }
+              }
+              if (total != Pipe::kCapacity) {
+                return 4;
+              }
+              return 0;
+            }),
+            0);
+}
+
+TEST(Pipes, LargeWriteBlocksUntilDrained) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              int fds[2];
+              ctx.Pipe(fds);
+              const std::string big(3 * Pipe::kCapacity, 'q');
+              const Pid child = ctx.Fork([&fds, &big](ProcessContext& c) {
+                // Blocks until the parent drains; must eventually write it all.
+                const int64_t n = c.Write(fds[1], big.data(), big.size());
+                return n == static_cast<int64_t>(big.size()) ? 0 : 1;
+              });
+              int64_t drained = 0;
+              char buf[1024];
+              while (drained < static_cast<int64_t>(big.size())) {
+                const int64_t n = ctx.Read(fds[0], buf, sizeof(buf));
+                if (n <= 0) {
+                  return 1;
+                }
+                drained += n;
+              }
+              int status = 0;
+              ctx.Wait4(child, &status, 0, nullptr);
+              return WExitStatus(status);
+            }),
+            0);
+}
+
+TEST(Pipes, SeekingIsIllegal) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              int fds[2];
+              ctx.Pipe(fds);
+              return ctx.Lseek(fds[0], 0, kSeekSet) == -kESpipe ? 0 : 1;
+            }),
+            0);
+}
+
+TEST(Pipes, FstatReportsFifo) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              int fds[2];
+              ctx.Pipe(fds);
+              ctx.WriteString(fds[1], "abc");
+              ia::Stat st;
+              ctx.Fstat(fds[0], &st);
+              if (!SIsFifo(st.st_mode)) {
+                return 1;
+              }
+              if (st.st_size != 3) {
+                return 2;  // bytes buffered
+              }
+              return 0;
+            }),
+            0);
+}
+
+TEST(Pipes, WrongDirectionUse) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              int fds[2];
+              ctx.Pipe(fds);
+              char b = 'x';
+              if (ctx.Write(fds[0], &b, 1) != -kEBadf) {
+                return 1;  // read end is not writable
+              }
+              if (ctx.Read(fds[1], &b, 1) != -kEBadf) {
+                return 2;  // write end is not readable
+              }
+              return 0;
+            }),
+            0);
+}
+
+}  // namespace
+}  // namespace ia

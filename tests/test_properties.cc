@@ -1,0 +1,450 @@
+// Property-based tests.
+//
+// The central invariant of the whole system is the paper's transparency claim:
+// a pass-through agent (at any toolkit layer, stacked to any depth) must be
+// OBSERVATIONALLY INVISIBLE — an arbitrary program run under it produces exactly
+// the filesystem state, console output, and exit status it produces bare.
+//
+// We drive seeded random workloads (mixes of create/write/read/rename/unlink/
+// mkdir/symlink/fork/exec/dup/chdir) and compare full filesystem snapshots
+// across agent configurations, parameterized over (seed × agent stack).
+#include "tests/test_helpers.h"
+
+#include "src/agents/codec.h"
+#include "src/agents/txn.h"
+#include "src/base/prng.h"
+#include "src/base/strings.h"
+#include "src/kernel/direntry_codec.h"
+#include "src/toolkit/toolkit.h"
+
+namespace ia {
+namespace {
+
+using test::MakeWorld;
+using test::SnapshotFs;
+
+// --- pass-through agents at each layer ------------------------------------------
+
+class PassNumeric final : public NumericSyscall {
+ public:
+  std::string name() const override { return "pass_numeric"; }
+
+ protected:
+  void init(ProcessContext&) override {
+    register_interest_all();
+    register_signal_interest_all();
+  }
+};
+
+class PassSymbolic final : public SymbolicSyscall {
+ public:
+  std::string name() const override { return "pass_symbolic"; }
+};
+
+class PassDescriptor final : public DescriptorSet {
+ public:
+  std::string name() const override { return "pass_descriptor"; }
+};
+
+class PassPathname final : public PathnameSet {
+ public:
+  std::string name() const override { return "pass_pathname"; }
+};
+
+enum class StackKind {
+  kNone,
+  kNumeric,
+  kSymbolic,
+  kDescriptor,
+  kPathname,
+  kStackedThree,
+};
+
+std::vector<AgentRef> BuildStack(StackKind kind) {
+  switch (kind) {
+    case StackKind::kNone:
+      return {};
+    case StackKind::kNumeric:
+      return {std::make_shared<PassNumeric>()};
+    case StackKind::kSymbolic:
+      return {std::make_shared<PassSymbolic>()};
+    case StackKind::kDescriptor:
+      return {std::make_shared<PassDescriptor>()};
+    case StackKind::kPathname:
+      return {std::make_shared<PassPathname>()};
+    case StackKind::kStackedThree:
+      return {std::make_shared<PassNumeric>(), std::make_shared<PassPathname>(),
+              std::make_shared<PassSymbolic>()};
+  }
+  return {};
+}
+
+const char* StackName(StackKind kind) {
+  switch (kind) {
+    case StackKind::kNone:
+      return "none";
+    case StackKind::kNumeric:
+      return "numeric";
+    case StackKind::kSymbolic:
+      return "symbolic";
+    case StackKind::kDescriptor:
+      return "descriptor";
+    case StackKind::kPathname:
+      return "pathname";
+    case StackKind::kStackedThree:
+      return "stacked3";
+  }
+  return "?";
+}
+
+// --- the random workload ------------------------------------------------------------
+
+// Runs a deterministic pseudo-random op sequence. Every decision comes from the
+// seeded PRNG, so two runs with the same seed perform identical logical work.
+int RandomWorkload(ProcessContext& ctx, uint64_t seed, int ops) {
+  Prng prng(seed);
+  std::vector<std::string> files;
+  std::vector<std::string> dirs{"/play"};
+  ctx.Mkdir("/play", 0755);
+  int open_fd = -1;
+
+  for (int i = 0; i < ops; ++i) {
+    const std::string dir = dirs[prng.Below(dirs.size())];
+    switch (prng.Below(12)) {
+      case 0: {  // create a file
+        const std::string p = StringPrintf("%s/f%llu", dir.c_str(),
+                                           static_cast<unsigned long long>(prng.Below(50)));
+        const int fd = ctx.Open(p, kOCreat | kOWronly, 0644);
+        if (fd >= 0) {
+          const std::string data(prng.Below(200), static_cast<char>('a' + prng.Below(26)));
+          ctx.WriteString(fd, data);
+          ctx.Close(fd);
+          files.push_back(p);
+        }
+        break;
+      }
+      case 1: {  // append to a file
+        if (files.empty()) {
+          break;
+        }
+        const std::string& p = files[prng.Below(files.size())];
+        const int fd = ctx.Open(p, kOWronly | kOAppend);
+        if (fd >= 0) {
+          ctx.WriteString(fd, StringPrintf("+%d", i));
+          ctx.Close(fd);
+        }
+        break;
+      }
+      case 2: {  // read a file
+        if (files.empty()) {
+          break;
+        }
+        std::string data;
+        ctx.ReadWholeFile(files[prng.Below(files.size())], &data);
+        break;
+      }
+      case 3: {  // mkdir
+        const std::string p = StringPrintf("%s/d%llu", dir.c_str(),
+                                           static_cast<unsigned long long>(prng.Below(10)));
+        if (ctx.Mkdir(p, 0755) == 0) {
+          dirs.push_back(p);
+        }
+        break;
+      }
+      case 4: {  // rename
+        if (files.empty()) {
+          break;
+        }
+        const std::string from = files[prng.Below(files.size())];
+        const std::string to = StringPrintf("%s/r%d", dir.c_str(), i);
+        if (ctx.Rename(from, to) == 0) {
+          files.push_back(to);
+        }
+        break;
+      }
+      case 5: {  // unlink
+        if (files.empty()) {
+          break;
+        }
+        ctx.Unlink(files[prng.Below(files.size())]);
+        break;
+      }
+      case 6: {  // symlink + readthrough
+        if (files.empty()) {
+          break;
+        }
+        const std::string target = files[prng.Below(files.size())];
+        const std::string link = StringPrintf("%s/l%d", dir.c_str(), i);
+        if (ctx.Symlink(target, link) == 0) {
+          std::string data;
+          ctx.ReadWholeFile(link, &data);
+        }
+        break;
+      }
+      case 7: {  // stat a random name
+        ia::Stat st;
+        ctx.Stat(StringPrintf("%s/f%llu", dir.c_str(),
+                              static_cast<unsigned long long>(prng.Below(50))),
+                 &st);
+        break;
+      }
+      case 8: {  // list a directory
+        std::vector<std::string> names;
+        ctx.ListDirectory(dir, &names);
+        break;
+      }
+      case 9: {  // fork a child doing a small write
+        const std::string p = StringPrintf("%s/c%d", dir.c_str(), i);
+        const Pid child = ctx.Fork([p](ProcessContext& c) {
+          c.WriteWholeFile(p, "child was here");
+          return 0;
+        });
+        if (child > 0) {
+          int status = 0;
+          ctx.Wait4(child, &status, 0, nullptr);
+          files.push_back(p);
+        }
+        break;
+      }
+      case 10: {  // exec a coreutil via the shell path
+        int status = 0;
+        ctx.Spawn("/bin/true", {"true"}, &status);
+        break;
+      }
+      case 11: {  // dup games on a persistent descriptor
+        if (open_fd < 0) {
+          open_fd = ctx.Open("/etc/motd", kORdonly);
+        } else {
+          const int d = ctx.Dup(open_fd);
+          char b;
+          ctx.Read(d, &b, 1);
+          ctx.Close(d);
+        }
+        break;
+      }
+    }
+  }
+  // Deterministic summary output so console transcripts are comparable.
+  std::vector<std::string> names;
+  ctx.ListDirectory("/play", &names);
+  ctx.WriteString(1, StringPrintf("entries=%zu\n", names.size()));
+  return 0;
+}
+
+struct TransparencyParam {
+  uint64_t seed;
+  StackKind stack;
+};
+
+class TransparencyTest : public ::testing::TestWithParam<TransparencyParam> {};
+
+TEST_P(TransparencyTest, AgentStacksAreObservationallyInvisible) {
+  const TransparencyParam& param = GetParam();
+
+  // Reference run: bare kernel.
+  auto reference = MakeWorld();
+  SpawnOptions ref_spawn;
+  ref_spawn.body = [&param](ProcessContext& ctx) {
+    return RandomWorkload(ctx, param.seed, 120);
+  };
+  const Pid ref_pid = reference->Spawn(ref_spawn);
+  const int ref_status = reference->HostWaitPid(ref_pid);
+  const auto ref_snapshot = SnapshotFs(*reference);
+  const std::string ref_console = reference->console().transcript();
+
+  // Interposed run.
+  auto subject = MakeWorld();
+  SpawnOptions spawn;
+  spawn.body = [&param](ProcessContext& ctx) {
+    return RandomWorkload(ctx, param.seed, 120);
+  };
+  const int status = param.stack == StackKind::kNone
+                         ? subject->HostWaitPid(subject->Spawn(spawn))
+                         : RunUnderAgents(*subject, BuildStack(param.stack), spawn);
+  const auto snapshot = SnapshotFs(*subject);
+
+  EXPECT_EQ(status, ref_status);
+  EXPECT_EQ(subject->console().transcript(), ref_console);
+  EXPECT_EQ(snapshot.size(), ref_snapshot.size());
+  for (const auto& [p, v] : ref_snapshot) {
+    auto it = snapshot.find(p);
+    if (it == snapshot.end()) {
+      ADD_FAILURE() << "missing under agent: " << p;
+      continue;
+    }
+    EXPECT_EQ(it->second, v) << p;
+  }
+}
+
+std::vector<TransparencyParam> AllTransparencyParams() {
+  std::vector<TransparencyParam> params;
+  for (const uint64_t seed : {11ull, 22ull, 33ull, 44ull}) {
+    for (const StackKind stack :
+         {StackKind::kNumeric, StackKind::kSymbolic, StackKind::kDescriptor,
+          StackKind::kPathname, StackKind::kStackedThree}) {
+      params.push_back({seed, stack});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TransparencyTest,
+                         ::testing::ValuesIn(AllTransparencyParams()),
+                         [](const ::testing::TestParamInfo<TransparencyParam>& param_info) {
+                           return StringPrintf(
+                               "seed%llu_%s",
+                               static_cast<unsigned long long>(param_info.param.seed),
+                               StackName(param_info.param.stack));
+                         });
+
+// --- dirent codec round-trip property -------------------------------------------------
+
+class DirentCodecProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DirentCodecProperty, EncodeDecodeRoundTrips) {
+  Prng prng(GetParam());
+  const int count = 1 + static_cast<int>(prng.Below(40));
+  std::vector<std::pair<Ino, std::string>> entries;
+  for (int i = 0; i < count; ++i) {
+    std::string entry_name;
+    const size_t len = 1 + prng.Below(60);
+    for (size_t c = 0; c < len; ++c) {
+      entry_name.push_back(static_cast<char>('!' + prng.Below(90)));
+    }
+    entries.emplace_back(prng.Next() & 0xffffffff, entry_name);
+  }
+  std::vector<char> buf(static_cast<size_t>(count) * 96);
+  size_t used = 0;
+  for (const auto& [ino, entry_name] : entries) {
+    ASSERT_TRUE(EncodeDirent(ino, entry_name, buf.data(), buf.size(), &used));
+  }
+  const std::vector<Dirent> decoded = DecodeDirents(buf.data(), used);
+  ASSERT_EQ(decoded.size(), entries.size());
+  for (size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_EQ(decoded[i].d_ino, entries[i].first);
+    EXPECT_EQ(decoded[i].d_name, entries[i].second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirentCodecProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- codec round-trip property ---------------------------------------------------------
+
+struct CodecParam {
+  uint64_t seed;
+  bool use_rle;
+};
+
+class CodecProperty : public ::testing::TestWithParam<CodecParam> {};
+
+TEST_P(CodecProperty, RandomBytesRoundTrip) {
+  const CodecParam& param = GetParam();
+  Prng prng(param.seed);
+  std::string plain;
+  const size_t len = prng.Below(5000);
+  for (size_t i = 0; i < len; ++i) {
+    // Mix runs and noise.
+    if (prng.Below(4) == 0) {
+      plain.append(prng.Below(200), static_cast<char>(prng.Next() & 0xff));
+    } else {
+      plain.push_back(static_cast<char>(prng.Next() & 0xff));
+    }
+  }
+  std::unique_ptr<ByteCodec> codec;
+  if (param.use_rle) {
+    codec = std::make_unique<RleCodec>();
+  } else {
+    codec = std::make_unique<XorCodec>(param.seed * 2654435761u);
+  }
+  std::string decoded;
+  ASSERT_EQ(codec->Decode(codec->Encode(plain), &decoded), 0);
+  EXPECT_EQ(decoded, plain);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, CodecProperty,
+    ::testing::Values(CodecParam{101, true}, CodecParam{102, true}, CodecParam{103, true},
+                      CodecParam{104, true}, CodecParam{201, false}, CodecParam{202, false},
+                      CodecParam{203, false}, CodecParam{204, false}),
+    [](const ::testing::TestParamInfo<CodecParam>& param_info) {
+      return StringPrintf("%s_seed%llu", param_info.param.use_rle ? "rle" : "xor",
+                          static_cast<unsigned long long>(param_info.param.seed));
+    });
+
+// --- txn commit property -----------------------------------------------------------------
+
+// Property: for any random workload W, (run W under txn; commit) produces the
+// same final base filesystem as running W bare — i.e. commit loses nothing.
+class TxnCommitProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TxnCommitProperty, CommitEqualsBareExecution) {
+  const uint64_t seed = GetParam();
+  // Restrict the workload to pathname ops under /play (no fork/exec noise).
+  const auto workload = [seed](ProcessContext& ctx) {
+    Prng prng(seed);
+    ctx.Mkdir("/play", 0755);
+    std::vector<std::string> files;
+    for (int i = 0; i < 60; ++i) {
+      switch (prng.Below(5)) {
+        case 0: {
+          const std::string p =
+              StringPrintf("/play/f%llu", static_cast<unsigned long long>(prng.Below(12)));
+          ctx.WriteWholeFile(p, StringPrintf("v%d", i));
+          files.push_back(p);
+          break;
+        }
+        case 1:
+          if (!files.empty()) {
+            ctx.Unlink(files[prng.Below(files.size())]);
+          }
+          break;
+        case 2: {
+          const std::string p =
+              StringPrintf("/play/d%llu", static_cast<unsigned long long>(prng.Below(4)));
+          ctx.Mkdir(p, 0755);
+          break;
+        }
+        case 3:
+          if (!files.empty()) {
+            const std::string to = StringPrintf("/play/m%d", i);
+            if (ctx.Rename(files[prng.Below(files.size())], to) == 0) {
+              files.push_back(to);
+            }
+          }
+          break;
+        case 4:
+          if (!files.empty()) {
+            std::string data;
+            ctx.ReadWholeFile(files[prng.Below(files.size())], &data);
+          }
+          break;
+      }
+    }
+    return 0;
+  };
+
+  auto bare = MakeWorld();
+  test::RunBody(*bare, workload);
+  const auto bare_snapshot = SnapshotFs(*bare, "/tmp");
+
+  auto transacted = MakeWorld();
+  auto txn = std::make_shared<TxnAgent>("/play", "/tmp/.txn");
+  SpawnOptions spawn;
+  spawn.body = [&](ProcessContext& ctx) {
+    workload(ctx);
+    txn->Commit(ctx);
+    return 0;
+  };
+  const int status = RunUnderAgents(*transacted, {txn}, spawn);
+  EXPECT_EQ(WExitStatus(status), 0);
+  const auto txn_snapshot = SnapshotFs(*transacted, "/tmp");
+
+  EXPECT_EQ(txn_snapshot, bare_snapshot) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TxnCommitProperty,
+                         ::testing::Values(7, 17, 27, 37, 47, 57));
+
+}  // namespace
+}  // namespace ia

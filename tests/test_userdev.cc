@@ -1,0 +1,143 @@
+// Logical devices implemented entirely in user space (the userdev agent).
+#include "tests/test_helpers.h"
+
+#include "src/agents/userdev.h"
+
+namespace ia {
+namespace {
+
+using test::FileContents;
+using test::MakeWorld;
+using test::RunBodyUnder;
+
+std::shared_ptr<UserDevAgent> MakeDevAgent() {
+  auto agent = std::make_shared<UserDevAgent>();
+  agent->AddDevice("/dev/fortune", std::make_shared<FortuneDevice>(std::vector<std::string>{
+                                       "first fortune\n", "second fortune\n"}));
+  agent->AddDevice("/dev/counter", std::make_shared<CounterDevice>());
+  return agent;
+}
+
+TEST(UserDev, FortuneCyclesPerOpen) {
+  auto kernel = MakeWorld();
+  const int status = RunBodyUnder(*kernel, {MakeDevAgent()}, [](ProcessContext& ctx) {
+    std::string first;
+    if (ctx.ReadWholeFile("/dev/fortune", &first) != 0 || first != "first fortune\n") {
+      return 1;
+    }
+    std::string second;
+    if (ctx.ReadWholeFile("/dev/fortune", &second) != 0 || second != "second fortune\n") {
+      return 2;
+    }
+    std::string wrapped;
+    if (ctx.ReadWholeFile("/dev/fortune", &wrapped) != 0 || wrapped != "first fortune\n") {
+      return 3;
+    }
+    return 0;
+  });
+  EXPECT_EQ(WExitStatus(status), 0);
+}
+
+TEST(UserDev, CounterReadWriteIoctl) {
+  auto kernel = MakeWorld();
+  auto agent = MakeDevAgent();
+  const int status = RunBodyUnder(*kernel, {agent}, [](ProcessContext& ctx) {
+    int fd = ctx.Open("/dev/counter", kOWronly);
+    if (fd < 0) {
+      return 1;
+    }
+    ctx.WriteString(fd, "41");
+    ctx.Close(fd);
+    fd = ctx.Open("/dev/counter", kORdwr);
+    int64_t value = 0;
+    if (ctx.Ioctl(fd, CounterDevice::kIoctlIncrement, &value) != 0 || value != 42) {
+      return 2;
+    }
+    char buf[32] = {};
+    const int64_t n = ctx.Read(fd, buf, sizeof(buf));
+    if (n <= 0 || std::string(buf, static_cast<size_t>(n)) != "42\n") {
+      return 3;
+    }
+    if (ctx.Ioctl(fd, CounterDevice::kIoctlReset, nullptr) != 0) {
+      return 4;
+    }
+    if (ctx.Ioctl(fd, 0xdead, nullptr) != -kENotty) {
+      return 5;
+    }
+    return 0;
+  });
+  EXPECT_EQ(WExitStatus(status), 0);
+}
+
+TEST(UserDev, StatSynthesizesCharDevice) {
+  auto kernel = MakeWorld();
+  const int status = RunBodyUnder(*kernel, {MakeDevAgent()}, [](ProcessContext& ctx) {
+    ia::Stat st;
+    if (ctx.Stat("/dev/fortune", &st) != 0) {
+      return 1;
+    }
+    if (!SIsChr(st.st_mode)) {
+      return 2;
+    }
+    const int fd = ctx.Open("/dev/fortune", kORdonly);
+    ia::Stat fst;
+    if (ctx.Fstat(fd, &fst) != 0 || !SIsChr(fst.st_mode)) {
+      return 3;
+    }
+    if (ctx.Unlink("/dev/fortune") != -kEPerm) {
+      return 4;
+    }
+    return 0;
+  });
+  EXPECT_EQ(WExitStatus(status), 0);
+  // The device never existed below the agent.
+  EXPECT_EQ(FileContents(*kernel, "/dev/fortune"), "<missing>");
+}
+
+TEST(UserDev, UnmodifiedProgramsUseTheDevice) {
+  auto kernel = MakeWorld();
+  SpawnOptions options;
+  options.path = "/bin/cat";
+  options.argv = {"cat", "/dev/fortune"};
+  const int status = RunUnderAgents(*kernel, {MakeDevAgent()}, options);
+  EXPECT_EQ(WExitStatus(status), 0);
+  EXPECT_EQ(kernel->console().transcript(), "first fortune\n");
+}
+
+TEST(UserDev, NonDevicePathsPassThrough) {
+  auto kernel = MakeWorld();
+  const int status = RunBodyUnder(*kernel, {MakeDevAgent()}, [](ProcessContext& ctx) {
+    std::string motd;
+    if (ctx.ReadWholeFile("/etc/motd", &motd) != 0 || motd.empty()) {
+      return 1;
+    }
+    char buf[4];
+    const int null_fd = ctx.Open("/dev/null", kORdonly);
+    if (ctx.Read(null_fd, buf, 4) != 0) {
+      return 2;  // real /dev/null still behaves
+    }
+    return 0;
+  });
+  EXPECT_EQ(WExitStatus(status), 0);
+}
+
+TEST(UserDev, SharedDeviceStateAcrossClients) {
+  auto kernel = MakeWorld();
+  auto agent = MakeDevAgent();
+  // Client 1 sets the counter; client 2 observes it — the device lives in the
+  // shared agent, not in either process (Figure 1-4 shared state).
+  RunBodyUnder(*kernel, {agent}, [](ProcessContext& ctx) {
+    const int fd = ctx.Open("/dev/counter", kOWronly);
+    ctx.WriteString(fd, "777");
+    return 0;
+  });
+  const int status = RunBodyUnder(*kernel, {agent}, [](ProcessContext& ctx) {
+    std::string value;
+    ctx.ReadWholeFile("/dev/counter", &value);
+    return value == "777\n" ? 0 : 1;
+  });
+  EXPECT_EQ(WExitStatus(status), 0);
+}
+
+}  // namespace
+}  // namespace ia

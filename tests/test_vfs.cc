@@ -1,0 +1,433 @@
+// Unit tests for the VFS: namei semantics, permissions, links, rename, symlinks.
+#include <gtest/gtest.h>
+
+#include "src/kernel/vfs.h"
+
+namespace ia {
+namespace {
+
+class VfsTest : public ::testing::Test {
+ protected:
+  VfsTest() : env_{fs_.root(), fs_.root(), &cred_} {}
+
+  int Lookup(const std::string& p, InodeRef* out = nullptr, bool follow = true) {
+    NameiResult nr;
+    const int err = fs_.Namei(env_, p, NameiOp::kLookup, follow, &nr);
+    if (out != nullptr) {
+      *out = nr.inode;
+    }
+    return err;
+  }
+
+  int64_t FileSize(const std::string& p) {
+    InodeRef inode;
+    if (Lookup(p, &inode) != 0) {
+      return -1;
+    }
+    return static_cast<int64_t>(inode->data.size());
+  }
+
+  Filesystem fs_;
+  Cred cred_;
+  NameiEnv env_;
+};
+
+TEST_F(VfsTest, RootProperties) {
+  EXPECT_EQ(fs_.root()->ino(), 2u);
+  EXPECT_TRUE(fs_.root()->IsDirectory());
+  EXPECT_EQ(fs_.root()->nlink, 2);
+  InodeRef inode;
+  EXPECT_EQ(Lookup("/", &inode), 0);
+  EXPECT_EQ(inode, fs_.root());
+}
+
+TEST_F(VfsTest, MkdirAllAndLookup) {
+  ASSERT_NE(fs_.MkdirAll("/usr/local/bin"), nullptr);
+  InodeRef inode;
+  EXPECT_EQ(Lookup("/usr/local/bin", &inode), 0);
+  EXPECT_TRUE(inode->IsDirectory());
+  EXPECT_EQ(Lookup("/usr/local/missing"), -kENoent);
+  EXPECT_EQ(Lookup("/usr/local/bin/deeper/x"), -kENoent);
+}
+
+TEST_F(VfsTest, InstallFileAndRead) {
+  fs_.InstallFile("/etc/hosts", "localhost\n");
+  InodeRef inode;
+  ASSERT_EQ(Lookup("/etc/hosts", &inode), 0);
+  EXPECT_TRUE(inode->IsRegular());
+  EXPECT_EQ(inode->data, "localhost\n");
+  EXPECT_EQ(inode->nlink, 1);
+  // Reinstall replaces content, keeps identity.
+  const Ino ino = inode->ino();
+  fs_.InstallFile("/etc/hosts", "replaced");
+  ASSERT_EQ(Lookup("/etc/hosts", &inode), 0);
+  EXPECT_EQ(inode->data, "replaced");
+  EXPECT_EQ(inode->ino(), ino);
+}
+
+TEST_F(VfsTest, DotAndDotDotResolution) {
+  fs_.MkdirAll("/a/b");
+  fs_.InstallFile("/a/f", "x");
+  InodeRef via_dots;
+  EXPECT_EQ(Lookup("/a/b/../f", &via_dots), 0);
+  InodeRef direct;
+  EXPECT_EQ(Lookup("/a/f", &direct), 0);
+  EXPECT_EQ(via_dots, direct);
+  // ".." above root stays at root.
+  InodeRef rooty;
+  EXPECT_EQ(Lookup("/../../a/f", &rooty), 0);
+  EXPECT_EQ(rooty, direct);
+  EXPECT_EQ(Lookup("/a/./b/./.", &via_dots), 0);
+}
+
+TEST_F(VfsTest, TrailingSlashRequiresDirectory) {
+  fs_.InstallFile("/file", "x");
+  fs_.MkdirAll("/dir");
+  EXPECT_EQ(Lookup("/file/"), -kENotdir);
+  EXPECT_EQ(Lookup("/dir/"), 0);
+}
+
+TEST_F(VfsTest, NonDirectoryComponentFails) {
+  fs_.InstallFile("/file", "x");
+  EXPECT_EQ(Lookup("/file/sub"), -kENotdir);
+}
+
+TEST_F(VfsTest, EmptyPathAndLongNames) {
+  EXPECT_EQ(Lookup(""), -kENoent);
+  EXPECT_EQ(Lookup("/" + std::string(kMaxNameLen + 1, 'n')), -kENametoolong);
+  EXPECT_EQ(Lookup(std::string(kMaxPathLen + 10, 'p')), -kENametoolong);
+}
+
+TEST_F(VfsTest, SymlinkFollowAndNoFollow) {
+  fs_.InstallFile("/target", "data");
+  ASSERT_EQ(fs_.Symlink(env_, "/target", "/link"), 0);
+  InodeRef followed;
+  EXPECT_EQ(Lookup("/link", &followed), 0);
+  EXPECT_TRUE(followed->IsRegular());
+  InodeRef raw;
+  EXPECT_EQ(Lookup("/link", &raw, /*follow=*/false), 0);
+  EXPECT_TRUE(raw->IsSymlink());
+  std::string target;
+  EXPECT_EQ(fs_.Readlink(env_, "/link", &target), 0);
+  EXPECT_EQ(target, "/target");
+  EXPECT_EQ(fs_.Readlink(env_, "/target", &target), -kEInval);
+}
+
+TEST_F(VfsTest, RelativeSymlinkResolvesAgainstItsDirectory) {
+  fs_.MkdirAll("/a/b");
+  fs_.InstallFile("/a/real", "x");
+  ASSERT_EQ(fs_.Symlink(env_, "../real", "/a/b/rel"), 0);
+  InodeRef inode;
+  EXPECT_EQ(Lookup("/a/b/rel", &inode), 0);
+  EXPECT_EQ(inode->data, "x");
+}
+
+TEST_F(VfsTest, SymlinkLoopDetected) {
+  ASSERT_EQ(fs_.Symlink(env_, "/loop2", "/loop1"), 0);
+  ASSERT_EQ(fs_.Symlink(env_, "/loop1", "/loop2"), 0);
+  EXPECT_EQ(Lookup("/loop1"), -kELoop);
+}
+
+TEST_F(VfsTest, SymlinkChainWithinLimitResolves) {
+  fs_.InstallFile("/end", "x");
+  std::string prev = "/end";
+  for (int i = 0; i < kMaxSymlinkDepth; ++i) {
+    const std::string link = "/chain" + std::to_string(i);
+    ASSERT_EQ(fs_.Symlink(env_, prev, link), 0);
+    prev = link;
+  }
+  EXPECT_EQ(Lookup(prev), 0);
+  // One more exceeds the limit.
+  ASSERT_EQ(fs_.Symlink(env_, prev, "/toomany"), 0);
+  EXPECT_EQ(Lookup("/toomany"), -kELoop);
+}
+
+TEST_F(VfsTest, SymlinkInMiddleOfPath) {
+  fs_.MkdirAll("/real/dir");
+  fs_.InstallFile("/real/dir/f", "payload");
+  ASSERT_EQ(fs_.Symlink(env_, "/real", "/alias"), 0);
+  InodeRef inode;
+  EXPECT_EQ(Lookup("/alias/dir/f", &inode), 0);
+  EXPECT_EQ(inode->data, "payload");
+  // Even with follow_final=false, mid-path symlinks are followed.
+  EXPECT_EQ(Lookup("/alias/dir/f", &inode, /*follow=*/false), 0);
+}
+
+TEST_F(VfsTest, HardLinksShareInode) {
+  fs_.InstallFile("/orig", "shared");
+  ASSERT_EQ(fs_.Link(env_, "/orig", "/other"), 0);
+  InodeRef a;
+  InodeRef b;
+  Lookup("/orig", &a);
+  Lookup("/other", &b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->nlink, 2);
+  ASSERT_EQ(fs_.Unlink(env_, "/orig"), 0);
+  EXPECT_EQ(Lookup("/orig"), -kENoent);
+  EXPECT_EQ(Lookup("/other", &b), 0);
+  EXPECT_EQ(b->nlink, 1);
+  EXPECT_EQ(b->data, "shared");
+}
+
+TEST_F(VfsTest, LinkRestrictions) {
+  fs_.MkdirAll("/dir");
+  EXPECT_EQ(fs_.Link(env_, "/dir", "/dirlink"), -kEPerm);
+  fs_.InstallFile("/f", "x");
+  EXPECT_EQ(fs_.Link(env_, "/f", "/f"), -kEExist);
+  EXPECT_EQ(fs_.Link(env_, "/nope", "/l"), -kENoent);
+}
+
+TEST_F(VfsTest, UnlinkSemantics) {
+  fs_.MkdirAll("/dir");
+  EXPECT_EQ(fs_.Unlink(env_, "/dir"), -kEPerm);  // directories need rmdir
+  EXPECT_EQ(fs_.Unlink(env_, "/absent"), -kENoent);
+  EXPECT_EQ(fs_.Unlink(env_, "/"), -kEInval);
+}
+
+TEST_F(VfsTest, RmdirSemantics) {
+  fs_.MkdirAll("/d/sub");
+  EXPECT_EQ(fs_.Rmdir(env_, "/d"), -kENotempty);
+  EXPECT_EQ(fs_.Rmdir(env_, "/d/sub"), 0);
+  EXPECT_EQ(fs_.Rmdir(env_, "/d"), 0);
+  EXPECT_EQ(fs_.Rmdir(env_, "/"), -kEInval);
+  fs_.InstallFile("/f", "x");
+  EXPECT_EQ(fs_.Rmdir(env_, "/f"), -kENotdir);
+}
+
+TEST_F(VfsTest, RenameFile) {
+  fs_.InstallFile("/from", "content");
+  ASSERT_EQ(fs_.Rename(env_, "/from", "/to"), 0);
+  EXPECT_EQ(Lookup("/from"), -kENoent);
+  InodeRef inode;
+  EXPECT_EQ(Lookup("/to", &inode), 0);
+  EXPECT_EQ(inode->data, "content");
+}
+
+TEST_F(VfsTest, RenameReplacesExistingFile) {
+  fs_.InstallFile("/a", "aaa");
+  fs_.InstallFile("/b", "bbb");
+  ASSERT_EQ(fs_.Rename(env_, "/a", "/b"), 0);
+  InodeRef inode;
+  EXPECT_EQ(Lookup("/b", &inode), 0);
+  EXPECT_EQ(inode->data, "aaa");
+}
+
+TEST_F(VfsTest, RenameDirectoryUpdatesParent) {
+  fs_.MkdirAll("/src/inner");
+  fs_.MkdirAll("/dst");
+  ASSERT_EQ(fs_.Rename(env_, "/src", "/dst/moved"), 0);
+  InodeRef inner;
+  EXPECT_EQ(Lookup("/dst/moved/inner", &inner), 0);
+  // ".." must now point into /dst/moved's parent chain.
+  InodeRef via_dots;
+  EXPECT_EQ(Lookup("/dst/moved/inner/../..", &via_dots), 0);
+  InodeRef dst;
+  Lookup("/dst", &dst);
+  EXPECT_EQ(via_dots, dst);
+}
+
+TEST_F(VfsTest, RenameIntoOwnSubtreeRejected) {
+  fs_.MkdirAll("/top/mid");
+  EXPECT_EQ(fs_.Rename(env_, "/top", "/top/mid/clone"), -kEInval);
+}
+
+TEST_F(VfsTest, RenameTypeMismatch) {
+  fs_.MkdirAll("/d");
+  fs_.InstallFile("/f", "x");
+  EXPECT_EQ(fs_.Rename(env_, "/f", "/d"), -kEIsdir);
+  EXPECT_EQ(fs_.Rename(env_, "/d", "/f"), -kENotdir);
+  fs_.MkdirAll("/d2/kid");
+  EXPECT_EQ(fs_.Rename(env_, "/d", "/d2"), -kENotempty);
+}
+
+TEST_F(VfsTest, RenameOntoSelfIsNoop) {
+  fs_.InstallFile("/same", "x");
+  EXPECT_EQ(fs_.Rename(env_, "/same", "/same"), 0);
+  InodeRef inode;
+  EXPECT_EQ(Lookup("/same", &inode), 0);
+}
+
+TEST_F(VfsTest, PermissionEnforcement) {
+  fs_.MkdirAll("/secure", 0700);
+  fs_.InstallFile("/secure/file", "top secret", 0600);
+  fs_.InstallFile("/public", "hello", 0644);
+
+  Cred alice;
+  alice.ruid = alice.euid = 1000;
+  alice.rgid = alice.egid = 1000;
+  NameiEnv alice_env{fs_.root(), fs_.root(), &alice};
+
+  NameiResult nr;
+  EXPECT_EQ(fs_.Namei(alice_env, "/secure/file", NameiOp::kLookup, true, &nr), -kEAcces);
+  EXPECT_EQ(fs_.Access(alice_env, "/public", kROk), 0);
+  EXPECT_EQ(fs_.Access(alice_env, "/public", kWOk), -kEAcces);
+  InodeRef out;
+  EXPECT_EQ(fs_.Open(alice_env, "/public", kOWronly, 0, &out), -kEAcces);
+  EXPECT_EQ(fs_.Open(alice_env, "/public", kORdonly, 0, &out), 0);
+  // Root passes everything.
+  EXPECT_EQ(fs_.Namei(env_, "/secure/file", NameiOp::kLookup, true, &nr), 0);
+}
+
+TEST_F(VfsTest, GroupPermissions) {
+  fs_.InstallFile("/groupfile", "g", 0640);
+  InodeRef inode;
+  Lookup("/groupfile", &inode);
+  inode->gid = 500;
+
+  Cred member;
+  member.ruid = member.euid = 1000;
+  member.rgid = member.egid = 500;
+  Cred outsider;
+  outsider.ruid = outsider.euid = 1000;
+  outsider.rgid = outsider.egid = 999;
+  Cred supplementary;
+  supplementary.ruid = supplementary.euid = 1000;
+  supplementary.rgid = supplementary.egid = 999;
+  supplementary.groups = {500};
+
+  EXPECT_TRUE(CredPermits(member, inode->uid, inode->gid, inode->mode_bits, kROk));
+  EXPECT_FALSE(CredPermits(outsider, inode->uid, inode->gid, inode->mode_bits, kROk));
+  EXPECT_TRUE(CredPermits(supplementary, inode->uid, inode->gid, inode->mode_bits, kROk));
+  EXPECT_FALSE(CredPermits(member, inode->uid, inode->gid, inode->mode_bits, kWOk));
+}
+
+TEST_F(VfsTest, OwnerBitsTrumpGroupBits) {
+  // Mode 0074: owner has NOTHING, group has rwx. The owner check uses owner bits.
+  fs_.InstallFile("/weird", "w", 0074);
+  InodeRef inode;
+  Lookup("/weird", &inode);
+  inode->uid = 1000;
+  inode->gid = 1000;
+  Cred owner;
+  owner.ruid = owner.euid = 1000;
+  owner.rgid = owner.egid = 1000;
+  EXPECT_FALSE(CredPermits(owner, inode->uid, inode->gid, inode->mode_bits, kROk));
+}
+
+TEST_F(VfsTest, OpenCreateExclusiveAndTruncate) {
+  InodeRef inode;
+  EXPECT_EQ(fs_.Open(env_, "/new", kOCreat | kOWronly, 0644, &inode), 0);
+  EXPECT_TRUE(inode->IsRegular());
+  EXPECT_EQ(fs_.Open(env_, "/new", kOCreat | kOExcl | kOWronly, 0644, &inode), -kEExist);
+  inode->data = "hello";
+  fs_.ResizeFile(inode, 5);
+  EXPECT_EQ(fs_.Open(env_, "/new", kOTrunc | kOWronly, 0, &inode), 0);
+  EXPECT_TRUE(inode->data.empty());
+}
+
+TEST_F(VfsTest, OpenDirectoryForWriteFails) {
+  fs_.MkdirAll("/d");
+  InodeRef inode;
+  EXPECT_EQ(fs_.Open(env_, "/d", kOWronly, 0, &inode), -kEIsdir);
+  EXPECT_EQ(fs_.Open(env_, "/d", kORdwr, 0, &inode), -kEIsdir);
+  EXPECT_EQ(fs_.Open(env_, "/d", kORdonly, 0, &inode), 0);
+}
+
+TEST_F(VfsTest, TruncateSemantics) {
+  fs_.InstallFile("/t", "1234567890");
+  EXPECT_EQ(fs_.Truncate(env_, "/t", 4), 0);
+  EXPECT_EQ(FileSize("/t"), 4);
+  EXPECT_EQ(fs_.Truncate(env_, "/t", 8), 0);  // extends with NULs
+  InodeRef inode;
+  Lookup("/t", &inode);
+  EXPECT_EQ(inode->data, std::string("1234") + std::string(4, '\0'));
+  EXPECT_EQ(fs_.Truncate(env_, "/t", -1), -kEInval);
+  fs_.MkdirAll("/d");
+  EXPECT_EQ(fs_.Truncate(env_, "/d", 0), -kEIsdir);
+}
+
+TEST_F(VfsTest, ChmodChownRules) {
+  fs_.InstallFile("/owned", "x");
+  InodeRef inode;
+  Lookup("/owned", &inode);
+  inode->uid = 1000;
+
+  Cred owner;
+  owner.ruid = owner.euid = 1000;
+  NameiEnv owner_env{fs_.root(), fs_.root(), &owner};
+  EXPECT_EQ(fs_.Chmod(owner_env, "/owned", 0600), 0);
+  EXPECT_EQ(inode->mode_bits, 0600u);
+  // Only root may chown (4.3BSD rule).
+  EXPECT_EQ(fs_.Chown(owner_env, "/owned", 1001, -1), -kEPerm);
+  EXPECT_EQ(fs_.Chown(env_, "/owned", 1001, 77), 0);
+  EXPECT_EQ(inode->uid, 1001);
+  EXPECT_EQ(inode->gid, 77);
+
+  Cred other;
+  other.ruid = other.euid = 2222;
+  NameiEnv other_env{fs_.root(), fs_.root(), &other};
+  EXPECT_EQ(fs_.Chmod(other_env, "/owned", 0777), -kEPerm);
+}
+
+TEST_F(VfsTest, TotalBytesAccounting) {
+  EXPECT_GE(fs_.total_bytes(), 0);
+  const int64_t before = fs_.total_bytes();
+  fs_.InstallFile("/bytes", std::string(1000, 'b'));
+  EXPECT_EQ(fs_.total_bytes(), before + 1000);
+  fs_.Truncate(env_, "/bytes", 200);
+  EXPECT_EQ(fs_.total_bytes(), before + 200);
+  fs_.Unlink(env_, "/bytes");
+  EXPECT_EQ(fs_.total_bytes(), before);
+}
+
+TEST_F(VfsTest, AbsolutePathOf) {
+  fs_.MkdirAll("/x/y/z");
+  InodeRef inode;
+  Lookup("/x/y/z", &inode);
+  EXPECT_EQ(fs_.AbsolutePathOf(inode), "/x/y/z");
+  EXPECT_EQ(fs_.AbsolutePathOf(fs_.root()), "/");
+}
+
+TEST_F(VfsTest, CountReachableInodes) {
+  const size_t base = fs_.CountReachableInodes();
+  fs_.MkdirAll("/c1/c2");
+  fs_.InstallFile("/c1/f", "x");
+  EXPECT_EQ(fs_.CountReachableInodes(), base + 3);
+}
+
+TEST_F(VfsTest, NlinkTracksDirectoryChildren) {
+  fs_.MkdirAll("/p");
+  InodeRef parent;
+  Lookup("/p", &parent);
+  EXPECT_EQ(parent->nlink, 2);
+  fs_.MkdirAll("/p/c1");
+  fs_.MkdirAll("/p/c2");
+  EXPECT_EQ(parent->nlink, 4);  // 2 + one ".." per child
+  fs_.Rmdir(env_, "/p/c1");
+  EXPECT_EQ(parent->nlink, 3);
+}
+
+
+TEST_F(VfsTest, RenameKeepsByteAccounting) {
+  const int64_t before = fs_.total_bytes();
+  fs_.InstallFile("/acct", std::string(300, 'a'));
+  ASSERT_EQ(fs_.Rename(env_, "/acct", "/moved"), 0);
+  EXPECT_EQ(fs_.total_bytes(), before + 300);
+  // Rename over an existing file releases only the replaced file's bytes.
+  fs_.InstallFile("/other", std::string(100, 'b'));
+  ASSERT_EQ(fs_.Rename(env_, "/moved", "/other"), 0);
+  EXPECT_EQ(fs_.total_bytes(), before + 300);
+  ASSERT_EQ(fs_.Unlink(env_, "/other"), 0);
+  EXPECT_EQ(fs_.total_bytes(), before);
+}
+
+TEST_F(VfsTest, HardLinkUnlinkByteAccounting) {
+  const int64_t before = fs_.total_bytes();
+  fs_.InstallFile("/linked", std::string(50, 'x'));
+  ASSERT_EQ(fs_.Link(env_, "/linked", "/alias"), 0);
+  ASSERT_EQ(fs_.Unlink(env_, "/linked"), 0);
+  EXPECT_EQ(fs_.total_bytes(), before + 50);  // still reachable via /alias
+  ASSERT_EQ(fs_.Unlink(env_, "/alias"), 0);
+  EXPECT_EQ(fs_.total_bytes(), before);
+}
+
+TEST_F(VfsTest, MknodFifo) {
+  EXPECT_EQ(fs_.MknodFifo(env_, "/fifo", 0644), 0);
+  InodeRef inode;
+  EXPECT_EQ(Lookup("/fifo", &inode), 0);
+  EXPECT_TRUE(inode->IsFifo());
+  EXPECT_EQ(fs_.MknodFifo(env_, "/fifo", 0644), -kEExist);
+}
+
+}  // namespace
+}  // namespace ia
