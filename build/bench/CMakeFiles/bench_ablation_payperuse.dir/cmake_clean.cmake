@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_payperuse.dir/bench_ablation_payperuse.cc.o"
+  "CMakeFiles/bench_ablation_payperuse.dir/bench_ablation_payperuse.cc.o.d"
+  "bench_ablation_payperuse"
+  "bench_ablation_payperuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_payperuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

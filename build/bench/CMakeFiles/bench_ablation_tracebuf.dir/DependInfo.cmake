@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_tracebuf.cc" "bench/CMakeFiles/bench_ablation_tracebuf.dir/bench_ablation_tracebuf.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_tracebuf.dir/bench_ablation_tracebuf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ia_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/agents/CMakeFiles/ia_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ia_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolkit/CMakeFiles/ia_toolkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/interpose/CMakeFiles/ia_interpose.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ia_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ia_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

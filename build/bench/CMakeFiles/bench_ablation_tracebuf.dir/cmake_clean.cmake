@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tracebuf.dir/bench_ablation_tracebuf.cc.o"
+  "CMakeFiles/bench_ablation_tracebuf.dir/bench_ablation_tracebuf.cc.o.d"
+  "bench_ablation_tracebuf"
+  "bench_ablation_tracebuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tracebuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

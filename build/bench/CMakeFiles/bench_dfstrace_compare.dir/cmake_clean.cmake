@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dfstrace_compare.dir/bench_dfstrace_compare.cc.o"
+  "CMakeFiles/bench_dfstrace_compare.dir/bench_dfstrace_compare.cc.o.d"
+  "bench_dfstrace_compare"
+  "bench_dfstrace_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dfstrace_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table32_format.dir/bench_table32_format.cc.o"
+  "CMakeFiles/bench_table32_format.dir/bench_table32_format.cc.o.d"
+  "bench_table32_format"
+  "bench_table32_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table32_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table33_make.dir/bench_table33_make.cc.o"
+  "CMakeFiles/bench_table33_make.dir/bench_table33_make.cc.o.d"
+  "bench_table33_make"
+  "bench_table33_make.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table33_make.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table34_lowlevel.dir/bench_table34_lowlevel.cc.o"
+  "CMakeFiles/bench_table34_lowlevel.dir/bench_table34_lowlevel.cc.o.d"
+  "bench_table34_lowlevel"
+  "bench_table34_lowlevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table34_lowlevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table35_syscalls.dir/bench_table35_syscalls.cc.o"
+  "CMakeFiles/bench_table35_syscalls.dir/bench_table35_syscalls.cc.o.d"
+  "bench_table35_syscalls"
+  "bench_table35_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table35_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

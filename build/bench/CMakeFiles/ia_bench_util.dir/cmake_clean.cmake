@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ia_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/ia_bench_util.dir/bench_util.cc.o.d"
+  "libia_bench_util.a"
+  "libia_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ia_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

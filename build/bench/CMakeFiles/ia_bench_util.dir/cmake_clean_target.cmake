@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libia_bench_util.a"
+)

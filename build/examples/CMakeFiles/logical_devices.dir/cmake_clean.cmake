@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logical_devices.dir/logical_devices.cpp.o"
+  "CMakeFiles/logical_devices.dir/logical_devices.cpp.o.d"
+  "logical_devices"
+  "logical_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logical_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandbox_untrusted.dir/sandbox_untrusted.cpp.o"
+  "CMakeFiles/sandbox_untrusted.dir/sandbox_untrusted.cpp.o.d"
+  "sandbox_untrusted"
+  "sandbox_untrusted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandbox_untrusted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sandbox_untrusted.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracing_tools.dir/tracing_tools.cpp.o"
+  "CMakeFiles/tracing_tools.dir/tracing_tools.cpp.o.d"
+  "tracing_tools"
+  "tracing_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracing_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transactional_session.dir/transactional_session.cpp.o"
+  "CMakeFiles/transactional_session.dir/transactional_session.cpp.o.d"
+  "transactional_session"
+  "transactional_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transactional_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/union_build.dir/union_build.cpp.o"
+  "CMakeFiles/union_build.dir/union_build.cpp.o.d"
+  "union_build"
+  "union_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/union_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agents/codec.cc" "src/agents/CMakeFiles/ia_agents.dir/codec.cc.o" "gcc" "src/agents/CMakeFiles/ia_agents.dir/codec.cc.o.d"
+  "/root/repo/src/agents/dfs_trace.cc" "src/agents/CMakeFiles/ia_agents.dir/dfs_trace.cc.o" "gcc" "src/agents/CMakeFiles/ia_agents.dir/dfs_trace.cc.o.d"
+  "/root/repo/src/agents/emul.cc" "src/agents/CMakeFiles/ia_agents.dir/emul.cc.o" "gcc" "src/agents/CMakeFiles/ia_agents.dir/emul.cc.o.d"
+  "/root/repo/src/agents/filter_fs.cc" "src/agents/CMakeFiles/ia_agents.dir/filter_fs.cc.o" "gcc" "src/agents/CMakeFiles/ia_agents.dir/filter_fs.cc.o.d"
+  "/root/repo/src/agents/monitor.cc" "src/agents/CMakeFiles/ia_agents.dir/monitor.cc.o" "gcc" "src/agents/CMakeFiles/ia_agents.dir/monitor.cc.o.d"
+  "/root/repo/src/agents/sandbox.cc" "src/agents/CMakeFiles/ia_agents.dir/sandbox.cc.o" "gcc" "src/agents/CMakeFiles/ia_agents.dir/sandbox.cc.o.d"
+  "/root/repo/src/agents/trace.cc" "src/agents/CMakeFiles/ia_agents.dir/trace.cc.o" "gcc" "src/agents/CMakeFiles/ia_agents.dir/trace.cc.o.d"
+  "/root/repo/src/agents/txn.cc" "src/agents/CMakeFiles/ia_agents.dir/txn.cc.o" "gcc" "src/agents/CMakeFiles/ia_agents.dir/txn.cc.o.d"
+  "/root/repo/src/agents/union_fs.cc" "src/agents/CMakeFiles/ia_agents.dir/union_fs.cc.o" "gcc" "src/agents/CMakeFiles/ia_agents.dir/union_fs.cc.o.d"
+  "/root/repo/src/agents/userdev.cc" "src/agents/CMakeFiles/ia_agents.dir/userdev.cc.o" "gcc" "src/agents/CMakeFiles/ia_agents.dir/userdev.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/toolkit/CMakeFiles/ia_toolkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/interpose/CMakeFiles/ia_interpose.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ia_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ia_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

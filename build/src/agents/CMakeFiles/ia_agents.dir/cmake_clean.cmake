@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ia_agents.dir/codec.cc.o"
+  "CMakeFiles/ia_agents.dir/codec.cc.o.d"
+  "CMakeFiles/ia_agents.dir/dfs_trace.cc.o"
+  "CMakeFiles/ia_agents.dir/dfs_trace.cc.o.d"
+  "CMakeFiles/ia_agents.dir/emul.cc.o"
+  "CMakeFiles/ia_agents.dir/emul.cc.o.d"
+  "CMakeFiles/ia_agents.dir/filter_fs.cc.o"
+  "CMakeFiles/ia_agents.dir/filter_fs.cc.o.d"
+  "CMakeFiles/ia_agents.dir/monitor.cc.o"
+  "CMakeFiles/ia_agents.dir/monitor.cc.o.d"
+  "CMakeFiles/ia_agents.dir/sandbox.cc.o"
+  "CMakeFiles/ia_agents.dir/sandbox.cc.o.d"
+  "CMakeFiles/ia_agents.dir/trace.cc.o"
+  "CMakeFiles/ia_agents.dir/trace.cc.o.d"
+  "CMakeFiles/ia_agents.dir/txn.cc.o"
+  "CMakeFiles/ia_agents.dir/txn.cc.o.d"
+  "CMakeFiles/ia_agents.dir/union_fs.cc.o"
+  "CMakeFiles/ia_agents.dir/union_fs.cc.o.d"
+  "CMakeFiles/ia_agents.dir/userdev.cc.o"
+  "CMakeFiles/ia_agents.dir/userdev.cc.o.d"
+  "libia_agents.a"
+  "libia_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ia_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/andrew.cc" "src/apps/CMakeFiles/ia_apps.dir/andrew.cc.o" "gcc" "src/apps/CMakeFiles/ia_apps.dir/andrew.cc.o.d"
+  "/root/repo/src/apps/coreutils.cc" "src/apps/CMakeFiles/ia_apps.dir/coreutils.cc.o" "gcc" "src/apps/CMakeFiles/ia_apps.dir/coreutils.cc.o.d"
+  "/root/repo/src/apps/install.cc" "src/apps/CMakeFiles/ia_apps.dir/install.cc.o" "gcc" "src/apps/CMakeFiles/ia_apps.dir/install.cc.o.d"
+  "/root/repo/src/apps/make_cc.cc" "src/apps/CMakeFiles/ia_apps.dir/make_cc.cc.o" "gcc" "src/apps/CMakeFiles/ia_apps.dir/make_cc.cc.o.d"
+  "/root/repo/src/apps/scribe.cc" "src/apps/CMakeFiles/ia_apps.dir/scribe.cc.o" "gcc" "src/apps/CMakeFiles/ia_apps.dir/scribe.cc.o.d"
+  "/root/repo/src/apps/shell.cc" "src/apps/CMakeFiles/ia_apps.dir/shell.cc.o" "gcc" "src/apps/CMakeFiles/ia_apps.dir/shell.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/ia_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ia_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ia_apps.dir/andrew.cc.o"
+  "CMakeFiles/ia_apps.dir/andrew.cc.o.d"
+  "CMakeFiles/ia_apps.dir/coreutils.cc.o"
+  "CMakeFiles/ia_apps.dir/coreutils.cc.o.d"
+  "CMakeFiles/ia_apps.dir/install.cc.o"
+  "CMakeFiles/ia_apps.dir/install.cc.o.d"
+  "CMakeFiles/ia_apps.dir/make_cc.cc.o"
+  "CMakeFiles/ia_apps.dir/make_cc.cc.o.d"
+  "CMakeFiles/ia_apps.dir/scribe.cc.o"
+  "CMakeFiles/ia_apps.dir/scribe.cc.o.d"
+  "CMakeFiles/ia_apps.dir/shell.cc.o"
+  "CMakeFiles/ia_apps.dir/shell.cc.o.d"
+  "libia_apps.a"
+  "libia_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ia_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

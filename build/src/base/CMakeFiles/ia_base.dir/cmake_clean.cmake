@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ia_base.dir/clock.cc.o"
+  "CMakeFiles/ia_base.dir/clock.cc.o.d"
+  "CMakeFiles/ia_base.dir/errno_codes.cc.o"
+  "CMakeFiles/ia_base.dir/errno_codes.cc.o.d"
+  "CMakeFiles/ia_base.dir/stats.cc.o"
+  "CMakeFiles/ia_base.dir/stats.cc.o.d"
+  "CMakeFiles/ia_base.dir/strings.cc.o"
+  "CMakeFiles/ia_base.dir/strings.cc.o.d"
+  "libia_base.a"
+  "libia_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ia_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

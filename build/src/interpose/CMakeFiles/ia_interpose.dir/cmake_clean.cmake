@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ia_interpose.dir/agent.cc.o"
+  "CMakeFiles/ia_interpose.dir/agent.cc.o.d"
+  "libia_interpose.a"
+  "libia_interpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ia_interpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

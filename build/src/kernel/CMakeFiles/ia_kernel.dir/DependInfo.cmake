@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/context.cc" "src/kernel/CMakeFiles/ia_kernel.dir/context.cc.o" "gcc" "src/kernel/CMakeFiles/ia_kernel.dir/context.cc.o.d"
+  "/root/repo/src/kernel/devices.cc" "src/kernel/CMakeFiles/ia_kernel.dir/devices.cc.o" "gcc" "src/kernel/CMakeFiles/ia_kernel.dir/devices.cc.o.d"
+  "/root/repo/src/kernel/fdtable.cc" "src/kernel/CMakeFiles/ia_kernel.dir/fdtable.cc.o" "gcc" "src/kernel/CMakeFiles/ia_kernel.dir/fdtable.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/ia_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/ia_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/ktrace.cc" "src/kernel/CMakeFiles/ia_kernel.dir/ktrace.cc.o" "gcc" "src/kernel/CMakeFiles/ia_kernel.dir/ktrace.cc.o.d"
+  "/root/repo/src/kernel/process.cc" "src/kernel/CMakeFiles/ia_kernel.dir/process.cc.o" "gcc" "src/kernel/CMakeFiles/ia_kernel.dir/process.cc.o.d"
+  "/root/repo/src/kernel/programs.cc" "src/kernel/CMakeFiles/ia_kernel.dir/programs.cc.o" "gcc" "src/kernel/CMakeFiles/ia_kernel.dir/programs.cc.o.d"
+  "/root/repo/src/kernel/types.cc" "src/kernel/CMakeFiles/ia_kernel.dir/types.cc.o" "gcc" "src/kernel/CMakeFiles/ia_kernel.dir/types.cc.o.d"
+  "/root/repo/src/kernel/vfs.cc" "src/kernel/CMakeFiles/ia_kernel.dir/vfs.cc.o" "gcc" "src/kernel/CMakeFiles/ia_kernel.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ia_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ia_kernel.dir/context.cc.o"
+  "CMakeFiles/ia_kernel.dir/context.cc.o.d"
+  "CMakeFiles/ia_kernel.dir/devices.cc.o"
+  "CMakeFiles/ia_kernel.dir/devices.cc.o.d"
+  "CMakeFiles/ia_kernel.dir/fdtable.cc.o"
+  "CMakeFiles/ia_kernel.dir/fdtable.cc.o.d"
+  "CMakeFiles/ia_kernel.dir/kernel.cc.o"
+  "CMakeFiles/ia_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/ia_kernel.dir/ktrace.cc.o"
+  "CMakeFiles/ia_kernel.dir/ktrace.cc.o.d"
+  "CMakeFiles/ia_kernel.dir/process.cc.o"
+  "CMakeFiles/ia_kernel.dir/process.cc.o.d"
+  "CMakeFiles/ia_kernel.dir/programs.cc.o"
+  "CMakeFiles/ia_kernel.dir/programs.cc.o.d"
+  "CMakeFiles/ia_kernel.dir/types.cc.o"
+  "CMakeFiles/ia_kernel.dir/types.cc.o.d"
+  "CMakeFiles/ia_kernel.dir/vfs.cc.o"
+  "CMakeFiles/ia_kernel.dir/vfs.cc.o.d"
+  "libia_kernel.a"
+  "libia_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ia_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

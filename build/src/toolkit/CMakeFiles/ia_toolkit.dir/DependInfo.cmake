@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/toolkit/descriptor_set.cc" "src/toolkit/CMakeFiles/ia_toolkit.dir/descriptor_set.cc.o" "gcc" "src/toolkit/CMakeFiles/ia_toolkit.dir/descriptor_set.cc.o.d"
+  "/root/repo/src/toolkit/directory.cc" "src/toolkit/CMakeFiles/ia_toolkit.dir/directory.cc.o" "gcc" "src/toolkit/CMakeFiles/ia_toolkit.dir/directory.cc.o.d"
+  "/root/repo/src/toolkit/down_api.cc" "src/toolkit/CMakeFiles/ia_toolkit.dir/down_api.cc.o" "gcc" "src/toolkit/CMakeFiles/ia_toolkit.dir/down_api.cc.o.d"
+  "/root/repo/src/toolkit/open_object.cc" "src/toolkit/CMakeFiles/ia_toolkit.dir/open_object.cc.o" "gcc" "src/toolkit/CMakeFiles/ia_toolkit.dir/open_object.cc.o.d"
+  "/root/repo/src/toolkit/pathname_set.cc" "src/toolkit/CMakeFiles/ia_toolkit.dir/pathname_set.cc.o" "gcc" "src/toolkit/CMakeFiles/ia_toolkit.dir/pathname_set.cc.o.d"
+  "/root/repo/src/toolkit/symbolic_syscall.cc" "src/toolkit/CMakeFiles/ia_toolkit.dir/symbolic_syscall.cc.o" "gcc" "src/toolkit/CMakeFiles/ia_toolkit.dir/symbolic_syscall.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interpose/CMakeFiles/ia_interpose.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ia_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ia_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ia_toolkit.dir/descriptor_set.cc.o"
+  "CMakeFiles/ia_toolkit.dir/descriptor_set.cc.o.d"
+  "CMakeFiles/ia_toolkit.dir/directory.cc.o"
+  "CMakeFiles/ia_toolkit.dir/directory.cc.o.d"
+  "CMakeFiles/ia_toolkit.dir/down_api.cc.o"
+  "CMakeFiles/ia_toolkit.dir/down_api.cc.o.d"
+  "CMakeFiles/ia_toolkit.dir/open_object.cc.o"
+  "CMakeFiles/ia_toolkit.dir/open_object.cc.o.d"
+  "CMakeFiles/ia_toolkit.dir/pathname_set.cc.o"
+  "CMakeFiles/ia_toolkit.dir/pathname_set.cc.o.d"
+  "CMakeFiles/ia_toolkit.dir/symbolic_syscall.cc.o"
+  "CMakeFiles/ia_toolkit.dir/symbolic_syscall.cc.o.d"
+  "libia_toolkit.a"
+  "libia_toolkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ia_toolkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_agents_edge.cc" "tests/CMakeFiles/ia_tests.dir/test_agents_edge.cc.o" "gcc" "tests/CMakeFiles/ia_tests.dir/test_agents_edge.cc.o.d"
+  "/root/repo/tests/test_apps.cc" "tests/CMakeFiles/ia_tests.dir/test_apps.cc.o" "gcc" "tests/CMakeFiles/ia_tests.dir/test_apps.cc.o.d"
+  "/root/repo/tests/test_composition.cc" "tests/CMakeFiles/ia_tests.dir/test_composition.cc.o" "gcc" "tests/CMakeFiles/ia_tests.dir/test_composition.cc.o.d"
+  "/root/repo/tests/test_fuzz_decode.cc" "tests/CMakeFiles/ia_tests.dir/test_fuzz_decode.cc.o" "gcc" "tests/CMakeFiles/ia_tests.dir/test_fuzz_decode.cc.o.d"
+  "/root/repo/tests/test_interpose_stress.cc" "tests/CMakeFiles/ia_tests.dir/test_interpose_stress.cc.o" "gcc" "tests/CMakeFiles/ia_tests.dir/test_interpose_stress.cc.o.d"
+  "/root/repo/tests/test_kernel_syscalls.cc" "tests/CMakeFiles/ia_tests.dir/test_kernel_syscalls.cc.o" "gcc" "tests/CMakeFiles/ia_tests.dir/test_kernel_syscalls.cc.o.d"
+  "/root/repo/tests/test_ktrace.cc" "tests/CMakeFiles/ia_tests.dir/test_ktrace.cc.o" "gcc" "tests/CMakeFiles/ia_tests.dir/test_ktrace.cc.o.d"
+  "/root/repo/tests/test_pipes.cc" "tests/CMakeFiles/ia_tests.dir/test_pipes.cc.o" "gcc" "tests/CMakeFiles/ia_tests.dir/test_pipes.cc.o.d"
+  "/root/repo/tests/test_process_signals.cc" "tests/CMakeFiles/ia_tests.dir/test_process_signals.cc.o" "gcc" "tests/CMakeFiles/ia_tests.dir/test_process_signals.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/ia_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/ia_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/ia_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/ia_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_strings.cc" "tests/CMakeFiles/ia_tests.dir/test_strings.cc.o" "gcc" "tests/CMakeFiles/ia_tests.dir/test_strings.cc.o.d"
+  "/root/repo/tests/test_toolkit.cc" "tests/CMakeFiles/ia_tests.dir/test_toolkit.cc.o" "gcc" "tests/CMakeFiles/ia_tests.dir/test_toolkit.cc.o.d"
+  "/root/repo/tests/test_userdev.cc" "tests/CMakeFiles/ia_tests.dir/test_userdev.cc.o" "gcc" "tests/CMakeFiles/ia_tests.dir/test_userdev.cc.o.d"
+  "/root/repo/tests/test_vfs.cc" "tests/CMakeFiles/ia_tests.dir/test_vfs.cc.o" "gcc" "tests/CMakeFiles/ia_tests.dir/test_vfs.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/ia_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/ia_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agents/CMakeFiles/ia_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ia_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolkit/CMakeFiles/ia_toolkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/interpose/CMakeFiles/ia_interpose.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ia_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ia_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
