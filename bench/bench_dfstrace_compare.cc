@@ -42,7 +42,10 @@ double TimeRuns(bool use_ktrace, const ia::bench::AgentFactory& factory, int64_t
     config.compute_spin_scale = 0.5;
     ia::Kernel kernel(config);
     Setup(kernel);
-    ia::VectorKtraceSink sink;
+    // The original DFSTrace logged into a fixed-size kernel buffer, not an
+    // unbounded one; the ring sink reproduces that (and keeps long runs from
+    // growing without bound). Capacity is sized to hold a full Andrew run.
+    ia::RingKtraceSink sink(1 << 16);
     if (use_ktrace) {
       kernel.SetKtrace(&sink);
     }
@@ -60,7 +63,11 @@ double TimeRuns(bool use_ktrace, const ia::bench::AgentFactory& factory, int64_t
       stats.Add(elapsed);
     }
     if (use_ktrace && records != nullptr) {
-      *records = static_cast<int64_t>(sink.records().size());
+      *records = static_cast<int64_t>(sink.total_recorded());
+      if (sink.dropped() != 0) {
+        std::fprintf(stderr, "ktrace ring overflow: %llu records dropped\n",
+                     static_cast<unsigned long long>(sink.dropped()));
+      }
     }
   }
   return stats.Median();

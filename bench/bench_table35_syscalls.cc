@@ -34,8 +34,17 @@ struct Row {
 
 void SetupWorld(ia::Kernel& kernel) {
   ia::InstallStandardPrograms(kernel);
-  // A six-component pathname in the filesystem, as the paper measured.
+  // A six-component pathname in the filesystem, as the paper measured. Each
+  // directory on the walk gets realistic population — the paper's 892 µs stat
+  // walked real directories, not single-entry ones — which is also what makes
+  // the name-cache rows below meaningful.
   kernel.fs().MkdirAll("/a/b/c/d/e");
+  const char* levels[] = {"/a", "/a/b", "/a/b/c", "/a/b/c/d", "/a/b/c/d/e"};
+  for (const char* dir : levels) {
+    for (int i = 0; i < 256; ++i) {
+      kernel.fs().InstallFile(std::string(dir) + "/entry-" + std::to_string(i), "");
+    }
+  }
   kernel.fs().InstallFile("/a/b/c/d/e/f", std::string(4096, 'x'));
 }
 
@@ -126,5 +135,52 @@ int main() {
       "simple calls, a large multiple of getpid()'s base cost, a small fraction\n"
       "of fork/execve's base cost — and fork/execve overhead should be far larger\n"
       "in absolute terms (agent propagation / exec reimplementation).\n");
+
+  // --- pathname rows, DNLC off vs on ---------------------------------------
+  // The paper's expensive rows are the pathname calls (stat at 892 cost units
+  // walks six components). The directory name-lookup cache is the kernel-side
+  // fast path for exactly these rows; report them in both states.
+  const Row path_rows[] = {
+      {"stat() [6 components]",
+       [](ia::ProcessContext& ctx) {
+         ia::Stat st;
+         ctx.Stat("/a/b/c/d/e/f", &st);
+       },
+       50000},
+      {"access() [6 components]",
+       [](ia::ProcessContext& ctx) { ctx.Access("/a/b/c/d/e/f", ia::kROk); },
+       50000},
+      {"open()+close()",
+       [](ia::ProcessContext& ctx) {
+         const int fd = ctx.Open("/a/b/c/d/e/f", ia::kORdonly);
+         ctx.Close(fd);
+       },
+       30000},
+  };
+
+  std::printf("\nPathname rows with the directory name-lookup cache off/on (no agent):\n");
+  std::printf("  %-26s %12s %12s %10s\n", "Operation", "cache off", "cache on", "speedup");
+  for (const Row& row : path_rows) {
+    double off_us = 1e18;
+    double on_us = 1e18;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      ia::Kernel without;
+      SetupWorld(without);
+      without.fs().namecache().set_enabled(false);
+      off_us =
+          std::min(off_us, ia::bench::MeasurePerCallMicros(without, {}, row.op, row.iterations));
+
+      ia::Kernel with;
+      SetupWorld(with);
+      on_us = std::min(on_us, ia::bench::MeasurePerCallMicros(with, {}, row.op, row.iterations));
+    }
+    std::printf("  %-26s %10.3f µs %10.3f µs %9.2fx\n", row.label, off_us, on_us,
+                off_us / on_us);
+  }
+  std::printf(
+      "\nShape: stat()/access() should be modestly faster with the cache on\n"
+      "(resolution is only part of a full syscall round trip); open()+close()\n"
+      "sits near parity because fd setup dominates it. bench_namecache holds\n"
+      "the self-checked 1.3x gate on the resolution-dominated workload.\n");
   return 0;
 }

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Builds the tree with -DIA_SANITIZE=ON (ASan + UBSan, abort on any report)
+# and runs the full test suite under the sanitizers, in a dedicated build
+# directory so the regular build's timings stay unskewed.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-sanitize
+
+cmake -B "$BUILD_DIR" -S . -DIA_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error: the first sanitizer report fails the run loudly instead of
+# letting later tests mask it.
+ASAN_OPTIONS=halt_on_error=1 \
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "Sanitized test suite passed."

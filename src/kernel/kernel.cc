@@ -259,6 +259,11 @@ int64_t Kernel::TotalSyscallCount() {
   return total_syscalls_;
 }
 
+NameCacheStats Kernel::CacheStats() {
+  Lock lk(mu_);
+  return fs_.namecache().stats();
+}
+
 std::vector<Pid> Kernel::Pids() {
   Lock lk(mu_);
   std::vector<Pid> pids;
@@ -1099,6 +1104,9 @@ SyscallStatus Kernel::SysFchmod(Process& p, const SyscallArgs& a) {
   }
   file->inode->mode_bits = static_cast<Mode>(a.Int(1)) & 07777;
   file->inode->ctime = fs_.now();
+  if (file->inode->IsDirectory()) {
+    fs_.namecache().InvalidateDir(*file->inode);
+  }
   return 0;
 }
 
@@ -1125,6 +1133,9 @@ SyscallStatus Kernel::SysFchown(Process& p, const SyscallArgs& a) {
     file->inode->gid = a.Int(2);
   }
   file->inode->ctime = fs_.now();
+  if (file->inode->IsDirectory()) {
+    fs_.namecache().InvalidateDir(*file->inode);
+  }
   return 0;
 }
 

@@ -95,6 +95,9 @@ class Kernel {
   int64_t TotalSyscallCount();
   std::vector<Pid> Pids();
 
+  // Snapshot of the namei directory name-lookup cache counters.
+  NameCacheStats CacheStats();
+
   // In-kernel tracing (the monolithic DFSTrace stand-in). Not owned.
   void SetKtrace(KtraceSink* sink) { ktrace_ = sink; }
 

@@ -2,6 +2,35 @@
 
 namespace ia {
 
+RingKtraceSink::RingKtraceSink(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void RingKtraceSink::Record(const KtraceRecord& record) {
+  total_ += 1;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+    return;
+  }
+  ring_[head_] = record;
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<KtraceRecord> RingKtraceSink::Snapshot() const {
+  std::vector<KtraceRecord> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void RingKtraceSink::Clear() {
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
 bool IsFileReferenceSyscall(int number) {
   switch (number) {
     case kSysOpen:

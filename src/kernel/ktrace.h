@@ -26,7 +26,9 @@ class KtraceSink {
   virtual void Record(const KtraceRecord& record) = 0;
 };
 
-// Collects records in memory (cheap, like the kernel buffer DFSTrace used).
+// Collects records in memory without bound. Fine for short unit tests; long
+// workloads should use RingKtraceSink, which matches the fixed-size kernel
+// buffer the real DFSTrace drained from.
 class VectorKtraceSink final : public KtraceSink {
  public:
   void Record(const KtraceRecord& record) override { records_.push_back(record); }
@@ -36,6 +38,32 @@ class VectorKtraceSink final : public KtraceSink {
 
  private:
   std::vector<KtraceRecord> records_;
+};
+
+// Bounded ring-buffer sink: keeps the newest `capacity` records and counts the
+// ones displaced, like DFSTrace's fixed in-kernel buffer when the user-level
+// drainer falls behind.
+class RingKtraceSink final : public KtraceSink {
+ public:
+  explicit RingKtraceSink(size_t capacity);
+
+  void Record(const KtraceRecord& record) override;
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return ring_.size(); }
+  uint64_t total_recorded() const { return total_; }
+  uint64_t dropped() const { return total_ - static_cast<uint64_t>(ring_.size()); }
+
+  // Copies the retained records, oldest first.
+  std::vector<KtraceRecord> Snapshot() const;
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  size_t head_ = 0;  // next write position once the ring is full
+  uint64_t total_ = 0;
+  std::vector<KtraceRecord> ring_;
 };
 
 // Returns true for the file-reference syscalls DFSTrace collects.

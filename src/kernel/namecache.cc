@@ -1,0 +1,138 @@
+#include "src/kernel/namecache.h"
+
+#include "src/kernel/vfs.h"
+
+namespace ia {
+
+NameCache::NameCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  stats_.capacity = capacity_;
+}
+
+NameCache::Outcome NameCache::Lookup(const Inode& dir, std::string_view name, InodeRef* out,
+                                     Hint* hint) {
+  if (!enabled_) {
+    return Outcome::kMiss;
+  }
+  auto it = map_.find(KeyView{dir.ino(), name});
+  if (it == map_.end()) {
+    stats_.misses += 1;
+    return Outcome::kMiss;
+  }
+  Entry& entry = *it->second;
+  if (entry.dir_gen != dir.namecache_gen) {
+    // The directory mutated since this entry was cached. Report a miss but
+    // keep the node: the caller re-searches the directory and its Insert*
+    // refreshes this node in place (through `hint` without even re-probing),
+    // so churny directories don't pay an erase + reallocate cycle per
+    // mutation.
+    if (hint != nullptr) {
+      hint->node = &entry;
+    }
+    stats_.misses += 1;
+    return Outcome::kMiss;
+  }
+  if (entry.negative) {
+    entry.touched = true;
+    stats_.negative_hits += 1;
+    *out = nullptr;
+    return Outcome::kNegativeHit;
+  }
+  InodeRef child = entry.child.lock();
+  if (child == nullptr) {
+    Erase(it);
+    stats_.misses += 1;
+    return Outcome::kMiss;
+  }
+  entry.touched = true;  // clock bit: no list surgery on the hit path
+  stats_.hits += 1;
+  *out = std::move(child);
+  return Outcome::kHit;
+}
+
+void NameCache::InsertPositive(const Inode& dir, std::string_view name, const InodeRef& child,
+                               const Hint* hint) {
+  if (!enabled_ || child == nullptr || child->IsSymlink()) {
+    return;
+  }
+  InsertEntry(dir, name, child, /*negative=*/false,
+              hint != nullptr ? static_cast<Entry*>(hint->node) : nullptr);
+}
+
+void NameCache::InsertNegative(const Inode& dir, std::string_view name, const Hint* hint) {
+  if (!enabled_) {
+    return;
+  }
+  InsertEntry(dir, name, nullptr, /*negative=*/true,
+              hint != nullptr ? static_cast<Entry*>(hint->node) : nullptr);
+}
+
+void NameCache::InsertEntry(const Inode& dir, std::string_view name, const InodeRef& child,
+                            bool negative, Entry* hinted) {
+  if (hinted != nullptr) {
+    // Stale node recorded by the preceding Lookup for this same key: refresh
+    // it directly, skipping the hash probe entirely.
+    hinted->child = child;
+    hinted->dir_gen = dir.namecache_gen;
+    hinted->negative = negative;
+    hinted->touched = true;
+    return;
+  }
+  auto it = map_.find(KeyView{dir.ino(), name});
+  if (it != map_.end()) {
+    // Refresh in place; covers both re-inserts and stale nodes left behind by
+    // generation bumps.
+    Entry& entry = *it->second;
+    entry.child = child;
+    entry.dir_gen = dir.namecache_gen;
+    entry.negative = negative;
+    entry.touched = true;
+    return;
+  }
+  while (map_.size() >= capacity_) {
+    // Second-chance sweep: a touched back entry is recycled to the front with
+    // its clock bit cleared; the first untouched one is the victim. Each
+    // touched entry is passed over at most once per sweep, so this terminates.
+    Entry& back = lru_.back();
+    if (back.touched) {
+      back.touched = false;
+      lru_.splice(lru_.begin(), lru_, std::prev(lru_.end()));
+      continue;
+    }
+    auto victim = map_.find(back.key);
+    Erase(victim);
+    stats_.evictions += 1;
+  }
+  lru_.push_front(Entry{Key{dir.ino(), std::string(name)}, child, dir.namecache_gen, negative,
+                        /*touched=*/false});
+  map_.emplace(lru_.front().key, lru_.begin());
+  stats_.insertions += 1;
+}
+
+void NameCache::InvalidateDir(Inode& dir) {
+  dir.namecache_gen += 1;
+  stats_.invalidations += 1;
+}
+
+void NameCache::Erase(const Map::iterator& it) {
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void NameCache::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+void NameCache::ResetStats() {
+  stats_ = NameCacheStats{};
+  stats_.capacity = capacity_;
+}
+
+NameCacheStats NameCache::stats() const {
+  NameCacheStats out = stats_;
+  out.size = map_.size();
+  out.capacity = capacity_;
+  return out;
+}
+
+}  // namespace ia

@@ -1,0 +1,176 @@
+// Directory name-lookup cache (DNLC), after the 4.3BSD namei cache.
+//
+// Maps (directory inode number, component name) -> inode for the Namei fast
+// path, so repeated pathname syscalls (open/stat/access/...) skip the
+// per-directory entry-map search. Mirrors the 4.3BSD design points:
+//
+//   * bounded capacity with second-chance (clock) replacement approximating
+//     LRU (the BSD cache recycled the least-recently-used nch entry; the
+//     clock variant keeps hits free of list surgery — a hit just sets a
+//     referenced bit, and the eviction sweep gives touched entries a second
+//     pass before recycling them);
+//   * negative entries ("name known absent"), which turn repeated failing
+//     lookups — common in PATH and include-path searches — into cache hits;
+//   * O(1) invalidation via per-directory generation counters (the analogue of
+//     BSD's cache_purge() capability bump): any mutation of a directory
+//     increments its generation, instantly staling every cached entry under it
+//     without walking the cache. Stale entries age out through LRU.
+//
+// Entries hold weak inode references so the cache never extends inode
+// lifetimes. "." and ".." are never cached ("." is trivial; ".." depends on
+// the per-process root under chroot), and symlink inodes are not cached
+// (Namei re-expands symlinks on every walk; keeping them out keeps the cache
+// a pure name->object map, as the BSD DNLC did).
+//
+// Synchronization is the caller's (the kernel big lock), like the rest of the
+// VFS.
+#ifndef SRC_KERNEL_NAMECACHE_H_
+#define SRC_KERNEL_NAMECACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/kernel/types.h"
+
+namespace ia {
+
+class Inode;
+using InodeRef = std::shared_ptr<Inode>;
+
+// Counters exported through Kernel::CacheStats().
+struct NameCacheStats {
+  uint64_t hits = 0;           // positive entry returned an inode
+  uint64_t negative_hits = 0;  // negative entry short-circuited an ENOENT
+  uint64_t misses = 0;         // not present / stale / expired
+  uint64_t insertions = 0;     // entries added (positive + negative)
+  uint64_t evictions = 0;      // entries displaced by LRU capacity pressure
+  uint64_t invalidations = 0;  // per-directory generation bumps
+  size_t size = 0;             // current entry count
+  size_t capacity = 0;         // maximum entry count
+};
+
+class NameCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit NameCache(size_t capacity = kDefaultCapacity);
+
+  NameCache(const NameCache&) = delete;
+  NameCache& operator=(const NameCache&) = delete;
+
+  // Toggling the cache off makes Lookup always miss and Insert* no-ops; used
+  // by benchmarks to measure the uncached baseline on a live filesystem.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  enum class Outcome {
+    kMiss,         // caller must search the directory
+    kHit,          // *out is the child inode
+    kNegativeHit,  // name is known absent; *out is null
+  };
+
+  // Opaque node-reuse hint: a Lookup that misses on a STALE node records the
+  // node here, and a subsequent Insert* with the same (dir, name) refreshes it
+  // directly — no second hash probe, no reallocation. Only valid for the very
+  // next Insert* with the identical key; do not store.
+  struct Hint {
+    void* node = nullptr;
+  };
+
+  // Consults the cache for `name` under `dir`. Only kHit fills *out. The hit
+  // path is allocation-free: `name` is matched via transparent hashing, never
+  // copied.
+  Outcome Lookup(const Inode& dir, std::string_view name, InodeRef* out, Hint* hint = nullptr);
+
+  // Records that `dir` contains `name` -> `child`. Symlink children are skipped.
+  // A stale node for the same key is refreshed in place (no reallocation).
+  void InsertPositive(const Inode& dir, std::string_view name, const InodeRef& child,
+                      const Hint* hint = nullptr);
+
+  // Records that `name` does not exist under `dir`.
+  void InsertNegative(const Inode& dir, std::string_view name, const Hint* hint = nullptr);
+
+  // O(1) stale-out of every cached entry under `dir` (bumps its generation).
+  void InvalidateDir(Inode& dir);
+
+  // Drops every entry (stats other than size are kept).
+  void Clear();
+
+  void ResetStats();
+
+  // Snapshot including current size/capacity.
+  NameCacheStats stats() const;
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Key {
+    Ino dir_ino;
+    std::string name;
+  };
+
+  // Borrowed-name view of a Key; lets Lookup probe the index without copying
+  // the component string (C++20 transparent unordered_map lookup).
+  struct KeyView {
+    Ino dir_ino;
+    std::string_view name;
+  };
+
+  struct KeyHash {
+    using is_transparent = void;
+    static size_t Mix(Ino dir_ino, std::string_view name) {
+      return std::hash<std::string_view>()(name) ^
+             (std::hash<uint64_t>()(static_cast<uint64_t>(dir_ino)) * 0x9e3779b97f4a7c15ULL);
+    }
+    size_t operator()(const Key& key) const { return Mix(key.dir_ino, key.name); }
+    size_t operator()(const KeyView& key) const { return Mix(key.dir_ino, key.name); }
+  };
+
+  struct KeyEq {
+    using is_transparent = void;
+    bool operator()(const Key& a, const Key& b) const {
+      return a.dir_ino == b.dir_ino && a.name == b.name;
+    }
+    bool operator()(const KeyView& a, const Key& b) const {
+      return a.dir_ino == b.dir_ino && a.name == b.name;
+    }
+    bool operator()(const Key& a, const KeyView& b) const {
+      return a.dir_ino == b.dir_ino && a.name == b.name;
+    }
+  };
+
+  struct Entry {
+    Key key;
+    std::weak_ptr<Inode> child;  // empty for negative entries
+    uint64_t dir_gen = 0;        // directory generation at insert time
+    bool negative = false;
+    bool touched = false;  // referenced since last eviction sweep (clock bit)
+  };
+
+  using LruList = std::list<Entry>;
+  using Map = std::unordered_map<Key, LruList::iterator, KeyHash, KeyEq>;
+
+  // Inserts (or refreshes) an entry, evicting LRU overflow. `hinted` (may be
+  // null) is a stale node for the same key recorded by Lookup.
+  void InsertEntry(const Inode& dir, std::string_view name, const InodeRef& child, bool negative,
+                   Entry* hinted);
+
+  // Removes the entry `it` points at.
+  void Erase(const Map::iterator& it);
+
+  size_t capacity_;
+  bool enabled_ = true;
+  LruList lru_;  // front = most recently inserted; eviction sweeps the back
+  Map map_;
+  NameCacheStats stats_;
+};
+
+}  // namespace ia
+
+#endif  // SRC_KERNEL_NAMECACHE_H_

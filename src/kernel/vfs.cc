@@ -6,6 +6,29 @@
 
 namespace ia {
 
+namespace {
+
+// Splits `p` on '/' and appends its components to `out` in REVERSE order
+// (so out->back() is the first component to walk), dropping empty and "."
+// pieces. Components are views into `p`; the caller owns the backing storage.
+void PushComponentsReversed(std::string_view p, std::vector<std::string_view>* out) {
+  size_t end = p.size();
+  while (end > 0) {
+    const size_t slash = p.find_last_of('/', end - 1);
+    const size_t start = slash == std::string_view::npos ? 0 : slash + 1;
+    const std::string_view comp = p.substr(start, end - start);
+    if (!comp.empty() && comp != ".") {
+      out->push_back(comp);
+    }
+    if (slash == std::string_view::npos) {
+      break;
+    }
+    end = slash;
+  }
+}
+
+}  // namespace
+
 int Device::Ioctl(uint64_t /*request*/, void* /*argp*/) { return -kENotty; }
 
 Inode::Inode(Ino number, InodeType type, Mode bits, Uid owner, Gid group)
@@ -77,7 +100,7 @@ InodeRef Filesystem::AllocInode(InodeType type, Mode mode_bits, const Cred& cred
   return inode;
 }
 
-int Filesystem::LookupComponent(const NameiEnv& env, const InodeRef& dir, const std::string& name,
+int Filesystem::LookupComponent(const NameiEnv& env, const InodeRef& dir, std::string_view name,
                                 InodeRef* out) const {
   if (name == "..") {
     if (dir == env.root) {
@@ -92,11 +115,21 @@ int Filesystem::LookupComponent(const NameiEnv& env, const InodeRef& dir, const 
     *out = dir;
     return 0;
   }
+  NameCache::Hint hint;
+  switch (namecache_.Lookup(*dir, name, out, &hint)) {
+    case NameCache::Outcome::kHit:
+    case NameCache::Outcome::kNegativeHit:
+      return 0;
+    case NameCache::Outcome::kMiss:
+      break;
+  }
   auto it = dir->entries.find(name);
   if (it == dir->entries.end()) {
+    namecache_.InsertNegative(*dir, name, &hint);
     *out = nullptr;
     return 0;
   }
+  namecache_.InsertPositive(*dir, name, it->second, &hint);
   *out = it->second;
   return 0;
 }
@@ -111,18 +144,21 @@ int Filesystem::Namei(const NameiEnv& env, std::string_view path, NameiOp op, bo
     return -kENametoolong;
   }
   const bool trailing_slash = path.back() == '/';
+  out->trailing_slash = trailing_slash;
   InodeRef cur = path::IsAbsolute(path) ? env.root : env.cwd;
   if (cur == nullptr) {
     return -kENoent;
   }
   const Cred& cred = *env.cred;
 
-  std::deque<std::string> comps;
-  for (std::string& c : path::Components(path)) {
-    if (c != ".") {
-      comps.push_back(std::move(c));
-    }
-  }
+  // Component stack (back = next to walk), reused across calls so resolution
+  // does not allocate. Views alias `path` and expanded symlink targets; both
+  // stay alive for the whole walk — the caller owns `path`, and symlink
+  // inodes stay linked into the tree, which no one can mutate mid-call
+  // (single-threaded VFS under the kernel big lock).
+  std::vector<std::string_view>& comps = namei_comps_;
+  comps.clear();
+  PushComponentsReversed(path, &comps);
 
   if (comps.empty()) {
     // Path was "/" (or "." relative): resolve to the starting directory itself.
@@ -146,8 +182,8 @@ int Filesystem::Namei(const NameiEnv& env, std::string_view path, NameiOp op, bo
     if (!CredPermits(cred, cur->uid, cur->gid, cur->mode_bits, kXOk)) {
       return -kEAcces;
     }
-    std::string name = std::move(comps.front());
-    comps.pop_front();
+    const std::string_view name = comps.back();
+    comps.pop_back();
     if (name.size() > static_cast<size_t>(kMaxNameLen)) {
       return -kENametoolong;
     }
@@ -164,12 +200,7 @@ int Filesystem::Namei(const NameiEnv& env, std::string_view path, NameiOp op, bo
       if (target.empty()) {
         return -kENoent;
       }
-      std::vector<std::string> tcomps = path::Components(target);
-      for (auto it = tcomps.rbegin(); it != tcomps.rend(); ++it) {
-        if (*it != ".") {
-          comps.push_front(std::move(*it));
-        }
-      }
+      PushComponentsReversed(target, &comps);  // lands on top, in walk order
       if (path::IsAbsolute(target)) {
         cur = env.root;
       }
@@ -216,6 +247,7 @@ int Filesystem::AttachEntry(const InodeRef& dir, const std::string& name, const 
   if (dir->entries.count(name) != 0) {
     return -kEExist;
   }
+  namecache_.InvalidateDir(*dir);
   dir->entries.emplace(name, child);
   child->nlink += 1;
   child->ctime = now_;
@@ -234,6 +266,7 @@ int Filesystem::DetachEntry(const InodeRef& dir, const std::string& name) {
     return -kENoent;
   }
   InodeRef child = it->second;
+  namecache_.InvalidateDir(*dir);
   dir->entries.erase(it);
   child->nlink -= 1;
   child->ctime = now_;
@@ -268,7 +301,11 @@ int Filesystem::Open(const NameiEnv& env, std::string_view path, int flags, Mode
   }
 
   if (nr.inode == nullptr) {
-    // Creating a new regular file.
+    // Creating a new regular file. A trailing slash names a would-be
+    // directory: open("f/", O_CREAT) must not create a regular file there.
+    if (nr.trailing_slash) {
+      return -kEIsdir;
+    }
     if (!CredPermits(*env.cred, nr.parent->uid, nr.parent->gid, nr.parent->mode_bits, kWOk)) {
       return -kEAcces;
     }
@@ -371,6 +408,9 @@ int Filesystem::Link(const NameiEnv& env, std::string_view existing, std::string
   if (to.inode != nullptr) {
     return -kEExist;
   }
+  if (to.trailing_slash) {
+    return -kENoent;  // link(2) target "n/" can only name a (missing) directory
+  }
   if (!CredPermits(*env.cred, to.parent->uid, to.parent->gid, to.parent->mode_bits, kWOk)) {
     return -kEAcces;
   }
@@ -411,6 +451,9 @@ int Filesystem::Symlink(const NameiEnv& env, std::string_view target, std::strin
   if (nr.inode != nullptr) {
     return -kEExist;
   }
+  if (nr.trailing_slash) {
+    return -kENoent;  // symlink(2) at "l/" can only name a (missing) directory
+  }
   if (!CredPermits(*env.cred, nr.parent->uid, nr.parent->gid, nr.parent->mode_bits, kWOk)) {
     return -kEAcces;
   }
@@ -448,6 +491,9 @@ int Filesystem::Rename(const NameiEnv& env, std::string_view from, std::string_v
   }
   if (dst.final_name.empty() || dst.final_name == "..") {
     return -kEInval;
+  }
+  if (dst.inode == nullptr && dst.trailing_slash && !src.inode->IsDirectory()) {
+    return -kENotdir;  // rename("f", "x/") would create a file at a dir-shaped path
   }
   if (!CredPermits(*env.cred, src.parent->uid, src.parent->gid, src.parent->mode_bits, kWOk) ||
       !CredPermits(*env.cred, dst.parent->uid, dst.parent->gid, dst.parent->mode_bits, kWOk)) {
@@ -527,6 +573,10 @@ int Filesystem::Chmod(const NameiEnv& env, std::string_view path, Mode mode) {
   }
   nr.inode->mode_bits = mode & 07777;
   nr.inode->ctime = now_;
+  if (nr.inode->IsDirectory()) {
+    // New execute bits change who may look names up through this directory.
+    namecache_.InvalidateDir(*nr.inode);
+  }
   return 0;
 }
 
@@ -546,6 +596,9 @@ int Filesystem::Chown(const NameiEnv& env, std::string_view path, Uid uid, Gid g
     nr.inode->gid = gid;
   }
   nr.inode->ctime = now_;
+  if (nr.inode->IsDirectory()) {
+    namecache_.InvalidateDir(*nr.inode);
+  }
   return 0;
 }
 
@@ -599,6 +652,9 @@ int Filesystem::MknodFifo(const NameiEnv& env, std::string_view path, Mode mode)
   }
   if (nr.inode != nullptr) {
     return -kEExist;
+  }
+  if (nr.trailing_slash) {
+    return -kENoent;  // a fifo cannot satisfy a directory-shaped pathname
   }
   if (!CredPermits(*env.cred, nr.parent->uid, nr.parent->gid, nr.parent->mode_bits, kWOk)) {
     return -kEAcces;

@@ -15,6 +15,7 @@
 
 #include "src/base/errno_codes.h"
 #include "src/kernel/cred.h"
+#include "src/kernel/namecache.h"
 #include "src/kernel/types.h"
 
 namespace ia {
@@ -86,8 +87,12 @@ class Inode {
   std::string exec_image;
 
   // --- directory payload ------------------------------------------------------
-  std::map<std::string, InodeRef> entries;
+  // std::less<> so Namei can search with string_view components, allocation-free.
+  std::map<std::string, InodeRef, std::less<>> entries;
   std::weak_ptr<Inode> parent;  // ".." link; weak to break ref cycles
+  // Name-cache generation: bumped on every entry mutation (and on lookup-
+  // affecting permission changes) to stale out cached lookups in O(1).
+  uint64_t namecache_gen = 0;
 
   // --- advisory flock(2) state --------------------------------------------------
   int flock_shared = 0;       // count of shared holders
@@ -112,6 +117,9 @@ struct NameiResult {
   InodeRef inode;          // resolved inode (null if kParent and final missing)
   InodeRef parent;         // directory containing the final component
   std::string final_name;  // final pathname component (empty when path is "/")
+  // The original path ended in '/'. A missing final component under kCreate
+  // then names a would-be directory; creators of non-directories must refuse.
+  bool trailing_slash = false;
 };
 
 // namei() lookup modes.
@@ -197,14 +205,24 @@ class Filesystem {
   // Truncate/extend a regular file's data, accounting bytes.
   int ResizeFile(const InodeRef& inode, Off length);
 
+  // The directory name-lookup cache consulted by Namei (enabled by default).
+  NameCache& namecache() { return namecache_; }
+  const NameCache& namecache() const { return namecache_; }
+
  private:
-  int LookupComponent(const NameiEnv& env, const InodeRef& dir, const std::string& name,
+  int LookupComponent(const NameiEnv& env, const InodeRef& dir, std::string_view name,
                       InodeRef* out) const;
 
   InodeRef root_;
   Ino next_ino_ = 2;  // ino 2 is the root, per UFS convention
   int64_t now_ = 0;
   int64_t total_bytes_ = 0;
+  // Mutable: lookups through the const Namei path update LRU order and stats.
+  mutable NameCache namecache_;
+  // Namei's component stack, reused across calls so pathname resolution does
+  // not allocate per lookup. Safe because the VFS is single-threaded (big
+  // lock) and Namei never recurses.
+  std::vector<std::string_view> namei_comps_;
 };
 
 }  // namespace ia

@@ -623,5 +623,100 @@ TEST(Syscalls, WritevOnPipe) {
             0);
 }
 
+TEST(Syscalls, Dup2SelfPreservesCloseOnExec) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              const int fd = ctx.Open("/etc/motd", kORdonly);
+              if (fd < 0 || ctx.Fcntl(fd, kFSetfd, 1) != 0) {
+                return 1;
+              }
+              // dup2(fd, fd) is a no-op: it must NOT clear close-on-exec.
+              if (ctx.Dup2(fd, fd) != fd) {
+                return 2;
+              }
+              if (ctx.Fcntl(fd, kFGetfd, 0) != 1) {
+                return 3;  // the flag survived the self-dup
+              }
+              return 0;
+            }),
+            0);
+  // Verify at the descriptor-table level too (no fcntl indirection).
+  FdTable fds;
+  auto file = std::make_shared<OpenFile>();
+  fds.Set(3, file, /*close_on_exec=*/true);
+  EXPECT_EQ(fds.Dup2(3, 3), 3);
+  EXPECT_TRUE(fds.Entry(3)->close_on_exec);
+  fds.CloseOnExec();
+  EXPECT_FALSE(fds.Valid(3));
+}
+
+TEST(Syscalls, Dup2ResultAlwaysHasCloseOnExecClear) {
+  FdTable fds;
+  auto a = std::make_shared<OpenFile>();
+  auto b = std::make_shared<OpenFile>();
+  fds.Set(3, a, /*close_on_exec=*/true);
+  fds.Set(7, b, /*close_on_exec=*/true);
+  // dup2 onto an open cloexec slot: the new descriptor starts with the flag
+  // clear, and the source keeps its own flag.
+  EXPECT_EQ(fds.Dup2(3, 7), 7);
+  EXPECT_FALSE(fds.Entry(7)->close_on_exec);
+  EXPECT_TRUE(fds.Entry(3)->close_on_exec);
+  EXPECT_EQ(fds.Get(7), fds.Get(3));
+  // dup2 onto a closed slot likewise.
+  EXPECT_EQ(fds.Dup2(3, 9), 9);
+  EXPECT_FALSE(fds.Entry(9)->close_on_exec);
+  fds.CloseOnExec();
+  EXPECT_FALSE(fds.Valid(3));  // cloexec source dropped
+  EXPECT_TRUE(fds.Valid(7));   // duplicates survive exec
+  EXPECT_TRUE(fds.Valid(9));
+}
+
+TEST(Syscalls, Dup2OntoOpenFdReleasesOldFile) {
+  // Replacing a pipe's last write end via dup2 must release that end so
+  // readers see EOF instead of blocking forever.
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              int fds[2];
+              if (ctx.Pipe(fds) != 0) {
+                return 1;
+              }
+              if (ctx.WriteString(fds[1], "hi") != 0) {
+                return 2;
+              }
+              const int null_fd = ctx.Open("/dev/null", kOWronly);
+              if (null_fd < 0) {
+                return 3;
+              }
+              // Overwrites (and thereby closes) the only write end.
+              if (ctx.Dup2(null_fd, fds[1]) != fds[1]) {
+                return 4;
+              }
+              char buf[8] = {};
+              if (ctx.Read(fds[0], buf, sizeof(buf)) != 2) {
+                return 5;  // buffered bytes still readable
+              }
+              if (ctx.Read(fds[0], buf, sizeof(buf)) != 0) {
+                return 6;  // EOF, not a hang: the write end was released
+              }
+              return 0;
+            }),
+            0);
+  // Descriptor-table view of the same invariant: the displaced OpenFile's
+  // pipe-end registration is dropped when its last reference goes.
+  auto pipe = std::make_shared<Pipe>();
+  {
+    FdTable fds;
+    fds.Set(4, MakePipeEnd(pipe, /*write_end=*/true));
+    fds.Set(5, MakePipeEnd(pipe, /*write_end=*/false));
+    EXPECT_EQ(pipe->writers, 1);
+    auto replacement = std::make_shared<OpenFile>();
+    fds.Set(6, replacement);
+    EXPECT_EQ(fds.Dup2(6, 4), 4);  // displaces the write end
+    EXPECT_EQ(pipe->writers, 0);
+    EXPECT_EQ(pipe->readers, 1);
+  }
+  EXPECT_EQ(pipe->readers, 0);  // table teardown releases the read end too
+}
+
 }  // namespace
 }  // namespace ia

@@ -109,5 +109,60 @@ TEST(Ktrace, CapturesWholeProcessTrees) {
   EXPECT_GE(pids.size(), 3u);
 }
 
+TEST(Ktrace, RingSinkKeepsNewestAndCountsDrops) {
+  RingKtraceSink sink(4);
+  for (int i = 0; i < 10; ++i) {
+    KtraceRecord record;
+    record.syscall = i;
+    sink.Record(record);
+  }
+  EXPECT_EQ(sink.capacity(), 4u);
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.total_recorded(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  const std::vector<KtraceRecord> kept = sink.Snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(kept[i].syscall, 6 + i);  // oldest-first, newest four retained
+  }
+}
+
+TEST(Ktrace, RingSinkUnderCapacityDropsNothing) {
+  RingKtraceSink sink(8);
+  for (int i = 0; i < 5; ++i) {
+    KtraceRecord record;
+    record.syscall = i;
+    sink.Record(record);
+  }
+  EXPECT_EQ(sink.size(), 5u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  const std::vector<KtraceRecord> kept = sink.Snapshot();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(kept[i].syscall, i);
+  }
+  sink.Clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.total_recorded(), 0u);
+}
+
+TEST(Ktrace, RingSinkBoundsLongWorkloads) {
+  // A long syscall-heavy run fills the ring but memory stays bounded at
+  // `capacity` records, with the overflow counted — the kernel-buffer
+  // behaviour the paper describes for DFSTrace.
+  auto kernel = MakeWorld();
+  RingKtraceSink sink(16);
+  kernel->SetKtrace(&sink);
+  ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+    Stat st;
+    for (int i = 0; i < 200; ++i) {
+      ctx.Stat("/etc/motd", &st);
+    }
+    return 0;
+  });
+  EXPECT_EQ(sink.size(), 16u);
+  EXPECT_GE(sink.total_recorded(), 200u);
+  EXPECT_EQ(sink.dropped(), sink.total_recorded() - 16u);
+}
+
 }  // namespace
 }  // namespace ia

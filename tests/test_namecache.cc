@@ -1,0 +1,322 @@
+// Unit tests for the directory name-lookup cache (DNLC): hit/miss/negative
+// accounting, generation-based invalidation on every mutating path operation,
+// LRU bounds, weak-reference hygiene, and transparency of cached resolution.
+#include <gtest/gtest.h>
+
+#include "src/kernel/namecache.h"
+#include "src/kernel/vfs.h"
+#include "tests/test_helpers.h"
+
+namespace ia {
+namespace {
+
+using test::ExitCodeOf;
+using test::MakeWorld;
+
+class NameCacheVfsTest : public ::testing::Test {
+ protected:
+  NameCacheVfsTest() : env_{fs_.root(), fs_.root(), &cred_} {}
+
+  int Lookup(const std::string& p, InodeRef* out = nullptr) {
+    NameiResult nr;
+    const int err = fs_.Namei(env_, p, NameiOp::kLookup, /*follow_final=*/true, &nr);
+    if (out != nullptr) {
+      *out = nr.inode;
+    }
+    return err;
+  }
+
+  NameCacheStats Stats() const { return fs_.namecache().stats(); }
+
+  Filesystem fs_;
+  Cred cred_;
+  NameiEnv env_;
+};
+
+TEST_F(NameCacheVfsTest, RepeatedLookupHitsCache) {
+  fs_.MkdirAll("/a/b/c");
+  fs_.InstallFile("/a/b/c/f", "x");
+  fs_.namecache().ResetStats();
+
+  EXPECT_EQ(Lookup("/a/b/c/f"), 0);  // cold: all misses, then inserts
+  const NameCacheStats cold = Stats();
+  EXPECT_EQ(cold.hits, 0u);
+  EXPECT_EQ(cold.misses, 4u);
+  EXPECT_EQ(cold.insertions, 4u);
+
+  EXPECT_EQ(Lookup("/a/b/c/f"), 0);  // warm: every component served by cache
+  const NameCacheStats warm = Stats();
+  EXPECT_EQ(warm.hits, 4u);
+  EXPECT_EQ(warm.misses, cold.misses);
+}
+
+TEST_F(NameCacheVfsTest, NegativeEntryShortCircuitsRepeatedEnoent) {
+  fs_.MkdirAll("/dir");
+  fs_.namecache().ResetStats();
+
+  EXPECT_EQ(Lookup("/dir/missing"), -kENoent);
+  EXPECT_EQ(Stats().negative_hits, 0u);
+  EXPECT_EQ(Lookup("/dir/missing"), -kENoent);
+  EXPECT_EQ(Stats().negative_hits, 1u);
+}
+
+TEST_F(NameCacheVfsTest, CreateInvalidatesNegativeEntry) {
+  fs_.MkdirAll("/dir");
+  EXPECT_EQ(Lookup("/dir/f"), -kENoent);
+  EXPECT_EQ(Lookup("/dir/f"), -kENoent);  // negative entry now cached
+
+  InodeRef opened;
+  ASSERT_EQ(fs_.Open(env_, "/dir/f", kOCreat | kOWronly, 0644, &opened), 0);
+  InodeRef found;
+  EXPECT_EQ(Lookup("/dir/f", &found), 0);  // stale negative must not survive
+  EXPECT_EQ(found, opened);
+}
+
+TEST_F(NameCacheVfsTest, UnlinkInvalidatesPositiveEntry) {
+  fs_.InstallFile("/f", "x");
+  EXPECT_EQ(Lookup("/f"), 0);
+  EXPECT_EQ(Lookup("/f"), 0);  // cached
+  ASSERT_EQ(fs_.Unlink(env_, "/f"), 0);
+  EXPECT_EQ(Lookup("/f"), -kENoent);
+}
+
+TEST_F(NameCacheVfsTest, RenameInvalidatesBothNames) {
+  fs_.MkdirAll("/d1");
+  fs_.MkdirAll("/d2");
+  fs_.InstallFile("/d1/src", "payload");
+  EXPECT_EQ(Lookup("/d1/src"), 0);
+  EXPECT_EQ(Lookup("/d2/dst"), -kENoent);
+  EXPECT_EQ(Lookup("/d1/src"), 0);       // positive cached
+  EXPECT_EQ(Lookup("/d2/dst"), -kENoent);  // negative cached
+
+  ASSERT_EQ(fs_.Rename(env_, "/d1/src", "/d2/dst"), 0);
+  EXPECT_EQ(Lookup("/d1/src"), -kENoent);
+  InodeRef moved;
+  EXPECT_EQ(Lookup("/d2/dst", &moved), 0);
+  EXPECT_EQ(moved->data, "payload");
+}
+
+TEST_F(NameCacheVfsTest, RmdirAndMkdirReuseName) {
+  fs_.MkdirAll("/parent/kid");
+  EXPECT_EQ(Lookup("/parent/kid"), 0);
+  EXPECT_EQ(Lookup("/parent/kid"), 0);
+  ASSERT_EQ(fs_.Rmdir(env_, "/parent/kid"), 0);
+  EXPECT_EQ(Lookup("/parent/kid"), -kENoent);
+  ASSERT_EQ(fs_.Mkdir(env_, "/parent/kid", 0755), 0);
+  InodeRef again;
+  EXPECT_EQ(Lookup("/parent/kid", &again), 0);
+  EXPECT_TRUE(again->IsDirectory());
+}
+
+TEST_F(NameCacheVfsTest, HardLinkAndSymlinkCreationInvalidate) {
+  fs_.InstallFile("/orig", "x");
+  fs_.MkdirAll("/d");
+  EXPECT_EQ(Lookup("/d/ln"), -kENoent);
+  EXPECT_EQ(Lookup("/d/ln"), -kENoent);
+  ASSERT_EQ(fs_.Link(env_, "/orig", "/d/ln"), 0);
+  EXPECT_EQ(Lookup("/d/ln"), 0);
+
+  EXPECT_EQ(Lookup("/d/sym"), -kENoent);
+  EXPECT_EQ(Lookup("/d/sym"), -kENoent);
+  ASSERT_EQ(fs_.Symlink(env_, "/orig", "/d/sym"), 0);
+  InodeRef via;
+  EXPECT_EQ(Lookup("/d/sym", &via), 0);
+  EXPECT_EQ(via->data, "x");
+}
+
+TEST_F(NameCacheVfsTest, ChmodOfDirectoryBumpsGeneration) {
+  fs_.MkdirAll("/locked");
+  fs_.InstallFile("/locked/f", "x");
+  EXPECT_EQ(Lookup("/locked/f"), 0);
+  const uint64_t before = Stats().invalidations;
+  ASSERT_EQ(fs_.Chmod(env_, "/locked", 0700), 0);
+  EXPECT_GT(Stats().invalidations, before);
+  // Lookup correctness under the new mode is still enforced live by Namei.
+  Cred other;
+  other.ruid = other.euid = 1000;
+  other.rgid = other.egid = 1000;
+  NameiEnv other_env{fs_.root(), fs_.root(), &other};
+  NameiResult nr;
+  EXPECT_EQ(fs_.Namei(other_env, "/locked/f", NameiOp::kLookup, true, &nr), -kEAcces);
+}
+
+TEST_F(NameCacheVfsTest, SymlinkComponentsAreNotCached) {
+  fs_.InstallFile("/target", "x");
+  ASSERT_EQ(fs_.Symlink(env_, "/target", "/ln"), 0);
+  fs_.namecache().ResetStats();
+  EXPECT_EQ(Lookup("/ln"), 0);
+  EXPECT_EQ(Lookup("/ln"), 0);
+  // "target" may be cached, but the symlink inode "ln" itself never is: each
+  // walk re-expands it, so at least one miss per lookup remains.
+  const NameCacheStats stats = Stats();
+  EXPECT_GE(stats.misses, 2u);
+}
+
+TEST_F(NameCacheVfsTest, DotAndDotDotBypassTheCache) {
+  fs_.MkdirAll("/a/b");
+  fs_.namecache().ResetStats();
+  EXPECT_EQ(Lookup("/a/b/.."), 0);
+  EXPECT_EQ(Lookup("/a/b/.."), 0);
+  EXPECT_EQ(Lookup("/a/."), 0);
+  const NameCacheStats stats = Stats();
+  // Only "a" and "b" ever enter the cache; dot components never do.
+  EXPECT_EQ(stats.insertions, 2u);
+}
+
+TEST_F(NameCacheVfsTest, DisabledCacheNeverHitsAndStaysEmpty) {
+  fs_.namecache().set_enabled(false);
+  fs_.namecache().ResetStats();
+  fs_.InstallFile("/f", "x");
+  EXPECT_EQ(Lookup("/f"), 0);
+  EXPECT_EQ(Lookup("/f"), 0);
+  const NameCacheStats stats = Stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(stats.size, 0u);
+}
+
+TEST_F(NameCacheVfsTest, ResolutionIdenticalWithCacheOnAndOff) {
+  // A mutation-churn script must produce byte-identical outcomes either way.
+  const auto run_script = [](Filesystem& fs, std::vector<int>* results) {
+    Cred cred;
+    NameiEnv env{fs.root(), fs.root(), &cred};
+    fs.MkdirAll("/w");
+    for (int i = 0; i < 50; ++i) {
+      const std::string name = "/w/f" + std::to_string(i % 7);
+      InodeRef out;
+      results->push_back(fs.Open(env, name, kOCreat | kORdwr, 0644, &out));
+      NameiResult nr;
+      results->push_back(fs.Namei(env, name, NameiOp::kLookup, true, &nr));
+      if (i % 3 == 0) {
+        results->push_back(fs.Unlink(env, name));
+        results->push_back(fs.Namei(env, name, NameiOp::kLookup, true, &nr));
+      }
+      if (i % 5 == 0) {
+        results->push_back(fs.Rename(env, name, "/w/renamed"));
+      }
+    }
+  };
+  std::vector<int> with_cache;
+  {
+    Filesystem fs;
+    run_script(fs, &with_cache);
+  }
+  std::vector<int> without_cache;
+  {
+    Filesystem fs;
+    fs.namecache().set_enabled(false);
+    run_script(fs, &without_cache);
+  }
+  EXPECT_EQ(with_cache, without_cache);
+}
+
+TEST(NameCacheUnit, LruEvictsOldestEntry) {
+  NameCache cache(/*capacity=*/2);
+  auto dir = std::make_shared<Inode>(100, InodeType::kDirectory, 0755, 0, 0);
+  auto a = std::make_shared<Inode>(101, InodeType::kRegular, 0644, 0, 0);
+  auto b = std::make_shared<Inode>(102, InodeType::kRegular, 0644, 0, 0);
+  auto c = std::make_shared<Inode>(103, InodeType::kRegular, 0644, 0, 0);
+
+  cache.InsertPositive(*dir, "a", a);
+  cache.InsertPositive(*dir, "b", b);
+  InodeRef out;
+  EXPECT_EQ(cache.Lookup(*dir, "a", &out), NameCache::Outcome::kHit);  // promote "a"
+  cache.InsertPositive(*dir, "c", c);                                  // evicts "b"
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.Lookup(*dir, "b", &out), NameCache::Outcome::kMiss);
+  EXPECT_EQ(cache.Lookup(*dir, "a", &out), NameCache::Outcome::kHit);
+  EXPECT_EQ(cache.Lookup(*dir, "c", &out), NameCache::Outcome::kHit);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(NameCacheUnit, WeakReferenceDoesNotExtendInodeLifetime) {
+  NameCache cache(8);
+  auto dir = std::make_shared<Inode>(100, InodeType::kDirectory, 0755, 0, 0);
+  auto child = std::make_shared<Inode>(101, InodeType::kRegular, 0644, 0, 0);
+  cache.InsertPositive(*dir, "x", child);
+  std::weak_ptr<Inode> watch = child;
+  child.reset();
+  EXPECT_TRUE(watch.expired());  // the cache held no strong reference
+  InodeRef out;
+  EXPECT_EQ(cache.Lookup(*dir, "x", &out), NameCache::Outcome::kMiss);
+  EXPECT_EQ(cache.size(), 0u);  // expired entry was dropped
+}
+
+TEST(NameCacheUnit, GenerationInvalidationIsLazy) {
+  NameCache cache(8);
+  auto dir = std::make_shared<Inode>(100, InodeType::kDirectory, 0755, 0, 0);
+  auto child = std::make_shared<Inode>(101, InodeType::kRegular, 0644, 0, 0);
+  cache.InsertPositive(*dir, "x", child);
+  cache.InsertNegative(*dir, "y");
+  EXPECT_EQ(cache.size(), 2u);
+  cache.InvalidateDir(*dir);  // O(1): nothing walked, entries stale out on touch
+  EXPECT_EQ(cache.size(), 2u);
+  InodeRef out;
+  EXPECT_EQ(cache.Lookup(*dir, "x", &out), NameCache::Outcome::kMiss);
+  EXPECT_EQ(cache.Lookup(*dir, "y", &out), NameCache::Outcome::kMiss);
+  // Stale nodes linger (they age out through LRU) so a re-insert after the
+  // directory re-search refreshes them in place instead of reallocating.
+  EXPECT_EQ(cache.size(), 2u);
+  const uint64_t insertions_before = cache.stats().insertions;
+  cache.InsertPositive(*dir, "x", child);
+  EXPECT_EQ(cache.stats().insertions, insertions_before);  // refreshed, not added
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup(*dir, "x", &out), NameCache::Outcome::kHit);
+  EXPECT_EQ(out, child);
+}
+
+TEST(NameCacheUnit, SymlinkChildrenAreRefused) {
+  NameCache cache(8);
+  auto dir = std::make_shared<Inode>(100, InodeType::kDirectory, 0755, 0, 0);
+  auto link = std::make_shared<Inode>(101, InodeType::kSymlink, 0777, 0, 0);
+  cache.InsertPositive(*dir, "ln", link);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(NameCacheKernel, CacheStatsVisibleThroughKernel) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              Stat st;
+              for (int i = 0; i < 10; ++i) {
+                if (ctx.Stat("/etc/motd", &st) != 0) {
+                  return 1;
+                }
+              }
+              return 0;
+            }),
+            0);
+  const NameCacheStats stats = kernel->CacheStats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.insertions, 0u);
+  EXPECT_EQ(stats.capacity, NameCache::kDefaultCapacity);
+}
+
+TEST(NameCacheKernel, ChrootKeepsLookupsCorrect) {
+  auto kernel = MakeWorld();
+  kernel->fs().MkdirAll("/jail/sub");
+  kernel->fs().InstallFile("/jail/sub/f", "inside");
+  kernel->fs().InstallFile("/f", "outside");
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              Stat st;
+              // Warm the cache on the outside view first.
+              if (ctx.Stat("/f", &st) != 0 || ctx.Stat("/jail/sub/f", &st) != 0) {
+                return 1;
+              }
+              if (ctx.Chroot("/jail") != 0) {
+                return 2;
+              }
+              // ".." at the new root must stay put (never cached), and names
+              // resolve relative to the jail.
+              if (ctx.Stat("/../../sub/f", &st) != 0) {
+                return 3;
+              }
+              if (ctx.Stat("/f", &st) != -kENoent) {
+                return 4;  // the outside "/f" must not leak through the cache
+              }
+              return 0;
+            }),
+            0);
+}
+
+}  // namespace
+}  // namespace ia

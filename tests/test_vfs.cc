@@ -429,5 +429,157 @@ TEST_F(VfsTest, MknodFifo) {
   EXPECT_EQ(fs_.MknodFifo(env_, "/fifo", 0644), -kEExist);
 }
 
+// --- trailing-slash creation (4.3BSD: a missing final component with a '/'
+// can only ever name a directory) ---------------------------------------------
+
+TEST_F(VfsTest, OpenCreateTrailingSlashRejected) {
+  InodeRef out;
+  EXPECT_EQ(fs_.Open(env_, "/newfile/", kOCreat | kOWronly, 0644, &out), -kEIsdir);
+  EXPECT_EQ(Lookup("/newfile"), -kENoent);  // nothing may be created
+  // An existing regular file through a trailing slash is still ENOTDIR.
+  fs_.InstallFile("/plain", "x");
+  EXPECT_EQ(fs_.Open(env_, "/plain/", kOCreat | kOWronly, 0644, &out), -kENotdir);
+  // Opening an existing directory via a trailing slash still works read-only.
+  fs_.MkdirAll("/adir");
+  EXPECT_EQ(fs_.Open(env_, "/adir/", kORdonly, 0, &out), 0);
+}
+
+TEST_F(VfsTest, MkdirTrailingSlashStillWorks) {
+  EXPECT_EQ(fs_.Mkdir(env_, "/newdir/", 0755), 0);
+  InodeRef inode;
+  EXPECT_EQ(Lookup("/newdir", &inode), 0);
+  EXPECT_TRUE(inode->IsDirectory());
+}
+
+TEST_F(VfsTest, SymlinkLinkMknodTrailingSlashRejected) {
+  fs_.InstallFile("/existing", "x");
+  EXPECT_EQ(fs_.Symlink(env_, "/existing", "/sym/"), -kENoent);
+  EXPECT_EQ(Lookup("/sym"), -kENoent);
+  EXPECT_EQ(fs_.Link(env_, "/existing", "/hard/"), -kENoent);
+  EXPECT_EQ(Lookup("/hard"), -kENoent);
+  EXPECT_EQ(fs_.MknodFifo(env_, "/pipe/", 0644), -kENoent);
+  EXPECT_EQ(Lookup("/pipe"), -kENoent);
+}
+
+TEST_F(VfsTest, RenameTrailingSlashDestination) {
+  fs_.InstallFile("/rfile", "x");
+  // A non-directory source cannot land on a directory-shaped destination.
+  EXPECT_EQ(fs_.Rename(env_, "/rfile", "/dest/"), -kENotdir);
+  EXPECT_EQ(Lookup("/dest"), -kENoent);
+  // A directory source can.
+  fs_.MkdirAll("/rdir");
+  EXPECT_EQ(fs_.Rename(env_, "/rdir", "/moveddir/"), 0);
+  InodeRef inode;
+  EXPECT_EQ(Lookup("/moveddir", &inode), 0);
+  EXPECT_TRUE(inode->IsDirectory());
+}
+
+// --- rename replace-path audit ------------------------------------------------
+
+TEST_F(VfsTest, RenameReplaceTypeMatrix) {
+  fs_.InstallFile("/mfile", "f");
+  fs_.MkdirAll("/mdir");
+  fs_.MkdirAll("/mempty");
+  fs_.MkdirAll("/mfull/kid");
+  ASSERT_EQ(fs_.Symlink(env_, "/mfile", "/mlink"), 0);
+
+  // file over directory / directory over file.
+  EXPECT_EQ(fs_.Rename(env_, "/mfile", "/mdir"), -kEIsdir);
+  EXPECT_EQ(fs_.Rename(env_, "/mdir", "/mfile"), -kENotdir);
+  // symlinks count as non-directories on both sides.
+  EXPECT_EQ(fs_.Rename(env_, "/mlink", "/mdir"), -kEIsdir);
+  EXPECT_EQ(fs_.Rename(env_, "/mdir", "/mlink"), -kENotdir);
+  // directory over non-empty directory.
+  EXPECT_EQ(fs_.Rename(env_, "/mdir", "/mfull"), -kENotempty);
+  // directory over empty directory succeeds.
+  EXPECT_EQ(fs_.Rename(env_, "/mdir", "/mempty"), 0);
+  EXPECT_EQ(Lookup("/mdir"), -kENoent);
+  // file over symlink replaces the symlink itself.
+  EXPECT_EQ(fs_.Rename(env_, "/mfile", "/mlink"), 0);
+  InodeRef inode;
+  ASSERT_EQ(Lookup("/mlink", &inode, /*follow=*/false), 0);
+  EXPECT_TRUE(inode->IsRegular());
+}
+
+TEST_F(VfsTest, RenameReplaceHardLinkedFileKeepsBytes) {
+  const int64_t before = fs_.total_bytes();
+  fs_.InstallFile("/ha", std::string(40, 'a'));
+  fs_.InstallFile("/hb", std::string(70, 'b'));
+  ASSERT_EQ(fs_.Link(env_, "/hb", "/hb2"), 0);
+  EXPECT_EQ(fs_.total_bytes(), before + 110);
+  // Replacing one of two links must NOT release the replaced file's bytes.
+  ASSERT_EQ(fs_.Rename(env_, "/ha", "/hb"), 0);
+  EXPECT_EQ(fs_.total_bytes(), before + 110);
+  ASSERT_EQ(fs_.Unlink(env_, "/hb2"), 0);  // last link: now the 70 bytes go
+  EXPECT_EQ(fs_.total_bytes(), before + 40);
+  ASSERT_EQ(fs_.Unlink(env_, "/hb"), 0);
+  EXPECT_EQ(fs_.total_bytes(), before);
+}
+
+// --- symlink-expansion edge cases --------------------------------------------
+
+TEST_F(VfsTest, SymlinkDepthLimitIsBsdMaxsymlinks) {
+  // 4.3BSD pins MAXSYMLINKS at 8; the boundary tests below depend on it.
+  EXPECT_EQ(kMaxSymlinkDepth, 8);
+}
+
+TEST_F(VfsTest, SymlinkChainBothSidesOfTheBoundary) {
+  fs_.InstallFile("/end", "x");
+  std::string prev = "/end";
+  for (int i = 0; i < kMaxSymlinkDepth; ++i) {
+    const std::string link = "/b" + std::to_string(i);
+    ASSERT_EQ(fs_.Symlink(env_, prev, link), 0);
+    prev = link;
+  }
+  // Exactly MAXSYMLINKS expansions resolve...
+  InodeRef inode;
+  EXPECT_EQ(Lookup(prev, &inode), 0);
+  EXPECT_EQ(inode->data, "x");
+  // ...and the (MAXSYMLINKS+1)th fails with ELOOP, not ENOENT.
+  ASSERT_EQ(fs_.Symlink(env_, prev, "/b_over"), 0);
+  EXPECT_EQ(Lookup("/b_over"), -kELoop);
+}
+
+TEST_F(VfsTest, SymlinkTargetDot) {
+  fs_.MkdirAll("/sd");
+  fs_.InstallFile("/sd/f", "x");
+  ASSERT_EQ(fs_.Symlink(env_, ".", "/sd/self"), 0);
+  InodeRef via;
+  EXPECT_EQ(Lookup("/sd/self", &via), 0);
+  InodeRef direct;
+  ASSERT_EQ(Lookup("/sd", &direct), 0);
+  EXPECT_EQ(via, direct);  // "." resolves to the symlink's own directory
+  EXPECT_EQ(Lookup("/sd/self/f", &via), 0);
+  EXPECT_EQ(via->data, "x");
+}
+
+TEST_F(VfsTest, SymlinkTargetDotDot) {
+  fs_.MkdirAll("/up/down");
+  fs_.InstallFile("/up/g", "y");
+  ASSERT_EQ(fs_.Symlink(env_, "..", "/up/down/back"), 0);
+  InodeRef via;
+  EXPECT_EQ(Lookup("/up/down/back", &via), 0);
+  InodeRef direct;
+  ASSERT_EQ(Lookup("/up", &direct), 0);
+  EXPECT_EQ(via, direct);
+  EXPECT_EQ(Lookup("/up/down/back/g", &via), 0);
+  EXPECT_EQ(via->data, "y");
+}
+
+TEST_F(VfsTest, SymlinkTargetAbsoluteWithDotDot) {
+  fs_.MkdirAll("/x/y");
+  fs_.InstallFile("/x/h", "z");
+  // "/x/y/../h" — absolute target whose dotdot must resolve against the
+  // REAL tree (through /x/y), not lexically.
+  ASSERT_EQ(fs_.Symlink(env_, "/x/y/../h", "/jump"), 0);
+  InodeRef via;
+  EXPECT_EQ(Lookup("/jump", &via), 0);
+  EXPECT_EQ(via->data, "z");
+  // Dotdot above the root inside a target stays at the root.
+  ASSERT_EQ(fs_.Symlink(env_, "/../x/h", "/rooty"), 0);
+  EXPECT_EQ(Lookup("/rooty", &via), 0);
+  EXPECT_EQ(via->data, "z");
+}
+
 }  // namespace
 }  // namespace ia
