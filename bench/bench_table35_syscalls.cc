@@ -182,5 +182,29 @@ int main() {
       "(resolution is only part of a full syscall round trip); open()+close()\n"
       "sits near parity because fd setup dominates it. bench_namecache holds\n"
       "the self-checked 1.3x gate on the resolution-dominated workload.\n");
+
+  // --- kernel per-syscall stats ----------------------------------------------
+  // One last run of the paper's workload mix against a single kernel, reported
+  // through Kernel::SyscallStats() — the per-number counters kept by the
+  // dispatcher itself (counts, errors, virtual time).
+  {
+    ia::Kernel kernel;
+    SetupWorld(kernel);
+    for (const Row& row : rows) {
+      ia::bench::MeasurePerCallMicros(kernel, {}, row.op, row.iterations / 10);
+    }
+    const auto stats = kernel.SyscallStats();
+    std::printf("\nKernel per-syscall stats for the workload mix above:\n");
+    std::printf("  %10s %10s %14s  %s\n", "calls", "errors", "vtime(us)", "syscall");
+    for (int number = 0; number < ia::kMaxSyscall; ++number) {
+      const auto& stat = stats[static_cast<size_t>(number)];
+      if (stat.calls == 0) {
+        continue;
+      }
+      std::printf("  %10lld %10lld %14lld  %s\n", static_cast<long long>(stat.calls),
+                  static_cast<long long>(stat.errors), static_cast<long long>(stat.vtime_usec),
+                  std::string(ia::SyscallName(number)).c_str());
+    }
+  }
   return 0;
 }

@@ -1,0 +1,15 @@
+#!/bin/sh
+# The tier-1 gate, in one place: configure + build, run the full test suite,
+# then run the whole suite again under ASan/UBSan. Everything that must stay
+# green before a change lands goes through here.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+scripts/check_sanitize.sh
+
+echo "ci.sh: build, tests, and sanitized tests all passed."

@@ -1,12 +1,12 @@
 #!/bin/sh
-# Builds everything, runs the full test suite, and regenerates every paper
-# table, capturing test_output.txt and bench_output.txt at the repo root.
+# Runs the tier-1 gate (build + tests + sanitizers) via scripts/ci.sh, then
+# regenerates every paper table, capturing test_output.txt and
+# bench_output.txt at the repo root.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+scripts/ci.sh
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 

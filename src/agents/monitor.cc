@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/kernel/kernel.h"
+
 namespace ia {
 
 std::string MonitorAgent::FormatReport() const {
@@ -17,11 +19,28 @@ std::string MonitorAgent::FormatReport() const {
   std::string report = "--- system call usage ---\n";
   for (const auto& [count, number] : nonzero) {
     report += StringPrintf("%10lld  %s\n", static_cast<long long>(count),
-                           SyscallName(number).c_str());
+                           std::string(SyscallName(number)).c_str());
   }
   report += StringPrintf("%10lld  (total), %lld signal(s)\n",
                          static_cast<long long>(TotalCalls()),
                          static_cast<long long>(TotalSignals()));
+  return report;
+}
+
+std::string MonitorAgent::FormatKernelReport(Kernel& kernel) {
+  const std::array<SyscallStat, kMaxSyscall> stats = kernel.SyscallStats();
+  std::string report = "--- kernel per-syscall stats ---\n";
+  report += StringPrintf("%10s %10s %12s  %s\n", "calls", "errors", "vtime(us)", "name");
+  for (int number = 0; number < kMaxSyscall; ++number) {
+    const SyscallStat& stat = stats[static_cast<size_t>(number)];
+    if (stat.calls == 0) {
+      continue;
+    }
+    report += StringPrintf("%10lld %10lld %12lld  %s\n", static_cast<long long>(stat.calls),
+                           static_cast<long long>(stat.errors),
+                           static_cast<long long>(stat.vtime_usec),
+                           std::string(SyscallName(number)).c_str());
+  }
   return report;
 }
 

@@ -44,6 +44,14 @@ class MonitorAgent final : public NumericSyscall {
   // Formats the non-zero counters, most frequent first.
   std::string FormatReport() const;
 
+  // Formats the kernel's own per-syscall count/error/virtual-time counters
+  // (Kernel::SyscallStats), in number order. Rows with zero calls are elided.
+  static std::string FormatKernelReport(Kernel& kernel);
+
+  // When enabled, the exit-time report also includes the kernel-side
+  // per-syscall stats for the whole machine.
+  void set_report_kernel_stats(bool on) { report_kernel_stats_ = on; }
+
  protected:
   void init(ProcessContext& /*ctx*/) override {
     register_interest_all();
@@ -56,7 +64,11 @@ class MonitorAgent final : public NumericSyscall {
       counts_[static_cast<size_t>(number)].fetch_add(1, std::memory_order_relaxed);
     }
     if (number == kSysExit && report_fd_ >= 0) {
-      DownApi(call).WriteString(report_fd_, FormatReport());
+      std::string report = FormatReport();
+      if (report_kernel_stats_) {
+        report += FormatKernelReport(call.ctx().kernel());
+      }
+      DownApi(call).WriteString(report_fd_, report);
     }
     return call.CallDown();
   }
@@ -68,6 +80,7 @@ class MonitorAgent final : public NumericSyscall {
 
  private:
   int report_fd_;
+  bool report_kernel_stats_ = false;
   std::array<std::atomic<int64_t>, kMaxSyscall> counts_{};
   std::atomic<int64_t> signals_{0};
 };

@@ -235,7 +235,7 @@ SyscallStatus SandboxPathname::chroot(AgentCall& call) {
   return GuardRead(call);
 }
 
-SyscallStatus SandboxPathname::mknod(AgentCall& call, Mode /*mode*/) {
+SyscallStatus SandboxPathname::mknod(AgentCall& call, Mode /*mode*/, Dev /*dev*/) {
   return GuardWrite(call);
 }
 

@@ -102,7 +102,7 @@ class SandboxPathname final : public Pathname {
   SyscallStatus chown(AgentCall& call, Uid uid, Gid gid) override;
   SyscallStatus utimes(AgentCall& call, const TimeVal* times) override;
   SyscallStatus chroot(AgentCall& call) override;
-  SyscallStatus mknod(AgentCall& call, Mode mode) override;
+  SyscallStatus mknod(AgentCall& call, Mode mode, Dev dev) override;
 
  private:
   SyscallStatus GuardRead(AgentCall& call);

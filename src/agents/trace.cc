@@ -214,8 +214,8 @@ SyscallStatus TraceAgent::sys_fchdir(AgentCall& call, int fd) {
   return Traced(call, StringPrintf("fchdir(%d)", fd));
 }
 
-SyscallStatus TraceAgent::sys_mknod(AgentCall& call, const char* path, Mode mode) {
-  return Traced(call, StringPrintf("mknod(%s, 0%o)", QuotedOrNull(path).c_str(), mode));
+SyscallStatus TraceAgent::sys_mknod(AgentCall& call, const char* path, Mode mode, Dev dev) {
+  return Traced(call, StringPrintf("mknod(%s, 0%o, %d)", QuotedOrNull(path).c_str(), mode, dev));
 }
 
 SyscallStatus TraceAgent::sys_chown(AgentCall& call, const char* path, Uid uid, Gid gid) {
@@ -366,12 +366,9 @@ SyscallStatus TraceAgent::unknown_syscall(AgentCall& call) {
 }
 
 SyscallStatus TraceAgent::sys_generic(AgentCall& call) {
-  const SyscallArgs& a = call.args();
-  return Traced(call, StringPrintf("%s(0x%llx, 0x%llx, 0x%llx)",
-                                   SyscallName(call.number()).c_str(),
-                                   static_cast<unsigned long long>(a.U64(0)),
-                                   static_cast<unsigned long long>(a.U64(1)),
-                                   static_cast<unsigned long long>(a.U64(2))));
+  // Decoded calls without a bespoke formatter fall back to the generic
+  // kind-driven formatter from the syscall specification table.
+  return Traced(call, FormatSyscall(call.number(), call.args()));
 }
 
 void TraceAgent::signal_handler(AgentSignal& signal) {

@@ -77,7 +77,7 @@ class TraceAgent final : public SymbolicSyscall {
                            uint32_t mask) override;
   SyscallStatus sys_creat(AgentCall& call, const char* path, Mode mode) override;
   SyscallStatus sys_fchdir(AgentCall& call, int fd) override;
-  SyscallStatus sys_mknod(AgentCall& call, const char* path, Mode mode) override;
+  SyscallStatus sys_mknod(AgentCall& call, const char* path, Mode mode, Dev dev) override;
   SyscallStatus sys_chown(AgentCall& call, const char* path, Uid uid, Gid gid) override;
   SyscallStatus sys_getpid(AgentCall& call) override;
   SyscallStatus sys_setuid(AgentCall& call, Uid uid) override;

@@ -15,22 +15,6 @@ void AddMicros(TimeVal* tv, int64_t micros) {
   tv->tv_usec %= 1000000;
 }
 
-// Default virtual-time costs (µsec) for the deterministic clock, approximating the
-// no-agent column of paper Table 3-5.
-struct DefaultCost {
-  int number;
-  int32_t micros;
-};
-
-constexpr DefaultCost kDefaultCosts[] = {
-    {kSysGetpid, 25},   {kSysGettimeofday, 47}, {kSysFstat, 90},   {kSysRead, 370},
-    {kSysWrite, 370},   {kSysStat, 892},        {kSysLstat, 892},  {kSysOpen, 900},
-    {kSysClose, 60},    {kSysFork, 3500},       {kSysWait4, 2500}, {kSysExit, 2000},
-    {kSysExecve, 9000}, {kSysGetdirentries, 300},
-};
-
-constexpr int32_t kDefaultSyscallCost = 150;
-
 }  // namespace
 
 Kernel::Kernel(const KernelConfig& config) {
@@ -39,11 +23,10 @@ Kernel::Kernel(const KernelConfig& config) {
   fs_.set_now(config.epoch_seconds);
   console_.set_echo_to_host(config.console_echo_to_host);
 
+  // Per-call virtual-time costs come from the cost column of syscalls.def
+  // (approximating the no-agent column of paper Table 3-5).
   for (int i = 0; i < kMaxSyscall; ++i) {
-    syscall_cost_[i] = kDefaultSyscallCost;
-  }
-  for (const DefaultCost& cost : kDefaultCosts) {
-    syscall_cost_[cost.number] = cost.micros;
+    syscall_cost_[i] = SyscallSpecOf(i).default_cost_usec;
   }
 
   fs_.MkdirAll("/dev");
@@ -405,6 +388,7 @@ void Kernel::ConsumeCpu(Process& proc, int64_t micros) {
 SyscallStatus Kernel::DoSyscall(Process& proc, int number, const SyscallArgs& args,
                                 SyscallResult* rv) {
   Lock lk(mu_);
+  const int64_t vstart = clock_.Now();
   clock_.Advance(SyscallCost(number));
   fs_.set_now(clock_.Now() / 1000000);
   AddMicros(&proc.rusage.ru_stime, SyscallCost(number));
@@ -413,46 +397,29 @@ SyscallStatus Kernel::DoSyscall(Process& proc, int number, const SyscallArgs& ar
 
   const SyscallStatus status = DispatchLocked(proc, number, args, rv, lk);
 
-  if (ktrace_ != nullptr && IsFileReferenceSyscall(number)) {
+  if (number >= 0 && number < kMaxSyscall) {
+    SyscallStat& stat = syscall_stats_[number];
+    stat.calls += 1;
+    if (status < 0) {
+      stat.errors += 1;
+    }
+    stat.vtime_usec += clock_.Now() - vstart;
+  }
+
+  const SyscallSpec& spec = SyscallSpecOf(number);
+  if (ktrace_ != nullptr && (spec.flags & kFileRef) != 0) {
     KtraceRecord record;
     record.pid = proc.pid;
     record.syscall = number;
     record.result = status;
     record.vtime_usec = clock_.Now();
-    switch (number) {
-      case kSysOpen:
-      case kSysCreat:
-      case kSysStat:
-      case kSysLstat:
-      case kSysLink:
-      case kSysUnlink:
-      case kSysSymlink:
-      case kSysReadlink:
-      case kSysRename:
-      case kSysMkdir:
-      case kSysRmdir:
-      case kSysChdir:
-      case kSysChroot:
-      case kSysChmod:
-      case kSysChown:
-      case kSysAccess:
-      case kSysUtimes:
-      case kSysTruncate:
-      case kSysExecve: {
-        const char* path = args.Ptr<const char>(0);
-        if (path != nullptr) {
-          record.path = path;
-        }
-        break;
+    if ((spec.flags & kTakesPath) != 0 && spec.path_arg >= 0) {
+      const char* path = args.Ptr<const char>(spec.path_arg);
+      if (path != nullptr) {
+        record.path = path;
       }
-      case kSysClose:
-      case kSysFstat:
-      case kSysFtruncate:
-      case kSysLseek:
-        record.fd = args.Int(0);
-        break;
-      default:
-        break;
+    } else if ((spec.flags & kTakesFd) != 0) {
+      record.fd = args.Int(0);
     }
     ktrace_->Record(record);
   }
@@ -461,178 +428,47 @@ SyscallStatus Kernel::DoSyscall(Process& proc, int number, const SyscallArgs& ar
   return status;
 }
 
+const std::array<Kernel::SyscallHandler, kMaxSyscall>& Kernel::DispatchTable() {
+  static const std::array<SyscallHandler, kMaxSyscall> table = [] {
+    std::array<SyscallHandler, kMaxSyscall> t{};
+#define IA_SYSCALL(num, name, handler, flags, cost, nargs) t[num] = &Kernel::handler;
+#define IA_SYSCALL_UNIMPL(num, name, flags)
+#include "src/kernel/syscalls.def"
+    return t;
+  }();
+  return table;
+}
+
+bool Kernel::ImplementsSyscall(int number) {
+  return number >= 0 && number < kMaxSyscall && DispatchTable()[number] != nullptr;
+}
+
+std::array<SyscallStat, kMaxSyscall> Kernel::SyscallStats() {
+  Lock lk(mu_);
+  std::array<SyscallStat, kMaxSyscall> out;
+  for (int i = 0; i < kMaxSyscall; ++i) {
+    out[static_cast<size_t>(i)] = syscall_stats_[i];
+  }
+  return out;
+}
+
 SyscallStatus Kernel::DispatchLocked(Process& p, int number, const SyscallArgs& a,
                                      SyscallResult* rv, Lock& lk) {
-  switch (number) {
-    case kSysExit:
-      return SysExit(p, a);
-    case kSysFork:
-    case kSysVfork:
-      return SysFork(p, rv);
-    case kSysRead:
-      return SysRead(p, a, rv, lk);
-    case kSysWrite:
-      return SysWrite(p, a, rv, lk);
-    case kSysReadv:
-      return SysReadv(p, a, rv, lk);
-    case kSysWritev:
-      return SysWritev(p, a, rv, lk);
-    case kSysOpen:
-      return SysOpen(p, a, rv);
-    case kSysCreat: {
-      SyscallArgs open_args = a;
-      open_args.SetInt(1, kOWronly | kOCreat | kOTrunc);
-      open_args.SetInt(2, a.Int(1));
-      return SysOpen(p, open_args, rv);
-    }
-    case kSysClose:
-      return SysClose(p, a, rv);
-    case kSysWait:
-    case kSysWait4:
-      return SysWait4(p, a, rv, lk);
-    case kSysLink:
-      return SysLink(p, a);
-    case kSysUnlink:
-      return SysUnlink(p, a);
-    case kSysChdir:
-      return SysChdir(p, a);
-    case kSysFchdir:
-      return SysFchdir(p, a);
-    case kSysMknod:
-      return SysMknod(p, a);
-    case kSysChmod:
-      return SysChmod(p, a);
-    case kSysFchmod:
-      return SysFchmod(p, a);
-    case kSysChown:
-      return SysChown(p, a);
-    case kSysFchown:
-      return SysFchown(p, a);
-    case kSysLseek:
-      return SysLseek(p, a, rv);
-    case kSysGetpid:
-      rv->rv[0] = p.pid;
-      return 0;
-    case kSysGetppid:
-      rv->rv[0] = p.ppid;
-      return 0;
-    case kSysGetuid:
-      rv->rv[0] = p.cred.ruid;
-      rv->rv[1] = p.cred.euid;
-      return 0;
-    case kSysGeteuid:
-      rv->rv[0] = p.cred.euid;
-      return 0;
-    case kSysGetgid:
-      rv->rv[0] = p.cred.rgid;
-      rv->rv[1] = p.cred.egid;
-      return 0;
-    case kSysGetegid:
-      rv->rv[0] = p.cred.egid;
-      return 0;
-    case kSysSetuid:
-      return SysSetuid(p, a);
-    case kSysGetgroups:
-      return SysGetgroups(p, a, rv);
-    case kSysSetgroups:
-      return SysSetgroups(p, a);
-    case kSysGetpgrp:
-      rv->rv[0] = p.pgrp;
-      return 0;
-    case kSysSetpgrp:
-      return SysSetpgrp(p, a);
-    case kSysAccess:
-      return SysAccess(p, a);
-    case kSysSync:
-      return 0;  // all "disk" writes are already durable in memory
-    case kSysFsync:
-      return p.fds.Valid(a.Int(0)) ? 0 : -kEBadf;
-    case kSysKill:
-      return SysKill(p, a);
-    case kSysKillpg:
-      return SysKillpg(p, a);
-    case kSysStat:
-      return SysStatCommon(p, a, /*follow=*/true);
-    case kSysLstat:
-      return SysStatCommon(p, a, /*follow=*/false);
-    case kSysFstat:
-      return SysFstat(p, a);
-    case kSysDup:
-      return SysDup(p, a, rv);
-    case kSysDup2:
-      return SysDup2(p, a, rv);
-    case kSysPipe:
-      return SysPipe(p, rv);
-    case kSysFcntl:
-      return SysFcntl(p, a, rv);
-    case kSysFlock:
-      return SysFlock(p, a);
-    case kSysIoctl:
-      return SysIoctl(p, a);
-    case kSysSymlink:
-      return SysSymlink(p, a);
-    case kSysReadlink:
-      return SysReadlink(p, a, rv);
-    case kSysExecv:
-    case kSysExecve:
-      return SysExecve(p, a);
-    case kSysUmask:
-      return SysUmask(p, a, rv);
-    case kSysChroot:
-      return SysChroot(p, a);
-    case kSysGetpagesize:
-      rv->rv[0] = 4096;
-      return 0;
-    case kSysGetdtablesize:
-      rv->rv[0] = kMaxFilesPerProcess;
-      return 0;
-    case kSysGetlogin:
-      return SysGetlogin(p, a);
-    case kSysSetlogin:
-      return SysSetlogin(p, a);
-    case kSysGethostname:
-      return SysGethostname(p, a);
-    case kSysSethostname:
-      return SysSethostname(p, a);
-    case kSysSigvec:
-    case kSysSigaction:
-      return SysSigvec(p, a);
-    case kSysSigblock:
-      return SysSigblock(p, a, rv);
-    case kSysSigsetmask:
-      return SysSigsetmask(p, a, rv);
-    case kSysSigpause:
-      return SysSigpause(p, a, lk);
-    case kSysGettimeofday:
-      return SysGettimeofday(p, a);
-    case kSysSettimeofday:
-      return SysSettimeofday(p, a);
-    case kSysGetrusage:
-      return SysGetrusage(p, a);
-    case kSysRename:
-      return SysRename(p, a);
-    case kSysTruncate:
-      return SysTruncate(p, a);
-    case kSysFtruncate:
-      return SysFtruncate(p, a);
-    case kSysMkdir:
-      return SysMkdir(p, a);
-    case kSysRmdir:
-      return SysRmdir(p, a);
-    case kSysUtimes:
-      return SysUtimes(p, a);
-    case kSysGetdirentries:
-      return SysGetdirentries(p, a, rv);
-    default:
-      return -kENosys;
+  if (number < 0 || number >= kMaxSyscall) {
+    return -kENosys;
   }
+  const SyscallHandler handler = DispatchTable()[number];
+  if (handler == nullptr) {
+    return -kENosys;
+  }
+  return (this->*handler)(p, a, rv, lk);
 }
 
 // ---------------------------------------------------------------------------
 // Descriptor and file syscalls.
 // ---------------------------------------------------------------------------
 
-SyscallStatus Kernel::SysOpen(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+SyscallStatus Kernel::SysOpen(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& /*lk*/) {
   const char* path = a.Ptr<const char>(0);
   if (path == nullptr) {
     return -kEFault;
@@ -673,7 +509,14 @@ SyscallStatus Kernel::SysOpen(Process& p, const SyscallArgs& a, SyscallResult* r
   return fd;
 }
 
-SyscallStatus Kernel::SysClose(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/) {
+SyscallStatus Kernel::SysCreat(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk) {
+  SyscallArgs open_args = a;
+  open_args.SetInt(1, kOWronly | kOCreat | kOTrunc);
+  open_args.SetInt(2, a.Int(1));
+  return SysOpen(p, open_args, rv, lk);
+}
+
+SyscallStatus Kernel::SysClose(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   return p.fds.Close(a.Int(0));
 }
 
@@ -900,7 +743,7 @@ SyscallStatus Kernel::SysWritev(Process& p, const SyscallArgs& a, SyscallResult*
   return static_cast<SyscallStatus>(total);
 }
 
-SyscallStatus Kernel::SysLseek(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+SyscallStatus Kernel::SysLseek(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& /*lk*/) {
   OpenFileRef file = p.fds.Get(a.Int(0));
   if (file == nullptr) {
     return -kEBadf;
@@ -942,7 +785,16 @@ SyscallStatus Kernel::SysStatCommon(Process& p, const SyscallArgs& a, bool follo
   return fs_.Stat(EnvOf(p), path, follow, st);
 }
 
-SyscallStatus Kernel::SysFstat(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysStat(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
+  return SysStatCommon(p, a, /*follow=*/true);
+}
+
+SyscallStatus Kernel::SysLstat(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/,
+                               Lock& /*lk*/) {
+  return SysStatCommon(p, a, /*follow=*/false);
+}
+
+SyscallStatus Kernel::SysFstat(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   OpenFileRef file = p.fds.Get(a.Int(0));
   auto* st = a.Ptr<ia::Stat>(1);
   if (file == nullptr) {
@@ -963,7 +815,7 @@ SyscallStatus Kernel::SysFstat(Process& p, const SyscallArgs& a) {
   return 0;
 }
 
-SyscallStatus Kernel::SysLink(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysLink(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   const char* existing = a.Ptr<const char>(0);
   const char* new_path = a.Ptr<const char>(1);
   if (existing == nullptr || new_path == nullptr) {
@@ -972,7 +824,7 @@ SyscallStatus Kernel::SysLink(Process& p, const SyscallArgs& a) {
   return fs_.Link(EnvOf(p), existing, new_path);
 }
 
-SyscallStatus Kernel::SysUnlink(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysUnlink(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   const char* path = a.Ptr<const char>(0);
   if (path == nullptr) {
     return -kEFault;
@@ -980,7 +832,7 @@ SyscallStatus Kernel::SysUnlink(Process& p, const SyscallArgs& a) {
   return fs_.Unlink(EnvOf(p), path);
 }
 
-SyscallStatus Kernel::SysSymlink(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysSymlink(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   const char* target = a.Ptr<const char>(0);
   const char* link_path = a.Ptr<const char>(1);
   if (target == nullptr || link_path == nullptr) {
@@ -989,7 +841,7 @@ SyscallStatus Kernel::SysSymlink(Process& p, const SyscallArgs& a) {
   return fs_.Symlink(EnvOf(p), target, link_path);
 }
 
-SyscallStatus Kernel::SysReadlink(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+SyscallStatus Kernel::SysReadlink(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& /*lk*/) {
   const char* path = a.Ptr<const char>(0);
   char* buf = a.Ptr<char>(1);
   const int64_t bufsize = a.Long(2);
@@ -1007,7 +859,7 @@ SyscallStatus Kernel::SysReadlink(Process& p, const SyscallArgs& a, SyscallResul
   return static_cast<SyscallStatus>(n);
 }
 
-SyscallStatus Kernel::SysRename(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysRename(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   const char* from = a.Ptr<const char>(0);
   const char* to = a.Ptr<const char>(1);
   if (from == nullptr || to == nullptr) {
@@ -1016,7 +868,7 @@ SyscallStatus Kernel::SysRename(Process& p, const SyscallArgs& a) {
   return fs_.Rename(EnvOf(p), from, to);
 }
 
-SyscallStatus Kernel::SysMkdir(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysMkdir(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   const char* path = a.Ptr<const char>(0);
   if (path == nullptr) {
     return -kEFault;
@@ -1025,7 +877,7 @@ SyscallStatus Kernel::SysMkdir(Process& p, const SyscallArgs& a) {
   return fs_.Mkdir(EnvOf(p), path, mode);
 }
 
-SyscallStatus Kernel::SysRmdir(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysRmdir(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   const char* path = a.Ptr<const char>(0);
   if (path == nullptr) {
     return -kEFault;
@@ -1033,7 +885,7 @@ SyscallStatus Kernel::SysRmdir(Process& p, const SyscallArgs& a) {
   return fs_.Rmdir(EnvOf(p), path);
 }
 
-SyscallStatus Kernel::SysChdir(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysChdir(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   const char* path = a.Ptr<const char>(0);
   if (path == nullptr) {
     return -kEFault;
@@ -1053,7 +905,7 @@ SyscallStatus Kernel::SysChdir(Process& p, const SyscallArgs& a) {
   return 0;
 }
 
-SyscallStatus Kernel::SysFchdir(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysFchdir(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   OpenFileRef file = p.fds.Get(a.Int(0));
   if (file == nullptr || file->inode == nullptr) {
     return -kEBadf;
@@ -1065,7 +917,7 @@ SyscallStatus Kernel::SysFchdir(Process& p, const SyscallArgs& a) {
   return 0;
 }
 
-SyscallStatus Kernel::SysChroot(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysChroot(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   if (!p.cred.IsSuperuser()) {
     return -kEPerm;
   }
@@ -1086,7 +938,7 @@ SyscallStatus Kernel::SysChroot(Process& p, const SyscallArgs& a) {
   return 0;
 }
 
-SyscallStatus Kernel::SysChmod(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysChmod(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   const char* path = a.Ptr<const char>(0);
   if (path == nullptr) {
     return -kEFault;
@@ -1094,7 +946,7 @@ SyscallStatus Kernel::SysChmod(Process& p, const SyscallArgs& a) {
   return fs_.Chmod(EnvOf(p), path, static_cast<Mode>(a.Int(1)));
 }
 
-SyscallStatus Kernel::SysFchmod(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysFchmod(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   OpenFileRef file = p.fds.Get(a.Int(0));
   if (file == nullptr || file->inode == nullptr) {
     return -kEBadf;
@@ -1110,7 +962,7 @@ SyscallStatus Kernel::SysFchmod(Process& p, const SyscallArgs& a) {
   return 0;
 }
 
-SyscallStatus Kernel::SysChown(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysChown(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   const char* path = a.Ptr<const char>(0);
   if (path == nullptr) {
     return -kEFault;
@@ -1118,7 +970,7 @@ SyscallStatus Kernel::SysChown(Process& p, const SyscallArgs& a) {
   return fs_.Chown(EnvOf(p), path, a.Int(1), a.Int(2));
 }
 
-SyscallStatus Kernel::SysFchown(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysFchown(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   OpenFileRef file = p.fds.Get(a.Int(0));
   if (file == nullptr || file->inode == nullptr) {
     return -kEBadf;
@@ -1139,7 +991,7 @@ SyscallStatus Kernel::SysFchown(Process& p, const SyscallArgs& a) {
   return 0;
 }
 
-SyscallStatus Kernel::SysAccess(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysAccess(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   const char* path = a.Ptr<const char>(0);
   if (path == nullptr) {
     return -kEFault;
@@ -1147,7 +999,7 @@ SyscallStatus Kernel::SysAccess(Process& p, const SyscallArgs& a) {
   return fs_.Access(EnvOf(p), path, a.Int(1));
 }
 
-SyscallStatus Kernel::SysUtimes(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysUtimes(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   const char* path = a.Ptr<const char>(0);
   if (path == nullptr) {
     return -kEFault;
@@ -1155,7 +1007,7 @@ SyscallStatus Kernel::SysUtimes(Process& p, const SyscallArgs& a) {
   return fs_.Utimes(EnvOf(p), path, a.Ptr<const TimeVal>(1));
 }
 
-SyscallStatus Kernel::SysTruncate(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysTruncate(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   const char* path = a.Ptr<const char>(0);
   if (path == nullptr) {
     return -kEFault;
@@ -1163,7 +1015,7 @@ SyscallStatus Kernel::SysTruncate(Process& p, const SyscallArgs& a) {
   return fs_.Truncate(EnvOf(p), path, a.Long(1));
 }
 
-SyscallStatus Kernel::SysFtruncate(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysFtruncate(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   OpenFileRef file = p.fds.Get(a.Int(0));
   if (file == nullptr || file->inode == nullptr) {
     return -kEBadf;
@@ -1180,13 +1032,13 @@ SyscallStatus Kernel::SysFtruncate(Process& p, const SyscallArgs& a) {
   return 0;
 }
 
-SyscallStatus Kernel::SysUmask(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+SyscallStatus Kernel::SysUmask(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& /*lk*/) {
   rv->rv[0] = p.umask_bits;
   p.umask_bits = static_cast<Mode>(a.Int(0)) & 0777;
   return 0;
 }
 
-SyscallStatus Kernel::SysDup(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+SyscallStatus Kernel::SysDup(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& /*lk*/) {
   const int fd = a.Int(0);
   if (!p.fds.Valid(fd)) {
     return -kEBadf;
@@ -1200,7 +1052,7 @@ SyscallStatus Kernel::SysDup(Process& p, const SyscallArgs& a, SyscallResult* rv
   return new_fd;
 }
 
-SyscallStatus Kernel::SysDup2(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+SyscallStatus Kernel::SysDup2(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& /*lk*/) {
   const int result = p.fds.Dup2(a.Int(0), a.Int(1));
   if (result >= 0) {
     rv->rv[0] = result;
@@ -1208,7 +1060,7 @@ SyscallStatus Kernel::SysDup2(Process& p, const SyscallArgs& a, SyscallResult* r
   return result;
 }
 
-SyscallStatus Kernel::SysPipe(Process& p, SyscallResult* rv) {
+SyscallStatus Kernel::SysPipe(Process& p, const SyscallArgs& /*a*/, SyscallResult* rv, Lock& /*lk*/) {
   const int read_fd = p.fds.AllocateSlot();
   if (read_fd < 0) {
     return read_fd;
@@ -1226,7 +1078,7 @@ SyscallStatus Kernel::SysPipe(Process& p, SyscallResult* rv) {
   return read_fd;
 }
 
-SyscallStatus Kernel::SysFcntl(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+SyscallStatus Kernel::SysFcntl(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& /*lk*/) {
   const int fd = a.Int(0);
   const int cmd = a.Int(1);
   const int64_t arg = a.Long(2);
@@ -1263,7 +1115,17 @@ SyscallStatus Kernel::SysFcntl(Process& p, const SyscallArgs& a, SyscallResult* 
   }
 }
 
-SyscallStatus Kernel::SysFlock(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysSync(Process& /*p*/, const SyscallArgs& /*a*/, SyscallResult* /*rv*/,
+                              Lock& /*lk*/) {
+  return 0;  // all "disk" writes are already durable in memory
+}
+
+SyscallStatus Kernel::SysFsync(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/,
+                               Lock& /*lk*/) {
+  return p.fds.Valid(a.Int(0)) ? 0 : -kEBadf;
+}
+
+SyscallStatus Kernel::SysFlock(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   OpenFileRef file = p.fds.Get(a.Int(0));
   if (file == nullptr || file->inode == nullptr) {
     return -kEBadf;
@@ -1303,7 +1165,7 @@ SyscallStatus Kernel::SysFlock(Process& p, const SyscallArgs& a) {
   return 0;
 }
 
-SyscallStatus Kernel::SysIoctl(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysIoctl(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   OpenFileRef file = p.fds.Get(a.Int(0));
   if (file == nullptr) {
     return -kEBadf;
@@ -1314,7 +1176,7 @@ SyscallStatus Kernel::SysIoctl(Process& p, const SyscallArgs& a) {
   return file->inode->device->Ioctl(a.U64(1), a.Ptr<void>(2));
 }
 
-SyscallStatus Kernel::SysGetdirentries(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+SyscallStatus Kernel::SysGetdirentries(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& /*lk*/) {
   OpenFileRef file = p.fds.Get(a.Int(0));
   char* buf = a.Ptr<char>(1);
   const int nbytes = a.Int(2);
@@ -1371,7 +1233,7 @@ SyscallStatus Kernel::SysGetdirentries(Process& p, const SyscallArgs& a, Syscall
   return static_cast<SyscallStatus>(used);
 }
 
-SyscallStatus Kernel::SysMknod(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysMknod(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   const char* path = a.Ptr<const char>(0);
   if (path == nullptr) {
     return -kEFault;
@@ -1390,7 +1252,7 @@ SyscallStatus Kernel::SysMknod(Process& p, const SyscallArgs& a) {
 // Process syscalls.
 // ---------------------------------------------------------------------------
 
-SyscallStatus Kernel::SysFork(Process& p, SyscallResult* rv) {
+SyscallStatus Kernel::SysFork(Process& p, const SyscallArgs& /*a*/, SyscallResult* rv, Lock& /*lk*/) {
   std::function<int(ProcessContext&)> body = std::move(p.pending_fork_body);
   p.pending_fork_body = nullptr;
 
@@ -1502,7 +1364,7 @@ int Kernel::ResolveExecutableLocked(Process& p, const std::string& path, Pending
   return 0;
 }
 
-SyscallStatus Kernel::SysExecve(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysExecve(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   const char* path = a.Ptr<const char>(0);
   if (path == nullptr) {
     return -kEFault;
@@ -1528,7 +1390,7 @@ SyscallStatus Kernel::SysExecve(Process& p, const SyscallArgs& a) {
   return 0;
 }
 
-SyscallStatus Kernel::SysExit(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysExit(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   p.exit_pending = true;
   p.exit_wait_status = WaitStatusExited(a.Int(0) & 0xff);
   return 0;
@@ -1603,7 +1465,7 @@ SyscallStatus Kernel::SysWait4(Process& p, const SyscallArgs& a, SyscallResult* 
   }
 }
 
-SyscallStatus Kernel::SysKill(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysKill(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   const Pid target_pid = a.Int(0);
   const int signo = a.Int(1);
   if (signo < 0 || signo >= kNumSignals) {
@@ -1641,14 +1503,70 @@ SyscallStatus Kernel::SysKill(Process& p, const SyscallArgs& a) {
   return hits > 0 ? 0 : err;
 }
 
-SyscallStatus Kernel::SysKillpg(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysKillpg(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk) {
   SyscallArgs kill_args;
   kill_args.SetInt(0, -a.Int(0));
   kill_args.SetInt(1, a.Int(1));
-  return SysKill(p, kill_args);
+  return SysKill(p, kill_args, rv, lk);
 }
 
-SyscallStatus Kernel::SysSetpgrp(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysGetpid(Process& p, const SyscallArgs& /*a*/, SyscallResult* rv,
+                                Lock& /*lk*/) {
+  rv->rv[0] = p.pid;
+  return 0;
+}
+
+SyscallStatus Kernel::SysGetppid(Process& p, const SyscallArgs& /*a*/, SyscallResult* rv,
+                                 Lock& /*lk*/) {
+  rv->rv[0] = p.ppid;
+  return 0;
+}
+
+SyscallStatus Kernel::SysGetpgrp(Process& p, const SyscallArgs& /*a*/, SyscallResult* rv,
+                                 Lock& /*lk*/) {
+  rv->rv[0] = p.pgrp;
+  return 0;
+}
+
+SyscallStatus Kernel::SysGetuid(Process& p, const SyscallArgs& /*a*/, SyscallResult* rv,
+                                Lock& /*lk*/) {
+  rv->rv[0] = p.cred.ruid;
+  rv->rv[1] = p.cred.euid;
+  return 0;
+}
+
+SyscallStatus Kernel::SysGeteuid(Process& p, const SyscallArgs& /*a*/, SyscallResult* rv,
+                                 Lock& /*lk*/) {
+  rv->rv[0] = p.cred.euid;
+  return 0;
+}
+
+SyscallStatus Kernel::SysGetgid(Process& p, const SyscallArgs& /*a*/, SyscallResult* rv,
+                                Lock& /*lk*/) {
+  rv->rv[0] = p.cred.rgid;
+  rv->rv[1] = p.cred.egid;
+  return 0;
+}
+
+SyscallStatus Kernel::SysGetegid(Process& p, const SyscallArgs& /*a*/, SyscallResult* rv,
+                                 Lock& /*lk*/) {
+  rv->rv[0] = p.cred.egid;
+  return 0;
+}
+
+SyscallStatus Kernel::SysGetpagesize(Process& /*p*/, const SyscallArgs& /*a*/, SyscallResult* rv,
+                                     Lock& /*lk*/) {
+  rv->rv[0] = 4096;
+  return 0;
+}
+
+SyscallStatus Kernel::SysGetdtablesize(Process& /*p*/, const SyscallArgs& /*a*/, SyscallResult* rv,
+                                       Lock& /*lk*/) {
+  rv->rv[0] = kMaxFilesPerProcess;
+  return 0;
+}
+
+SyscallStatus Kernel::SysSetpgrp(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   Pid target_pid = a.Int(0);
   Pid pgrp = a.Int(1);
   if (target_pid == 0) {
@@ -1671,7 +1589,7 @@ SyscallStatus Kernel::SysSetpgrp(Process& p, const SyscallArgs& a) {
   return 0;
 }
 
-SyscallStatus Kernel::SysSetuid(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysSetuid(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   const Uid uid = a.Int(0);
   if (!p.cred.IsSuperuser() && uid != p.cred.ruid) {
     return -kEPerm;
@@ -1680,7 +1598,7 @@ SyscallStatus Kernel::SysSetuid(Process& p, const SyscallArgs& a) {
   return 0;
 }
 
-SyscallStatus Kernel::SysGetgroups(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+SyscallStatus Kernel::SysGetgroups(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& /*lk*/) {
   const int setlen = a.Int(0);
   Gid* gidset = a.Ptr<Gid>(1);
   const int count = static_cast<int>(p.cred.groups.size());
@@ -1701,7 +1619,7 @@ SyscallStatus Kernel::SysGetgroups(Process& p, const SyscallArgs& a, SyscallResu
   return count;
 }
 
-SyscallStatus Kernel::SysSetgroups(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysSetgroups(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   if (!p.cred.IsSuperuser()) {
     return -kEPerm;
   }
@@ -1717,7 +1635,7 @@ SyscallStatus Kernel::SysSetgroups(Process& p, const SyscallArgs& a) {
   return 0;
 }
 
-SyscallStatus Kernel::SysGetlogin(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysGetlogin(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   char* buf = a.Ptr<char>(0);
   const int len = a.Int(1);
   if (buf == nullptr || len <= 0) {
@@ -1729,7 +1647,7 @@ SyscallStatus Kernel::SysGetlogin(Process& p, const SyscallArgs& a) {
   return 0;
 }
 
-SyscallStatus Kernel::SysSetlogin(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysSetlogin(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   if (!p.cred.IsSuperuser()) {
     return -kEPerm;
   }
@@ -1741,7 +1659,7 @@ SyscallStatus Kernel::SysSetlogin(Process& p, const SyscallArgs& a) {
   return 0;
 }
 
-SyscallStatus Kernel::SysGethostname(Process& /*p*/, const SyscallArgs& a) {
+SyscallStatus Kernel::SysGethostname(Process& /*p*/, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   char* buf = a.Ptr<char>(0);
   const int len = a.Int(1);
   if (buf == nullptr || len <= 0) {
@@ -1753,7 +1671,7 @@ SyscallStatus Kernel::SysGethostname(Process& /*p*/, const SyscallArgs& a) {
   return 0;
 }
 
-SyscallStatus Kernel::SysSethostname(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysSethostname(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   if (!p.cred.IsSuperuser()) {
     return -kEPerm;
   }
@@ -1769,7 +1687,7 @@ SyscallStatus Kernel::SysSethostname(Process& p, const SyscallArgs& a) {
 // Signal syscalls.
 // ---------------------------------------------------------------------------
 
-SyscallStatus Kernel::SysSigvec(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysSigvec(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   const int signo = a.Int(0);
   const auto disposition = static_cast<uintptr_t>(a.U64(1));
   const auto handler_mask = static_cast<uint32_t>(a.U64(2));
@@ -1791,14 +1709,14 @@ SyscallStatus Kernel::SysSigvec(Process& p, const SyscallArgs& a) {
   return 0;
 }
 
-SyscallStatus Kernel::SysSigblock(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+SyscallStatus Kernel::SysSigblock(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& /*lk*/) {
   const auto mask = static_cast<uint32_t>(a.U64(0));
   rv->rv[0] = p.sig_mask;
   p.sig_mask |= mask & ~(SigMask(kSigKill) | SigMask(kSigStop));
   return 0;
 }
 
-SyscallStatus Kernel::SysSigsetmask(Process& p, const SyscallArgs& a, SyscallResult* rv) {
+SyscallStatus Kernel::SysSigsetmask(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& /*lk*/) {
   const auto mask = static_cast<uint32_t>(a.U64(0));
   rv->rv[0] = p.sig_mask;
   p.sig_mask = mask & ~(SigMask(kSigKill) | SigMask(kSigStop));
@@ -1806,7 +1724,7 @@ SyscallStatus Kernel::SysSigsetmask(Process& p, const SyscallArgs& a, SyscallRes
   return 0;
 }
 
-SyscallStatus Kernel::SysSigpause(Process& p, const SyscallArgs& a, Lock& lk) {
+SyscallStatus Kernel::SysSigpause(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& lk) {
   const auto mask = static_cast<uint32_t>(a.U64(0));
   p.sigpause_saved_mask = p.sig_mask;
   p.sigpause_restore = true;
@@ -1822,7 +1740,7 @@ SyscallStatus Kernel::SysSigpause(Process& p, const SyscallArgs& a, Lock& lk) {
 // Time and accounting syscalls.
 // ---------------------------------------------------------------------------
 
-SyscallStatus Kernel::SysGettimeofday(Process& /*p*/, const SyscallArgs& a) {
+SyscallStatus Kernel::SysGettimeofday(Process& /*p*/, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   auto* tp = a.Ptr<TimeVal>(0);
   auto* tzp = a.Ptr<TimeZone>(1);
   if (tp != nullptr) {
@@ -1835,7 +1753,7 @@ SyscallStatus Kernel::SysGettimeofday(Process& /*p*/, const SyscallArgs& a) {
   return 0;
 }
 
-SyscallStatus Kernel::SysSettimeofday(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysSettimeofday(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   if (!p.cred.IsSuperuser()) {
     return -kEPerm;
   }
@@ -1848,7 +1766,7 @@ SyscallStatus Kernel::SysSettimeofday(Process& p, const SyscallArgs& a) {
   return 0;
 }
 
-SyscallStatus Kernel::SysGetrusage(Process& p, const SyscallArgs& a) {
+SyscallStatus Kernel::SysGetrusage(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {
   const int who = a.Int(0);
   auto* usage = a.Ptr<Rusage>(1);
   if (usage == nullptr) {

@@ -8,6 +8,7 @@
 #ifndef SRC_KERNEL_KERNEL_H_
 #define SRC_KERNEL_KERNEL_H_
 
+#include <array>
 #include <condition_variable>
 #include <map>
 #include <memory>
@@ -22,6 +23,7 @@
 #include "src/kernel/ktrace.h"
 #include "src/kernel/process.h"
 #include "src/kernel/programs.h"
+#include "src/kernel/syscall_table.h"
 #include "src/kernel/vfs.h"
 
 namespace ia {
@@ -34,6 +36,13 @@ struct KernelConfig {
   // benchmarks see applications that do "real work" between system calls (the
   // paper's Scribe run is compute-dominated).
   double compute_spin_scale = 0.0;
+};
+
+// Per-syscall observability counters, indexed by syscall number.
+struct SyscallStat {
+  int64_t calls = 0;
+  int64_t errors = 0;      // dispatches that returned a negative errno
+  int64_t vtime_usec = 0;  // virtual-clock time spent in the call (incl. blocking)
 };
 
 struct SpawnOptions {
@@ -95,6 +104,13 @@ class Kernel {
   int64_t TotalSyscallCount();
   std::vector<Pid> Pids();
 
+  // Snapshot of the per-syscall count / error / virtual-time counters.
+  std::array<SyscallStat, kMaxSyscall> SyscallStats();
+
+  // True when `number` has a kernel dispatch handler (a non-ENOSYS row in
+  // syscalls.def).
+  static bool ImplementsSyscall(int number);
+
   // Snapshot of the namei directory name-lookup cache counters.
   NameCacheStats CacheStats();
 
@@ -115,68 +131,89 @@ class Kernel {
   SyscallStatus DispatchLocked(Process& proc, int number, const SyscallArgs& args,
                                SyscallResult* rv, Lock& lk);
 
-  // One method per implemented system call (all hold the big lock on entry).
-  SyscallStatus SysOpen(Process& p, const SyscallArgs& a, SyscallResult* rv);
-  SyscallStatus SysClose(Process& p, const SyscallArgs& a, SyscallResult* rv);
+  // Uniform handler signature: the dense dispatch array built from
+  // syscalls.def holds one of these per implemented syscall number.
+  using SyscallHandler = SyscallStatus (Kernel::*)(Process&, const SyscallArgs&, SyscallResult*,
+                                                   Lock&);
+  static const std::array<SyscallHandler, kMaxSyscall>& DispatchTable();
+
+  // One method per implemented system call (all hold the big lock on entry;
+  // handlers that neither write results nor drop the lock ignore rv/lk).
+  SyscallStatus SysOpen(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysCreat(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysClose(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
   SyscallStatus SysRead(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
   SyscallStatus SysWrite(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
   SyscallStatus SysReadv(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
   SyscallStatus SysWritev(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
-  SyscallStatus SysLseek(Process& p, const SyscallArgs& a, SyscallResult* rv);
+  SyscallStatus SysLseek(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
   SyscallStatus SysStatCommon(Process& p, const SyscallArgs& a, bool follow);
-  SyscallStatus SysFstat(Process& p, const SyscallArgs& a);
-  SyscallStatus SysLink(Process& p, const SyscallArgs& a);
-  SyscallStatus SysUnlink(Process& p, const SyscallArgs& a);
-  SyscallStatus SysSymlink(Process& p, const SyscallArgs& a);
-  SyscallStatus SysReadlink(Process& p, const SyscallArgs& a, SyscallResult* rv);
-  SyscallStatus SysRename(Process& p, const SyscallArgs& a);
-  SyscallStatus SysMkdir(Process& p, const SyscallArgs& a);
-  SyscallStatus SysRmdir(Process& p, const SyscallArgs& a);
-  SyscallStatus SysChdir(Process& p, const SyscallArgs& a);
-  SyscallStatus SysFchdir(Process& p, const SyscallArgs& a);
-  SyscallStatus SysChroot(Process& p, const SyscallArgs& a);
-  SyscallStatus SysChmod(Process& p, const SyscallArgs& a);
-  SyscallStatus SysFchmod(Process& p, const SyscallArgs& a);
-  SyscallStatus SysChown(Process& p, const SyscallArgs& a);
-  SyscallStatus SysFchown(Process& p, const SyscallArgs& a);
-  SyscallStatus SysAccess(Process& p, const SyscallArgs& a);
-  SyscallStatus SysUtimes(Process& p, const SyscallArgs& a);
-  SyscallStatus SysTruncate(Process& p, const SyscallArgs& a);
-  SyscallStatus SysFtruncate(Process& p, const SyscallArgs& a);
-  SyscallStatus SysUmask(Process& p, const SyscallArgs& a, SyscallResult* rv);
-  SyscallStatus SysDup(Process& p, const SyscallArgs& a, SyscallResult* rv);
-  SyscallStatus SysDup2(Process& p, const SyscallArgs& a, SyscallResult* rv);
-  SyscallStatus SysPipe(Process& p, SyscallResult* rv);
-  SyscallStatus SysFcntl(Process& p, const SyscallArgs& a, SyscallResult* rv);
-  SyscallStatus SysFlock(Process& p, const SyscallArgs& a);
-  SyscallStatus SysIoctl(Process& p, const SyscallArgs& a);
-  SyscallStatus SysGetdirentries(Process& p, const SyscallArgs& a, SyscallResult* rv);
-  SyscallStatus SysMknod(Process& p, const SyscallArgs& a);
+  SyscallStatus SysStat(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysLstat(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysFstat(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysLink(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysUnlink(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysSymlink(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysReadlink(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysRename(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysMkdir(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysRmdir(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysChdir(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysFchdir(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysChroot(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysChmod(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysFchmod(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysChown(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysFchown(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysAccess(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysUtimes(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysTruncate(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysFtruncate(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysUmask(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysDup(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysDup2(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysPipe(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysFcntl(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysFlock(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysFsync(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysSync(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysIoctl(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysGetdirentries(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysMknod(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
 
-  SyscallStatus SysFork(Process& p, SyscallResult* rv);
-  SyscallStatus SysExecve(Process& p, const SyscallArgs& a);
-  SyscallStatus SysExit(Process& p, const SyscallArgs& a);
+  SyscallStatus SysFork(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysExecve(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysExit(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
   SyscallStatus SysWait4(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
-  SyscallStatus SysKill(Process& p, const SyscallArgs& a);
-  SyscallStatus SysKillpg(Process& p, const SyscallArgs& a);
+  SyscallStatus SysKill(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysKillpg(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysGetpid(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysGetppid(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysGetpgrp(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
 
-  SyscallStatus SysSigvec(Process& p, const SyscallArgs& a);
-  SyscallStatus SysSigblock(Process& p, const SyscallArgs& a, SyscallResult* rv);
-  SyscallStatus SysSigsetmask(Process& p, const SyscallArgs& a, SyscallResult* rv);
-  SyscallStatus SysSigpause(Process& p, const SyscallArgs& a, Lock& lk);
+  SyscallStatus SysSigvec(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysSigblock(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysSigsetmask(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysSigpause(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
 
-  SyscallStatus SysGettimeofday(Process& p, const SyscallArgs& a);
-  SyscallStatus SysSettimeofday(Process& p, const SyscallArgs& a);
-  SyscallStatus SysGetrusage(Process& p, const SyscallArgs& a);
+  SyscallStatus SysGettimeofday(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysSettimeofday(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysGetrusage(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
 
-  SyscallStatus SysSetpgrp(Process& p, const SyscallArgs& a);
-  SyscallStatus SysSetuid(Process& p, const SyscallArgs& a);
-  SyscallStatus SysGetgroups(Process& p, const SyscallArgs& a, SyscallResult* rv);
-  SyscallStatus SysSetgroups(Process& p, const SyscallArgs& a);
-  SyscallStatus SysGetlogin(Process& p, const SyscallArgs& a);
-  SyscallStatus SysSetlogin(Process& p, const SyscallArgs& a);
-  SyscallStatus SysGethostname(Process& p, const SyscallArgs& a);
-  SyscallStatus SysSethostname(Process& p, const SyscallArgs& a);
+  SyscallStatus SysSetpgrp(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysSetuid(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysGetuid(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysGeteuid(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysGetgid(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysGetegid(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysGetpagesize(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysGetdtablesize(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysGetgroups(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysSetgroups(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysGetlogin(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysSetlogin(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysGethostname(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysSethostname(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
 
   // Posts `signo` to `target` (lock held).
   void PostSignalLocked(Process& target, int signo);
@@ -214,6 +251,7 @@ class Kernel {
   KtraceSink* ktrace_ = nullptr;
   int32_t syscall_cost_[kMaxSyscall] = {};
   int64_t total_syscalls_ = 0;
+  SyscallStat syscall_stats_[kMaxSyscall] = {};
 };
 
 }  // namespace ia

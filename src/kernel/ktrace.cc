@@ -1,5 +1,7 @@
 #include "src/kernel/ktrace.h"
 
+#include "src/kernel/syscall_table.h"
+
 namespace ia {
 
 RingKtraceSink::RingKtraceSink(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
@@ -32,36 +34,7 @@ void RingKtraceSink::Clear() {
 }
 
 bool IsFileReferenceSyscall(int number) {
-  switch (number) {
-    case kSysOpen:
-    case kSysCreat:
-    case kSysClose:
-    case kSysStat:
-    case kSysLstat:
-    case kSysFstat:
-    case kSysLink:
-    case kSysUnlink:
-    case kSysSymlink:
-    case kSysReadlink:
-    case kSysRename:
-    case kSysMkdir:
-    case kSysRmdir:
-    case kSysChdir:
-    case kSysChroot:
-    case kSysChmod:
-    case kSysChown:
-    case kSysAccess:
-    case kSysUtimes:
-    case kSysTruncate:
-    case kSysFtruncate:
-    case kSysExecve:
-    case kSysFork:
-    case kSysExit:
-    case kSysLseek:
-      return true;
-    default:
-      return false;
-  }
+  return (SyscallSpecOf(number).flags & kFileRef) != 0;
 }
 
 }  // namespace ia

@@ -1,0 +1,187 @@
+#include "src/kernel/syscall_table.h"
+
+#include <initializer_list>
+#include <unordered_map>
+
+#include "src/base/strings.h"
+
+namespace ia {
+namespace {
+
+// Kind tokens from syscalls.def -> ArgKind enumerators.
+#define IA_ARG_KIND_Fd ArgKind::kFd
+#define IA_ARG_KIND_Int ArgKind::kInt
+#define IA_ARG_KIND_Long ArgKind::kLong
+#define IA_ARG_KIND_U64 ArgKind::kU64
+#define IA_ARG_KIND_Flags ArgKind::kFlags
+#define IA_ARG_KIND_Mode ArgKind::kMode
+#define IA_ARG_KIND_Uid ArgKind::kUid
+#define IA_ARG_KIND_Gid ArgKind::kGid
+#define IA_ARG_KIND_Off ArgKind::kOff
+#define IA_ARG_KIND_Pid ArgKind::kPid
+#define IA_ARG_KIND_Dev ArgKind::kDev
+#define IA_ARG_KIND_Sig ArgKind::kSig
+#define IA_ARG_KIND_Mask ArgKind::kMask
+#define IA_ARG_KIND_UPtr ArgKind::kUPtr
+#define IA_ARG_KIND_Path ArgKind::kPath
+#define IA_ARG_KIND_Str ArgKind::kStr
+#define IA_ARG_KIND_BufIn ArgKind::kBufIn
+#define IA_ARG_KIND_BufOut ArgKind::kBufOut
+#define IA_ARG_KIND_CharBuf ArgKind::kCharBuf
+#define IA_ARG_KIND_VoidPtr ArgKind::kVoidPtr
+#define IA_ARG_KIND_StatPtr ArgKind::kStatPtr
+#define IA_ARG_KIND_RusagePtr ArgKind::kRusagePtr
+#define IA_ARG_KIND_IntPtr ArgKind::kIntPtr
+#define IA_ARG_KIND_LongPtr ArgKind::kLongPtr
+#define IA_ARG_KIND_TvPtr ArgKind::kTvPtr
+#define IA_ARG_KIND_CTvPtr ArgKind::kCTvPtr
+#define IA_ARG_KIND_TzPtr ArgKind::kTzPtr
+#define IA_ARG_KIND_CTzPtr ArgKind::kCTzPtr
+#define IA_ARG_KIND_GidPtr ArgKind::kGidPtr
+#define IA_ARG_KIND_CGidPtr ArgKind::kCGidPtr
+#define IA_ARG_KIND_IoVecPtr ArgKind::kIoVecPtr
+
+class SyscallTable {
+ public:
+  static const SyscallTable& Instance() {
+    static const SyscallTable table;
+    return table;
+  }
+
+  const SyscallSpec& spec(int number) const {
+    if (number < 0 || number >= kMaxSyscall) {
+      return out_of_range_;
+    }
+    return specs_[static_cast<size_t>(number)];
+  }
+
+  int ByName(std::string_view name) const {
+    const auto it = by_name_.find(name);
+    return it == by_name_.end() ? -1 : it->second;
+  }
+
+ private:
+  SyscallTable() {
+    for (int i = 0; i < kMaxSyscall; ++i) {
+      gap_names_[static_cast<size_t>(i)] = StringPrintf("#%d", i);
+      specs_[static_cast<size_t>(i)].number = static_cast<int16_t>(i);
+      specs_[static_cast<size_t>(i)].name = gap_names_[static_cast<size_t>(i)];
+    }
+    out_of_range_.name = "#?";
+
+#define IA_K(k) IA_ARG_KIND_##k
+#define IA_SYSCALL0(num, name, handler, flags, cost) Add(num, #name, (flags) | kImplemented, cost, {});
+#define IA_SYSCALL1(num, name, handler, flags, cost, k0) \
+  Add(num, #name, (flags) | kImplemented, cost, {IA_K(k0)});
+#define IA_SYSCALL2(num, name, handler, flags, cost, k0, k1) \
+  Add(num, #name, (flags) | kImplemented, cost, {IA_K(k0), IA_K(k1)});
+#define IA_SYSCALL3(num, name, handler, flags, cost, k0, k1, k2) \
+  Add(num, #name, (flags) | kImplemented, cost, {IA_K(k0), IA_K(k1), IA_K(k2)});
+#define IA_SYSCALL4(num, name, handler, flags, cost, k0, k1, k2, k3) \
+  Add(num, #name, (flags) | kImplemented, cost, {IA_K(k0), IA_K(k1), IA_K(k2), IA_K(k3)});
+#define IA_SYSCALL_ALIAS0(num, name, target, handler, flags, cost) \
+  IA_SYSCALL0(num, name, handler, (flags) | kAlias, cost)
+#define IA_SYSCALL_ALIAS1(num, name, target, handler, flags, cost, k0) \
+  IA_SYSCALL1(num, name, handler, (flags) | kAlias, cost, k0)
+#define IA_SYSCALL_ALIAS3(num, name, target, handler, flags, cost, k0, k1, k2) \
+  IA_SYSCALL3(num, name, handler, (flags) | kAlias, cost, k0, k1, k2)
+#define IA_SYSCALL_ALIAS4(num, name, target, handler, flags, cost, k0, k1, k2, k3) \
+  IA_SYSCALL4(num, name, handler, (flags) | kAlias, cost, k0, k1, k2, k3)
+#define IA_SYSCALL_UNIMPL(num, name, flags) Add(num, #name, flags, kDefaultSyscallCost, {});
+#include "src/kernel/syscalls.def"
+#undef IA_K
+
+    for (const SyscallSpec& spec : specs_) {
+      if (!spec.name.empty() && spec.name[0] != '#') {
+        by_name_.emplace(spec.name, spec.number);
+      }
+    }
+  }
+
+  void Add(int num, std::string_view name, uint32_t flags, int32_t cost,
+           std::initializer_list<ArgKind> kinds) {
+    SyscallSpec& spec = specs_[static_cast<size_t>(num)];
+    spec.flags = flags;
+    spec.default_cost_usec = cost;
+    spec.name = name;
+    spec.nargs = static_cast<int16_t>(kinds.size());
+    int i = 0;
+    for (const ArgKind kind : kinds) {
+      spec.args[static_cast<size_t>(i)] = kind;
+      if (spec.path_arg < 0 && (kind == ArgKind::kPath || kind == ArgKind::kStr)) {
+        spec.path_arg = static_cast<int8_t>(i);
+      }
+      ++i;
+    }
+  }
+
+  std::array<SyscallSpec, kMaxSyscall> specs_;
+  std::array<std::string, kMaxSyscall> gap_names_;
+  std::unordered_map<std::string_view, int> by_name_;
+  SyscallSpec out_of_range_;
+};
+
+std::string FormatArg(ArgKind kind, const SyscallArgs& args, int i) {
+  switch (kind) {
+    case ArgKind::kFd:
+    case ArgKind::kInt:
+    case ArgKind::kUid:
+    case ArgKind::kGid:
+    case ArgKind::kPid:
+    case ArgKind::kDev:
+      return StringPrintf("%d", args.Int(i));
+    case ArgKind::kLong:
+    case ArgKind::kOff:
+      return StringPrintf("%lld", static_cast<long long>(args.Long(i)));
+    case ArgKind::kU64:
+    case ArgKind::kUPtr:
+      return StringPrintf("%#llx", static_cast<unsigned long long>(args.U64(i)));
+    case ArgKind::kFlags:
+    case ArgKind::kMask:
+      return StringPrintf("%#x", static_cast<uint32_t>(args.U64(i)));
+    case ArgKind::kMode:
+      return StringPrintf("0%o", static_cast<Mode>(args.Int(i)));
+    case ArgKind::kSig:
+      return std::string(SignalName(args.Int(i)));
+    case ArgKind::kPath:
+    case ArgKind::kStr: {
+      const char* s = args.Ptr<const char>(i);
+      return s == nullptr ? "NULL" : StringPrintf("\"%s\"", s);
+    }
+    case ArgKind::kBufIn:
+    case ArgKind::kBufOut:
+      return StringPrintf("0x%llx", static_cast<unsigned long long>(args.U64(i)));
+    default:
+      return "...";  // out-parameters and structured pointers
+  }
+}
+
+}  // namespace
+
+const SyscallSpec& SyscallSpecOf(int number) { return SyscallTable::Instance().spec(number); }
+
+std::string_view SyscallName(int number) { return SyscallSpecOf(number).name; }
+
+int SyscallNumberByName(std::string_view name) { return SyscallTable::Instance().ByName(name); }
+
+std::string FormatSyscall(int number, const SyscallArgs& args) {
+  const SyscallSpec& spec = SyscallSpecOf(number);
+  if ((spec.flags & kImplemented) == 0) {
+    return StringPrintf("%s(0x%llx, 0x%llx, 0x%llx)", std::string(spec.name).c_str(),
+                        static_cast<unsigned long long>(args.U64(0)),
+                        static_cast<unsigned long long>(args.U64(1)),
+                        static_cast<unsigned long long>(args.U64(2)));
+  }
+  std::string out(spec.name);
+  out += "(";
+  for (int i = 0; i < spec.nargs; ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += FormatArg(spec.args[static_cast<size_t>(i)], args, i);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace ia

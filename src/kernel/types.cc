@@ -1,92 +1,10 @@
+// Signal names live here; syscall names moved to the specification table
+// (src/kernel/syscalls.def via syscall_table.cc), which owns SyscallName()
+// and SyscallNumberByName().
 #include "src/kernel/types.h"
-
-#include "src/base/strings.h"
 
 namespace ia {
 namespace {
-
-struct SyscallNameEntry {
-  int number;
-  std::string_view name;
-};
-
-constexpr SyscallNameEntry kSyscallNames[] = {
-    {kSysExit, "exit"},
-    {kSysFork, "fork"},
-    {kSysRead, "read"},
-    {kSysWrite, "write"},
-    {kSysOpen, "open"},
-    {kSysClose, "close"},
-    {kSysWait4, "wait4"},
-    {kSysCreat, "creat"},
-    {kSysLink, "link"},
-    {kSysUnlink, "unlink"},
-    {kSysExecv, "execv"},
-    {kSysChdir, "chdir"},
-    {kSysFchdir, "fchdir"},
-    {kSysMknod, "mknod"},
-    {kSysChmod, "chmod"},
-    {kSysChown, "chown"},
-    {kSysLseek, "lseek"},
-    {kSysGetpid, "getpid"},
-    {kSysSetuid, "setuid"},
-    {kSysGetuid, "getuid"},
-    {kSysGeteuid, "geteuid"},
-    {kSysAccess, "access"},
-    {kSysSync, "sync"},
-    {kSysKill, "kill"},
-    {kSysStat, "stat"},
-    {kSysGetppid, "getppid"},
-    {kSysLstat, "lstat"},
-    {kSysDup, "dup"},
-    {kSysPipe, "pipe"},
-    {kSysGetegid, "getegid"},
-    {kSysGetgid, "getgid"},
-    {kSysGetlogin, "getlogin"},
-    {kSysSetlogin, "setlogin"},
-    {kSysIoctl, "ioctl"},
-    {kSysSymlink, "symlink"},
-    {kSysReadlink, "readlink"},
-    {kSysExecve, "execve"},
-    {kSysUmask, "umask"},
-    {kSysChroot, "chroot"},
-    {kSysFstat, "fstat"},
-    {kSysGetpagesize, "getpagesize"},
-    {kSysVfork, "vfork"},
-    {kSysGetgroups, "getgroups"},
-    {kSysSetgroups, "setgroups"},
-    {kSysGetpgrp, "getpgrp"},
-    {kSysSetpgrp, "setpgrp"},
-    {kSysWait, "wait"},
-    {kSysGethostname, "gethostname"},
-    {kSysSethostname, "sethostname"},
-    {kSysGetdtablesize, "getdtablesize"},
-    {kSysDup2, "dup2"},
-    {kSysFcntl, "fcntl"},
-    {kSysFsync, "fsync"},
-    {kSysSigvec, "sigvec"},
-    {kSysSigblock, "sigblock"},
-    {kSysSigsetmask, "sigsetmask"},
-    {kSysSigpause, "sigpause"},
-    {kSysSigstack, "sigstack"},
-    {kSysGettimeofday, "gettimeofday"},
-    {kSysGetrusage, "getrusage"},
-    {kSysReadv, "readv"},
-    {kSysWritev, "writev"},
-    {kSysSettimeofday, "settimeofday"},
-    {kSysFchown, "fchown"},
-    {kSysFchmod, "fchmod"},
-    {kSysRename, "rename"},
-    {kSysTruncate, "truncate"},
-    {kSysFtruncate, "ftruncate"},
-    {kSysFlock, "flock"},
-    {kSysMkdir, "mkdir"},
-    {kSysRmdir, "rmdir"},
-    {kSysUtimes, "utimes"},
-    {kSysKillpg, "killpg"},
-    {kSysGetdirentries, "getdirentries"},
-    {kSysKtrace, "ktrace"},
-};
 
 constexpr std::string_view kSignalNames[kNumSignals] = {
     "SIG0",    "SIGHUP",  "SIGINT",    "SIGQUIT", "SIGILL",   "SIGTRAP", "SIGABRT", "SIGEMT",
@@ -96,24 +14,6 @@ constexpr std::string_view kSignalNames[kNumSignals] = {
 };
 
 }  // namespace
-
-std::string SyscallName(int number) {
-  for (const SyscallNameEntry& entry : kSyscallNames) {
-    if (entry.number == number) {
-      return std::string(entry.name);
-    }
-  }
-  return StringPrintf("#%d", number);
-}
-
-int SyscallNumberByName(std::string_view name) {
-  for (const SyscallNameEntry& entry : kSyscallNames) {
-    if (entry.name == name) {
-      return entry.number;
-    }
-  }
-  return -1;
-}
 
 std::string_view SignalName(int signo) {
   if (signo <= 0 || signo >= kNumSignals) {

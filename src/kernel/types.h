@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace ia {
 
@@ -366,10 +367,12 @@ enum SyscallNumber : int {
   kMaxSyscall = 192,
 };
 
-// Returns "read", "open", ... for a syscall number; "#<n>" if unknown.
-std::string SyscallName(int number);
+// Returns "read", "open", ... for a syscall number; "#<n>" for in-range
+// numbers with no 4.3BSD name, "#?" out of range. O(1), no allocation; the
+// views point at static storage (the syscall specification table).
+std::string_view SyscallName(int number);
 
-// Returns the syscall number for a name, or -1.
+// Returns the syscall number for a name, or -1. O(1) (hashed lookup).
 int SyscallNumberByName(std::string_view name);
 
 // ---------------------------------------------------------------------------

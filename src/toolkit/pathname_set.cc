@@ -80,7 +80,9 @@ SyscallStatus Pathname::execve(AgentCall& call) {
   return call.CallDown(args);
 }
 
-SyscallStatus Pathname::mknod(AgentCall& call, Mode /*mode*/) { return DownWithPath(call); }
+SyscallStatus Pathname::mknod(AgentCall& call, Mode /*mode*/, Dev /*dev*/) {
+  return DownWithPath(call);
+}
 
 // ---------------------------------------------------------------------------
 // PathnameSet: every pathname call resolves with getpn() then dispatches.
@@ -229,11 +231,11 @@ SyscallStatus PathnameSet::sys_execve(AgentCall& call, const char* path) {
   return status;
 }
 
-SyscallStatus PathnameSet::sys_mknod(AgentCall& call, const char* path, Mode mode) {
+SyscallStatus PathnameSet::sys_mknod(AgentCall& call, const char* path, Mode mode, Dev dev) {
   if (path == nullptr) {
     return call.CallDown();
   }
-  return getpn(call, path)->mknod(call, mode);
+  return getpn(call, path)->mknod(call, mode, dev);
 }
 
 }  // namespace ia

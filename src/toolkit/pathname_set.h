@@ -54,7 +54,7 @@ class Pathname {
   virtual SyscallStatus chdir(AgentCall& call);
   virtual SyscallStatus chroot(AgentCall& call);
   virtual SyscallStatus execve(AgentCall& call);
-  virtual SyscallStatus mknod(AgentCall& call, Mode mode);
+  virtual SyscallStatus mknod(AgentCall& call, Mode mode, Dev dev);
 
  protected:
   // Continues the intercepted call with path_ substituted at argument `slot`.
@@ -104,7 +104,7 @@ class PathnameSet : public DescriptorSet {
   SyscallStatus sys_chdir(AgentCall& call, const char* path) override;
   SyscallStatus sys_chroot(AgentCall& call, const char* path) override;
   SyscallStatus sys_execve(AgentCall& call, const char* path) override;
-  SyscallStatus sys_mknod(AgentCall& call, const char* path, Mode mode) override;
+  SyscallStatus sys_mknod(AgentCall& call, const char* path, Mode mode, Dev dev) override;
 
   friend class Pathname;
 };

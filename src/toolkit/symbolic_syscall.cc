@@ -1,6 +1,83 @@
+// Toolkit layer 1 — generated from the syscall specification table.
+//
+// Both halves of this file (the number->method decode and the default method
+// stubs) are expanded from src/kernel/syscalls.def, so adding a row there is
+// all it takes to surface a new call at the symbolic layer: the kind tokens in
+// the row pick the SyscallArgs extractor (IA_ARG_GET_*) and the C++ parameter
+// type (IA_ARG_TYPE_*) below. Only the handwritten declarations in
+// symbolic_syscall.h (which name the parameters for documentation) are kept by
+// hand, and the table-completeness test pins the two in sync.
 #include "src/toolkit/symbolic_syscall.h"
 
 namespace ia {
+
+// Kind tokens -> SyscallArgs extractors (how a raw 64-bit slot becomes a typed
+// argument).
+#define IA_ARG_GET_Fd(a, i) (a).Int(i)
+#define IA_ARG_GET_Int(a, i) (a).Int(i)
+#define IA_ARG_GET_Long(a, i) (a).Long(i)
+#define IA_ARG_GET_U64(a, i) (a).U64(i)
+#define IA_ARG_GET_Flags(a, i) (a).Int(i)
+#define IA_ARG_GET_Mode(a, i) static_cast<Mode>((a).Int(i))
+#define IA_ARG_GET_Uid(a, i) (a).Int(i)
+#define IA_ARG_GET_Gid(a, i) (a).Int(i)
+#define IA_ARG_GET_Off(a, i) (a).Long(i)
+#define IA_ARG_GET_Pid(a, i) (a).Int(i)
+#define IA_ARG_GET_Dev(a, i) (a).Int(i)
+#define IA_ARG_GET_Sig(a, i) (a).Int(i)
+#define IA_ARG_GET_Mask(a, i) static_cast<uint32_t>((a).U64(i))
+#define IA_ARG_GET_UPtr(a, i) static_cast<uintptr_t>((a).U64(i))
+#define IA_ARG_GET_Path(a, i) (a).Ptr<const char>(i)
+#define IA_ARG_GET_Str(a, i) (a).Ptr<const char>(i)
+#define IA_ARG_GET_BufIn(a, i) (a).Ptr<const void>(i)
+#define IA_ARG_GET_BufOut(a, i) (a).Ptr<void>(i)
+#define IA_ARG_GET_CharBuf(a, i) (a).Ptr<char>(i)
+#define IA_ARG_GET_VoidPtr(a, i) (a).Ptr<void>(i)
+#define IA_ARG_GET_StatPtr(a, i) (a).Ptr<Stat>(i)
+#define IA_ARG_GET_RusagePtr(a, i) (a).Ptr<Rusage>(i)
+#define IA_ARG_GET_IntPtr(a, i) (a).Ptr<int>(i)
+#define IA_ARG_GET_LongPtr(a, i) (a).Ptr<int64_t>(i)
+#define IA_ARG_GET_TvPtr(a, i) (a).Ptr<TimeVal>(i)
+#define IA_ARG_GET_CTvPtr(a, i) (a).Ptr<const TimeVal>(i)
+#define IA_ARG_GET_TzPtr(a, i) (a).Ptr<TimeZone>(i)
+#define IA_ARG_GET_CTzPtr(a, i) (a).Ptr<const TimeZone>(i)
+#define IA_ARG_GET_GidPtr(a, i) (a).Ptr<Gid>(i)
+#define IA_ARG_GET_CGidPtr(a, i) (a).Ptr<const Gid>(i)
+#define IA_ARG_GET_IoVecPtr(a, i) (a).Ptr<const IoVec>(i)
+
+// Kind tokens -> C++ parameter types (must match the handwritten declarations
+// in symbolic_syscall.h).
+#define IA_ARG_TYPE_Fd int
+#define IA_ARG_TYPE_Int int
+#define IA_ARG_TYPE_Long int64_t
+#define IA_ARG_TYPE_U64 uint64_t
+#define IA_ARG_TYPE_Flags int
+#define IA_ARG_TYPE_Mode Mode
+#define IA_ARG_TYPE_Uid Uid
+#define IA_ARG_TYPE_Gid Gid
+#define IA_ARG_TYPE_Off Off
+#define IA_ARG_TYPE_Pid Pid
+#define IA_ARG_TYPE_Dev Dev
+#define IA_ARG_TYPE_Sig int
+#define IA_ARG_TYPE_Mask uint32_t
+#define IA_ARG_TYPE_UPtr uintptr_t
+#define IA_ARG_TYPE_Path const char*
+#define IA_ARG_TYPE_Str const char*
+#define IA_ARG_TYPE_BufIn const void*
+#define IA_ARG_TYPE_BufOut void*
+#define IA_ARG_TYPE_CharBuf char*
+#define IA_ARG_TYPE_VoidPtr void*
+#define IA_ARG_TYPE_StatPtr Stat*
+#define IA_ARG_TYPE_RusagePtr Rusage*
+#define IA_ARG_TYPE_IntPtr int*
+#define IA_ARG_TYPE_LongPtr int64_t*
+#define IA_ARG_TYPE_TvPtr TimeVal*
+#define IA_ARG_TYPE_CTvPtr const TimeVal*
+#define IA_ARG_TYPE_TzPtr TimeZone*
+#define IA_ARG_TYPE_CTzPtr const TimeZone*
+#define IA_ARG_TYPE_GidPtr Gid*
+#define IA_ARG_TYPE_CGidPtr const Gid*
+#define IA_ARG_TYPE_IoVecPtr const IoVec*
 
 void SymbolicSyscall::init(ProcessContext& /*ctx*/) {
   // The symbolic layer decodes the entire interface: intercept everything, both
@@ -12,229 +89,72 @@ void SymbolicSyscall::init(ProcessContext& /*ctx*/) {
 SyscallStatus SymbolicSyscall::syscall(AgentCall& call) {
   const SyscallArgs& a = call.args();
   switch (call.number()) {
-    case kSysExit:
-      return sys_exit(call, a.Int(0));
-    case kSysFork:
-    case kSysVfork:
-      return sys_fork(call);
-    case kSysRead:
-      return sys_read(call, a.Int(0), a.Ptr<void>(1), a.Long(2));
-    case kSysWrite:
-      return sys_write(call, a.Int(0), a.Ptr<const void>(1), a.Long(2));
-    case kSysOpen:
-      return sys_open(call, a.Ptr<const char>(0), a.Int(1), static_cast<Mode>(a.Int(2)));
-    case kSysClose:
-      return sys_close(call, a.Int(0));
-    case kSysWait:
-    case kSysWait4:
-      return sys_wait4(call, a.Int(0), a.Ptr<int>(1), a.Int(2), a.Ptr<Rusage>(3));
-    case kSysCreat:
-      return sys_creat(call, a.Ptr<const char>(0), static_cast<Mode>(a.Int(1)));
-    case kSysLink:
-      return sys_link(call, a.Ptr<const char>(0), a.Ptr<const char>(1));
-    case kSysUnlink:
-      return sys_unlink(call, a.Ptr<const char>(0));
-    case kSysChdir:
-      return sys_chdir(call, a.Ptr<const char>(0));
-    case kSysFchdir:
-      return sys_fchdir(call, a.Int(0));
-    case kSysMknod:
-      return sys_mknod(call, a.Ptr<const char>(0), static_cast<Mode>(a.Int(1)));
-    case kSysChmod:
-      return sys_chmod(call, a.Ptr<const char>(0), static_cast<Mode>(a.Int(1)));
-    case kSysChown:
-      return sys_chown(call, a.Ptr<const char>(0), a.Int(1), a.Int(2));
-    case kSysLseek:
-      return sys_lseek(call, a.Int(0), a.Long(1), a.Int(2));
-    case kSysGetpid:
-      return sys_getpid(call);
-    case kSysSetuid:
-      return sys_setuid(call, a.Int(0));
-    case kSysGetuid:
-      return sys_getuid(call);
-    case kSysGeteuid:
-      return sys_geteuid(call);
-    case kSysAccess:
-      return sys_access(call, a.Ptr<const char>(0), a.Int(1));
-    case kSysSync:
-      return sys_sync(call);
-    case kSysKill:
-      return sys_kill(call, a.Int(0), a.Int(1));
-    case kSysKillpg:
-      return sys_killpg(call, a.Int(0), a.Int(1));
-    case kSysStat:
-      return sys_stat(call, a.Ptr<const char>(0), a.Ptr<Stat>(1));
-    case kSysGetppid:
-      return sys_getppid(call);
-    case kSysLstat:
-      return sys_lstat(call, a.Ptr<const char>(0), a.Ptr<Stat>(1));
-    case kSysDup:
-      return sys_dup(call, a.Int(0));
-    case kSysPipe:
-      return sys_pipe(call);
-    case kSysGetegid:
-      return sys_getegid(call);
-    case kSysGetgid:
-      return sys_getgid(call);
-    case kSysIoctl:
-      return sys_ioctl(call, a.Int(0), a.U64(1), a.Ptr<void>(2));
-    case kSysSymlink:
-      return sys_symlink(call, a.Ptr<const char>(0), a.Ptr<const char>(1));
-    case kSysReadlink:
-      return sys_readlink(call, a.Ptr<const char>(0), a.Ptr<char>(1), a.Long(2));
-    case kSysExecv:
-    case kSysExecve:
-      return sys_execve(call, a.Ptr<const char>(0));
-    case kSysUmask:
-      return sys_umask(call, static_cast<Mode>(a.Int(0)));
-    case kSysChroot:
-      return sys_chroot(call, a.Ptr<const char>(0));
-    case kSysFstat:
-      return sys_fstat(call, a.Int(0), a.Ptr<Stat>(1));
-    case kSysFchmod:
-      return sys_fchmod(call, a.Int(0), static_cast<Mode>(a.Int(1)));
-    case kSysFchown:
-      return sys_fchown(call, a.Int(0), a.Int(1), a.Int(2));
-    case kSysGetpagesize:
-      return sys_getpagesize(call);
-    case kSysGetdtablesize:
-      return sys_getdtablesize(call);
-    case kSysDup2:
-      return sys_dup2(call, a.Int(0), a.Int(1));
-    case kSysFcntl:
-      return sys_fcntl(call, a.Int(0), a.Int(1), a.Long(2));
-    case kSysFsync:
-      return sys_fsync(call, a.Int(0));
-    case kSysFlock:
-      return sys_flock(call, a.Int(0), a.Int(1));
-    case kSysSetpgrp:
-      return sys_setpgrp(call, a.Int(0), a.Int(1));
-    case kSysGetpgrp:
-      return sys_getpgrp(call);
-    case kSysSigvec:
-    case kSysSigaction:
-      return sys_sigvec(call, a.Int(0), static_cast<uintptr_t>(a.U64(1)),
-                        static_cast<uint32_t>(a.U64(2)));
-    case kSysSigblock:
-      return sys_sigblock(call, static_cast<uint32_t>(a.U64(0)));
-    case kSysSigsetmask:
-      return sys_sigsetmask(call, static_cast<uint32_t>(a.U64(0)));
-    case kSysSigpause:
-      return sys_sigpause(call, static_cast<uint32_t>(a.U64(0)));
-    case kSysGettimeofday:
-      return sys_gettimeofday(call, a.Ptr<TimeVal>(0), a.Ptr<TimeZone>(1));
-    case kSysSettimeofday:
-      return sys_settimeofday(call, a.Ptr<const TimeVal>(0), a.Ptr<const TimeZone>(1));
-    case kSysGetrusage:
-      return sys_getrusage(call, a.Int(0), a.Ptr<Rusage>(1));
-    case kSysRename:
-      return sys_rename(call, a.Ptr<const char>(0), a.Ptr<const char>(1));
-    case kSysTruncate:
-      return sys_truncate(call, a.Ptr<const char>(0), a.Long(1));
-    case kSysFtruncate:
-      return sys_ftruncate(call, a.Int(0), a.Long(1));
-    case kSysMkdir:
-      return sys_mkdir(call, a.Ptr<const char>(0), static_cast<Mode>(a.Int(1)));
-    case kSysRmdir:
-      return sys_rmdir(call, a.Ptr<const char>(0));
-    case kSysUtimes:
-      return sys_utimes(call, a.Ptr<const char>(0), a.Ptr<const TimeVal>(1));
-    case kSysGetdirentries:
-      return sys_getdirentries(call, a.Int(0), a.Ptr<char>(1), a.Int(2), a.Ptr<int64_t>(3));
-    case kSysGetgroups:
-      return sys_getgroups(call, a.Int(0), a.Ptr<Gid>(1));
-    case kSysSetgroups:
-      return sys_setgroups(call, a.Int(0), a.Ptr<const Gid>(1));
-    case kSysGetlogin:
-      return sys_getlogin(call, a.Ptr<char>(0), a.Int(1));
-    case kSysSetlogin:
-      return sys_setlogin(call, a.Ptr<const char>(0));
-    case kSysGethostname:
-      return sys_gethostname(call, a.Ptr<char>(0), a.Int(1));
-    case kSysSethostname:
-      return sys_sethostname(call, a.Ptr<const char>(0), a.Long(1));
+#define IA_GET(k, i) IA_ARG_GET_##k(a, i)
+#define IA_SYSCALL0(num, name, handler, flags, cost) \
+  case num:                                          \
+    return sys_##name(call);
+#define IA_SYSCALL1(num, name, handler, flags, cost, k0) \
+  case num:                                              \
+    return sys_##name(call, IA_GET(k0, 0));
+#define IA_SYSCALL2(num, name, handler, flags, cost, k0, k1) \
+  case num:                                                  \
+    return sys_##name(call, IA_GET(k0, 0), IA_GET(k1, 1));
+#define IA_SYSCALL3(num, name, handler, flags, cost, k0, k1, k2) \
+  case num:                                                      \
+    return sys_##name(call, IA_GET(k0, 0), IA_GET(k1, 1), IA_GET(k2, 2));
+#define IA_SYSCALL4(num, name, handler, flags, cost, k0, k1, k2, k3) \
+  case num:                                                          \
+    return sys_##name(call, IA_GET(k0, 0), IA_GET(k1, 1), IA_GET(k2, 2), IA_GET(k3, 3));
+#define IA_SYSCALL_ALIAS0(num, name, target, handler, flags, cost) \
+  case num:                                                        \
+    return sys_##target(call);
+#define IA_SYSCALL_ALIAS1(num, name, target, handler, flags, cost, k0) \
+  case num:                                                            \
+    return sys_##target(call, IA_GET(k0, 0));
+#define IA_SYSCALL_ALIAS3(num, name, target, handler, flags, cost, k0, k1, k2) \
+  case num:                                                                    \
+    return sys_##target(call, IA_GET(k0, 0), IA_GET(k1, 1), IA_GET(k2, 2));
+#define IA_SYSCALL_ALIAS4(num, name, target, handler, flags, cost, k0, k1, k2, k3) \
+  case num:                                                                        \
+    return sys_##target(call, IA_GET(k0, 0), IA_GET(k1, 1), IA_GET(k2, 2), IA_GET(k3, 3));
+#define IA_SYSCALL_UNIMPL(num, name, flags)
+#include "src/kernel/syscalls.def"
+#undef IA_GET
     default:
       return unknown_syscall(call);
   }
 }
 
-// Defaults: every decoded method funnels into sys_generic(), whose default is
-// transparent pass-through. An agent that wants a per-call hook for calls it does
-// not otherwise treat specially overrides sys_generic().
-#define IA_SYM_DEFAULT(name, params)                       \
-  SyscallStatus SymbolicSyscall::name params {             \
-    return sys_generic(call);                              \
+// Default method stubs: every decoded method funnels into sys_generic(), whose
+// default is transparent pass-through. An agent that wants a per-call hook for
+// calls it does not otherwise treat specially overrides sys_generic(). Alias
+// rows share their target's method, so they expand to nothing here.
+#define IA_T(k) IA_ARG_TYPE_##k
+#define IA_SYSCALL0(num, name, handler, flags, cost) \
+  SyscallStatus SymbolicSyscall::sys_##name(AgentCall& call) { return sys_generic(call); }
+#define IA_SYSCALL1(num, name, handler, flags, cost, k0)             \
+  SyscallStatus SymbolicSyscall::sys_##name(AgentCall& call, IA_T(k0)) { \
+    return sys_generic(call);                                        \
   }
-
-IA_SYM_DEFAULT(sys_exit, (AgentCall& call, int))
-IA_SYM_DEFAULT(sys_fork, (AgentCall& call))
-IA_SYM_DEFAULT(sys_read, (AgentCall& call, int, void*, int64_t))
-IA_SYM_DEFAULT(sys_write, (AgentCall& call, int, const void*, int64_t))
-IA_SYM_DEFAULT(sys_open, (AgentCall& call, const char*, int, Mode))
-IA_SYM_DEFAULT(sys_close, (AgentCall& call, int))
-IA_SYM_DEFAULT(sys_wait4, (AgentCall& call, Pid, int*, int, Rusage*))
-IA_SYM_DEFAULT(sys_creat, (AgentCall& call, const char*, Mode))
-IA_SYM_DEFAULT(sys_link, (AgentCall& call, const char*, const char*))
-IA_SYM_DEFAULT(sys_unlink, (AgentCall& call, const char*))
-IA_SYM_DEFAULT(sys_chdir, (AgentCall& call, const char*))
-IA_SYM_DEFAULT(sys_fchdir, (AgentCall& call, int))
-IA_SYM_DEFAULT(sys_mknod, (AgentCall& call, const char*, Mode))
-IA_SYM_DEFAULT(sys_chmod, (AgentCall& call, const char*, Mode))
-IA_SYM_DEFAULT(sys_chown, (AgentCall& call, const char*, Uid, Gid))
-IA_SYM_DEFAULT(sys_lseek, (AgentCall& call, int, Off, int))
-IA_SYM_DEFAULT(sys_getpid, (AgentCall& call))
-IA_SYM_DEFAULT(sys_setuid, (AgentCall& call, Uid))
-IA_SYM_DEFAULT(sys_getuid, (AgentCall& call))
-IA_SYM_DEFAULT(sys_geteuid, (AgentCall& call))
-IA_SYM_DEFAULT(sys_access, (AgentCall& call, const char*, int))
-IA_SYM_DEFAULT(sys_sync, (AgentCall& call))
-IA_SYM_DEFAULT(sys_kill, (AgentCall& call, Pid, int))
-IA_SYM_DEFAULT(sys_killpg, (AgentCall& call, Pid, int))
-IA_SYM_DEFAULT(sys_stat, (AgentCall& call, const char*, Stat*))
-IA_SYM_DEFAULT(sys_getppid, (AgentCall& call))
-IA_SYM_DEFAULT(sys_lstat, (AgentCall& call, const char*, Stat*))
-IA_SYM_DEFAULT(sys_dup, (AgentCall& call, int))
-IA_SYM_DEFAULT(sys_pipe, (AgentCall& call))
-IA_SYM_DEFAULT(sys_getegid, (AgentCall& call))
-IA_SYM_DEFAULT(sys_getgid, (AgentCall& call))
-IA_SYM_DEFAULT(sys_ioctl, (AgentCall& call, int, uint64_t, void*))
-IA_SYM_DEFAULT(sys_symlink, (AgentCall& call, const char*, const char*))
-IA_SYM_DEFAULT(sys_readlink, (AgentCall& call, const char*, char*, int64_t))
-IA_SYM_DEFAULT(sys_execve, (AgentCall& call, const char*))
-IA_SYM_DEFAULT(sys_umask, (AgentCall& call, Mode))
-IA_SYM_DEFAULT(sys_chroot, (AgentCall& call, const char*))
-IA_SYM_DEFAULT(sys_fstat, (AgentCall& call, int, Stat*))
-IA_SYM_DEFAULT(sys_fchmod, (AgentCall& call, int, Mode))
-IA_SYM_DEFAULT(sys_fchown, (AgentCall& call, int, Uid, Gid))
-IA_SYM_DEFAULT(sys_getpagesize, (AgentCall& call))
-IA_SYM_DEFAULT(sys_getdtablesize, (AgentCall& call))
-IA_SYM_DEFAULT(sys_dup2, (AgentCall& call, int, int))
-IA_SYM_DEFAULT(sys_fcntl, (AgentCall& call, int, int, int64_t))
-IA_SYM_DEFAULT(sys_fsync, (AgentCall& call, int))
-IA_SYM_DEFAULT(sys_flock, (AgentCall& call, int, int))
-IA_SYM_DEFAULT(sys_setpgrp, (AgentCall& call, Pid, Pid))
-IA_SYM_DEFAULT(sys_getpgrp, (AgentCall& call))
-IA_SYM_DEFAULT(sys_sigvec, (AgentCall& call, int, uintptr_t, uint32_t))
-IA_SYM_DEFAULT(sys_sigblock, (AgentCall& call, uint32_t))
-IA_SYM_DEFAULT(sys_sigsetmask, (AgentCall& call, uint32_t))
-IA_SYM_DEFAULT(sys_sigpause, (AgentCall& call, uint32_t))
-IA_SYM_DEFAULT(sys_gettimeofday, (AgentCall& call, TimeVal*, TimeZone*))
-IA_SYM_DEFAULT(sys_settimeofday, (AgentCall& call, const TimeVal*, const TimeZone*))
-IA_SYM_DEFAULT(sys_getrusage, (AgentCall& call, int, Rusage*))
-IA_SYM_DEFAULT(sys_rename, (AgentCall& call, const char*, const char*))
-IA_SYM_DEFAULT(sys_truncate, (AgentCall& call, const char*, Off))
-IA_SYM_DEFAULT(sys_ftruncate, (AgentCall& call, int, Off))
-IA_SYM_DEFAULT(sys_mkdir, (AgentCall& call, const char*, Mode))
-IA_SYM_DEFAULT(sys_rmdir, (AgentCall& call, const char*))
-IA_SYM_DEFAULT(sys_utimes, (AgentCall& call, const char*, const TimeVal*))
-IA_SYM_DEFAULT(sys_getdirentries, (AgentCall& call, int, char*, int, int64_t*))
-IA_SYM_DEFAULT(sys_getgroups, (AgentCall& call, int, Gid*))
-IA_SYM_DEFAULT(sys_setgroups, (AgentCall& call, int, const Gid*))
-IA_SYM_DEFAULT(sys_getlogin, (AgentCall& call, char*, int))
-IA_SYM_DEFAULT(sys_setlogin, (AgentCall& call, const char*))
-IA_SYM_DEFAULT(sys_gethostname, (AgentCall& call, char*, int))
-IA_SYM_DEFAULT(sys_sethostname, (AgentCall& call, const char*, int64_t))
-
-#undef IA_SYM_DEFAULT
+#define IA_SYSCALL2(num, name, handler, flags, cost, k0, k1)                   \
+  SyscallStatus SymbolicSyscall::sys_##name(AgentCall& call, IA_T(k0), IA_T(k1)) { \
+    return sys_generic(call);                                                  \
+  }
+#define IA_SYSCALL3(num, name, handler, flags, cost, k0, k1, k2)                         \
+  SyscallStatus SymbolicSyscall::sys_##name(AgentCall& call, IA_T(k0), IA_T(k1), IA_T(k2)) { \
+    return sys_generic(call);                                                            \
+  }
+#define IA_SYSCALL4(num, name, handler, flags, cost, k0, k1, k2, k3)                  \
+  SyscallStatus SymbolicSyscall::sys_##name(AgentCall& call, IA_T(k0), IA_T(k1), IA_T(k2), \
+                                            IA_T(k3)) {                               \
+    return sys_generic(call);                                                         \
+  }
+#define IA_SYSCALL_ALIAS0(num, name, target, handler, flags, cost)
+#define IA_SYSCALL_ALIAS1(num, name, target, handler, flags, cost, k0)
+#define IA_SYSCALL_ALIAS3(num, name, target, handler, flags, cost, k0, k1, k2)
+#define IA_SYSCALL_ALIAS4(num, name, target, handler, flags, cost, k0, k1, k2, k3)
+#define IA_SYSCALL_UNIMPL(num, name, flags)
+#include "src/kernel/syscalls.def"
+#undef IA_T
 
 }  // namespace ia

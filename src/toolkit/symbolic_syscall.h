@@ -38,6 +38,8 @@ class SymbolicSyscall : public NumericSyscall {
   virtual SyscallStatus sys_fork(AgentCall& call);
   virtual SyscallStatus sys_read(AgentCall& call, int fd, void* buf, int64_t cnt);
   virtual SyscallStatus sys_write(AgentCall& call, int fd, const void* buf, int64_t cnt);
+  virtual SyscallStatus sys_readv(AgentCall& call, int fd, const IoVec* iov, int iovcnt);
+  virtual SyscallStatus sys_writev(AgentCall& call, int fd, const IoVec* iov, int iovcnt);
   virtual SyscallStatus sys_open(AgentCall& call, const char* path, int flags, Mode mode);
   virtual SyscallStatus sys_close(AgentCall& call, int fd);
   virtual SyscallStatus sys_wait4(AgentCall& call, Pid pid, int* status, int options,
@@ -47,7 +49,7 @@ class SymbolicSyscall : public NumericSyscall {
   virtual SyscallStatus sys_unlink(AgentCall& call, const char* path);
   virtual SyscallStatus sys_chdir(AgentCall& call, const char* path);
   virtual SyscallStatus sys_fchdir(AgentCall& call, int fd);
-  virtual SyscallStatus sys_mknod(AgentCall& call, const char* path, Mode mode);
+  virtual SyscallStatus sys_mknod(AgentCall& call, const char* path, Mode mode, Dev dev);
   virtual SyscallStatus sys_chmod(AgentCall& call, const char* path, Mode mode);
   virtual SyscallStatus sys_chown(AgentCall& call, const char* path, Uid uid, Gid gid);
   virtual SyscallStatus sys_lseek(AgentCall& call, int fd, Off offset, int whence);
