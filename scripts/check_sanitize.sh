@@ -17,4 +17,10 @@ ASAN_OPTIONS=halt_on_error=1 \
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+# The fault sweep under the sanitizers: injected errnos, EINTR, short transfers,
+# and the chaos/retry composition must not mask a single leak or UB.
+ASAN_OPTIONS=halt_on_error=1 \
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  "$BUILD_DIR"/bench/bench_fault_sweep
+
 echo "Sanitized test suite passed."

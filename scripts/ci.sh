@@ -10,6 +10,12 @@ cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
+# The fault sweep is a correctness gate, not just a benchmark: every implemented
+# call must survive 25%-per-class injection, the fault stream must reproduce
+# from its seed, and the make workload under retry+chaos must build the exact
+# fault-free output. (The hostile-ABI fuzz runs inside ctest as DecodeFuzz.*.)
+./build/bench/bench_fault_sweep
+
 scripts/check_sanitize.sh
 
 echo "ci.sh: build, tests, and sanitized tests all passed."

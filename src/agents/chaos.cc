@@ -1,0 +1,84 @@
+#include "src/agents/chaos.h"
+
+namespace ia {
+
+namespace {
+
+// Process-control transfers are kernel-plane injection targets only: failing
+// them from the agent layer would strand the host's pending-fork/exec
+// bookkeeping (the body is armed before the call descends).
+bool AgentPlaneExempt(int number) {
+  switch (number) {
+    case kSysFork:
+    case kSysVfork:
+    case kSysExecve:
+    case kSysExecv:
+    case kSysExit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ChaosAgent::ChaosAgent(const FaultPlan& plan) : plan_(plan), injector_(plan) {}
+
+uint64_t ChaosAgent::NextSeq(Pid pid) {
+  std::lock_guard<std::mutex> guard(mu_);
+  return ++seq_[pid];
+}
+
+std::array<FaultStat, kMaxSyscall> ChaosAgent::FaultStats() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return injector_.stats();
+}
+
+std::string ChaosAgent::FaultTraceText() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return injector_.FormatTrace();
+}
+
+int64_t ChaosAgent::TotalInjected() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  int64_t total = 0;
+  for (const FaultStat& stat : injector_.stats()) {
+    total += stat.Total();
+  }
+  return total;
+}
+
+SyscallStatus ChaosAgent::syscall(AgentCall& call) {
+  const int number = call.number();
+  if (AgentPlaneExempt(number)) {
+    return SymbolicSyscall::syscall(call);
+  }
+  const Pid pid = call.ctx().process().pid;
+  const uint64_t seq = NextSeq(pid);
+  FaultEnv env;
+  if (number == kSysRead || number == kSysWrite) {
+    env.transfer_count = call.args().Long(2);
+  }
+  FaultDecision decision;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    decision = injector_.Decide(static_cast<uint64_t>(pid), seq, number, env);
+  }
+  switch (decision.action) {
+    case FaultAction::kErrnoReturn:
+    case FaultAction::kExhaustion:
+      return -decision.errno_value;
+    case FaultAction::kEintrReturn:
+      return -kEIntr;
+    case FaultAction::kShortTransfer: {
+      SyscallArgs clamped = call.args();
+      clamped.SetInt(2, decision.clamp_len);
+      return call.CallDown(clamped);
+    }
+    case FaultAction::kNone:
+      break;
+  }
+  return SymbolicSyscall::syscall(call);
+}
+
+}  // namespace ia

@@ -41,6 +41,34 @@ std::string MonitorAgent::FormatKernelReport(Kernel& kernel) {
                            static_cast<long long>(stat.vtime_usec),
                            std::string(SyscallName(number)).c_str());
   }
+
+  // When a fault plan injected anything, account for it: the errors column
+  // above includes planned failures, and this section says which ones.
+  const std::array<FaultStat, kMaxSyscall> faults = kernel.FaultStats();
+  bool any_faults = false;
+  for (const FaultStat& stat : faults) {
+    if (stat.Total() > 0) {
+      any_faults = true;
+      break;
+    }
+  }
+  if (any_faults) {
+    report += "--- injected faults ---\n";
+    report += StringPrintf("%10s %10s %10s %10s  %s\n", "errno", "eintr", "short", "exhaust",
+                           "name");
+    for (int number = 0; number < kMaxSyscall; ++number) {
+      const FaultStat& stat = faults[static_cast<size_t>(number)];
+      if (stat.Total() == 0) {
+        continue;
+      }
+      report += StringPrintf("%10lld %10lld %10lld %10lld  %s\n",
+                             static_cast<long long>(stat.injected_errno),
+                             static_cast<long long>(stat.injected_eintr),
+                             static_cast<long long>(stat.short_transfers),
+                             static_cast<long long>(stat.exhaustion),
+                             std::string(SyscallName(number)).c_str());
+    }
+  }
   return report;
 }
 

@@ -1,0 +1,99 @@
+#include "src/agents/retry.h"
+
+#include <algorithm>
+
+namespace ia {
+
+bool RetryAgent::Retryable(int number, SyscallStatus status) const {
+  if (status == -kEIntr) {
+    // Only genuinely interruptible rows, and never sigpause: returning EINTR
+    // after a signal *is* sigpause's contract, so a retry would sleep forever.
+    return (SyscallSpecOf(number).flags & kBlocking) != 0 && number != kSysSigpause;
+  }
+  if (policy_.retry_transient_errno && (status == -kEAgain || status == -kENfile)) {
+    return true;
+  }
+  // EWOULDBLOCK is deliberately absent: nonblocking descriptors keep their
+  // semantics through this agent.
+  return false;
+}
+
+void RetryAgent::Backoff(AgentCall& call, int attempt) {
+  const int shift = std::min(attempt - 1, 6);
+  // Compute() is a signal-delivery point, so a real pending signal (the usual
+  // cause of persistent EINTR) is delivered between attempts.
+  call.ctx().Compute(policy_.backoff_start_usec << shift);
+}
+
+// read/write with a valid buffer: re-issue the remaining suffix after a short
+// transfer, retrying recoverable errors in between. Progress resets the
+// attempt budget; EOF (n == 0) and real errors end the loop.
+SyscallStatus RetryAgent::ResumeTransfer(AgentCall& call) {
+  const SyscallArgs& orig = call.args();
+  char* base = orig.Ptr<char>(1);
+  const int64_t want = orig.Long(2);
+  int64_t done = 0;
+  int attempt = 0;
+  SyscallStatus status = 0;
+  while (done < want) {
+    SyscallArgs args = orig;
+    args.SetPtr(1, base + done);
+    args.SetInt(2, want - done);
+    status = call.CallDown(args);
+    if (status < 0) {
+      if (Retryable(call.number(), status) && ++attempt < policy_.max_attempts) {
+        if (status == -kEIntr) {
+          eintr_retries_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          transient_retries_.fetch_add(1, std::memory_order_relaxed);
+        }
+        Backoff(call, attempt);
+        continue;
+      }
+      if (attempt >= policy_.max_attempts) {
+        gave_up_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    const int64_t n = call.rv()->rv[0];
+    if (n <= 0) {
+      break;  // EOF
+    }
+    done += n;
+    attempt = 0;
+    if (done < want) {
+      short_resumes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (done > 0) {
+    call.rv()->rv[0] = done;
+    return static_cast<SyscallStatus>(done);
+  }
+  return status;  // 0 on immediate EOF, else the terminal error
+}
+
+SyscallStatus RetryAgent::syscall(AgentCall& call) {
+  const int number = call.number();
+  if (policy_.resume_short_transfers && (number == kSysRead || number == kSysWrite) &&
+      call.args().Ptr<char>(1) != nullptr && call.args().Long(2) > 0 &&
+      call.rv() != nullptr) {
+    return ResumeTransfer(call);
+  }
+  SyscallStatus status = SymbolicSyscall::syscall(call);
+  for (int attempt = 1; status < 0 && Retryable(number, status); ++attempt) {
+    if (attempt >= policy_.max_attempts) {
+      gave_up_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (status == -kEIntr) {
+      eintr_retries_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      transient_retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    Backoff(call, attempt);
+    status = call.CallDown();
+  }
+  return status;
+}
+
+}  // namespace ia

@@ -1,0 +1,65 @@
+// The retry agent: graceful degradation under a faulty system interface.
+//
+// Interposed above a fault source (the kernel's FaultPlan or a ChaosAgent),
+// it makes the recoverable failure vocabulary invisible to the application:
+//
+//   - EINTR from genuinely interruptible (kBlocking) calls is retried with
+//     bounded attempts and virtual-clock backoff. The backoff runs through
+//     ProcessContext::Compute(), which is a signal-delivery point, so a real
+//     pending signal gets delivered (and its handler run) between attempts
+//     instead of being starved.
+//   - Short reads/writes are resumed: the transfer is re-issued for the
+//     remaining suffix until the full count is done, EOF, or a real error.
+//   - Transient resource errors (EAGAIN, ENFILE) are retried the same way.
+//
+// sigpause is never retried (EINTR is its contract), and EWOULDBLOCK is never
+// retried (nonblocking descriptors keep their semantics). An unmodified app
+// under retry∘chaos must behave identically to the fault-free run.
+#ifndef SRC_AGENTS_RETRY_H_
+#define SRC_AGENTS_RETRY_H_
+
+#include <atomic>
+#include <string>
+
+#include "src/toolkit/toolkit.h"
+
+namespace ia {
+
+struct RetryPolicy {
+  int max_attempts = 16;            // per call site; progress resets the budget
+  int64_t backoff_start_usec = 50;  // virtual µs, doubled per attempt (capped)
+  bool resume_short_transfers = true;
+  bool retry_transient_errno = true;  // EAGAIN / ENFILE
+};
+
+class RetryAgent final : public SymbolicSyscall {
+ public:
+  explicit RetryAgent(RetryPolicy policy = RetryPolicy{}) : policy_(policy) {}
+
+  std::string name() const override { return "retry"; }
+
+  int64_t EintrRetries() const { return eintr_retries_.load(std::memory_order_relaxed); }
+  int64_t ShortResumes() const { return short_resumes_.load(std::memory_order_relaxed); }
+  int64_t TransientRetries() const {
+    return transient_retries_.load(std::memory_order_relaxed);
+  }
+  int64_t GaveUp() const { return gave_up_.load(std::memory_order_relaxed); }
+
+ protected:
+  SyscallStatus syscall(AgentCall& call) override;
+
+ private:
+  SyscallStatus ResumeTransfer(AgentCall& call);
+  bool Retryable(int number, SyscallStatus status) const;
+  void Backoff(AgentCall& call, int attempt);
+
+  RetryPolicy policy_;
+  std::atomic<int64_t> eintr_retries_{0};
+  std::atomic<int64_t> short_resumes_{0};
+  std::atomic<int64_t> transient_retries_{0};
+  std::atomic<int64_t> gave_up_{0};
+};
+
+}  // namespace ia
+
+#endif  // SRC_AGENTS_RETRY_H_

@@ -1,0 +1,174 @@
+#include "src/kernel/faultplan.h"
+
+#include "src/base/prng.h"
+#include "src/base/strings.h"
+
+namespace ia {
+
+namespace {
+
+// SplitMix64-style finalizer over the four decision inputs. Each input gets a
+// distinct odd multiplier so (stream, seq) and (seq, stream) land far apart.
+uint64_t MixDecisionKey(uint64_t seed, uint64_t stream, uint64_t seq, uint64_t number) {
+  uint64_t x = seed;
+  x += stream * 0x9e3779b97f4a7c15ULL;
+  x += seq * 0xbf58476d1ce4e5b9ULL;
+  x += number * 0x94d049bb133111ebULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+const char* ActionName(FaultAction action) {
+  switch (action) {
+    case FaultAction::kErrnoReturn:
+      return "errno";
+    case FaultAction::kEintrReturn:
+      return "eintr";
+    case FaultAction::kShortTransfer:
+      return "short";
+    case FaultAction::kExhaustion:
+      return "exhaustion";
+    case FaultAction::kNone:
+      break;
+  }
+  return "none";
+}
+
+}  // namespace
+
+FaultDecision DecideFault(const FaultPlan& plan, uint64_t stream, uint64_t seq, int number,
+                          const FaultEnv& env) {
+  FaultDecision decision;
+  const SyscallSpec& spec = SyscallSpecOf(number);
+  if ((spec.flags & kImplemented) == 0 || number == kSysExit) {
+    return decision;  // unimplemented rows already fail; exit cannot
+  }
+
+  // Exhaustion regimes are deterministic functions of kernel state, not of the
+  // random stream: a process at its descriptor ceiling fails until it closes
+  // something, exactly like a real full table.
+  if (plan.fd_table_limit >= 0 && env.fd_allocating && env.open_fds >= plan.fd_table_limit) {
+    decision.action = FaultAction::kExhaustion;
+    decision.errno_value = kEMfile;
+    return decision;
+  }
+  if (plan.disk_budget_bytes >= 0 && env.creates_node && env.fs_bytes >= plan.disk_budget_bytes) {
+    decision.action = FaultAction::kExhaustion;
+    decision.errno_value = kENospc;
+    return decision;
+  }
+
+  Prng rng(MixDecisionKey(plan.seed, stream, seq, static_cast<uint64_t>(number)));
+
+  for (const FaultNumberRule& rule : plan.number_rules) {
+    if (rule.number == number && rng.NextDouble() < rule.probability) {
+      decision.action = FaultAction::kErrnoReturn;
+      decision.errno_value = rule.errno_value;
+      return decision;
+    }
+  }
+  for (const FaultClassRule& rule : plan.class_rules) {
+    if ((spec.flags & rule.flag_mask) != 0 && rng.NextDouble() < rule.probability) {
+      decision.action = FaultAction::kErrnoReturn;
+      decision.errno_value = rule.errno_value;
+      return decision;
+    }
+  }
+  if ((spec.flags & kBlocking) != 0 && plan.eintr_probability > 0 &&
+      rng.NextDouble() < plan.eintr_probability) {
+    decision.action = FaultAction::kEintrReturn;
+    decision.errno_value = kEIntr;
+    return decision;
+  }
+  if ((number == kSysRead || number == kSysWrite) && env.transfer_count > 1 &&
+      plan.short_probability > 0 && rng.NextDouble() < plan.short_probability) {
+    decision.action = FaultAction::kShortTransfer;
+    decision.clamp_len = 1 + static_cast<int64_t>(
+                                 rng.Below(static_cast<uint64_t>(env.transfer_count - 1)));
+    return decision;
+  }
+  if (plan.enfile_probability > 0 && env.fd_allocating &&
+      rng.NextDouble() < plan.enfile_probability) {
+    decision.action = FaultAction::kExhaustion;
+    decision.errno_value = kENfile;
+    return decision;
+  }
+  return decision;
+}
+
+FaultDecision FaultInjector::Decide(uint64_t stream, uint64_t seq, int number,
+                                    const FaultEnv& env) {
+  const FaultDecision decision = DecideFault(plan_, stream, seq, number, env);
+  if (decision.action == FaultAction::kNone || number < 0 || number >= kMaxSyscall) {
+    return decision;
+  }
+  FaultStat& stat = stats_[static_cast<size_t>(number)];
+  int32_t value = decision.errno_value;
+  switch (decision.action) {
+    case FaultAction::kErrnoReturn:
+      stat.injected_errno += 1;
+      break;
+    case FaultAction::kEintrReturn:
+      stat.injected_eintr += 1;
+      break;
+    case FaultAction::kShortTransfer:
+      stat.short_transfers += 1;
+      value = static_cast<int32_t>(decision.clamp_len);
+      break;
+    case FaultAction::kExhaustion:
+      stat.exhaustion += 1;
+      break;
+    case FaultAction::kNone:
+      break;
+  }
+  Record(static_cast<Pid>(stream), number, decision.action, value);
+  return decision;
+}
+
+void FaultInjector::CountShortTransfer(Pid pid, int number, int64_t clamped_len) {
+  if (number < 0 || number >= kMaxSyscall) {
+    return;
+  }
+  stats_[static_cast<size_t>(number)].short_transfers += 1;
+  Record(pid, number, FaultAction::kShortTransfer, static_cast<int32_t>(clamped_len));
+}
+
+void FaultInjector::CountExhaustion(Pid pid, int number, int errno_value) {
+  if (number < 0 || number >= kMaxSyscall) {
+    return;
+  }
+  stats_[static_cast<size_t>(number)].exhaustion += 1;
+  Record(pid, number, FaultAction::kExhaustion, errno_value);
+}
+
+void FaultInjector::Record(Pid pid, int number, FaultAction action, int32_t value) {
+  if (!plan_.record_trace) {
+    return;
+  }
+  // Bounded: a runaway plan must not turn the trace into the workload.
+  if (trace_.size() >= (1u << 16)) {
+    return;
+  }
+  trace_.push_back(FaultEvent{pid, static_cast<int16_t>(number), action, value});
+}
+
+std::string FaultInjector::FormatTrace() const {
+  std::string out;
+  for (const FaultEvent& event : trace_) {
+    const bool is_errno = event.action == FaultAction::kErrnoReturn ||
+                          event.action == FaultAction::kEintrReturn ||
+                          event.action == FaultAction::kExhaustion;
+    out += StringPrintf("pid %d %s %s %s\n", event.pid,
+                        std::string(SyscallName(event.number)).c_str(),
+                        ActionName(event.action),
+                        is_errno ? std::string(ErrnoName(event.value)).c_str()
+                                 : std::to_string(event.value).c_str());
+  }
+  return out;
+}
+
+}  // namespace ia

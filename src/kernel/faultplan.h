@@ -1,0 +1,164 @@
+// The deterministic fault-injection plane.
+//
+// A FaultPlan describes which system calls should fail, how, and how often.
+// The kernel consults it at the DispatchLocked choke point (every call funnels
+// through there), and the chaos agent consults the same plan *above* the
+// kernel, so kernel-level and agent-level injection share one vocabulary and
+// can be composed or compared.
+//
+// Determinism is the whole point: every decision is a pure function of
+// (plan.seed, stream, sequence, syscall number), where `stream` is the pid and
+// `sequence` is that process's own call counter. Cross-process interleaving
+// therefore cannot perturb any one process's fault stream, and a run is
+// byte-reproducible from its seed.
+#ifndef SRC_KERNEL_FAULTPLAN_H_
+#define SRC_KERNEL_FAULTPLAN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/errno_codes.h"
+#include "src/kernel/syscall_table.h"
+#include "src/kernel/types.h"
+
+namespace ia {
+
+// Inject `errno_value` with `probability` on every implemented row carrying any
+// flag in `flag_mask` (kTakesPath / kTakesFd / kBlocking / kFileRef / ...).
+struct FaultClassRule {
+  uint32_t flag_mask = 0;
+  double probability = 0.0;
+  int errno_value = kEIo;  // positive errno constant (kE*); returned negated
+};
+
+// Inject `errno_value` with `probability` on one explicit syscall number.
+struct FaultNumberRule {
+  int number = -1;
+  double probability = 0.0;
+  int errno_value = kEIo;
+};
+
+struct FaultPlan {
+  uint64_t seed = 0x1993;
+
+  // Probabilistic errno injection, checked in order: number rules first (most
+  // specific wins), then class rules.
+  std::vector<FaultNumberRule> number_rules;
+  std::vector<FaultClassRule> class_rules;
+
+  // EINTR on kBlocking rows (read, write, readv, writev, wait4, sigpause) —
+  // the classic "slow call interrupted by a signal" failure.
+  double eintr_probability = 0.0;
+
+  // Short transfers: clamp a read/write count to a random prefix, exercising
+  // callers that forget that n < count is a success.
+  double short_probability = 0.0;
+
+  // Resource-exhaustion regimes (kernel plane only; they need kernel state):
+  // an artificial per-process descriptor ceiling (EMFILE on fd-allocating
+  // calls once OpenCount reaches it), a probabilistic system-wide table
+  // pressure (ENFILE), and a disk budget in bytes (ENOSPC once the filesystem
+  // would grow past it; writes that fit partially are clamped, 4.3BSD-style).
+  int fd_table_limit = -1;          // -1 = off; else inject EMFILE at/above this
+  double enfile_probability = 0.0;  // fd-allocating calls only
+  int64_t disk_budget_bytes = -1;   // -1 = off
+
+  // Record a bounded per-event trace (for reproducibility assertions).
+  bool record_trace = false;
+
+  // True when any knob is set; a kernel with an all-default plan installed
+  // behaves exactly like one with no plan.
+  bool ActiveAnywhere() const {
+    return !number_rules.empty() || !class_rules.empty() || eintr_probability > 0 ||
+           short_probability > 0 || fd_table_limit >= 0 || enfile_probability > 0 ||
+           disk_budget_bytes >= 0;
+  }
+};
+
+enum class FaultAction : uint8_t {
+  kNone = 0,
+  kErrnoReturn,    // fail the call with a planned errno before dispatch
+  kEintrReturn,    // fail a blocking call with EINTR
+  kShortTransfer,  // dispatch with the transfer count clamped to clamp_len
+  kExhaustion,     // deterministic resource-regime denial (EMFILE/ENFILE/ENOSPC)
+};
+
+struct FaultDecision {
+  FaultAction action = FaultAction::kNone;
+  int errno_value = 0;    // positive kE* constant for the two errno actions
+  int64_t clamp_len = 0;  // for kShortTransfer
+};
+
+// Kernel-state inputs the exhaustion regimes need. Agent-plane callers pass the
+// default (regimes never fire without kernel state).
+struct FaultEnv {
+  int open_fds = -1;           // caller's current descriptor count
+  int64_t fs_bytes = -1;       // filesystem total bytes
+  int64_t transfer_count = -1; // requested read/write byte count (for shorts)
+  bool fd_allocating = false;  // this call would allocate a descriptor slot
+  bool creates_node = false;   // this call would allocate an inode (creat/mkdir/...)
+};
+
+// The pure decision function shared by the kernel injector and the chaos
+// agent. `stream` is conventionally the pid; `seq` the caller's own per-stream
+// call counter. Never injects on exit (a call that cannot fail) or on
+// unimplemented rows (they already fail with ENOSYS).
+FaultDecision DecideFault(const FaultPlan& plan, uint64_t stream, uint64_t seq, int number,
+                          const FaultEnv& env = FaultEnv{});
+
+// Per-syscall injected-fault counters: the FaultStats() twin of SyscallStat.
+struct FaultStat {
+  int64_t injected_errno = 0;   // planned errno returns (number/class rules)
+  int64_t injected_eintr = 0;   // planned EINTR on blocking rows
+  int64_t short_transfers = 0;  // clamped read/write counts
+  int64_t exhaustion = 0;       // EMFILE/ENFILE/ENOSPC regime denials
+  int64_t Total() const {
+    return injected_errno + injected_eintr + short_transfers + exhaustion;
+  }
+};
+
+// One recorded injection, for byte-reproducibility checks.
+struct FaultEvent {
+  Pid pid = 0;
+  int16_t number = 0;
+  FaultAction action = FaultAction::kNone;
+  int32_t value = 0;  // errno for errno actions, clamped length for shorts
+};
+
+// Bookkeeping wrapper the kernel (and tests) use around a plan: owns the
+// counters and the bounded event trace. Not thread-safe by itself — the kernel
+// only touches it under the big lock.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // DecideFault + counting + tracing in one step.
+  FaultDecision Decide(uint64_t stream, uint64_t seq, int number, const FaultEnv& env);
+
+  // Out-of-band count for injections decided inside a handler (the disk-budget
+  // clamp in SysWrite happens after dispatch).
+  void CountShortTransfer(Pid pid, int number, int64_t clamped_len);
+  void CountExhaustion(Pid pid, int number, int errno_value);
+
+  const std::array<FaultStat, kMaxSyscall>& stats() const { return stats_; }
+  const std::vector<FaultEvent>& trace() const { return trace_; }
+
+  // Renders the trace one event per line ("pid 3 write short 17") — two runs
+  // from the same seed must produce byte-identical text.
+  std::string FormatTrace() const;
+
+ private:
+  void Record(Pid pid, int number, FaultAction action, int32_t value);
+
+  FaultPlan plan_;
+  std::array<FaultStat, kMaxSyscall> stats_{};
+  std::vector<FaultEvent> trace_;
+};
+
+}  // namespace ia
+
+#endif  // SRC_KERNEL_FAULTPLAN_H_

@@ -1,5 +1,6 @@
 #include "src/kernel/kernel.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/base/strings.h"
@@ -461,7 +462,120 @@ SyscallStatus Kernel::DispatchLocked(Process& p, int number, const SyscallArgs& 
   if (handler == nullptr) {
     return -kENosys;
   }
+  if (fault_ != nullptr) {
+    SyscallArgs clamped;
+    bool use_clamped = false;
+    SyscallStatus injected = 0;
+    if (MaybeInjectFaultLocked(p, number, a, &clamped, &use_clamped, &injected)) {
+      return injected;
+    }
+    if (use_clamped) {
+      return (this->*handler)(p, clamped, rv, lk);
+    }
+  }
   return (this->*handler)(p, a, rv, lk);
+}
+
+namespace {
+
+// Calls whose success allocates a descriptor slot — the EMFILE/ENFILE
+// pressure-regime targets.
+bool AllocatesDescriptor(int number, const SyscallArgs& a) {
+  switch (number) {
+    case kSysOpen:
+    case kSysCreat:
+    case kSysDup:
+    case kSysPipe:
+      return true;
+    case kSysFcntl:
+      return a.Int(1) == kFDupfd;
+    default:
+      return false;
+  }
+}
+
+// Calls whose success allocates an inode — the ENOSPC disk-budget targets
+// (write grows existing files and is clamped inside SysWrite instead).
+bool AllocatesNode(int number, const SyscallArgs& a) {
+  switch (number) {
+    case kSysCreat:
+    case kSysMkdir:
+    case kSysSymlink:
+    case kSysMknod:
+      return true;
+    case kSysOpen:
+      return (a.Int(1) & kOCreat) != 0;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool Kernel::MaybeInjectFaultLocked(Process& p, int number, const SyscallArgs& a,
+                                    SyscallArgs* clamped, bool* use_clamped,
+                                    SyscallStatus* out_status) {
+  FaultEnv env;
+  env.fd_allocating = AllocatesDescriptor(number, a);
+  env.creates_node = AllocatesNode(number, a);
+  if (env.fd_allocating) {
+    env.open_fds = p.fds.OpenCount();
+  }
+  env.fs_bytes = fs_.total_bytes();
+  if (number == kSysRead || number == kSysWrite) {
+    env.transfer_count = a.Long(2);
+  }
+  // ru_nsyscalls was already bumped for this call, so it is a 1-based
+  // per-process sequence number — the decision stream is per-pid and immune to
+  // cross-process interleaving.
+  const FaultDecision decision = fault_->Decide(static_cast<uint64_t>(p.pid),
+                                                static_cast<uint64_t>(p.rusage.ru_nsyscalls),
+                                                number, env);
+  switch (decision.action) {
+    case FaultAction::kErrnoReturn:
+    case FaultAction::kExhaustion:
+      *out_status = -decision.errno_value;
+      return true;
+    case FaultAction::kEintrReturn:
+      *out_status = -kEIntr;
+      return true;
+    case FaultAction::kShortTransfer:
+      *clamped = a;
+      clamped->SetInt(2, decision.clamp_len);
+      *use_clamped = true;
+      return false;
+    case FaultAction::kNone:
+      break;
+  }
+  return false;
+}
+
+void Kernel::SetFaultPlan(const FaultPlan& plan) {
+  Lock lk(mu_);
+  fault_ = std::make_unique<FaultInjector>(plan);
+}
+
+void Kernel::ClearFaultPlan() {
+  Lock lk(mu_);
+  fault_.reset();
+}
+
+bool Kernel::HasFaultPlan() {
+  Lock lk(mu_);
+  return fault_ != nullptr;
+}
+
+std::array<FaultStat, kMaxSyscall> Kernel::FaultStats() {
+  Lock lk(mu_);
+  if (fault_ == nullptr) {
+    return std::array<FaultStat, kMaxSyscall>{};
+  }
+  return fault_->stats();
+}
+
+std::string Kernel::FaultTraceText() {
+  Lock lk(mu_);
+  return fault_ == nullptr ? std::string() : fault_->FormatTrace();
 }
 
 // ---------------------------------------------------------------------------
@@ -661,20 +775,45 @@ SyscallStatus Kernel::SysWrite(Process& p, const SyscallArgs& a, SyscallResult* 
     rv->rv[0] = n;
     return static_cast<SyscallStatus>(n);
   }
-  // Regular file.
+  // Regular file. A write that hits a limit mid-buffer — the per-file size
+  // ceiling or an installed fault plan's disk budget — writes the prefix that
+  // fits and reports bytes-written-so-far (4.3BSD short-write semantics);
+  // only a write that cannot make progress at all fails (EFBIG / ENOSPC).
   if ((file->flags & kOAppend) != 0) {
     file->offset = static_cast<Off>(inode->data.size());
   }
-  const int64_t end = file->offset + count;
-  if (end > static_cast<int64_t>(inode->data.size())) {
-    fs_.ResizeFile(inode, end);
+  if (file->offset >= kMaxFileBytes) {
+    return -kEFbig;
   }
-  std::memcpy(inode->data.data() + file->offset, buf, static_cast<size_t>(count));
+  int64_t wcount = std::min<int64_t>(count, kMaxFileBytes - file->offset);
+  if (fault_ != nullptr && fault_->plan().disk_budget_bytes >= 0) {
+    const int64_t grow = file->offset + wcount - static_cast<int64_t>(inode->data.size());
+    if (grow > 0) {
+      const int64_t remaining =
+          std::max<int64_t>(fault_->plan().disk_budget_bytes - fs_.total_bytes(), 0);
+      if (remaining < grow) {
+        wcount -= grow - remaining;
+        if (wcount <= 0) {
+          fault_->CountExhaustion(p.pid, kSysWrite, kENospc);
+          return -kENospc;
+        }
+        fault_->CountShortTransfer(p.pid, kSysWrite, wcount);
+      }
+    }
+  }
+  const int64_t end = file->offset + wcount;
+  if (end > static_cast<int64_t>(inode->data.size())) {
+    const int resize_err = fs_.ResizeFile(inode, end);
+    if (resize_err != 0) {
+      return resize_err;
+    }
+  }
+  std::memcpy(inode->data.data() + file->offset, buf, static_cast<size_t>(wcount));
   file->offset = end;
   inode->mtime = fs_.now();
-  p.rusage.ru_oublock += (count + 4095) / 4096;
-  rv->rv[0] = count;
-  return static_cast<SyscallStatus>(count);
+  p.rusage.ru_oublock += (wcount + 4095) / 4096;
+  rv->rv[0] = wcount;
+  return static_cast<SyscallStatus>(wcount);
 }
 
 SyscallStatus Kernel::SysReadv(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk) {
@@ -767,8 +906,12 @@ SyscallStatus Kernel::SysLseek(Process& p, const SyscallArgs& a, SyscallResult* 
     default:
       return -kEInval;
   }
-  const Off target = base + offset;
-  if (target < 0) {
+  // Sum in unsigned so hostile offsets near INT64_MAX cannot overflow the
+  // signed addition. Offsets past the per-file byte ceiling are rejected
+  // outright: no byte there can ever be read or written, and bounding the
+  // stored offset keeps every later offset sum overflow-free.
+  const Off target = static_cast<Off>(static_cast<uint64_t>(base) + static_cast<uint64_t>(offset));
+  if (target < 0 || target > kMaxFileBytes) {
     return -kEInval;
   }
   file->offset = target;
@@ -847,6 +990,9 @@ SyscallStatus Kernel::SysReadlink(Process& p, const SyscallArgs& a, SyscallResul
   const int64_t bufsize = a.Long(2);
   if (path == nullptr || buf == nullptr) {
     return -kEFault;
+  }
+  if (bufsize < 0) {
+    return -kEInval;
   }
   std::string target;
   const int err = fs_.Readlink(EnvOf(p), path, &target);
@@ -1027,7 +1173,10 @@ SyscallStatus Kernel::SysFtruncate(Process& p, const SyscallArgs& a, SyscallResu
   if (length < 0 || !file->inode->IsRegular()) {
     return -kEInval;
   }
-  fs_.ResizeFile(file->inode, length);
+  const int resize_err = fs_.ResizeFile(file->inode, length);
+  if (resize_err != 0) {
+    return resize_err;
+  }
   file->inode->mtime = file->inode->ctime = fs_.now();
   return 0;
 }
@@ -1479,7 +1628,8 @@ SyscallStatus Kernel::SysKill(Process& p, const SyscallArgs& a, SyscallResult* /
     return KillOneLocked(p, *target, signo);
   }
   // pid == 0: own process group; pid < -1: group |pid|; pid == -1: broadcast.
-  const Pid group = target_pid == 0 ? p.pgrp : -target_pid;
+  // Negate in 64 bits: pid may be INT_MIN, whose int negation is undefined.
+  const int64_t group = target_pid == 0 ? p.pgrp : -static_cast<int64_t>(target_pid);
   int hits = 0;
   int err = -kESrch;
   for (const auto& [pid, target] : table_) {
@@ -1504,8 +1654,12 @@ SyscallStatus Kernel::SysKill(Process& p, const SyscallArgs& a, SyscallResult* /
 }
 
 SyscallStatus Kernel::SysKillpg(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk) {
+  const int64_t pgrp = a.Int(0);
+  if (pgrp < 0) {  // also dodges the unrepresentable -INT_MIN negation
+    return -kEInval;
+  }
   SyscallArgs kill_args;
-  kill_args.SetInt(0, -a.Int(0));
+  kill_args.SetInt(0, pgrp == 0 ? 0 : -pgrp);
   kill_args.SetInt(1, a.Int(1));
   return SysKill(p, kill_args, rv, lk);
 }
@@ -1679,7 +1833,14 @@ SyscallStatus Kernel::SysSethostname(Process& p, const SyscallArgs& a, SyscallRe
   if (name == nullptr) {
     return -kEFault;
   }
-  hostname_.assign(name, static_cast<size_t>(a.Long(1)));
+  const int64_t len = a.Long(1);
+  if (len < 0 || len > kMaxNameLen) {
+    return -kEInval;
+  }
+  // Str arguments are NUL-terminated in this simulation, so a `len` larger
+  // than the actual string must clamp at the terminator rather than read past
+  // the caller's buffer.
+  hostname_.assign(name, strnlen(name, static_cast<size_t>(len)));
   return 0;
 }
 

@@ -2,9 +2,9 @@
 //
 // A single big lock serializes all kernel-mode execution (4.3BSD was a
 // uniprocessor kernel); each simulated process runs on a host thread and enters
-// the kernel through DoSyscall(). Blocking calls (pipe I/O, wait4, sigpause,
-// flock) sleep on the kernel-wide condition variable and honor signals with
-// EINTR, as 4.3BSD does.
+// the kernel through DoSyscall(). Blocking calls (pipe I/O, wait4, sigpause)
+// sleep on the kernel-wide condition variable and honor signals with EINTR, as
+// 4.3BSD does; exactly those rows carry kBlocking in syscalls.def.
 #ifndef SRC_KERNEL_KERNEL_H_
 #define SRC_KERNEL_KERNEL_H_
 
@@ -20,6 +20,7 @@
 #include "src/base/clock.h"
 #include "src/kernel/context.h"
 #include "src/kernel/devices.h"
+#include "src/kernel/faultplan.h"
 #include "src/kernel/ktrace.h"
 #include "src/kernel/process.h"
 #include "src/kernel/programs.h"
@@ -121,6 +122,23 @@ class Kernel {
   void SetSyscallCost(int number, int32_t micros);
   int32_t SyscallCost(int number) const;
 
+  // --- fault injection ---------------------------------------------------------
+  // Installs `plan` (replacing any previous one and resetting its counters);
+  // every subsequent dispatch consults it. With no plan installed the fault
+  // path is a single null-pointer test.
+  void SetFaultPlan(const FaultPlan& plan);
+  void ClearFaultPlan();
+  bool HasFaultPlan();
+
+  // Snapshot of the per-syscall injected-fault counters (all zero when no plan
+  // is or was installed).
+  std::array<FaultStat, kMaxSyscall> FaultStats();
+
+  // The recorded fault trace, one line per injection (empty unless the plan
+  // set record_trace). Reproducibility means two runs from the same seed
+  // produce byte-identical text here.
+  std::string FaultTraceText();
+
  private:
   friend class ProcessContext;
 
@@ -130,6 +148,14 @@ class Kernel {
 
   SyscallStatus DispatchLocked(Process& proc, int number, const SyscallArgs& args,
                                SyscallResult* rv, Lock& lk);
+
+  // Consults the installed fault plan for this dispatch. Returns true when the
+  // call is consumed (out_status holds the injected result); on a short
+  // transfer, rewrites `args` into `clamped` and leaves consumption to the
+  // real handler.
+  bool MaybeInjectFaultLocked(Process& proc, int number, const SyscallArgs& args,
+                              SyscallArgs* clamped, bool* use_clamped,
+                              SyscallStatus* out_status);
 
   // Uniform handler signature: the dense dispatch array built from
   // syscalls.def holds one of these per implemented syscall number.
@@ -249,6 +275,7 @@ class Kernel {
 
   double compute_spin_scale_ = 0.0;
   KtraceSink* ktrace_ = nullptr;
+  std::unique_ptr<FaultInjector> fault_;  // null = fault plane off
   int32_t syscall_cost_[kMaxSyscall] = {};
   int64_t total_syscalls_ = 0;
   SyscallStat syscall_stats_[kMaxSyscall] = {};

@@ -168,6 +168,9 @@ inline constexpr int kMaxPathLen = 1024;
 inline constexpr int kMaxSymlinkDepth = 8;  // MAXSYMLINKS in 4.3BSD.
 inline constexpr int kMaxFilesPerProcess = 64;
 inline constexpr int kMaxArgsBytes = 20 * 1024;  // NCARGS flavor.
+// Hard per-file size ceiling (the 4.3BSD ulimit): growth past it fails with
+// EFBIG instead of asking std::string for an absurd resize.
+inline constexpr int64_t kMaxFileBytes = int64_t{1} << 30;
 
 // readv/writev scatter-gather segment (<sys/uio.h>).
 struct IoVec {

@@ -639,7 +639,10 @@ int Filesystem::Truncate(const NameiEnv& env, std::string_view path, Off length)
   if (!CredPermits(*env.cred, nr.inode->uid, nr.inode->gid, nr.inode->mode_bits, kWOk)) {
     return -kEAcces;
   }
-  ResizeFile(nr.inode, length);
+  const int resize_err = ResizeFile(nr.inode, length);
+  if (resize_err != 0) {
+    return resize_err;
+  }
   nr.inode->mtime = nr.inode->ctime = now_;
   return 0;
 }
@@ -666,6 +669,9 @@ int Filesystem::MknodFifo(const NameiEnv& env, std::string_view path, Mode mode)
 int Filesystem::ResizeFile(const InodeRef& inode, Off length) {
   if (!inode->IsRegular()) {
     return -kEInval;
+  }
+  if (length < 0 || length > kMaxFileBytes) {
+    return -kEFbig;
   }
   total_bytes_ += length - static_cast<int64_t>(inode->data.size());
   inode->data.resize(static_cast<size_t>(length), '\0');

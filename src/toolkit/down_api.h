@@ -250,6 +250,15 @@ class DownApi {
   int WriteWholeFile(const std::string& path, const std::string& contents, Mode mode = 0644);
   int ListDirectory(const std::string& path, std::vector<Dirent>* entries);
 
+  // --- fault-plane plumbing ----------------------------------------------------
+  // Not 4.3BSD calls: installs/clears the kernel's fault plan and reads the
+  // injected counters, so tests and agents can arm per-run fault regimes
+  // through the same typed surface they use for everything else.
+  void InstallFaultPlan(const FaultPlan& plan) { ctx_.kernel().SetFaultPlan(plan); }
+  void ClearFaultPlan() { ctx_.kernel().ClearFaultPlan(); }
+  std::array<FaultStat, kMaxSyscall> KernelFaultStats() { return ctx_.kernel().FaultStats(); }
+  std::string KernelFaultTrace() { return ctx_.kernel().FaultTraceText(); }
+
  private:
   ProcessContext& ctx_;
   int frame_;

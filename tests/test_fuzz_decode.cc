@@ -1,10 +1,18 @@
 // Robustness sweep: every system call number issued with all-zero arguments
-// (null pointers, zero descriptors, zero lengths) must be handled gracefully —
-// an errno, never a crash — bare, under the full symbolic decoder, and under the
+// (null pointers, zero descriptors, zero lengths) and then with batches of
+// hostile per-ArgKind values (huge and negative lengths, unaligned buffers,
+// out-of-range descriptors and signal numbers, paths at and past the component
+// and PATH_MAX limits) must be handled gracefully — an errno or a partial
+// result, never a crash — bare, under the full symbolic decoder, and under the
 // sandbox. This is the "hostile ABI surface" test for the decoder and kernel.
 #include "tests/test_helpers.h"
 
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
 #include "src/agents/sandbox.h"
+#include "src/kernel/syscall_table.h"
 #include "src/toolkit/toolkit.h"
 
 namespace ia {
@@ -69,6 +77,252 @@ TEST(DecodeFuzz, ZeroArgsSurviveSandbox) {
                                   SweepAllNumbers);
   ASSERT_TRUE(WifExited(status));
   EXPECT_EQ(WExitStatus(status), 0);
+}
+
+// ---- Hostile-argument sweep -------------------------------------------------
+//
+// The zero sweep above proves null arguments are safe; this sweep drives every
+// syscall number with values chosen per argument kind to probe the guards the
+// decode metadata implies: descriptor kinds get negative / just-past-the-table
+// / INT_MIN descriptors, length kinds get negative and enormous counts, buffer
+// kinds get unaligned pointers, signal kinds get every flavour of out-of-range
+// number, and path kinds get names at and past the component and PATH_MAX
+// limits. Values are grouped into coordinated variants so that a valid
+// pointer is never paired with a length larger than the memory behind it —
+// the simulated kernel trusts host pointers, so a lying length under a real
+// pointer would be undefined behaviour in the *test*, not a kernel bug. Truly
+// huge lengths always ride with null pointers, where the EFAULT guards fire
+// first.
+
+constexpr int64_t kArenaBytes = int64_t{1} << 20;
+constexpr int kHostileVariants = 6;
+
+struct HostileArena {
+  std::vector<char> bytes;
+  std::vector<IoVec> iov;
+  std::string max_component;   // final component exactly kMaxNameLen chars
+  std::string over_component;  // final component one past kMaxNameLen
+  std::string over_path;       // total length past kMaxPathLen
+
+  HostileArena() {
+    bytes.resize(static_cast<size_t>(kArenaBytes));
+    for (size_t i = 0; i < bytes.size(); ++i) {
+      // Pattern bytes with a NUL every 97 bytes so strlen-consumed kinds
+      // (Path/Str) always terminate long before the arena ends, even after
+      // BufOut syscalls have scribbled file content over a prefix of it.
+      bytes[i] = (i % 97 == 96) ? '\0' : static_cast<char>('a' + (i % 23));
+    }
+    bytes.back() = '\0';
+    max_component = "/tmp/" + std::string(kMaxNameLen, 'm');
+    over_component = "/tmp/" + std::string(kMaxNameLen + 1, 'n');
+    over_path = "/tmp";
+    while (static_cast<int>(over_path.size()) <= kMaxPathLen) {
+      over_path += "/x";
+    }
+    // Hostile but individually memory-safe iovecs: a valid base always has an
+    // in-arena length; the huge and negative lengths ride on null bases.
+    iov.resize(kMaxIoVecs);
+    for (int i = 0; i < kMaxIoVecs; ++i) {
+      switch (i % 5) {
+        case 0: iov[i] = {bytes.data(), 64}; break;
+        case 1: iov[i] = {nullptr, int64_t{1} << 40}; break;
+        case 2: iov[i] = {bytes.data(), -1}; break;
+        case 3: iov[i] = {bytes.data() + 1, 257}; break;  // unaligned
+        default: iov[i] = {bytes.data(), 0}; break;
+      }
+    }
+  }
+
+  char* base() { return bytes.data(); }
+};
+
+void SetHostileArg(SyscallArgs* args, int i, ArgKind kind, int v, HostileArena& arena) {
+  char* base = arena.base();
+  // Byte buffers may be unaligned; pointers to typed objects must stay aligned
+  // (the kernel casts them), so those alternate between the arena base and
+  // null only.
+  char* const byte_ptrs[kHostileVariants] = {base, nullptr, base, base + 1, nullptr, base + 3};
+  void* const typed_ptrs[kHostileVariants] = {base, nullptr, base, nullptr, nullptr, base};
+  switch (kind) {
+    case ArgKind::kFd: {
+      const int64_t vals[kHostileVariants] = {3,  INT32_MAX, kMaxFilesPerProcess - 1,
+                                              -1, INT32_MIN, kMaxFilesPerProcess};
+      args->SetInt(i, vals[v]);
+      return;
+    }
+    case ArgKind::kInt: {
+      const int64_t vals[kHostileVariants] = {13, INT32_MAX, kArenaBytes, -1, INT32_MIN, 4097};
+      args->SetInt(i, vals[v]);
+      return;
+    }
+    case ArgKind::kLong: {
+      const int64_t vals[kHostileVariants] = {13, INT64_MAX, kArenaBytes, -1, INT64_MIN, 4097};
+      args->SetInt(i, vals[v]);
+      return;
+    }
+    case ArgKind::kU64:
+    case ArgKind::kDev:
+    case ArgKind::kMask: {
+      const int64_t vals[kHostileVariants] = {0, -1, 1, 0x12345678, INT64_MIN, 0xffff};
+      args->SetInt(i, vals[v]);
+      return;
+    }
+    case ArgKind::kFlags: {
+      const int64_t vals[kHostileVariants] = {kORdwr | kOCreat, INT32_MAX, -1,
+                                              0x7ff,            INT32_MIN, INT64_MAX};
+      args->SetInt(i, vals[v]);
+      return;
+    }
+    case ArgKind::kMode: {
+      const int64_t vals[kHostileVariants] = {0644, INT32_MAX, 0777, -1, INT32_MIN, 07777};
+      args->SetInt(i, vals[v]);
+      return;
+    }
+    case ArgKind::kUid:
+    case ArgKind::kGid: {
+      const int64_t vals[kHostileVariants] = {0, INT32_MAX, 12345, -1, INT32_MIN, 65534};
+      args->SetInt(i, vals[v]);
+      return;
+    }
+    case ArgKind::kOff: {
+      const int64_t vals[kHostileVariants] = {0, INT64_MAX, kArenaBytes, -1, INT64_MIN,
+                                              kMaxFileBytes};
+      args->SetInt(i, vals[v]);
+      return;
+    }
+    case ArgKind::kPid: {
+      const int64_t vals[kHostileVariants] = {1, INT32_MAX, 0, -1, INT32_MIN, 32767};
+      args->SetInt(i, vals[v]);
+      return;
+    }
+    case ArgKind::kSig: {
+      // Every value is out of range (valid signals are 1..kNumSignals-1), so
+      // hostile sigvec/kill calls are rejected before any disposition with a
+      // garbage handler tag could be installed or delivered.
+      const int64_t vals[kHostileVariants] = {0, 64, kNumSignals, -1, INT32_MIN, 1000};
+      args->SetInt(i, vals[v]);
+      return;
+    }
+    case ArgKind::kUPtr: {
+      // Handler "addresses" are opaque tags in this kernel — never jumped to.
+      const int64_t vals[kHostileVariants] = {0, -1, 2, 3, INT64_MIN, 0xdeadbeef};
+      args->SetInt(i, vals[v]);
+      return;
+    }
+    case ArgKind::kPath: {
+      const char* vals[kHostileVariants] = {"/tmp/fuzz_benign",
+                                            nullptr,
+                                            arena.over_path.c_str(),
+                                            arena.over_component.c_str(),
+                                            "/../../..",
+                                            base};  // pattern garbage, relative
+      args->SetPtr(i, vals[v]);
+      return;
+    }
+    case ArgKind::kStr: {
+      const char* vals[kHostileVariants] = {"",
+                                            nullptr,
+                                            base,
+                                            arena.max_component.c_str(),
+                                            "/../../..",
+                                            arena.over_path.c_str()};
+      args->SetPtr(i, vals[v]);
+      return;
+    }
+    case ArgKind::kBufIn:
+    case ArgKind::kBufOut:
+    case ArgKind::kCharBuf:
+      args->SetPtr(i, byte_ptrs[v]);
+      return;
+    case ArgKind::kIoVecPtr:
+      args->SetPtr(i, typed_ptrs[v] != nullptr ? arena.iov.data() : nullptr);
+      return;
+    case ArgKind::kVoidPtr:
+    case ArgKind::kStatPtr:
+    case ArgKind::kRusagePtr:
+    case ArgKind::kIntPtr:
+    case ArgKind::kLongPtr:
+    case ArgKind::kTvPtr:
+    case ArgKind::kCTvPtr:
+    case ArgKind::kTzPtr:
+    case ArgKind::kCTzPtr:
+    case ArgKind::kGidPtr:
+    case ArgKind::kCGidPtr:
+      args->SetPtr(i, typed_ptrs[v]);
+      return;
+    case ArgKind::kNone:
+      args->SetInt(i, 0);
+      return;
+  }
+}
+
+int SweepHostileNumbers(ProcessContext& ctx) {
+  HostileArena arena;
+  for (int v = 0; v < kHostileVariants; ++v) {
+    for (int number = 1; number < kMaxSyscall; ++number) {
+      if (SkipInSweep(number)) {
+        continue;
+      }
+      const SyscallSpec& spec = SyscallSpecOf(number);
+      SyscallArgs args;
+      for (int i = 0; i < spec.nargs; ++i) {
+        SetHostileArg(&args, i, spec.args[static_cast<size_t>(i)], v, arena);
+      }
+      SyscallResult rv;
+      const SyscallStatus status = ctx.Syscall(number, args, &rv);
+      // Any errno or partial result is acceptable; the process must survive.
+      (void)status;
+    }
+    // Close everything the variant opened so a pipe read end can never drift
+    // into the descriptor the next variant issues a blocking read on while its
+    // write end is still open (that read would wait forever).
+    for (int fd = 3; fd < kMaxFilesPerProcess; ++fd) {
+      ctx.Close(fd);
+    }
+  }
+  return 0;
+}
+
+TEST(DecodeFuzz, HostileArgsSurviveBareKernel) {
+  auto kernel = MakeWorld();
+  const int status = test::RunBody(*kernel, SweepHostileNumbers);
+  ASSERT_TRUE(WifExited(status));
+  EXPECT_EQ(WExitStatus(status), 0);
+}
+
+TEST(DecodeFuzz, HostileArgsSurviveSymbolicDecoder) {
+  auto kernel = MakeWorld();
+  const int status =
+      RunBodyUnder(*kernel, {std::make_shared<PassSymbolicAgent>()}, SweepHostileNumbers);
+  ASSERT_TRUE(WifExited(status));
+  EXPECT_EQ(WExitStatus(status), 0);
+}
+
+TEST(DecodeFuzz, HostileArgsSurviveSandbox) {
+  auto kernel = MakeWorld();
+  SandboxPolicy policy;
+  policy.write_prefixes = {"/tmp"};
+  const int status = RunBodyUnder(*kernel, {std::make_shared<SandboxAgent>(policy)},
+                                  SweepHostileNumbers);
+  ASSERT_TRUE(WifExited(status));
+  EXPECT_EQ(WExitStatus(status), 0);
+}
+
+TEST(DecodeFuzz, HostileArgsFormatSafely) {
+  // The kind-driven formatter consumes the same hostile values (it runs inside
+  // trace agents, so it must never crash on what an application passed).
+  HostileArena arena;
+  for (int v = 0; v < kHostileVariants; ++v) {
+    for (int number = 1; number < kMaxSyscall; ++number) {
+      const SyscallSpec& spec = SyscallSpecOf(number);
+      SyscallArgs args;
+      for (int i = 0; i < spec.nargs; ++i) {
+        SetHostileArg(&args, i, spec.args[static_cast<size_t>(i)], v, arena);
+      }
+      const std::string text = FormatSyscall(number, args);
+      EXPECT_FALSE(text.empty()) << number;
+    }
+  }
 }
 
 TEST(DecodeFuzz, RawForkWithNoBodyIsReapable) {

@@ -103,6 +103,26 @@ TEST(SyscallTable, KernelDispatchMatchesImplementedFlag) {
   }
 }
 
+// kBlocking drives EINTR fault injection, so it must mark exactly the rows
+// whose handlers can actually sleep: a kBlocking row that is not implemented
+// (or whose handler never blocks, like flock) would make the injector claim
+// interruptions no real 4.3BSD caller could see.
+TEST(SyscallTable, BlockingRowsAreImplementedAndGenuinelyInterruptible) {
+  std::set<std::string> blocking_names;
+  for (int number = 0; number < kMaxSyscall; ++number) {
+    const uint32_t flags = SyscallSpecOf(number).flags;
+    if ((flags & kBlocking) == 0) {
+      continue;
+    }
+    EXPECT_NE(flags & kImplemented, 0u)
+        << SyscallName(number) << " is kBlocking but not implemented";
+    blocking_names.insert(std::string(SyscallName(number)));
+  }
+  const std::set<std::string> expected = {"read",  "write",    "readv", "writev",
+                                          "wait4", "sigpause", "wait"};
+  EXPECT_EQ(blocking_names, expected);
+}
+
 TEST(SyscallTable, FormatSyscallUsesKindMetadata) {
   SyscallArgs args;
   args.SetPtr(0, "/etc/motd");
