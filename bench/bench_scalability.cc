@@ -1,0 +1,301 @@
+// Multi-client scalability benchmark — the gate for the big-lock breakup.
+//
+// N simulated client processes (1, 2, 4, 8, 16), each on its own host thread,
+// run an identical stat/open/read/getpid mix against a shared kernel. Before
+// the lock split every call serialized on the big kernel lock, so aggregate
+// throughput was flat in N; with kPerProcess rows dispatching lock-free and
+// kVfsRead rows walking under the shared-mode tree lock, throughput should
+// scale with host cores.
+//
+// Two self-checks (exit status is nonzero if either fails):
+//
+//   1. Scalability: aggregate syscall throughput at 8 clients >= 2.5x the
+//      1-client throughput. Only enforced when the host has >= 8 hardware
+//      threads — on smaller hosts the kernel cannot scale past the machine,
+//      so the gate reports "skipped" (the curve is still printed/emitted).
+//   2. Single-client parity: the uncontended fast paths must not cost more
+//      than the big-lock-only dispatch they replaced. Installing an EMPTY
+//      fault plan forces every dispatch through the pre-change big-lock
+//      regime (see kernel.h), so the same binary measures both worlds on the
+//      same host: fast-path latency must be <= 1.10x the big-lock latency
+//      for each Table 3-5-style operation. This is the host-independent form
+//      of "within 10% of the pre-change baseline".
+//
+// Alongside the human table the bench emits one JSON object per line
+// (clients/throughput/speedup and one per parity row) so future changes can
+// track the scaling curve the way the Table 3-5 rows are tracked.
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/base/clock.h"
+#include "src/kernel/context.h"
+#include "src/kernel/kernel.h"
+
+// Under ThreadSanitizer the bench still runs in full (its job there is race
+// coverage: N clients hammering every fast path), but the perf gates are not
+// enforced — TSan's instrumentation taxes atomic-dense code hardest, which
+// skews exactly the ratios the gates measure.
+#if defined(__SANITIZE_THREAD__)
+#define IA_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define IA_UNDER_TSAN 1
+#endif
+#endif
+#ifndef IA_UNDER_TSAN
+#define IA_UNDER_TSAN 0
+#endif
+
+namespace {
+
+constexpr bool kUnderTsan = IA_UNDER_TSAN != 0;
+constexpr int kClientCounts[] = {1, 2, 4, 8, 16};
+constexpr int kFilesPerClient = 8;
+constexpr int kIterations = 4000;  // mix iterations per client (9 syscalls each)
+constexpr int kAttempts = 3;       // best-of-N against host scheduling noise
+constexpr double kSpeedupGateAt8 = 2.5;
+constexpr double kParityMargin = 1.10;
+
+// Installs each client's private file set plus one shared read target.
+void BuildTree(ia::Kernel& kernel, int max_clients) {
+  kernel.fs().InstallFile("/etc/motd", std::string(512, 'm'));
+  for (int c = 0; c < max_clients; ++c) {
+    const std::string dir = "/data/c" + std::to_string(c);
+    kernel.fs().MkdirAll(dir);
+    for (int f = 0; f < kFilesPerClient; ++f) {
+      kernel.fs().InstallFile(dir + "/f" + std::to_string(f), std::string(1024, 'x'));
+    }
+  }
+}
+
+// The per-client mix: 9 syscalls per iteration, all on the lock-free or
+// shared-tree fast paths (getpid/gettimeofday per-process; stat/open/read/
+// fstat/close read-only VFS). Clients mostly touch their own directory — the
+// many-client regime the ROADMAP's "millions of users" north star implies —
+// plus one shared hot file everyone stats.
+int ClientBody(ia::ProcessContext& ctx, int id, const std::atomic<bool>* go,
+               std::atomic<int>* ready) {
+  ready->fetch_add(1, std::memory_order_acq_rel);
+  while (!go->load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  char buf[1024];
+  ia::Stat st;
+  ia::TimeVal tv;
+  const std::string dir = "/data/c" + std::to_string(id);
+  for (int it = 0; it < kIterations; ++it) {
+    const std::string file = dir + "/f" + std::to_string(it % kFilesPerClient);
+    ctx.Getpid();
+    ctx.Getpid();
+    ctx.Gettimeofday(&tv, nullptr);
+    if (ctx.Stat(file, &st) != 0 || ctx.Stat("/etc/motd", &st) != 0) {
+      return 1;
+    }
+    const int fd = ctx.Open(file, ia::kORdonly);
+    if (fd < 0 || ctx.Read(fd, buf, sizeof buf) != static_cast<int64_t>(sizeof buf)) {
+      return 2;
+    }
+    if (ctx.Fstat(fd, &st) != 0 || ctx.Close(fd) != 0) {
+      return 3;
+    }
+  }
+  return 0;
+}
+
+struct Point {
+  int clients = 0;
+  int64_t syscalls = 0;
+  double seconds = 0;
+  double throughput = 0;  // syscalls per host-second, best attempt
+};
+
+Point MeasureClients(int n) {
+  Point best;
+  best.clients = n;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    ia::Kernel kernel;
+    BuildTree(kernel, n);
+    std::atomic<bool> go{false};
+    std::atomic<int> ready{0};
+    std::vector<ia::Pid> pids;
+    pids.reserve(n);
+    for (int c = 0; c < n; ++c) {
+      ia::SpawnOptions options;
+      options.body = [c, &go, &ready](ia::ProcessContext& ctx) {
+        return ClientBody(ctx, c, &go, &ready);
+      };
+      pids.push_back(kernel.Spawn(options));
+    }
+    while (ready.load(std::memory_order_acquire) < n) {
+      std::this_thread::yield();
+    }
+    const int64_t calls_before = kernel.TotalSyscallCount();
+    const int64_t start = ia::MonotonicMicros();
+    go.store(true, std::memory_order_release);
+    for (const ia::Pid pid : pids) {
+      const int status = kernel.HostWaitPid(pid);
+      if (!ia::WifExited(status) || ia::WExitStatus(status) != 0) {
+        std::fprintf(stderr, "client %d failed (status %#x)\n", pid, status);
+      }
+    }
+    const double seconds = static_cast<double>(ia::MonotonicMicros() - start) / 1e6;
+    const int64_t syscalls = kernel.TotalSyscallCount() - calls_before;
+    const double throughput = seconds > 0 ? static_cast<double>(syscalls) / seconds : 0;
+    if (throughput > best.throughput) {
+      best.syscalls = syscalls;
+      best.seconds = seconds;
+      best.throughput = throughput;
+    }
+  }
+  return best;
+}
+
+struct ParityOp {
+  const char* name;
+  std::function<void(ia::ProcessContext&)> op;
+};
+
+void BuildParityTree(ia::Kernel& kernel) {
+  BuildTree(kernel, 1);
+  kernel.fs().MkdirAll("/usr/local/lib/deep/nested");
+  kernel.fs().InstallFile("/usr/local/lib/deep/nested/file", "x");
+}
+
+// Measures the Table 3-5-style single-client latencies on both kernels,
+// INTERLEAVED (fast, big-lock, fast, ...) with min-of-attempts per cell, so
+// host frequency/cache drift cannot skew one column against the other.
+void MeasureParity(ia::Kernel& fast, ia::Kernel& biglock, const std::vector<ParityOp>& ops,
+                   std::vector<double>* fast_us, std::vector<double>* biglock_us) {
+  fast_us->assign(ops.size(), 1e18);
+  biglock_us->assign(ops.size(), 1e18);
+  const std::vector<ia::AgentRef> no_agents;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    for (size_t i = 0; i < ops.size(); ++i) {
+      (*fast_us)[i] =
+          std::min((*fast_us)[i], ia::bench::MeasurePerCallMicros(fast, no_agents, ops[i].op));
+      (*biglock_us)[i] = std::min((*biglock_us)[i],
+                                  ia::bench::MeasurePerCallMicros(biglock, no_agents, ops[i].op));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("Multi-client scalability: %d iterations x 9 syscalls per client\n", kIterations);
+  std::printf("(host has %u hardware threads; best of %d attempts per point)\n\n", cores,
+              kAttempts);
+
+  bool ok = true;
+
+  // --- throughput curve -----------------------------------------------------
+  std::vector<Point> curve;
+  for (const int n : kClientCounts) {
+    curve.push_back(MeasureClients(n));
+  }
+  const double base = curve.front().throughput;
+
+  std::printf("  clients    syscalls    seconds    calls/sec     speedup\n");
+  for (const Point& p : curve) {
+    std::printf("  %7d  %10lld  %9.4f  %11.0f  %9.2fx\n", p.clients,
+                static_cast<long long>(p.syscalls), p.seconds, p.throughput,
+                base > 0 ? p.throughput / base : 0);
+  }
+
+  const Point* at8 = nullptr;
+  for (const Point& p : curve) {
+    if (p.clients == 8) {
+      at8 = &p;
+    }
+  }
+  const double speedup8 = (at8 != nullptr && base > 0) ? at8->throughput / base : 0;
+  if (kUnderTsan) {
+    std::printf("\n  gate: skipped (%.2fx at 8 clients; running under ThreadSanitizer,\n"
+                "        which is a race-coverage run, not a perf run)\n",
+                speedup8);
+  } else if (cores >= 8) {
+    std::printf("\n  gate: %.2fx at 8 clients (self-check: >= %.1fx)\n", speedup8,
+                kSpeedupGateAt8);
+    if (speedup8 < kSpeedupGateAt8) {
+      std::printf("  FAIL: 8-client aggregate throughput below %.1fx of 1 client\n",
+                  kSpeedupGateAt8);
+      ok = false;
+    }
+  } else {
+    std::printf("\n  gate: skipped (%.2fx at 8 clients; host has %u < 8 hardware threads,\n"
+                "        so the kernel cannot scale past the machine)\n",
+                speedup8, cores);
+  }
+
+  // --- single-client parity: fast paths vs forced big-lock dispatch ---------
+  std::vector<ParityOp> ops;
+  ops.push_back({"getpid", [](ia::ProcessContext& ctx) { ctx.Getpid(); }});
+  ops.push_back({"gettimeofday", [](ia::ProcessContext& ctx) {
+                   ia::TimeVal tv;
+                   ctx.Gettimeofday(&tv, nullptr);
+                 }});
+  ops.push_back({"stat [6 components]", [](ia::ProcessContext& ctx) {
+                   ia::Stat st;
+                   ctx.Stat("/usr/local/lib/deep/nested/file", &st);
+                 }});
+  ops.push_back({"open+read-1K+close", [](ia::ProcessContext& ctx) {
+                   char buf[1024];
+                   const int fd = ctx.Open("/data/c0/f0", ia::kORdonly);
+                   ctx.Read(fd, buf, sizeof buf);
+                   ctx.Close(fd);
+                 }});
+
+  ia::Kernel fast;
+  BuildParityTree(fast);
+  ia::Kernel biglock;
+  BuildParityTree(biglock);
+  biglock.SetFaultPlan(ia::FaultPlan{});  // inert plan: forces big-lock dispatch
+  std::vector<double> fast_us;
+  std::vector<double> biglock_us;
+  MeasureParity(fast, biglock, ops, &fast_us, &biglock_us);
+
+  std::printf("\n  single-client parity (fast paths vs big-lock-only dispatch):\n");
+  std::printf("    %-22s %10s %12s %8s\n", "operation", "fast µs", "big-lock µs", "ratio");
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const double ratio = biglock_us[i] > 0 ? fast_us[i] / biglock_us[i] : 0;
+    std::printf("    %-22s %10.3f %12.3f %7.2fx\n", ops[i].name, fast_us[i], biglock_us[i],
+                ratio);
+    if (!kUnderTsan && fast_us[i] > biglock_us[i] * kParityMargin) {
+      std::printf("    FAIL: %s fast path regressed more than %.0f%% over the big-lock path\n",
+                  ops[i].name, (kParityMargin - 1) * 100);
+      ok = false;
+    }
+  }
+  if (kUnderTsan) {
+    std::printf("    (self-check: skipped under ThreadSanitizer — ratios reported only)\n");
+  } else {
+    std::printf("    (self-check: each ratio <= %.2fx — the uncontended path must not pay\n"
+                "     for the scalability it bought)\n",
+                kParityMargin);
+  }
+
+  // --- machine-readable emission --------------------------------------------
+  std::printf("\n");
+  for (const Point& p : curve) {
+    std::printf("{\"bench\":\"bench_scalability\",\"clients\":%d,\"syscalls\":%lld,"
+                "\"seconds\":%.6f,\"throughput_calls_per_sec\":%.0f,\"speedup\":%.3f}\n",
+                p.clients, static_cast<long long>(p.syscalls), p.seconds, p.throughput,
+                base > 0 ? p.throughput / base : 0);
+  }
+  for (size_t i = 0; i < ops.size(); ++i) {
+    std::printf("{\"bench\":\"bench_scalability\",\"check\":\"single_client_parity\","
+                "\"op\":\"%s\",\"fast_us\":%.3f,\"biglock_us\":%.3f,\"ratio\":%.3f}\n",
+                ops[i].name, fast_us[i], biglock_us[i],
+                biglock_us[i] > 0 ? fast_us[i] / biglock_us[i] : 0);
+  }
+
+  std::printf("\n%s\n", ok ? "ALL SELF-CHECKS PASSED" : "SELF-CHECK FAILURES (see above)");
+  return ok ? 0 : 1;
+}

@@ -63,5 +63,9 @@ int main() {
   for (size_t i = 0; i < configs.size(); ++i) {
     ia::bench::PrintSlowdownRow(configs[i].name, results[i], baseline);
   }
+
+  // Where the (few) syscalls of this compute-dominated run spend their kernel
+  // time — the contrast with Table 3-3's fork/exec-heavy profile is the point.
+  ia::bench::PrintTopSyscallDeltas("bare", results[0]);
   return 0;
 }

@@ -64,5 +64,12 @@ int main() {
   for (size_t i = 0; i < configs.size(); ++i) {
     ia::bench::PrintSlowdownRow(configs[i].name, results[i], baseline);
   }
+
+  // Where the build's kernel time goes: the dispatcher's own per-syscall
+  // counters, bare vs under the heaviest agent. For a fork/exec-dense workload
+  // the process-management calls should dominate both columns, and the trace
+  // column shows what interposition adds on top.
+  ia::bench::PrintTopSyscallDeltas("bare", results[0]);
+  ia::bench::PrintTopSyscallDeltas("under trace", results[3]);
   return 0;
 }

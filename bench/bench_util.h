@@ -7,6 +7,8 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -24,7 +26,24 @@ struct WorkloadResult {
   double mean_seconds = 0;
   double stddev_seconds = 0;
   int64_t syscalls = 0;  // syscalls per run (from the last run)
+  // Per-syscall dispatcher counter deltas across the last run (counts, errors,
+  // virtual time). Snapshotted before/after via Kernel::SyscallStats(), so the
+  // numbers attribute the workload's time to individual calls.
+  std::array<SyscallStat, kMaxSyscall> stat_deltas{};
 };
+
+// Subtracts two SyscallStats() snapshots entry-wise.
+inline std::array<SyscallStat, kMaxSyscall> DiffSyscallStats(
+    const std::array<SyscallStat, kMaxSyscall>& before,
+    const std::array<SyscallStat, kMaxSyscall>& after) {
+  std::array<SyscallStat, kMaxSyscall> delta{};
+  for (size_t i = 0; i < delta.size(); ++i) {
+    delta[i].calls = after[i].calls - before[i].calls;
+    delta[i].errors = after[i].errors - before[i].errors;
+    delta[i].vtime_usec = after[i].vtime_usec - before[i].vtime_usec;
+  }
+  return delta;
+}
 
 using AgentFactory = std::function<std::vector<AgentRef>()>;
 
@@ -42,6 +61,7 @@ inline WorkloadResult TimeWorkload(const std::function<void(Kernel&)>& setup,
     setup(kernel);
     const std::vector<AgentRef> agents = factory != nullptr ? factory() : std::vector<AgentRef>{};
     const int64_t calls_before = kernel.TotalSyscallCount();
+    const auto stats_before = kernel.SyscallStats();
     const int64_t start = MonotonicMicros();
     const int status = agents.empty()
                            ? kernel.HostWaitPid(kernel.Spawn(spawn))
@@ -55,6 +75,7 @@ inline WorkloadResult TimeWorkload(const std::function<void(Kernel&)>& setup,
     }
     stats.Add(static_cast<double>(elapsed) / 1e6);
     result.syscalls = kernel.TotalSyscallCount() - calls_before;
+    result.stat_deltas = DiffSyscallStats(stats_before, kernel.SyscallStats());
   }
   result.mean_seconds = stats.Mean();
   result.stddev_seconds = stats.StdDev();
@@ -81,6 +102,7 @@ inline std::vector<WorkloadResult> TimeWorkloadsInterleaved(
       const std::vector<AgentRef> agents =
           configs[i].factory != nullptr ? configs[i].factory() : std::vector<AgentRef>{};
       const int64_t calls_before = kernel.TotalSyscallCount();
+      const auto stats_before = kernel.SyscallStats();
       const int64_t start = MonotonicMicros();
       const int status = agents.empty()
                              ? kernel.HostWaitPid(kernel.Spawn(spawn))
@@ -95,6 +117,7 @@ inline std::vector<WorkloadResult> TimeWorkloadsInterleaved(
       }
       stats[i].Add(static_cast<double>(elapsed) / 1e6);
       results[i].syscalls = kernel.TotalSyscallCount() - calls_before;
+      results[i].stat_deltas = DiffSyscallStats(stats_before, kernel.SyscallStats());
     }
   }
   for (size_t i = 0; i < configs.size(); ++i) {
@@ -117,6 +140,40 @@ inline void PrintSlowdownRow(const std::string& agent_name, const WorkloadResult
   std::printf("  %-12s %10.4f %7.1f%%   (±%.4f)  %8lld syscalls\n", agent_name.c_str(),
               result.mean_seconds, PercentSlowdown(baseline_seconds, result.mean_seconds),
               result.stddev_seconds, static_cast<long long>(result.syscalls));
+}
+
+// Prints the `top_n` syscalls of a workload's per-syscall deltas, ranked by
+// virtual time — where the workload's kernel time actually went. The dispatcher
+// keeps these counters itself (lock-free, relaxed atomics), so the report costs
+// the workload nothing.
+inline void PrintTopSyscallDeltas(const std::string& label, const WorkloadResult& result,
+                                  int top_n = 10) {
+  std::vector<int> numbers;
+  for (int number = 0; number < kMaxSyscall; ++number) {
+    if (result.stat_deltas[static_cast<size_t>(number)].calls != 0) {
+      numbers.push_back(number);
+    }
+  }
+  std::sort(numbers.begin(), numbers.end(), [&result](int a, int b) {
+    const auto& sa = result.stat_deltas[static_cast<size_t>(a)];
+    const auto& sb = result.stat_deltas[static_cast<size_t>(b)];
+    if (sa.vtime_usec != sb.vtime_usec) {
+      return sa.vtime_usec > sb.vtime_usec;
+    }
+    return sa.calls > sb.calls;  // stable tie-break so the report is deterministic
+  });
+  if (numbers.size() > static_cast<size_t>(top_n)) {
+    numbers.resize(static_cast<size_t>(top_n));
+  }
+  std::printf("\n  top %zu syscalls by virtual time, %s (last run):\n", numbers.size(),
+              label.c_str());
+  std::printf("    %10s %10s %14s  %s\n", "calls", "errors", "vtime(us)", "syscall");
+  for (const int number : numbers) {
+    const auto& stat = result.stat_deltas[static_cast<size_t>(number)];
+    std::printf("    %10lld %10lld %14lld  %s\n", static_cast<long long>(stat.calls),
+                static_cast<long long>(stat.errors), static_cast<long long>(stat.vtime_usec),
+                std::string(SyscallName(number)).c_str());
+  }
 }
 
 // Measures a per-call operation inside a simulated process: spawns a client that

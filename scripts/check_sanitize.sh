@@ -1,26 +1,64 @@
 #!/bin/sh
-# Builds the tree with -DIA_SANITIZE=ON (ASan + UBSan, abort on any report)
-# and runs the full test suite under the sanitizers, in a dedicated build
-# directory so the regular build's timings stay unskewed.
+# Sanitizer gates, each in a dedicated build directory so the regular build's
+# timings stay unskewed.
+#
+#   check_sanitize.sh          ASan + UBSan over the full test suite and the
+#                              fault sweep (memory safety / UB)
+#   check_sanitize.sh --tsan   ThreadSanitizer over the full test suite and
+#                              bench_scalability — the proof that the big-lock
+#                              breakup (kPerProcess / kVfsRead fast paths,
+#                              lock-free name cache reads) is actually
+#                              race-free under real multi-client interleavings
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=build-sanitize
+MODE="${1:-asan}"
 
-cmake -B "$BUILD_DIR" -S . -DIA_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j "$(nproc)"
+case "$MODE" in
+  --tsan|tsan)
+    BUILD_DIR=build-tsan
 
-# halt_on_error: the first sanitizer report fails the run loudly instead of
-# letting later tests mask it.
-ASAN_OPTIONS=halt_on_error=1 \
-UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
-  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+    cmake -B "$BUILD_DIR" -S . -DIA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-# The fault sweep under the sanitizers: injected errnos, EINTR, short transfers,
-# and the chaos/retry composition must not mask a single leak or UB.
-ASAN_OPTIONS=halt_on_error=1 \
-UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
-  "$BUILD_DIR"/bench/bench_fault_sweep
+    # halt_on_error: the first race report fails the run loudly instead of
+    # letting later tests mask it.
+    TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+      ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-echo "Sanitized test suite passed."
+    # The scalability bench is the densest source of cross-client
+    # interleavings (N clients hammering the fast paths at full speed). It
+    # detects TSan and skips its perf gates — this run is for race coverage,
+    # not timing.
+    TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+      "$BUILD_DIR"/bench/bench_scalability
+
+    echo "TSan test suite + scalability bench passed."
+    ;;
+  --asan|asan)
+    BUILD_DIR=build-sanitize
+
+    cmake -B "$BUILD_DIR" -S . -DIA_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+    # halt_on_error: the first sanitizer report fails the run loudly instead of
+    # letting later tests mask it.
+    ASAN_OPTIONS=halt_on_error=1 \
+    UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+      ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+    # The fault sweep under the sanitizers: injected errnos, EINTR, short
+    # transfers, and the chaos/retry composition must not mask a single leak
+    # or UB.
+    ASAN_OPTIONS=halt_on_error=1 \
+    UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+      "$BUILD_DIR"/bench/bench_fault_sweep
+
+    echo "Sanitized test suite passed."
+    ;;
+  *)
+    echo "usage: $0 [--asan|--tsan]" >&2
+    exit 2
+    ;;
+esac

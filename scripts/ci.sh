@@ -1,7 +1,7 @@
 #!/bin/sh
 # The tier-1 gate, in one place: configure + build, run the full test suite,
-# then run the whole suite again under ASan/UBSan. Everything that must stay
-# green before a change lands goes through here.
+# then run the whole suite again under ASan/UBSan and under TSan. Everything
+# that must stay green before a change lands goes through here.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,5 +17,10 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 ./build/bench/bench_fault_sweep
 
 scripts/check_sanitize.sh
+
+# ThreadSanitizer is the proof that the big-lock breakup (kPerProcess and
+# kVfsRead fast paths, lock-free name-cache reads) is actually race-free:
+# full suite plus the multi-client scalability bench under TSan.
+scripts/check_sanitize.sh --tsan
 
 echo "ci.sh: build, tests, and sanitized tests all passed."

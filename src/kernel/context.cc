@@ -100,6 +100,9 @@ void ProcessContext::CheckPendingSignals() {
     ~DepthGuard() { --depth; }
   } guard{signal_depth_};
   for (;;) {
+    // Runs at every syscall boundary, so it must stay cheap on the (usual)
+    // quiet path: TakeDeliverableSignal early-outs on a lock-free atomic load
+    // of sig_pending and only takes the big lock when something is pending.
     const int signo = kernel_->TakeDeliverableSignal(*proc_);
     if (signo == 0) {
       return;

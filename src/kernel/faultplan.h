@@ -1,10 +1,11 @@
 // The deterministic fault-injection plane.
 //
 // A FaultPlan describes which system calls should fail, how, and how often.
-// The kernel consults it at the DispatchLocked choke point (every call funnels
-// through there), and the chaos agent consults the same plan *above* the
-// kernel, so kernel-level and agent-level injection share one vocabulary and
-// can be composed or compared.
+// The kernel consults it at the DispatchLocked choke point — while a plan is
+// installed the lock-free dispatch fast paths are disabled, so every call
+// funnels through there — and the chaos agent consults the same plan *above*
+// the kernel, so kernel-level and agent-level injection share one vocabulary
+// and can be composed or compared.
 //
 // Determinism is the whole point: every decision is a pure function of
 // (plan.seed, stream, sequence, syscall number), where `stream` is the pid and

@@ -2,6 +2,10 @@
 
 namespace ia {
 
+// Destruction that releases a held flock or detaches a pipe end mutates
+// big-lock-guarded state, so every path that can drop the *last* reference to
+// such an OpenFile runs under the kernel big lock; the close fast path first
+// checks (atomically) that neither is the case before bypassing it.
 OpenFile::~OpenFile() {
   if (flock_mode != 0 && inode != nullptr) {
     if (flock_mode == kLockEx) {

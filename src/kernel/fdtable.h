@@ -7,6 +7,7 @@
 #define SRC_KERNEL_FDTABLE_H_
 
 #include <array>
+#include <atomic>
 #include <memory>
 
 #include "src/kernel/pipe.h"
@@ -14,6 +15,13 @@
 
 namespace ia {
 
+// An open-file object may be shared across processes (fork/dup), and the
+// kernel's read fast paths advance offsets while holding no lock that other
+// sharers respect, so the mutable scalar fields are atomics. Like real
+// kernels, concurrent read()/lseek() through a shared descriptor get
+// tear-free but otherwise unordered offsets (each RMW is atomic; interleaved
+// calls may observe each other in either order). `inode`/`pipe`/
+// `pipe_write_end` are set once at creation, before the object is published.
 class OpenFile {
  public:
   OpenFile() = default;
@@ -25,12 +33,15 @@ class OpenFile {
   InodeRef inode;               // null for anonymous pipe ends
   std::shared_ptr<Pipe> pipe;   // set for pipes and opened fifos
   bool pipe_write_end = false;  // which end of `pipe` this file is
-  int flags = 0;                // accmode | kOAppend | kONonblock
-  Off offset = 0;
-  int flock_mode = 0;           // kLockSh or kLockEx while held via this file
+  std::atomic<int> flags{0};    // accmode | kOAppend | kONonblock
+  std::atomic<Off> offset{0};
+  // kLockSh or kLockEx while held via this file. Mutated only under the
+  // kernel big lock; read atomically by the close fast path to decide
+  // whether dropping this reference needs the big lock.
+  std::atomic<int> flock_mode{0};
 
-  bool CanRead() const { return (flags & kOAccmode) != kOWronly; }
-  bool CanWrite() const { return (flags & kOAccmode) != kORdonly; }
+  bool CanRead() const { return (flags.load(std::memory_order_relaxed) & kOAccmode) != kOWronly; }
+  bool CanWrite() const { return (flags.load(std::memory_order_relaxed) & kOAccmode) != kORdonly; }
   bool IsPipe() const { return pipe != nullptr; }
 };
 

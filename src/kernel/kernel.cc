@@ -65,6 +65,9 @@ int32_t Kernel::SyscallCost(int number) const {
 void Kernel::InstallProgram(const std::string& path, const std::string& image, ProgramMain main,
                             Mode mode) {
   programs_.Register(image, std::move(main));
+  // Tree mutation outside the syscall dispatchers: take the tree lock so a
+  // program installed while processes run cannot race fast-path readers.
+  std::unique_lock<std::shared_mutex> tree(fs_.TreeMutex());
   InodeRef file = fs_.InstallFile(path, StringPrintf("\177IMG %s\n", image.c_str()), mode);
   if (file != nullptr) {
     file->exec_image = image;
@@ -154,6 +157,7 @@ int Kernel::ReapLocked(Pid pid, Lock& lk, Rusage* child_usage) {
   }
   const int status = proc->exit_status;
   if (child_usage != nullptr) {
+    std::lock_guard<std::mutex> pm(proc->mu);
     *child_usage = proc->rusage;
   }
   std::thread thread;
@@ -239,13 +243,11 @@ int Kernel::LiveProcessCount() {
 }
 
 int64_t Kernel::TotalSyscallCount() {
-  Lock lk(mu_);
-  return total_syscalls_;
+  return total_syscalls_.load(std::memory_order_relaxed);
 }
 
 NameCacheStats Kernel::CacheStats() {
-  Lock lk(mu_);
-  return fs_.namecache().stats();
+  return fs_.namecache().stats();  // internally synchronized
 }
 
 std::vector<Pid> Kernel::Pids() {
@@ -275,13 +277,22 @@ void Kernel::PostSignalLocked(Process& target, int signo) {
     target.sig_pending &= ~SigMask(kSigCont);
   }
   target.sig_pending |= SigMask(signo);
-  target.rusage.ru_nsignals += 1;
+  {
+    std::lock_guard<std::mutex> pm(target.mu);
+    target.rusage.ru_nsignals += 1;
+  }
   cv_.notify_all();
 }
 
 int Kernel::KillOneLocked(Process& sender, Process& target, int signo) {
-  const bool permitted = sender.cred.IsSuperuser() || sender.cred.ruid == target.cred.ruid ||
-                         sender.cred.euid == target.cred.ruid;
+  bool permitted;
+  {
+    // sender is the calling thread (owner reads of its own cred are safe);
+    // target's cred belongs to another thread, so take its leaf lock.
+    std::lock_guard<std::mutex> pm(target.mu);
+    permitted = sender.cred.IsSuperuser() || sender.cred.ruid == target.cred.ruid ||
+                sender.cred.euid == target.cred.ruid;
+  }
   if (!permitted) {
     return -kEPerm;
   }
@@ -293,6 +304,12 @@ int Kernel::KillOneLocked(Process& sender, Process& target, int signo) {
 }
 
 int Kernel::TakeDeliverableSignal(Process& proc) {
+  // Called on proc's own thread at every syscall boundary: the lock-free
+  // early-out keeps the fast paths from queueing on mu_ when (as almost
+  // always) nothing is pending.
+  if (proc.sig_pending.load(std::memory_order_acquire) == 0) {
+    return 0;
+  }
   Lock lk(mu_);
   uint32_t candidates = proc.sig_pending & ~proc.sig_mask;
   candidates |= proc.sig_pending & (SigMask(kSigKill) | SigMask(kSigStop));
@@ -320,6 +337,9 @@ int Kernel::TakeDeliverableSignal(Process& proc) {
 }
 
 bool Kernel::HasDeliverableSignal(Process& proc) {
+  if (proc.sig_pending.load(std::memory_order_acquire) == 0) {
+    return false;
+  }
   Lock lk(mu_);
   return proc.HasDeliverableSignal();
 }
@@ -365,10 +385,11 @@ void Kernel::StopSelf(Process& proc) {
 }
 
 void Kernel::ConsumeCpu(Process& proc, int64_t micros) {
+  // No big lock: the clock and fs "now" are atomic, utime takes the leaf lock.
+  clock_.Advance(micros);
+  fs_.set_now(clock_.Now() / 1000000);
   {
-    Lock lk(mu_);
-    clock_.Advance(micros);
-    fs_.set_now(clock_.Now() / 1000000);
+    std::lock_guard<std::mutex> pm(proc.mu);
     AddMicros(&proc.rusage.ru_utime, micros);
   }
   if (compute_spin_scale_ > 0.0) {
@@ -388,44 +409,68 @@ void Kernel::ConsumeCpu(Process& proc, int64_t micros) {
 
 SyscallStatus Kernel::DoSyscall(Process& proc, int number, const SyscallArgs& args,
                                 SyscallResult* rv) {
-  Lock lk(mu_);
+  // Prologue, identical for every dispatch lane: charge the call's virtual
+  // cost and account it to the caller. The clock and the filesystem "now" are
+  // atomic; the rusage fields are shared with signal posting and wait4
+  // reaping, so they take the per-process leaf lock.
   const int64_t vstart = clock_.Now();
   clock_.Advance(SyscallCost(number));
   fs_.set_now(clock_.Now() / 1000000);
-  AddMicros(&proc.rusage.ru_stime, SyscallCost(number));
-  proc.rusage.ru_nsyscalls += 1;
-  total_syscalls_ += 1;
+  {
+    std::lock_guard<std::mutex> pm(proc.mu);
+    AddMicros(&proc.rusage.ru_stime, SyscallCost(number));
+    proc.rusage.ru_nsyscalls += 1;
+  }
+  total_syscalls_.fetch_add(1, std::memory_order_relaxed);
 
-  const SyscallStatus status = DispatchLocked(proc, number, args, rv, lk);
+  // Fast paths are legal only while nothing forces global serialization: an
+  // installed fault plan pins the per-(pid, seq) decision stream to the
+  // locked path, and ktrace sinks are not thread-safe.
+  const SyscallSpec& spec = SyscallSpecOf(number);
+  const bool fast_ok = !fault_active_.load(std::memory_order_acquire) &&
+                       ktrace_.load(std::memory_order_relaxed) == nullptr;
+
+  SyscallStatus status = 0;
+  bool handled = false;
+  if (fast_ok && (spec.flags & kPerProcess) != 0) {
+    status = DispatchUnlocked(proc, number, args, rv);
+    handled = true;
+  } else if (fast_ok && (spec.flags & kVfsRead) != 0 &&
+             TryDispatchVfsRead(proc, number, args, rv, &status)) {
+    handled = true;
+  }
+  if (!handled) {
+    Lock lk(mu_);
+    status = DispatchLocked(proc, number, args, rv, lk);
+
+    KtraceSink* sink = ktrace_.load(std::memory_order_relaxed);
+    if (sink != nullptr && (spec.flags & kFileRef) != 0) {
+      KtraceRecord record;
+      record.pid = proc.pid;
+      record.syscall = number;
+      record.result = status;
+      record.vtime_usec = clock_.Now();
+      if ((spec.flags & kTakesPath) != 0 && spec.path_arg >= 0) {
+        const char* path = args.Ptr<const char>(spec.path_arg);
+        if (path != nullptr) {
+          record.path = path;
+        }
+      } else if ((spec.flags & kTakesFd) != 0) {
+        record.fd = args.Int(0);
+      }
+      sink->Record(record);
+    }
+    cv_.notify_all();
+  }
 
   if (number >= 0 && number < kMaxSyscall) {
-    SyscallStat& stat = syscall_stats_[number];
-    stat.calls += 1;
+    AtomicSyscallStat& stat = syscall_stats_[number];
+    stat.calls.fetch_add(1, std::memory_order_relaxed);
     if (status < 0) {
-      stat.errors += 1;
+      stat.errors.fetch_add(1, std::memory_order_relaxed);
     }
-    stat.vtime_usec += clock_.Now() - vstart;
+    stat.vtime_usec.fetch_add(clock_.Now() - vstart, std::memory_order_relaxed);
   }
-
-  const SyscallSpec& spec = SyscallSpecOf(number);
-  if (ktrace_ != nullptr && (spec.flags & kFileRef) != 0) {
-    KtraceRecord record;
-    record.pid = proc.pid;
-    record.syscall = number;
-    record.result = status;
-    record.vtime_usec = clock_.Now();
-    if ((spec.flags & kTakesPath) != 0 && spec.path_arg >= 0) {
-      const char* path = args.Ptr<const char>(spec.path_arg);
-      if (path != nullptr) {
-        record.path = path;
-      }
-    } else if ((spec.flags & kTakesFd) != 0) {
-      record.fd = args.Int(0);
-    }
-    ktrace_->Record(record);
-  }
-
-  cv_.notify_all();
   return status;
 }
 
@@ -445,10 +490,14 @@ bool Kernel::ImplementsSyscall(int number) {
 }
 
 std::array<SyscallStat, kMaxSyscall> Kernel::SyscallStats() {
-  Lock lk(mu_);
+  // Lock-free snapshot of the atomic counters (see the member comment for the
+  // relaxed-ordering / quiesced-exactness story).
   std::array<SyscallStat, kMaxSyscall> out;
   for (int i = 0; i < kMaxSyscall; ++i) {
-    out[static_cast<size_t>(i)] = syscall_stats_[i];
+    SyscallStat& dst = out[static_cast<size_t>(i)];
+    dst.calls = syscall_stats_[i].calls.load(std::memory_order_relaxed);
+    dst.errors = syscall_stats_[i].errors.load(std::memory_order_relaxed);
+    dst.vtime_usec = syscall_stats_[i].vtime_usec.load(std::memory_order_relaxed);
   }
   return out;
 }
@@ -462,18 +511,191 @@ SyscallStatus Kernel::DispatchLocked(Process& p, int number, const SyscallArgs& 
   if (handler == nullptr) {
     return -kENosys;
   }
+  SyscallArgs clamped;
+  const SyscallArgs* dispatch_args = &a;
   if (fault_ != nullptr) {
-    SyscallArgs clamped;
     bool use_clamped = false;
     SyscallStatus injected = 0;
     if (MaybeInjectFaultLocked(p, number, a, &clamped, &use_clamped, &injected)) {
       return injected;
     }
     if (use_clamped) {
-      return (this->*handler)(p, clamped, rv, lk);
+      dispatch_args = &clamped;
     }
   }
-  return (this->*handler)(p, a, rv, lk);
+  if ((SyscallSpecOf(number).flags & kBlocking) != 0) {
+    // Blocking handlers park on cv_, which drops mu_ but could not drop the
+    // tree lock; they take it internally around the inode-data sections only.
+    return (this->*handler)(p, *dispatch_args, rv, lk);
+  }
+  // Holding the tree lock exclusively is what excludes big-lock handlers from
+  // the kVfsRead fast path's concurrent shared-mode readers.
+  std::unique_lock<std::shared_mutex> tree(fs_.TreeMutex());
+  return (this->*handler)(p, *dispatch_args, rv, lk);
+}
+
+SyscallStatus Kernel::DispatchUnlocked(Process& proc, int number, const SyscallArgs& args,
+                                       SyscallResult* rv) {
+  const SyscallHandler handler = DispatchTable()[number];
+  // kPerProcess handlers never touch the big lock; hand them an empty Lock.
+  Lock no_lock;
+  return (this->*handler)(proc, args, rv, no_lock);
+}
+
+bool Kernel::TryDispatchVfsRead(Process& proc, int number, const SyscallArgs& args,
+                                SyscallResult* rv, SyscallStatus* out) {
+  switch (number) {
+    // Pure tree walks (plus lseek, which at most reads a file size): the
+    // regular handlers are already read-only against the tree and touch
+    // neither rv-independent kernel state nor the Lock, so run them as-is
+    // under the shared tree lock.
+    case kSysStat:
+    case kSysLstat:
+    case kSysAccess:
+    case kSysReadlink:
+    case kSysLseek: {
+      std::shared_lock<std::shared_mutex> tree(fs_.TreeMutex());
+      Lock no_lock;
+      *out = (this->*DispatchTable()[number])(proc, args, rv, no_lock);
+      return true;
+    }
+
+    case kSysFstat: {
+      OpenFileRef file = proc.fds.Get(args.Int(0));
+      if (file == nullptr) {
+        *out = -kEBadf;
+        return true;
+      }
+      if (file->inode == nullptr) {
+        return false;  // anonymous pipe: the synthetic stat reads pipe state
+      }
+      auto* st = args.Ptr<ia::Stat>(1);
+      if (st == nullptr) {
+        *out = -kEFault;
+        return true;
+      }
+      std::shared_lock<std::shared_mutex> tree(fs_.TreeMutex());
+      file->inode->FillStat(st);
+      *out = 0;
+      return true;
+    }
+
+    case kSysOpen: {
+      const char* path = args.Ptr<const char>(0);
+      if (path == nullptr) {
+        *out = -kEFault;
+        return true;
+      }
+      const int flags = args.Int(1);
+      if ((flags & (kOCreat | kOTrunc)) != 0) {
+        return false;  // may create or resize: tree mutations need the big lock
+      }
+      InodeRef inode;
+      {
+        std::shared_lock<std::shared_mutex> tree(fs_.TreeMutex());
+        const int err = fs_.Open(EnvOf(proc), path, flags, 0, &inode);
+        if (err != 0) {
+          *out = err;
+          return true;
+        }
+      }
+      if (inode->IsFifo()) {
+        // Fifo opens register pipe ends (big-lock state). Re-resolving under
+        // the big lock is safe: a non-create, non-trunc open has no effects.
+        return false;
+      }
+      const int fd = proc.fds.AllocateSlot();
+      if (fd < 0) {
+        *out = fd;
+        return true;
+      }
+      auto file = std::make_shared<OpenFile>();
+      file->inode = inode;
+      file->flags = flags;
+      if ((flags & kOAppend) != 0) {
+        std::shared_lock<std::shared_mutex> tree(fs_.TreeMutex());
+        file->offset = static_cast<Off>(inode->data.size());
+      }
+      proc.fds.Set(fd, std::move(file));
+      rv->rv[0] = fd;
+      *out = fd;
+      return true;
+    }
+
+    case kSysClose: {
+      const int fd = args.Int(0);
+      OpenFileRef file = proc.fds.Get(fd);
+      if (file == nullptr) {
+        *out = -kEBadf;
+        return true;
+      }
+      if (file->IsPipe() || file->flock_mode.load(std::memory_order_acquire) != 0) {
+        // Dropping the last reference would detach a pipe end or release an
+        // flock — big-lock transitions that must also wake condvar sleepers.
+        return false;
+      }
+      file.reset();
+      *out = proc.fds.Close(fd);
+      return true;
+    }
+
+    case kSysRead: {
+      const int fd = args.Int(0);
+      char* buf = args.Ptr<char>(1);
+      const int64_t count = args.Long(2);
+      OpenFileRef file = proc.fds.Get(fd);
+      if (file == nullptr || !file->CanRead()) {
+        *out = -kEBadf;
+        return true;
+      }
+      if (buf == nullptr) {
+        *out = -kEFault;
+        return true;
+      }
+      if (count < 0) {
+        *out = -kEInval;
+        return true;
+      }
+      if (count == 0) {
+        rv->rv[0] = 0;
+        *out = 0;
+        return true;
+      }
+      if (file->IsPipe()) {
+        return false;  // may sleep on the condvar
+      }
+      const InodeRef inode = file->inode;
+      if (inode == nullptr) {
+        *out = -kEBadf;
+        return true;
+      }
+      if (inode->IsDevice()) {
+        return false;  // device state belongs to the big lock
+      }
+      std::shared_lock<std::shared_mutex> tree(fs_.TreeMutex());
+      if (inode->IsDirectory()) {
+        *out = -kEIsdir;
+        return true;
+      }
+      const Off off = file->offset.load(std::memory_order_relaxed);
+      const int64_t size = static_cast<int64_t>(inode->data.size());
+      const int64_t avail = size - off;
+      const int64_t n = avail <= 0 ? 0 : std::min(count, avail);
+      if (n > 0) {
+        std::memcpy(buf, inode->data.data() + off, static_cast<size_t>(n));
+        file->offset.store(off + n, std::memory_order_relaxed);
+        inode->atime.store(fs_.now(), std::memory_order_relaxed);
+        std::lock_guard<std::mutex> pm(proc.mu);
+        proc.rusage.ru_inblock += (n + 4095) / 4096;
+      }
+      rv->rv[0] = n;
+      *out = static_cast<SyscallStatus>(n);
+      return true;
+    }
+
+    default:
+      return false;
+  }
 }
 
 namespace {
@@ -553,10 +775,17 @@ bool Kernel::MaybeInjectFaultLocked(Process& p, int number, const SyscallArgs& a
 void Kernel::SetFaultPlan(const FaultPlan& plan) {
   Lock lk(mu_);
   fault_ = std::make_unique<FaultInjector>(plan);
+  // Release-publish after the injector exists: once a fast path observes the
+  // flag, the locked path it falls into sees a fully-constructed injector.
+  // Calls already past their gate check complete uninjected — install plans
+  // before the workload starts (as every bench and test does) for full
+  // coverage from the first call.
+  fault_active_.store(true, std::memory_order_release);
 }
 
 void Kernel::ClearFaultPlan() {
   Lock lk(mu_);
+  fault_active_.store(false, std::memory_order_release);
   fault_.reset();
 }
 
@@ -693,14 +922,19 @@ SyscallStatus Kernel::SysRead(Process& p, const SyscallArgs& a, SyscallResult* r
     rv->rv[0] = n;
     return static_cast<SyscallStatus>(n);
   }
-  // Regular file.
+  // Regular file. read() is a kBlocking row, so DispatchLocked did not take
+  // the tree lock for us; hold it shared around the data section to coexist
+  // with the fast-path readers and exclude writers.
+  std::shared_lock<std::shared_mutex> tree(fs_.TreeMutex());
+  const Off off = file->offset.load(std::memory_order_relaxed);
   const int64_t size = static_cast<int64_t>(inode->data.size());
-  const int64_t avail = size - file->offset;
+  const int64_t avail = size - off;
   const int64_t n = avail <= 0 ? 0 : std::min(count, avail);
   if (n > 0) {
-    std::memcpy(buf, inode->data.data() + file->offset, static_cast<size_t>(n));
-    file->offset += n;
+    std::memcpy(buf, inode->data.data() + off, static_cast<size_t>(n));
+    file->offset.store(off + n, std::memory_order_relaxed);
     inode->atime = fs_.now();
+    std::lock_guard<std::mutex> pm(p.mu);
     p.rusage.ru_inblock += (n + 4095) / 4096;
   }
   rv->rv[0] = n;
@@ -779,15 +1013,19 @@ SyscallStatus Kernel::SysWrite(Process& p, const SyscallArgs& a, SyscallResult* 
   // ceiling or an installed fault plan's disk budget — writes the prefix that
   // fits and reports bytes-written-so-far (4.3BSD short-write semantics);
   // only a write that cannot make progress at all fails (EFBIG / ENOSPC).
+  // write() is a kBlocking row, so DispatchLocked did not take the tree lock;
+  // hold it exclusively around the resize/copy to exclude fast-path readers.
+  std::unique_lock<std::shared_mutex> tree(fs_.TreeMutex());
+  Off off = file->offset.load(std::memory_order_relaxed);
   if ((file->flags & kOAppend) != 0) {
-    file->offset = static_cast<Off>(inode->data.size());
+    off = static_cast<Off>(inode->data.size());
   }
-  if (file->offset >= kMaxFileBytes) {
+  if (off >= kMaxFileBytes) {
     return -kEFbig;
   }
-  int64_t wcount = std::min<int64_t>(count, kMaxFileBytes - file->offset);
+  int64_t wcount = std::min<int64_t>(count, kMaxFileBytes - off);
   if (fault_ != nullptr && fault_->plan().disk_budget_bytes >= 0) {
-    const int64_t grow = file->offset + wcount - static_cast<int64_t>(inode->data.size());
+    const int64_t grow = off + wcount - static_cast<int64_t>(inode->data.size());
     if (grow > 0) {
       const int64_t remaining =
           std::max<int64_t>(fault_->plan().disk_budget_bytes - fs_.total_bytes(), 0);
@@ -801,17 +1039,20 @@ SyscallStatus Kernel::SysWrite(Process& p, const SyscallArgs& a, SyscallResult* 
       }
     }
   }
-  const int64_t end = file->offset + wcount;
+  const int64_t end = off + wcount;
   if (end > static_cast<int64_t>(inode->data.size())) {
     const int resize_err = fs_.ResizeFile(inode, end);
     if (resize_err != 0) {
       return resize_err;
     }
   }
-  std::memcpy(inode->data.data() + file->offset, buf, static_cast<size_t>(wcount));
-  file->offset = end;
+  std::memcpy(inode->data.data() + off, buf, static_cast<size_t>(wcount));
+  file->offset.store(end, std::memory_order_relaxed);
   inode->mtime = fs_.now();
-  p.rusage.ru_oublock += (wcount + 4095) / 4096;
+  {
+    std::lock_guard<std::mutex> pm(p.mu);
+    p.rusage.ru_oublock += (wcount + 4095) / 4096;
+  }
   rv->rv[0] = wcount;
   return static_cast<SyscallStatus>(wcount);
 }
@@ -1406,7 +1647,7 @@ SyscallStatus Kernel::SysFork(Process& p, const SyscallArgs& /*a*/, SyscallResul
   p.pending_fork_body = nullptr;
 
   Process& child = CreateProcessLocked(p.pid);
-  child.pgrp = p.pgrp;
+  child.pgrp = p.pgrp.load();
   child.cred = p.cred;
   child.login = p.login;
   child.fds = p.fds.Clone();
@@ -1503,12 +1744,15 @@ int Kernel::ResolveExecutableLocked(Process& p, const std::string& path, Pending
   out->argv = std::move(argv);
   out->valid = true;
 
-  // setuid/setgid execution.
-  if ((file->mode_bits & kSIsuid) != 0) {
-    p.cred.euid = file->uid;
-  }
-  if ((file->mode_bits & kSIsgid) != 0) {
-    p.cred.egid = file->gid;
+  // setuid/setgid execution (cred writes take the leaf lock; see SysSetuid).
+  if ((file->mode_bits & (kSIsuid | kSIsgid)) != 0) {
+    std::lock_guard<std::mutex> pm(p.mu);
+    if ((file->mode_bits & kSIsuid) != 0) {
+      p.cred.euid = file->uid;
+    }
+    if ((file->mode_bits & kSIsgid) != 0) {
+      p.cred.egid = file->gid;
+    }
   }
   return 0;
 }
@@ -1629,7 +1873,7 @@ SyscallStatus Kernel::SysKill(Process& p, const SyscallArgs& a, SyscallResult* /
   }
   // pid == 0: own process group; pid < -1: group |pid|; pid == -1: broadcast.
   // Negate in 64 bits: pid may be INT_MIN, whose int negation is undefined.
-  const int64_t group = target_pid == 0 ? p.pgrp : -static_cast<int64_t>(target_pid);
+  const int64_t group = target_pid == 0 ? p.pgrp.load() : -static_cast<int64_t>(target_pid);
   int hits = 0;
   int err = -kESrch;
   for (const auto& [pid, target] : table_) {
@@ -1736,8 +1980,11 @@ SyscallStatus Kernel::SysSetpgrp(Process& p, const SyscallArgs& a, SyscallResult
   if (target == nullptr) {
     return -kESrch;
   }
-  if (!p.cred.IsSuperuser() && target->cred.ruid != p.cred.ruid) {
-    return -kEPerm;
+  {
+    std::lock_guard<std::mutex> pm(target->mu);
+    if (!p.cred.IsSuperuser() && target->cred.ruid != p.cred.ruid) {
+      return -kEPerm;
+    }
   }
   target->pgrp = pgrp;
   return 0;
@@ -1748,6 +1995,9 @@ SyscallStatus Kernel::SysSetuid(Process& p, const SyscallArgs& a, SyscallResult*
   if (!p.cred.IsSuperuser() && uid != p.cred.ruid) {
     return -kEPerm;
   }
+  // Owner-thread cred writes take the leaf lock so cross-thread readers
+  // (kill/setpgrp permission checks) see whole values.
+  std::lock_guard<std::mutex> pm(p.mu);
   p.cred.ruid = p.cred.euid = uid;
   return 0;
 }
@@ -1785,6 +2035,7 @@ SyscallStatus Kernel::SysSetgroups(Process& p, const SyscallArgs& a, SyscallResu
   if (ngroups > 0 && gidset == nullptr) {
     return -kEFault;
   }
+  std::lock_guard<std::mutex> pm(p.mu);
   p.cred.groups.assign(gidset, gidset + ngroups);
   return 0;
 }
@@ -1881,7 +2132,8 @@ SyscallStatus Kernel::SysSigsetmask(Process& p, const SyscallArgs& a, SyscallRes
   const auto mask = static_cast<uint32_t>(a.U64(0));
   rv->rv[0] = p.sig_mask;
   p.sig_mask = mask & ~(SigMask(kSigKill) | SigMask(kSigStop));
-  cv_.notify_all();
+  // No condvar notify: only the owner sleeps on its own mask, and the owner
+  // is here. (Removing it is also what lets this row run kPerProcess.)
   return 0;
 }
 
@@ -1905,8 +2157,11 @@ SyscallStatus Kernel::SysGettimeofday(Process& /*p*/, const SyscallArgs& a, Sysc
   auto* tp = a.Ptr<TimeVal>(0);
   auto* tzp = a.Ptr<TimeZone>(1);
   if (tp != nullptr) {
-    tp->tv_sec = clock_.Now() / 1000000;
-    tp->tv_usec = clock_.Now() % 1000000;
+    // One clock read: two loads could straddle a concurrent advance and pair
+    // a new seconds field with a stale microseconds remainder.
+    const int64_t now = clock_.Now();
+    tp->tv_sec = now / 1000000;
+    tp->tv_usec = now % 1000000;
   }
   if (tzp != nullptr) {
     *tzp = TimeZone{};
@@ -1934,6 +2189,8 @@ SyscallStatus Kernel::SysGetrusage(Process& p, const SyscallArgs& a, SyscallResu
     return -kEFault;
   }
   if (who == kRusageSelf) {
+    // Signal posting and reaping touch rusage from other threads.
+    std::lock_guard<std::mutex> pm(p.mu);
     *usage = p.rusage;
     return 0;
   }

@@ -1,18 +1,42 @@
 // The simulated 4.3BSD kernel.
 //
-// A single big lock serializes all kernel-mode execution (4.3BSD was a
-// uniprocessor kernel); each simulated process runs on a host thread and enters
-// the kernel through DoSyscall(). Blocking calls (pipe I/O, wait4, sigpause)
-// sleep on the kernel-wide condition variable and honor signals with EINTR, as
-// 4.3BSD does; exactly those rows carry kBlocking in syscalls.def.
+// Each simulated process runs on a host thread and enters the kernel through
+// DoSyscall(). Kernel-mode execution is serialized at three granularities:
+//
+//   * the big lock (mu_) still owns all cross-process state — the process
+//     table, fork/exec/exit/wait, signal delivery, pipes, devices, flock, and
+//     every blocking sleep (kBlocking rows park on the kernel-wide condvar
+//     and honor signals with EINTR, as 4.3BSD does);
+//   * syscalls flagged kPerProcess in syscalls.def (getpid/umask/sigblock/
+//     gettimeofday/getrusage/...) dispatch through DispatchUnlocked and never
+//     touch mu_ — they rely on Process::mu, per-field atomics, and the atomic
+//     VirtualClock;
+//   * syscalls flagged kVfsRead (stat/access/readlink/open/read/lseek/fstat/
+//     close) first try a lock-free fast path under the VFS tree lock in
+//     SHARED mode, falling back to the big lock for the cases that mutate
+//     shared state (O_CREAT/O_TRUNC opens, fifos/pipes, devices, flocked
+//     files). Big-lock handlers for non-blocking rows additionally hold the
+//     tree lock EXCLUSIVELY, which is what excludes them from concurrent
+//     shared-mode readers.
+//
+// Lock order (outer to inner): mu_ -> fs_.TreeMutex() -> name cache mutex,
+// and independently {mu_ or nothing} -> Process::mu. Nothing acquires mu_
+// while holding any of the others.
+//
+// Fast paths are disabled entirely while a fault plan is installed (fault
+// decisions must stay deterministic per (pid, per-process syscall sequence),
+// and the injector is guarded by mu_) and while a ktrace sink is attached
+// (sinks are not required to be thread-safe).
 #ifndef SRC_KERNEL_KERNEL_H_
 #define SRC_KERNEL_KERNEL_H_
 
 #include <array>
+#include <atomic>
 #include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -115,8 +139,10 @@ class Kernel {
   // Snapshot of the namei directory name-lookup cache counters.
   NameCacheStats CacheStats();
 
-  // In-kernel tracing (the monolithic DFSTrace stand-in). Not owned.
-  void SetKtrace(KtraceSink* sink) { ktrace_ = sink; }
+  // In-kernel tracing (the monolithic DFSTrace stand-in). Not owned. While a
+  // sink is attached every syscall takes the big-lock path, so sinks need no
+  // internal synchronization.
+  void SetKtrace(KtraceSink* sink) { ktrace_.store(sink, std::memory_order_release); }
 
   // Per-syscall virtual-time costs (µsec); defaults approximate paper Table 3-5.
   void SetSyscallCost(int number, int32_t micros);
@@ -148,6 +174,19 @@ class Kernel {
 
   SyscallStatus DispatchLocked(Process& proc, int number, const SyscallArgs& args,
                                SyscallResult* rv, Lock& lk);
+
+  // The kPerProcess fast path: runs the row's handler with no kernel lock
+  // held (the handler touches only the calling process's state, Process::mu-
+  // guarded fields, and atomics). `number` is already validated.
+  SyscallStatus DispatchUnlocked(Process& proc, int number, const SyscallArgs& args,
+                                 SyscallResult* rv);
+
+  // The kVfsRead fast path: attempts the call under the VFS tree lock in
+  // shared mode. Returns true with *out filled when the call completed;
+  // returns false when the case needs the big lock (creat/trunc opens, pipes
+  // and fifos, devices, flocked closes), and the caller re-dispatches.
+  bool TryDispatchVfsRead(Process& proc, int number, const SyscallArgs& args, SyscallResult* rv,
+                          SyscallStatus* out);
 
   // Consults the installed fault plan for this dispatch. Returns true when the
   // call is consumed (out_status holds the injected result); on a short
@@ -274,11 +313,29 @@ class Kernel {
   RandomDevice random_dev_;
 
   double compute_spin_scale_ = 0.0;
-  KtraceSink* ktrace_ = nullptr;
-  std::unique_ptr<FaultInjector> fault_;  // null = fault plane off
+  // Atomic: read by every DoSyscall to gate the fast paths, written rarely.
+  std::atomic<KtraceSink*> ktrace_{nullptr};
+  std::unique_ptr<FaultInjector> fault_;  // null = fault plane off; guarded by mu_
+  // Mirrors fault_ != nullptr so the fast-path gate needs no lock. While true,
+  // every dispatch serializes under mu_, keeping the per-(pid, seq) fault
+  // decision stream identical to the pre-fast-path kernel.
+  std::atomic<bool> fault_active_{false};
   int32_t syscall_cost_[kMaxSyscall] = {};
-  int64_t total_syscalls_ = 0;
-  SyscallStat syscall_stats_[kMaxSyscall] = {};
+
+  // Observability counters, updated by concurrent lock-free dispatches.
+  // Relaxed ordering throughout: each counter is an independent monotonic
+  // tally — nothing is ordered by them, and snapshots (SyscallStats(),
+  // TotalSyscallCount()) are documented as instantaneous reads that may split
+  // a racing call's calls/vtime update. Quiescing the kernel (as the benches
+  // and tests do) makes snapshots exact, because thread join/condvar edges
+  // then order every prior relaxed store before the read.
+  std::atomic<int64_t> total_syscalls_{0};
+  struct AtomicSyscallStat {
+    std::atomic<int64_t> calls{0};
+    std::atomic<int64_t> errors{0};
+    std::atomic<int64_t> vtime_usec{0};
+  };
+  AtomicSyscallStat syscall_stats_[kMaxSyscall] = {};
 };
 
 }  // namespace ia

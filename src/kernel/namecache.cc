@@ -5,132 +5,237 @@
 namespace ia {
 
 NameCache::NameCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
-  stats_.capacity = capacity_;
+  // Fixed bucket array at ~2x capacity: no rehash ever happens, which is what
+  // lets Lookup traverse the chains without a lock.
+  size_t buckets = 8;
+  while (buckets < capacity_ * 2) {
+    buckets <<= 1;
+  }
+  bucket_mask_ = buckets - 1;
+  buckets_ = std::make_unique<std::atomic<Entry*>[]>(buckets);  // value-init: all null
 }
 
 NameCache::Outcome NameCache::Lookup(const Inode& dir, std::string_view name, InodeRef* out,
                                      Hint* hint) {
-  if (!enabled_) {
+  if (!enabled()) {
     return Outcome::kMiss;
   }
-  auto it = map_.find(KeyView{dir.ino(), name});
-  if (it == map_.end()) {
-    stats_.misses += 1;
+  // Structure generation is snapshotted BEFORE the probe: if the node found
+  // below is unlinked after this point the generation moves, so a Hint built
+  // from this snapshot can never smuggle an unlinked node into Insert*.
+  const uint64_t gen_snapshot = structure_gen_.load(std::memory_order_acquire);
+  Entry* node = BucketOf(dir.ino(), name).load(std::memory_order_acquire);
+  while (node != nullptr && !(node->key.dir_ino == dir.ino() && node->key.name == name)) {
+    node = node->next_hash.load(std::memory_order_acquire);
+  }
+  if (node == nullptr || node->dead.load(std::memory_order_acquire)) {
+    counters_.misses.fetch_add(1, std::memory_order_relaxed);
     return Outcome::kMiss;
   }
-  Entry& entry = *it->second;
-  if (entry.dir_gen != dir.namecache_gen) {
+  if (node->dir_gen.load(std::memory_order_acquire) != dir.namecache_gen) {
     // The directory mutated since this entry was cached. Report a miss but
     // keep the node: the caller re-searches the directory and its Insert*
-    // refreshes this node in place (through `hint` without even re-probing),
-    // so churny directories don't pay an erase + reallocate cycle per
+    // revalidates this node in place (through `hint` without even re-probing),
+    // so churny directories don't pay an unlink + reallocate cycle per
     // mutation.
     if (hint != nullptr) {
-      hint->node = &entry;
+      hint->node = node;
+      hint->gen = gen_snapshot;
     }
-    stats_.misses += 1;
+    counters_.misses.fetch_add(1, std::memory_order_relaxed);
     return Outcome::kMiss;
   }
-  if (entry.negative) {
-    entry.touched = true;
-    stats_.negative_hits += 1;
+  if (node->negative) {
+    node->touched.store(true, std::memory_order_relaxed);
+    counters_.negative_hits.fetch_add(1, std::memory_order_relaxed);
     *out = nullptr;
     return Outcome::kNegativeHit;
   }
-  InodeRef child = entry.child.lock();
+  InodeRef child = node->child.lock();
   if (child == nullptr) {
-    Erase(it);
-    stats_.misses += 1;
+    // The inode died under the cache. A lock-free reader cannot unlink, but
+    // it can retire: the exchange decides whether this reader or a racing
+    // writer owns the live-count decrement. The node stays chained until a
+    // writer re-maps or sweeps it.
+    if (!node->dead.exchange(true, std::memory_order_acq_rel)) {
+      live_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    counters_.misses.fetch_add(1, std::memory_order_relaxed);
     return Outcome::kMiss;
   }
-  entry.touched = true;  // clock bit: no list surgery on the hit path
-  stats_.hits += 1;
+  node->touched.store(true, std::memory_order_relaxed);  // clock bit: no list surgery on a hit
+  counters_.hits.fetch_add(1, std::memory_order_relaxed);
   *out = std::move(child);
   return Outcome::kHit;
 }
 
 void NameCache::InsertPositive(const Inode& dir, std::string_view name, const InodeRef& child,
                                const Hint* hint) {
-  if (!enabled_ || child == nullptr || child->IsSymlink()) {
+  if (!enabled() || child == nullptr || child->IsSymlink()) {
     return;
   }
-  InsertEntry(dir, name, child, /*negative=*/false,
-              hint != nullptr ? static_cast<Entry*>(hint->node) : nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* hinted = nullptr;
+  if (hint != nullptr && hint->node != nullptr &&
+      hint->gen == structure_gen_.load(std::memory_order_relaxed)) {
+    hinted = static_cast<Entry*>(hint->node);
+  }
+  InsertEntryLocked(dir, name, child, /*negative=*/false, hinted);
 }
 
 void NameCache::InsertNegative(const Inode& dir, std::string_view name, const Hint* hint) {
-  if (!enabled_) {
+  if (!enabled()) {
     return;
   }
-  InsertEntry(dir, name, nullptr, /*negative=*/true,
-              hint != nullptr ? static_cast<Entry*>(hint->node) : nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* hinted = nullptr;
+  if (hint != nullptr && hint->node != nullptr &&
+      hint->gen == structure_gen_.load(std::memory_order_relaxed)) {
+    hinted = static_cast<Entry*>(hint->node);
+  }
+  InsertEntryLocked(dir, name, nullptr, /*negative=*/true, hinted);
 }
 
-void NameCache::InsertEntry(const Inode& dir, std::string_view name, const InodeRef& child,
-                            bool negative, Entry* hinted) {
-  if (hinted != nullptr) {
-    // Stale node recorded by the preceding Lookup for this same key: refresh
-    // it directly, skipping the hash probe entirely.
-    hinted->child = child;
-    hinted->dir_gen = dir.namecache_gen;
-    hinted->negative = negative;
-    hinted->touched = true;
+NameCache::Entry* NameCache::FindLocked(Ino dir_ino, std::string_view name) {
+  Entry* node = BucketOf(dir_ino, name).load(std::memory_order_relaxed);
+  while (node != nullptr && !(node->key.dir_ino == dir_ino && node->key.name == name)) {
+    node = node->next_hash.load(std::memory_order_relaxed);
+  }
+  return node;
+}
+
+void NameCache::InsertEntryLocked(const Inode& dir, std::string_view name, const InodeRef& child,
+                                  bool negative, Entry* hinted) {
+  // Both the hint (structure-generation-validated) and FindLocked can only
+  // yield nodes that are still chained and on lru_: unlinking is the single
+  // operation that unchains, and it moves the node to garbage_ in the same
+  // step while bumping the generation.
+  Entry* node = hinted != nullptr ? hinted : FindLocked(dir.ino(), name);
+  if (node != nullptr) {
+    const bool same_mapping =
+        !node->dead.load(std::memory_order_acquire) && node->negative == negative &&
+        (negative || (!node->child.owner_before(child) && !child.owner_before(node->child)));
+    if (same_mapping) {
+      // Same name -> same object: revalidate in place. Readers racing this
+      // store see either the stale or the fresh generation, never a torn
+      // mapping (key/child/negative are immutable).
+      node->dir_gen.store(dir.namecache_gen, std::memory_order_release);
+      node->touched.store(true, std::memory_order_relaxed);
+      return;
+    }
+    // Re-mapped (different inode, flipped negativity, or retired): publish a
+    // fresh node instead of mutating this one under concurrent readers.
+    UnlinkLocked(node);
+  }
+  if (garbage_.size() >= capacity_ * 2) {
+    // Deferred reclamation has fallen far behind (no tree-exclusive section
+    // has run for a long stretch of churn). Stop caching new names rather
+    // than let the garbage list grow without bound; lookups simply miss
+    // until InvalidateDir/Clear next reclaims.
     return;
   }
-  auto it = map_.find(KeyView{dir.ino(), name});
-  if (it != map_.end()) {
-    // Refresh in place; covers both re-inserts and stale nodes left behind by
-    // generation bumps.
-    Entry& entry = *it->second;
-    entry.child = child;
-    entry.dir_gen = dir.namecache_gen;
-    entry.negative = negative;
-    entry.touched = true;
-    return;
-  }
-  while (map_.size() >= capacity_) {
-    // Second-chance sweep: a touched back entry is recycled to the front with
-    // its clock bit cleared; the first untouched one is the victim. Each
-    // touched entry is passed over at most once per sweep, so this terminates.
+  while (lru_.size() >= capacity_) {
     Entry& back = lru_.back();
-    if (back.touched) {
-      back.touched = false;
+    if (back.dead.load(std::memory_order_acquire)) {
+      // Retired by a reader that caught the weak child expired; not a
+      // capacity eviction.
+      UnlinkLocked(&back);
+      continue;
+    }
+    if (back.touched.load(std::memory_order_relaxed)) {
+      // Second-chance sweep: a touched back entry is recycled to the front
+      // with its clock bit cleared; the first untouched one is the victim.
+      // Each touched entry is passed over at most once per sweep, so this
+      // terminates.
+      back.touched.store(false, std::memory_order_relaxed);
       lru_.splice(lru_.begin(), lru_, std::prev(lru_.end()));
       continue;
     }
-    auto victim = map_.find(back.key);
-    Erase(victim);
-    stats_.evictions += 1;
+    UnlinkLocked(&back);
+    counters_.evictions.fetch_add(1, std::memory_order_relaxed);
   }
-  lru_.push_front(Entry{Key{dir.ino(), std::string(name)}, child, dir.namecache_gen, negative,
-                        /*touched=*/false});
-  map_.emplace(lru_.front().key, lru_.begin());
-  stats_.insertions += 1;
+  lru_.emplace_front(Key{dir.ino(), std::string(name)}, std::weak_ptr<Inode>(child),
+                     dir.namecache_gen, negative);
+  Entry& fresh = lru_.front();
+  fresh.self = lru_.begin();
+  std::atomic<Entry*>& bucket = BucketOf(dir.ino(), name);
+  // Publish: fully constructed node first, then the release store that makes
+  // it reachable. Readers acquire-load the bucket head, so they observe the
+  // node's immutable fields.
+  fresh.next_hash.store(bucket.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  bucket.store(&fresh, std::memory_order_release);
+  live_count_.fetch_add(1, std::memory_order_relaxed);
+  counters_.insertions.fetch_add(1, std::memory_order_relaxed);
+}
+
+void NameCache::UnlinkLocked(Entry* node) {
+  // Splice out of the bucket chain. The node keeps its own next_hash link so
+  // a concurrent reader paused on it can finish walking the rest of the
+  // chain; the node's memory stays valid until the next quiescent reclaim.
+  std::atomic<Entry*>* link = &BucketOf(node->key.dir_ino, node->key.name);
+  Entry* cur = link->load(std::memory_order_relaxed);
+  while (cur != node) {
+    link = &cur->next_hash;
+    cur = link->load(std::memory_order_relaxed);
+  }
+  link->store(node->next_hash.load(std::memory_order_relaxed), std::memory_order_release);
+  if (!node->dead.exchange(true, std::memory_order_acq_rel)) {
+    live_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  garbage_.splice(garbage_.begin(), lru_, node->self);
+  structure_gen_.fetch_add(1, std::memory_order_release);
+}
+
+void NameCache::ReclaimGarbageLocked() {
+  if (garbage_.empty()) {
+    return;
+  }
+  garbage_.clear();
+  structure_gen_.fetch_add(1, std::memory_order_release);
 }
 
 void NameCache::InvalidateDir(Inode& dir) {
+  // dir.namecache_gen is guarded by the VFS tree lock (held exclusively by
+  // every caller); only the counter needs the cache's own synchronization.
+  // That same exclusive hold guarantees no lock-free reader is in flight, so
+  // this is also the safe point to free deferred garbage.
   dir.namecache_gen += 1;
-  stats_.invalidations += 1;
-}
-
-void NameCache::Erase(const Map::iterator& it) {
-  lru_.erase(it->second);
-  map_.erase(it);
+  counters_.invalidations.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  ReclaimGarbageLocked();
 }
 
 void NameCache::Clear() {
-  lru_.clear();
-  map_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i <= bucket_mask_; ++i) {
+    buckets_[i].store(nullptr, std::memory_order_relaxed);
+  }
+  garbage_.splice(garbage_.begin(), lru_);
+  live_count_.store(0, std::memory_order_relaxed);
+  // Callers promise quiescence, so the garbage (including everything just
+  // unpublished) can be freed immediately.
+  ReclaimGarbageLocked();
+  structure_gen_.fetch_add(1, std::memory_order_release);
 }
 
 void NameCache::ResetStats() {
-  stats_ = NameCacheStats{};
-  stats_.capacity = capacity_;
+  counters_.hits.store(0, std::memory_order_relaxed);
+  counters_.negative_hits.store(0, std::memory_order_relaxed);
+  counters_.misses.store(0, std::memory_order_relaxed);
+  counters_.insertions.store(0, std::memory_order_relaxed);
+  counters_.evictions.store(0, std::memory_order_relaxed);
+  counters_.invalidations.store(0, std::memory_order_relaxed);
 }
 
 NameCacheStats NameCache::stats() const {
-  NameCacheStats out = stats_;
-  out.size = map_.size();
+  NameCacheStats out;
+  out.hits = counters_.hits.load(std::memory_order_relaxed);
+  out.negative_hits = counters_.negative_hits.load(std::memory_order_relaxed);
+  out.misses = counters_.misses.load(std::memory_order_relaxed);
+  out.insertions = counters_.insertions.load(std::memory_order_relaxed);
+  out.evictions = counters_.evictions.load(std::memory_order_relaxed);
+  out.invalidations = counters_.invalidations.load(std::memory_order_relaxed);
+  out.size = size();
   out.capacity = capacity_;
   return out;
 }

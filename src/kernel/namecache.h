@@ -22,18 +22,38 @@
 // (Namei re-expands symlinks on every walk; keeping them out keeps the cache
 // a pure name->object map, as the BSD DNLC did).
 //
-// Synchronization is the caller's (the kernel big lock), like the rest of the
-// VFS.
+// Synchronization: the hit path is lock-free. Namei walks run concurrently
+// under the VFS tree lock in *shared* mode (see vfs.h), and a deep walk does
+// one cache probe per component, so a per-probe mutex would both serialize
+// concurrent walkers and tax the single-client warm path. Instead:
+//
+//   * The index is a fixed-size array of atomic bucket heads over singly
+//     linked Entry chains. Lookup() traverses with acquire loads and never
+//     takes a lock; Entry identity fields (key, child, negative) are
+//     immutable after publication, and the mutable bits (dir_gen, touched,
+//     dead) are atomics.
+//   * All structural mutation — insert, refresh, eviction, clear — happens
+//     under the cache mutex (the innermost kernel lock; nothing is acquired
+//     while holding it). An entry is never updated to point at a *different*
+//     inode in place: re-mapping unlinks the old node and publishes a fresh
+//     one, so a concurrent reader sees either the old consistent entry or
+//     the new one.
+//   * Unlinked nodes are not freed immediately (a lock-free reader may still
+//     be traversing them); they move to a garbage list reclaimed inside
+//     InvalidateDir()/Clear(), whose callers hold the VFS tree lock
+//     exclusively — a point where no shared-mode walker (hence no reader)
+//     can exist. The tree lock is the cache's grace period.
 #ifndef SRC_KERNEL_NAMECACHE_H_
 #define SRC_KERNEL_NAMECACHE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 
 #include "src/kernel/types.h"
 
@@ -65,8 +85,9 @@ class NameCache {
 
   // Toggling the cache off makes Lookup always miss and Insert* no-ops; used
   // by benchmarks to measure the uncached baseline on a live filesystem.
-  void set_enabled(bool enabled) { enabled_ = enabled; }
-  bool enabled() const { return enabled_; }
+  // Flip only while no walks are in flight (benches toggle between runs).
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_release); }
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
 
   enum class Outcome {
     kMiss,         // caller must search the directory
@@ -75,20 +96,27 @@ class NameCache {
   };
 
   // Opaque node-reuse hint: a Lookup that misses on a STALE node records the
-  // node here, and a subsequent Insert* with the same (dir, name) refreshes it
-  // directly — no second hash probe, no reallocation. Only valid for the very
-  // next Insert* with the identical key; do not store.
+  // node here, and a subsequent Insert* with the same (dir, name) revalidates
+  // it directly — no second hash probe. Only valid for the very next Insert*
+  // with the identical key; do not store. `gen` snapshots the cache's
+  // structure generation: if any node was unlinked or reclaimed between the
+  // Lookup and the Insert* (possible now that walks run concurrently), the
+  // hint is silently ignored instead of dereferencing a recycled node.
   struct Hint {
     void* node = nullptr;
+    uint64_t gen = 0;
   };
 
   // Consults the cache for `name` under `dir`. Only kHit fills *out. The hit
-  // path is allocation-free: `name` is matched via transparent hashing, never
-  // copied.
+  // path is lock-free and allocation-free: one atomic bucket-chain traversal,
+  // no mutex, no string copy. Callers must hold the VFS tree lock (shared is
+  // enough); that is what keeps unlinked-but-visible nodes alive until the
+  // next exclusive-section reclaim.
   Outcome Lookup(const Inode& dir, std::string_view name, InodeRef* out, Hint* hint = nullptr);
 
-  // Records that `dir` contains `name` -> `child`. Symlink children are skipped.
-  // A stale node for the same key is refreshed in place (no reallocation).
+  // Records that `dir` contains `name` -> `child`. Symlink children are
+  // skipped. A node for the same key pointing at the same inode is
+  // revalidated in place; a re-mapped name gets a fresh node.
   void InsertPositive(const Inode& dir, std::string_view name, const InodeRef& child,
                       const Hint* hint = nullptr);
 
@@ -96,17 +124,26 @@ class NameCache {
   void InsertNegative(const Inode& dir, std::string_view name, const Hint* hint = nullptr);
 
   // O(1) stale-out of every cached entry under `dir` (bumps its generation).
+  // Callers must hold the VFS tree lock exclusively: the generation counter
+  // lives on the inode and is read by concurrent shared-mode walkers, and
+  // the exclusive section doubles as the grace period for reclaiming
+  // deferred garbage from evictions and re-maps.
   void InvalidateDir(Inode& dir);
 
-  // Drops every entry (stats other than size are kept).
+  // Drops every entry (stats other than size are kept). Requires quiescence
+  // (no concurrent walks): benches/tests call it between runs.
   void Clear();
 
   void ResetStats();
 
-  // Snapshot including current size/capacity.
+  // Snapshot including current size/capacity. Counters are independent relaxed
+  // atomics: each value is exact, but a snapshot taken mid-walk may observe a
+  // lookup whose insertion has not landed yet (hits+misses can transiently
+  // disagree with insertions). Quiesce the kernel for exact cross-counter
+  // arithmetic, as the benches do.
   NameCacheStats stats() const;
 
-  size_t size() const { return map_.size(); }
+  size_t size() const { return live_count_.load(std::memory_order_relaxed); }
   size_t capacity() const { return capacity_; }
 
  private:
@@ -115,60 +152,91 @@ class NameCache {
     std::string name;
   };
 
-  // Borrowed-name view of a Key; lets Lookup probe the index without copying
-  // the component string (C++20 transparent unordered_map lookup).
-  struct KeyView {
-    Ino dir_ino;
-    std::string_view name;
-  };
-
-  struct KeyHash {
-    using is_transparent = void;
-    static size_t Mix(Ino dir_ino, std::string_view name) {
-      return std::hash<std::string_view>()(name) ^
-             (std::hash<uint64_t>()(static_cast<uint64_t>(dir_ino)) * 0x9e3779b97f4a7c15ULL);
-    }
-    size_t operator()(const Key& key) const { return Mix(key.dir_ino, key.name); }
-    size_t operator()(const KeyView& key) const { return Mix(key.dir_ino, key.name); }
-  };
-
-  struct KeyEq {
-    using is_transparent = void;
-    bool operator()(const Key& a, const Key& b) const {
-      return a.dir_ino == b.dir_ino && a.name == b.name;
-    }
-    bool operator()(const KeyView& a, const Key& b) const {
-      return a.dir_ino == b.dir_ino && a.name == b.name;
-    }
-    bool operator()(const Key& a, const KeyView& b) const {
-      return a.dir_ino == b.dir_ino && a.name == b.name;
-    }
-  };
+  static size_t HashMix(Ino dir_ino, std::string_view name) {
+    return std::hash<std::string_view>()(name) ^
+           (std::hash<uint64_t>()(static_cast<uint64_t>(dir_ino)) * 0x9e3779b97f4a7c15ULL);
+  }
 
   struct Entry {
-    Key key;
-    std::weak_ptr<Inode> child;  // empty for negative entries
-    uint64_t dir_gen = 0;        // directory generation at insert time
-    bool negative = false;
-    bool touched = false;  // referenced since last eviction sweep (clock bit)
+    Entry(Key k, std::weak_ptr<Inode> c, uint64_t gen, bool neg)
+        : key(std::move(k)), child(std::move(c)), negative(neg), dir_gen(gen) {}
+
+    // Immutable after publication (a re-mapped name gets a fresh node, so
+    // lock-free readers never observe these mid-change).
+    const Key key;
+    const std::weak_ptr<Inode> child;  // empty for negative entries
+    const bool negative;
+
+    // Directory generation this mapping was validated against. Refreshed in
+    // place (release store) when an insert revalidates the same mapping.
+    std::atomic<uint64_t> dir_gen;
+    // Clock bit: referenced since the last eviction sweep. Set by lock-free
+    // readers, consumed by the sweep under the mutex.
+    std::atomic<bool> touched{false};
+    // Set (exchange) by whichever side retires the entry first: a reader that
+    // caught the weak child expired, or a writer unlinking it. Whoever wins
+    // the exchange owns the live-count decrement, so the count stays exact
+    // even when both race.
+    std::atomic<bool> dead{false};
+    // Bucket chain link. Readers traverse with acquire loads; writers relink
+    // under the mutex. An unlinked node keeps its link so a reader paused on
+    // it can finish walking the chain.
+    std::atomic<Entry*> next_hash{nullptr};
+
+    // This node's own position in lru_/garbage_, so an unlink found through
+    // the hash chain can splice the node out in O(1). Writer-only, guarded by
+    // the cache mutex.
+    std::list<Entry>::iterator self;
   };
 
-  using LruList = std::list<Entry>;
-  using Map = std::unordered_map<Key, LruList::iterator, KeyHash, KeyEq>;
+  using EntryList = std::list<Entry>;
 
-  // Inserts (or refreshes) an entry, evicting LRU overflow. `hinted` (may be
-  // null) is a stale node for the same key recorded by Lookup.
-  void InsertEntry(const Inode& dir, std::string_view name, const InodeRef& child, bool negative,
-                   Entry* hinted);
+  // Monotonic counters. Relaxed is sufficient: they order nothing — readers
+  // only ever aggregate them, and every mutation happens-before a quiescent
+  // snapshot anyway (the reader joined or observed the writers through mu_).
+  struct Counters {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> negative_hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> insertions{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> invalidations{0};
+  };
 
-  // Removes the entry `it` points at.
-  void Erase(const Map::iterator& it);
+  std::atomic<Entry*>& BucketOf(Ino dir_ino, std::string_view name) {
+    return buckets_[HashMix(dir_ino, name) & bucket_mask_];
+  }
+
+  // Chain-walk probe; writer-side (mutex held). Returns dead nodes too (the
+  // caller re-maps them).
+  Entry* FindLocked(Ino dir_ino, std::string_view name);
+
+  // Inserts (or revalidates) an entry. `hinted` (may be null) is a stale node
+  // for the same key recorded by Lookup.
+  void InsertEntryLocked(const Inode& dir, std::string_view name, const InodeRef& child,
+                         bool negative, Entry* hinted);
+
+  // Unlinks `node` from its bucket chain and moves it to the garbage list
+  // (it may still be visible to in-flight readers). Bumps structure_gen_.
+  void UnlinkLocked(Entry* node);
+
+  // Frees the garbage list. Only callable while no lock-free reader can
+  // exist (VFS tree lock held exclusively, or single-threaded quiescence).
+  void ReclaimGarbageLocked();
 
   size_t capacity_;
-  bool enabled_ = true;
-  LruList lru_;  // front = most recently inserted; eviction sweeps the back
-  Map map_;
-  NameCacheStats stats_;
+  size_t bucket_mask_ = 0;
+  std::atomic<bool> enabled_{true};
+  // Guards all structural state: bucket chains, lru_, garbage_. The innermost
+  // kernel lock; leaf only. The lock-free Lookup never takes it.
+  mutable std::mutex mu_;
+  // Bumped whenever a node is unlinked or reclaimed; validates Hints.
+  std::atomic<uint64_t> structure_gen_{0};
+  std::unique_ptr<std::atomic<Entry*>[]> buckets_;
+  EntryList lru_;      // live entries; front = most recently inserted
+  EntryList garbage_;  // unlinked entries awaiting a quiescent reclaim
+  std::atomic<size_t> live_count_{0};
+  Counters counters_;
 };
 
 }  // namespace ia

@@ -1,13 +1,31 @@
 // Process objects for the simulated 4.3BSD kernel.
 //
-// Each live process runs on a dedicated host thread; the kernel serializes all
-// kernel-mode work with a single big lock (4.3BSD was a uniprocessor kernel).
+// Each live process runs on a dedicated host thread. Cross-process kernel work
+// (the process table, wait/signal delivery, pipes, blocking sleeps) is still
+// serialized by the kernel big lock, but syscalls flagged kPerProcess in
+// syscalls.def dispatch without it, so each Process carries its own locking
+// story. Fields fall into four classes, annotated below:
+//
+//   [owner]      touched only by the owning process's thread (plus the parent
+//                before the thread starts, and the kernel after it joins) —
+//                no locking needed;
+//   [proc-mu]    touched by the owner without the big lock AND by other
+//                threads (signal posting, wait4 reaping, cross-process kill/
+//                setpgrp checks) — guarded by Process::mu;
+//   [atomic]     single words with the same cross-thread exposure, kept as
+//                relaxed atomics instead of taking mu for one load;
+//   [big-lock]   only ever touched under the kernel big lock.
+//
+// Lock order: kernel mu_ before Process::mu; Process::mu is a leaf (nothing
+// is acquired while holding it).
 #ifndef SRC_KERNEL_PROCESS_H_
 #define SRC_KERNEL_PROCESS_H_
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -59,28 +77,35 @@ class Process {
   Process(Pid pid_in, Pid ppid_in) : pid(pid_in), ppid(ppid_in) {}
   ~Process();  // out of line: ProcessContext is incomplete here
 
+  // Guards the [proc-mu] fields. Leaf lock: acquired with or without the big
+  // lock held, never around another acquisition.
+  std::mutex mu;
+
   // --- identity ---------------------------------------------------------------
   const Pid pid;
-  Pid ppid;
-  Pid pgrp = 0;
-  Cred cred;
-  std::string login = "root";
+  std::atomic<Pid> ppid;     // [atomic] exiting parents reparent us to 0
+  std::atomic<Pid> pgrp{0};  // [atomic] setpgrp() targets other processes
+  Cred cred;                 // [proc-mu] for writes and cross-thread reads;
+                             // owner reads lock-free (owner is sole writer)
+  std::string login = "root";  // [owner]
 
   // --- state ------------------------------------------------------------------
-  ProcState state = ProcState::kEmbryo;
-  int exit_status = 0;      // wait4 encoding, valid when kZombie
-  bool sigcont_pending = false;
-  bool host_owned = false;  // spawned (and reaped) by the host harness
-  bool exit_pending = false;
-  int exit_wait_status = 0;
+  ProcState state = ProcState::kEmbryo;  // [big-lock]
+  int exit_status = 0;                   // [big-lock] wait4 encoding, valid when kZombie
+  bool sigcont_pending = false;          // [big-lock]
+  bool host_owned = false;               // [big-lock] spawned (and reaped) by the host harness
+  bool exit_pending = false;             // [owner]
+  int exit_wait_status = 0;              // [owner]
 
   // --- resources ----------------------------------------------------------------
-  FdTable fds;
-  InodeRef cwd;
-  InodeRef root;
-  Mode umask_bits = 022;
-  Rusage rusage;
-  Rusage child_rusage;  // accumulated from reaped children
+  FdTable fds;             // [owner] (the OpenFiles inside are shared; see fdtable.h)
+  InodeRef cwd;            // [owner]
+  InodeRef root;           // [owner]
+  Mode umask_bits = 022;   // [owner]
+  Rusage rusage;           // [proc-mu] owner accounts syscalls without the big
+                           // lock; signal posting and wait4 reaping touch it
+                           // from other threads
+  Rusage child_rusage;     // [owner] accumulated from reaped children
 
   // --- program image -------------------------------------------------------------
   std::string image_name;
@@ -98,11 +123,18 @@ class Process {
   std::function<void(ProcessContext&, int)> staging_handler;
 
   // --- signals ----------------------------------------------------------------------
+  // actions and sig_mask are [owner]: sigvec/sigblock/sigsetmask mutate them on
+  // the owning thread (kPerProcess fast path), and every reader — delivery at
+  // the owner's syscall boundary, the owner's blocking-sleep predicates — runs
+  // on that same thread. Signal *posting* from other processes touches only
+  // sig_pending, which is atomic so the owner's boundary check and the fast
+  // paths can test it without any lock (kill(2) posts it under the big lock
+  // and notifies the kernel-wide condvar).
   std::array<SignalAction, kNumSignals> actions;
-  uint32_t sig_pending = 0;
-  uint32_t sig_mask = 0;
+  std::atomic<uint32_t> sig_pending{0};  // [atomic]
+  uint32_t sig_mask = 0;                 // [owner]
   // sigpause(2) restores the caller's mask only after the woken signal's handler
-  // has run; the boundary performs the restore.
+  // has run; the boundary performs the restore. [owner]
   bool sigpause_restore = false;
   uint32_t sigpause_saved_mask = 0;
 
@@ -113,14 +145,19 @@ class Process {
   std::unique_ptr<ProcessContext> context;
   std::thread thread;
 
-  bool HasPendingSignal(int signo) const { return (sig_pending & SigMask(signo)) != 0; }
+  bool HasPendingSignal(int signo) const {
+    return (sig_pending.load(std::memory_order_acquire) & SigMask(signo)) != 0;
+  }
 
   // A signal that would be acted upon if we hit a delivery point now: pending,
-  // unblocked, and not effectively ignored.
+  // unblocked, and not effectively ignored. Called on the owning thread only
+  // (sig_mask/actions are [owner]); the pending word is an acquire load so a
+  // cross-thread post is seen promptly.
   bool HasDeliverableSignal() const {
-    uint32_t candidates = sig_pending & ~sig_mask;
+    const uint32_t pending = sig_pending.load(std::memory_order_acquire);
+    uint32_t candidates = pending & ~sig_mask;
     // SIGKILL/SIGSTOP cannot be blocked.
-    candidates |= sig_pending & (SigMask(kSigKill) | SigMask(kSigStop));
+    candidates |= pending & (SigMask(kSigKill) | SigMask(kSigStop));
     if (candidates == 0) {
       return false;
     }

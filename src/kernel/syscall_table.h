@@ -26,6 +26,17 @@ inline constexpr uint32_t kBlocking = 1u << 4;       // may sleep in the kernel
 inline constexpr uint32_t kFileRef = 1u << 5;        // in DFSTrace's file-reference set
 inline constexpr uint32_t kImplemented = 1u << 6;    // has a kernel handler + decode arm
 inline constexpr uint32_t kAlias = 1u << 7;          // shares another row's method/handler
+// Touches only the calling process's private state (or the monotonic clock):
+// the kernel dispatches these rows without taking the big lock. Incompatible
+// with kBlocking (a sleep needs mu_/cv_); tests/test_concurrency.cc pins the
+// disjointness.
+inline constexpr uint32_t kPerProcess = 1u << 8;
+// Read-only against the VFS tree in the common case: the kernel first tries
+// these rows under the tree lock in shared mode (no big lock), falling back
+// to the big-lock path for the mutating/cross-process cases (O_CREAT/O_TRUNC
+// opens, fifos, pipes, devices, flocked files). May combine with kBlocking:
+// exactly the fallback cases are the ones that can sleep.
+inline constexpr uint32_t kVfsRead = 1u << 9;
 
 // Default virtual-clock cost for calls the paper's Table 3-5 did not measure.
 inline constexpr int32_t kDefaultSyscallCost = 150;

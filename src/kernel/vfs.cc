@@ -96,7 +96,7 @@ Filesystem::Filesystem() {
 
 InodeRef Filesystem::AllocInode(InodeType type, Mode mode_bits, const Cred& cred) {
   auto inode = std::make_shared<Inode>(++next_ino_, type, mode_bits, cred.euid, cred.egid);
-  inode->atime = inode->mtime = inode->ctime = now_;
+  inode->atime = inode->mtime = inode->ctime = now();
   return inode;
 }
 
@@ -155,8 +155,10 @@ int Filesystem::Namei(const NameiEnv& env, std::string_view path, NameiOp op, bo
   // does not allocate. Views alias `path` and expanded symlink targets; both
   // stay alive for the whole walk — the caller owns `path`, and symlink
   // inodes stay linked into the tree, which no one can mutate mid-call
-  // (single-threaded VFS under the kernel big lock).
-  std::vector<std::string_view>& comps = namei_comps_;
+  // (the walker holds the tree lock at least shared for the whole call).
+  // thread_local because walks now run concurrently on many process threads.
+  thread_local std::vector<std::string_view> namei_comps;
+  std::vector<std::string_view>& comps = namei_comps;
   comps.clear();
   PushComponentsReversed(path, &comps);
 
@@ -250,13 +252,13 @@ int Filesystem::AttachEntry(const InodeRef& dir, const std::string& name, const 
   namecache_.InvalidateDir(*dir);
   dir->entries.emplace(name, child);
   child->nlink += 1;
-  child->ctime = now_;
+  child->ctime = now();
   if (child->IsDirectory()) {
     child->parent = dir;
     child->nlink += 1;  // its own "."
     dir->nlink += 1;    // its ".." back-reference
   }
-  dir->mtime = now_;
+  dir->mtime = now();
   return 0;
 }
 
@@ -269,14 +271,14 @@ int Filesystem::DetachEntry(const InodeRef& dir, const std::string& name) {
   namecache_.InvalidateDir(*dir);
   dir->entries.erase(it);
   child->nlink -= 1;
-  child->ctime = now_;
+  child->ctime = now();
   if (child->IsDirectory()) {
     child->nlink -= 1;
     dir->nlink -= 1;
   }
   // Byte accounting happens at true deletion sites (Unlink, rename-replace):
   // a detach may be half of a rename, which re-attaches the same inode.
-  dir->mtime = now_;
+  dir->mtime = now();
   return 0;
 }
 
@@ -338,7 +340,7 @@ int Filesystem::Open(const NameiEnv& env, std::string_view path, int flags, Mode
   }
   if ((flags & kOTrunc) != 0 && nr.inode->IsRegular()) {
     ResizeFile(nr.inode, 0);
-    nr.inode->mtime = now_;
+    nr.inode->mtime = now();
   }
   *out = nr.inode;
   return 0;
@@ -572,7 +574,7 @@ int Filesystem::Chmod(const NameiEnv& env, std::string_view path, Mode mode) {
     return -kEPerm;
   }
   nr.inode->mode_bits = mode & 07777;
-  nr.inode->ctime = now_;
+  nr.inode->ctime = now();
   if (nr.inode->IsDirectory()) {
     // New execute bits change who may look names up through this directory.
     namecache_.InvalidateDir(*nr.inode);
@@ -595,7 +597,7 @@ int Filesystem::Chown(const NameiEnv& env, std::string_view path, Uid uid, Gid g
   if (gid != -1) {
     nr.inode->gid = gid;
   }
-  nr.inode->ctime = now_;
+  nr.inode->ctime = now();
   if (nr.inode->IsDirectory()) {
     namecache_.InvalidateDir(*nr.inode);
   }
@@ -612,12 +614,12 @@ int Filesystem::Utimes(const NameiEnv& env, std::string_view path, const TimeVal
     return -kEPerm;
   }
   if (times == nullptr) {
-    nr.inode->atime = nr.inode->mtime = now_;
+    nr.inode->atime = nr.inode->mtime = now();
   } else {
     nr.inode->atime = times[0].tv_sec;
     nr.inode->mtime = times[1].tv_sec;
   }
-  nr.inode->ctime = now_;
+  nr.inode->ctime = now();
   return 0;
 }
 
@@ -643,7 +645,7 @@ int Filesystem::Truncate(const NameiEnv& env, std::string_view path, Off length)
   if (resize_err != 0) {
     return resize_err;
   }
-  nr.inode->mtime = nr.inode->ctime = now_;
+  nr.inode->mtime = nr.inode->ctime = now();
   return 0;
 }
 
@@ -744,7 +746,7 @@ InodeRef Filesystem::InstallFile(std::string_view path, std::string_view content
   }
   file->data.assign(contents);
   file->mode_bits = mode_bits & 07777;
-  file->mtime = file->ctime = now_;
+  file->mtime = file->ctime = now();
   total_bytes_ += static_cast<int64_t>(contents.size());
   return file;
 }

@@ -1,14 +1,26 @@
 // In-memory UFS-like filesystem: inodes, directories, symlinks, devices, pipes,
 // hard links, permissions, and 4.3BSD namei() semantics.
 //
-// All VFS entry points report errors as negative BSD errno values. Synchronization
-// is provided by the caller (the kernel big lock); the VFS itself is single-threaded.
+// All VFS entry points report errors as negative BSD errno values.
+//
+// Synchronization is provided by the caller through TreeMutex(), a
+// reader/writer lock over the whole inode graph (entries, data, metadata):
+// read-only walks (stat/access/readlink/open-for-read/regular-file reads) hold
+// it shared and proceed concurrently; any mutation (create/unlink/rename/
+// write/resize/chmod/...) holds it exclusively. The kernel's dispatcher takes
+// the exclusive lock around every big-lock handler and the shared lock around
+// the lock-free read fast paths, so VFS method bodies themselves stay
+// lock-free. Inode timestamps are atomics because read paths update atime
+// while holding only the shared lock. The name cache carries its own internal
+// mutex (see namecache.h). Lock order: kernel mu_ -> TreeMutex() -> cache.
 #ifndef SRC_KERNEL_VFS_H_
 #define SRC_KERNEL_VFS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -75,9 +87,14 @@ class Inode {
   Uid uid = 0;
   Gid gid = 0;
   int32_t nlink = 0;
-  int64_t atime = 0;
-  int64_t mtime = 0;
-  int64_t ctime = 0;
+  // Timestamps are relaxed atomics, not tree-lock-guarded fields: the read
+  // fast paths (stat under the shared tree lock, regular-file read marking
+  // atime) update them while other shared holders read them concurrently.
+  // Each stamp is an independent whole value; no cross-field ordering is
+  // promised, which is all stat(2) ever offered.
+  std::atomic<int64_t> atime{0};
+  std::atomic<int64_t> mtime{0};
+  std::atomic<int64_t> ctime{0};
 
   // --- regular file payload --------------------------------------------------
   std::string data;
@@ -95,8 +112,13 @@ class Inode {
   uint64_t namecache_gen = 0;
 
   // --- advisory flock(2) state --------------------------------------------------
-  int flock_shared = 0;       // count of shared holders
-  bool flock_exclusive = false;
+  // Acquisition and conflict checks run under the big lock, but an OpenFile
+  // that turns out to hold the *last* reference can release its lock from the
+  // close fast path's unlocked destructor, so the fields are atomic. A release
+  // racing a conflict check at worst yields one spurious EWOULDBLOCK, which
+  // flock(2)'s retry contract already allows.
+  std::atomic<int> flock_shared{0};  // count of shared holders
+  std::atomic<bool> flock_exclusive{false};
 
   // --- symlink payload ---------------------------------------------------------
   std::string symlink_target;
@@ -143,9 +165,16 @@ class Filesystem {
 
   InodeRef root() const { return root_; }
 
-  // Current file time, in seconds; set by the kernel each tick.
-  void set_now(int64_t seconds) { now_ = seconds; }
-  int64_t now() const { return now_; }
+  // The reader/writer lock over the inode graph. The kernel dispatcher holds
+  // it exclusively around mutating syscall handlers and shared around the
+  // read-only fast paths; VFS method bodies assume the caller holds it in the
+  // appropriate mode (exclusive for every method that mutates the tree).
+  std::shared_mutex& TreeMutex() const { return tree_mu_; }
+
+  // Current file time, in seconds; set by the kernel each tick. Atomic so
+  // shared-mode readers can stamp atimes while the dispatcher advances it.
+  void set_now(int64_t seconds) { now_.store(seconds, std::memory_order_relaxed); }
+  int64_t now() const { return now_.load(std::memory_order_relaxed); }
 
   // Allocates a fresh unattached inode.
   InodeRef AllocInode(InodeType type, Mode mode_bits, const Cred& cred);
@@ -200,7 +229,8 @@ class Filesystem {
   // Counts inodes reachable from the root (statistics/tests).
   size_t CountReachableInodes() const;
 
-  int64_t total_bytes() const { return total_bytes_; }
+  // Atomic: read by the fault plane's exhaustion regime without the tree lock.
+  int64_t total_bytes() const { return total_bytes_.load(std::memory_order_relaxed); }
 
   // Truncate/extend a regular file's data, accounting bytes.
   int ResizeFile(const InodeRef& inode, Off length);
@@ -213,16 +243,18 @@ class Filesystem {
   int LookupComponent(const NameiEnv& env, const InodeRef& dir, std::string_view name,
                       InodeRef* out) const;
 
+  mutable std::shared_mutex tree_mu_;
   InodeRef root_;
+  // Guarded by TreeMutex() exclusive (only mutators allocate inodes).
   Ino next_ino_ = 2;  // ino 2 is the root, per UFS convention
-  int64_t now_ = 0;
-  int64_t total_bytes_ = 0;
+  std::atomic<int64_t> now_{0};
+  std::atomic<int64_t> total_bytes_{0};
   // Mutable: lookups through the const Namei path update LRU order and stats.
+  // Internally synchronized (see namecache.h).
   mutable NameCache namecache_;
-  // Namei's component stack, reused across calls so pathname resolution does
-  // not allocate per lookup. Safe because the VFS is single-threaded (big
-  // lock) and Namei never recurses.
-  std::vector<std::string_view> namei_comps_;
+  // Namei's per-call component stack lives in a thread_local in vfs.cc,
+  // reused across calls so pathname resolution does not allocate per lookup
+  // even with walks running concurrently on many threads.
 };
 
 }  // namespace ia
