@@ -8,9 +8,10 @@
 // entire fault stream is byte-reproducible from the plan seed.
 //
 // Part 2 runs the paper's "make 8 programs" workload under composed
-// chaos+retry agents and under a kernel-plane plan with a retry agent, at
-// escalating recoverable-fault rates, and checks transparency end to end: the
-// resulting filesystem is byte-identical to the fault-free build.
+// chaos+retry agents (and a chaos+retry+union stack, each agent at its
+// table-derived narrowed footprint) and under a kernel-plane plan with a retry
+// agent, at escalating recoverable-fault rates, and checks transparency end to
+// end: the resulting filesystem is byte-identical to the fault-free build.
 //
 // Part 3 reports the cost of the *disabled* hook (no plan installed — one null
 // pointer test per dispatch) against an installed-but-empty plan, on the
@@ -31,6 +32,7 @@
 #include "bench/bench_util.h"
 #include "src/agents/chaos.h"
 #include "src/agents/retry.h"
+#include "src/agents/union_fs.h"
 #include "src/apps/apps.h"
 #include "src/kernel/syscall_table.h"
 
@@ -222,7 +224,15 @@ FaultPlan RecoverablePlan(uint64_t seed, double rate) {
   return plan;
 }
 
-int RunMake(uint64_t seed, double rate, bool kernel_plane, uint64_t* digest,
+// Which layer injects the faults, and what sits above it.
+enum class MakePlane {
+  kKernelRetry,      // kernel FaultPlan + retry agent
+  kChaosRetry,       // chaos agent (nearest kernel) + retry agent
+  kChaosRetryUnion,  // chaos + retry + a union agent on top, every agent at its
+                     // table-derived narrowed footprint (the pay-per-use stack)
+};
+
+int RunMake(uint64_t seed, double rate, MakePlane plane, uint64_t* digest,
             int64_t* injected) {
   KernelConfig config;
   config.compute_spin_scale = 0.15;
@@ -238,21 +248,29 @@ int RunMake(uint64_t seed, double rate, bool kernel_plane, uint64_t* digest,
   std::shared_ptr<ChaosAgent> chaos;
   std::vector<AgentRef> agents;
   if (rate > 0) {
-    if (kernel_plane) {
+    if (plane == MakePlane::kKernelRetry) {
       kernel.SetFaultPlan(RecoverablePlan(seed, rate));
       agents = {std::make_shared<RetryAgent>()};
     } else {
       chaos = std::make_shared<ChaosAgent>(RecoverablePlan(seed, rate));
       agents = {chaos, std::make_shared<RetryAgent>()};  // chaos nearest the kernel
+      if (plane == MakePlane::kChaosRetryUnion) {
+        // Union members live under /tmp so the extra mount scaffolding stays
+        // outside the digested build output.
+        kernel.fs().MkdirAll("/tmp/w");
+        kernel.fs().MkdirAll("/tmp/r");
+        agents.push_back(std::make_shared<UnionAgent>(
+            std::vector<UnionMount>{{"/tmp/u", {"/tmp/w", "/tmp/r"}}}));
+      }
     }
   }
   const int status = agents.empty() ? kernel.HostWaitPid(kernel.Spawn(spawn))
                                     : RunUnderAgents(kernel, agents, spawn);
   *digest = FsDigest(kernel);
   *injected = 0;
-  const auto stats = kernel_plane ? kernel.FaultStats()
-                    : chaos != nullptr ? chaos->FaultStats()
-                                       : std::array<FaultStat, kMaxSyscall>{};
+  const auto stats = plane == MakePlane::kKernelRetry ? kernel.FaultStats()
+                     : chaos != nullptr ? chaos->FaultStats()
+                                        : std::array<FaultStat, kMaxSyscall>{};
   for (const FaultStat& stat : stats) {
     *injected += stat.Total();
   }
@@ -321,7 +339,8 @@ int main(int argc, char** argv) {
   std::printf("\nPart 2: make 8 programs under recoverable faults + retry\n");
   uint64_t clean_digest = 0;
   int64_t injected = 0;
-  const int clean_status = ia::RunMake(seed, 0.0, false, &clean_digest, &injected);
+  const int clean_status =
+      ia::RunMake(seed, 0.0, ia::MakePlane::kChaosRetry, &clean_digest, &injected);
   if (!ia::WifExited(clean_status) || ia::WExitStatus(clean_status) != 0) {
     std::printf("  FAIL: fault-free build did not exit cleanly\n");
     return failures + 1;
@@ -329,14 +348,16 @@ int main(int argc, char** argv) {
   std::printf("  %-22s %-8s %10s %12s\n", "plane", "rate", "faults", "fs digest");
   std::printf("  %-22s %-8s %10s %12" PRIx64 "\n", "none", "0", "-", clean_digest);
   const double rates[] = {0.02, 0.10, max_rate};
-  for (const bool kernel_plane : {true, false}) {
+  const ia::MakePlane planes[] = {ia::MakePlane::kKernelRetry, ia::MakePlane::kChaosRetry,
+                                  ia::MakePlane::kChaosRetryUnion};
+  const char* plane_names[] = {"kernel+retry", "chaos+retry", "chaos+retry+union"};
+  for (size_t p = 0; p < 3; ++p) {
     for (const double rate : rates) {
       uint64_t digest = 0;
-      const int status = ia::RunMake(seed, rate, kernel_plane, &digest, &injected);
+      const int status = ia::RunMake(seed, rate, planes[p], &digest, &injected);
       const bool ok = ia::WifExited(status) && ia::WExitStatus(status) == 0 &&
                       digest == clean_digest;
-      std::printf("  %-22s %-8.2f %10lld %12" PRIx64 "  %s\n",
-                  kernel_plane ? "kernel+retry" : "chaos+retry", rate,
+      std::printf("  %-22s %-8.2f %10lld %12" PRIx64 "  %s\n", plane_names[p], rate,
                   static_cast<long long>(injected), digest,
                   ok ? "identical" : "FAIL: output differs");
       if (!ok) {

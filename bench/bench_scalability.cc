@@ -33,9 +33,17 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/agents/chaos.h"
+#include "src/agents/dfs_trace.h"
+#include "src/agents/filter_fs.h"
+#include "src/agents/retry.h"
+#include "src/agents/sandbox.h"
+#include "src/agents/txn.h"
+#include "src/agents/union_fs.h"
 #include "src/base/clock.h"
 #include "src/kernel/context.h"
 #include "src/kernel/kernel.h"
+#include "src/toolkit/footprint.h"
 
 // Under ThreadSanitizer the bench still runs in full (its job there is race
 // coverage: N clients hammering every fast path), but the perf gates are not
@@ -61,6 +69,7 @@ constexpr int kIterations = 4000;  // mix iterations per client (9 syscalls each
 constexpr int kAttempts = 3;       // best-of-N against host scheduling noise
 constexpr double kSpeedupGateAt8 = 2.5;
 constexpr double kParityMargin = 1.10;
+constexpr double kPayPerUseGate = 5.0;
 
 // Installs each client's private file set plus one shared read target.
 void BuildTree(ia::Kernel& kernel, int max_clients) {
@@ -185,6 +194,67 @@ void MeasureParity(ia::Kernel& fast, ia::Kernel& biglock, const std::vector<Pari
   }
 }
 
+// --- pay-per-use: footprint-narrowed stack vs the same stack full-interface ---
+//
+// A stack of seven real agents whose declared footprints (derived from the
+// syscall table's abstraction flags) exclude the per-process rows. Under the
+// narrowed stack a getpid/gettimeofday mix must skip every frame and ride the
+// lock-free kPerProcess lane; forcing the identical stack to whole-interface
+// interest via use_footprint(Footprint::All()) restores the pre-change regime
+// where every call climbs all seven frames. The gate: narrowed throughput on
+// the non-path mix >= 5x the full-interface throughput.
+void BuildPayPerUseTree(ia::Kernel& kernel) {
+  kernel.fs().MkdirAll("/tmp");
+  kernel.fs().MkdirAll("/w");
+  kernel.fs().MkdirAll("/r");
+  kernel.fs().MkdirAll("/t");
+  kernel.fs().MkdirAll("/z");
+}
+
+std::vector<ia::AgentRef> MakePayPerUseStack(bool force_full_interface) {
+  std::vector<std::shared_ptr<ia::SymbolicSyscall>> stack;
+  stack.push_back(std::make_shared<ia::ChaosAgent>(ia::FaultPlan{}));
+  stack.push_back(std::make_shared<ia::RetryAgent>());
+  stack.push_back(std::make_shared<ia::UnionAgent>(
+      std::vector<ia::UnionMount>{{"/u", {"/w", "/r"}}}));
+  stack.push_back(std::make_shared<ia::SandboxAgent>(ia::SandboxPolicy{}));
+  stack.push_back(std::make_shared<ia::TxnAgent>("/t", "/tmp/.txn"));
+  stack.push_back(std::make_shared<ia::CompressAgent>("/z"));
+  stack.push_back(std::make_shared<ia::DfsTraceAgent>("/tmp/dfs.log"));
+  std::vector<ia::AgentRef> agents;
+  agents.reserve(stack.size());
+  for (auto& agent : stack) {
+    if (force_full_interface) {
+      agent->use_footprint(ia::Footprint::All());
+    }
+    agents.push_back(agent);
+  }
+  return agents;
+}
+
+enum class PayPerUseConfig { kNoAgents, kNarrowedStack, kFullStack };
+
+double MeasurePayPerUseMix(PayPerUseConfig config) {
+  const auto mix = [](ia::ProcessContext& ctx) {
+    ctx.Getpid();
+    ctx.Getpid();
+    ctx.Getpid();
+    ia::TimeVal tv;
+    ctx.Gettimeofday(&tv, nullptr);
+  };
+  double best = 1e18;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    ia::Kernel kernel;
+    BuildPayPerUseTree(kernel);
+    std::vector<ia::AgentRef> agents;
+    if (config != PayPerUseConfig::kNoAgents) {
+      agents = MakePayPerUseStack(config == PayPerUseConfig::kFullStack);
+    }
+    best = std::min(best, ia::bench::MeasurePerCallMicros(kernel, agents, mix, 50000));
+  }
+  return best;  // µs per 4-call mix iteration
+}
+
 }  // namespace
 
 int main() {
@@ -281,6 +351,33 @@ int main() {
                 kParityMargin);
   }
 
+  // --- pay-per-use: narrowed footprints vs whole-interface interest ---------
+  const double bare_mix_us = MeasurePayPerUseMix(PayPerUseConfig::kNoAgents);
+  const double narrowed_mix_us = MeasurePayPerUseMix(PayPerUseConfig::kNarrowedStack);
+  const double full_mix_us = MeasurePayPerUseMix(PayPerUseConfig::kFullStack);
+  const double payperuse_speedup = narrowed_mix_us > 0 ? full_mix_us / narrowed_mix_us : 0;
+
+  std::printf("\n  pay-per-use (getpid x3 + gettimeofday per iteration, 7-agent stack):\n");
+  std::printf("    %-38s %10s %12s\n", "configuration", "µs/iter", "vs bare");
+  std::printf("    %-38s %10.3f %11s\n", "no agents", bare_mix_us, "-");
+  std::printf("    %-38s %10.3f %11.2fx\n", "stack, table-derived footprints",
+              narrowed_mix_us, bare_mix_us > 0 ? narrowed_mix_us / bare_mix_us : 0);
+  std::printf("    %-38s %10.3f %11.2fx\n", "same stack, forced whole-interface",
+              full_mix_us, bare_mix_us > 0 ? full_mix_us / bare_mix_us : 0);
+  if (kUnderTsan) {
+    std::printf("    gate: skipped (%.2fx narrowed-vs-full; ThreadSanitizer run)\n",
+                payperuse_speedup);
+  } else {
+    std::printf("    gate: %.2fx narrowed-vs-full throughput (self-check: >= %.1fx)\n",
+                payperuse_speedup, kPayPerUseGate);
+    if (payperuse_speedup < kPayPerUseGate) {
+      std::printf("    FAIL: narrowed stack below %.1fx of the whole-interface stack —\n"
+                  "    uninterested numbers are not skipping agent frames\n",
+                  kPayPerUseGate);
+      ok = false;
+    }
+  }
+
   // --- machine-readable emission --------------------------------------------
   std::printf("\n");
   for (const Point& p : curve) {
@@ -295,6 +392,11 @@ int main() {
                 ops[i].name, fast_us[i], biglock_us[i],
                 biglock_us[i] > 0 ? fast_us[i] / biglock_us[i] : 0);
   }
+
+  std::printf("{\"bench\":\"bench_scalability\",\"check\":\"pay_per_use\","
+              "\"bare_us\":%.3f,\"narrowed_us\":%.3f,\"full_us\":%.3f,"
+              "\"narrowed_vs_full\":%.3f}\n",
+              bare_mix_us, narrowed_mix_us, full_mix_us, payperuse_speedup);
 
   std::printf("\n%s\n", ok ? "ALL SELF-CHECKS PASSED" : "SELF-CHECK FAILURES (see above)");
   return ok ? 0 : 1;

@@ -12,9 +12,18 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 # The fault sweep is a correctness gate, not just a benchmark: every implemented
 # call must survive 25%-per-class injection, the fault stream must reproduce
-# from its seed, and the make workload under retry+chaos must build the exact
-# fault-free output. (The hostile-ABI fuzz runs inside ctest as DecodeFuzz.*.)
+# from its seed, and the make workload under retry+chaos — and under the
+# narrowed chaos+retry+union stack — must build the exact fault-free output.
+# (The hostile-ABI fuzz runs inside ctest as DecodeFuzz.*.)
 ./build/bench/bench_fault_sweep
+
+# bench_scalability self-checks: single-client parity against the forced
+# big-lock regime, and the pay-per-use gate (a non-path per-process mix under a
+# footprint-narrowed agent stack must sustain >= 5x the throughput of the same
+# stack forced to whole-interface interest). The 8-client scaling gate
+# self-skips on small hosts; all perf gates self-skip under TSan — this run is
+# the enforced one.
+./build/bench/bench_scalability
 
 scripts/check_sanitize.sh
 

@@ -24,6 +24,34 @@ bool AgentPlaneExempt(int number) {
 
 ChaosAgent::ChaosAgent(const FaultPlan& plan) : plan_(plan), injector_(plan) {}
 
+Footprint ChaosAgent::default_footprint() const {
+  Footprint fp;
+  for (const FaultNumberRule& rule : plan_.number_rules) {
+    if (rule.probability > 0) {
+      fp.Add(rule.number);
+    }
+  }
+  for (const FaultClassRule& rule : plan_.class_rules) {
+    if (rule.probability > 0) {
+      fp.AddClasses(rule.flag_mask);
+    }
+  }
+  if (plan_.eintr_probability > 0) {
+    fp.AddClasses(kBlocking);
+  }
+  if (plan_.short_probability > 0) {
+    fp.Add(kSysRead).Add(kSysWrite).Add(kSysReadv).Add(kSysWritev);
+  }
+  if (plan_.enfile_probability > 0 || plan_.fd_table_limit >= 0 ||
+      plan_.disk_budget_bytes >= 0) {
+    // Exhaustion regimes are kernel-plane-only, but keep the fd-allocating and
+    // write rows visible so a plan that sets them observes its traffic.
+    fp.Add(kSysOpen).Add(kSysCreat).Add(kSysDup).Add(kSysDup2).Add(kSysFcntl).Add(kSysPipe);
+    fp.Add(kSysWrite).Add(kSysWritev);
+  }
+  return fp;
+}
+
 uint64_t ChaosAgent::NextSeq(Pid pid) {
   std::lock_guard<std::mutex> guard(mu_);
   return ++seq_[pid];

@@ -38,6 +38,15 @@ class ChaosAgent final : public SymbolicSyscall {
  protected:
   SyscallStatus syscall(AgentCall& call) override;
 
+  // The footprint is derived from the installed plan: only rows some rule can
+  // actually fire on are intercepted (number rules, class rules by flag mask,
+  // kBlocking for EINTR, the transfer rows for short transfers). A chaos agent
+  // with an empty plan intercepts nothing and costs nothing. Note the per-pid
+  // decision sequence then counts intercepted calls only — still fully
+  // deterministic for a given plan, but a different stream than a
+  // whole-interface chaos agent would see.
+  Footprint default_footprint() const override;
+
  private:
   // One agent instance serves every process in the tree (ForkInstance default),
   // so each pid gets its own decision sequence: swallowed calls never reach the

@@ -62,6 +62,11 @@ class DfsTraceAgent final : public PathnameSet {
  protected:
   void init(ProcessContext& ctx) override;
 
+  // DFSTrace records exactly the file-reference events, so the footprint is
+  // the table's kFileRef class — the same flag bit that drives ktrace's
+  // file-reference sink filter. Calls outside that set skip the frame.
+  Footprint default_footprint() const override { return Footprint::Classes(kFileRef); }
+
   // The central name-reference collection point (paper: "it provides a central
   // point for name reference data collection, as was done by the dfs_trace
   // agent").

@@ -2,41 +2,33 @@
 
 namespace ia {
 
+namespace {
+
+constexpr HpuxSyscallMapping kMappings[] = {
+    {kHpuxExit, kSysExit},       {kHpuxFork, kSysFork},
+    {kHpuxRead, kSysRead},       {kHpuxWrite, kSysWrite},
+    {kHpuxOpen, kSysOpen},       {kHpuxClose, kSysClose},
+    {kHpuxWait, kSysWait4},      {kHpuxUnlink, kSysUnlink},
+    {kHpuxGetpid, kSysGetpid},   {kHpuxStat, kSysStat},
+    {kHpuxMkdir, kSysMkdir},     {kHpuxGettimeofday, kSysGettimeofday},
+    {kHpuxLseek, kSysLseek},     {kHpuxAccess, kSysAccess},
+    {kHpuxChdir, kSysChdir},
+};
+
+}  // namespace
+
+const HpuxSyscallMapping* HpuxSyscallMappings(size_t* count) {
+  *count = sizeof(kMappings) / sizeof(kMappings[0]);
+  return kMappings;
+}
+
 int HpuxToNativeSyscall(int foreign) {
-  switch (foreign) {
-    case kHpuxExit:
-      return kSysExit;
-    case kHpuxFork:
-      return kSysFork;
-    case kHpuxRead:
-      return kSysRead;
-    case kHpuxWrite:
-      return kSysWrite;
-    case kHpuxOpen:
-      return kSysOpen;
-    case kHpuxClose:
-      return kSysClose;
-    case kHpuxWait:
-      return kSysWait4;
-    case kHpuxUnlink:
-      return kSysUnlink;
-    case kHpuxGetpid:
-      return kSysGetpid;
-    case kHpuxStat:
-      return kSysStat;
-    case kHpuxMkdir:
-      return kSysMkdir;
-    case kHpuxGettimeofday:
-      return kSysGettimeofday;
-    case kHpuxLseek:
-      return kSysLseek;
-    case kHpuxAccess:
-      return kSysAccess;
-    case kHpuxChdir:
-      return kSysChdir;
-    default:
-      return -1;
+  for (const HpuxSyscallMapping& row : kMappings) {
+    if (row.foreign == foreign) {
+      return row.native;
+    }
   }
+  return -1;
 }
 
 int HpuxToNativeOpenFlags(int foreign_flags) {

@@ -11,6 +11,8 @@
 #ifndef SRC_AGENTS_EMUL_H_
 #define SRC_AGENTS_EMUL_H_
 
+#include <cstddef>
+
 #include "src/toolkit/toolkit.h"
 
 namespace ia {
@@ -46,6 +48,19 @@ inline constexpr int kHpuxOCreat = 0x0100;
 inline constexpr int kHpuxOTrunc = 0x0200;
 inline constexpr int kHpuxOExcl = 0x0400;
 
+// One foreign→native remapping row. The whole agent derives from this table:
+// its interest set, the number translation, and (implicitly) the ENOSYS holes
+// — an unmapped foreign number is never intercepted, so it falls through to
+// the kernel's own unimplemented-row handling. Adding an emulated call is one
+// table row, with no range constants to keep in sync.
+struct HpuxSyscallMapping {
+  int foreign;
+  int native;
+};
+
+// The mapping table; `*count` receives the number of rows.
+const HpuxSyscallMapping* HpuxSyscallMappings(size_t* count);
+
 // Maps a foreign number to the native one; -1 if not a foreign number.
 int HpuxToNativeSyscall(int foreign);
 
@@ -60,7 +75,14 @@ class HpuxEmulAgent final : public NumericSyscall {
 
  protected:
   void init(ProcessContext& /*ctx*/) override {
-    register_interest_range(kHpuxBase, kHpuxLimit - 1);
+    // Interest derives from the mapping table, not a hard-coded range: each
+    // mapped foreign number is registered individually, so new rows are picked
+    // up automatically and unmapped numbers keep the bare-dispatch fast path.
+    size_t count = 0;
+    const HpuxSyscallMapping* rows = HpuxSyscallMappings(&count);
+    for (size_t i = 0; i < count; ++i) {
+      register_interest(rows[i].foreign);
+    }
   }
 
   SyscallStatus syscall(AgentCall& call) override {

@@ -32,6 +32,13 @@ class FilterAgent : public PathnameSet {
  protected:
   PathnameRef getpn(AgentCall& call, const char* path) override;
 
+  // Pathname footprint plus the whole fd class: FilterFileObject transforms
+  // the data plane (read/write/lseek/fstat/ftruncate/fsync route through the
+  // codec buffer), so every descriptor row must still reach the frame.
+  Footprint default_footprint() const override {
+    return PathnameSet::default_footprint().Merge(Footprint::Classes(kTakesFd));
+  }
+
  private:
   std::string name_;
   std::string scope_;

@@ -48,6 +48,16 @@ class RetryAgent final : public SymbolicSyscall {
  protected:
   SyscallStatus syscall(AgentCall& call) override;
 
+  // Everything this agent can mend: the genuinely interruptible rows
+  // (kBlocking covers EINTR plus read/write/readv/writev, the short-transfer
+  // and EAGAIN carriers) and the fd-allocating rows where transient ENFILE
+  // shows up. Calls retry cannot help — stat, getpid, chmod — skip the frame.
+  Footprint default_footprint() const override {
+    return Footprint::Classes(kBlocking).Merge(
+        Footprint::Numbers({kSysRead, kSysWrite, kSysReadv, kSysWritev, kSysOpen,
+                            kSysCreat, kSysDup, kSysDup2, kSysFcntl, kSysPipe}));
+  }
+
  private:
   SyscallStatus ResumeTransfer(AgentCall& call);
   bool Retryable(int number, SyscallStatus status) const;

@@ -53,6 +53,20 @@ class SandboxAgent final : public PathnameSet {
   // Whole-interface pre-hook: syscall budget enforcement.
   SyscallStatus syscall(AgentCall& call) override;
 
+  // Pathname footprint plus the specific rows the policy guards. A syscall
+  // budget is the one policy that genuinely needs the whole interface (every
+  // call must tick the counter), so max_syscalls >= 0 keeps the full
+  // footprint; all other policies are enforceable from the narrowed slice and
+  // let getpid-style traffic keep the kernel fast lanes.
+  Footprint default_footprint() const override {
+    if (policy_.max_syscalls >= 0) {
+      return Footprint::All();
+    }
+    return PathnameSet::default_footprint().Merge(Footprint::Numbers(
+        {kSysKill, kSysKillpg, kSysSetuid, kSysSetgroups, kSysSetlogin,
+         kSysSettimeofday, kSysSethostname, kSysWrite}));
+  }
+
   PathnameRef getpn(AgentCall& call, const char* path) override;
 
   SyscallStatus sys_fork(AgentCall& call) override;

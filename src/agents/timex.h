@@ -21,6 +21,13 @@ class TimexAgent final : public SymbolicSyscall {
   int64_t offset_seconds() const { return offset_; }
 
  protected:
+  // The whole agent is two time-of-day methods, so its footprint is exactly
+  // the two time rows: every other call (including the surrounding getpid
+  // storms this agent used to trap) skips the frame.
+  Footprint default_footprint() const override {
+    return Footprint::Numbers({kSysGettimeofday, kSysSettimeofday});
+  }
+
   SyscallStatus sys_gettimeofday(AgentCall& call, TimeVal* tp, TimeZone* tzp) override {
     const SyscallStatus ret = SymbolicSyscall::sys_gettimeofday(call, tp, tzp);
     if (ret >= 0 && tp != nullptr) {

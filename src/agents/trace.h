@@ -40,6 +40,10 @@ class TraceAgent final : public SymbolicSyscall {
  protected:
   void init(ProcessContext& ctx) override;
 
+  // Tracing is the one abstraction whose footprint *is* the whole interface:
+  // keep the full-interface registration (calls and signals) explicitly.
+  Footprint default_footprint() const override { return Footprint::All(); }
+
   // Pretty-printed decodings for the common calls.
   SyscallStatus sys_exit(AgentCall& call, int status) override;
   SyscallStatus sys_fork(AgentCall& call) override;

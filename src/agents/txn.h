@@ -61,6 +61,12 @@ class TxnAgent final : public PathnameSet {
  protected:
   PathnameRef getpn(AgentCall& call, const char* path) override;
 
+  // Pathname footprint plus the direntry rows: TxnDirectory merges overlay and
+  // base listings behind getdirentries/lseek, so those must reach the frame.
+  Footprint default_footprint() const override {
+    return PathnameSet::default_footprint().Merge(Footprint::Direntry());
+  }
+
  private:
   friend class TxnPathname;
   friend class TxnDirectory;

@@ -40,6 +40,14 @@ class UnionAgent final : public PathnameSet {
  protected:
   PathnameRef getpn(AgentCall& call, const char* path) override;
 
+  // Pathname footprint plus the direntry rows: UnionDirectory's merged
+  // iteration lives behind getdirentries/lseek, so those two fd rows must
+  // still reach the frame. Plain file I/O on union-opened descriptors passes
+  // through (the redirect happened at open time).
+  Footprint default_footprint() const override {
+    return PathnameSet::default_footprint().Merge(Footprint::Direntry());
+  }
+
  private:
   std::vector<UnionMount> mounts_;
 };

@@ -83,6 +83,13 @@ class UserDevAgent final : public PathnameSet {
  protected:
   PathnameRef getpn(AgentCall& call, const char* path) override;
 
+  // Pathname footprint plus the whole fd class: device descriptors are backed
+  // by /dev/null placeholders, so every data-plane call (read/write/ioctl/
+  // fstat/lseek) must route through the device's OpenObject, not pass below.
+  Footprint default_footprint() const override {
+    return PathnameSet::default_footprint().Merge(Footprint::Classes(kTakesFd));
+  }
+
  private:
   std::mutex mu_;
   std::map<std::string, std::shared_ptr<UserDevice>> devices_;

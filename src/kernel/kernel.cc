@@ -428,7 +428,7 @@ SyscallStatus Kernel::DoSyscall(Process& proc, int number, const SyscallArgs& ar
   // locked path, and ktrace sinks are not thread-safe.
   const SyscallSpec& spec = SyscallSpecOf(number);
   const bool fast_ok = !fault_active_.load(std::memory_order_acquire) &&
-                       ktrace_.load(std::memory_order_relaxed) == nullptr;
+                       ktrace_active_.load(std::memory_order_relaxed) == 0;
 
   SyscallStatus status = 0;
   bool handled = false;
@@ -443,20 +443,30 @@ SyscallStatus Kernel::DoSyscall(Process& proc, int number, const SyscallArgs& ar
     Lock lk(mu_);
     status = DispatchLocked(proc, number, args, rv, lk);
 
-    KtraceSink* sink = ktrace_.load(std::memory_order_relaxed);
-    if (sink != nullptr && (spec.flags & kFileRef) != 0) {
-      KtraceRecord record;
-      record.pid = proc.pid;
-      record.syscall = number;
-      record.result = status;
-      record.vtime_usec = clock_.Now();
-      if ((spec.flags & kTakesPath) != 0 && spec.path_arg >= 0) {
-        const char* path = args.Ptr<const char>(spec.path_arg);
-        if (path != nullptr) {
-          record.path = path;
+    // Deliver to every attached sink whose abstraction-class filter matches
+    // this row; the record is built once, lazily, on the first match.
+    bool record_built = false;
+    KtraceRecord record;
+    for (KtraceSlot& slot : ktrace_slots_) {
+      KtraceSink* sink = slot.sink.load(std::memory_order_relaxed);
+      if (sink == nullptr ||
+          (spec.flags & slot.filter.load(std::memory_order_relaxed)) == 0) {
+        continue;
+      }
+      if (!record_built) {
+        record.pid = proc.pid;
+        record.syscall = number;
+        record.result = status;
+        record.vtime_usec = clock_.Now();
+        if ((spec.flags & kTakesPath) != 0 && spec.path_arg >= 0) {
+          const char* path = args.Ptr<const char>(spec.path_arg);
+          if (path != nullptr) {
+            record.path = path;
+          }
+        } else if ((spec.flags & kTakesFd) != 0) {
+          record.fd = args.Int(0);
         }
-      } else if ((spec.flags & kTakesFd) != 0) {
-        record.fd = args.Int(0);
+        record_built = true;
       }
       sink->Record(record);
     }

@@ -139,10 +139,27 @@ class Kernel {
   // Snapshot of the namei directory name-lookup cache counters.
   NameCacheStats CacheStats();
 
-  // In-kernel tracing (the monolithic DFSTrace stand-in). Not owned. While a
+  // In-kernel tracing (the monolithic DFSTrace stand-in). Not owned. While any
   // sink is attached every syscall takes the big-lock path, so sinks need no
-  // internal synchronization.
-  void SetKtrace(KtraceSink* sink) { ktrace_.store(sink, std::memory_order_release); }
+  // internal synchronization. Each slot carries its own abstraction-class
+  // filter: a record is delivered when the row's flags intersect the slot's
+  // mask. Slot 0 with kFileRef is the classic DFSTrace file-reference slice;
+  // SetKtrace() keeps that historical shape. A second slot filtered on
+  // kProcess yields the fork/exec/exit lifecycle slice.
+  static constexpr int kKtraceSlots = 2;
+  void SetKtrace(KtraceSink* sink) { SetKtraceSlot(0, sink, kFileRef); }
+  void SetKtraceSlot(int slot, KtraceSink* sink, uint32_t flag_filter) {
+    if (slot < 0 || slot >= kKtraceSlots) {
+      return;
+    }
+    KtraceSink* prev = ktrace_slots_[slot].sink.exchange(sink, std::memory_order_release);
+    ktrace_slots_[slot].filter.store(flag_filter, std::memory_order_release);
+    if (prev == nullptr && sink != nullptr) {
+      ktrace_active_.fetch_add(1, std::memory_order_release);
+    } else if (prev != nullptr && sink == nullptr) {
+      ktrace_active_.fetch_sub(1, std::memory_order_release);
+    }
+  }
 
   // Per-syscall virtual-time costs (µsec); defaults approximate paper Table 3-5.
   void SetSyscallCost(int number, int32_t micros);
@@ -313,8 +330,15 @@ class Kernel {
   RandomDevice random_dev_;
 
   double compute_spin_scale_ = 0.0;
-  // Atomic: read by every DoSyscall to gate the fast paths, written rarely.
-  std::atomic<KtraceSink*> ktrace_{nullptr};
+  // Atomics: read by every DoSyscall to gate the fast paths, written rarely.
+  // ktrace_active_ mirrors the number of attached sinks so the per-call gate
+  // stays a single load regardless of slot count.
+  struct KtraceSlot {
+    std::atomic<KtraceSink*> sink{nullptr};
+    std::atomic<uint32_t> filter{0};
+  };
+  KtraceSlot ktrace_slots_[kKtraceSlots];
+  std::atomic<int> ktrace_active_{0};
   std::unique_ptr<FaultInjector> fault_;  // null = fault plane off; guarded by mu_
   // Mirrors fault_ != nullptr so the fast-path gate needs no lock. While true,
   // every dispatch serializes under mu_, keeping the per-(pid, seq) fault

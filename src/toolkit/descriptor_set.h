@@ -57,6 +57,18 @@ class DescriptorSet : public SymbolicSyscall {
   void init(ProcessContext& ctx) override;
   void InitChild(ProcessContext& ctx) override;
 
+  // This layer's abstraction is the descriptor name space: every row whose
+  // argument 0 is a descriptor (kTakesFd covers close/dup/dup2/fcntl too),
+  // plus the rows that create descriptors (open/creat/pipe) and the lifecycle
+  // rows that retire whole tables (exec/fork/exit bookkeeping). Everything
+  // else — per-process calls, signals, pure pathname metadata — skips the
+  // frame.
+  Footprint default_footprint() const override {
+    return Footprint::Classes(kTakesFd).Merge(
+        Footprint::Numbers({kSysOpen, kSysCreat, kSysPipe, kSysExecve, kSysExecv,
+                            kSysFork, kSysVfork, kSysExit}));
+  }
+
   // Creates the default object for an already-open lower-level descriptor:
   // a Directory for directories, a plain OpenObject otherwise.
   virtual OpenObjectRef MakeDefaultObject(AgentCall& call, int fd, const std::string& path);

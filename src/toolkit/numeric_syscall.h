@@ -15,6 +15,7 @@
 #include <mutex>
 
 #include "src/interpose/agent.h"
+#include "src/kernel/syscall_table.h"
 
 namespace ia {
 
@@ -45,6 +46,16 @@ class NumericSyscall : public Agent {
   void register_interest(int number) { binding_->InterceptSyscall(number); }
   void register_interest_range(int low, int high) { binding_->InterceptSyscallRange(low, high); }
   void register_interest_all() { binding_->InterceptAllSyscalls(); }
+  // Table-driven registration: every row carrying at least one of `table_flags`
+  // (kTakesPath, kTakesFd, kProcess, ...). Interest then tracks the table as
+  // rows are added or reclassified, instead of hand-enumerated numbers.
+  void register_interest_class(uint32_t table_flags) {
+    for (int n = 0; n < kMaxSyscall; ++n) {
+      if ((SyscallSpecOf(n).flags & table_flags) != 0) {
+        binding_->InterceptSyscall(n);
+      }
+    }
+  }
   void register_signal_interest(int signo) { binding_->InterceptSignal(signo); }
   void register_signal_interest_all() { binding_->InterceptAllSignals(); }
 

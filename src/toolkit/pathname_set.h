@@ -82,6 +82,20 @@ class PathnameSet : public DescriptorSet {
     return std::make_unique<Pathname>(this, path);
   }
 
+  // The pathname layer's abstraction is the filesystem name space: every
+  // path-taking row (so getpn() sees each name exactly once), narrowed from
+  // DescriptorSet's fd class down to the fd-lifecycle rows the open-object
+  // bookkeeping needs (close retires descriptors; dup/dup2/fcntl alias them;
+  // pipe creates them; fork/exit bound table lifetimes). Data-plane fd rows
+  // (read/write/lseek/...) pass through untouched by default — agents whose
+  // open objects change data behaviour (Directory iteration, codec objects)
+  // merge those rows back in their own default_footprint().
+  Footprint default_footprint() const override {
+    return Footprint::Classes(kTakesPath).Merge(
+        Footprint::Numbers({kSysClose, kSysDup, kSysDup2, kSysFcntl, kSysPipe,
+                            kSysFork, kSysVfork, kSysExit}));
+  }
+
   // --- pathname system calls, routed through Pathname objects ------------------
   SyscallStatus sys_open(AgentCall& call, const char* path, int flags, Mode mode) override;
   SyscallStatus sys_creat(AgentCall& call, const char* path, Mode mode) override;

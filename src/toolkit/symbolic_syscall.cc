@@ -80,10 +80,25 @@ namespace ia {
 #define IA_ARG_TYPE_IoVecPtr const IoVec*
 
 void SymbolicSyscall::init(ProcessContext& /*ctx*/) {
-  // The symbolic layer decodes the entire interface: intercept everything, both
-  // directions (paper goal 2, completeness).
-  register_interest_all();
-  register_signal_interest_all();
+  // Resolve the declared footprint against the table into concrete interest.
+  // The layer default is the whole interface; narrowed layers and agents pay
+  // only for the rows they declared — everything else skips this frame and
+  // keeps the kernel's lock-free fast lanes.
+  const Footprint fp = has_footprint_ ? footprint_ : default_footprint();
+  if (fp.numbers().all()) {
+    register_interest_all();
+  } else {
+    for (int n = 0; n < kMaxSyscall; ++n) {
+      if (fp.Contains(n)) {
+        register_interest(n);
+      }
+    }
+  }
+  for (int signo = 1; signo < kNumSignals; ++signo) {
+    if ((fp.signals() & SigMask(signo)) != 0) {
+      register_signal_interest(signo);
+    }
+  }
 }
 
 SyscallStatus SymbolicSyscall::syscall(AgentCall& call) {

@@ -14,16 +14,35 @@
 #define SRC_TOOLKIT_SYMBOLIC_SYSCALL_H_
 
 #include "src/toolkit/down_api.h"
+#include "src/toolkit/footprint.h"
 #include "src/toolkit/numeric_syscall.h"
 
 namespace ia {
 
 class SymbolicSyscall : public NumericSyscall {
+ public:
+  // Overrides this layer's default footprint for the next installation.
+  // Callers (tests, benches, embedders) narrow or widen an agent without
+  // subclassing: use_footprint(Footprint::All()) forces whole-interface
+  // interception on an otherwise-narrowed agent. Must be called before
+  // Install(); the footprint resolves against the table inside init().
+  void use_footprint(const Footprint& fp) {
+    footprint_ = fp;
+    has_footprint_ = true;
+  }
+
  protected:
-  // Registers interest in the full system interface (calls and signals), as the
-  // paper's symbolic layer does; the decode below then maps numbers to methods.
-  // Overrides must call SymbolicSyscall::init().
+  // Registers interest in exactly this agent's declared footprint — the
+  // explicit use_footprint() value if one was set, else the layer's
+  // default_footprint(). Overrides must call SymbolicSyscall::init().
   void init(ProcessContext& ctx) override;
+
+  // The interface slice this layer needs when the agent declares nothing.
+  // SymbolicSyscall itself decodes the entire interface, so its default is
+  // everything, both directions (paper goal 2, completeness); derived layers
+  // narrow to their abstraction's rows (paper goal 4, pay only for what you
+  // use).
+  virtual Footprint default_footprint() const { return Footprint::All(); }
 
   // The toolkit-supplied decoder (the bsd_numeric_syscall role). Derived agents
   // needing a whole-interface pre/post hook may wrap it, calling the base.
@@ -115,6 +134,10 @@ class SymbolicSyscall : public NumericSyscall {
 
   // Calls with no symbolic decoding (outside the implemented 4.3BSD subset).
   virtual SyscallStatus unknown_syscall(AgentCall& call) { return call.CallDown(); }
+
+ private:
+  Footprint footprint_;
+  bool has_footprint_ = false;
 };
 
 }  // namespace ia

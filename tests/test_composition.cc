@@ -1,6 +1,8 @@
 // Cross-agent composition and lifetime-corner tests.
 #include "tests/test_helpers.h"
 
+#include <array>
+#include <atomic>
 #include <functional>
 #include <set>
 
@@ -113,6 +115,177 @@ TEST(Composition, TimexVisibleThroughWholeStack) {
         return tv.tv_sec >= real + 10000 ? 0 : 1;
       });
   EXPECT_EQ(WExitStatus(status), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Pay-per-use routing: stacked narrowed agents see exactly their footprints.
+// ---------------------------------------------------------------------------
+
+// A symbolic agent with a configurable footprint that counts every call and
+// signal actually reaching its frame.
+class CountingAgent final : public SymbolicSyscall {
+ public:
+  CountingAgent(std::string label, Footprint fp)
+      : label_(std::move(label)), footprint_(fp) {}
+
+  std::string name() const override { return label_; }
+
+  int64_t seen(int number) const {
+    return counts_[static_cast<size_t>(number)].load(std::memory_order_relaxed);
+  }
+  int64_t total_seen() const {
+    int64_t total = 0;
+    for (const auto& count : counts_) {
+      total += count.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  int64_t signals_seen() const { return signals_.load(std::memory_order_relaxed); }
+
+ protected:
+  Footprint default_footprint() const override { return footprint_; }
+
+  SyscallStatus syscall(AgentCall& call) override {
+    counts_[static_cast<size_t>(call.number())].fetch_add(1, std::memory_order_relaxed);
+    return SymbolicSyscall::syscall(call);
+  }
+
+  void signal_handler(AgentSignal& signal) override {
+    signals_.fetch_add(1, std::memory_order_relaxed);
+    signal.ForwardUp();
+  }
+
+ private:
+  std::string label_;
+  Footprint footprint_;
+  std::array<std::atomic<int64_t>, kMaxSyscall> counts_{};
+  std::atomic<int64_t> signals_{0};
+};
+
+TEST(PayPerUse, StackedNarrowedAgentsRouteByFootprint) {
+  // A pathname-footprint frame and a time-footprint frame stacked together:
+  // each number reaches exactly the frames whose footprint declares it, and
+  // numbers in neither footprint (getpid) hit no frame at all.
+  auto kernel = MakeWorld();
+  auto path_frames = std::make_shared<CountingAgent>(
+      "count_path", Footprint::Classes(kTakesPath));
+  auto time_frames = std::make_shared<CountingAgent>(
+      "count_time", Footprint::Numbers({kSysGettimeofday, kSysSettimeofday}));
+  const int status = RunBodyUnder(
+      *kernel, {path_frames, time_frames}, [](ProcessContext& ctx) {
+        ia::Stat st;
+        if (ctx.Stat("/etc/motd", &st) != 0) {
+          return 1;
+        }
+        TimeVal tv;
+        if (ctx.Gettimeofday(&tv, nullptr) != 0) {
+          return 2;
+        }
+        for (int i = 0; i < 25; ++i) {
+          ctx.Getpid();
+        }
+        return 0;
+      });
+  EXPECT_EQ(WExitStatus(status), 0);
+
+  EXPECT_EQ(path_frames->seen(kSysStat), 1);
+  EXPECT_EQ(path_frames->seen(kSysGettimeofday), 0);
+  EXPECT_EQ(path_frames->seen(kSysGetpid), 0);
+
+  EXPECT_EQ(time_frames->seen(kSysGettimeofday), 1);
+  EXPECT_EQ(time_frames->seen(kSysStat), 0);
+  EXPECT_EQ(time_frames->seen(kSysGetpid), 0);
+}
+
+TEST(PayPerUse, UnionAndTimexStackEachServeTheirAbstraction) {
+  // The real agents from the ISSUE wording: a union (pathname footprint) and
+  // timex (two time rows) stacked. Path calls reach union (the merged view
+  // resolves), gettimeofday reaches timex (the offset applies) — each via a
+  // frame the other never sees — and getpid reaches neither.
+  auto kernel = MakeWorld();
+  kernel->fs().MkdirAll("/w");
+  kernel->fs().InstallFile("/r/only-in-r.txt", "from r");
+  auto union_agent = std::make_shared<UnionAgent>(
+      std::vector<UnionMount>{{"/u", {"/w", "/r"}}});
+  auto timex = std::make_shared<TimexAgent>(3600);
+  const int status = RunBodyUnder(
+      *kernel, {union_agent, timex}, [](ProcessContext& ctx) {
+        std::string via_union;
+        if (ctx.ReadWholeFile("/u/only-in-r.txt", &via_union) != 0 ||
+            via_union != "from r") {
+          return 1;  // the path call did not route through the union frame
+        }
+        TimeVal shifted;
+        ctx.Gettimeofday(&shifted, nullptr);
+        if (ctx.Getpid() <= 0) {
+          return 2;
+        }
+        // The timex offset is visible => gettimeofday routed through its frame.
+        return shifted.tv_sec >= 3600 ? 0 : 3;
+      });
+  EXPECT_EQ(WExitStatus(status), 0);
+}
+
+TEST(PayPerUse, EmptyFootprintSeesNothingButLifecycleStillWorks) {
+  // An agent with an empty footprint intercepts nothing — yet the boilerplate
+  // fork/exec propagation (which is host bookkeeping, not agent interest)
+  // still re-installs it into children correctly.
+  auto kernel = MakeWorld();
+  auto silent = std::make_shared<CountingAgent>("silent", Footprint::None());
+  const int status = RunBodyUnder(*kernel, {silent}, [](ProcessContext& ctx) {
+    ctx.WriteWholeFile("/tmp/f", "x");
+    const Pid child = ctx.Fork([](ProcessContext& c) {
+      c.Getpid();
+      return 7;
+    });
+    int wait_status = 0;
+    ctx.Wait4(child, &wait_status, 0, nullptr);
+    return WifExited(wait_status) && WExitStatus(wait_status) == 7 ? 0 : 1;
+  });
+  EXPECT_EQ(WExitStatus(status), 0);
+  EXPECT_EQ(silent->total_seen(), 0);
+}
+
+TEST(PayPerUse, UseFootprintOverridesTheDefault) {
+  // use_footprint() renarrows (or widens) an agent without subclassing: the
+  // same counting agent, narrowed to gettimeofday only, stops seeing the
+  // pathname traffic its default footprint would have claimed.
+  auto kernel = MakeWorld();
+  auto narrowed = std::make_shared<CountingAgent>(
+      "renarrowed", Footprint::Classes(kTakesPath));
+  narrowed->use_footprint(Footprint::Numbers({kSysGettimeofday}));
+  const int status = RunBodyUnder(*kernel, {narrowed}, [](ProcessContext& ctx) {
+    ia::Stat st;
+    ctx.Stat("/etc/motd", &st);
+    TimeVal tv;
+    ctx.Gettimeofday(&tv, nullptr);
+    return 0;
+  });
+  EXPECT_EQ(WExitStatus(status), 0);
+  EXPECT_EQ(narrowed->seen(kSysStat), 0);
+  EXPECT_EQ(narrowed->seen(kSysGettimeofday), 1);
+}
+
+TEST(PayPerUse, SignalRoutingSkipsUninterestedNarrowedFrames) {
+  // Upward signal delivery walks only signal-interested frames: a narrowed
+  // frame with signal interest sees the signal, a narrowed frame without it
+  // is skipped, and the application handler still runs.
+  auto kernel = MakeWorld();
+  auto listener = std::make_shared<CountingAgent>(
+      "sig_listener", Footprint::Numbers({kSysGettimeofday}).AddSignal(kSigUsr1));
+  auto deaf = std::make_shared<CountingAgent>("sig_deaf", Footprint::None());
+  const int status = RunBodyUnder(
+      *kernel, {deaf, listener}, [](ProcessContext& ctx) {
+        int delivered = 0;
+        ctx.Sigvec(kSigUsr1, 2,
+                   [&delivered](ProcessContext&, int) { ++delivered; });
+        ctx.Kill(ctx.Getpid(), kSigUsr1);
+        ctx.Getpid();  // delivery point
+        return delivered == 1 ? 0 : 1;
+      });
+  EXPECT_EQ(WExitStatus(status), 0);
+  EXPECT_EQ(listener->signals_seen(), 1);
+  EXPECT_EQ(deaf->signals_seen(), 0);
 }
 
 // ---------------------------------------------------------------------------

@@ -109,6 +109,87 @@ TEST(Ktrace, CapturesWholeProcessTrees) {
   EXPECT_GE(pids.size(), 3u);
 }
 
+TEST(Ktrace, LifecycleSlotSeesExactlyProcessRows) {
+  // A second sink slot filtered on kProcess yields the fork/exec/exit
+  // lifecycle slice: every record is a kProcess row, and the fork+exec
+  // workload's lifecycle events are all present.
+  auto kernel = MakeWorld();
+  VectorKtraceSink lifecycle;
+  kernel->SetKtraceSlot(1, &lifecycle, kProcess);
+  ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+    ctx.WriteWholeFile("/tmp/noise", "x");  // file-reference noise, not lifecycle
+    const Pid child = ctx.Fork([](ProcessContext& c) {
+      return c.Execve("/bin/true", {"true"});
+    });
+    if (child <= 0) {
+      return 1;
+    }
+    int status = 0;
+    ctx.Wait4(child, &status, 0, nullptr);
+    return 0;
+  });
+  kernel->SetKtraceSlot(1, nullptr, 0);
+
+  int forks = 0;
+  int execs = 0;
+  int exits = 0;
+  for (const KtraceRecord& record : lifecycle.records()) {
+    EXPECT_NE(SyscallSpecOf(record.syscall).flags & kProcess, 0u)
+        << "non-process row in lifecycle slice: " << record.syscall;
+    if (record.syscall == kSysFork || record.syscall == kSysVfork) {
+      ++forks;
+    }
+    if (record.syscall == kSysExecve || record.syscall == kSysExecv) {
+      ++execs;
+      EXPECT_EQ(record.path, "/bin/true");  // execve carries kTakesPath
+    }
+    if (record.syscall == kSysExit) {
+      ++exits;
+    }
+  }
+  EXPECT_GE(forks, 1);
+  EXPECT_GE(execs, 1);
+  EXPECT_GE(exits, 2);  // child and the body process
+}
+
+TEST(Ktrace, TwoSlotsSliceIndependently) {
+  // File-reference and lifecycle sinks attached simultaneously: each sees its
+  // own class, and rows in both classes (fork/exec/exit carry kFileRef too)
+  // land in both slices.
+  auto kernel = MakeWorld();
+  VectorKtraceSink fileref;
+  VectorKtraceSink lifecycle;
+  kernel->SetKtrace(&fileref);  // slot 0, kFileRef — the historical API
+  kernel->SetKtraceSlot(1, &lifecycle, kProcess);
+  ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+    ctx.WriteWholeFile("/tmp/both", "x");
+    const Pid child = ctx.Fork([](ProcessContext&) { return 0; });
+    int status = 0;
+    ctx.Wait4(child, &status, 0, nullptr);
+    return 0;
+  });
+  kernel->SetKtrace(nullptr);
+  kernel->SetKtraceSlot(1, nullptr, 0);
+
+  bool fileref_saw_open = false;
+  bool fileref_saw_wait = false;
+  for (const KtraceRecord& record : fileref.records()) {
+    fileref_saw_open |= record.syscall == kSysOpen && record.path == "/tmp/both";
+    fileref_saw_wait |= record.syscall == kSysWait4;
+  }
+  EXPECT_TRUE(fileref_saw_open);
+  EXPECT_FALSE(fileref_saw_wait);  // wait4 is kProcess but not kFileRef
+
+  bool lifecycle_saw_fork = false;
+  bool lifecycle_saw_open = false;
+  for (const KtraceRecord& record : lifecycle.records()) {
+    lifecycle_saw_fork |= record.syscall == kSysFork;
+    lifecycle_saw_open |= record.syscall == kSysOpen;
+  }
+  EXPECT_TRUE(lifecycle_saw_fork);
+  EXPECT_FALSE(lifecycle_saw_open);  // open is kFileRef but not kProcess
+}
+
 TEST(Ktrace, RingSinkKeepsNewestAndCountsDrops) {
   RingKtraceSink sink(4);
   for (int i = 0; i < 10; ++i) {

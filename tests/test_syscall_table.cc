@@ -96,6 +96,67 @@ TEST(SyscallTable, SpecsCarryArgMetadata) {
 // The kernel dispatch table and the kImplemented flag must agree for every
 // number: a row claiming implementation without a handler would silently
 // ENOSYS, and a handler without a row would be unreachable metadata.
+// Agent interest sets are now derived from the abstraction-class flags, so a
+// flag that disagrees with the row's argument kinds silently mis-routes every
+// footprint-narrowed agent. Pin the agreement: a first decoded Path argument
+// implies kTakesPath, an Fd in slot 0 implies kTakesFd, and the lock-free
+// per-process lane is disjoint from the pathname class (a path row touches
+// shared VFS state by definition).
+TEST(SyscallTable, FlagsAgreeWithArgKinds) {
+  for (int n = 0; n < kMaxSyscall; ++n) {
+    const SyscallSpec& spec = SyscallSpecOf(n);
+    if (spec.number < 0) {
+      continue;
+    }
+    // First Path-kind argument anywhere in the signature => kTakesPath.
+    for (int i = 0; i < spec.nargs; ++i) {
+      if (spec.args[static_cast<size_t>(i)] == ArgKind::kPath) {
+        EXPECT_NE(spec.flags & kTakesPath, 0u)
+            << spec.name << " decodes a Path argument but lacks kTakesPath";
+        break;
+      }
+    }
+    if (spec.nargs > 0 && spec.args[0] == ArgKind::kFd) {
+      EXPECT_NE(spec.flags & kTakesFd, 0u)
+          << spec.name << " takes an fd in slot 0 but lacks kTakesFd";
+    }
+    if ((spec.flags & kTakesPath) != 0) {
+      EXPECT_EQ(spec.flags & kPerProcess, 0u)
+          << spec.name << " cannot be both kTakesPath and kPerProcess";
+      // Unimplemented rows carry classification flags but no decode metadata,
+      // so the path_arg requirement applies to implemented rows only.
+      if ((spec.flags & kImplemented) != 0) {
+        EXPECT_GE(spec.path_arg, 0)
+            << spec.name << " is kTakesPath but records no path_arg";
+      }
+    }
+  }
+}
+
+// Alias rows answer for their target's method and handler, so the flags that
+// drive footprints and trace filters must match the abstractions the target
+// actually has: execv must be file-reference like execve, vfork like fork.
+TEST(SyscallTable, AliasRowsShareAbstractionFlags) {
+  const uint32_t kAbstraction = kTakesPath | kTakesFd | kFileRef;
+  const struct {
+    int alias;
+    int target;
+  } pairs[] = {
+      {kSysExecv, kSysExecve},
+      {kSysVfork, kSysFork},
+      {kSysWait, kSysWait4},
+      {kSysSigaction, kSysSigvec},
+  };
+  for (const auto& pair : pairs) {
+    const SyscallSpec& alias = SyscallSpecOf(pair.alias);
+    const SyscallSpec& target = SyscallSpecOf(pair.target);
+    EXPECT_NE(alias.flags & kAlias, 0u) << alias.name;
+    EXPECT_EQ(alias.flags & kAbstraction, target.flags & kAbstraction)
+        << alias.name << " and " << target.name
+        << " disagree on abstraction-class flags";
+  }
+}
+
 TEST(SyscallTable, KernelDispatchMatchesImplementedFlag) {
   for (int number = -2; number < kMaxSyscall + 2; ++number) {
     const bool implemented = (SyscallSpecOf(number).flags & kImplemented) != 0;

@@ -287,6 +287,12 @@ class UppercaseAgent final : public PathnameSet {
   std::string name() const override { return "uppercase"; }
 
  protected:
+  // The uppercase object transforms the data plane, so the footprint must keep
+  // the descriptor rows on top of the pathname default.
+  Footprint default_footprint() const override {
+    return PathnameSet::default_footprint().Merge(Footprint::Classes(kTakesFd));
+  }
+
   OpenObjectRef MakeDefaultObject(AgentCall& call, int fd, const std::string& p) override {
     if (StartsWith(p, "/loud")) {
       return std::make_shared<UppercaseObject>(fd, p);
@@ -424,6 +430,12 @@ class HideObjectsAgent final : public PathnameSet {
   std::string name() const override { return "hide_objects"; }
 
  protected:
+  // The filtering iterator lives behind getdirentries/lseek, so merge the
+  // direntry rows back on top of the pathname default.
+  Footprint default_footprint() const override {
+    return PathnameSet::default_footprint().Merge(Footprint::Direntry());
+  }
+
   OpenObjectRef MakeDefaultObject(AgentCall& call, int fd, const std::string& p) override {
     DownApi api(call);
     Stat st;
