@@ -67,9 +67,20 @@ constexpr int kClientCounts[] = {1, 2, 4, 8, 16};
 constexpr int kFilesPerClient = 8;
 constexpr int kIterations = 4000;  // mix iterations per client (9 syscalls each)
 constexpr int kAttempts = 3;       // best-of-N against host scheduling noise
+// The pay-per-use/compiled-route gates compare two sub-µs measurements whose
+// ratio sits within a 3% margin, so the mix takes more attempts to converge on
+// the true minimum than the coarser curve/parity measurements need.
+constexpr int kMixAttempts = 6;
 constexpr double kSpeedupGateAt8 = 2.5;
 constexpr double kParityMargin = 1.10;
-constexpr double kPayPerUseGate = 5.0;
+// Tightened from 5.0 when dispatch moved to compiled routes: the narrowed
+// stack no longer pays the per-frame interest scan, so the measured margin
+// rose from ~5.9x to ~7.7x. 6.5 keeps headroom for host noise.
+constexpr double kPayPerUseGate = 6.5;
+// Compiled-route gate: with flattened routes, a footprint-narrowed 7-agent
+// stack must dispatch a non-path per-process mix at bare-kernel speed — at
+// most 3% over the agentless kernel (it was 1.06x under the per-frame scan).
+constexpr double kCompiledRouteGate = 1.03;
 
 // Installs each client's private file set plus one shared read target.
 void BuildTree(ia::Kernel& kernel, int max_clients) {
@@ -234,7 +245,15 @@ std::vector<ia::AgentRef> MakePayPerUseStack(bool force_full_interface) {
 
 enum class PayPerUseConfig { kNoAgents, kNarrowedStack, kFullStack };
 
-double MeasurePayPerUseMix(PayPerUseConfig config) {
+struct PayPerUseResult {
+  double best_us = 1e18;  // µs per 4-call mix iteration
+  // Compiled-route counters from the last attempt's kernel (exact once the
+  // measurement process has exited).
+  int64_t route_lookups = 0;
+  int64_t route_builds = 0;
+};
+
+PayPerUseResult MeasurePayPerUseMixOnce(PayPerUseConfig config) {
   const auto mix = [](ia::ProcessContext& ctx) {
     ctx.Getpid();
     ctx.Getpid();
@@ -242,17 +261,36 @@ double MeasurePayPerUseMix(PayPerUseConfig config) {
     ia::TimeVal tv;
     ctx.Gettimeofday(&tv, nullptr);
   };
-  double best = 1e18;
-  for (int attempt = 0; attempt < kAttempts; ++attempt) {
-    ia::Kernel kernel;
-    BuildPayPerUseTree(kernel);
-    std::vector<ia::AgentRef> agents;
-    if (config != PayPerUseConfig::kNoAgents) {
-      agents = MakePayPerUseStack(config == PayPerUseConfig::kFullStack);
-    }
-    best = std::min(best, ia::bench::MeasurePerCallMicros(kernel, agents, mix, 50000));
+  ia::Kernel kernel;
+  BuildPayPerUseTree(kernel);
+  std::vector<ia::AgentRef> agents;
+  if (config != PayPerUseConfig::kNoAgents) {
+    agents = MakePayPerUseStack(config == PayPerUseConfig::kFullStack);
   }
-  return best;  // µs per 4-call mix iteration
+  PayPerUseResult result;
+  result.best_us = ia::bench::MeasurePerCallMicros(kernel, agents, mix, 50000);
+  const ia::Kernel::RouteCacheStats routes = kernel.RouteStats();
+  result.route_lookups = routes.lookups;
+  result.route_builds = routes.builds;
+  return result;
+}
+
+// Measures all three configurations with their attempts interleaved
+// (bare/narrowed/full round-robin) so host-speed drift during the measurement
+// window lands on every configuration equally — the gates compare ratios
+// within a few percent, where a drift that hits only one block would dominate.
+void MeasurePayPerUseMixes(PayPerUseResult* bare, PayPerUseResult* narrowed,
+                           PayPerUseResult* full) {
+  const auto fold = [](PayPerUseResult* into, const PayPerUseResult& attempt) {
+    into->best_us = std::min(into->best_us, attempt.best_us);
+    into->route_lookups = attempt.route_lookups;
+    into->route_builds = attempt.route_builds;
+  };
+  for (int attempt = 0; attempt < kMixAttempts; ++attempt) {
+    fold(bare, MeasurePayPerUseMixOnce(PayPerUseConfig::kNoAgents));
+    fold(narrowed, MeasurePayPerUseMixOnce(PayPerUseConfig::kNarrowedStack));
+    fold(full, MeasurePayPerUseMixOnce(PayPerUseConfig::kFullStack));
+  }
 }
 
 }  // namespace
@@ -352,10 +390,18 @@ int main() {
   }
 
   // --- pay-per-use: narrowed footprints vs whole-interface interest ---------
-  const double bare_mix_us = MeasurePayPerUseMix(PayPerUseConfig::kNoAgents);
-  const double narrowed_mix_us = MeasurePayPerUseMix(PayPerUseConfig::kNarrowedStack);
-  const double full_mix_us = MeasurePayPerUseMix(PayPerUseConfig::kFullStack);
+  PayPerUseResult bare_mix, narrowed_mix, full_mix;
+  MeasurePayPerUseMixes(&bare_mix, &narrowed_mix, &full_mix);
+  const double bare_mix_us = bare_mix.best_us;
+  const double narrowed_mix_us = narrowed_mix.best_us;
+  const double full_mix_us = full_mix.best_us;
   const double payperuse_speedup = narrowed_mix_us > 0 ? full_mix_us / narrowed_mix_us : 0;
+  const double narrowed_vs_bare = bare_mix_us > 0 ? narrowed_mix_us / bare_mix_us : 0;
+  const double route_hit_rate =
+      narrowed_mix.route_lookups > 0
+          ? 1.0 - static_cast<double>(narrowed_mix.route_builds) /
+                      static_cast<double>(narrowed_mix.route_lookups)
+          : 0;
 
   std::printf("\n  pay-per-use (getpid x3 + gettimeofday per iteration, 7-agent stack):\n");
   std::printf("    %-38s %10s %12s\n", "configuration", "µs/iter", "vs bare");
@@ -374,6 +420,26 @@ int main() {
       std::printf("    FAIL: narrowed stack below %.1fx of the whole-interface stack —\n"
                   "    uninterested numbers are not skipping agent frames\n",
                   kPayPerUseGate);
+      ok = false;
+    }
+  }
+
+  // --- compiled routes: narrowed stack vs bare kernel -----------------------
+  std::printf("\n  compiled routes (same mix, narrowed 7-agent stack vs no agents):\n");
+  std::printf("    narrowed-vs-bare %.2fx; route cache: %lld lookups, %lld builds "
+              "(%.4f%% hit rate)\n",
+              narrowed_vs_bare, static_cast<long long>(narrowed_mix.route_lookups),
+              static_cast<long long>(narrowed_mix.route_builds), route_hit_rate * 100);
+  if (kUnderTsan) {
+    std::printf("    gate: skipped (ThreadSanitizer run)\n");
+  } else {
+    std::printf("    gate: narrowed-vs-bare <= %.2fx (self-check: the route table must\n"
+                "     make an all-uninterested dispatch indistinguishable from bare)\n",
+                kCompiledRouteGate);
+    if (narrowed_vs_bare > kCompiledRouteGate) {
+      std::printf("    FAIL: narrowed stack more than %.0f%% over the agentless kernel —\n"
+                  "    dispatch is scanning frames instead of following compiled routes\n",
+                  (kCompiledRouteGate - 1) * 100);
       ok = false;
     }
   }
@@ -397,6 +463,12 @@ int main() {
               "\"bare_us\":%.3f,\"narrowed_us\":%.3f,\"full_us\":%.3f,"
               "\"narrowed_vs_full\":%.3f}\n",
               bare_mix_us, narrowed_mix_us, full_mix_us, payperuse_speedup);
+  std::printf("{\"bench\":\"bench_scalability\",\"check\":\"compiled_routes\","
+              "\"bare_us\":%.3f,\"narrowed_us\":%.3f,\"narrowed_vs_bare\":%.3f,"
+              "\"route_lookups\":%lld,\"route_builds\":%lld,\"route_hit_rate\":%.6f}\n",
+              bare_mix_us, narrowed_mix_us, narrowed_vs_bare,
+              static_cast<long long>(narrowed_mix.route_lookups),
+              static_cast<long long>(narrowed_mix.route_builds), route_hit_rate);
 
   std::printf("\n%s\n", ok ? "ALL SELF-CHECKS PASSED" : "SELF-CHECK FAILURES (see above)");
   return ok ? 0 : 1;

@@ -76,9 +76,17 @@ int64_t ChaosAgent::TotalInjected() const {
   return total;
 }
 
+bool ChaosAgent::Quiesce(ProcessContext& ctx) {
+  quiesced_.store(true, std::memory_order_relaxed);
+  // Shed every interest bit on the live frame (and record the empty footprint
+  // for future fork-child installs): the fault window is over, so calls should
+  // not pay for this frame at all.
+  return use_footprint(ctx, Footprint::None());
+}
+
 SyscallStatus ChaosAgent::syscall(AgentCall& call) {
   const int number = call.number();
-  if (AgentPlaneExempt(number)) {
+  if (AgentPlaneExempt(number) || quiesced_.load(std::memory_order_relaxed)) {
     return SymbolicSyscall::syscall(call);
   }
   const Pid pid = call.ctx().process().pid;

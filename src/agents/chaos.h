@@ -14,6 +14,7 @@
 #define SRC_AGENTS_CHAOS_H_
 
 #include <array>
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <string>
@@ -35,6 +36,14 @@ class ChaosAgent final : public SymbolicSyscall {
   std::string FaultTraceText() const;
   int64_t TotalInjected() const;
 
+  // Post-setup narrowing: permanently stops injecting and re-narrows the live
+  // frame in `ctx` to nothing, so the fault window ends and every row returns
+  // to the kernel fast lanes (the fork/exec bookkeeping interceptions remain,
+  // keeping propagation alive). Other processes served by this instance stop
+  // injecting immediately and shed their frames on their own next Quiesce.
+  // Returns false if not installed in ctx.
+  bool Quiesce(ProcessContext& ctx);
+
  protected:
   SyscallStatus syscall(AgentCall& call) override;
 
@@ -54,6 +63,7 @@ class ChaosAgent final : public SymbolicSyscall {
   uint64_t NextSeq(Pid pid);
 
   FaultPlan plan_;
+  std::atomic<bool> quiesced_{false};  // set once by Quiesce(); never cleared
   mutable std::mutex mu_;
   std::map<Pid, uint64_t> seq_;
   FaultInjector injector_;  // counters + trace only; decisions go via DecideFault

@@ -40,10 +40,17 @@ SyscallStatus SandboxAgent::Deny(AgentCall& /*call*/) {
   return -kEPerm;
 }
 
+bool SandboxAgent::DropSyscallBudget(ProcessContext& ctx) {
+  budget_limit_.store(-1, std::memory_order_relaxed);
+  // Re-narrow the live frame (and, via the recorded footprint, every future
+  // fork-child install) to the policy rows alone.
+  return use_footprint(ctx, PolicyFootprint());
+}
+
 SyscallStatus SandboxAgent::syscall(AgentCall& call) {
   const int64_t seen = calls_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (policy_.max_syscalls >= 0 && seen > policy_.max_syscalls &&
-      call.number() != kSysExit) {
+  const int64_t budget = budget_limit_.load(std::memory_order_relaxed);
+  if (budget >= 0 && seen > budget && call.number() != kSysExit) {
     // Resource restriction exceeded: terminate the client. The kill goes down
     // directly so it cannot itself be budgeted away.
     violations_.fetch_add(1, std::memory_order_relaxed);

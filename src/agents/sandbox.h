@@ -38,7 +38,8 @@ struct SandboxPolicy {
 
 class SandboxAgent final : public PathnameSet {
  public:
-  explicit SandboxAgent(SandboxPolicy policy) : policy_(std::move(policy)) {}
+  explicit SandboxAgent(SandboxPolicy policy)
+      : policy_(std::move(policy)), budget_limit_(policy_.max_syscalls) {}
 
   std::string name() const override { return "sandbox"; }
 
@@ -49,22 +50,28 @@ class SandboxAgent final : public PathnameSet {
   bool PathReadable(const std::string& path) const;
   bool PathWritable(const std::string& path) const;
 
+  // Post-setup narrowing: permanently lifts the syscall budget and re-narrows
+  // this agent's live frame in `ctx` from the whole interface down to the
+  // policy rows. A budgeted sandbox must see every call, which keeps even
+  // getpid-style traffic off the kernel fast lanes; an embedder that trusts
+  // the client after its setup phase calls this to shed that cost while every
+  // pathname/policy guard stays armed. Returns false if not installed in ctx.
+  bool DropSyscallBudget(ProcessContext& ctx);
+
  protected:
   // Whole-interface pre-hook: syscall budget enforcement.
   SyscallStatus syscall(AgentCall& call) override;
 
   // Pathname footprint plus the specific rows the policy guards. A syscall
   // budget is the one policy that genuinely needs the whole interface (every
-  // call must tick the counter), so max_syscalls >= 0 keeps the full
-  // footprint; all other policies are enforceable from the narrowed slice and
-  // let getpid-style traffic keep the kernel fast lanes.
+  // call must tick the counter), so an armed budget keeps the full footprint;
+  // all other policies are enforceable from the narrowed slice and let
+  // getpid-style traffic keep the kernel fast lanes.
   Footprint default_footprint() const override {
-    if (policy_.max_syscalls >= 0) {
+    if (budget_limit_.load(std::memory_order_relaxed) >= 0) {
       return Footprint::All();
     }
-    return PathnameSet::default_footprint().Merge(Footprint::Numbers(
-        {kSysKill, kSysKillpg, kSysSetuid, kSysSetgroups, kSysSetlogin,
-         kSysSettimeofday, kSysSethostname, kSysWrite}));
+    return PolicyFootprint();
   }
 
   PathnameRef getpn(AgentCall& call, const char* path) override;
@@ -85,7 +92,17 @@ class SandboxAgent final : public PathnameSet {
 
   SyscallStatus Deny(AgentCall& call);
 
+  // The budget-free interface slice: pathname rows plus the policy guards.
+  Footprint PolicyFootprint() const {
+    return PathnameSet::default_footprint().Merge(Footprint::Numbers(
+        {kSysKill, kSysKillpg, kSysSetuid, kSysSetgroups, kSysSetlogin,
+         kSysSettimeofday, kSysSethostname, kSysWrite}));
+  }
+
   SandboxPolicy policy_;
+  // Live budget limit: initialized from policy_.max_syscalls, cleared (-1) by
+  // DropSyscallBudget(). Atomic because one instance serves many processes.
+  std::atomic<int64_t> budget_limit_;
   std::atomic<int64_t> violations_{0};
   std::atomic<int64_t> calls_seen_{0};
   std::atomic<int64_t> bytes_written_{0};

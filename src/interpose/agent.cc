@@ -83,14 +83,38 @@ SyscallStatus AgentHost::DownCall(ProcessContext& ctx, int frame, int number,
   }
   if (IsExecNumber(number)) {
     // Reimplement execve enough to survive it: the underlying exec would wipe the
-    // emulation state, so continue down with the preserve flag set (paper: execve
+    // emulation state, so arm the preserve flag for the kernel (paper: execve
     // "must be completely reimplemented by the toolkit from lower-level
-    // primitives ... the agent needs to be preserved").
-    SyscallArgs preserved = args;
-    preserved.SetInt(2, preserved.Long(2) | 1);
-    return ctx.SyscallBelow(frame, number, preserved, rv);
+    // primitives ... the agent needs to be preserved"). The flag rides
+    // out-of-band on the Process (like the argv strings): smuggling it into a
+    // numeric argument would corrupt whatever the application passed there and
+    // leak through agents that substitute arguments.
+    ctx.process().exec_preserve_staging = true;
+    return ctx.SyscallBelow(frame, number, args, rv);
   }
   return ctx.SyscallBelow(frame, number, args, rv);
+}
+
+bool AgentHost::Refootprint(ProcessContext& ctx, const Agent* agent,
+                            const std::bitset<kMaxSyscall>& syscalls, uint32_t signals) {
+  EmulationStack& stack = ctx.emulation();
+  bool found = false;
+  for (int i = 0; i < stack.Depth(); ++i) {
+    auto* host = dynamic_cast<AgentHost*>(stack.At(i).handler.get());
+    if (host == nullptr || host->agent_.get() != agent) {
+      continue;
+    }
+    host->agent_interest_ = syscalls;
+    host->agent_signal_interest_ = signals & kValidSignalsMask;
+    std::bitset<kMaxSyscall> frame_interest = syscalls;
+    frame_interest.set(kSysFork);
+    frame_interest.set(kSysVfork);
+    frame_interest.set(kSysExecve);
+    frame_interest.set(kSysExecv);
+    stack.SetInterest(i, frame_interest, host->agent_signal_interest_);
+    found = true;
+  }
+  return found;
 }
 
 Pid SpawnUnderAgents(Kernel& kernel, const std::vector<AgentRef>& agents,

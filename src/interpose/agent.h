@@ -31,8 +31,17 @@ class AgentBinding {
     }
   }
   void InterceptSyscallRange(int low, int high) {
+    // Clamp to the table BEFORE iterating: the loop counter must never chase an
+    // unreachable bound (high == INT_MAX would make `n <= high` loop forever —
+    // signed-overflow UB at the wrap).
+    if (low < 0) {
+      low = 0;
+    }
+    if (high >= kMaxSyscall) {
+      high = kMaxSyscall - 1;
+    }
     for (int n = low; n <= high; ++n) {
-      InterceptSyscall(n);
+      syscalls_.set(static_cast<size_t>(n));
     }
   }
   void InterceptAllSyscalls() { syscalls_.set(); }
@@ -41,7 +50,10 @@ class AgentBinding {
       signals_ |= SigMask(signo);
     }
   }
-  void InterceptAllSignals() { signals_ = ~0u & ~SigMask(0); }
+  // Clamped to valid signal numbers so the all-signals mask agrees bit-for-bit
+  // with what per-signal InterceptSignal() calls can produce — no interest
+  // bits for signal numbers >= kNumSignals that delivery would never match.
+  void InterceptAllSignals() { signals_ = kValidSignalsMask; }
 
   const std::bitset<kMaxSyscall>& syscalls() const { return syscalls_; }
   uint32_t signals() const { return signals_; }
@@ -158,6 +170,16 @@ class AgentHost final : public SyscallHandler {
   // AgentCall::CallDown().
   SyscallStatus DownCall(ProcessContext& ctx, int frame, int number, const SyscallArgs& args,
                          SyscallResult* rv);
+
+  // Dynamic re-narrow: rewrites the live interest sets of every frame in
+  // `ctx`'s emulation stack hosting `agent` — both the host's own dispatch
+  // filter and the kernel-visible frame bits (the fork/exec bookkeeping rows
+  // stay set so propagation and exec survival keep working). Bumps the stack
+  // generation, so compiled routes rebuild on the next call. Must run on the
+  // client process's own thread (agent or application code). Returns false if
+  // the agent is not installed in `ctx`.
+  static bool Refootprint(ProcessContext& ctx, const Agent* agent,
+                          const std::bitset<kMaxSyscall>& syscalls, uint32_t signals);
 
   const AgentRef& agent() const { return agent_; }
 

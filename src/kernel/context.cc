@@ -25,13 +25,24 @@ SyscallStatus ProcessContext::Syscall(int number, const SyscallArgs& args, Sysca
       explicit DepthGuard(int& d) : depth(d) { ++depth; }
       ~DepthGuard() { --depth; }
     } guard(syscall_depth_);
-    const int frame = proc_->emulation.NextInterestedBelow(proc_->emulation.Depth(), number);
-    if (frame >= 0) {
-      // Keep the handler alive across the call even if the stack is mutated below us.
-      std::shared_ptr<SyscallHandler> handler = proc_->emulation.At(frame).handler;
-      status = handler->HandleSyscall(*this, frame, number, args, rv);
-    } else {
+    if (number < 0 || number >= kMaxSyscall) {
+      // Out-of-table numbers have no route (or interest bit); the kernel's own
+      // dispatcher produces the ENOSYS.
       status = kernel_->DoSyscall(*proc_, number, args, rv);
+    } else {
+      // Compiled dispatch: the route holds the exact interested frames for this
+      // number, so the narrowed common case is one generation compare and an
+      // empty check before the kernel lane — no per-frame scan.
+      const CompiledRoute& route = proc_->emulation.RouteFor(number);
+      if (route.hops.empty()) {
+        status = kernel_->DoSyscall(*proc_, number, args, rv);
+      } else {
+        const int frame = route.hops.front();
+        // Keep the handler alive across the call even if the stack is mutated
+        // below us (which also invalidates `route` — don't touch it again).
+        std::shared_ptr<SyscallHandler> handler = proc_->emulation.At(frame).handler;
+        status = handler->HandleSyscall(*this, frame, number, args, rv);
+      }
     }
   }
   if (syscall_depth_ == 0) {
@@ -46,10 +57,17 @@ SyscallStatus ProcessContext::SyscallBelow(int frame, int number, const SyscallA
   if (rv == nullptr) {
     rv = &local;
   }
-  const int next = proc_->emulation.NextInterestedBelow(frame, number);
-  if (next >= 0) {
-    std::shared_ptr<SyscallHandler> handler = proc_->emulation.At(next).handler;
-    return handler->HandleSyscall(*this, next, number, args, rv);
+  if (number >= 0 && number < kMaxSyscall) {
+    // The route for `number` (which need not be the intercepted call — agents
+    // issue their own I/O on the lower interface) lists interested frames in
+    // descending order; the next hop is the first one strictly below `frame`.
+    const CompiledRoute& route = proc_->emulation.RouteFor(number);
+    for (const int16_t hop : route.hops) {
+      if (hop < frame) {
+        std::shared_ptr<SyscallHandler> handler = proc_->emulation.At(hop).handler;
+        return handler->HandleSyscall(*this, hop, number, args, rv);
+      }
+    }
   }
   return kernel_->DoSyscall(*proc_, number, args, rv);
 }
@@ -697,9 +715,12 @@ Pid ProcessContext::Fork(std::function<int(ProcessContext&)> child_body) {
 
 int ProcessContext::Execve(const std::string& path, const std::vector<std::string>& argv_in) {
   proc_->exec_argv_staging = argv_in;
+  // Plain execve clears the emulation stack; interposed frames re-arm the
+  // preserve flag out-of-band on the way down (see AgentHost::DownCall). The
+  // numeric arguments stay exactly what the caller supplied.
+  proc_->exec_preserve_staging = false;
   SyscallArgs args;
   args.SetPtr(0, path.c_str());
-  args.SetInt(2, 0);  // flags: plain execve clears the emulation stack
   return Syscall(kSysExecve, args, nullptr);
   // On success, the boundary throws ExecveUnwind before this returns to the caller.
 }

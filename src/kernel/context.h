@@ -45,7 +45,8 @@ class ProcessContext {
 
   // Application-level system call: enters the emulation stack from the top. At the
   // outermost nesting level, pending execs and signals are processed on return
-  // (the "return to user mode" boundary).
+  // (the "return to user mode" boundary). Dispatch consults the stack's compiled
+  // route for `number` (see EmulationStack::RouteFor) instead of scanning frames.
   SyscallStatus Syscall(int number, const SyscallArgs& args, SyscallResult* rv);
 
   // Continues an intercepted call below `frame` (htg_unix_syscall() equivalent).
@@ -59,8 +60,12 @@ class ProcessContext {
   // ---------------------------------------------------------------------------
 
   // Pushes an emulation frame; returns its index. The topmost frame is closest to
-  // the application.
+  // the application. Pushing (like popping) bumps the stack generation, which
+  // invalidates every compiled dispatch route in O(1).
   int PushEmulation(EmulationFrame frame) { return proc_->emulation.Push(std::move(frame)); }
+
+  // Removes the topmost emulation frame (task_set_emulation teardown).
+  void PopEmulation() { proc_->emulation.Pop(); }
 
   EmulationStack& emulation() { return proc_->emulation; }
 

@@ -352,6 +352,10 @@ void Kernel::FinalizeExit(Process& proc, int wait_status) {
   proc.fds.CloseAll();
   proc.cwd.reset();
   proc.root.reset();
+  // Fold the process's route-cache tallies into the kernel-wide counters
+  // before the stack (and its routes) are torn down.
+  route_lookups_.fetch_add(proc.emulation.route_lookups(), std::memory_order_relaxed);
+  route_builds_.fetch_add(proc.emulation.route_builds(), std::memory_order_relaxed);
   proc.emulation.Clear();
   for (const auto& [pid, other] : table_) {
     if (other->ppid == proc.pid) {
@@ -1772,7 +1776,12 @@ SyscallStatus Kernel::SysExecve(Process& p, const SyscallArgs& a, SyscallResult*
   if (path == nullptr) {
     return -kEFault;
   }
-  const bool preserve_emulation = (a.Long(2) & 1) != 0;
+  // The preserve-emulation flag travels out-of-band (like the argv strings):
+  // interposition frames arm it on the way down, and it is consumed exactly
+  // once here so a stale value can never leak into a later exec. The numeric
+  // arguments are the application's alone.
+  const bool preserve_emulation = p.exec_preserve_staging;
+  p.exec_preserve_staging = false;
   PendingExec pending;
   const int err = ResolveExecutableLocked(p, path, &pending);
   if (err != 0) {

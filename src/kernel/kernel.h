@@ -139,6 +139,21 @@ class Kernel {
   // Snapshot of the namei directory name-lookup cache counters.
   NameCacheStats CacheStats();
 
+  // Aggregated compiled-dispatch-route counters, accumulated from each
+  // process's emulation stack as it exits (FinalizeExit). `lookups` counts
+  // route consultations, `builds` counts lazy (re)compilations; the hit rate
+  // is 1 - builds/lookups. Exact once the world has quiesced.
+  struct RouteCacheStats {
+    int64_t lookups = 0;
+    int64_t builds = 0;
+  };
+  RouteCacheStats RouteStats() {
+    RouteCacheStats stats;
+    stats.lookups = route_lookups_.load(std::memory_order_relaxed);
+    stats.builds = route_builds_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
   // In-kernel tracing (the monolithic DFSTrace stand-in). Not owned. While any
   // sink is attached every syscall takes the big-lock path, so sinks need no
   // internal synchronization. Each slot carries its own abstraction-class
@@ -354,6 +369,9 @@ class Kernel {
   // and tests do) makes snapshots exact, because thread join/condvar edges
   // then order every prior relaxed store before the read.
   std::atomic<int64_t> total_syscalls_{0};
+  // Compiled-route counters, folded in from exiting processes (FinalizeExit).
+  std::atomic<int64_t> route_lookups_{0};
+  std::atomic<int64_t> route_builds_{0};
   struct AtomicSyscallStat {
     std::atomic<int64_t> calls{0};
     std::atomic<int64_t> errors{0};

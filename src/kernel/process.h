@@ -121,6 +121,12 @@ class Process {
   // the numeric syscall ABI, so the libc stages them here before trapping.
   std::vector<std::string> exec_argv_staging;
   std::function<void(ProcessContext&, int)> staging_handler;
+  // Exec preserve-emulation flag, carried out-of-band like the argv strings:
+  // interposition frames set it while continuing an exec downward so the kernel
+  // keeps the emulation stack across the image change. It must never ride in a
+  // numeric argument — those belong to the application. ProcessContext::Execve
+  // clears it before trapping; SysExecve consumes (and resets) it. [owner]
+  bool exec_preserve_staging = false;
 
   // --- signals ----------------------------------------------------------------------
   // actions and sig_mask are [owner]: sigvec/sigblock/sigsetmask mutate them on
@@ -139,6 +145,10 @@ class Process {
   uint32_t sigpause_saved_mask = 0;
 
   // --- interposition (kernel primitive state) ------------------------------------------
+  // The emulation stack carries its own generation counter and per-syscall
+  // compiled-route cache (see emulation.h); both are [owner] like the frames,
+  // except the route-stat tallies, which are relaxed atomics so FinalizeExit
+  // can aggregate them into the kernel-wide counters.
   EmulationStack emulation;
 
   // --- host-side execution -----------------------------------------------------------

@@ -118,6 +118,19 @@ inline constexpr int kNumSignals = 32;  // Valid signal numbers are 1..31.
 
 constexpr uint32_t SigMask(int signo) { return 1u << signo; }
 
+// The mask of every valid signal number (1..kNumSignals-1). Built by iteration
+// so it stays correct — with no shift-width UB — for any kNumSignals <= 32;
+// bits at or above kNumSignals are never set. The single source of truth for
+// "all signals" (AgentBinding::InterceptAllSignals, Footprint::AddAllSignals).
+constexpr uint32_t ValidSignalsMask() {
+  uint32_t mask = 0;
+  for (int signo = 1; signo < kNumSignals; ++signo) {
+    mask |= SigMask(signo);
+  }
+  return mask;
+}
+inline constexpr uint32_t kValidSignalsMask = ValidSignalsMask();
+
 // Signal handler dispositions (values of the handler pointer in 4.3BSD).
 inline constexpr uintptr_t kSigDfl = 0;
 inline constexpr uintptr_t kSigIgn = 1;

@@ -98,7 +98,8 @@ class Footprint {
   size_t Count() const { return numbers_.count(); }
 
  private:
-  static constexpr uint32_t kAllSignalsMask = ~0u & ~1u;  // signal 0 invalid
+  // Clamped to valid signal numbers (1..kNumSignals-1); see types.h.
+  static constexpr uint32_t kAllSignalsMask = kValidSignalsMask;
 
   std::bitset<kMaxSyscall> numbers_;
   uint32_t signals_ = 0;

@@ -79,12 +79,31 @@ namespace ia {
 #define IA_ARG_TYPE_CGidPtr const Gid*
 #define IA_ARG_TYPE_IoVecPtr const IoVec*
 
+void SymbolicSyscall::use_footprint(const Footprint& fp) {
+  std::lock_guard<std::mutex> lock(footprint_mu_);
+  footprint_ = fp;
+  has_footprint_ = true;
+}
+
+bool SymbolicSyscall::use_footprint(ProcessContext& ctx, const Footprint& fp) {
+  // Record for future installs (fork children inherit the new shape), then
+  // rewrite the live frame: AgentHost::Refootprint swaps the interest sets in
+  // place and bumps the stack generation, so the very next call dispatches on
+  // a freshly compiled route.
+  use_footprint(fp);
+  return AgentHost::Refootprint(ctx, this, fp.numbers(), fp.signals());
+}
+
 void SymbolicSyscall::init(ProcessContext& /*ctx*/) {
   // Resolve the declared footprint against the table into concrete interest.
   // The layer default is the whole interface; narrowed layers and agents pay
   // only for the rows they declared — everything else skips this frame and
   // keeps the kernel's lock-free fast lanes.
-  const Footprint fp = has_footprint_ ? footprint_ : default_footprint();
+  Footprint fp;
+  {
+    std::lock_guard<std::mutex> lock(footprint_mu_);
+    fp = has_footprint_ ? footprint_ : default_footprint();
+  }
   if (fp.numbers().all()) {
     register_interest_all();
   } else {

@@ -13,6 +13,8 @@
 #ifndef SRC_TOOLKIT_SYMBOLIC_SYSCALL_H_
 #define SRC_TOOLKIT_SYMBOLIC_SYSCALL_H_
 
+#include <mutex>
+
 #include "src/toolkit/down_api.h"
 #include "src/toolkit/footprint.h"
 #include "src/toolkit/numeric_syscall.h"
@@ -24,12 +26,20 @@ class SymbolicSyscall : public NumericSyscall {
   // Overrides this layer's default footprint for the next installation.
   // Callers (tests, benches, embedders) narrow or widen an agent without
   // subclassing: use_footprint(Footprint::All()) forces whole-interface
-  // interception on an otherwise-narrowed agent. Must be called before
+  // interception on an otherwise-narrowed agent. Takes effect at the next
   // Install(); the footprint resolves against the table inside init().
-  void use_footprint(const Footprint& fp) {
-    footprint_ = fp;
-    has_footprint_ = true;
-  }
+  void use_footprint(const Footprint& fp);
+
+  // Dynamic re-narrow: rewrites this agent's LIVE frame in `ctx`'s emulation
+  // stack to exactly `fp`, in place, bumping the stack generation so compiled
+  // dispatch routes rebuild on the next call. This is how an agent sheds
+  // interest after its setup phase (or re-widens later) without reinstalling —
+  // numbers outside the new footprint immediately return to the kernel fast
+  // lanes. Also records `fp` as the footprint for future installs, so fork
+  // children inherit the narrowed shape. Must be called on the client
+  // process's own thread (from agent code or the application body). Returns
+  // false if this agent is not installed in `ctx`.
+  bool use_footprint(ProcessContext& ctx, const Footprint& fp);
 
  protected:
   // Registers interest in exactly this agent's declared footprint — the
@@ -136,6 +146,10 @@ class SymbolicSyscall : public NumericSyscall {
   virtual SyscallStatus unknown_syscall(AgentCall& call) { return call.CallDown(); }
 
  private:
+  // One agent instance may serve several processes (Figure 1-4): a dynamic
+  // use_footprint() from one client can race an Install() for another, so the
+  // footprint override is guarded.
+  std::mutex footprint_mu_;
   Footprint footprint_;
   bool has_footprint_ = false;
 };

@@ -192,10 +192,13 @@ TEST(ConcurrencyStress, ForkExitStormVsStatsSnapshots) {
     done.store(true, std::memory_order_release);
     return failures;
   };
-  const Pid pid = kernel->Spawn(options);
-
+  // Snapshot BEFORE the spawn: the storm body starts concurrently the moment
+  // Spawn returns, so a snapshot taken after it races the first forks and the
+  // exact-delta checks below undercount.
   const auto before = kernel->SyscallStats();
   int64_t last_total = kernel->TotalSyscallCount();
+  const Pid pid = kernel->Spawn(options);
+
   int64_t snapshots = 0;
   while (!done.load(std::memory_order_acquire)) {
     const auto mid = kernel->SyscallStats();

@@ -265,10 +265,16 @@ TEST(Signals, EintrOnBlockedRead) {
               const Pid parent = ctx.Getpid();
               bool handled = false;
               ctx.Sigvec(kSigUsr1, 2, [&handled](ProcessContext&, int) { handled = true; });
-              // The child signals repeatedly so the parent is guaranteed to be
-              // blocked in read() for at least one of them.
+              // The child signals until it is killed, so the parent is
+              // guaranteed to be blocked in read() for at least one of them. A
+              // bounded count is not enough: virtual-time pacing costs no real
+              // time, so a slow parent thread (e.g. under TSan) can still be
+              // short of read() when a finite barrage ends — the coalesced
+              // pending bit is then consumed at a pre-read boundary and the
+              // read blocks forever. The parent's SIGKILL ends the loop (kill
+              // is a delivery point for the child's own pending signals).
               const Pid child = ctx.Fork([parent](ProcessContext& c) -> int {
-                for (int i = 0; i < 500; ++i) {
+                for (;;) {
                   c.Compute(200);
                   if (c.Kill(parent, kSigUsr1) < 0) {
                     break;
