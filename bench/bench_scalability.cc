@@ -34,6 +34,7 @@
 
 #include "bench/bench_util.h"
 #include "src/agents/chaos.h"
+#include "src/apps/batch.h"
 #include "src/agents/dfs_trace.h"
 #include "src/agents/filter_fs.h"
 #include "src/agents/retry.h"
@@ -63,7 +64,7 @@
 namespace {
 
 constexpr bool kUnderTsan = IA_UNDER_TSAN != 0;
-constexpr int kClientCounts[] = {1, 2, 4, 8, 16};
+constexpr int kClientCounts[] = {1, 2, 4, 8, 16, 32, 64};
 constexpr int kFilesPerClient = 8;
 constexpr int kIterations = 4000;  // mix iterations per client (9 syscalls each)
 constexpr int kAttempts = 3;       // best-of-N against host scheduling noise
@@ -81,6 +82,24 @@ constexpr double kPayPerUseGate = 6.5;
 // stack must dispatch a non-path per-process mix at bare-kernel speed — at
 // most 3% over the agentless kernel (it was 1.06x under the per-frame scan).
 constexpr double kCompiledRouteGate = 1.03;
+// Ring gate: at 16 clients a batched mixed workload must clear 2x the
+// per-call throughput of the identical call sequence — the amortized batch
+// prologue (one clock advance / rusage update / stats flush per run) is what
+// the submission ring buys under contention. Enforced on >= 16-core hosts.
+constexpr double kRingGateAt16 = 2.0;
+// Stripe gate: a 64-client directory-heavy mix on the default striped tree
+// lock must scale at least 1.5x over the same kernel pinned to one stripe
+// (the pre-change single shared_mutex), whose reader-count cacheline
+// flatlines the curve. Enforced on >= 16-core hosts.
+constexpr double kStripeGateAt64 = 1.5;
+
+// Iterations per client, scaled down as the client count grows so the
+// many-client points (and TSan runs, which tax atomics hardest) stay
+// time-bounded; throughput is per-second, so the curve is unaffected.
+int ItersFor(int n, int base) {
+  const int scaled = base * 8 / std::max(8, n);
+  return kUnderTsan ? std::max(scaled / 4, 50) : scaled;
+}
 
 // Installs each client's private file set plus one shared read target.
 void BuildTree(ia::Kernel& kernel, int max_clients) {
@@ -100,7 +119,7 @@ void BuildTree(ia::Kernel& kernel, int max_clients) {
 // many-client regime the ROADMAP's "millions of users" north star implies —
 // plus one shared hot file everyone stats.
 int ClientBody(ia::ProcessContext& ctx, int id, const std::atomic<bool>* go,
-               std::atomic<int>* ready) {
+               std::atomic<int>* ready, int iterations) {
   ready->fetch_add(1, std::memory_order_acq_rel);
   while (!go->load(std::memory_order_acquire)) {
     std::this_thread::yield();
@@ -109,7 +128,7 @@ int ClientBody(ia::ProcessContext& ctx, int id, const std::atomic<bool>* go,
   ia::Stat st;
   ia::TimeVal tv;
   const std::string dir = "/data/c" + std::to_string(id);
-  for (int it = 0; it < kIterations; ++it) {
+  for (int it = 0; it < iterations; ++it) {
     const std::string file = dir + "/f" + std::to_string(it % kFilesPerClient);
     ctx.Getpid();
     ctx.Getpid();
@@ -135,11 +154,15 @@ struct Point {
   double throughput = 0;  // syscalls per host-second, best attempt
 };
 
-Point MeasureClients(int n) {
+// Runs one timed world: N clients built by `make_body(id)` racing against a
+// shared kernel configured by `config`. Returns the best-of-kAttempts point.
+Point MeasureWorld(int n, const ia::KernelConfig& config,
+                   const std::function<std::function<int(ia::ProcessContext&)>(
+                       int, const std::atomic<bool>*, std::atomic<int>*)>& make_body) {
   Point best;
   best.clients = n;
   for (int attempt = 0; attempt < kAttempts; ++attempt) {
-    ia::Kernel kernel;
+    ia::Kernel kernel(config);
     BuildTree(kernel, n);
     std::atomic<bool> go{false};
     std::atomic<int> ready{0};
@@ -147,9 +170,7 @@ Point MeasureClients(int n) {
     pids.reserve(n);
     for (int c = 0; c < n; ++c) {
       ia::SpawnOptions options;
-      options.body = [c, &go, &ready](ia::ProcessContext& ctx) {
-        return ClientBody(ctx, c, &go, &ready);
-      };
+      options.body = make_body(c, &go, &ready);
       pids.push_back(kernel.Spawn(options));
     }
     while (ready.load(std::memory_order_acquire) < n) {
@@ -174,6 +195,134 @@ Point MeasureClients(int n) {
     }
   }
   return best;
+}
+
+Point MeasureClients(int n) {
+  const int iterations = ItersFor(n, kIterations);
+  return MeasureWorld(n, ia::KernelConfig{},
+                      [iterations](int c, const std::atomic<bool>* go, std::atomic<int>* ready) {
+                        return [c, go, ready, iterations](ia::ProcessContext& ctx) {
+                          return ClientBody(ctx, c, go, ready, iterations);
+                        };
+                      });
+}
+
+// --- ring vs per-call: the batched mixed workload -----------------------------
+//
+// Each iteration opens a private file synchronously (its fd feeds the
+// fd-keyed entries), then issues stat/fstat/lseek/read/getpid/close — either
+// one call at a time or as a single ring batch through BatchClient. Both
+// variants issue the identical 7-syscall sequence, so throughput is directly
+// comparable; the ring variant pays the dispatch prologue once per batch.
+int MixedClientBody(ia::ProcessContext& ctx, int id, const std::atomic<bool>* go,
+                    std::atomic<int>* ready, bool via_ring, int iterations) {
+  ready->fetch_add(1, std::memory_order_acq_rel);
+  while (!go->load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  char buf[1024];
+  ia::Stat st;
+  ia::Stat fst;
+  const std::string dir = "/data/c" + std::to_string(id);
+  ia::BatchClient batch(ctx, 64);
+  for (int it = 0; it < iterations; ++it) {
+    const std::string file = dir + "/f" + std::to_string(it % kFilesPerClient);
+    const int fd = ctx.Open(file, ia::kORdonly);
+    if (fd < 0) {
+      return 1;
+    }
+    if (via_ring) {
+      batch.PushStat(file.c_str(), &st, 0);
+      batch.PushFstat(fd, &fst, 1);
+      batch.PushLseek(fd, 0, ia::kSeekSet, 2);
+      batch.PushRead(fd, buf, sizeof buf, 3);
+      batch.PushGetpid(4);
+      batch.PushClose(fd, 5);
+      if (batch.Flush() != 6 ||
+          batch.completions()[3].result.rv[0] != static_cast<int64_t>(sizeof buf)) {
+        return 2;
+      }
+    } else {
+      if (ctx.Stat(file, &st) != 0 || ctx.Fstat(fd, &fst) != 0) {
+        return 2;
+      }
+      ctx.Lseek(fd, 0, ia::kSeekSet);
+      if (ctx.Read(fd, buf, sizeof buf) != static_cast<int64_t>(sizeof buf)) {
+        return 3;
+      }
+      ctx.Getpid();
+      ctx.Close(fd);
+    }
+  }
+  return 0;
+}
+
+struct RingPoint {
+  int clients = 0;
+  double percall_tp = 0;
+  double ring_tp = 0;
+  double speedup = 0;
+};
+
+RingPoint MeasureRingPoint(int n) {
+  const int iterations = ItersFor(n, kIterations / 2);
+  const auto factory = [iterations](bool via_ring) {
+    return [via_ring, iterations](int c, const std::atomic<bool>* go, std::atomic<int>* ready) {
+      return [c, go, ready, via_ring, iterations](ia::ProcessContext& ctx) {
+        return MixedClientBody(ctx, c, go, ready, via_ring, iterations);
+      };
+    };
+  };
+  RingPoint point;
+  point.clients = n;
+  point.percall_tp = MeasureWorld(n, ia::KernelConfig{}, factory(false)).throughput;
+  point.ring_tp = MeasureWorld(n, ia::KernelConfig{}, factory(true)).throughput;
+  point.speedup = point.percall_tp > 0 ? point.ring_tp / point.percall_tp : 0;
+  return point;
+}
+
+// --- striped vs single tree lock: the directory-heavy mix ---------------------
+//
+// Pure shared-mode VFS reads (stat/access/open+close), the regime where every
+// client previously bumped the reader count of ONE shared_mutex cacheline.
+// The same kernel pinned to tree_lock_stripes=1 reproduces that world.
+int DirHeavyBody(ia::ProcessContext& ctx, int id, const std::atomic<bool>* go,
+                 std::atomic<int>* ready, int iterations) {
+  ready->fetch_add(1, std::memory_order_acq_rel);
+  while (!go->load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  ia::Stat st;
+  const std::string dir = "/data/c" + std::to_string(id);
+  for (int it = 0; it < iterations; ++it) {
+    const std::string file = dir + "/f" + std::to_string(it % kFilesPerClient);
+    if (ctx.Stat(file, &st) != 0 || ctx.Stat(dir, &st) != 0 ||
+        ctx.Stat("/etc/motd", &st) != 0) {
+      return 1;
+    }
+    if (ctx.Access(file, 0) != 0) {
+      return 2;
+    }
+    const int fd = ctx.Open(file, ia::kORdonly);
+    if (fd < 0) {
+      return 3;
+    }
+    ctx.Close(fd);
+  }
+  return 0;
+}
+
+double MeasureTreePoint(int n, int stripes) {
+  const int iterations = ItersFor(n, kIterations / 2);
+  ia::KernelConfig config;
+  config.tree_lock_stripes = stripes;
+  return MeasureWorld(n, config,
+                      [iterations](int c, const std::atomic<bool>* go, std::atomic<int>* ready) {
+                        return [c, go, ready, iterations](ia::ProcessContext& ctx) {
+                          return DirHeavyBody(ctx, c, go, ready, iterations);
+                        };
+                      })
+      .throughput;
 }
 
 struct ParityOp {
@@ -342,6 +491,64 @@ int main() {
                 speedup8, cores);
   }
 
+  // --- ring: batched vs per-call issue --------------------------------------
+  std::vector<RingPoint> ring_curve;
+  for (const int n : {1, 4, 16, 64}) {
+    ring_curve.push_back(MeasureRingPoint(n));
+  }
+  std::printf("\n  ring vs per-call (open + 6-op batch per iteration):\n");
+  std::printf("    clients   per-call/sec       ring/sec    batched speedup\n");
+  for (const RingPoint& p : ring_curve) {
+    std::printf("    %7d  %13.0f  %13.0f  %15.2fx\n", p.clients, p.percall_tp, p.ring_tp,
+                p.speedup);
+  }
+  const RingPoint* ring16 = nullptr;
+  for (const RingPoint& p : ring_curve) {
+    if (p.clients == 16) {
+      ring16 = &p;
+    }
+  }
+  const double ring_speedup16 = ring16 != nullptr ? ring16->speedup : 0;
+  if (kUnderTsan) {
+    std::printf("    gate: skipped (%.2fx batched at 16 clients; ThreadSanitizer run)\n",
+                ring_speedup16);
+  } else if (cores >= 16) {
+    std::printf("    gate: %.2fx batched at 16 clients (self-check: >= %.1fx)\n",
+                ring_speedup16, kRingGateAt16);
+    if (ring_speedup16 < kRingGateAt16) {
+      std::printf("    FAIL: batched submission below %.1fx of per-call throughput —\n"
+                  "    the batch trap is not amortizing the dispatch prologue\n",
+                  kRingGateAt16);
+      ok = false;
+    }
+  } else {
+    std::printf("    gate: skipped (%.2fx batched at 16 clients; host has %u < 16 hardware\n"
+                "          threads, so contention never materializes)\n",
+                ring_speedup16, cores);
+  }
+
+  // --- tree lock: striped vs single-stripe at 64 clients ---------------------
+  const double striped_tp = MeasureTreePoint(64, ia::TreeLock::kDefaultStripes);
+  const double single_tp = MeasureTreePoint(64, 1);
+  const double stripe_ratio = single_tp > 0 ? striped_tp / single_tp : 0;
+  std::printf("\n  tree lock, 64-client directory-heavy mix:\n");
+  std::printf("    %d stripes: %.0f calls/sec; 1 stripe: %.0f calls/sec (%.2fx)\n",
+              ia::TreeLock::kDefaultStripes, striped_tp, single_tp, stripe_ratio);
+  if (kUnderTsan) {
+    std::printf("    gate: skipped (ThreadSanitizer run)\n");
+  } else if (cores >= 16) {
+    std::printf("    gate: %.2fx striped-vs-single (self-check: >= %.1fx)\n", stripe_ratio,
+                kStripeGateAt64);
+    if (stripe_ratio < kStripeGateAt64) {
+      std::printf("    FAIL: striping is not relieving the shared tree-lock cacheline\n");
+      ok = false;
+    }
+  } else {
+    std::printf("    gate: skipped (host has %u < 16 hardware threads; a single reader\n"
+                "          cacheline cannot flatline without real parallelism)\n",
+                cores);
+  }
+
   // --- single-client parity: fast paths vs forced big-lock dispatch ---------
   std::vector<ParityOp> ops;
   ops.push_back({"getpid", [](ia::ProcessContext& ctx) { ctx.Getpid(); }});
@@ -452,6 +659,20 @@ int main() {
                 p.clients, static_cast<long long>(p.syscalls), p.seconds, p.throughput,
                 base > 0 ? p.throughput / base : 0);
   }
+  std::printf("{\"bench\":\"bench_scalability\",\"check\":\"tree_stripes\",\"clients\":64,"
+              "\"stripes\":%d,\"striped_calls_per_sec\":%.0f,\"single_calls_per_sec\":%.0f,"
+              "\"striped_vs_single\":%.3f}\n",
+              ia::TreeLock::kDefaultStripes, striped_tp, single_tp, stripe_ratio);
+  for (const RingPoint& p : ring_curve) {
+    std::printf("{\"bench\":\"bench_ring\",\"clients\":%d,"
+                "\"percall_calls_per_sec\":%.0f,\"ring_calls_per_sec\":%.0f,"
+                "\"batched_speedup\":%.3f}\n",
+                p.clients, p.percall_tp, p.ring_tp, p.speedup);
+  }
+  std::printf("{\"bench\":\"bench_ring\",\"check\":\"batch_speedup_at_16\","
+              "\"speedup\":%.3f,\"gate\":%.1f,\"enforced\":%s}\n",
+              ring_speedup16, kRingGateAt16,
+              (!kUnderTsan && cores >= 16) ? "true" : "false");
   for (size_t i = 0; i < ops.size(); ++i) {
     std::printf("{\"bench\":\"bench_scalability\",\"check\":\"single_client_parity\","
                 "\"op\":\"%s\",\"fast_us\":%.3f,\"biglock_us\":%.3f,\"ratio\":%.3f}\n",

@@ -23,9 +23,30 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 # same stack forced to whole-interface interest), and the compiled-route gate
 # (the same mix under the narrowed 7-agent stack must run at most 3% over the
 # agentless kernel — dispatch follows precompiled routes, not a per-frame
-# interest scan). The 8-client scaling gate self-skips on small hosts; all perf
-# gates self-skip under TSan — this run is the enforced one.
-./build/bench/bench_scalability
+# interest scan). New in the ring PR: the 64-client curve, the batched-vs-
+# per-call ring gate at 16 clients, and the striped-vs-single tree-lock gate
+# at 64 clients. The scaling/ring/stripe gates self-skip on small hosts; all
+# perf gates self-skip under TSan — this run is the enforced one.
+#
+# The stdout is teed and its JSON lines split into two repo-root artifacts:
+# BENCH_scalability.json (curve + parity + stripe + route rows) and
+# BENCH_ring.json (batched-vs-per-call rows). A previous artifact, if any, is
+# kept as *.prev and diffed advisorily by scripts/bench_compare.py — a
+# regression prints a warning but does not fail CI (wall-clock numbers are
+# host-dependent; the enforced perf checks are the bench's own gates).
+for artifact in BENCH_scalability.json BENCH_ring.json; do
+  if [ -f "$artifact" ]; then
+    mv "$artifact" "$artifact.prev"
+  fi
+done
+./build/bench/bench_scalability | tee build/bench_scalability.out
+grep '^{"bench":"bench_scalability"' build/bench_scalability.out > BENCH_scalability.json
+grep '^{"bench":"bench_ring"' build/bench_scalability.out > BENCH_ring.json
+for artifact in BENCH_scalability.json BENCH_ring.json; do
+  if [ -f "$artifact.prev" ]; then
+    python3 scripts/bench_compare.py --advisory "$artifact.prev" "$artifact" || true
+  fi
+done
 
 scripts/check_sanitize.sh
 

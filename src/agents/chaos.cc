@@ -91,9 +91,20 @@ SyscallStatus ChaosAgent::syscall(AgentCall& call) {
   }
   const Pid pid = call.ctx().process().pid;
   const uint64_t seq = NextSeq(pid);
+  const bool vector_row = number == kSysReadv || number == kSysWritev;
   FaultEnv env;
   if (number == kSysRead || number == kSysWrite) {
     env.transfer_count = call.args().Long(2);
+  } else if (vector_row) {
+    const auto* iov = call.args().Ptr<const IoVec>(1);
+    const int iovcnt = call.args().Int(2);
+    if (iov != nullptr && iovcnt > 0 && iovcnt <= kMaxIoVecs) {
+      int64_t total = 0;
+      for (int i = 0; i < iovcnt; ++i) {
+        total += iov[i].iov_len > 0 ? iov[i].iov_len : 0;
+      }
+      env.transfer_count = total;
+    }
   }
   FaultDecision decision;
   {
@@ -108,6 +119,30 @@ SyscallStatus ChaosAgent::syscall(AgentCall& call) {
       return -kEIntr;
     case FaultAction::kShortTransfer: {
       SyscallArgs clamped = call.args();
+      if (vector_row) {
+        // arg 2 is iovcnt, not a byte count: clamp the vector itself to a
+        // clamp_len-byte prefix. CallDown is synchronous, so a stack-local
+        // clamped copy outlives the whole downward call chain.
+        IoVec clamped_iov[kMaxIoVecs];
+        const auto* iov = call.args().Ptr<const IoVec>(1);
+        const int iovcnt = call.args().Int(2);
+        int64_t budget = decision.clamp_len;
+        int out_cnt = 0;
+        for (int i = 0; i < iovcnt && budget > 0; ++i) {
+          IoVec seg = iov[i];
+          if (seg.iov_len <= 0) {
+            continue;
+          }
+          if (seg.iov_len > budget) {
+            seg.iov_len = budget;
+          }
+          budget -= seg.iov_len;
+          clamped_iov[out_cnt++] = seg;
+        }
+        clamped.SetPtr(1, clamped_iov);
+        clamped.SetInt(2, out_cnt);
+        return call.CallDown(clamped);
+      }
       clamped.SetInt(2, decision.clamp_len);
       return call.CallDown(clamped);
     }

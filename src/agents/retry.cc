@@ -72,12 +72,79 @@ SyscallStatus RetryAgent::ResumeTransfer(AgentCall& call) {
   return status;  // 0 on immediate EOF, else the terminal error
 }
 
+// readv/writev: decompose the vector into per-segment scalar transfers on the
+// lower interface, resuming each segment's short transfers like ResumeTransfer
+// does. A lower agent (or the kernel fault plane) that shortens a segment is
+// therefore invisible; the application sees the full summed count, a clean
+// EOF prefix, or the terminal error.
+SyscallStatus RetryAgent::ResumeVectorTransfer(AgentCall& call) {
+  const SyscallArgs& orig = call.args();
+  const int scalar = call.number() == kSysReadv ? kSysRead : kSysWrite;
+  const auto* iov = orig.Ptr<const IoVec>(1);
+  const int iovcnt = orig.Int(2);
+  int64_t done_total = 0;
+  SyscallStatus status = 0;
+  for (int i = 0; i < iovcnt; ++i) {
+    char* base = static_cast<char*>(iov[i].iov_base);
+    const int64_t want = iov[i].iov_len;
+    if (want <= 0 || base == nullptr) {
+      continue;
+    }
+    int64_t done = 0;
+    int attempt = 0;
+    while (done < want) {
+      SyscallArgs args;
+      args.SetInt(0, orig.Int(0));
+      args.SetPtr(1, base + done);
+      args.SetInt(2, want - done);
+      SyscallResult rv;
+      status = call.Call(scalar, args, &rv);
+      if (status < 0) {
+        if (Retryable(scalar, status) && ++attempt < policy_.max_attempts) {
+          if (status == -kEIntr) {
+            eintr_retries_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            transient_retries_.fetch_add(1, std::memory_order_relaxed);
+          }
+          Backoff(call, attempt);
+          continue;
+        }
+        if (attempt >= policy_.max_attempts) {
+          gave_up_.fetch_add(1, std::memory_order_relaxed);
+        }
+        goto out;  // terminal error ends the whole vector
+      }
+      const int64_t n = rv.rv[0];
+      if (n <= 0) {
+        goto out;  // EOF mid-vector: report the prefix
+      }
+      done += n;
+      done_total += n;
+      attempt = 0;
+      if (done < want) {
+        short_resumes_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+out:
+  if (done_total > 0) {
+    call.rv()->rv[0] = done_total;
+    return static_cast<SyscallStatus>(done_total);
+  }
+  return status;  // 0 on immediate EOF, else the terminal error
+}
+
 SyscallStatus RetryAgent::syscall(AgentCall& call) {
   const int number = call.number();
   if (policy_.resume_short_transfers && (number == kSysRead || number == kSysWrite) &&
       call.args().Ptr<char>(1) != nullptr && call.args().Long(2) > 0 &&
       call.rv() != nullptr) {
     return ResumeTransfer(call);
+  }
+  if (policy_.resume_short_transfers && (number == kSysReadv || number == kSysWritev) &&
+      call.args().Ptr<const IoVec>(1) != nullptr && call.args().Int(2) > 0 &&
+      call.args().Int(2) <= kMaxIoVecs && call.rv() != nullptr) {
+    return ResumeVectorTransfer(call);
   }
   SyscallStatus status = SymbolicSyscall::syscall(call);
   for (int attempt = 1; status < 0 && Retryable(number, status); ++attempt) {

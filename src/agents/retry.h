@@ -10,6 +10,8 @@
 //     instead of being starved.
 //   - Short reads/writes are resumed: the transfer is re-issued for the
 //     remaining suffix until the full count is done, EOF, or a real error.
+//     Vector transfers (readv/writev) are decomposed into per-segment scalar
+//     calls on the lower interface and resumed the same way.
 //   - Transient resource errors (EAGAIN, ENFILE) are retried the same way.
 //
 // sigpause is never retried (EINTR is its contract), and EWOULDBLOCK is never
@@ -60,6 +62,7 @@ class RetryAgent final : public SymbolicSyscall {
 
  private:
   SyscallStatus ResumeTransfer(AgentCall& call);
+  SyscallStatus ResumeVectorTransfer(AgentCall& call);
   bool Retryable(int number, SyscallStatus status) const;
   void Backoff(AgentCall& call, int attempt);
 

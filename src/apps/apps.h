@@ -52,6 +52,9 @@ int LdMain(ProcessContext& ctx);
 // The Andrew-benchmark-style filesystem workload: andrew <base-dir>.
 int AndrewMain(ProcessContext& ctx);
 
+// The ring-driven mixed workload (see batch.h): ringload <base-dir> <iters>.
+int RingLoadMain(ProcessContext& ctx);
+
 // A "foreign binary": issues HP-UX-flavoured syscall numbers (needs hpux_emul).
 int HpuxHelloMain(ProcessContext& ctx);
 

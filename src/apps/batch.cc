@@ -1,0 +1,148 @@
+#include "src/apps/batch.h"
+
+#include <cstdlib>
+
+namespace ia {
+
+void BatchClient::Push(int number, const SyscallArgs& args, uint64_t tag) {
+  SyscallRequest req;
+  req.number = number;
+  req.user_data = tag;
+  req.args = args;
+  queued_.push_back(req);
+}
+
+void BatchClient::PushOpen(const char* path, int flags, Mode mode, uint64_t tag) {
+  SyscallArgs args;
+  args.SetPtr(0, path);
+  args.SetInt(1, flags);
+  args.SetInt(2, mode);
+  Push(kSysOpen, args, tag);
+}
+
+void BatchClient::PushClose(int fd, uint64_t tag) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  Push(kSysClose, args, tag);
+}
+
+void BatchClient::PushRead(int fd, void* buf, int64_t count, uint64_t tag) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  args.SetPtr(1, buf);
+  args.SetInt(2, count);
+  Push(kSysRead, args, tag);
+}
+
+void BatchClient::PushWrite(int fd, const void* buf, int64_t count, uint64_t tag) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  args.SetPtr(1, buf);
+  args.SetInt(2, count);
+  Push(kSysWrite, args, tag);
+}
+
+void BatchClient::PushLseek(int fd, Off offset, int whence, uint64_t tag) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  args.SetInt(1, offset);
+  args.SetInt(2, whence);
+  Push(kSysLseek, args, tag);
+}
+
+void BatchClient::PushStat(const char* path, ia::Stat* st, uint64_t tag) {
+  SyscallArgs args;
+  args.SetPtr(0, path);
+  args.SetPtr(1, st);
+  Push(kSysStat, args, tag);
+}
+
+void BatchClient::PushFstat(int fd, ia::Stat* st, uint64_t tag) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  args.SetPtr(1, st);
+  Push(kSysFstat, args, tag);
+}
+
+void BatchClient::PushAccess(const char* path, int amode, uint64_t tag) {
+  SyscallArgs args;
+  args.SetPtr(0, path);
+  args.SetInt(1, amode);
+  Push(kSysAccess, args, tag);
+}
+
+void BatchClient::PushGetpid(uint64_t tag) {
+  Push(kSysGetpid, SyscallArgs{}, tag);
+}
+
+size_t BatchClient::Flush() {
+  completions_.clear();
+  completions_.reserve(queued_.size());
+  SyscallRing& ring = ctx_.Ring(ring_entries_);
+  size_t submitted = 0;
+  SyscallCompletion comp;
+  while (submitted < queued_.size()) {
+    const uint32_t accepted = ring.SubmitBatch(
+        queued_.data() + submitted, static_cast<uint32_t>(queued_.size() - submitted));
+    submitted += accepted;
+    ctx_.DrainRing();
+    while (ctx_.Reap(&comp)) {
+      completions_.push_back(comp);
+    }
+    if (accepted == 0 && completions_.size() < submitted) {
+      break;  // ring wedged (drain stopped on pending exit/exec); bail out
+    }
+  }
+  queued_.clear();
+  return completions_.size();
+}
+
+// ---------------------------------------------------------------------------
+// ringload — the ring-driven mixed workload program.
+// ---------------------------------------------------------------------------
+
+int RingLoadMain(ProcessContext& ctx) {
+  const std::vector<std::string>& argv = ctx.argv();
+  const std::string base = argv.size() > 1 ? argv[1] : "/tmp";
+  const int iterations = argv.size() > 2 ? std::atoi(argv[2].c_str()) : 64;
+
+  const std::string file = base + "/ringload.dat";
+  const std::string payload(1024, 'r');
+  if (ctx.WriteWholeFile(file, payload) < 0) {
+    return 1;
+  }
+
+  BatchClient batch(ctx);
+  char buf[256];
+  ia::Stat st{};
+  ia::Stat fst{};
+  int failures = 0;
+  for (int it = 0; it < iterations; ++it) {
+    // The fd is needed to build the fd-keyed entries, so open stays
+    // synchronous; everything else in the iteration rides the ring.
+    const int fd = ctx.Open(file, kORdonly);
+    if (fd < 0) {
+      return 1;
+    }
+    batch.PushStat(file.c_str(), &st, 1);
+    batch.PushFstat(fd, &fst, 2);
+    batch.PushLseek(fd, 0, kSeekSet, 3);
+    batch.PushRead(fd, buf, static_cast<int64_t>(sizeof(buf)), 4);
+    batch.PushGetpid(5);
+    batch.PushClose(fd, 6);
+    batch.Flush();
+    for (const SyscallCompletion& c : batch.completions()) {
+      if (c.status < 0) {
+        ++failures;
+      }
+    }
+    if (batch.completions().size() != 6 ||
+        batch.completions()[3].result.rv[0] != static_cast<int64_t>(sizeof(buf)) ||
+        batch.completions()[4].result.rv[0] != ctx.Getpid()) {
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace ia

@@ -34,6 +34,7 @@ void InstallStandardPrograms(Kernel& kernel) {
   kernel.InstallProgram("/bin/ld", "ld", LdMain);
 
   kernel.InstallProgram("/usr/bin/andrew", "andrew", AndrewMain);
+  kernel.InstallProgram("/usr/bin/ringload", "ringload", RingLoadMain);
   kernel.InstallProgram("/usr/bin/hpux_hello", "hpux_hello", HpuxHelloMain);
 }
 

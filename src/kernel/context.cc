@@ -12,43 +12,151 @@ namespace ia {
 // Raw syscall path.
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Exception-safe depth tracking: agent handlers may unwind (exit/terminate).
+struct DepthGuard {
+  int& depth;
+  explicit DepthGuard(int& d) : depth(d) { ++depth; }
+  ~DepthGuard() { --depth; }
+};
+
+}  // namespace
+
+SyscallStatus ProcessContext::ExecuteRequest(const SyscallRequest& req, SyscallResult* rv) {
+  DepthGuard guard(syscall_depth_);
+  const int number = req.number;
+  if (number < 0 || number >= kMaxSyscall) {
+    // Out-of-table numbers have no route (or interest bit); the kernel's own
+    // dispatcher produces the ENOSYS.
+    return kernel_->DoSyscall(*proc_, number, req.args, rv);
+  }
+  // Compiled dispatch: the route holds the exact interested frames for this
+  // number, so the narrowed common case is one generation compare and an
+  // empty check before the kernel lane — no per-frame scan.
+  const CompiledRoute& route = proc_->emulation.RouteFor(number);
+  if (route.hops.empty()) {
+    return kernel_->DoSyscall(*proc_, number, req.args, rv);
+  }
+  const int frame = route.hops.front();
+  // Keep the handler alive across the call even if the stack is mutated
+  // below us (which also invalidates `route` — don't touch it again).
+  std::shared_ptr<SyscallHandler> handler = proc_->emulation.At(frame).handler;
+  return handler->HandleSyscall(*this, frame, number, req.args, rv);
+}
+
 SyscallStatus ProcessContext::Syscall(int number, const SyscallArgs& args, SyscallResult* rv) {
   SyscallResult local;
   if (rv == nullptr) {
     rv = &local;
   }
-  SyscallStatus status;
-  {
-    // Exception-safe depth tracking: agent handlers may unwind (exit/terminate).
-    struct DepthGuard {
-      int& depth;
-      explicit DepthGuard(int& d) : depth(d) { ++depth; }
-      ~DepthGuard() { --depth; }
-    } guard(syscall_depth_);
-    if (number < 0 || number >= kMaxSyscall) {
-      // Out-of-table numbers have no route (or interest bit); the kernel's own
-      // dispatcher produces the ENOSYS.
-      status = kernel_->DoSyscall(*proc_, number, args, rv);
-    } else {
-      // Compiled dispatch: the route holds the exact interested frames for this
-      // number, so the narrowed common case is one generation compare and an
-      // empty check before the kernel lane — no per-frame scan.
-      const CompiledRoute& route = proc_->emulation.RouteFor(number);
-      if (route.hops.empty()) {
-        status = kernel_->DoSyscall(*proc_, number, args, rv);
-      } else {
-        const int frame = route.hops.front();
-        // Keep the handler alive across the call even if the stack is mutated
-        // below us (which also invalidates `route` — don't touch it again).
-        std::shared_ptr<SyscallHandler> handler = proc_->emulation.At(frame).handler;
-        status = handler->HandleSyscall(*this, frame, number, args, rv);
-      }
-    }
-  }
+  SyscallRequest req;
+  req.number = number;
+  req.args = args;
+  const SyscallStatus status = ExecuteRequest(req, rv);
   if (syscall_depth_ == 0) {
     ProcessBoundary();
   }
   return status;
+}
+
+// ---------------------------------------------------------------------------
+// Ring path.
+// ---------------------------------------------------------------------------
+
+SyscallRing& ProcessContext::Ring(uint32_t entries) {
+  if (proc_->ring == nullptr) {
+    proc_->ring = std::make_unique<SyscallRing>(entries);
+  }
+  return *proc_->ring;
+}
+
+uint32_t ProcessContext::SubmitBatch(const SyscallRequest* reqs, uint32_t count) {
+  return Ring().SubmitBatch(reqs, count);
+}
+
+int ProcessContext::DrainRing() {
+  if (proc_->ring == nullptr) {
+    return 0;
+  }
+  SyscallRing& ring = *proc_->ring;
+  int completed = 0;
+  {
+    DepthGuard guard(syscall_depth_);
+    // Runs of consecutive kernel-lane entries accumulate here and flush
+    // through the amortized batch trap. kRunMax bounds both the stack
+    // footprint and the latency of exit/exec checks.
+    constexpr int kRunMax = 64;
+    SyscallRequest run[kRunMax];
+    SyscallCompletion comps[kRunMax];
+    int run_len = 0;
+    bool stop = false;
+    auto flush = [&]() {
+      if (run_len == 0) {
+        return;
+      }
+      kernel_->DoSyscallBatch(*proc_, run, comps, run_len);
+      for (int i = 0; i < run_len; ++i) {
+        ring.PushCompletion(comps[i]);
+      }
+      completed += run_len;
+      run_len = 0;
+      if (proc_->exit_pending || proc_->pending_exec.valid) {
+        stop = true;  // stop claiming entries; the rest stay queued
+      }
+    };
+    SyscallRequest req;
+    while (!stop && ring.PopRequest(&req)) {
+      // Route amortization: with no emulation frames at all (the common
+      // batch-client shape) skip the route lookup entirely; otherwise one
+      // compiled-route consultation decides the lane.
+      bool kernel_lane = false;
+      if (req.number >= 0 && req.number < kMaxSyscall) {
+        kernel_lane = proc_->emulation.Empty() ||
+                      proc_->emulation.RouteFor(req.number).hops.empty();
+      }
+      if (kernel_lane) {
+        run[run_len++] = req;
+        if (run_len == kRunMax) {
+          flush();
+        }
+        continue;
+      }
+      // Agent-routed (or out-of-table) entry: flush the pending run so
+      // completions keep submission order, then execute it through the
+      // emulation stack exactly like a synchronous call (already claimed, so
+      // it completes even if the flush just set `stop`).
+      flush();
+      SyscallCompletion comp;
+      comp.user_data = req.user_data;
+      comp.status = ExecuteRequest(req, &comp.result);
+      comp.vtime_usec = kernel_->clock().Now();
+      ring.PushCompletion(comp);
+      ++completed;
+      if (proc_->exit_pending || proc_->pending_exec.valid) {
+        stop = true;
+      }
+    }
+    flush();
+  }
+  if (syscall_depth_ == 0) {
+    ProcessBoundary();
+  }
+  return completed;
+}
+
+bool ProcessContext::Reap(SyscallCompletion* out) {
+  if (proc_->ring == nullptr) {
+    return false;
+  }
+  return proc_->ring->Reap(out);
+}
+
+uint32_t ProcessContext::ReapBatch(SyscallCompletion* out, uint32_t max) {
+  if (proc_->ring == nullptr) {
+    return 0;
+  }
+  return proc_->ring->ReapBatch(out, max);
 }
 
 SyscallStatus ProcessContext::SyscallBelow(int frame, int number, const SyscallArgs& args,

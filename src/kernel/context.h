@@ -43,11 +43,40 @@ class ProcessContext {
   // Raw system-call path.
   // ---------------------------------------------------------------------------
 
-  // Application-level system call: enters the emulation stack from the top. At the
-  // outermost nesting level, pending execs and signals are processed on return
-  // (the "return to user mode" boundary). Dispatch consults the stack's compiled
-  // route for `number` (see EmulationStack::RouteFor) instead of scanning frames.
+  // Application-level system call: a thin synchronous wrapper that builds a
+  // SyscallRequest and executes it immediately through the emulation stack.
+  // At the outermost nesting level, pending execs and signals are processed on
+  // return (the "return to user mode" boundary). Dispatch consults the stack's
+  // compiled route for `number` (see EmulationStack::RouteFor) instead of
+  // scanning frames.
   SyscallStatus Syscall(int number, const SyscallArgs& args, SyscallResult* rv);
+
+  // ---------------------------------------------------------------------------
+  // Batched submission: the per-process submission/completion ring (ring.h).
+  // ---------------------------------------------------------------------------
+
+  // The process's ring, created on first use with `entries` capacity
+  // (subsequent calls return the existing ring regardless of `entries`).
+  SyscallRing& Ring(uint32_t entries = SyscallRing::kDefaultEntries);
+  bool HasRing() const { return proc_->ring != nullptr; }
+
+  // Enqueues up to `count` requests; returns how many were accepted (the ring
+  // refuses entries once capacity() requests are in flight).
+  uint32_t SubmitBatch(const SyscallRequest* reqs, uint32_t count);
+
+  // Runs queued submissions in order and pushes one completion each. Runs of
+  // consecutive kernel-lane entries (no interested emulation frame) go through
+  // Kernel::DoSyscallBatch, which amortizes the dispatch prologue; entries an
+  // agent wants are executed one at a time through the compiled route, exactly
+  // like a synchronous call. Signals, a pending exit, and a pending exec are
+  // honored at batch-run boundaries: the drain stops issuing once exit/exec is
+  // pending (remaining submissions stay queued) and the return-to-user-mode
+  // boundary runs once when the drain finishes. Returns completions produced.
+  int DrainRing();
+
+  // Pops completions (in submission order). Reap returns false when empty.
+  bool Reap(SyscallCompletion* out);
+  uint32_t ReapBatch(SyscallCompletion* out, uint32_t max);
 
   // Continues an intercepted call below `frame` (htg_unix_syscall() equivalent).
   SyscallStatus SyscallBelow(int frame, int number, const SyscallArgs& args, SyscallResult* rv);
@@ -191,6 +220,12 @@ class ProcessContext {
   int syscall_depth() const { return syscall_depth_; }
 
  private:
+  // The shared dispatch core: routes one request through the emulation
+  // stack's compiled route (or straight to the kernel) under the syscall
+  // depth guard. Does NOT run the return-to-user-mode boundary; callers
+  // (Syscall per call, DrainRing per drain) do that at depth 0.
+  SyscallStatus ExecuteRequest(const SyscallRequest& req, SyscallResult* rv);
+
   void ProcessBoundary();  // return-to-user-mode work: pending exec, signals
   [[noreturn]] void TerminateBySignal(int signo);
 

@@ -84,8 +84,10 @@ FaultDecision DecideFault(const FaultPlan& plan, uint64_t stream, uint64_t seq, 
     decision.errno_value = kEIntr;
     return decision;
   }
-  if ((number == kSysRead || number == kSysWrite) && env.transfer_count > 1 &&
-      plan.short_probability > 0 && rng.NextDouble() < plan.short_probability) {
+  if ((number == kSysRead || number == kSysWrite || number == kSysReadv ||
+       number == kSysWritev) &&
+      env.transfer_count > 1 && plan.short_probability > 0 &&
+      rng.NextDouble() < plan.short_probability) {
     decision.action = FaultAction::kShortTransfer;
     decision.clamp_len = 1 + static_cast<int64_t>(
                                  rng.Below(static_cast<uint64_t>(env.transfer_count - 1)));

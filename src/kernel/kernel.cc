@@ -20,6 +20,8 @@ void AddMicros(TimeVal* tv, int64_t micros) {
 
 Kernel::Kernel(const KernelConfig& config) {
   compute_spin_scale_ = config.compute_spin_scale;
+  // Bootstrap-only stripe configuration: no process threads exist yet.
+  fs_.TreeMutex().SetStripeCount(config.tree_lock_stripes);
   clock_.Set(config.epoch_seconds * 1000000);
   fs_.set_now(config.epoch_seconds);
   console_.set_echo_to_host(config.console_echo_to_host);
@@ -67,7 +69,7 @@ void Kernel::InstallProgram(const std::string& path, const std::string& image, P
   programs_.Register(image, std::move(main));
   // Tree mutation outside the syscall dispatchers: take the tree lock so a
   // program installed while processes run cannot race fast-path readers.
-  std::unique_lock<std::shared_mutex> tree(fs_.TreeMutex());
+  std::unique_lock<TreeLock> tree(fs_.TreeMutex());
   InodeRef file = fs_.InstallFile(path, StringPrintf("\177IMG %s\n", image.c_str()), mode);
   if (file != nullptr) {
     file->exec_image = image;
@@ -488,6 +490,101 @@ SyscallStatus Kernel::DoSyscall(Process& proc, int number, const SyscallArgs& ar
   return status;
 }
 
+void Kernel::DoSyscallBatch(Process& proc, const SyscallRequest* reqs, SyscallCompletion* comps,
+                            int count) {
+  if (count <= 0) {
+    return;
+  }
+  const bool fast_ok = !fault_active_.load(std::memory_order_acquire) &&
+                       ktrace_active_.load(std::memory_order_relaxed) == 0;
+  if (!fast_ok) {
+    // Global serialization is in force (fault plan / ktrace): run every entry
+    // through the exact per-call path so the per-(pid, seq) fault decision
+    // stream and the trace records are identical to synchronous issue.
+    for (int i = 0; i < count; ++i) {
+      comps[i].user_data = reqs[i].user_data;
+      comps[i].result = SyscallResult{};
+      comps[i].status = DoSyscall(proc, reqs[i].number, reqs[i].args, &comps[i].result);
+      comps[i].vtime_usec = clock_.Now();
+    }
+    return;
+  }
+
+  // Amortized prologue: one clock advance for the batch's summed virtual
+  // cost, one filesystem "now" refresh, one rusage update under the process
+  // leaf lock, one global-counter add.
+  int64_t batch_cost = 0;
+  for (int i = 0; i < count; ++i) {
+    batch_cost += SyscallCost(reqs[i].number);
+  }
+  clock_.Advance(batch_cost);
+  fs_.set_now(clock_.Now() / 1000000);
+  {
+    std::lock_guard<std::mutex> pm(proc.mu);
+    AddMicros(&proc.rusage.ru_stime, batch_cost);
+    proc.rusage.ru_nsyscalls += count;
+  }
+  total_syscalls_.fetch_add(count, std::memory_order_relaxed);
+
+  // Per-entry lane dispatch, identical to DoSyscall's; per-number stats are
+  // accumulated locally and flushed once at the end.
+  int64_t local_calls[kMaxSyscall] = {};
+  int64_t local_errors[kMaxSyscall] = {};
+  int64_t local_vtime[kMaxSyscall] = {};
+  int touched[kMaxSyscall];
+  int touched_count = 0;
+  for (int i = 0; i < count; ++i) {
+    const int number = reqs[i].number;
+    comps[i].user_data = reqs[i].user_data;
+    comps[i].result = SyscallResult{};
+    SyscallResult* rv = &comps[i].result;
+    SyscallStatus status;
+    const int64_t ventry = clock_.Now();
+    if (number < 0 || number >= kMaxSyscall) {
+      status = -kENosys;
+    } else {
+      const SyscallSpec& spec = SyscallSpecOf(number);
+      bool handled = false;
+      if ((spec.flags & kPerProcess) != 0) {
+        status = DispatchUnlocked(proc, number, reqs[i].args, rv);
+        handled = true;
+      } else if ((spec.flags & kVfsRead) != 0 &&
+                 TryDispatchVfsRead(proc, number, reqs[i].args, rv, &status)) {
+        handled = true;
+      }
+      if (!handled) {
+        Lock lk(mu_);
+        status = DispatchLocked(proc, number, reqs[i].args, rv, lk);
+        cv_.notify_all();
+      }
+    }
+    comps[i].status = status;
+    comps[i].vtime_usec = clock_.Now();
+    if (number >= 0 && number < kMaxSyscall) {
+      if (local_calls[number] == 0) {
+        touched[touched_count++] = number;
+      }
+      local_calls[number] += 1;
+      if (status < 0) {
+        local_errors[number] += 1;
+      }
+      // Per-entry virtual time: the entry's charged cost plus whatever the
+      // dispatch itself advanced (blocking sleeps), matching what the
+      // per-call path would have tallied.
+      local_vtime[number] += SyscallCost(number) + (clock_.Now() - ventry);
+    }
+  }
+  for (int i = 0; i < touched_count; ++i) {
+    const int number = touched[i];
+    AtomicSyscallStat& stat = syscall_stats_[number];
+    stat.calls.fetch_add(local_calls[number], std::memory_order_relaxed);
+    if (local_errors[number] != 0) {
+      stat.errors.fetch_add(local_errors[number], std::memory_order_relaxed);
+    }
+    stat.vtime_usec.fetch_add(local_vtime[number], std::memory_order_relaxed);
+  }
+}
+
 const std::array<Kernel::SyscallHandler, kMaxSyscall>& Kernel::DispatchTable() {
   static const std::array<SyscallHandler, kMaxSyscall> table = [] {
     std::array<SyscallHandler, kMaxSyscall> t{};
@@ -542,9 +639,9 @@ SyscallStatus Kernel::DispatchLocked(Process& p, int number, const SyscallArgs& 
     // tree lock; they take it internally around the inode-data sections only.
     return (this->*handler)(p, *dispatch_args, rv, lk);
   }
-  // Holding the tree lock exclusively is what excludes big-lock handlers from
-  // the kVfsRead fast path's concurrent shared-mode readers.
-  std::unique_lock<std::shared_mutex> tree(fs_.TreeMutex());
+  // Holding the tree lock exclusively (every stripe) is what excludes
+  // big-lock handlers from the kVfsRead fast path's shared-mode readers.
+  std::unique_lock<TreeLock> tree(fs_.TreeMutex());
   return (this->*handler)(p, *dispatch_args, rv, lk);
 }
 
@@ -568,7 +665,17 @@ bool Kernel::TryDispatchVfsRead(Process& proc, int number, const SyscallArgs& ar
     case kSysAccess:
     case kSysReadlink:
     case kSysLseek: {
-      std::shared_lock<std::shared_mutex> tree(fs_.TreeMutex());
+      // Stripe hint: hash the whole pathname for the path walks; lseek is
+      // fd-keyed, so spread by (pid, fd) instead of resolving the inode.
+      const SyscallSpec& spec = SyscallSpecOf(number);
+      uint64_t hint = TreeLock::HintForFd(proc.pid, args.Int(0));
+      if ((spec.flags & kTakesPath) != 0 && spec.path_arg >= 0) {
+        const char* path = args.Ptr<const char>(spec.path_arg);
+        if (path != nullptr) {
+          hint = TreeLock::HintForPath(path);
+        }
+      }
+      SharedTreeLock tree(fs_.TreeMutex(), hint);
       Lock no_lock;
       *out = (this->*DispatchTable()[number])(proc, args, rv, no_lock);
       return true;
@@ -588,7 +695,7 @@ bool Kernel::TryDispatchVfsRead(Process& proc, int number, const SyscallArgs& ar
         *out = -kEFault;
         return true;
       }
-      std::shared_lock<std::shared_mutex> tree(fs_.TreeMutex());
+      SharedTreeLock tree(fs_.TreeMutex(), TreeLock::HintForIno(file->inode->ino()));
       file->inode->FillStat(st);
       *out = 0;
       return true;
@@ -606,7 +713,7 @@ bool Kernel::TryDispatchVfsRead(Process& proc, int number, const SyscallArgs& ar
       }
       InodeRef inode;
       {
-        std::shared_lock<std::shared_mutex> tree(fs_.TreeMutex());
+        SharedTreeLock tree(fs_.TreeMutex(), TreeLock::HintForPath(path));
         const int err = fs_.Open(EnvOf(proc), path, flags, 0, &inode);
         if (err != 0) {
           *out = err;
@@ -627,7 +734,7 @@ bool Kernel::TryDispatchVfsRead(Process& proc, int number, const SyscallArgs& ar
       file->inode = inode;
       file->flags = flags;
       if ((flags & kOAppend) != 0) {
-        std::shared_lock<std::shared_mutex> tree(fs_.TreeMutex());
+        SharedTreeLock tree(fs_.TreeMutex(), TreeLock::HintForIno(inode->ino()));
         file->offset = static_cast<Off>(inode->data.size());
       }
       proc.fds.Set(fd, std::move(file));
@@ -686,7 +793,7 @@ bool Kernel::TryDispatchVfsRead(Process& proc, int number, const SyscallArgs& ar
       if (inode->IsDevice()) {
         return false;  // device state belongs to the big lock
       }
-      std::shared_lock<std::shared_mutex> tree(fs_.TreeMutex());
+      SharedTreeLock tree(fs_.TreeMutex(), TreeLock::HintForIno(inode->ino()));
       if (inode->IsDirectory()) {
         *out = -kEIsdir;
         return true;
@@ -760,6 +867,19 @@ bool Kernel::MaybeInjectFaultLocked(Process& p, int number, const SyscallArgs& a
   env.fs_bytes = fs_.total_bytes();
   if (number == kSysRead || number == kSysWrite) {
     env.transfer_count = a.Long(2);
+  } else if (number == kSysReadv || number == kSysWritev) {
+    // Vector rows expose their summed byte count so the short-transfer regime
+    // can clamp mid-iovec. Malformed vectors keep transfer_count at 0, which
+    // disables the short regime and lets the handler produce the real errno.
+    const auto* iov = a.Ptr<const IoVec>(1);
+    const int iovcnt = a.Int(2);
+    if (iov != nullptr && iovcnt > 0 && iovcnt <= kMaxIoVecs) {
+      int64_t total = 0;
+      for (int i = 0; i < iovcnt; ++i) {
+        total += iov[i].iov_len > 0 ? iov[i].iov_len : 0;
+      }
+      env.transfer_count = total;
+    }
   }
   // ru_nsyscalls was already bumped for this call, so it is a 1-based
   // per-process sequence number — the decision stream is per-pid and immune to
@@ -777,7 +897,32 @@ bool Kernel::MaybeInjectFaultLocked(Process& p, int number, const SyscallArgs& a
       return true;
     case FaultAction::kShortTransfer:
       *clamped = a;
-      clamped->SetInt(2, decision.clamp_len);
+      if (number == kSysReadv || number == kSysWritev) {
+        // Clamp the vector to a clamp_len-byte prefix: copy the surviving
+        // segments into the per-process scratch (stable for the duration of
+        // the dispatch — we hold the big lock and the owner is in-call) and
+        // point the clamped args at it. The handler's normal segment loop
+        // then transfers exactly the prefix and leaves the offset consistent.
+        const auto* iov = a.Ptr<const IoVec>(1);
+        const int iovcnt = a.Int(2);
+        int64_t budget = decision.clamp_len;
+        int out_cnt = 0;
+        for (int i = 0; i < iovcnt && budget > 0; ++i) {
+          IoVec seg = iov[i];
+          if (seg.iov_len <= 0) {
+            continue;
+          }
+          if (seg.iov_len > budget) {
+            seg.iov_len = budget;
+          }
+          budget -= seg.iov_len;
+          p.iov_fault_scratch[static_cast<size_t>(out_cnt++)] = seg;
+        }
+        clamped->SetPtr(1, p.iov_fault_scratch.data());
+        clamped->SetInt(2, out_cnt);
+      } else {
+        clamped->SetInt(2, decision.clamp_len);
+      }
       *use_clamped = true;
       return false;
     case FaultAction::kNone:
@@ -937,9 +1082,9 @@ SyscallStatus Kernel::SysRead(Process& p, const SyscallArgs& a, SyscallResult* r
     return static_cast<SyscallStatus>(n);
   }
   // Regular file. read() is a kBlocking row, so DispatchLocked did not take
-  // the tree lock for us; hold it shared around the data section to coexist
-  // with the fast-path readers and exclude writers.
-  std::shared_lock<std::shared_mutex> tree(fs_.TreeMutex());
+  // the tree lock for us; hold one stripe shared around the data section to
+  // coexist with the fast-path readers and exclude writers.
+  SharedTreeLock tree(fs_.TreeMutex(), TreeLock::HintForIno(inode->ino()));
   const Off off = file->offset.load(std::memory_order_relaxed);
   const int64_t size = static_cast<int64_t>(inode->data.size());
   const int64_t avail = size - off;
@@ -1029,7 +1174,7 @@ SyscallStatus Kernel::SysWrite(Process& p, const SyscallArgs& a, SyscallResult* 
   // only a write that cannot make progress at all fails (EFBIG / ENOSPC).
   // write() is a kBlocking row, so DispatchLocked did not take the tree lock;
   // hold it exclusively around the resize/copy to exclude fast-path readers.
-  std::unique_lock<std::shared_mutex> tree(fs_.TreeMutex());
+  std::unique_lock<TreeLock> tree(fs_.TreeMutex());
   Off off = file->offset.load(std::memory_order_relaxed);
   if ((file->flags & kOAppend) != 0) {
     off = static_cast<Off>(inode->data.size());

@@ -12,21 +12,28 @@
 //     touch mu_ — they rely on Process::mu, per-field atomics, and the atomic
 //     VirtualClock;
 //   * syscalls flagged kVfsRead (stat/access/readlink/open/read/lseek/fstat/
-//     close) first try a lock-free fast path under the VFS tree lock in
-//     SHARED mode, falling back to the big lock for the cases that mutate
-//     shared state (O_CREAT/O_TRUNC opens, fifos/pipes, devices, flocked
-//     files). Big-lock handlers for non-blocking rows additionally hold the
-//     tree lock EXCLUSIVELY, which is what excludes them from concurrent
-//     shared-mode readers.
+//     close) first try a lock-free fast path holding ONE stripe of the VFS
+//     tree lock in SHARED mode (see TreeLock in vfs.h), falling back to the
+//     big lock for the cases that mutate shared state (O_CREAT/O_TRUNC opens,
+//     fifos/pipes, devices, flocked files). Big-lock handlers for
+//     non-blocking rows additionally hold EVERY tree stripe EXCLUSIVELY,
+//     which is what excludes them from concurrent shared-mode readers.
 //
-// Lock order (outer to inner): mu_ -> fs_.TreeMutex() -> name cache mutex,
-// and independently {mu_ or nothing} -> Process::mu. Nothing acquires mu_
+// Calls arrive either synchronously through ProcessContext::Syscall, or as
+// SyscallRequest batches drained from a per-process submission/completion
+// ring (see ring.h): DoSyscallBatch runs each entry through the same lanes
+// but pays the dispatch prologue (clock/rusage/stats accounting) once per
+// batch instead of once per call.
+//
+// Lock order (outer to inner): mu_ -> tree stripe(s) (ascending index) ->
+// name cache mutex, and independently {mu_ or nothing} -> Process::mu and
+// {mu_ or nothing} -> FdTable's internal leaf mutex. Nothing acquires mu_
 // while holding any of the others.
 //
-// Fast paths are disabled entirely while a fault plan is installed (fault
-// decisions must stay deterministic per (pid, per-process syscall sequence),
-// and the injector is guarded by mu_) and while a ktrace sink is attached
-// (sinks are not required to be thread-safe).
+// Fast paths (and the batched prologue) are disabled entirely while a fault
+// plan is installed (fault decisions must stay deterministic per (pid,
+// per-process syscall sequence), and the injector is guarded by mu_) and
+// while a ktrace sink is attached (sinks are not required to be thread-safe).
 #ifndef SRC_KERNEL_KERNEL_H_
 #define SRC_KERNEL_KERNEL_H_
 
@@ -48,6 +55,7 @@
 #include "src/kernel/ktrace.h"
 #include "src/kernel/process.h"
 #include "src/kernel/programs.h"
+#include "src/kernel/ring.h"
 #include "src/kernel/syscall_table.h"
 #include "src/kernel/vfs.h"
 
@@ -61,6 +69,10 @@ struct KernelConfig {
   // benchmarks see applications that do "real work" between system calls (the
   // paper's Scribe run is compute-dominated).
   double compute_spin_scale = 0.0;
+  // Number of VFS tree-lock stripes (clamped to [1, TreeLock::kMaxStripes],
+  // rounded down to a power of two). 1 reproduces the old single
+  // shared_mutex; the default spreads shared-mode readers across cache lines.
+  int tree_lock_stripes = TreeLock::kDefaultStripes;
 };
 
 // Per-syscall observability counters, indexed by syscall number.
@@ -112,6 +124,15 @@ class Kernel {
 
   // --- the trap ------------------------------------------------------------------
   SyscallStatus DoSyscall(Process& proc, int number, const SyscallArgs& args, SyscallResult* rv);
+
+  // Batched trap for ring drains: runs `count` kernel-lane requests in order,
+  // filling one completion per request. While the fast paths are legal (no
+  // fault plan, no ktrace sink) the dispatch prologue — clock advance, rusage
+  // accounting, stats tallies — is paid once for the whole batch; otherwise
+  // every entry takes the exact per-call DoSyscall path, which keeps fault
+  // decision streams and ktrace records identical to synchronous issue.
+  void DoSyscallBatch(Process& proc, const SyscallRequest* reqs, SyscallCompletion* comps,
+                      int count);
 
   // --- support used by ProcessContext ---------------------------------------------
   // Picks, clears, and returns the next deliverable pending signal, or 0.

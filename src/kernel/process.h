@@ -34,6 +34,7 @@
 #include "src/kernel/emulation.h"
 #include "src/kernel/fdtable.h"
 #include "src/kernel/programs.h"
+#include "src/kernel/ring.h"
 #include "src/kernel/types.h"
 
 namespace ia {
@@ -98,7 +99,10 @@ class Process {
   int exit_wait_status = 0;              // [owner]
 
   // --- resources ----------------------------------------------------------------
-  FdTable fds;             // [owner] (the OpenFiles inside are shared; see fdtable.h)
+  // Slot array internally guarded by FdTable's own leaf mutex, so fd-heavy
+  // ring batches submitted by a sibling thread don't serialize on Process::mu
+  // (the OpenFiles inside are shared; see fdtable.h).
+  FdTable fds;
   InodeRef cwd;            // [owner]
   InodeRef root;           // [owner]
   Mode umask_bits = 022;   // [owner]
@@ -150,6 +154,18 @@ class Process {
   // except the route-stat tallies, which are relaxed atomics so FinalizeExit
   // can aggregate them into the kernel-wide counters.
   EmulationStack emulation;
+
+  // --- batched submission ---------------------------------------------------------------
+  // The submission/completion ring, created lazily by ProcessContext::Ring().
+  // The ring object itself is internally synchronized (SPSC atomics); the
+  // pointer is [owner] (installed by the owning thread before any sibling
+  // submitter is handed a reference).
+  std::unique_ptr<SyscallRing> ring;
+
+  // Scratch for the fault plane's readv/writev short-transfer clamp: the
+  // clamped iovec prefix must outlive the dispatch, and the caller's vector
+  // is const. [big-lock] (the fault path serializes every dispatch).
+  std::array<IoVec, kMaxIoVecs> iov_fault_scratch;
 
   // --- host-side execution -----------------------------------------------------------
   std::unique_ptr<ProcessContext> context;

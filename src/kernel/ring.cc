@@ -1,0 +1,90 @@
+#include "src/kernel/ring.h"
+
+namespace ia {
+
+namespace {
+
+uint32_t RoundUpPow2(uint32_t n) {
+  uint32_t p = 2;
+  while (p < n && p < (uint32_t{1} << 31)) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+SyscallRing::SyscallRing(uint32_t entries) {
+  capacity_ = RoundUpPow2(entries < 2 ? 2 : entries);
+  mask_ = capacity_ - 1;
+  sq_.slots.resize(capacity_);
+  cq_.slots.resize(capacity_);
+}
+
+bool SyscallRing::Submit(const SyscallRequest& req) {
+  // in_flight_ is the single source of truth for fullness: it covers queued
+  // submissions, entries mid-drain, and unreaped completions, so reserving
+  // here guarantees both the sq slot now and the cq slot later. The acquire
+  // pairs with Reap's release decrement: observing room after a full wrap
+  // means the consumer's read of the slot about to be overwritten has
+  // completed (fetch_add RMWs extend the release sequence, so the pairing
+  // survives interleaved submits).
+  if (in_flight_.load(std::memory_order_acquire) >= capacity_) {
+    return false;
+  }
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t tail = sq_.tail.load(std::memory_order_relaxed);
+  sq_.slots[tail & mask_] = req;
+  sq_.tail.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+uint32_t SyscallRing::SubmitBatch(const SyscallRequest* reqs, uint32_t count) {
+  uint32_t accepted = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!Submit(reqs[i])) {
+      break;
+    }
+    ++accepted;
+  }
+  return accepted;
+}
+
+bool SyscallRing::PopRequest(SyscallRequest* out) {
+  const uint32_t head = sq_.head.load(std::memory_order_relaxed);
+  if (head == sq_.tail.load(std::memory_order_acquire)) {
+    return false;
+  }
+  *out = sq_.slots[head & mask_];
+  sq_.head.store(head + 1, std::memory_order_release);
+  return true;
+}
+
+void SyscallRing::PushCompletion(const SyscallCompletion& comp) {
+  const uint32_t tail = cq_.tail.load(std::memory_order_relaxed);
+  cq_.slots[tail & mask_] = comp;
+  cq_.tail.store(tail + 1, std::memory_order_release);
+}
+
+bool SyscallRing::Reap(SyscallCompletion* out) {
+  const uint32_t head = cq_.head.load(std::memory_order_relaxed);
+  if (head == cq_.tail.load(std::memory_order_acquire)) {
+    return false;
+  }
+  *out = cq_.slots[head & mask_];
+  cq_.head.store(head + 1, std::memory_order_release);
+  // Release so a submitter that sees the freed capacity also sees this
+  // thread's prior pop of the sq slot it is about to reuse (see Submit).
+  in_flight_.fetch_sub(1, std::memory_order_release);
+  return true;
+}
+
+uint32_t SyscallRing::ReapBatch(SyscallCompletion* out, uint32_t max) {
+  uint32_t reaped = 0;
+  while (reaped < max && Reap(&out[reaped])) {
+    ++reaped;
+  }
+  return reaped;
+}
+
+}  // namespace ia

@@ -1,0 +1,112 @@
+// Per-process submission/completion rings for batched system calls.
+//
+// The io_uring-shaped answer to per-call dispatch overhead: a client queues
+// SyscallRequest entries on its process's submission queue, asks the context
+// to drain (each entry runs through the emulation stack's compiled route
+// exactly as a synchronous call would — agents see nothing new), and reaps
+// SyscallCompletion entries carrying value/errno/vtime asynchronously. The
+// drain amortizes the dispatch prologue — lane selection, route lookup, clock
+// and rusage accounting, stats tallies — across a whole batch via
+// Kernel::DoSyscallBatch instead of paying it per call.
+//
+// Threading: each queue is single-producer/single-consumer with atomic
+// head/tail indices. The canonical arrangement is submitter == reaper == the
+// owning process thread (which also drains), but a *single* sibling host
+// thread may take the submission side while the owner drains and reaps —
+// that split is what the atomics buy. Multiple concurrent submitters are not
+// supported.
+//
+// Capacity: Submit refuses entries once capacity() requests are in flight
+// (submitted and not yet reaped), which guarantees the drain loop always has
+// room to push a completion — completions are never dropped.
+#ifndef SRC_KERNEL_RING_H_
+#define SRC_KERNEL_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/kernel/types.h"
+
+namespace ia {
+
+// The explicit request object of the dispatch path. A synchronous
+// ProcessContext::Syscall() builds one on the stack and executes it
+// immediately; a ring client enqueues a batch of them. `user_data` is an
+// opaque cookie echoed in the matching completion (completions are pushed in
+// submission order, but the cookie lets clients match without counting).
+struct SyscallRequest {
+  int32_t number = 0;
+  uint64_t user_data = 0;
+  SyscallArgs args;
+};
+
+// The completion slot for one request: the raw dispatch status (>= 0 or
+// negative errno), the rv pair (pipe() uses both words), and the virtual
+// clock at completion time.
+struct SyscallCompletion {
+  uint64_t user_data = 0;
+  SyscallStatus status = 0;
+  SyscallResult result;
+  int64_t vtime_usec = 0;
+};
+
+class SyscallRing {
+ public:
+  static constexpr uint32_t kDefaultEntries = 256;
+
+  // `entries` is rounded up to a power of two (min 2).
+  explicit SyscallRing(uint32_t entries = kDefaultEntries);
+
+  SyscallRing(const SyscallRing&) = delete;
+  SyscallRing& operator=(const SyscallRing&) = delete;
+
+  uint32_t capacity() const { return capacity_; }
+
+  // --- submission side (producer) --------------------------------------------
+  // False when the ring is full (capacity() requests in flight).
+  bool Submit(const SyscallRequest& req);
+  // Enqueues as many of the `count` requests as fit; returns how many.
+  uint32_t SubmitBatch(const SyscallRequest* reqs, uint32_t count);
+
+  // --- drain side (the owning process thread) ---------------------------------
+  bool PopRequest(SyscallRequest* out);
+  // Never fails: Submit's in-flight accounting reserved the slot.
+  void PushCompletion(const SyscallCompletion& comp);
+
+  // --- reap side (consumer) ----------------------------------------------------
+  bool Reap(SyscallCompletion* out);
+  uint32_t ReapBatch(SyscallCompletion* out, uint32_t max);
+
+  // --- introspection ------------------------------------------------------------
+  uint32_t SubmissionsPending() const { return sq_.Size(); }
+  uint32_t CompletionsPending() const { return cq_.Size(); }
+  // Submitted and not yet reaped (includes entries currently being drained).
+  uint32_t InFlight() const { return in_flight_.load(std::memory_order_relaxed); }
+
+ private:
+  template <typename T>
+  struct Queue {
+    std::vector<T> slots;
+    // head: next index to consume; tail: next index to produce. Producer
+    // writes the slot then release-publishes tail; consumer acquire-loads
+    // tail, so the slot write is visible before the entry is claimable.
+    std::atomic<uint32_t> head{0};
+    std::atomic<uint32_t> tail{0};
+
+    uint32_t Size() const {
+      return tail.load(std::memory_order_acquire) - head.load(std::memory_order_acquire);
+    }
+  };
+
+  uint32_t capacity_ = 0;
+  uint32_t mask_ = 0;
+  Queue<SyscallRequest> sq_;
+  Queue<SyscallCompletion> cq_;
+  // Submit-side reservation counter; see the capacity comment at the top.
+  std::atomic<uint32_t> in_flight_{0};
+};
+
+}  // namespace ia
+
+#endif  // SRC_KERNEL_RING_H_

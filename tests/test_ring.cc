@@ -1,0 +1,734 @@
+// The submission/completion ring plane and its supporting refactors: the
+// SyscallRing SPSC queues, DrainRing's batched kernel-lane trap and
+// agent-routed fallbacks, the determinism gates (ring-submitted batches are
+// result- and ktrace- and fault-stream-identical to synchronous issue), the
+// aggregated RouteStats() counters, the striped VFS tree lock under
+// concurrent clients, and the FdTable leaf mutex.
+#include "tests/test_helpers.h"
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "src/apps/batch.h"
+#include "src/base/strings.h"
+#include "src/kernel/fdtable.h"
+#include "src/kernel/ktrace.h"
+#include "src/kernel/ring.h"
+
+namespace ia {
+namespace {
+
+using test::ExitCodeOf;
+using test::FileContents;
+using test::MakeWorld;
+using test::RunBody;
+using test::RunBodyUnder;
+
+// --- SyscallRing unit tests --------------------------------------------------
+
+SyscallRequest GetpidReq(uint64_t tag) {
+  SyscallRequest req;
+  req.number = kSysGetpid;
+  req.user_data = tag;
+  return req;
+}
+
+TEST(RingUnit, RoundTripPreservesFifoOrderAndCookies) {
+  SyscallRing ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (uint64_t tag = 1; tag <= 3; ++tag) {
+    EXPECT_TRUE(ring.Submit(GetpidReq(tag)));
+  }
+  EXPECT_EQ(ring.SubmissionsPending(), 3u);
+  EXPECT_EQ(ring.InFlight(), 3u);
+
+  SyscallRequest req;
+  for (uint64_t tag = 1; tag <= 3; ++tag) {
+    ASSERT_TRUE(ring.PopRequest(&req));
+    EXPECT_EQ(req.user_data, tag);
+    SyscallCompletion comp;
+    comp.user_data = req.user_data;
+    comp.status = 42;
+    ring.PushCompletion(comp);
+  }
+  EXPECT_FALSE(ring.PopRequest(&req));
+  EXPECT_EQ(ring.CompletionsPending(), 3u);
+
+  SyscallCompletion comp;
+  for (uint64_t tag = 1; tag <= 3; ++tag) {
+    ASSERT_TRUE(ring.Reap(&comp));
+    EXPECT_EQ(comp.user_data, tag);
+    EXPECT_EQ(comp.status, 42);
+  }
+  EXPECT_FALSE(ring.Reap(&comp));
+  EXPECT_EQ(ring.InFlight(), 0u);
+}
+
+TEST(RingUnit, CapacityCountsInFlightNotJustQueued) {
+  SyscallRing ring(4);
+  for (uint64_t tag = 0; tag < 4; ++tag) {
+    ASSERT_TRUE(ring.Submit(GetpidReq(tag)));
+  }
+  // Full: the 5th entry is refused.
+  EXPECT_FALSE(ring.Submit(GetpidReq(99)));
+
+  // Draining a request to the completion queue does NOT free space — the
+  // reservation guarantees PushCompletion always has room, so only reaping
+  // releases it.
+  SyscallRequest req;
+  ASSERT_TRUE(ring.PopRequest(&req));
+  SyscallCompletion comp;
+  comp.user_data = req.user_data;
+  ring.PushCompletion(comp);
+  EXPECT_FALSE(ring.Submit(GetpidReq(99)));
+
+  ASSERT_TRUE(ring.Reap(&comp));
+  EXPECT_TRUE(ring.Submit(GetpidReq(99)));
+}
+
+TEST(RingUnit, SubmitBatchAcceptsExactlyTheRoom) {
+  SyscallRing ring(2);
+  SyscallRequest reqs[5];
+  for (uint64_t tag = 0; tag < 5; ++tag) {
+    reqs[tag] = GetpidReq(tag);
+  }
+  EXPECT_EQ(ring.SubmitBatch(reqs, 5), 2u);
+  EXPECT_EQ(ring.SubmitBatch(reqs + 2, 3), 0u);
+  SyscallRequest req;
+  ASSERT_TRUE(ring.PopRequest(&req));
+  EXPECT_EQ(req.user_data, 0u);
+}
+
+TEST(RingUnit, EntriesRoundUpToPowerOfTwo) {
+  EXPECT_EQ(SyscallRing(1).capacity(), 2u);
+  EXPECT_EQ(SyscallRing(3).capacity(), 4u);
+  EXPECT_EQ(SyscallRing(8).capacity(), 8u);
+  EXPECT_EQ(SyscallRing(100).capacity(), 128u);
+}
+
+// --- the drain path ----------------------------------------------------------
+
+TEST(Ring, DrainCompletesInSubmissionOrder) {
+  auto kernel = MakeWorld();
+  const int code = ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+    ctx.WriteWholeFile("/tmp/ringd", "x");
+    ia::Stat st{};
+    SyscallRequest reqs[4];
+    reqs[0] = GetpidReq(10);
+    reqs[1].number = kSysStat;
+    reqs[1].user_data = 11;
+    reqs[1].args.SetPtr(0, "/tmp/ringd");
+    reqs[1].args.SetPtr(1, &st);
+    reqs[2] = GetpidReq(12);
+    reqs[3].number = kSysStat;
+    reqs[3].user_data = 13;
+    reqs[3].args.SetPtr(0, "/absent");
+    reqs[3].args.SetPtr(1, &st);
+
+    ctx.Ring(8);
+    if (ctx.SubmitBatch(reqs, 4) != 4) {
+      return 1;
+    }
+    if (ctx.DrainRing() != 4) {
+      return 2;
+    }
+    SyscallCompletion comps[4];
+    if (ctx.ReapBatch(comps, 4) != 4) {
+      return 3;
+    }
+    const Pid self = ctx.Getpid();
+    if (comps[0].user_data != 10 || comps[0].status != 0 || comps[0].result.rv[0] != self) {
+      return 4;
+    }
+    if (comps[1].user_data != 11 || comps[1].status != 0) {
+      return 5;
+    }
+    if (comps[2].user_data != 12 || comps[2].status != 0 || comps[2].result.rv[0] != self) {
+      return 6;
+    }
+    if (comps[3].user_data != 13 || comps[3].status != -kENoent) {
+      return 7;
+    }
+    return 0;
+  });
+  EXPECT_EQ(code, 0);
+}
+
+// A counting frame interested in getpid, for the agent-lane tests.
+class CountingFrame final : public SyscallHandler {
+ public:
+  SyscallStatus HandleSyscall(ProcessContext& ctx, int frame, int number,
+                              const SyscallArgs& args, SyscallResult* rv) override {
+    hits.fetch_add(1, std::memory_order_relaxed);
+    return ctx.SyscallBelow(frame, number, args, rv);
+  }
+  void HandleSignal(ProcessContext& ctx, int frame, int signo) override {
+    ctx.ForwardSignal(frame, signo);
+  }
+
+  std::atomic<int64_t> hits{0};
+};
+
+TEST(Ring, AgentRoutedEntriesTraverseTheEmulationStack) {
+  // Ring entries whose number has an interested frame must run through the
+  // compiled route exactly like synchronous calls; kernel-lane entries around
+  // them still batch, and completion order stays submission order.
+  auto kernel = MakeWorld();
+  auto counter = std::make_shared<CountingFrame>();
+  const int code = ExitCodeOf(*kernel, [counter](ProcessContext& ctx) {
+    ctx.WriteWholeFile("/tmp/ringa", "x");
+    EmulationFrame frame;
+    frame.handler = counter;
+    frame.syscall_interest.set(kSysGetpid);
+    ctx.PushEmulation(std::move(frame));
+
+    ia::Stat st{};
+    SyscallRequest reqs[6];
+    for (uint64_t i = 0; i < 6; ++i) {
+      if (i % 2 == 0) {
+        reqs[i] = GetpidReq(i);  // agent lane
+      } else {
+        reqs[i].number = kSysStat;  // kernel lane
+        reqs[i].user_data = i;
+        reqs[i].args.SetPtr(0, "/tmp/ringa");
+        reqs[i].args.SetPtr(1, &st);
+      }
+    }
+    ctx.Ring(8);
+    if (ctx.SubmitBatch(reqs, 6) != 6 || ctx.DrainRing() != 6) {
+      return 1;
+    }
+    SyscallCompletion comps[6];
+    if (ctx.ReapBatch(comps, 6) != 6) {
+      return 2;
+    }
+    for (uint64_t i = 0; i < 6; ++i) {
+      if (comps[i].user_data != i || comps[i].status < 0) {
+        return 3;
+      }
+    }
+    ctx.PopEmulation();
+    return counter->hits.load() == 3 ? 0 : 4;
+  });
+  EXPECT_EQ(code, 0);
+}
+
+TEST(Ring, BatchClientSplitsOversizedBatches) {
+  auto kernel = MakeWorld();
+  const int code = ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+    BatchClient batch(ctx, /*ring_entries=*/8);
+    constexpr int kCalls = 100;
+    for (int i = 0; i < kCalls; ++i) {
+      batch.PushGetpid(static_cast<uint64_t>(i));
+    }
+    if (batch.Flush() != kCalls) {
+      return 1;
+    }
+    const Pid self = ctx.Getpid();
+    for (int i = 0; i < kCalls; ++i) {
+      const SyscallCompletion& c = batch.completions()[static_cast<size_t>(i)];
+      if (c.user_data != static_cast<uint64_t>(i) || c.status != 0 ||
+          c.result.rv[0] != self) {
+        return 2;
+      }
+    }
+    return 0;
+  });
+  EXPECT_EQ(code, 0);
+}
+
+TEST(Ring, RingloadProgramExitsClean) {
+  auto kernel = MakeWorld();
+  SpawnOptions options;
+  options.path = "/usr/bin/ringload";
+  options.argv = {"ringload", "/tmp", "8"};
+  const Pid pid = kernel->Spawn(options);
+  ASSERT_GT(pid, 0);
+  const int status = kernel->HostWaitPid(pid);
+  ASSERT_TRUE(WifExited(status));
+  EXPECT_EQ(WExitStatus(status), 0);
+}
+
+// --- determinism gates: ring vs synchronous ---------------------------------
+
+// The mixed per-iteration workload both variants issue: open (synchronous —
+// its fd feeds the fd-keyed entries), then stat/fstat/lseek/read/getpid/close.
+// Returns a digest line per call: "number:status:rv0".
+std::string RunMixedWorkload(ProcessContext& ctx, bool via_ring, int iterations) {
+  const std::string file = "/tmp/mixed.dat";
+  std::string payload(512, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('A' + i % 23);
+  }
+  ctx.WriteWholeFile(file, payload);
+
+  std::string digest;
+  char buf[128];
+  ia::Stat st{};
+  ia::Stat fst{};
+  for (int it = 0; it < iterations; ++it) {
+    const int fd = ctx.Open(file, kORdonly);
+    if (fd < 0) {
+      digest += StringPrintf("open:%d\n", fd);
+      continue;
+    }
+    SyscallRequest reqs[6];
+    reqs[0].number = kSysStat;
+    reqs[0].args.SetPtr(0, file.c_str());
+    reqs[0].args.SetPtr(1, &st);
+    reqs[1].number = kSysFstat;
+    reqs[1].args.SetInt(0, fd);
+    reqs[1].args.SetPtr(1, &fst);
+    reqs[2].number = kSysLseek;
+    reqs[2].args.SetInt(0, fd);
+    reqs[2].args.SetInt(1, static_cast<int64_t>(it % 64));
+    reqs[2].args.SetInt(2, kSeekSet);
+    reqs[3].number = kSysRead;
+    reqs[3].args.SetInt(0, fd);
+    reqs[3].args.SetPtr(1, buf);
+    reqs[3].args.SetInt(2, static_cast<int64_t>(sizeof(buf)));
+    reqs[4].number = kSysGetpid;
+    reqs[5].number = kSysClose;
+    reqs[5].args.SetInt(0, fd);
+
+    if (via_ring) {
+      ctx.Ring(8);
+      ctx.SubmitBatch(reqs, 6);
+      ctx.DrainRing();
+      SyscallCompletion comps[6];
+      const uint32_t reaped = ctx.ReapBatch(comps, 6);
+      for (uint32_t i = 0; i < reaped; ++i) {
+        digest += StringPrintf("%d:%lld:%lld\n", reqs[i].number,
+                               static_cast<long long>(comps[i].status),
+                               static_cast<long long>(comps[i].result.rv[0]));
+      }
+    } else {
+      for (const SyscallRequest& req : reqs) {
+        SyscallResult rv;
+        const SyscallStatus status = ctx.Syscall(req.number, req.args, &rv);
+        digest += StringPrintf("%d:%lld:%lld\n", req.number, static_cast<long long>(status),
+                               static_cast<long long>(rv.rv[0]));
+      }
+    }
+  }
+  return digest;
+}
+
+TEST(RingDeterminism, BatchResultsIdenticalToSynchronousIssue) {
+  std::string digests[2];
+  for (int run = 0; run < 2; ++run) {
+    auto kernel = MakeWorld();
+    std::string digest;
+    const int code = ExitCodeOf(*kernel, [&digest, run](ProcessContext& ctx) {
+      digest = RunMixedWorkload(ctx, /*via_ring=*/run == 1, /*iterations=*/12);
+      return 0;
+    });
+    EXPECT_EQ(code, 0);
+    digests[run] = digest;
+  }
+  EXPECT_FALSE(digests[0].empty());
+  EXPECT_EQ(digests[0], digests[1]);
+}
+
+std::string KtraceDigest(const VectorKtraceSink& sink) {
+  std::string digest;
+  for (const KtraceRecord& r : sink.records()) {
+    digest += StringPrintf("%d:%d:%lld:%d:%s:%lld\n", r.pid, r.syscall,
+                           static_cast<long long>(r.result), r.fd, r.path.c_str(),
+                           static_cast<long long>(r.vtime_usec));
+  }
+  return digest;
+}
+
+TEST(RingDeterminism, KtraceDigestIdenticalToSynchronousIssue) {
+  // With a sink attached the batch trap falls back to the exact per-call
+  // path, so the trace — pids, paths, results, fds, even virtual timestamps —
+  // must be byte-identical between ring and synchronous issue.
+  std::string results[2];
+  std::string traces[2];
+  for (int run = 0; run < 2; ++run) {
+    auto kernel = MakeWorld();
+    VectorKtraceSink sink;
+    kernel->SetKtrace(&sink);
+    std::string digest;
+    const int code = ExitCodeOf(*kernel, [&digest, run](ProcessContext& ctx) {
+      digest = RunMixedWorkload(ctx, /*via_ring=*/run == 1, /*iterations=*/10);
+      return 0;
+    });
+    kernel->SetKtrace(nullptr);
+    EXPECT_EQ(code, 0);
+    results[run] = digest;
+    traces[run] = KtraceDigest(sink);
+  }
+  EXPECT_FALSE(traces[0].empty());
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(traces[0], traces[1]);
+}
+
+TEST(RingDeterminism, FaultStreamIdenticalToSynchronousIssue) {
+  // An installed FaultPlan keys every decision on (seed, pid, sequence,
+  // number); the ring path must consume the identical sequence, so statuses,
+  // injected errors, and the recorded fault trace all match synchronous
+  // issue byte for byte.
+  std::string results[2];
+  std::string traces[2];
+  for (int run = 0; run < 2; ++run) {
+    auto kernel = MakeWorld();
+    FaultPlan plan;
+    plan.seed = 0x0ab5;
+    plan.eintr_probability = 0.2;
+    plan.short_probability = 0.4;
+    plan.class_rules.push_back({kTakesPath, 0.2, kENoent});
+    plan.record_trace = true;
+    kernel->SetFaultPlan(plan);
+    std::string digest;
+    const int code = ExitCodeOf(*kernel, [&digest, run](ProcessContext& ctx) {
+      digest = RunMixedWorkload(ctx, /*via_ring=*/run == 1, /*iterations=*/30);
+      return 0;
+    });
+    EXPECT_EQ(code, 0);
+    results[run] = digest;
+    traces[run] = kernel->FaultTraceText();
+  }
+  EXPECT_FALSE(traces[0].empty());
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(traces[0], traces[1]);
+}
+
+// --- RouteStats() ------------------------------------------------------------
+
+TEST(RouteStats, StartsZeroAndAggregatesAtProcessExit) {
+  auto kernel = MakeWorld();
+  const Kernel::RouteCacheStats before = kernel->RouteStats();
+  EXPECT_EQ(before.lookups, 0);
+  EXPECT_EQ(before.builds, 0);
+
+  constexpr int kCalls = 50;
+  const int code = ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+    for (int i = 0; i < kCalls; ++i) {
+      ctx.Getpid();
+    }
+    return 0;
+  });
+  EXPECT_EQ(code, 0);
+
+  // The exit path folded the process's counters into the kernel tallies:
+  // one lookup per call, but only the first compiled a route, so the
+  // steady-state hit rate is high.
+  const Kernel::RouteCacheStats after = kernel->RouteStats();
+  EXPECT_GE(after.lookups, kCalls);
+  EXPECT_GE(after.builds, 1);
+  EXPECT_LE(after.builds, after.lookups);
+  const double hit_rate =
+      1.0 - static_cast<double>(after.builds) / static_cast<double>(after.lookups);
+  EXPECT_GE(hit_rate, 0.8);
+}
+
+TEST(RouteStats, PushPopChurnForcesOneRebuildPerGeneration) {
+  auto kernel = MakeWorld();
+  auto counter = std::make_shared<CountingFrame>();
+  int64_t in_body_lookups = 0;
+  int64_t in_body_builds = 0;
+  const int code = ExitCodeOf(*kernel, [&, counter](ProcessContext& ctx) {
+    // Steady phase: many lookups, at most one build for this number.
+    ctx.Getpid();  // compile the route once
+    const int64_t l0 = ctx.emulation().route_lookups();
+    const int64_t b0 = ctx.emulation().route_builds();
+    for (int i = 0; i < 20; ++i) {
+      ctx.Getpid();
+    }
+    if (ctx.emulation().route_lookups() - l0 != 20) {
+      return 1;
+    }
+    if (ctx.emulation().route_builds() != b0) {
+      return 2;  // steady-state calls must all be cache hits
+    }
+
+    // Churn phase: every push and every pop bumps the generation, so the
+    // first lookup after each is a miss that recompiles. The routed call
+    // itself performs two lookups (dispatch entry + the frame's
+    // SyscallBelow continuation), the second of which hits the fresh route.
+    const int64_t l1 = ctx.emulation().route_lookups();
+    const int64_t b1 = ctx.emulation().route_builds();
+    constexpr int kChurn = 10;
+    for (int i = 0; i < kChurn; ++i) {
+      EmulationFrame frame;
+      frame.handler = counter;
+      frame.syscall_interest.set(kSysGetpid);
+      ctx.PushEmulation(std::move(frame));
+      ctx.Getpid();
+      ctx.PopEmulation();
+      ctx.Getpid();
+    }
+    if (ctx.emulation().route_lookups() - l1 != 3 * kChurn) {
+      return 3;
+    }
+    if (ctx.emulation().route_builds() - b1 != 2 * kChurn) {
+      return 4;  // one rebuild per generation bump, no more
+    }
+    in_body_lookups = ctx.emulation().route_lookups();
+    in_body_builds = ctx.emulation().route_builds();
+    return 0;
+  });
+  EXPECT_EQ(code, 0);
+  EXPECT_EQ(counter->hits.load(), 10);
+
+  // Exit-time aggregation preserves (at least) what the body observed.
+  const Kernel::RouteCacheStats stats = kernel->RouteStats();
+  EXPECT_GE(stats.lookups, in_body_lookups);
+  EXPECT_GE(stats.builds, in_body_builds);
+  EXPECT_LE(stats.builds, stats.lookups);
+}
+
+TEST(RouteStats, ForkAccumulatesBothProcessesCounters) {
+  auto kernel = MakeWorld();
+  constexpr int kParentCalls = 20;
+  constexpr int kChildCalls = 30;
+  const int code = ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+    for (int i = 0; i < kParentCalls; ++i) {
+      ctx.Getpid();
+    }
+    const Pid child = ctx.Fork([](ProcessContext& cc) {
+      for (int i = 0; i < kChildCalls; ++i) {
+        cc.Getpid();
+      }
+      return 0;
+    });
+    int status = 0;
+    ctx.Wait4(child, &status, 0, nullptr);
+    return WExitStatus(status);
+  });
+  EXPECT_EQ(code, 0);
+
+  // Both processes' counters landed in the kernel aggregate; the child's
+  // stack starts empty (agents re-install via the wrapped body), so it
+  // compiled its own routes — builds reflects at least two processes.
+  const Kernel::RouteCacheStats stats = kernel->RouteStats();
+  EXPECT_GE(stats.lookups, kParentCalls + kChildCalls);
+  EXPECT_GE(stats.builds, 2);
+  EXPECT_LE(stats.builds, stats.lookups);
+}
+
+// --- concurrency stress (TSan targets) ---------------------------------------
+
+TEST(RingStress, SiblingSubmitterWhileOwnerDrains) {
+  // The documented split arrangement: one sibling host thread owns the
+  // submission side while the process thread drains and reaps. The SPSC
+  // atomics must hand entries across cleanly and in order.
+  auto kernel = MakeWorld();
+  const int code = ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+    constexpr int kTotal = 500;
+    SyscallRing& ring = ctx.Ring(16);
+    std::thread submitter([&ring]() {
+      for (int i = 0; i < kTotal; ++i) {
+        SyscallRequest req = GetpidReq(static_cast<uint64_t>(i));
+        while (!ring.Submit(req)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+    const Pid self = ctx.Getpid();
+    int reaped = 0;
+    int bad = 0;
+    SyscallCompletion comp;
+    while (reaped < kTotal) {
+      ctx.DrainRing();
+      while (ctx.Reap(&comp)) {
+        if (comp.user_data != static_cast<uint64_t>(reaped) || comp.status != 0 ||
+            comp.result.rv[0] != self) {
+          ++bad;
+        }
+        ++reaped;
+      }
+      std::this_thread::yield();
+    }
+    submitter.join();
+    return bad == 0 ? 0 : 1;
+  });
+  EXPECT_EQ(code, 0);
+}
+
+TEST(StripeStress, ParallelReadersAcrossDirectorySubtrees) {
+  // Eight clients hammer the shared-stripe VFS read path against their own
+  // subtrees (distinct stripes by path hash) plus one shared file. Under
+  // TSan this validates the striped lock order; the assertions validate that
+  // striping didn't change what readers see.
+  auto kernel = MakeWorld();
+  constexpr int kClients = 8;
+  constexpr int kIters = 150;
+  const std::string payload(256, 'p');
+  const int setup = ExitCodeOf(*kernel, [&payload](ProcessContext& ctx) {
+    ctx.Mkdir("/data");
+    ctx.WriteWholeFile("/data/shared.dat", payload);
+    for (int c = 0; c < kClients; ++c) {
+      ctx.Mkdir(StringPrintf("/data/c%d", c));
+      ctx.WriteWholeFile(StringPrintf("/data/c%d/f.dat", c), payload);
+    }
+    return 0;
+  });
+  ASSERT_EQ(setup, 0);
+
+  std::vector<Pid> pids;
+  for (int c = 0; c < kClients; ++c) {
+    SpawnOptions options;
+    options.body = [c, &payload](ProcessContext& ctx) {
+      const std::string mine = StringPrintf("/data/c%d/f.dat", c);
+      char buf[256];
+      ia::Stat st{};
+      for (int i = 0; i < kIters; ++i) {
+        if (ctx.Stat(mine, &st) != 0 || st.st_size != static_cast<Off>(payload.size())) {
+          return 1;
+        }
+        const int fd = ctx.Open(i % 4 == 0 ? "/data/shared.dat" : mine, kORdonly);
+        if (fd < 0) {
+          return 2;
+        }
+        if (ctx.Read(fd, buf, sizeof(buf)) != static_cast<int64_t>(sizeof(buf))) {
+          return 3;
+        }
+        if (ctx.Fstat(fd, &st) != 0) {
+          return 4;
+        }
+        ctx.Close(fd);
+      }
+      return 0;
+    };
+    const Pid pid = kernel->Spawn(options);
+    ASSERT_GT(pid, 0);
+    pids.push_back(pid);
+  }
+  for (const Pid pid : pids) {
+    const int status = kernel->HostWaitPid(pid);
+    ASSERT_TRUE(WifExited(status));
+    EXPECT_EQ(WExitStatus(status), 0);
+  }
+}
+
+TEST(StripeStress, ReadersScanWhileWritersChurnTheTree) {
+  // Shared single-stripe readers racing exclusive all-stripe writers
+  // (create/unlink churn). Correctness: readers of the stable file never see
+  // a torn result, and the churned files resolve to a consistent final state.
+  auto kernel = MakeWorld();
+  const std::string payload(128, 's');
+  const int setup = ExitCodeOf(*kernel, [&payload](ProcessContext& ctx) {
+    ctx.Mkdir("/mix");
+    ctx.WriteWholeFile("/mix/stable.dat", payload);
+    return 0;
+  });
+  ASSERT_EQ(setup, 0);
+
+  std::vector<Pid> pids;
+  for (int r = 0; r < 4; ++r) {
+    SpawnOptions options;
+    options.body = [&payload](ProcessContext& ctx) {
+      char buf[128];
+      ia::Stat st{};
+      for (int i = 0; i < 150; ++i) {
+        if (ctx.Stat("/mix/stable.dat", &st) != 0 ||
+            st.st_size != static_cast<Off>(payload.size())) {
+          return 1;
+        }
+        const int fd = ctx.Open("/mix/stable.dat", kORdonly);
+        if (fd < 0 || ctx.Read(fd, buf, sizeof(buf)) != static_cast<int64_t>(sizeof(buf))) {
+          return 2;
+        }
+        ctx.Close(fd);
+        ctx.Access(StringPrintf("/mix/churn%d", i % 8), 0);  // may or may not exist
+      }
+      return 0;
+    };
+    pids.push_back(kernel->Spawn(options));
+    ASSERT_GT(pids.back(), 0);
+  }
+  for (int w = 0; w < 2; ++w) {
+    SpawnOptions options;
+    options.body = [w](ProcessContext& ctx) {
+      for (int i = 0; i < 100; ++i) {
+        const std::string path = StringPrintf("/mix/churn%d", (w * 4 + i) % 8);
+        ctx.WriteWholeFile(path, "c");
+        ctx.Unlink(path);
+      }
+      ctx.WriteWholeFile(StringPrintf("/mix/final%d", w), "done");
+      return 0;
+    };
+    pids.push_back(kernel->Spawn(options));
+    ASSERT_GT(pids.back(), 0);
+  }
+  for (const Pid pid : pids) {
+    const int status = kernel->HostWaitPid(pid);
+    ASSERT_TRUE(WifExited(status));
+    EXPECT_EQ(WExitStatus(status), 0);
+  }
+  EXPECT_EQ(FileContents(*kernel, "/mix/final0"), "done");
+  EXPECT_EQ(FileContents(*kernel, "/mix/final1"), "done");
+}
+
+TEST(TreeLock, StripeCountClampsAndRoundsToPowerOfTwo) {
+  TreeLock lock;
+  EXPECT_EQ(lock.stripe_count(), TreeLock::kDefaultStripes);
+  lock.SetStripeCount(0);
+  EXPECT_EQ(lock.stripe_count(), 1);
+  lock.SetStripeCount(5);
+  EXPECT_EQ(lock.stripe_count(), 4);
+  lock.SetStripeCount(100);
+  EXPECT_EQ(lock.stripe_count(), TreeLock::kMaxStripes);
+  lock.SetStripeCount(8);
+  EXPECT_EQ(lock.stripe_count(), 8);
+}
+
+TEST(TreeLock, SingleStripeConfigBehavesIdentically) {
+  // stripes=1 reproduces the old single shared_mutex; the whole mixed
+  // workload (including the ring path) must behave exactly the same.
+  for (const int stripes : {1, 16}) {
+    KernelConfig config;
+    config.tree_lock_stripes = stripes;
+    Kernel kernel(config);
+    InstallStandardPrograms(kernel);
+    EXPECT_EQ(kernel.fs().TreeMutex().stripe_count(), stripes);
+    std::string digest;
+    const int code = ExitCodeOf(kernel, [&digest](ProcessContext& ctx) {
+      digest = RunMixedWorkload(ctx, /*via_ring=*/true, /*iterations=*/6);
+      return 0;
+    });
+    EXPECT_EQ(code, 0) << "stripes=" << stripes;
+    EXPECT_FALSE(digest.empty());
+  }
+}
+
+TEST(FdTableStress, LeafMutexSurvivesConcurrentMutation) {
+  // The descriptor table's internal leaf mutex: one thread churns slots while
+  // another reads and clones. (In the kernel the second thread is a sibling
+  // ring submitter's fd-keyed batch; here we drive the table directly.)
+  FdTable table;
+  constexpr int kIters = 2000;
+  std::thread mutator([&table]() {
+    for (int i = 0; i < kIters; ++i) {
+      const int fd = i % 16;
+      table.Set(fd, std::make_shared<OpenFile>());
+      if (i % 3 == 0) {
+        table.Close(fd);
+      }
+      if (i % 7 == 0) {
+        table.Dup2(fd, (fd + 1) % 16);
+      }
+    }
+  });
+  int64_t observed = 0;
+  for (int i = 0; i < kIters; ++i) {
+    observed += table.OpenCount();
+    observed += table.Valid(i % 16) ? 1 : 0;
+    OpenFileRef ref = table.Get(i % 16);
+    if (i % 50 == 0) {
+      FdTable clone = table.Clone();
+      observed += clone.OpenCount();
+    }
+  }
+  mutator.join();
+  table.CloseAll();
+  EXPECT_EQ(table.OpenCount(), 0);
+  EXPECT_GE(observed, 0);
+}
+
+}  // namespace
+}  // namespace ia
