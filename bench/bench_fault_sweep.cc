@@ -17,9 +17,22 @@
 // pointer test per dispatch) against an installed-but-empty plan, on the
 // Table 3-5 null-call row.
 //
-// Usage: bench_fault_sweep [--chaos=<seed>,<rate>]
-//   seed: plan seed for every part (default 0x1993)
-//   rate: the steepest recoverable-fault rate for part 2 (default 0.25)
+// Part 4 is the containment gate (DESIGN.md §12): the make workload runs under
+// a 7-agent stack whose kernel-nearest frame is a deliberately misbehaving
+// FaultyAgent (throws, garbled completions, budget overruns, all decided by
+// DecideAgentFault from a fixed seed). The gate demands that the breaker trips
+// (quarantine events in ContainmentStats() and the kProcess ktrace slice) and
+// that the build output is byte-for-byte identical to the same stack with the
+// faulty frame absent — and that a second identical run reproduces the digest
+// and the quarantine count exactly.
+//
+// Usage: bench_fault_sweep [--chaos=<seed>,<rate>] [--agent-chaos=<seed>,<rate>]
+//                          [--containment-only]
+//   --chaos: plan seed for parts 1-2 (default 0x1993) and the steepest
+//            recoverable-fault rate for part 2 (default 0.25)
+//   --agent-chaos: seed and throw-rate for part 4's FaultyAgent (default
+//            0x1993, 0.5; garble and overrun rates derive from the throw rate)
+//   --containment-only: run only part 4 (the sanitizer legs use this)
 //
 // Exits nonzero on any correctness failure; timing is reported, not gated.
 #include <cinttypes>
@@ -31,9 +44,15 @@
 
 #include "bench/bench_util.h"
 #include "src/agents/chaos.h"
+#include "src/agents/dfs_trace.h"
+#include "src/agents/faulty.h"
+#include "src/agents/filter_fs.h"
 #include "src/agents/retry.h"
+#include "src/agents/sandbox.h"
+#include "src/agents/txn.h"
 #include "src/agents/union_fs.h"
 #include "src/apps/apps.h"
+#include "src/kernel/ktrace.h"
 #include "src/kernel/syscall_table.h"
 
 namespace ia {
@@ -277,6 +296,132 @@ int RunMake(uint64_t seed, double rate, MakePlane plane, uint64_t* digest,
   return status;
 }
 
+// ---- Part 4: containment gate — faulty frame quarantined mid-make ----------
+
+// The agent-plane misbehavior regime: `rate` is the throw probability; garble
+// and overrun fire at rate/2 and rate/8 so every failure kind is exercised
+// without the overrun spin dominating wall-clock.
+FaultPlan AgentChaosPlan(uint64_t seed, double rate) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.agent_throw_probability = rate;
+  plan.agent_garble_probability = rate / 2;
+  plan.agent_overrun_probability = rate / 8;
+  return plan;
+}
+
+struct FaultyStackOutcome {
+  bool exited_clean = false;
+  uint64_t digest = 0;
+  int64_t misbehaved = 0;        // throws + garbles + overruns actually performed
+  int64_t quarantines = 0;       // Kernel::ContainmentStats().quarantines
+  int64_t ktrace_quarantines = 0;  // kAgentQuarantined records on the kProcess slice
+};
+
+// The make workload under the pay-per-use 7-agent stack shape, with a
+// FaultyAgent interposed nearest the kernel when `include_faulty` is set. All
+// scaffolding lives under /tmp, which FsDigest skips, so the two stacks are
+// digest-comparable. No compute spin: the TSan containment leg runs this too.
+FaultyStackOutcome RunMakeUnderFaultyStack(uint64_t seed, double rate, bool include_faulty) {
+  FaultyStackOutcome out;
+  Kernel kernel{KernelConfig{}};
+  InstallStandardPrograms(kernel);
+  SetupMakeWorkload(kernel, /*programs=*/8);
+  kernel.fs().MkdirAll("/tmp/w");
+  kernel.fs().MkdirAll("/tmp/r");
+  RingKtraceSink process_slice(4096);
+  kernel.SetKtraceSlot(1, &process_slice, kProcess);
+
+  auto faulty = std::make_shared<FaultyAgent>(AgentChaosPlan(seed, rate));
+  std::vector<AgentRef> agents;
+  if (include_faulty) {
+    agents.push_back(faulty);  // nearest the kernel: every frame above survives it
+  }
+  agents.push_back(std::make_shared<RetryAgent>());
+  agents.push_back(std::make_shared<UnionAgent>(
+      std::vector<UnionMount>{{"/tmp/u", {"/tmp/w", "/tmp/r"}}}));
+  SandboxPolicy sandbox_policy;  // default write_prefixes is empty = read-only
+  sandbox_policy.write_prefixes = {"/"};
+  agents.push_back(std::make_shared<SandboxAgent>(sandbox_policy));
+  agents.push_back(std::make_shared<TxnAgent>("/t", "/tmp/.txn"));
+  agents.push_back(std::make_shared<CompressAgent>("/z"));
+  agents.push_back(std::make_shared<DfsTraceAgent>("/tmp/dfs.log"));
+
+  SpawnOptions spawn;
+  spawn.path = "/bin/make";
+  spawn.argv = {"make"};
+  spawn.cwd = "/home/mbj/progs";
+  const int status = RunUnderAgents(kernel, agents, spawn);
+  out.exited_clean = WifExited(status) && WExitStatus(status) == 0;
+  out.digest = FsDigest(kernel);
+  out.misbehaved = faulty->Misbehaved();
+  out.quarantines = kernel.ContainmentStats().quarantines;
+  for (const KtraceRecord& record : process_slice.Snapshot()) {
+    if (record.kind == KtraceEventKind::kAgentQuarantined) {
+      ++out.ktrace_quarantines;
+    }
+  }
+  kernel.SetKtraceSlot(1, nullptr, 0);
+  return out;
+}
+
+// Runs part 4 and returns the number of gate failures.
+int RunContainmentGate(uint64_t agent_seed, double agent_rate) {
+  std::printf("\nPart 4: containment gate — faulty frame under the 7-agent make stack "
+              "(seed %#" PRIx64 ", rate %.2f)\n",
+              agent_seed, agent_rate);
+  int failures = 0;
+  const FaultyStackOutcome baseline =
+      RunMakeUnderFaultyStack(agent_seed, agent_rate, /*include_faulty=*/false);
+  if (!baseline.exited_clean) {
+    std::printf("  FAIL: baseline stack (no faulty frame) did not build cleanly\n");
+    return 1;
+  }
+  std::printf("  %-28s %12s %10s %11s\n", "stack", "fs digest", "misbehave", "quarantine");
+  std::printf("  %-28s %12" PRIx64 " %10s %11s\n", "6 agents (no faulty frame)",
+              baseline.digest, "-", "-");
+  const FaultyStackOutcome faulty =
+      RunMakeUnderFaultyStack(agent_seed, agent_rate, /*include_faulty=*/true);
+  const bool contained = faulty.exited_clean && faulty.digest == baseline.digest &&
+                         faulty.misbehaved > 0 && faulty.quarantines >= 1 &&
+                         faulty.ktrace_quarantines >= 1;
+  std::printf("  %-28s %12" PRIx64 " %10lld %11lld  %s\n", "7 agents (faulty nearest k)",
+              faulty.digest, static_cast<long long>(faulty.misbehaved),
+              static_cast<long long>(faulty.quarantines),
+              contained ? "contained, output identical" : "FAIL");
+  if (!contained) {
+    if (!faulty.exited_clean) {
+      std::printf("  FAIL: faulty-stack build did not exit cleanly\n");
+    }
+    if (faulty.digest != baseline.digest) {
+      std::printf("  FAIL: faulty-stack output differs from the baseline\n");
+    }
+    if (faulty.misbehaved == 0) {
+      std::printf("  FAIL: the faulty agent never misbehaved (rate too low?)\n");
+    }
+    if (faulty.quarantines < 1) {
+      std::printf("  FAIL: the breaker never tripped (ContainmentStats)\n");
+    }
+    if (faulty.ktrace_quarantines < 1) {
+      std::printf("  FAIL: no kAgentQuarantined record on the ktrace process slice\n");
+    }
+    ++failures;
+  }
+  const FaultyStackOutcome again =
+      RunMakeUnderFaultyStack(agent_seed, agent_rate, /*include_faulty=*/true);
+  if (again.digest == faulty.digest && again.quarantines == faulty.quarantines &&
+      again.misbehaved == faulty.misbehaved) {
+    std::printf("  same seed reproduces digest, misbehavior, and quarantine count\n");
+  } else {
+    std::printf("  FAIL: same seed diverged (digest %12" PRIx64 " vs %12" PRIx64
+                ", quarantines %lld vs %lld)\n",
+                again.digest, faulty.digest, static_cast<long long>(again.quarantines),
+                static_cast<long long>(faulty.quarantines));
+    ++failures;
+  }
+  return failures;
+}
+
 // ---- Part 3: disabled-hook null-call cost ----------------------------------
 
 double NullCallMicros(Kernel& kernel) {
@@ -295,16 +440,37 @@ int main(int argc, char** argv) {
   std::setvbuf(stdout, nullptr, _IONBF, 0);  // progress stays visible under CI redirection
   uint64_t seed = 0x1993;
   double max_rate = 0.25;
+  uint64_t agent_seed = 0x1993;
+  double agent_rate = 0.5;
+  bool containment_only = false;
   for (int i = 1; i < argc; ++i) {
     unsigned long long parsed_seed = 0;
     double parsed_rate = 0;
     if (std::sscanf(argv[i], "--chaos=%llu,%lf", &parsed_seed, &parsed_rate) == 2) {
       seed = parsed_seed;
       max_rate = parsed_rate;
+    } else if (std::sscanf(argv[i], "--agent-chaos=%llu,%lf", &parsed_seed, &parsed_rate) == 2) {
+      agent_seed = parsed_seed;
+      agent_rate = parsed_rate;
+    } else if (std::strcmp(argv[i], "--containment-only") == 0) {
+      containment_only = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--chaos=<seed>,<rate>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--chaos=<seed>,<rate>] [--agent-chaos=<seed>,<rate>] "
+                   "[--containment-only]\n",
+                   argv[0]);
       return 2;
     }
+  }
+
+  if (containment_only) {
+    const int failures = ia::RunContainmentGate(agent_seed, agent_rate);
+    if (failures == 0) {
+      std::printf("\ncontainment gate: all correctness checks passed\n");
+      return 0;
+    }
+    std::printf("\ncontainment gate: %d FAILURE(S)\n", failures);
+    return 1;
   }
 
   int failures = 0;
@@ -377,6 +543,8 @@ int main(int argc, char** argv) {
     std::printf("  empty plan installed: %.3f us/call (+%.1f%%)\n", empty_plan,
                 no_plan > 0 ? (empty_plan / no_plan - 1) * 100 : 0);
   }
+
+  failures += ia::RunContainmentGate(agent_seed, agent_rate);
 
   if (failures == 0) {
     std::printf("\nfault sweep: all correctness checks passed\n");

@@ -34,7 +34,13 @@ case "$MODE" in
     TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
       "$BUILD_DIR"/bench/bench_scalability
 
-    echo "TSan test suite + scalability bench passed."
+    # The containment gate under TSan: breakers tripping concurrently across
+    # the make workload's process tree (quarantine re-narrows, health-registry
+    # snapshots, ktrace containment records) must be race-free too.
+    TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+      "$BUILD_DIR"/bench/bench_fault_sweep --containment-only
+
+    echo "TSan test suite + scalability bench + containment gate passed."
     ;;
   --asan|asan)
     BUILD_DIR=build-sanitize

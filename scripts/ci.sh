@@ -10,12 +10,23 @@ cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
+# The bench-diff tool is load-bearing for the advisory perf reports below;
+# its own unit tests (direction table, row pairing, exit codes) run first.
+python3 scripts/test_bench_compare.py
+
 # The fault sweep is a correctness gate, not just a benchmark: every implemented
 # call must survive 25%-per-class injection, the fault stream must reproduce
 # from its seed, and the make workload under retry+chaos — and under the
 # narrowed chaos+retry+union stack — must build the exact fault-free output.
 # (The hostile-ABI fuzz runs inside ctest as DecodeFuzz.*.)
 ./build/bench/bench_fault_sweep
+
+# The containment gate at a second seed/rate point: a misbehaving frame under
+# the 7-agent make stack must be quarantined deterministically and the build
+# output must stay byte-identical to the stack without the faulty frame. (The
+# default-seed gate already ran inside the full sweep above; this row proves
+# the property is not an artifact of one seed.)
+./build/bench/bench_fault_sweep --containment-only --agent-chaos=4242,0.6
 
 # bench_scalability self-checks: single-client parity against the forced
 # big-lock regime, the pay-per-use gate (a non-path per-process mix under a

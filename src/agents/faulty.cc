@@ -1,0 +1,98 @@
+#include "src/agents/faulty.h"
+
+#include <stdexcept>
+
+namespace ia {
+
+namespace {
+
+// Process-control rows stay well-behaved: misbehaving on them would strand the
+// host's pending-fork/exec bookkeeping (fixture bug, not a containable fault).
+bool AgentPlaneExempt(int number) {
+  switch (number) {
+    case kSysFork:
+    case kSysVfork:
+    case kSysExecve:
+    case kSysExecv:
+    case kSysExit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Bytes the intercepted transfer asked for, or -1 for non-transfer rows.
+int64_t TransferWant(const AgentCall& call) {
+  const int number = call.number();
+  if (number == kSysRead || number == kSysWrite) {
+    const int64_t count = call.args().Long(2);
+    return count >= 0 ? count : -1;
+  }
+  if (number == kSysReadv || number == kSysWritev) {
+    const auto* iov = call.args().Ptr<const IoVec>(1);
+    const int iovcnt = call.args().Int(2);
+    if (iov == nullptr || iovcnt <= 0 || iovcnt > kMaxIoVecs) {
+      return -1;
+    }
+    int64_t total = 0;
+    for (int i = 0; i < iovcnt; ++i) {
+      if (iov[i].iov_len > 0) {
+        total += iov[i].iov_len;
+      }
+    }
+    return total;
+  }
+  return -1;
+}
+
+// Bounded so a containment-disabled stack still terminates; the fixture's
+// 256-down-call policy makes the watchdog fire long before the cap.
+constexpr int kOverrunSpinCap = 8192;
+
+}  // namespace
+
+SyscallStatus FaultyAgent::syscall(AgentCall& call) {
+  const int number = call.number();
+  if (AgentPlaneExempt(number)) {
+    return SymbolicSyscall::syscall(call);
+  }
+  const Pid pid = call.ctx().process().pid;
+  const uint64_t seq = NextSeq(pid);
+  const AgentFaultAction action =
+      DecideAgentFault(plan_, static_cast<uint64_t>(pid),
+                       static_cast<uint64_t>(call.frame()), seq);
+  switch (action) {
+    case AgentFaultAction::kThrow:
+      throws_.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("faulty agent: deliberate throw");
+    case AgentFaultAction::kGarbleResult: {
+      garbles_.fetch_add(1, std::memory_order_relaxed);
+      const int64_t want = TransferWant(call);
+      if (want >= 0) {
+        // Claim more bytes transferred than the application asked for — the
+        // completion validator must reject status > request.
+        if (call.rv() != nullptr) {
+          call.rv()->rv[0] = want + 4097;
+        }
+        return static_cast<SyscallStatus>(want + 4097);
+      }
+      // An "errno" far outside the known vocabulary.
+      return -4242;
+    }
+    case AgentFaultAction::kOverrunBudget: {
+      overruns_.fetch_add(1, std::memory_order_relaxed);
+      // Spin in wrapper down-calls; the frame budget watchdog throws
+      // FrameBudgetExceeded out of Raw() once the policy cap is hit.
+      DownApi down(call);
+      for (int i = 0; i < kOverrunSpinCap; ++i) {
+        down.Getpid();
+      }
+      return call.CallDown();
+    }
+    case AgentFaultAction::kNone:
+      break;
+  }
+  return SymbolicSyscall::syscall(call);
+}
+
+}  // namespace ia

@@ -69,6 +69,37 @@ std::string MonitorAgent::FormatKernelReport(Kernel& kernel) {
                              std::string(SyscallName(number)).c_str());
     }
   }
+
+  // Per-frame containment health (containment.h): one line per live agent
+  // frame, plus the kernel-wide containment tallies when anything happened.
+  const std::vector<FrameHealthSnapshot> health = kernel.FrameHealthSnapshots();
+  if (!health.empty()) {
+    report += "--- agent frame health ---\n";
+    report += StringPrintf("%6s %5s %10s %8s %8s %8s  %-10s %s\n", "pid", "frame", "calls",
+                           "traps", "garbled", "overrun", "state", "agent");
+    for (const FrameHealthSnapshot& snap : health) {
+      report += StringPrintf("%6lld %5d %10lld %8lld %8lld %8lld  %-10s %s\n",
+                             static_cast<long long>(snap.pid), snap.frame,
+                             static_cast<long long>(snap.calls),
+                             static_cast<long long>(snap.traps),
+                             static_cast<long long>(snap.garbled),
+                             static_cast<long long>(snap.overruns),
+                             BreakerStateName(snap.state), snap.agent.c_str());
+    }
+  }
+  const AgentContainmentStats containment = kernel.ContainmentStats();
+  if (containment.traps + containment.garbled + containment.overruns +
+          containment.quarantines + containment.reinstates >
+      0) {
+    report += StringPrintf(
+        "containment: %lld trap(s), %lld garbled, %lld overrun(s), %lld quarantine(s) "
+        "(%lld half-open re-trip(s)), %lld reinstate(s)\n",
+        static_cast<long long>(containment.traps), static_cast<long long>(containment.garbled),
+        static_cast<long long>(containment.overruns),
+        static_cast<long long>(containment.quarantines),
+        static_cast<long long>(containment.half_open_retrips),
+        static_cast<long long>(containment.reinstates));
+  }
   return report;
 }
 

@@ -18,6 +18,11 @@ bool RetryAgent::Retryable(int number, SyscallStatus status) const {
   return false;
 }
 
+int RetryAgent::CapFor(SyscallStatus status) const {
+  const int cap = status == -kEIntr ? policy_.max_attempts_eintr : policy_.max_attempts_transient;
+  return cap >= 0 ? cap : policy_.max_attempts;
+}
+
 void RetryAgent::Backoff(AgentCall& call, int attempt) {
   const int shift = std::min(attempt - 1, 6);
   // Compute() is a signal-delivery point, so a real pending signal (the usual
@@ -41,7 +46,8 @@ SyscallStatus RetryAgent::ResumeTransfer(AgentCall& call) {
     args.SetInt(2, want - done);
     status = call.CallDown(args);
     if (status < 0) {
-      if (Retryable(call.number(), status) && ++attempt < policy_.max_attempts) {
+      const int cap = CapFor(status);
+      if (Retryable(call.number(), status) && ++attempt < cap) {
         if (status == -kEIntr) {
           eintr_retries_.fetch_add(1, std::memory_order_relaxed);
         } else {
@@ -50,8 +56,8 @@ SyscallStatus RetryAgent::ResumeTransfer(AgentCall& call) {
         Backoff(call, attempt);
         continue;
       }
-      if (attempt >= policy_.max_attempts) {
-        gave_up_.fetch_add(1, std::memory_order_relaxed);
+      if (attempt >= cap) {
+        give_ups_.fetch_add(1, std::memory_order_relaxed);
       }
       break;
     }
@@ -100,7 +106,8 @@ SyscallStatus RetryAgent::ResumeVectorTransfer(AgentCall& call) {
       SyscallResult rv;
       status = call.Call(scalar, args, &rv);
       if (status < 0) {
-        if (Retryable(scalar, status) && ++attempt < policy_.max_attempts) {
+        const int cap = CapFor(status);
+        if (Retryable(scalar, status) && ++attempt < cap) {
           if (status == -kEIntr) {
             eintr_retries_.fetch_add(1, std::memory_order_relaxed);
           } else {
@@ -109,8 +116,8 @@ SyscallStatus RetryAgent::ResumeVectorTransfer(AgentCall& call) {
           Backoff(call, attempt);
           continue;
         }
-        if (attempt >= policy_.max_attempts) {
-          gave_up_.fetch_add(1, std::memory_order_relaxed);
+        if (attempt >= cap) {
+          give_ups_.fetch_add(1, std::memory_order_relaxed);
         }
         goto out;  // terminal error ends the whole vector
       }
@@ -148,8 +155,9 @@ SyscallStatus RetryAgent::syscall(AgentCall& call) {
   }
   SyscallStatus status = SymbolicSyscall::syscall(call);
   for (int attempt = 1; status < 0 && Retryable(number, status); ++attempt) {
-    if (attempt >= policy_.max_attempts) {
-      gave_up_.fetch_add(1, std::memory_order_relaxed);
+    if (attempt >= CapFor(status)) {
+      // Give up: the last real errno propagates to the application.
+      give_ups_.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     if (status == -kEIntr) {

@@ -29,6 +29,12 @@ namespace ia {
 
 struct RetryPolicy {
   int max_attempts = 16;            // per call site; progress resets the budget
+  // Per-errno-class caps; negative inherits max_attempts. When the cap for a
+  // class is exhausted the agent GIVES UP: the last real errno propagates to
+  // the application and GiveUps() counts the surrender — so retry∘chaos under
+  // a 100%-rate plan degrades to a bounded failure instead of a livelock.
+  int max_attempts_eintr = -1;      // EINTR on blocking rows
+  int max_attempts_transient = -1;  // EAGAIN / ENFILE
   int64_t backoff_start_usec = 50;  // virtual µs, doubled per attempt (capped)
   bool resume_short_transfers = true;
   bool retry_transient_errno = true;  // EAGAIN / ENFILE
@@ -45,7 +51,7 @@ class RetryAgent final : public SymbolicSyscall {
   int64_t TransientRetries() const {
     return transient_retries_.load(std::memory_order_relaxed);
   }
-  int64_t GaveUp() const { return gave_up_.load(std::memory_order_relaxed); }
+  int64_t GiveUps() const { return give_ups_.load(std::memory_order_relaxed); }
 
  protected:
   SyscallStatus syscall(AgentCall& call) override;
@@ -65,12 +71,14 @@ class RetryAgent final : public SymbolicSyscall {
   SyscallStatus ResumeVectorTransfer(AgentCall& call);
   bool Retryable(int number, SyscallStatus status) const;
   void Backoff(AgentCall& call, int attempt);
+  // The attempt cap for the errno class `status` belongs to.
+  int CapFor(SyscallStatus status) const;
 
   RetryPolicy policy_;
   std::atomic<int64_t> eintr_retries_{0};
   std::atomic<int64_t> short_resumes_{0};
   std::atomic<int64_t> transient_retries_{0};
-  std::atomic<int64_t> gave_up_{0};
+  std::atomic<int64_t> give_ups_{0};
 };
 
 }  // namespace ia

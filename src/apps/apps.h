@@ -58,6 +58,11 @@ int RingLoadMain(ProcessContext& ctx);
 // A "foreign binary": issues HP-UX-flavoured syscall numbers (needs hpux_emul).
 int HpuxHelloMain(ProcessContext& ctx);
 
+// Agent-health operator tool: prints the kernel's containment counters and
+// per-frame breaker states (containment.h) to stdout — the `uptime`-style
+// quick look at whether any interposed agent has been quarantined.
+int AgentHealthMain(ProcessContext& ctx);
+
 // --- workload construction ----------------------------------------------------
 // Installs the dissertation source tree for the Scribe run (paper Table 3-2).
 void SetupScribeWorkload(Kernel& kernel, const std::string& dir = "/home/mbj");

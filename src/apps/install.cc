@@ -1,6 +1,27 @@
 #include "src/apps/apps.h"
 
+#include "src/base/strings.h"
+
 namespace ia {
+
+int AgentHealthMain(ProcessContext& ctx) {
+  Kernel& kernel = ctx.kernel();
+  const AgentContainmentStats stats = kernel.ContainmentStats();
+  std::string out = StringPrintf(
+      "containment: %lld trap(s), %lld garbled, %lld overrun(s), %lld quarantine(s), "
+      "%lld reinstate(s)\n",
+      static_cast<long long>(stats.traps), static_cast<long long>(stats.garbled),
+      static_cast<long long>(stats.overruns), static_cast<long long>(stats.quarantines),
+      static_cast<long long>(stats.reinstates));
+  for (const FrameHealthSnapshot& snap : kernel.FrameHealthSnapshots()) {
+    out += StringPrintf("pid %lld frame %d %-10s %s (%lld calls, %lld trips)\n",
+                        static_cast<long long>(snap.pid), snap.frame, snap.agent.c_str(),
+                        BreakerStateName(snap.state), static_cast<long long>(snap.calls),
+                        static_cast<long long>(snap.trips));
+  }
+  ctx.WriteString(1, out);
+  return 0;
+}
 
 void InstallStandardPrograms(Kernel& kernel) {
   kernel.InstallProgram("/bin/echo", "echo", EchoMain);
@@ -36,6 +57,7 @@ void InstallStandardPrograms(Kernel& kernel) {
   kernel.InstallProgram("/usr/bin/andrew", "andrew", AndrewMain);
   kernel.InstallProgram("/usr/bin/ringload", "ringload", RingLoadMain);
   kernel.InstallProgram("/usr/bin/hpux_hello", "hpux_hello", HpuxHelloMain);
+  kernel.InstallProgram("/usr/bin/agent_health", "agent_health", AgentHealthMain);
 }
 
 }  // namespace ia

@@ -6,6 +6,18 @@ namespace {
 bool IsForkNumber(int number) { return number == kSysFork || number == kSysVfork; }
 bool IsExecNumber(int number) { return number == kSysExecve || number == kSysExecv; }
 
+// The kernel-visible interest a quarantined host keeps: only the fork/exec
+// bookkeeping rows, so agent propagation and exec survival stay coherent
+// while every other number routes around the frame.
+std::bitset<kMaxSyscall> BookkeepingBits() {
+  std::bitset<kMaxSyscall> bits;
+  bits.set(kSysFork);
+  bits.set(kSysVfork);
+  bits.set(kSysExecve);
+  bits.set(kSysExecv);
+  return bits;
+}
+
 }  // namespace
 
 SyscallStatus AgentCall::CallDown() {
@@ -34,12 +46,13 @@ int AgentHost::Install(ProcessContext& ctx, const AgentRef& agent) {
   frame.handler = host;
   // Bookkeeping interceptions keep the agent alive across fork and execve even
   // when the agent itself has no interest in those calls.
-  frame.syscall_interest = binding.syscalls();
-  frame.syscall_interest.set(kSysFork);
-  frame.syscall_interest.set(kSysVfork);
-  frame.syscall_interest.set(kSysExecve);
-  frame.syscall_interest.set(kSysExecv);
+  frame.syscall_interest = binding.syscalls() | BookkeepingBits();
   frame.signal_interest = binding.signals();
+  // Containment identity: PushEmulation fills pid/frame and registers the
+  // record with the kernel.
+  frame.health = std::make_shared<FrameHealth>();
+  frame.health->agent = agent->name();
+  frame.health->policy = agent->containment_policy();
   const int index = ctx.PushEmulation(std::move(frame));
   agent->OnInstalled(ctx, index);
   return index;
@@ -48,16 +61,19 @@ int AgentHost::Install(ProcessContext& ctx, const AgentRef& agent) {
 SyscallStatus AgentHost::HandleSyscall(ProcessContext& ctx, int frame, int number,
                                        const SyscallArgs& args, SyscallResult* rv) {
   if (number >= 0 && number < kMaxSyscall &&
-      agent_interest_.test(static_cast<size_t>(number))) {
+      agent_interest_.test(static_cast<size_t>(number)) &&
+      !quarantined_.load(std::memory_order_relaxed)) {
     AgentCall call(ctx, frame, number, args, rv);
     return agent_->OnSyscall(call);
   }
-  // Interception exists only for boilerplate bookkeeping; stay transparent.
+  // Interception exists only for boilerplate bookkeeping (or the frame is
+  // quarantined); stay transparent.
   return DownCall(ctx, frame, number, args, rv);
 }
 
 void AgentHost::HandleSignal(ProcessContext& ctx, int frame, int signo) {
-  if ((agent_signal_interest_ & SigMask(signo)) != 0) {
+  if ((agent_signal_interest_ & SigMask(signo)) != 0 &&
+      !quarantined_.load(std::memory_order_relaxed)) {
     AgentSignal signal(ctx, frame, signo);
     agent_->OnSignal(signal);
     return;
@@ -106,12 +122,44 @@ bool AgentHost::Refootprint(ProcessContext& ctx, const Agent* agent,
     }
     host->agent_interest_ = syscalls;
     host->agent_signal_interest_ = signals & kValidSignalsMask;
-    std::bitset<kMaxSyscall> frame_interest = syscalls;
-    frame_interest.set(kSysFork);
-    frame_interest.set(kSysVfork);
-    frame_interest.set(kSysExecve);
-    frame_interest.set(kSysExecv);
-    stack.SetInterest(i, frame_interest, host->agent_signal_interest_);
+    if (!host->quarantined_.load(std::memory_order_relaxed)) {
+      // While quarantined the kernel-visible bits stay at bookkeeping-only;
+      // the recorded interest above is what Reinstate will restore.
+      stack.SetInterest(i, syscalls | BookkeepingBits(), host->agent_signal_interest_);
+    }
+    found = true;
+  }
+  return found;
+}
+
+void AgentHost::OnQuarantine(ProcessContext& ctx, int frame) {
+  quarantined_.store(true, std::memory_order_relaxed);
+  ctx.emulation().SetInterest(frame, BookkeepingBits(), 0);
+}
+
+bool AgentHost::Reinstate(ProcessContext& ctx, const Agent* agent) {
+  EmulationStack& stack = ctx.emulation();
+  bool found = false;
+  for (int i = 0; i < stack.Depth(); ++i) {
+    auto* host = dynamic_cast<AgentHost*>(stack.At(i).handler.get());
+    if (host == nullptr || host->agent_.get() != agent ||
+        !host->quarantined_.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    host->quarantined_.store(false, std::memory_order_relaxed);
+    stack.SetInterest(i, host->agent_interest_ | BookkeepingBits(),
+                      host->agent_signal_interest_);
+    const std::shared_ptr<FrameHealth>& health = stack.At(i).health;
+    if (health != nullptr) {
+      // Half-open: the next half_open_probes calls are probes; one failure
+      // among them re-trips instantly (NoteFrameFailure), a clean run closes
+      // the breaker (NoteFrameSuccess).
+      health->streak.store(0, std::memory_order_relaxed);
+      health->probes_left.store(health->policy.half_open_probes, std::memory_order_relaxed);
+      health->state.store(static_cast<uint8_t>(BreakerState::kHalfOpen),
+                          std::memory_order_relaxed);
+      ctx.kernel().NoteReinstate(*health);
+    }
     found = true;
   }
   return found;

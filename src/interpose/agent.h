@@ -9,6 +9,7 @@
 #ifndef SRC_INTERPOSE_AGENT_H_
 #define SRC_INTERPOSE_AGENT_H_
 
+#include <atomic>
 #include <bitset>
 #include <memory>
 #include <string>
@@ -149,6 +150,12 @@ class Agent : public std::enable_shared_from_this<Agent> {
 
   // An intercepted incoming signal. Default: transparent.
   virtual void OnSignal(AgentSignal& signal) { signal.ForwardUp(); }
+
+  // Containment knobs for this agent's frames (containment.h). Install()
+  // stamps the returned policy into the frame's FrameHealth record; override
+  // to tighten the budgets (test fixtures) or loosen trip_streak. Applies to
+  // fork children too (they re-install through the same path).
+  virtual ContainmentPolicy containment_policy() const { return ContainmentPolicy{}; }
 };
 
 using AgentRef = std::shared_ptr<Agent>;
@@ -181,7 +188,22 @@ class AgentHost final : public SyscallHandler {
   static bool Refootprint(ProcessContext& ctx, const Agent* agent,
                           const std::bitset<kMaxSyscall>& syscalls, uint32_t signals);
 
+  // Containment: the breaker tripped on this host's frame. Narrows the
+  // kernel-visible interest to the fork/exec bookkeeping rows (so stack
+  // propagation and exec survival stay coherent) and stops dispatching to the
+  // agent — quarantined calls pass straight through.
+  void OnQuarantine(ProcessContext& ctx, int frame) override;
+
+  // Operator-driven recovery: reopens every quarantined frame hosting `agent`
+  // in `ctx`'s stack. The frame returns in the HALF-OPEN state — the next
+  // policy.half_open_probes calls are probes, and one failure among them
+  // re-trips instantly. Must run on the client process's own thread (same
+  // discipline as Refootprint). Returns false if no quarantined frame hosts
+  // `agent`.
+  static bool Reinstate(ProcessContext& ctx, const Agent* agent);
+
   const AgentRef& agent() const { return agent_; }
+  bool quarantined() const { return quarantined_.load(std::memory_order_relaxed); }
 
  private:
   explicit AgentHost(AgentRef agent) : agent_(std::move(agent)) {}
@@ -189,6 +211,9 @@ class AgentHost final : public SyscallHandler {
   AgentRef agent_;
   std::bitset<kMaxSyscall> agent_interest_;
   uint32_t agent_signal_interest_ = 0;
+  // Set by OnQuarantine, cleared by Reinstate. Atomic only so the flag can be
+  // read from monitoring threads; dispatch checks run on the owner thread.
+  std::atomic<bool> quarantined_{false};
 };
 
 // Spawns `options` with `agents` interposed; agents[0] ends up closest to the

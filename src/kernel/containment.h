@@ -1,0 +1,127 @@
+// The agent fault-containment plane (DESIGN.md §12).
+//
+// Every emulation frame pushed through ProcessContext::PushEmulation carries a
+// FrameHealth record. Frame handler invocations run inside a per-frame trap
+// (ProcessContext::InvokeFrame) that catches C++ exceptions, validates the
+// completion the handler produced (errno range, transfer-length sanity), and
+// charges the handler's own down-calls against a per-frame call/virtual-time
+// budget. Failures feed a per-frame circuit breaker: `trip_streak` consecutive
+// failures quarantine the frame — its interest is re-narrowed through the
+// existing SetInterest/route-generation machinery, so the quarantined handler
+// simply stops receiving application traffic while the rest of the stack (and
+// every other client) keeps running. AgentHost::Reinstate reopens a
+// quarantined frame in the half-open state: the first `half_open_probes` calls
+// are probes, and a single failure among them re-trips instantly.
+//
+// Thread-safety discipline: the identity fields (pid, frame, agent, policy)
+// are written once, before Kernel::RegisterFrameHealth publishes the record
+// (the registry mutex is the happens-before edge); everything mutable
+// afterwards is a relaxed atomic. Snapshot readers on other threads therefore
+// never race a plain field.
+#ifndef SRC_KERNEL_CONTAINMENT_H_
+#define SRC_KERNEL_CONTAINMENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/kernel/types.h"
+
+namespace ia {
+
+enum class BreakerState : uint8_t {
+  kClosed = 0,    // healthy: failures count toward the streak
+  kHalfOpen = 1,  // probing after Reinstate: one failure re-trips instantly
+  kOpen = 2,      // quarantined: the frame no longer sees application calls
+};
+
+inline const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+    case BreakerState::kOpen:
+      return "open";
+  }
+  return "?";
+}
+
+// What a contained frame failure was.
+enum class FrameFailureKind : uint8_t {
+  kTrap = 0,       // the handler threw a C++ exception
+  kGarbledResult,  // the completion failed validation (errno range / length)
+  kBudgetOverrun,  // the handler exceeded its per-call down-call/vtime budget
+};
+
+// Per-frame containment knobs. Agents supply one via Agent::containment_policy();
+// anonymous frames get the defaults. The budget caps are watchdog backstops —
+// generous enough that no legitimate agent (retry resuming a large transfer,
+// union fanning out) ever hits them, tight enough to interrupt a wrapper spin.
+struct ContainmentPolicy {
+  bool enabled = true;
+  int trip_streak = 3;            // consecutive failures that trip the breaker
+  int half_open_probes = 4;       // clean probe calls required after Reinstate
+  int64_t max_downcalls_per_call = 1 << 20;  // <0 disables the call budget
+  int64_t max_vtime_per_call_usec = -1;      // <0 disables the vtime budget
+};
+
+// The per-frame health record, shared between the emulation frame (owner),
+// the kernel's registry (weak), and whoever snapshots it.
+struct FrameHealth {
+  // Identity: written before registration, immutable afterwards.
+  Pid pid = 0;
+  int frame = -1;
+  std::string agent = "frame";
+  ContainmentPolicy policy;
+
+  // Tallies and breaker state: relaxed atomics, owner-thread mutated.
+  std::atomic<int64_t> calls{0};
+  std::atomic<int64_t> traps{0};
+  std::atomic<int64_t> garbled{0};
+  std::atomic<int64_t> overruns{0};
+  std::atomic<int64_t> trips{0};
+  std::atomic<int> streak{0};       // consecutive failures since last success
+  std::atomic<int> probes_left{0};  // half-open probes remaining
+  std::atomic<uint8_t> state{static_cast<uint8_t>(BreakerState::kClosed)};
+
+  BreakerState State() const {
+    return static_cast<BreakerState>(state.load(std::memory_order_relaxed));
+  }
+};
+
+// A point-in-time copy of one frame's health (Kernel::FrameHealthSnapshots).
+struct FrameHealthSnapshot {
+  Pid pid = 0;
+  int frame = -1;
+  std::string agent;
+  int64_t calls = 0;
+  int64_t traps = 0;
+  int64_t garbled = 0;
+  int64_t overruns = 0;
+  int64_t trips = 0;
+  int streak = 0;
+  BreakerState state = BreakerState::kClosed;
+};
+
+// Kernel-wide containment counters (Kernel::ContainmentStats).
+struct AgentContainmentStats {
+  int64_t traps = 0;             // contained handler exceptions
+  int64_t garbled = 0;           // completions rejected by validation
+  int64_t overruns = 0;          // per-call budget overruns
+  int64_t quarantines = 0;       // breaker trips (including half-open re-trips)
+  int64_t half_open_retrips = 0; // trips from the half-open state
+  int64_t reinstates = 0;        // AgentHost::Reinstate calls that reopened a frame
+};
+
+// Thrown by ProcessContext::ChargeFrameBudget out of a down-call when the
+// identified frame's per-call budget is exhausted; caught only by that frame's
+// own trap in InvokeFrame. Deliberately not a std::exception: agent code that
+// catches std::exception& must not be able to swallow its own watchdog.
+struct FrameBudgetExceeded {
+  int frame = -1;
+};
+
+}  // namespace ia
+
+#endif  // SRC_KERNEL_CONTAINMENT_H_

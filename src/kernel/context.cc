@@ -21,7 +21,203 @@ struct DepthGuard {
   ~DepthGuard() { --depth; }
 };
 
+// --- completion validation (the containment plane's garble detector) ---------
+
+// The known errno vocabulary tops out well below this (kENosys == 78); a
+// handler returning a "status" far outside it has corrupted the completion.
+constexpr int kMaxPlausibleErrno = 255;
+
+bool IsTransferNumber(int number) {
+  return number == kSysRead || number == kSysWrite || number == kSysReadv ||
+         number == kSysWritev;
+}
+
+// Bytes the application asked for, or -1 when the request itself is malformed
+// (then the kernel's own validation owns the outcome and the check is waived).
+int64_t RequestedTransferBytes(int number, const SyscallArgs& args) {
+  if (number == kSysRead || number == kSysWrite) {
+    const int64_t count = args.Long(2);
+    return count >= 0 ? count : -1;
+  }
+  const auto* iov = args.Ptr<const IoVec>(1);
+  const int iovcnt = args.Int(2);
+  if (iov == nullptr || iovcnt <= 0 || iovcnt > kMaxIoVecs) {
+    return -1;
+  }
+  int64_t total = 0;
+  for (int i = 0; i < iovcnt; ++i) {
+    if (iov[i].iov_len > 0) {
+      total += iov[i].iov_len;
+    }
+  }
+  return total;
+}
+
+// A completion a correct frame could legitimately produce: failures carry an
+// errno in the known range, and a transfer never claims more bytes than the
+// application requested. Validation sees the ORIGINAL arguments, so agents
+// that only shrink a transfer (chaos shorts, retry resumes) always pass.
+bool PlausibleCompletion(int number, const SyscallArgs& args, SyscallStatus status) {
+  if (status < 0) {
+    return status >= -kMaxPlausibleErrno;
+  }
+  if (IsTransferNumber(number)) {
+    const int64_t want = RequestedTransferBytes(number, args);
+    if (want >= 0 && status > want) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
+
+// Default quarantine action: a raw handler has no bookkeeping rows to keep, so
+// the frame's interest is cleared outright — every number (and signal) returns
+// to the remaining stack and the kernel lanes. Lives here rather than in the
+// header because emulation.h cannot see ProcessContext's definition.
+void SyscallHandler::OnQuarantine(ProcessContext& ctx, int frame) {
+  ctx.emulation().SetInterest(frame, std::bitset<kMaxSyscall>{}, 0);
+}
+
+int ProcessContext::PushEmulation(EmulationFrame frame) {
+  std::shared_ptr<FrameHealth> health = frame.health;
+  if (health == nullptr) {
+    health = std::make_shared<FrameHealth>();
+    frame.health = health;
+  }
+  // Identity is finalized before registration publishes the record; snapshot
+  // readers on other threads then only ever touch the atomics.
+  health->pid = proc_->pid;
+  const int index = proc_->emulation.Push(std::move(frame));
+  health->frame = index;
+  kernel_->RegisterFrameHealth(health);
+  return index;
+}
+
+SyscallStatus ProcessContext::InvokeFrame(int frame, int number, const SyscallArgs& args,
+                                          SyscallResult* rv) {
+  // Copies outlive any stack mutation the handler performs underneath us.
+  std::shared_ptr<SyscallHandler> handler = proc_->emulation.At(frame).handler;
+  std::shared_ptr<FrameHealth> health = proc_->emulation.At(frame).health;
+  if (health == nullptr || !health->policy.enabled) {
+    // Uncontained escape hatch: frames pushed behind PushEmulation's back, or
+    // with containment explicitly disabled, run bare.
+    return handler->HandleSyscall(*this, frame, number, args, rv);
+  }
+  health->calls.fetch_add(1, std::memory_order_relaxed);
+  bool failed = false;
+  FrameFailureKind kind = FrameFailureKind::kTrap;
+  SyscallStatus status = 0;
+  {
+    // The budget scope covers only the handler's own execution; it is popped
+    // before failure handling so the containment re-issue is never charged to
+    // the failed frame.
+    ActiveFrameBudget budget{frame, health.get(), 0, kernel_->clock().Now(), active_budget_};
+    active_budget_ = &budget;
+    struct BudgetScope {
+      ProcessContext* ctx;
+      ActiveFrameBudget* prev;
+      ~BudgetScope() { ctx->active_budget_ = prev; }
+    } scope{this, budget.prev};
+    try {
+      status = handler->HandleSyscall(*this, frame, number, args, rv);
+      if (!PlausibleCompletion(number, args, status)) {
+        failed = true;
+        kind = FrameFailureKind::kGarbledResult;
+      }
+    } catch (const ExitUnwind&) {
+      throw;  // process control flow, not a frame fault
+    } catch (const ExecveUnwind&) {
+      throw;
+    } catch (const FrameBudgetExceeded& e) {
+      if (e.frame != frame) {
+        throw;  // belongs to an enclosing frame's trap
+      }
+      failed = true;
+      kind = FrameFailureKind::kBudgetOverrun;
+    } catch (...) {
+      failed = true;
+      kind = FrameFailureKind::kTrap;
+    }
+  }
+  if (!failed) {
+    NoteFrameSuccess(*health);
+    return status;
+  }
+  NoteFrameFailure(frame, handler, health, kind, number);
+  // The frame did not produce a trustworthy completion. Re-issue the call down
+  // the remaining stack so the application still sees the correct result —
+  // containment holds whether or not the breaker has tripped yet.
+  return SyscallBelow(frame, number, args, rv);
+}
+
+void ProcessContext::ChargeFrameBudget(int frame) {
+  // Innermost matching scope only: a frame's down-calls charge that frame,
+  // even when the call then traverses further frames below it.
+  for (ActiveFrameBudget* b = active_budget_; b != nullptr; b = b->prev) {
+    if (b->frame != frame) {
+      continue;
+    }
+    const ContainmentPolicy& policy = b->health->policy;
+    b->downcalls += 1;
+    if (policy.max_downcalls_per_call >= 0 && b->downcalls > policy.max_downcalls_per_call) {
+      throw FrameBudgetExceeded{frame};
+    }
+    if (policy.max_vtime_per_call_usec >= 0 &&
+        kernel_->clock().Now() - b->vtime_start > policy.max_vtime_per_call_usec) {
+      throw FrameBudgetExceeded{frame};
+    }
+    return;
+  }
+}
+
+void ProcessContext::NoteFrameSuccess(FrameHealth& health) {
+  health.streak.store(0, std::memory_order_relaxed);
+  if (health.State() == BreakerState::kHalfOpen) {
+    // One clean probe; when the last probe passes the breaker closes fully.
+    if (health.probes_left.fetch_sub(1, std::memory_order_relaxed) <= 1) {
+      health.state.store(static_cast<uint8_t>(BreakerState::kClosed),
+                         std::memory_order_relaxed);
+    }
+  }
+}
+
+void ProcessContext::NoteFrameFailure(int frame, const std::shared_ptr<SyscallHandler>& handler,
+                                      const std::shared_ptr<FrameHealth>& health,
+                                      FrameFailureKind kind, int number) {
+  switch (kind) {
+    case FrameFailureKind::kTrap:
+      health->traps.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FrameFailureKind::kGarbledResult:
+      health->garbled.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FrameFailureKind::kBudgetOverrun:
+      health->overruns.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  kernel_->NoteFrameFault(kind);
+  const BreakerState state = health->State();
+  if (state == BreakerState::kOpen) {
+    // Already quarantined (a bookkeeping pass-through row failed); the call
+    // was still contained and re-issued, but there is nothing left to trip.
+    return;
+  }
+  const int streak = health->streak.fetch_add(1, std::memory_order_relaxed) + 1;
+  const bool half_open_retrip = state == BreakerState::kHalfOpen;
+  if (!half_open_retrip && streak < health->policy.trip_streak) {
+    return;
+  }
+  // Trip: quarantine the frame. The handler may have mutated the stack before
+  // failing, so only rewrite the slot this health record still owns.
+  health->state.store(static_cast<uint8_t>(BreakerState::kOpen), std::memory_order_relaxed);
+  health->trips.fetch_add(1, std::memory_order_relaxed);
+  if (frame < proc_->emulation.Depth() && proc_->emulation.At(frame).health == health) {
+    handler->OnQuarantine(*this, frame);
+  }
+  kernel_->NoteQuarantine(*health, number, half_open_retrip);
+}
 
 SyscallStatus ProcessContext::ExecuteRequest(const SyscallRequest& req, SyscallResult* rv) {
   DepthGuard guard(syscall_depth_);
@@ -38,11 +234,10 @@ SyscallStatus ProcessContext::ExecuteRequest(const SyscallRequest& req, SyscallR
   if (route.hops.empty()) {
     return kernel_->DoSyscall(*proc_, number, req.args, rv);
   }
+  // Copy the hop before invoking: the handler may mutate the stack, which
+  // invalidates `route`.
   const int frame = route.hops.front();
-  // Keep the handler alive across the call even if the stack is mutated
-  // below us (which also invalidates `route` — don't touch it again).
-  std::shared_ptr<SyscallHandler> handler = proc_->emulation.At(frame).handler;
-  return handler->HandleSyscall(*this, frame, number, req.args, rv);
+  return InvokeFrame(frame, number, req.args, rv);
 }
 
 SyscallStatus ProcessContext::Syscall(int number, const SyscallArgs& args, SyscallResult* rv) {
@@ -129,7 +324,28 @@ int ProcessContext::DrainRing() {
       flush();
       SyscallCompletion comp;
       comp.user_data = req.user_data;
-      comp.status = ExecuteRequest(req, &comp.result);
+      try {
+        comp.status = ExecuteRequest(req, &comp.result);
+      } catch (const ExitUnwind&) {
+        // Process control flow: complete the claimed entry (EINTR, as a call
+        // cut short at the boundary) so in_flight_ stays balanced, then let
+        // the unwind continue to the trampoline.
+        comp.status = -kEIntr;
+        comp.vtime_usec = kernel_->clock().Now();
+        ring.PushCompletion(comp);
+        throw;
+      } catch (const ExecveUnwind&) {
+        comp.status = -kEIntr;
+        comp.vtime_usec = kernel_->clock().Now();
+        ring.PushCompletion(comp);
+        throw;
+      } catch (...) {
+        // Poisoned entry: an UNCONTAINED frame (raw emulation().Push(), or
+        // containment disabled by policy) threw out of the drain. Complete
+        // the entry with EIO instead of leaving its in_flight_ slot reserved
+        // forever; the drain itself stays usable.
+        comp.status = -kEIo;
+      }
       comp.vtime_usec = kernel_->clock().Now();
       ring.PushCompletion(comp);
       ++completed;
@@ -165,6 +381,12 @@ SyscallStatus ProcessContext::SyscallBelow(int frame, int number, const SyscallA
   if (rv == nullptr) {
     rv = &local;
   }
+  if (active_budget_ != nullptr) {
+    // Watchdog: every down-call from `frame` (including DownApi::Raw, which
+    // bypasses the interpose layer entirely) charges that frame's live
+    // per-call budget. Throws FrameBudgetExceeded back to the frame's trap.
+    ChargeFrameBudget(frame);
+  }
   if (number >= 0 && number < kMaxSyscall) {
     // The route for `number` (which need not be the intercepted call — agents
     // issue their own I/O on the lower interface) lists interested frames in
@@ -172,8 +394,7 @@ SyscallStatus ProcessContext::SyscallBelow(int frame, int number, const SyscallA
     const CompiledRoute& route = proc_->emulation.RouteFor(number);
     for (const int16_t hop : route.hops) {
       if (hop < frame) {
-        std::shared_ptr<SyscallHandler> handler = proc_->emulation.At(hop).handler;
-        return handler->HandleSyscall(*this, hop, number, args, rv);
+        return InvokeFrame(hop, number, args, rv);
       }
     }
   }

@@ -90,8 +90,11 @@ class ProcessContext {
 
   // Pushes an emulation frame; returns its index. The topmost frame is closest to
   // the application. Pushing (like popping) bumps the stack generation, which
-  // invalidates every compiled dispatch route in O(1).
-  int PushEmulation(EmulationFrame frame) { return proc_->emulation.Push(std::move(frame)); }
+  // invalidates every compiled dispatch route in O(1). Attaches a FrameHealth
+  // record (creating a default one when the frame carries none) and registers
+  // it with the kernel, so the frame participates in the containment plane
+  // (containment.h); push via emulation().Push() directly to opt out.
+  int PushEmulation(EmulationFrame frame);
 
   // Removes the topmost emulation frame (task_set_emulation teardown).
   void PopEmulation() { proc_->emulation.Pop(); }
@@ -226,6 +229,33 @@ class ProcessContext {
   // (Syscall per call, DrainRing per drain) do that at depth 0.
   SyscallStatus ExecuteRequest(const SyscallRequest& req, SyscallResult* rv);
 
+  // --- containment plane (containment.h, DESIGN.md §12) -----------------------
+  // One live per-call budget scope, stack-allocated in InvokeFrame and chained
+  // through `prev` so nested frame invocations each charge their own frame.
+  struct ActiveFrameBudget {
+    int frame = -1;
+    FrameHealth* health = nullptr;
+    int64_t downcalls = 0;
+    int64_t vtime_start = 0;
+    ActiveFrameBudget* prev = nullptr;
+  };
+
+  // The per-frame trap: invokes At(frame)'s handler inside the containment
+  // trap (exception catch, completion validation, budget scope, breaker
+  // bookkeeping). On a contained failure the call is re-issued below `frame`
+  // so the application still sees a correct result. Frames without a health
+  // record (or with containment disabled) run bare.
+  SyscallStatus InvokeFrame(int frame, int number, const SyscallArgs& args, SyscallResult* rv);
+
+  // Charges one down-call against `frame`'s live budget scope (if any);
+  // throws FrameBudgetExceeded when a cap is exhausted.
+  void ChargeFrameBudget(int frame);
+
+  void NoteFrameSuccess(FrameHealth& health);
+  void NoteFrameFailure(int frame, const std::shared_ptr<SyscallHandler>& handler,
+                        const std::shared_ptr<FrameHealth>& health, FrameFailureKind kind,
+                        int number);
+
   void ProcessBoundary();  // return-to-user-mode work: pending exec, signals
   [[noreturn]] void TerminateBySignal(int signo);
 
@@ -233,6 +263,7 @@ class ProcessContext {
   Process* proc_;
   int syscall_depth_ = 0;
   int signal_depth_ = 0;
+  ActiveFrameBudget* active_budget_ = nullptr;
 };
 
 }  // namespace ia

@@ -29,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/kernel/containment.h"
 #include "src/kernel/types.h"
 
 namespace ia {
@@ -49,6 +50,14 @@ class SyscallHandler {
   // Handles an intercepted incoming signal. Forward upward (toward the application)
   // with ctx.ForwardSignal(frame, signo) to preserve delivery.
   virtual void HandleSignal(ProcessContext& ctx, int frame, int signo) = 0;
+
+  // Containment hook: invoked on the owning process's thread when this frame's
+  // circuit breaker trips (see containment.h). Implementations must re-narrow
+  // the frame's interest so the quarantined handler stops receiving
+  // application calls. The default clears the interest sets entirely;
+  // AgentHost's override keeps its fork/exec bookkeeping rows so stack
+  // propagation stays coherent. Defined in context.cc.
+  virtual void OnQuarantine(ProcessContext& ctx, int frame);
 };
 
 struct EmulationFrame {
@@ -56,6 +65,12 @@ struct EmulationFrame {
   std::bitset<kMaxSyscall> syscall_interest;
   uint32_t signal_interest = 0;
   uint64_t cookie = 0;  // opaque tag for the owner (interpose layer uses it)
+  // Containment record; attached (and a default created if absent) by
+  // ProcessContext::PushEmulation. A frame pushed directly onto the stack
+  // with EmulationStack::Push keeps a null health and runs UNCONTAINED —
+  // the deliberate escape hatch for code that must observe raw handler
+  // exceptions (and the reason the ring drain keeps its own backstop).
+  std::shared_ptr<FrameHealth> health;
 };
 
 // One compiled dispatch route: the interested frame indices for a syscall number,

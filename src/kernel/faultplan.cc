@@ -102,6 +102,30 @@ FaultDecision DecideFault(const FaultPlan& plan, uint64_t stream, uint64_t seq, 
   return decision;
 }
 
+AgentFaultAction DecideAgentFault(const FaultPlan& plan, uint64_t stream, uint64_t frame,
+                                  uint64_t seq) {
+  if (plan.agent_throw_probability <= 0 && plan.agent_garble_probability <= 0 &&
+      plan.agent_overrun_probability <= 0) {
+    return AgentFaultAction::kNone;
+  }
+  // Salt the seed so the agent-plane decision stream is independent of the
+  // kernel injector's under the same plan seed; the frame index takes the
+  // `number` slot of the mix (the acted-on call is whatever the frame
+  // intercepted — the decision must not depend on it, or retries of a failed
+  // call would re-roll).
+  Prng rng(MixDecisionKey(plan.seed ^ 0xa9e47ab1c0de5eedULL, stream, seq, frame));
+  if (plan.agent_throw_probability > 0 && rng.NextDouble() < plan.agent_throw_probability) {
+    return AgentFaultAction::kThrow;
+  }
+  if (plan.agent_garble_probability > 0 && rng.NextDouble() < plan.agent_garble_probability) {
+    return AgentFaultAction::kGarbleResult;
+  }
+  if (plan.agent_overrun_probability > 0 && rng.NextDouble() < plan.agent_overrun_probability) {
+    return AgentFaultAction::kOverrunBudget;
+  }
+  return AgentFaultAction::kNone;
+}
+
 FaultDecision FaultInjector::Decide(uint64_t stream, uint64_t seq, int number,
                                     const FaultEnv& env) {
   const FaultDecision decision = DecideFault(plan_, stream, seq, number, env);

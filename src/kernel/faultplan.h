@@ -69,8 +69,19 @@ struct FaultPlan {
   // Record a bounded per-event trace (for reproducibility assertions).
   bool record_trace = false;
 
-  // True when any knob is set; a kernel with an all-default plan installed
-  // behaves exactly like one with no plan.
+  // Agent-plane misbehavior regime (DecideAgentFault): probabilities that a
+  // deliberately faulty frame throws out of its handler, garbles its
+  // completion, or spins past its per-call down-call budget. These knobs are
+  // consumed ONLY by agent fixtures (FaultyAgent holds its own plan); the
+  // kernel injector never reads them, so they are deliberately excluded from
+  // ActiveAnywhere() — a plan carrying only agent knobs leaves the kernel's
+  // fast paths enabled.
+  double agent_throw_probability = 0.0;
+  double agent_garble_probability = 0.0;
+  double agent_overrun_probability = 0.0;
+
+  // True when any kernel-plane knob is set; a kernel with an all-default plan
+  // installed behaves exactly like one with no plan.
   bool ActiveAnywhere() const {
     return !number_rules.empty() || !class_rules.empty() || eintr_probability > 0 ||
            short_probability > 0 || fd_table_limit >= 0 || enfile_probability > 0 ||
@@ -108,6 +119,22 @@ struct FaultEnv {
 // unimplemented rows (they already fail with ENOSYS).
 FaultDecision DecideFault(const FaultPlan& plan, uint64_t stream, uint64_t seq, int number,
                           const FaultEnv& env = FaultEnv{});
+
+// What a deliberately faulty agent frame should do on one intercepted call.
+enum class AgentFaultAction : uint8_t {
+  kNone = 0,
+  kThrow,          // throw a C++ exception out of the handler
+  kGarbleResult,   // return a corrupted completion (bad errno / long transfer)
+  kOverrunBudget,  // spin in down-calls until the frame budget watchdog fires
+};
+
+// The agent-plane twin of DecideFault: a pure function of (plan.seed, stream,
+// frame, seq) — `stream` is conventionally the pid, `frame` the emulation
+// frame index — salted so its decision stream is independent of the kernel
+// injector's even under the same seed. Checked in order: throw, garble,
+// overrun.
+AgentFaultAction DecideAgentFault(const FaultPlan& plan, uint64_t stream, uint64_t frame,
+                                  uint64_t seq);
 
 // Per-syscall injected-fault counters: the FaultStats() twin of SyscallStat.
 struct FaultStat {

@@ -967,6 +967,117 @@ std::string Kernel::FaultTraceText() {
 }
 
 // ---------------------------------------------------------------------------
+// Agent fault containment (containment.h, DESIGN.md §12).
+// ---------------------------------------------------------------------------
+
+AgentContainmentStats Kernel::ContainmentStats() {
+  AgentContainmentStats stats;
+  stats.traps = containment_traps_.load(std::memory_order_relaxed);
+  stats.garbled = containment_garbled_.load(std::memory_order_relaxed);
+  stats.overruns = containment_overruns_.load(std::memory_order_relaxed);
+  stats.quarantines = containment_quarantines_.load(std::memory_order_relaxed);
+  stats.half_open_retrips = containment_retrips_.load(std::memory_order_relaxed);
+  stats.reinstates = containment_reinstates_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::vector<FrameHealthSnapshot> Kernel::FrameHealthSnapshots() {
+  std::vector<FrameHealthSnapshot> out;
+  Lock lk(health_mu_);
+  for (const std::weak_ptr<FrameHealth>& weak : frame_health_) {
+    const std::shared_ptr<FrameHealth> health = weak.lock();
+    if (health == nullptr) {
+      continue;
+    }
+    FrameHealthSnapshot snap;
+    snap.pid = health->pid;
+    snap.frame = health->frame;
+    snap.agent = health->agent;
+    snap.calls = health->calls.load(std::memory_order_relaxed);
+    snap.traps = health->traps.load(std::memory_order_relaxed);
+    snap.garbled = health->garbled.load(std::memory_order_relaxed);
+    snap.overruns = health->overruns.load(std::memory_order_relaxed);
+    snap.trips = health->trips.load(std::memory_order_relaxed);
+    snap.streak = health->streak.load(std::memory_order_relaxed);
+    snap.state = health->State();
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void Kernel::RegisterFrameHealth(const std::shared_ptr<FrameHealth>& health) {
+  Lock lk(health_mu_);
+  if (frame_health_.size() >= 64) {
+    // Amortized pruning: drop records whose frames are gone so a long-lived
+    // kernel spawning many agented processes doesn't accumulate tombstones.
+    frame_health_.erase(
+        std::remove_if(frame_health_.begin(), frame_health_.end(),
+                       [](const std::weak_ptr<FrameHealth>& w) { return w.expired(); }),
+        frame_health_.end());
+  }
+  frame_health_.push_back(health);
+}
+
+void Kernel::NoteFrameFault(FrameFailureKind kind) {
+  switch (kind) {
+    case FrameFailureKind::kTrap:
+      containment_traps_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FrameFailureKind::kGarbledResult:
+      containment_garbled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FrameFailureKind::kBudgetOverrun:
+      containment_overruns_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+void Kernel::NoteQuarantine(const FrameHealth& health, int number, bool half_open_retrip) {
+  containment_quarantines_.fetch_add(1, std::memory_order_relaxed);
+  if (half_open_retrip) {
+    containment_retrips_.fetch_add(1, std::memory_order_relaxed);
+  }
+  EmitContainmentRecord(health, KtraceEventKind::kAgentQuarantined, number);
+}
+
+void Kernel::NoteReinstate(const FrameHealth& health) {
+  containment_reinstates_.fetch_add(1, std::memory_order_relaxed);
+  EmitContainmentRecord(health, KtraceEventKind::kAgentReinstated, -1);
+}
+
+void Kernel::EmitContainmentRecord(const FrameHealth& health, KtraceEventKind kind, int number) {
+  if (ktrace_active_.load(std::memory_order_acquire) == 0) {
+    return;
+  }
+  // Sinks are not required to be thread-safe; deliver under the big lock like
+  // the syscall path does. Containment events are rare, so the lock cost is
+  // irrelevant.
+  Lock lk(mu_);
+  bool built = false;
+  KtraceRecord record;
+  for (int slot = 0; slot < kKtraceSlots; ++slot) {
+    KtraceSink* sink = ktrace_slots_[slot].sink.load(std::memory_order_acquire);
+    if (sink == nullptr) {
+      continue;
+    }
+    const uint32_t filter = ktrace_slots_[slot].filter.load(std::memory_order_acquire);
+    if ((filter & kProcess) == 0) {
+      continue;  // agent lifecycle events ride the process slice
+    }
+    if (!built) {
+      record.kind = kind;
+      record.pid = health.pid;
+      record.syscall = number;
+      record.fd = health.frame;      // frame index (documented in ktrace.h)
+      record.path = health.agent;    // agent name
+      record.vtime_usec = clock_.Now();
+      built = true;
+    }
+    sink->Record(record);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Descriptor and file syscalls.
 // ---------------------------------------------------------------------------
 

@@ -218,6 +218,28 @@ class Kernel {
   // produce byte-identical text here.
   std::string FaultTraceText();
 
+  // --- agent fault containment (containment.h, DESIGN.md §12) -------------------
+  // Kernel-wide containment counters: contained traps/garbles/overruns,
+  // quarantines (breaker trips), half-open re-trips, and reinstates.
+  AgentContainmentStats ContainmentStats();
+
+  // Point-in-time copies of every live frame-health record, registration
+  // order. Expired frames (process exited, stack cleared) are skipped.
+  std::vector<FrameHealthSnapshot> FrameHealthSnapshots();
+
+  // Called by ProcessContext::PushEmulation: publishes `health` to the
+  // registry. The registry mutex is the happens-before edge that makes the
+  // record's identity fields safe to read from snapshot threads.
+  void RegisterFrameHealth(const std::shared_ptr<FrameHealth>& health);
+
+  // Per-kind containment tallies (called on every contained frame failure).
+  void NoteFrameFault(FrameFailureKind kind);
+
+  // A frame's breaker tripped (quarantine) / was reopened by Reinstate.
+  // Both emit a kProcess-filtered ktrace record alongside the counters.
+  void NoteQuarantine(const FrameHealth& health, int number, bool half_open_retrip);
+  void NoteReinstate(const FrameHealth& health);
+
  private:
   friend class ProcessContext;
 
@@ -399,6 +421,25 @@ class Kernel {
     std::atomic<int64_t> vtime_usec{0};
   };
   AtomicSyscallStat syscall_stats_[kMaxSyscall] = {};
+
+  // --- containment plane state -------------------------------------------------
+  // Emits a kAgentQuarantined/kAgentReinstated record to every kProcess-
+  // filtered ktrace slot (no-op when no sink is attached). Takes mu_.
+  void EmitContainmentRecord(const FrameHealth& health, KtraceEventKind kind, int number);
+
+  // Event counters: rare (failures only), so contention is irrelevant.
+  std::atomic<int64_t> containment_traps_{0};
+  std::atomic<int64_t> containment_garbled_{0};
+  std::atomic<int64_t> containment_overruns_{0};
+  std::atomic<int64_t> containment_quarantines_{0};
+  std::atomic<int64_t> containment_retrips_{0};
+  std::atomic<int64_t> containment_reinstates_{0};
+
+  // Frame-health registry: weak so a process exiting (or popping frames)
+  // naturally retires its records. Guarded by health_mu_ (leaf lock; nothing
+  // is acquired while holding it).
+  std::mutex health_mu_;
+  std::vector<std::weak_ptr<FrameHealth>> frame_health_;
 };
 
 }  // namespace ia

@@ -11,12 +11,23 @@
 
 namespace ia {
 
+// What a ktrace record describes. Containment events (DESIGN.md §12) reuse
+// the record shape: `fd` carries the emulation-frame index and `path` the
+// agent name; `syscall` is the call whose failure tripped (or reopened) the
+// breaker.
+enum class KtraceEventKind : uint8_t {
+  kSyscall = 0,
+  kAgentQuarantined,  // a frame's circuit breaker tripped
+  kAgentReinstated,   // AgentHost::Reinstate reopened a frame (half-open)
+};
+
 struct KtraceRecord {
+  KtraceEventKind kind = KtraceEventKind::kSyscall;
   Pid pid = 0;
   int syscall = 0;
   int64_t result = 0;
-  int fd = -1;           // for descriptor calls
-  std::string path;      // for pathname calls (first path argument)
+  int fd = -1;           // for descriptor calls; frame index for agent events
+  std::string path;      // for pathname calls; agent name for agent events
   int64_t vtime_usec = 0;
 };
 

@@ -27,6 +27,11 @@ class DownApi {
   ProcessContext& ctx() const { return ctx_; }
   int frame() const { return frame_; }
 
+  // Every Raw() down-call (and therefore every typed wrapper below) charges
+  // the issuing frame's per-call containment budget (containment.h): an agent
+  // that spins in a wrapper making down-calls is interrupted by its frame's
+  // watchdog once the budget is exhausted, even though this path bypasses the
+  // interpose layer's own bookkeeping.
   SyscallStatus Raw(int number, const SyscallArgs& args, SyscallResult* rv) {
     // frame_ == -1 means "below everything" (signal context has no frame).
     if (frame_ < 0) {

@@ -292,6 +292,61 @@ TEST(FaultInjection, RetryMasksBothPlanesComposed) {
   EXPECT_EQ(baseline, faulted);
 }
 
+TEST(FaultInjection, RetryGivesUpUnderHundredPercentEintr) {
+  // retry∘chaos under a 100%-rate EINTR plan must degrade to a bounded
+  // failure, not a livelock: the per-class cap exhausts, GiveUps() counts the
+  // surrender, and the last real errno propagates to the application.
+  auto kernel = MakeWorld();
+  FaultPlan plan;
+  plan.seed = 0x5150;
+  plan.eintr_probability = 1.0;
+  RetryPolicy policy;
+  policy.max_attempts_eintr = 4;
+  auto retry = std::make_shared<RetryAgent>(policy);
+  const int status = RunBodyUnder(
+      *kernel, {std::make_shared<ChaosAgent>(plan), retry}, [](ProcessContext& ctx) {
+        ctx.WriteWholeFile("/tmp/victim", "payload");
+        const int fd = ctx.Open("/tmp/victim", kORdonly);
+        if (fd < 0) {
+          return 1;
+        }
+        char buf[32];
+        // Every attempt (and every retry) draws EINTR; retry must hand the
+        // errno back instead of spinning forever.
+        return ctx.Read(fd, buf, sizeof buf) == -kEIntr ? 0 : 2;
+      });
+  EXPECT_TRUE(WifExited(status));
+  EXPECT_EQ(WExitStatus(status), 0);
+  EXPECT_GT(retry->GiveUps(), 0);
+  EXPECT_GT(retry->EintrRetries(), 0);
+}
+
+TEST(FaultInjection, RetryPerClassCapsAreIndependent) {
+  // A zero EINTR cap disables those retries outright while the transient cap
+  // still inherits max_attempts — the classes budget separately.
+  auto kernel = MakeWorld();
+  FaultPlan plan;
+  plan.seed = 0x5151;
+  plan.eintr_probability = 1.0;
+  RetryPolicy policy;
+  policy.max_attempts_eintr = 1;  // one attempt, no retries
+  auto retry = std::make_shared<RetryAgent>(policy);
+  const int status = RunBodyUnder(
+      *kernel, {std::make_shared<ChaosAgent>(plan), retry}, [](ProcessContext& ctx) {
+        ctx.WriteWholeFile("/tmp/victim", "payload");
+        const int fd = ctx.Open("/tmp/victim", kORdonly);
+        if (fd < 0) {
+          return 1;
+        }
+        char buf[32];
+        return ctx.Read(fd, buf, sizeof buf) == -kEIntr ? 0 : 2;
+      });
+  EXPECT_TRUE(WifExited(status));
+  EXPECT_EQ(WExitStatus(status), 0);
+  EXPECT_EQ(retry->EintrRetries(), 0);
+  EXPECT_GT(retry->GiveUps(), 0);
+}
+
 // --- surfacing ---------------------------------------------------------------
 
 TEST(FaultInjection, MonitorReportSurfacesInjectedCounts) {

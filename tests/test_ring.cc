@@ -315,6 +315,79 @@ std::string RunMixedWorkload(ProcessContext& ctx, bool via_ring, int iterations)
   return digest;
 }
 
+// A frame pushed raw onto the emulation stack (EmulationStack::Push, null
+// health) runs UNCONTAINED — an exception out of it mid-drain must poison only
+// its own entry (error completion, in-flight slot released), never the ring.
+class ThrowingFrame final : public SyscallHandler {
+ public:
+  SyscallStatus HandleSyscall(ProcessContext& ctx, int frame, int number,
+                              const SyscallArgs& args, SyscallResult* rv) override {
+    if (number == kSysGetpid) {
+      throw std::runtime_error("poisoned entry");
+    }
+    return ctx.SyscallBelow(frame, number, args, rv);
+  }
+  void HandleSignal(ProcessContext& ctx, int frame, int signo) override {
+    ctx.ForwardSignal(frame, signo);
+  }
+};
+
+TEST(Ring, UncontainedFrameThrowMidDrainPoisonsOnlyItsEntry) {
+  auto kernel = MakeWorld();
+  const int code = ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+    ctx.WriteWholeFile("/tmp/ringp", "x");
+    EmulationFrame frame;
+    frame.handler = std::make_shared<ThrowingFrame>();
+    frame.syscall_interest.set(kSysGetpid);
+    ctx.emulation().Push(std::move(frame));  // raw push: no health, no trap
+
+    ia::Stat st{};
+    SyscallRequest reqs[3];
+    reqs[0].number = kSysStat;
+    reqs[0].user_data = 0;
+    reqs[0].args.SetPtr(0, "/tmp/ringp");
+    reqs[0].args.SetPtr(1, &st);
+    reqs[1] = GetpidReq(1);  // the poisoned entry
+    reqs[2].number = kSysStat;
+    reqs[2].user_data = 2;
+    reqs[2].args.SetPtr(0, "/tmp/ringp");
+    reqs[2].args.SetPtr(1, &st);
+
+    SyscallRing& ring = ctx.Ring(8);
+    if (ctx.SubmitBatch(reqs, 3) != 3 || ctx.DrainRing() != 3) {
+      return 1;  // the drain must complete all three, not stall at the throw
+    }
+    SyscallCompletion comps[3];
+    if (ctx.ReapBatch(comps, 3) != 3) {
+      return 2;
+    }
+    if (comps[0].user_data != 0 || comps[0].status != 0) {
+      return 3;
+    }
+    if (comps[1].user_data != 1 || comps[1].status != -kEIo) {
+      return 4;  // the error completion, not a leaked in_flight_ slot
+    }
+    if (comps[2].user_data != 2 || comps[2].status != 0) {
+      return 5;
+    }
+    if (ring.InFlight() != 0) {
+      return 6;  // a leak here would wedge the ring once capacity is reached
+    }
+    ctx.emulation().Pop();
+    // The ring stays usable after the poisoned entry.
+    SyscallRequest again = GetpidReq(7);
+    if (ctx.SubmitBatch(&again, 1) != 1 || ctx.DrainRing() != 1) {
+      return 7;
+    }
+    SyscallCompletion comp;
+    if (ctx.ReapBatch(&comp, 1) != 1 || comp.status != 0 || comp.result.rv[0] <= 0) {
+      return 8;
+    }
+    return 0;
+  });
+  EXPECT_EQ(code, 0);
+}
+
 TEST(RingDeterminism, BatchResultsIdenticalToSynchronousIssue) {
   std::string digests[2];
   for (int run = 0; run < 2; ++run) {
