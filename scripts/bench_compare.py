@@ -28,15 +28,25 @@ EXPLICIT_DIRECTION = {
     "striped_vs_single": +1,  # stripe scaling factor
     "narrowed_vs_full": +1,   # pay-per-use speedup
     "narrowed_vs_bare": -1,   # overhead factor over the agentless kernel
+    "overlap_vs_exact": +1,   # cross-stripe drain overlap speedup
+    "vs_first": +1,           # pooled-curve scaling retention vs its first point
+    "min_step_ratio": +1,     # pooled-curve monotonicity (a ratio, but higher
+                              # is better — "ratio" fragment would flip it)
 }
 # Metric-name fragments that mean "higher is better".
 HIGHER_IS_BETTER = ("per_sec", "throughput", "speedup", "hit_rate")
 # Metric-name fragments that mean "lower is better".
 LOWER_IS_BETTER = ("_us", "seconds", "ratio")
-# Numeric fields that are identity or bookkeeping, never compared.
+# Numeric fields that are identity or bookkeeping, never compared. `workers`
+# is bookkeeping, NOT identity: the pooled worker cap is host-derived, and two
+# hosts' pooled rows must still pair by client count.
 SKIP_METRICS = {
     "clients", "stripes", "syscalls", "route_lookups", "route_builds", "gate",
+    "workers", "mpsc_submitters",
 }
+# Numeric fields that ARE identity (alongside every string field): without
+# them, rows that differ only by these would collapse onto one key.
+NUMERIC_IDENTITY = ("clients", "stripes", "mpsc_submitters")
 
 
 def direction_of(name):
@@ -58,7 +68,7 @@ def row_key(row):
     """Identity of a row: every non-metric field, so reordered files pair up."""
     parts = []
     for field, value in sorted(row.items()):
-        if isinstance(value, str) or field in ("clients", "stripes"):
+        if isinstance(value, str) or field in NUMERIC_IDENTITY:
             parts.append((field, value))
     return tuple(parts)
 

@@ -27,6 +27,16 @@ case "$MODE" in
     TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
       ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+    # The MPSC submission ring is the newest lock-free structure; hammer its
+    # stress and determinism tests a few extra rounds so short races get more
+    # chances to interleave. World sizes self-cap under TSan (the tests read
+    # __has_feature(thread_sanitizer) via IA_TEST_UNDER_TSAN), so this stays
+    # fast even with the instrumentation slowdown.
+    TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+      "$BUILD_DIR"/tests/ia_tests \
+      --gtest_filter='RingUnit.Mpsc*:RingStress.*:RingDeterminism.*' \
+      --gtest_repeat=3
+
     # The scalability bench is the densest source of cross-client
     # interleavings (N clients hammering the fast paths at full speed). It
     # detects TSan and skips its perf gates — this run is for race coverage,

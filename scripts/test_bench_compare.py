@@ -58,6 +58,11 @@ class DirectionTest(unittest.TestCase):
         self.assertEqual(bench_compare.direction_of("narrowed_vs_bare"), -1)
         self.assertEqual(bench_compare.direction_of("narrowed_vs_full"), +1)
         self.assertEqual(bench_compare.direction_of("striped_vs_single"), +1)
+        self.assertEqual(bench_compare.direction_of("overlap_vs_exact"), +1)
+        self.assertEqual(bench_compare.direction_of("vs_first"), +1)
+        # min_step_ratio contains the lower-is-better "ratio" fragment, but a
+        # monotonicity ratio regresses DOWNWARD.
+        self.assertEqual(bench_compare.direction_of("min_step_ratio"), +1)
 
     def test_skip_and_unknown_metrics_are_not_compared(self):
         for name in sorted(bench_compare.SKIP_METRICS):
@@ -76,6 +81,23 @@ class RowKeyTest(unittest.TestCase):
     def test_field_order_does_not_matter(self):
         a = {"bench": "b", "op": "stat", "clients": 4, "wall_us": 1.0}
         b = {"clients": 4, "wall_us": 99.0, "op": "stat", "bench": "b"}
+        self.assertEqual(bench_compare.row_key(a), bench_compare.row_key(b))
+
+    def test_mpsc_rows_keyed_by_submitter_count(self):
+        a = {"bench": "bench_ring", "check": "mpsc_ring", "mpsc_submitters": 4,
+             "mpsc_speedup": 1.1}
+        b = {"bench": "bench_ring", "check": "mpsc_ring", "mpsc_submitters": 16,
+             "mpsc_speedup": 1.6}
+        self.assertNotEqual(bench_compare.row_key(a), bench_compare.row_key(b))
+
+    def test_pooled_rows_pair_across_differing_worker_caps(self):
+        # The worker cap is host-derived bookkeeping: a baseline from a 32-way
+        # host must pair with a candidate from an 8-way host at the same
+        # client count.
+        a = {"bench": "bench_scalability", "mode": "pooled", "clients": 256,
+             "workers": 32, "throughput_calls_per_sec": 5e6}
+        b = {"bench": "bench_scalability", "mode": "pooled", "clients": 256,
+             "workers": 8, "throughput_calls_per_sec": 4e6}
         self.assertEqual(bench_compare.row_key(a), bench_compare.row_key(b))
 
 

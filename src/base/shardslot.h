@@ -1,0 +1,32 @@
+// Per-thread shard selection for striped statistics counters.
+//
+// Hot-path tallies (total syscall counts, per-number stats, name-cache
+// hit/miss counters) used to be single shared atomics — one cache line
+// bouncing between every client thread, which is exactly the kind of hidden
+// serializer that flatlines a scalability curve. Striping them into N
+// cache-line-aligned shards indexed by a per-thread slot turns the fetch_add
+// into (mostly) core-local traffic; readers fold all shards on snapshot.
+//
+// Slots are assigned round-robin at first use per thread, process-wide: the
+// goal is only to spread concurrent writers, so sharing the assignment
+// counter across Kernel instances is harmless. The mapping is stable for a
+// thread's lifetime, which keeps a thread's increments on one shard (no
+// torn migration mid-tally).
+#ifndef SRC_BASE_SHARDSLOT_H_
+#define SRC_BASE_SHARDSLOT_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace ia {
+
+// `shard_count` must be a power of two.
+inline uint32_t StatShardSlot(uint32_t shard_count) {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot & (shard_count - 1);
+}
+
+}  // namespace ia
+
+#endif  // SRC_BASE_SHARDSLOT_H_

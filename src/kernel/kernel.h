@@ -23,7 +23,11 @@
 // SyscallRequest batches drained from a per-process submission/completion
 // ring (see ring.h): DoSyscallBatch runs each entry through the same lanes
 // but pays the dispatch prologue (clock/rusage/stats accounting) once per
-// batch instead of once per call.
+// batch instead of once per call. With batch_stripe_overlap on it may also
+// execute independent read-only kVfsRead entries grouped by tree-lock stripe
+// (one shared acquire per stripe group instead of per entry); dependent
+// entries — same fd, same pathname stripe, anything mutating — keep exact
+// submission order, and completions are always delivered in submission order.
 //
 // Lock order (outer to inner): mu_ -> tree stripe(s) (ascending index) ->
 // name cache mutex, and independently {mu_ or nothing} -> Process::mu and
@@ -73,6 +77,13 @@ struct KernelConfig {
   // rounded down to a power of two). 1 reproduces the old single
   // shared_mutex; the default spreads shared-mode readers across cache lines.
   int tree_lock_stripes = TreeLock::kDefaultStripes;
+  // Cross-stripe drain overlap (DESIGN.md §11): DoSyscallBatch may execute
+  // *independent* read-only kVfsRead entries grouped by tree-lock stripe
+  // instead of in strict submission order (dependence = same fd or same
+  // pathname stripe; mutating, agent-routed, fault-plan and ktrace entries
+  // always keep exact order). Completions are still delivered in submission
+  // order. Off reproduces the strict in-order batch dispatcher.
+  bool batch_stripe_overlap = true;
 };
 
 // Per-syscall observability counters, indexed by syscall number.
@@ -263,6 +274,36 @@ class Kernel {
   bool TryDispatchVfsRead(Process& proc, int number, const SyscallArgs& args, SyscallResult* rv,
                           SyscallStatus* out);
 
+  // --- cross-stripe drain overlap (DoSyscallBatch) ------------------------------
+  // Classification of one batch entry: read-only kVfsRead rows whose grouped
+  // (stripe-ordered) execution is provably result-identical to submission
+  // order. Fd-keyed rows (read/lseek/fstat) all derive their stripe from
+  // HintForFd, path rows from HintForPath, so two entries on the same fd or
+  // the same pathname always share a stripe — and grouping is stable within
+  // a stripe, which is what preserves every dependent pair's order. Rows that
+  // allocate or release descriptor slots (open/close) are excluded: slot
+  // numbering is order-sensitive across distinct fds.
+  struct BatchEntryPlan {
+    bool reorderable = false;
+    uint8_t stripe = 0;   // tree-lock stripe index (the group key)
+    uint64_t hint = 0;    // representative hint for the stripe lock
+    OpenFileRef file;     // pre-resolved file for fd-keyed rows
+  };
+  // Fills `plan` and returns true when the entry is reorder-eligible. The
+  // pre-checks are strict enough that ExecuteVfsReadPlanned never needs the
+  // big-lock fallback (pipes, devices and malformed args all classify as
+  // not-reorderable and run at their original position instead).
+  bool PlanVfsReadEntry(Process& proc, const SyscallRequest& req, BatchEntryPlan* plan);
+  // Executes a planned entry; the caller holds the plan's tree stripe shared.
+  SyscallStatus ExecuteVfsReadPlanned(Process& proc, const SyscallRequest& req,
+                                      const BatchEntryPlan& plan, SyscallResult* rv);
+  // The regular-file read body shared by TryDispatchVfsRead and the planned
+  // executor. Preconditions: `file` is a readable non-pipe regular/symlink
+  // inode-backed descriptor, buf != nullptr, count > 0, and the caller holds
+  // a tree stripe in shared mode.
+  SyscallStatus ReadRegularLocked(Process& proc, OpenFile& file, char* buf, int64_t count,
+                                  SyscallResult* rv);
+
   // Consults the installed fault plan for this dispatch. Returns true when the
   // call is consumed (out_status holds the injected result); on a short
   // transfer, rewrites `args` into `clamped` and leaves consumption to the
@@ -411,16 +452,29 @@ class Kernel {
   // a racing call's calls/vtime update. Quiescing the kernel (as the benches
   // and tests do) makes snapshots exact, because thread join/condvar edges
   // then order every prior relaxed store before the read.
-  std::atomic<int64_t> total_syscalls_{0};
-  // Compiled-route counters, folded in from exiting processes (FinalizeExit).
-  std::atomic<int64_t> route_lookups_{0};
-  std::atomic<int64_t> route_builds_{0};
+  //
+  // The tallies are SHARDED (DESIGN.md §11): a single shared fetch_add per
+  // call was a hidden serializer — every client bounced the same cache line,
+  // flat-lining the multi-client curve. Each dispatching thread tallies into
+  // the shard its StatShardSlot selects; readers fold all shards, so the sum
+  // semantics (and the quiesced-exactness story above) are unchanged.
+  static constexpr int kStatShards = 8;  // power of two
   struct AtomicSyscallStat {
     std::atomic<int64_t> calls{0};
     std::atomic<int64_t> errors{0};
     std::atomic<int64_t> vtime_usec{0};
   };
-  AtomicSyscallStat syscall_stats_[kMaxSyscall] = {};
+  struct alignas(64) StatShard {
+    std::atomic<int64_t> total_syscalls{0};
+    AtomicSyscallStat syscall_stats[kMaxSyscall] = {};
+  };
+  StatShard stat_shards_[kStatShards];
+  // Compiled-route counters, folded in from exiting processes (FinalizeExit):
+  // exit-rate, not call-rate, so they stay unsharded.
+  std::atomic<int64_t> route_lookups_{0};
+  std::atomic<int64_t> route_builds_{0};
+  // See KernelConfig::batch_stripe_overlap. Immutable after construction.
+  bool batch_stripe_overlap_ = true;
 
   // --- containment plane state -------------------------------------------------
   // Emits a kAgentQuarantined/kAgentReinstated record to every kProcess-

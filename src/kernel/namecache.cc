@@ -24,12 +24,13 @@ NameCache::Outcome NameCache::Lookup(const Inode& dir, std::string_view name, In
   // below is unlinked after this point the generation moves, so a Hint built
   // from this snapshot can never smuggle an unlinked node into Insert*.
   const uint64_t gen_snapshot = structure_gen_.load(std::memory_order_acquire);
+  ReadCounterShard& rc = read_shards_[StatShardSlot(kCounterShards)];
   Entry* node = BucketOf(dir.ino(), name).load(std::memory_order_acquire);
   while (node != nullptr && !(node->key.dir_ino == dir.ino() && node->key.name == name)) {
     node = node->next_hash.load(std::memory_order_acquire);
   }
   if (node == nullptr || node->dead.load(std::memory_order_acquire)) {
-    counters_.misses.fetch_add(1, std::memory_order_relaxed);
+    rc.misses.fetch_add(1, std::memory_order_relaxed);
     return Outcome::kMiss;
   }
   if (node->dir_gen.load(std::memory_order_acquire) != dir.namecache_gen) {
@@ -42,12 +43,12 @@ NameCache::Outcome NameCache::Lookup(const Inode& dir, std::string_view name, In
       hint->node = node;
       hint->gen = gen_snapshot;
     }
-    counters_.misses.fetch_add(1, std::memory_order_relaxed);
+    rc.misses.fetch_add(1, std::memory_order_relaxed);
     return Outcome::kMiss;
   }
   if (node->negative) {
     node->touched.store(true, std::memory_order_relaxed);
-    counters_.negative_hits.fetch_add(1, std::memory_order_relaxed);
+    rc.negative_hits.fetch_add(1, std::memory_order_relaxed);
     *out = nullptr;
     return Outcome::kNegativeHit;
   }
@@ -60,11 +61,11 @@ NameCache::Outcome NameCache::Lookup(const Inode& dir, std::string_view name, In
     if (!node->dead.exchange(true, std::memory_order_acq_rel)) {
       live_count_.fetch_sub(1, std::memory_order_relaxed);
     }
-    counters_.misses.fetch_add(1, std::memory_order_relaxed);
+    rc.misses.fetch_add(1, std::memory_order_relaxed);
     return Outcome::kMiss;
   }
   node->touched.store(true, std::memory_order_relaxed);  // clock bit: no list surgery on a hit
-  counters_.hits.fetch_add(1, std::memory_order_relaxed);
+  rc.hits.fetch_add(1, std::memory_order_relaxed);
   *out = std::move(child);
   return Outcome::kHit;
 }
@@ -219,9 +220,11 @@ void NameCache::Clear() {
 }
 
 void NameCache::ResetStats() {
-  counters_.hits.store(0, std::memory_order_relaxed);
-  counters_.negative_hits.store(0, std::memory_order_relaxed);
-  counters_.misses.store(0, std::memory_order_relaxed);
+  for (ReadCounterShard& shard : read_shards_) {
+    shard.hits.store(0, std::memory_order_relaxed);
+    shard.negative_hits.store(0, std::memory_order_relaxed);
+    shard.misses.store(0, std::memory_order_relaxed);
+  }
   counters_.insertions.store(0, std::memory_order_relaxed);
   counters_.evictions.store(0, std::memory_order_relaxed);
   counters_.invalidations.store(0, std::memory_order_relaxed);
@@ -229,9 +232,11 @@ void NameCache::ResetStats() {
 
 NameCacheStats NameCache::stats() const {
   NameCacheStats out;
-  out.hits = counters_.hits.load(std::memory_order_relaxed);
-  out.negative_hits = counters_.negative_hits.load(std::memory_order_relaxed);
-  out.misses = counters_.misses.load(std::memory_order_relaxed);
+  for (const ReadCounterShard& shard : read_shards_) {
+    out.hits += shard.hits.load(std::memory_order_relaxed);
+    out.negative_hits += shard.negative_hits.load(std::memory_order_relaxed);
+    out.misses += shard.misses.load(std::memory_order_relaxed);
+  }
   out.insertions = counters_.insertions.load(std::memory_order_relaxed);
   out.evictions = counters_.evictions.load(std::memory_order_relaxed);
   out.invalidations = counters_.invalidations.load(std::memory_order_relaxed);

@@ -55,6 +55,7 @@
 #include <string>
 #include <string_view>
 
+#include "src/base/shardslot.h"
 #include "src/kernel/types.h"
 
 namespace ia {
@@ -191,13 +192,23 @@ class NameCache {
 
   using EntryList = std::list<Entry>;
 
-  // Monotonic counters. Relaxed is sufficient: they order nothing — readers
-  // only ever aggregate them, and every mutation happens-before a quiescent
-  // snapshot anyway (the reader joined or observed the writers through mu_).
-  struct Counters {
+  // Read-path tallies. Every concurrent Namei walk bumps one of these per
+  // component, so a single shared cache line here serializes the otherwise
+  // lock-free hit path — they are striped into per-thread-slot shards
+  // (folded on snapshot), same scheme as the kernel's syscall stats.
+  // Relaxed is sufficient: they order nothing, and every mutation
+  // happens-before a quiescent snapshot anyway.
+  static constexpr uint32_t kCounterShards = 8;
+  struct alignas(64) ReadCounterShard {
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> negative_hits{0};
     std::atomic<uint64_t> misses{0};
+  };
+
+  // Writer-path tallies. These are bumped only on structural mutation (mu_
+  // held, or tree lock exclusive for invalidations), which is already
+  // serialized — sharding would buy nothing.
+  struct Counters {
     std::atomic<uint64_t> insertions{0};
     std::atomic<uint64_t> evictions{0};
     std::atomic<uint64_t> invalidations{0};
@@ -236,6 +247,7 @@ class NameCache {
   EntryList lru_;      // live entries; front = most recently inserted
   EntryList garbage_;  // unlinked entries awaiting a quiescent reclaim
   std::atomic<size_t> live_count_{0};
+  ReadCounterShard read_shards_[kCounterShards];
   Counters counters_;
 };
 

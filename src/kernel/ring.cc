@@ -17,74 +17,138 @@ uint32_t RoundUpPow2(uint32_t n) {
 SyscallRing::SyscallRing(uint32_t entries) {
   capacity_ = RoundUpPow2(entries < 2 ? 2 : entries);
   mask_ = capacity_ - 1;
-  sq_.slots.resize(capacity_);
-  cq_.slots.resize(capacity_);
+  sq_slots_ = std::make_unique<SqSlot[]>(capacity_);
+  for (uint32_t i = 0; i < capacity_; ++i) {
+    sq_slots_[i].seq.store(i, std::memory_order_relaxed);
+  }
+  cq_slots_.resize(capacity_);
 }
 
 bool SyscallRing::Submit(const SyscallRequest& req) {
   // in_flight_ is the single source of truth for fullness: it covers queued
-  // submissions, entries mid-drain, and unreaped completions, so reserving
-  // here guarantees both the sq slot now and the cq slot later. The acquire
-  // pairs with Reap's release decrement: observing room after a full wrap
-  // means the consumer's read of the slot about to be overwritten has
-  // completed (fetch_add RMWs extend the release sequence, so the pairing
-  // survives interleaved submits).
-  if (in_flight_.load(std::memory_order_acquire) >= capacity_) {
-    return false;
+  // submissions, entries mid-drain, and unreaped completions. The CAS makes
+  // the check-and-reserve atomic, so concurrent producers cannot both take
+  // the last slot; success with acquire pairs with Reap's release decrement,
+  // so observing room after a full wrap means the reaper's reads of the slots
+  // about to be reused have completed.
+  uint32_t cur = in_flight_.load(std::memory_order_acquire);
+  for (;;) {
+    if (cur >= capacity_) {
+      return false;
+    }
+    if (in_flight_.compare_exchange_weak(cur, cur + 1, std::memory_order_acquire,
+                                         std::memory_order_acquire)) {
+      break;
+    }
   }
-  in_flight_.fetch_add(1, std::memory_order_relaxed);
-  const uint32_t tail = sq_.tail.load(std::memory_order_relaxed);
-  sq_.slots[tail & mask_] = req;
-  sq_.tail.store(tail + 1, std::memory_order_release);
-  return true;
+  // Claim a submission slot. The reservation above bounds live producers plus
+  // undrained entries by capacity_, which guarantees the slot at the current
+  // tail has been freed by the consumer (or its freeing store is in flight),
+  // so this loop cannot stall on a genuinely full queue — only retry on a
+  // lost claim race or a not-yet-visible free.
+  uint32_t pos = sq_tail_.load(std::memory_order_relaxed);
+  for (;;) {
+    SqSlot& slot = sq_slots_[pos & mask_];
+    const uint32_t seq = slot.seq.load(std::memory_order_acquire);
+    if (seq == pos) {
+      // Free for this lap: claim it. compare_exchange reloads `pos` on
+      // failure (another producer won the slot).
+      if (sq_tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+        slot.req = req;
+        // Commit: the release publishes the slot write; the consumer's
+        // acquire load of seq is what makes the entry claimable.
+        slot.seq.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+    } else {
+      pos = sq_tail_.load(std::memory_order_relaxed);
+    }
+  }
 }
 
 uint32_t SyscallRing::SubmitBatch(const SyscallRequest* reqs, uint32_t count) {
-  uint32_t accepted = 0;
-  for (uint32_t i = 0; i < count; ++i) {
-    if (!Submit(reqs[i])) {
+  if (count == 0) {
+    return 0;
+  }
+  // One reservation for as much of the batch as fits, then one tail claim for
+  // the whole range — 2 atomic RMWs total instead of 2 per entry, which is
+  // what keeps an uncontended single client at parity with per-call issue.
+  uint32_t cur = in_flight_.load(std::memory_order_acquire);
+  uint32_t n;
+  for (;;) {
+    if (cur >= capacity_) {
+      return 0;
+    }
+    n = count < capacity_ - cur ? count : capacity_ - cur;
+    if (in_flight_.compare_exchange_weak(cur, cur + n, std::memory_order_acquire,
+                                         std::memory_order_acquire)) {
       break;
     }
-    ++accepted;
   }
-  return accepted;
+  // Unconditional range claim. The reservation bounds claimed-but-unpopped
+  // slots by capacity_ even counting this range, so every claimed slot has
+  // already been freed by the consumer — the seq spin below only waits out
+  // store propagation, never future consumer progress — and a concurrent
+  // Submit's compare_exchange on the tail composes with this fetch_add.
+  const uint32_t pos = sq_tail_.fetch_add(n, std::memory_order_relaxed);
+  for (uint32_t i = 0; i < n; ++i) {
+    SqSlot& slot = sq_slots_[(pos + i) & mask_];
+    while (slot.seq.load(std::memory_order_acquire) != pos + i) {
+    }
+    slot.req = reqs[i];
+    slot.seq.store(pos + i + 1, std::memory_order_release);
+  }
+  return n;
 }
 
 bool SyscallRing::PopRequest(SyscallRequest* out) {
-  const uint32_t head = sq_.head.load(std::memory_order_relaxed);
-  if (head == sq_.tail.load(std::memory_order_acquire)) {
+  const uint32_t head = sq_head_.load(std::memory_order_relaxed);
+  SqSlot& slot = sq_slots_[head & mask_];
+  if (slot.seq.load(std::memory_order_acquire) != head + 1) {
+    // Empty, or the next slot is claimed but not yet committed — either way
+    // nothing is consumable at the head (later committed entries stay queued
+    // until their predecessor commits, preserving claim order).
     return false;
   }
-  *out = sq_.slots[head & mask_];
-  sq_.head.store(head + 1, std::memory_order_release);
+  *out = slot.req;
+  // Free the slot for the producer that will claim it next lap.
+  slot.seq.store(head + capacity_, std::memory_order_release);
+  sq_head_.store(head + 1, std::memory_order_release);
   return true;
 }
 
 void SyscallRing::PushCompletion(const SyscallCompletion& comp) {
-  const uint32_t tail = cq_.tail.load(std::memory_order_relaxed);
-  cq_.slots[tail & mask_] = comp;
-  cq_.tail.store(tail + 1, std::memory_order_release);
+  const uint32_t tail = cq_tail_.load(std::memory_order_relaxed);
+  cq_slots_[tail & mask_] = comp;
+  cq_tail_.store(tail + 1, std::memory_order_release);
 }
 
 bool SyscallRing::Reap(SyscallCompletion* out) {
-  const uint32_t head = cq_.head.load(std::memory_order_relaxed);
-  if (head == cq_.tail.load(std::memory_order_acquire)) {
+  const uint32_t head = cq_head_.load(std::memory_order_relaxed);
+  if (head == cq_tail_.load(std::memory_order_acquire)) {
     return false;
   }
-  *out = cq_.slots[head & mask_];
-  cq_.head.store(head + 1, std::memory_order_release);
+  *out = cq_slots_[head & mask_];
+  cq_head_.store(head + 1, std::memory_order_release);
   // Release so a submitter that sees the freed capacity also sees this
-  // thread's prior pop of the sq slot it is about to reuse (see Submit).
+  // thread's prior read of the cq slot it will eventually overwrite.
   in_flight_.fetch_sub(1, std::memory_order_release);
   return true;
 }
 
 uint32_t SyscallRing::ReapBatch(SyscallCompletion* out, uint32_t max) {
-  uint32_t reaped = 0;
-  while (reaped < max && Reap(&out[reaped])) {
-    ++reaped;
+  const uint32_t head = cq_head_.load(std::memory_order_relaxed);
+  const uint32_t avail = cq_tail_.load(std::memory_order_acquire) - head;
+  const uint32_t n = max < avail ? max : avail;
+  for (uint32_t i = 0; i < n; ++i) {
+    out[i] = cq_slots_[(head + i) & mask_];
   }
-  return reaped;
+  if (n > 0) {
+    cq_head_.store(head + n, std::memory_order_release);
+    // One release decrement for the whole batch (see Reap for the ordering).
+    in_flight_.fetch_sub(n, std::memory_order_release);
+  }
+  return n;
 }
 
 }  // namespace ia

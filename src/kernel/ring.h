@@ -9,21 +9,27 @@
 // and rusage accounting, stats tallies — across a whole batch via
 // Kernel::DoSyscallBatch instead of paying it per call.
 //
-// Threading: each queue is single-producer/single-consumer with atomic
-// head/tail indices. The canonical arrangement is submitter == reaper == the
-// owning process thread (which also drains), but a *single* sibling host
-// thread may take the submission side while the owner drains and reaps —
-// that split is what the atomics buy. Multiple concurrent submitters are not
-// supported.
+// Threading: the submission queue is MULTI-producer/single-consumer, so a
+// thread-pool server can share one process's ring — any number of host
+// threads may call Submit/SubmitBatch concurrently while the owning process
+// thread drains. Producers claim a slot by CAS on the tail and commit it with
+// a per-slot published-sequence store (the Vyukov bounded-queue protocol), so
+// the single consumer only ever observes fully written entries and entries
+// drain in claim order. The completion queue stays single-producer (the
+// draining thread) / single-consumer (the reaper); reaping from multiple
+// threads is not supported.
 //
-// Capacity: Submit refuses entries once capacity() requests are in flight
-// (submitted and not yet reaped), which guarantees the drain loop always has
-// room to push a completion — completions are never dropped.
+// Capacity: Submit reserves in-flight room (submitted and not yet reaped)
+// with a CAS so concurrent producers cannot oversubscribe; the reservation
+// guarantees both a free submission slot now and completion-queue room later,
+// which is why PushCompletion can never fail and completions are never
+// dropped.
 #ifndef SRC_KERNEL_RING_H_
 #define SRC_KERNEL_RING_H_
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/kernel/types.h"
@@ -34,7 +40,7 @@ namespace ia {
 // ProcessContext::Syscall() builds one on the stack and executes it
 // immediately; a ring client enqueues a batch of them. `user_data` is an
 // opaque cookie echoed in the matching completion (completions are pushed in
-// submission order, but the cookie lets clients match without counting).
+// drain order, but the cookie lets clients match without counting).
 struct SyscallRequest {
   int32_t number = 0;
   uint64_t user_data = 0;
@@ -63,7 +69,7 @@ class SyscallRing {
 
   uint32_t capacity() const { return capacity_; }
 
-  // --- submission side (producer) --------------------------------------------
+  // --- submission side (any number of concurrent producers) -------------------
   // False when the ring is full (capacity() requests in flight).
   bool Submit(const SyscallRequest& req);
   // Enqueues as many of the `count` requests as fit; returns how many.
@@ -74,37 +80,46 @@ class SyscallRing {
   // Never fails: Submit's in-flight accounting reserved the slot.
   void PushCompletion(const SyscallCompletion& comp);
 
-  // --- reap side (consumer) ----------------------------------------------------
+  // --- reap side (single consumer) ---------------------------------------------
   bool Reap(SyscallCompletion* out);
   uint32_t ReapBatch(SyscallCompletion* out, uint32_t max);
 
   // --- introspection ------------------------------------------------------------
-  uint32_t SubmissionsPending() const { return sq_.Size(); }
-  uint32_t CompletionsPending() const { return cq_.Size(); }
+  // Claimed minus consumed; may transiently include slots a producer has
+  // claimed but not yet committed (the consumer skips those until published).
+  uint32_t SubmissionsPending() const {
+    return sq_tail_.load(std::memory_order_acquire) -
+           sq_head_.load(std::memory_order_acquire);
+  }
+  uint32_t CompletionsPending() const {
+    return cq_tail_.load(std::memory_order_acquire) -
+           cq_head_.load(std::memory_order_acquire);
+  }
   // Submitted and not yet reaped (includes entries currently being drained).
   uint32_t InFlight() const { return in_flight_.load(std::memory_order_relaxed); }
 
  private:
-  template <typename T>
-  struct Queue {
-    std::vector<T> slots;
-    // head: next index to consume; tail: next index to produce. Producer
-    // writes the slot then release-publishes tail; consumer acquire-loads
-    // tail, so the slot write is visible before the entry is claimable.
-    std::atomic<uint32_t> head{0};
-    std::atomic<uint32_t> tail{0};
-
-    uint32_t Size() const {
-      return tail.load(std::memory_order_acquire) - head.load(std::memory_order_acquire);
-    }
+  // One submission slot plus its publish sequence. The sequence encodes the
+  // slot's lap state: `seq == pos` means free for the producer claiming
+  // logical position `pos`; `seq == pos + 1` means committed and consumable;
+  // the consumer frees it for the next lap with `seq = pos + capacity`.
+  struct SqSlot {
+    std::atomic<uint32_t> seq{0};
+    SyscallRequest req;
   };
 
   uint32_t capacity_ = 0;
   uint32_t mask_ = 0;
-  Queue<SyscallRequest> sq_;
-  Queue<SyscallCompletion> cq_;
+  std::unique_ptr<SqSlot[]> sq_slots_;
+  std::vector<SyscallCompletion> cq_slots_;
+  // Hot indices on their own cache lines: producers hammer sq_tail_, the
+  // drainer owns sq_head_/cq_tail_, the reaper owns cq_head_.
+  alignas(64) std::atomic<uint32_t> sq_tail_{0};
+  alignas(64) std::atomic<uint32_t> sq_head_{0};
+  alignas(64) std::atomic<uint32_t> cq_tail_{0};
+  alignas(64) std::atomic<uint32_t> cq_head_{0};
   // Submit-side reservation counter; see the capacity comment at the top.
-  std::atomic<uint32_t> in_flight_{0};
+  alignas(64) std::atomic<uint32_t> in_flight_{0};
 };
 
 }  // namespace ia

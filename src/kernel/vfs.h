@@ -116,6 +116,12 @@ class TreeLock {
     return static_cast<uint64_t>(pid) * 61ULL + static_cast<uint64_t>(fd);
   }
 
+  // The stripe a hint selects. Exposed so the batched dispatcher can group
+  // reorderable read entries by stripe (same hint always lands on the same
+  // stripe — the property the cross-stripe drain-overlap dependence rules
+  // are built on).
+  size_t StripeOf(uint64_t hint) const { return IndexOf(hint); }
+
  private:
   size_t IndexOf(uint64_t hint) const {
     // SplitMix-style finalize so low-entropy hints (small inode numbers)

@@ -803,5 +803,414 @@ TEST(FdTableStress, LeafMutexSurvivesConcurrentMutation) {
   EXPECT_GE(observed, 0);
 }
 
+// --- MPSC submission queue ---------------------------------------------------
+
+#if defined(__SANITIZE_THREAD__)
+#define IA_TEST_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define IA_TEST_UNDER_TSAN 1
+#endif
+#endif
+#ifndef IA_TEST_UNDER_TSAN
+#define IA_TEST_UNDER_TSAN 0
+#endif
+
+TEST(RingUnit, MpscWraparoundUnderProducerContention) {
+  // Several raw producer threads hammer a tiny ring so every slot's sequence
+  // number laps many times; a consumer thread pops/completes while the main
+  // thread reaps. Every cookie must come through exactly once.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = IA_TEST_UNDER_TSAN ? 200 : 600;
+  SyscallRing ring(4);  // capacity 4: wraps (kProducers * kPerProducer) / 4 times
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&ring, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        SyscallRequest req = GetpidReq((static_cast<uint64_t>(t) << 32) | static_cast<uint64_t>(i));
+        while (!ring.Submit(req)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  constexpr uint64_t kTotal = static_cast<uint64_t>(kProducers) * kPerProducer;
+  std::thread drainer([&ring] {
+    SyscallRequest req;
+    uint64_t drained = 0;
+    while (drained < kTotal) {
+      if (!ring.PopRequest(&req)) {
+        std::this_thread::yield();
+        continue;
+      }
+      SyscallCompletion comp;
+      comp.user_data = req.user_data;
+      comp.status = 0;
+      ring.PushCompletion(comp);  // completion space is reserved: must not fail
+      ++drained;
+    }
+  });
+  // Reap on the main thread (the cq is SPSC: drainer pushes, we pop).
+  std::vector<uint32_t> next(kProducers, 0);  // per-producer FIFO check
+  uint64_t reaped = 0;
+  int bad = 0;
+  SyscallCompletion comp;
+  while (reaped < kTotal) {
+    if (!ring.Reap(&comp)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const uint32_t t = static_cast<uint32_t>(comp.user_data >> 32);
+    const uint32_t i = static_cast<uint32_t>(comp.user_data & 0xffffffffu);
+    if (t >= kProducers || i != next[t]++) {
+      ++bad;  // lost, duplicated, or reordered within one producer's stream
+    }
+    ++reaped;
+  }
+  for (std::thread& th : producers) {
+    th.join();
+  }
+  drainer.join();
+  EXPECT_EQ(bad, 0);
+  EXPECT_EQ(ring.InFlight(), 0u);
+  for (int t = 0; t < kProducers; ++t) {
+    EXPECT_EQ(next[static_cast<size_t>(t)], static_cast<uint32_t>(kPerProducer));
+  }
+}
+
+TEST(RingUnit, MpscBackpressureNeverOverfills) {
+  // Competing producers against a full ring: exactly capacity submissions are
+  // accepted, the rest are refused (no silent overwrite, no lost reservation).
+  SyscallRing ring(4);
+  constexpr int kThreads = 3;
+  constexpr int kAttemptsEach = 16;
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, &accepted, t] {
+      for (int i = 0; i < kAttemptsEach; ++i) {
+        if (ring.Submit(GetpidReq(static_cast<uint64_t>(t * 100 + i)))) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(accepted.load(), 4);
+  EXPECT_EQ(ring.InFlight(), 4u);
+  EXPECT_FALSE(ring.Submit(GetpidReq(99)));
+  // Drain one and the freed slot is claimable again.
+  SyscallRequest req;
+  ASSERT_TRUE(ring.PopRequest(&req));
+  SyscallCompletion comp;
+  comp.user_data = req.user_data;
+  ring.PushCompletion(comp);
+  ASSERT_TRUE(ring.Reap(&comp));
+  EXPECT_TRUE(ring.Submit(GetpidReq(100)));
+  EXPECT_FALSE(ring.Submit(GetpidReq(101)));
+}
+
+TEST(RingStress, ManySubmittersShareTheRingWhileOwnerDrains) {
+  // The tentpole arrangement: N sibling host threads submit concurrently into
+  // the owning process's MPSC ring while the owner drains and reaps. Each
+  // producer's stream must arrive complete, correct, and in its own order.
+  auto kernel = MakeWorld();
+  const int code = ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+    constexpr int kSubmitters = 4;
+    constexpr int kPerSubmitter = IA_TEST_UNDER_TSAN ? 100 : 400;
+    SyscallRing& ring = ctx.Ring(16);
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&ring, t] {
+        for (int i = 0; i < kPerSubmitter; ++i) {
+          BatchClient::SubmitBlocking(ring, kSysGetpid, SyscallArgs{},
+                                      (static_cast<uint64_t>(t) << 32) |
+                                          static_cast<uint64_t>(i));
+        }
+      });
+    }
+    const Pid self = ctx.Getpid();
+    uint32_t next[kSubmitters] = {};
+    int64_t reaped = 0;
+    int bad = 0;
+    SyscallCompletion comps[32];
+    while (reaped < static_cast<int64_t>(kSubmitters) * kPerSubmitter) {
+      ctx.DrainRing();
+      const uint32_t n = ctx.ReapBatch(comps, 32);
+      if (n == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (uint32_t i = 0; i < n; ++i) {
+        const uint32_t t = static_cast<uint32_t>(comps[i].user_data >> 32);
+        const uint32_t seq = static_cast<uint32_t>(comps[i].user_data & 0xffffffffu);
+        if (t >= kSubmitters || seq != next[t]++ || comps[i].status != 0 ||
+            comps[i].result.rv[0] != self) {
+          ++bad;
+        }
+      }
+      reaped += n;
+    }
+    for (std::thread& th : submitters) {
+      th.join();
+    }
+    return bad == 0 ? 0 : 1;
+  });
+  EXPECT_EQ(code, 0);
+}
+
+TEST(Ring, RingloadConcurrentSubmittersExitsClean) {
+  auto kernel = MakeWorld();
+  SpawnOptions options;
+  options.path = "/usr/bin/ringload";
+  options.argv = {"ringload", "--submitters=4", "/tmp", "8"};
+  const Pid pid = kernel->Spawn(options);
+  ASSERT_GT(pid, 0);
+  const int status = kernel->HostWaitPid(pid);
+  ASSERT_TRUE(WifExited(status));
+  EXPECT_EQ(WExitStatus(status), 0);
+}
+
+// --- cross-stripe drain overlap ----------------------------------------------
+
+// A read-heavy batch whose rows are reorderable across stripes: kFiles files
+// (distinct pathname stripes), each contributing stat + fstat + lseek + read
+// on its own descriptor, all submitted as ONE batch so the stripe-grouped
+// dispatcher actually has something to regroup. Returns a digest line per
+// completion: "index:number:status:rv0", plus the read buffers, so any
+// reordering that leaked into results (wrong offsets, swapped completions,
+// crossed fd streams) breaks the comparison.
+std::string RunReorderableBatchWorkload(ProcessContext& ctx, int iterations) {
+  constexpr int kFiles = 8;
+  std::string digest;
+  ctx.Mkdir("/ov");
+  std::vector<std::string> paths;
+  for (int f = 0; f < kFiles; ++f) {
+    paths.push_back(StringPrintf("/ov/f%d.dat", f));
+    std::string payload(256 + 16 * f, static_cast<char>('a' + f));
+    ctx.WriteWholeFile(paths.back(), payload);
+  }
+  int fds[kFiles];
+  for (int f = 0; f < kFiles; ++f) {
+    fds[f] = ctx.Open(paths[static_cast<size_t>(f)], kORdonly);
+    if (fds[f] < 0) {
+      return "open-failed";
+    }
+  }
+  BatchClient batch(ctx, /*ring_entries=*/64);
+  ia::Stat st[kFiles];
+  ia::Stat fst[kFiles];
+  char bufs[kFiles][64];
+  for (int it = 0; it < iterations; ++it) {
+    uint64_t tag = 0;
+    for (int f = 0; f < kFiles; ++f) {
+      batch.PushStat(paths[static_cast<size_t>(f)].c_str(), &st[f], tag++);
+      batch.PushFstat(fds[f], &fst[f], tag++);
+      batch.PushLseek(fds[f], static_cast<Off>((it * 7 + f) % 64), kSeekSet, tag++);
+      batch.PushRead(fds[f], bufs[f], static_cast<int64_t>(sizeof(bufs[f])), tag++);
+    }
+    batch.Flush();
+    const std::vector<SyscallCompletion>& comps = batch.completions();
+    for (size_t i = 0; i < comps.size(); ++i) {
+      digest += StringPrintf("%zu:%llu:%lld:%lld\n", i,
+                             static_cast<unsigned long long>(comps[i].user_data),
+                             static_cast<long long>(comps[i].status),
+                             static_cast<long long>(comps[i].result.rv[0]));
+    }
+    for (int f = 0; f < kFiles; ++f) {
+      digest.append(bufs[f], sizeof(bufs[f]));
+      digest += '\n';
+    }
+  }
+  for (int f = 0; f < kFiles; ++f) {
+    ctx.Close(fds[f]);
+  }
+  return digest;
+}
+
+// A pass-through frame interested in one syscall number: those rows become
+// agent-routed barriers in the drain, everything else still batches.
+class PassthroughFrame final : public SyscallHandler {
+ public:
+  SyscallStatus HandleSyscall(ProcessContext& ctx, int frame, int number,
+                              const SyscallArgs& args, SyscallResult* rv) override {
+    return ctx.SyscallBelow(frame, number, args, rv);
+  }
+  void HandleSignal(ProcessContext& ctx, int frame, int signo) override {
+    ctx.ForwardSignal(frame, signo);
+  }
+};
+
+TEST(RingDeterminism, StripeOverlapResultsIdenticalToExactOrder) {
+  // The same reorderable batch against batch_stripe_overlap on and off:
+  // stripe-grouped execution must be result-identical per fd stream —
+  // completions land at their original indices with the values exact-order
+  // dispatch would have produced.
+  std::string digests[2];
+  for (int run = 0; run < 2; ++run) {
+    KernelConfig config;
+    config.batch_stripe_overlap = run == 1;
+    Kernel kernel(config);
+    InstallStandardPrograms(kernel);
+    std::string digest;
+    const int code = ExitCodeOf(kernel, [&digest](ProcessContext& ctx) {
+      digest = RunReorderableBatchWorkload(ctx, /*iterations=*/10);
+      return 0;
+    });
+    EXPECT_EQ(code, 0);
+    digests[run] = digest;
+  }
+  EXPECT_FALSE(digests[0].empty());
+  EXPECT_NE(digests[0], "open-failed");
+  EXPECT_EQ(digests[0], digests[1]);
+}
+
+TEST(RingDeterminism, StripeOverlapWithAgentFrameIdenticalToExactOrder) {
+  // With a frame interposed on stat, every fourth row of the batch is an
+  // agent-routed barrier: the dispatcher must regroup only the windows
+  // between barriers and still produce byte-identical results.
+  std::string digests[2];
+  for (int run = 0; run < 2; ++run) {
+    KernelConfig config;
+    config.batch_stripe_overlap = run == 1;
+    Kernel kernel(config);
+    InstallStandardPrograms(kernel);
+    std::string digest;
+    const int code = ExitCodeOf(kernel, [&digest](ProcessContext& ctx) {
+      EmulationFrame frame;
+      frame.handler = std::make_shared<PassthroughFrame>();
+      frame.syscall_interest.set(kSysStat);
+      ctx.emulation().Push(std::move(frame));
+      digest = RunReorderableBatchWorkload(ctx, /*iterations=*/6);
+      ctx.emulation().Pop();
+      return 0;
+    });
+    EXPECT_EQ(code, 0);
+    digests[run] = digest;
+  }
+  EXPECT_FALSE(digests[0].empty());
+  EXPECT_EQ(digests[0], digests[1]);
+}
+
+TEST(RingDeterminism, StripeOverlapUnderFaultPlanKeepsExactOrder) {
+  // An installed FaultPlan forces the exact per-call batch path regardless of
+  // the overlap config: result digests AND the recorded fault decision stream
+  // must match between overlap-on and overlap-off kernels.
+  std::string digests[2];
+  std::string traces[2];
+  for (int run = 0; run < 2; ++run) {
+    KernelConfig config;
+    config.batch_stripe_overlap = run == 1;
+    Kernel kernel(config);
+    InstallStandardPrograms(kernel);
+    FaultPlan plan;
+    plan.seed = 0x51ab;
+    plan.eintr_probability = 0.15;
+    plan.short_probability = 0.3;
+    plan.class_rules.push_back({kTakesPath, 0.2, kENoent});
+    plan.record_trace = true;
+    kernel.SetFaultPlan(plan);
+    std::string digest;
+    const int code = ExitCodeOf(kernel, [&digest](ProcessContext& ctx) {
+      digest = RunReorderableBatchWorkload(ctx, /*iterations=*/8);
+      return 0;
+    });
+    EXPECT_EQ(code, 0);
+    digests[run] = digest;
+    traces[run] = kernel.FaultTraceText();
+  }
+  EXPECT_FALSE(traces[0].empty());
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(traces[0], traces[1]);
+}
+
+// --- sharded statistics ------------------------------------------------------
+
+TEST(KernelStats, ShardedCountersFoldExactlyAfterQuiesce) {
+  // K concurrent processes each make a known number of calls; once every one
+  // has been reaped the folded shards must recount them exactly — sharding
+  // trades live-read atomicity, never quiesced accuracy.
+  auto kernel = MakeWorld();
+  const int64_t base_total = kernel->TotalSyscallCount();
+  const std::array<SyscallStat, kMaxSyscall> base = kernel->SyscallStats();
+
+  constexpr int kProcs = 4;
+  constexpr int kCallsEach = IA_TEST_UNDER_TSAN ? 50 : 200;
+  std::vector<Pid> pids;
+  for (int p = 0; p < kProcs; ++p) {
+    SpawnOptions options;
+    options.body = [](ProcessContext& ctx) {
+      for (int i = 0; i < kCallsEach; ++i) {
+        ctx.Getpid();
+      }
+      return 0;
+    };
+    pids.push_back(kernel->Spawn(options));
+    ASSERT_GT(pids.back(), 0);
+  }
+  for (const Pid pid : pids) {
+    const int status = kernel->HostWaitPid(pid);
+    ASSERT_TRUE(WifExited(status));
+    EXPECT_EQ(WExitStatus(status), 0);
+  }
+
+  const std::array<SyscallStat, kMaxSyscall> after = kernel->SyscallStats();
+  const int64_t getpid_delta =
+      after[kSysGetpid].calls - base[kSysGetpid].calls;
+  EXPECT_EQ(getpid_delta, static_cast<int64_t>(kProcs) * kCallsEach);
+  EXPECT_EQ(after[kSysGetpid].errors, base[kSysGetpid].errors);
+  // vtime accounting rode along shard-by-shard too (GE: the virtual clock is
+  // global, so concurrent processes' advances can land inside a call's span).
+  EXPECT_GE(after[kSysGetpid].vtime_usec - base[kSysGetpid].vtime_usec,
+            getpid_delta * kernel->SyscallCost(kSysGetpid));
+  // The folded per-number calls and the folded total agree: both tallies are
+  // bumped together on every dispatch, just in per-thread shards.
+  int64_t per_number_total = 0;
+  for (int i = 0; i < kMaxSyscall; ++i) {
+    per_number_total += after[static_cast<size_t>(i)].calls - base[static_cast<size_t>(i)].calls;
+  }
+  EXPECT_EQ(kernel->TotalSyscallCount() - base_total, per_number_total);
+}
+
+TEST(KernelStats, BatchPathFoldsIntoTheSameShardedTallies) {
+  // The batched dispatcher's compact accumulator must flush into the shards
+  // with the same totals the per-call path would have produced.
+  auto kernel = MakeWorld();
+  const std::array<SyscallStat, kMaxSyscall> base = kernel->SyscallStats();
+  const int code = ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+    ctx.WriteWholeFile("/tmp/fold.dat", std::string(128, 'f'));
+    BatchClient batch(ctx, /*ring_entries=*/32);
+    ia::Stat st{};
+    char buf[64];
+    const int fd = ctx.Open("/tmp/fold.dat", kORdonly);
+    if (fd < 0) {
+      return 1;
+    }
+    for (int it = 0; it < 5; ++it) {
+      for (int i = 0; i < 4; ++i) {
+        batch.PushStat("/tmp/fold.dat", &st, 0);
+        batch.PushLseek(fd, 0, kSeekSet, 0);
+        batch.PushRead(fd, buf, static_cast<int64_t>(sizeof(buf)), 0);
+        batch.PushGetpid(0);
+      }
+      if (batch.Flush() != 16) {
+        return 2;
+      }
+    }
+    ctx.Close(fd);
+    return 0;
+  });
+  ASSERT_EQ(code, 0);
+  const std::array<SyscallStat, kMaxSyscall> after = kernel->SyscallStats();
+  EXPECT_EQ(after[kSysStat].calls - base[kSysStat].calls, 20);
+  EXPECT_EQ(after[kSysLseek].calls - base[kSysLseek].calls, 20);
+  EXPECT_EQ(after[kSysRead].calls - base[kSysRead].calls, 20);
+  EXPECT_EQ(after[kSysGetpid].calls - base[kSysGetpid].calls, 20);
+  EXPECT_EQ(after[kSysRead].vtime_usec - base[kSysRead].vtime_usec,
+            20 * kernel->SyscallCost(kSysRead));
+}
+
 }  // namespace
 }  // namespace ia
