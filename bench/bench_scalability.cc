@@ -689,6 +689,57 @@ std::vector<ia::AgentRef> MakePayPerUseStack(bool force_full_interface) {
   return agents;
 }
 
+// --- socketpair vs pipe: same-process 512-byte push/pull ------------------
+//
+// The polymorphic FileBacking refactor put pipes and AF_UNIX sockets behind
+// the same descriptor plane; the socket transfer path (peer-directed ring,
+// shutdown/peer-close accounting) must stay in the pipe path's cost class,
+// since it generalizes it. One iteration = one 512-byte write into one end
+// plus one read draining the other, so neither ring ever fills and the
+// measurement stays free of blocking.
+constexpr double kSocketpairVsPipeGate = 0.5;
+
+double MeasureTransferPairMicros(bool use_socketpair) {
+  ia::Kernel kernel;
+  double per_iter = 1e18;
+  ia::SpawnOptions options;
+  options.body = [use_socketpair, &per_iter](ia::ProcessContext& ctx) {
+    int fds[2];
+    const int err = use_socketpair
+                        ? ctx.Socketpair(ia::kAfUnix, ia::kSockStream, 0, fds)
+                        : ctx.Pipe(fds);
+    if (err != 0) {
+      return 1;
+    }
+    const int wr = use_socketpair ? fds[0] : fds[1];
+    const int rd = use_socketpair ? fds[1] : fds[0];
+    char buf[512];
+    for (char& b : buf) {
+      b = 'p';
+    }
+    const int iterations = kUnderTsan ? 4000 : 20000;
+    constexpr int64_t kLen = static_cast<int64_t>(sizeof buf);
+    for (int i = 0; i < 200; ++i) {  // warm up
+      if (ctx.Write(wr, buf, kLen) != kLen || ctx.Read(rd, buf, kLen) != kLen) {
+        return 2;
+      }
+    }
+    const int64_t start = ia::MonotonicMicros();
+    for (int i = 0; i < iterations; ++i) {
+      if (ctx.Write(wr, buf, kLen) != kLen || ctx.Read(rd, buf, kLen) != kLen) {
+        return 2;
+      }
+    }
+    per_iter = static_cast<double>(ia::MonotonicMicros() - start) / iterations;
+    return 0;
+  };
+  const int status = kernel.HostWaitPid(kernel.Spawn(options));
+  if (!ia::WifExited(status) || ia::WExitStatus(status) != 0) {
+    std::fprintf(stderr, "transfer-pair measurement process failed\n");
+  }
+  return per_iter;
+}
+
 enum class PayPerUseConfig { kNoAgents, kNarrowedStack, kFullStack };
 
 struct PayPerUseResult {
@@ -1076,6 +1127,31 @@ int main() {
     }
   }
 
+  // --- socketpair vs pipe: descriptor-plane transfer parity -----------------
+  double pipe_us = 1e18;
+  double sock_us = 1e18;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    pipe_us = std::min(pipe_us, MeasureTransferPairMicros(false));
+    sock_us = std::min(sock_us, MeasureTransferPairMicros(true));
+  }
+  const double socketpair_vs_pipe = sock_us > 0 ? pipe_us / sock_us : 0;
+  std::printf("\n  socketpair vs pipe (512-byte write+read per iteration):\n");
+  std::printf("    pipe %.3f µs/iter; socketpair %.3f µs/iter (%.2fx throughput)\n", pipe_us,
+              sock_us, socketpair_vs_pipe);
+  if (kUnderTsan) {
+    std::printf("    gate: skipped (ThreadSanitizer run)\n");
+  } else {
+    std::printf("    gate: socketpair-vs-pipe >= %.2fx (self-check: the socket transfer\n"
+                "     path must stay in the cost class of the pipe path it generalizes)\n",
+                kSocketpairVsPipeGate);
+    if (socketpair_vs_pipe < kSocketpairVsPipeGate) {
+      std::printf("    FAIL: socket transfers below %.1fx of pipe throughput — the peer\n"
+                  "    bookkeeping is dominating the ring copy\n",
+                  kSocketpairVsPipeGate);
+      ok = false;
+    }
+  }
+
   // --- machine-readable emission --------------------------------------------
   std::printf("\n");
   for (const Point& p : curve) {
@@ -1143,6 +1219,12 @@ int main() {
               bare_mix_us, narrowed_mix_us, narrowed_vs_bare,
               static_cast<long long>(narrowed_mix.route_lookups),
               static_cast<long long>(narrowed_mix.route_builds), route_hit_rate);
+
+  std::printf("{\"bench\":\"bench_scalability\",\"check\":\"socketpair_ping_pong\","
+              "\"pipe_us\":%.3f,\"socketpair_us\":%.3f,\"socketpair_vs_pipe\":%.3f,"
+              "\"gate\":%.2f,\"enforced\":%s}\n",
+              pipe_us, sock_us, socketpair_vs_pipe, kSocketpairVsPipeGate,
+              !kUnderTsan ? "true" : "false");
 
   std::printf("\n%s\n", ok ? "ALL SELF-CHECKS PASSED" : "SELF-CHECK FAILURES (see above)");
   return ok ? 0 : 1;

@@ -37,6 +37,15 @@ case "$MODE" in
       --gtest_filter='RingUnit.Mpsc*:RingStress.*:RingDeterminism.*' \
       --gtest_repeat=3
 
+    # The socket plane is the newest blocking subsystem: condvar sleeps under
+    # the big lock, cross-process peer close/EOF accounting, accept racing
+    # client-side slams, and pathname rendezvous against VFS churn. Repeat the
+    # stress suite so those windows get extra interleavings.
+    TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+      "$BUILD_DIR"/tests/ia_tests \
+      --gtest_filter='SocketStress.*:Sockets.*' \
+      --gtest_repeat=3
+
     # The scalability bench is the densest source of cross-client
     # interleavings (N clients hammering the fast paths at full speed). It
     # detects TSan and skips its perf gates — this run is for race coverage,

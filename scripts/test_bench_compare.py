@@ -63,6 +63,25 @@ class DirectionTest(unittest.TestCase):
         # min_step_ratio contains the lower-is-better "ratio" fragment, but a
         # monotonicity ratio regresses DOWNWARD.
         self.assertEqual(bench_compare.direction_of("min_step_ratio"), +1)
+        # socketpair_vs_pipe is a throughput-parity factor: no fragment
+        # matches it, so without the explicit entry it would not be compared.
+        self.assertEqual(bench_compare.direction_of("socketpair_vs_pipe"), +1)
+
+    def test_socketpair_ping_pong_row_compares(self):
+        # The emitted socketpair_ping_pong row: the *_us metrics compare as
+        # lower-is-better, the parity factor as higher-is-better, and gate /
+        # enforced stay out of both identity and metrics.
+        row = {"bench": "bench_scalability", "check": "socketpair_ping_pong",
+               "pipe_us": 1.0, "socketpair_us": 1.2, "socketpair_vs_pipe": 0.833,
+               "gate": 0.5, "enforced": True}
+        self.assertEqual(bench_compare.direction_of("pipe_us"), -1)
+        self.assertEqual(bench_compare.direction_of("socketpair_us"), -1)
+        self.assertEqual(bench_compare.direction_of("gate"), 0)
+        key = bench_compare.row_key(row)
+        self.assertIn(("bench", "bench_scalability"), key)
+        self.assertIn(("check", "socketpair_ping_pong"), key)
+        self.assertNotIn(("enforced", True), key)
+        self.assertNotIn(("gate", 0.5), key)
 
     def test_skip_and_unknown_metrics_are_not_compared(self):
         for name in sorted(bench_compare.SKIP_METRICS):
@@ -156,6 +175,17 @@ class CompareTest(unittest.TestCase):
                            [{"bench": "b", "op": "stat", "calls_per_sec": 950.0}])
         code, _ = run_main(["--threshold", "0.01", base, cand])
         self.assertEqual(code, 1)
+
+    def test_socketpair_parity_regresses_downward(self):
+        base = write_jsonl(self.dir.name, "base.json",
+                           [{"bench": "b", "check": "socketpair_ping_pong",
+                             "socketpair_vs_pipe": 1.0}])
+        cand = write_jsonl(self.dir.name, "cand.json",
+                           [{"bench": "b", "check": "socketpair_ping_pong",
+                             "socketpair_vs_pipe": 0.7}])
+        code, out = run_main([base, cand])
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSED", out)
 
     def test_advisory_always_exits_zero(self):
         base = write_jsonl(self.dir.name, "base.json",

@@ -41,6 +41,7 @@ Footprint ChaosAgent::default_footprint() const {
   }
   if (plan_.short_probability > 0) {
     fp.Add(kSysRead).Add(kSysWrite).Add(kSysReadv).Add(kSysWritev);
+    fp.Add(kSysSend).Add(kSysRecv).Add(kSysSendto).Add(kSysRecvfrom);
   }
   if (plan_.enfile_probability > 0 || plan_.fd_table_limit >= 0 ||
       plan_.disk_budget_bytes >= 0) {
@@ -93,7 +94,8 @@ SyscallStatus ChaosAgent::syscall(AgentCall& call) {
   const uint64_t seq = NextSeq(pid);
   const bool vector_row = number == kSysReadv || number == kSysWritev;
   FaultEnv env;
-  if (number == kSysRead || number == kSysWrite) {
+  if (number == kSysRead || number == kSysWrite || number == kSysSend || number == kSysRecv ||
+      number == kSysSendto || number == kSysRecvfrom) {
     env.transfer_count = call.args().Long(2);
   } else if (vector_row) {
     const auto* iov = call.args().Ptr<const IoVec>(1);

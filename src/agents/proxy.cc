@@ -1,0 +1,99 @@
+#include "src/agents/proxy.h"
+
+#include <cstring>
+
+namespace ia {
+
+namespace {
+
+// Extracts the AF_UNIX pathname bounded by addrlen; empty on anything the
+// kernel would reject anyway (wrong family, short length) — those pass
+// through untouched so the client sees the kernel's own errno.
+std::string AddrPath(const SockAddr* addr, int addrlen) {
+  if (addr == nullptr || addrlen < static_cast<int>(sizeof(int16_t)) ||
+      addr->sun_family != kAfUnix) {
+    return std::string();
+  }
+  const int cap = addrlen - static_cast<int>(sizeof(int16_t));
+  const size_t bounded = cap < 0 ? 0 : std::min<size_t>(cap, sizeof(addr->sun_path));
+  return std::string(addr->sun_path, strnlen(addr->sun_path, bounded));
+}
+
+// True when `path` equals `prefix` or lies below it.
+bool UnderPrefix(const std::string& path, const std::string& prefix) {
+  if (path.size() < prefix.size() || path.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
+  return path.size() == prefix.size() || path[prefix.size()] == '/' ||
+         prefix == "/";
+}
+
+}  // namespace
+
+bool ProxyAgent::MapAddress(const SockAddr* addr, int addrlen, SockAddr* out, int* out_len,
+                            bool* denied) {
+  *denied = false;
+  const std::string path = AddrPath(addr, addrlen);
+  if (path.empty()) {
+    return false;
+  }
+  std::string mapped = path;
+  const std::pair<std::string, std::string>* best = nullptr;
+  for (const auto& rule : policy_.rewrites) {
+    if (UnderPrefix(path, rule.first) &&
+        (best == nullptr || rule.first.size() > best->first.size())) {
+      best = &rule;
+    }
+  }
+  if (best != nullptr) {
+    mapped = best->second + path.substr(best->first.size());
+  }
+  for (const std::string& prefix : policy_.deny_prefixes) {
+    if (UnderPrefix(mapped, prefix)) {
+      *denied = true;
+      denials_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  if (best == nullptr) {
+    return false;
+  }
+  rewrites_.fetch_add(1, std::memory_order_relaxed);
+  *out_len = MakeUnixSockAddr(mapped, out);
+  return true;
+}
+
+SyscallStatus ProxyAgent::ForwardMapped(AgentCall& call, int arg_index, const SockAddr* addr,
+                                        int addrlen, SyscallStatus deny_status) {
+  SockAddr mapped;
+  int mapped_len = 0;
+  bool denied = false;
+  if (!MapAddress(addr, addrlen, &mapped, &mapped_len, &denied)) {
+    return denied ? deny_status : call.CallDown();
+  }
+  SyscallArgs args = call.args();
+  args.SetPtr(arg_index, &mapped);
+  args.SetInt(arg_index + 1, mapped_len);
+  return call.CallDown(args);
+}
+
+SyscallStatus ProxyAgent::sys_bind(AgentCall& call, int /*fd*/, const SockAddr* addr,
+                                   int addrlen) {
+  return ForwardMapped(call, 1, addr, addrlen, -kEAcces);
+}
+
+SyscallStatus ProxyAgent::sys_connect(AgentCall& call, int /*fd*/, const SockAddr* addr,
+                                      int addrlen) {
+  return ForwardMapped(call, 1, addr, addrlen, -kEConnrefused);
+}
+
+SyscallStatus ProxyAgent::sys_sendto(AgentCall& call, int /*fd*/, const void* /*buf*/,
+                                     int64_t /*cnt*/, int /*flags*/, const SockAddr* addr,
+                                     int addrlen) {
+  if (addr == nullptr) {
+    return call.CallDown();  // connected-mode send: nothing to mediate
+  }
+  return ForwardMapped(call, 4, addr, addrlen, -kEConnrefused);
+}
+
+}  // namespace ia

@@ -143,7 +143,12 @@ out:
 
 SyscallStatus RetryAgent::syscall(AgentCall& call) {
   const int number = call.number();
-  if (policy_.resume_short_transfers && (number == kSysRead || number == kSysWrite) &&
+  // The socket transfer rows share read/write's (fd, buf, count) prefix, so
+  // the same resume loop covers them; extra args (flags, sendto/recvfrom
+  // addresses) ride along in the copied arg block.
+  if (policy_.resume_short_transfers &&
+      (number == kSysRead || number == kSysWrite || number == kSysSend ||
+       number == kSysRecv || number == kSysSendto || number == kSysRecvfrom) &&
       call.args().Ptr<char>(1) != nullptr && call.args().Long(2) > 0 &&
       call.rv() != nullptr) {
     return ResumeTransfer(call);

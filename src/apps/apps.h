@@ -55,6 +55,12 @@ int AndrewMain(ProcessContext& ctx);
 // The ring-driven mixed workload (see batch.h): ringload <base-dir> <iters>.
 int RingLoadMain(ProcessContext& ctx);
 
+// The AF_UNIX client/server pair (sockserv.cc): an echo server that binds a
+// pathname and serves N connections, and the client that dials it.
+//   sockserv <path> <nclients>  /  sockclient <path> <message>
+int SockServMain(ProcessContext& ctx);
+int SockClientMain(ProcessContext& ctx);
+
 // A "foreign binary": issues HP-UX-flavoured syscall numbers (needs hpux_emul).
 int HpuxHelloMain(ProcessContext& ctx);
 

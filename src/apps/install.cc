@@ -56,6 +56,8 @@ void InstallStandardPrograms(Kernel& kernel) {
 
   kernel.InstallProgram("/usr/bin/andrew", "andrew", AndrewMain);
   kernel.InstallProgram("/usr/bin/ringload", "ringload", RingLoadMain);
+  kernel.InstallProgram("/usr/bin/sockserv", "sockserv", SockServMain);
+  kernel.InstallProgram("/usr/bin/sockclient", "sockclient", SockClientMain);
   kernel.InstallProgram("/usr/bin/hpux_hello", "hpux_hello", HpuxHelloMain);
   kernel.InstallProgram("/usr/bin/agent_health", "agent_health", AgentHealthMain);
 }

@@ -46,6 +46,16 @@ constexpr ErrnoEntry kErrnoTable[] = {
     {kEDom, "EDOM", "Numerical argument out of domain"},
     {kERange, "ERANGE", "Result too large"},
     {kEWouldblock, "EWOULDBLOCK", "Operation would block"},
+    {kENotsock, "ENOTSOCK", "Socket operation on non-socket"},
+    {kEDestaddrreq, "EDESTADDRREQ", "Destination address required"},
+    {kEMsgsize, "EMSGSIZE", "Message too long"},
+    {kEOpnotsupp, "EOPNOTSUPP", "Operation not supported"},
+    {kEAfnosupport, "EAFNOSUPPORT", "Address family not supported"},
+    {kEAddrinuse, "EADDRINUSE", "Address already in use"},
+    {kEAddrnotavail, "EADDRNOTAVAIL", "Can't assign requested address"},
+    {kEIsconn, "EISCONN", "Socket is already connected"},
+    {kENotconn, "ENOTCONN", "Socket is not connected"},
+    {kEConnrefused, "ECONNREFUSED", "Connection refused"},
     {kELoop, "ELOOP", "Too many levels of symbolic links"},
     {kENametoolong, "ENAMETOOLONG", "File name too long"},
     {kENotempty, "ENOTEMPTY", "Directory not empty"},

@@ -46,6 +46,16 @@ inline constexpr int kEPipe = 32;        // Broken pipe
 inline constexpr int kEDom = 33;         // Numerical argument out of domain
 inline constexpr int kERange = 34;       // Result too large
 inline constexpr int kEWouldblock = 35;  // Operation would block
+inline constexpr int kENotsock = 38;     // Socket operation on non-socket
+inline constexpr int kEDestaddrreq = 39; // Destination address required
+inline constexpr int kEMsgsize = 40;     // Message too long
+inline constexpr int kEOpnotsupp = 45;   // Operation not supported
+inline constexpr int kEAfnosupport = 47; // Address family not supported
+inline constexpr int kEAddrinuse = 48;   // Address already in use
+inline constexpr int kEAddrnotavail = 49;// Can't assign requested address
+inline constexpr int kEIsconn = 56;      // Socket is already connected
+inline constexpr int kENotconn = 57;     // Socket is not connected
+inline constexpr int kEConnrefused = 61; // Connection refused
 inline constexpr int kENametoolong = 63; // File name too long
 inline constexpr int kENotempty = 66;    // Directory not empty
 inline constexpr int kELoop = 62;        // Too many levels of symbolic links

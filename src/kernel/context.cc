@@ -814,6 +814,137 @@ int ProcessContext::Pipe(int fds_out[2]) {
   return 0;
 }
 
+int ProcessContext::Socket(int domain, int type, int protocol) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, domain);
+  args.SetInt(1, type);
+  args.SetInt(2, protocol);
+  return static_cast<int>(ValueOrError(Syscall(kSysSocket, args, &rv), rv));
+}
+
+int ProcessContext::Bind(int fd, const SockAddr* addr, int addrlen) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  args.SetPtr(1, addr);
+  args.SetInt(2, addrlen);
+  return Syscall(kSysBind, args, nullptr);
+}
+
+int ProcessContext::BindUnix(int fd, const std::string& path) {
+  SockAddr sa;
+  const int len = MakeUnixSockAddr(path, &sa);
+  return Bind(fd, &sa, len);
+}
+
+int ProcessContext::Connect(int fd, const SockAddr* addr, int addrlen) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  args.SetPtr(1, addr);
+  args.SetInt(2, addrlen);
+  return Syscall(kSysConnect, args, nullptr);
+}
+
+int ProcessContext::ConnectUnix(int fd, const std::string& path) {
+  SockAddr sa;
+  const int len = MakeUnixSockAddr(path, &sa);
+  return Connect(fd, &sa, len);
+}
+
+int ProcessContext::Listen(int fd, int backlog) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  args.SetInt(1, backlog);
+  return Syscall(kSysListen, args, nullptr);
+}
+
+int ProcessContext::Accept(int fd, SockAddr* addr, int* addrlen) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, fd);
+  args.SetPtr(1, addr);
+  args.SetPtr(2, addrlen);
+  return static_cast<int>(ValueOrError(Syscall(kSysAccept, args, &rv), rv));
+}
+
+int ProcessContext::Socketpair(int domain, int type, int protocol, int sv_out[2]) {
+  SyscallArgs args;
+  args.SetInt(0, domain);
+  args.SetInt(1, type);
+  args.SetInt(2, protocol);
+  args.SetPtr(3, sv_out);
+  return Syscall(kSysSocketpair, args, nullptr);
+}
+
+int64_t ProcessContext::Send(int fd, const void* buf, int64_t count, int flags) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, fd);
+  args.SetPtr(1, buf);
+  args.SetInt(2, count);
+  args.SetInt(3, flags);
+  return ValueOrError(Syscall(kSysSend, args, &rv), rv);
+}
+
+int64_t ProcessContext::Recv(int fd, void* buf, int64_t count, int flags) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, fd);
+  args.SetPtr(1, buf);
+  args.SetInt(2, count);
+  args.SetInt(3, flags);
+  return ValueOrError(Syscall(kSysRecv, args, &rv), rv);
+}
+
+int64_t ProcessContext::Sendto(int fd, const void* buf, int64_t count, int flags,
+                               const SockAddr* addr, int addrlen) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, fd);
+  args.SetPtr(1, buf);
+  args.SetInt(2, count);
+  args.SetInt(3, flags);
+  args.SetPtr(4, addr);
+  args.SetInt(5, addrlen);
+  return ValueOrError(Syscall(kSysSendto, args, &rv), rv);
+}
+
+int64_t ProcessContext::Recvfrom(int fd, void* buf, int64_t count, int flags, SockAddr* addr,
+                                 int* addrlen) {
+  SyscallArgs args;
+  SyscallResult rv;
+  args.SetInt(0, fd);
+  args.SetPtr(1, buf);
+  args.SetInt(2, count);
+  args.SetInt(3, flags);
+  args.SetPtr(4, addr);
+  args.SetPtr(5, addrlen);
+  return ValueOrError(Syscall(kSysRecvfrom, args, &rv), rv);
+}
+
+int ProcessContext::Getsockname(int fd, SockAddr* addr, int* addrlen) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  args.SetPtr(1, addr);
+  args.SetPtr(2, addrlen);
+  return Syscall(kSysGetsockname, args, nullptr);
+}
+
+int ProcessContext::Getpeername(int fd, SockAddr* addr, int* addrlen) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  args.SetPtr(1, addr);
+  args.SetPtr(2, addrlen);
+  return Syscall(kSysGetpeername, args, nullptr);
+}
+
+int ProcessContext::Shutdown(int fd, int how) {
+  SyscallArgs args;
+  args.SetInt(0, fd);
+  args.SetInt(1, how);
+  return Syscall(kSysShutdown, args, nullptr);
+}
+
 int ProcessContext::Fcntl(int fd, int cmd, int64_t arg) {
   SyscallArgs args;
   SyscallResult rv;

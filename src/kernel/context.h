@@ -160,6 +160,24 @@ class ProcessContext {
   int Ioctl(int fd, uint64_t request, void* argp);
   int Getdirentries(int fd, char* buf, int nbytes, int64_t* basep);
 
+  // AF_UNIX sockets. The *Unix variants build the SockAddr from a pathname.
+  int Socket(int domain, int type, int protocol);
+  int Bind(int fd, const SockAddr* addr, int addrlen);
+  int BindUnix(int fd, const std::string& path);
+  int Connect(int fd, const SockAddr* addr, int addrlen);
+  int ConnectUnix(int fd, const std::string& path);
+  int Listen(int fd, int backlog);
+  int Accept(int fd, SockAddr* addr = nullptr, int* addrlen = nullptr);
+  int Socketpair(int domain, int type, int protocol, int sv_out[2]);
+  int64_t Send(int fd, const void* buf, int64_t count, int flags = 0);
+  int64_t Recv(int fd, void* buf, int64_t count, int flags = 0);
+  int64_t Sendto(int fd, const void* buf, int64_t count, int flags, const SockAddr* addr,
+                 int addrlen);
+  int64_t Recvfrom(int fd, void* buf, int64_t count, int flags, SockAddr* addr, int* addrlen);
+  int Getsockname(int fd, SockAddr* addr, int* addrlen);
+  int Getpeername(int fd, SockAddr* addr, int* addrlen);
+  int Shutdown(int fd, int how);
+
   Pid Getpid();
   Pid Getppid();
   Uid Getuid();

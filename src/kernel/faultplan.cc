@@ -85,7 +85,8 @@ FaultDecision DecideFault(const FaultPlan& plan, uint64_t stream, uint64_t seq, 
     return decision;
   }
   if ((number == kSysRead || number == kSysWrite || number == kSysReadv ||
-       number == kSysWritev) &&
+       number == kSysWritev || number == kSysSend || number == kSysRecv ||
+       number == kSysSendto || number == kSysRecvfrom) &&
       env.transfer_count > 1 && plan.short_probability > 0 &&
       rng.NextDouble() < plan.short_probability) {
     decision.action = FaultAction::kShortTransfer;

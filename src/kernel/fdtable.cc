@@ -2,7 +2,8 @@
 
 namespace ia {
 
-// Destruction that releases a held flock or detaches a pipe end mutates
+// Destruction that releases a held flock — or, via the backing member's
+// destructor, detaches a pipe end or closes a socket endpoint — mutates
 // big-lock-guarded state, so every path that can drop the *last* reference to
 // such an OpenFile runs under the kernel big lock; the close fast path first
 // checks (atomically) that neither is the case before bypassing it.
@@ -14,25 +15,20 @@ OpenFile::~OpenFile() {
       inode->flock_shared -= 1;
     }
   }
-  if (pipe != nullptr) {
-    if (pipe_write_end) {
-      pipe->writers -= 1;
-    } else {
-      pipe->readers -= 1;
-    }
-  }
+}
+
+OpenFileRef MakeVnodeFile(InodeRef inode, int flags) {
+  auto file = std::make_shared<OpenFile>();
+  file->inode = std::move(inode);
+  file->backing = VnodeBacking::Instance();
+  file->flags = flags;
+  return file;
 }
 
 OpenFileRef MakePipeEnd(std::shared_ptr<Pipe> pipe, bool write_end) {
   auto file = std::make_shared<OpenFile>();
-  file->pipe = std::move(pipe);
-  file->pipe_write_end = write_end;
+  file->backing = std::make_shared<PipeBacking>(std::move(pipe), write_end);
   file->flags = write_end ? kOWronly : kORdonly;
-  if (write_end) {
-    file->pipe->writers += 1;
-  } else {
-    file->pipe->readers += 1;
-  }
   return file;
 }
 

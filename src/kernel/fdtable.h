@@ -1,8 +1,10 @@
 // Open-file objects and per-process descriptor tables.
 //
 // Matches 4.3BSD structure: a descriptor slot points at a shared "struct file"
-// (OpenFile here) carrying the offset and flags; dup() and fork() share OpenFiles,
-// so offsets move together. Pipe end lifetimes are tracked at OpenFile granularity.
+// (OpenFile here) carrying the offset, flags, and a polymorphic FileBacking
+// (vnode / pipe end / socket endpoint); dup() and fork() share OpenFiles, so
+// offsets move together. Pipe-end and socket-endpoint lifetimes are tracked at
+// OpenFile granularity by the backing's constructor/destructor.
 #ifndef SRC_KERNEL_FDTABLE_H_
 #define SRC_KERNEL_FDTABLE_H_
 
@@ -11,6 +13,7 @@
 #include <memory>
 #include <mutex>
 
+#include "src/kernel/file_backing.h"
 #include "src/kernel/pipe.h"
 #include "src/kernel/vfs.h"
 
@@ -21,8 +24,9 @@ namespace ia {
 // sharers respect, so the mutable scalar fields are atomics. Like real
 // kernels, concurrent read()/lseek() through a shared descriptor get
 // tear-free but otherwise unordered offsets (each RMW is atomic; interleaved
-// calls may observe each other in either order). `inode`/`pipe`/
-// `pipe_write_end` are set once at creation, before the object is published.
+// calls may observe each other in either order). `inode`/`backing` are set
+// once at creation, before the object is published; every kernel-created
+// OpenFile carries a backing (the factory helpers below guarantee it).
 class OpenFile {
  public:
   OpenFile() = default;
@@ -31,10 +35,14 @@ class OpenFile {
   OpenFile(const OpenFile&) = delete;
   OpenFile& operator=(const OpenFile&) = delete;
 
-  InodeRef inode;               // null for anonymous pipe ends
-  std::shared_ptr<Pipe> pipe;   // set for pipes and opened fifos
-  bool pipe_write_end = false;  // which end of `pipe` this file is
-  std::atomic<int> flags{0};    // accmode | kOAppend | kONonblock
+  // The named node behind this file, when there is one: regular files and
+  // devices always, fifos and bound sockets for identity/attributes (flock,
+  // fchdir, fstat, getdirentries). Null for anonymous pipe ends and unbound
+  // sockets.
+  InodeRef inode;
+  // The data-plane object this descriptor drives; see file_backing.h.
+  std::shared_ptr<FileBacking> backing;
+  std::atomic<int> flags{0};  // accmode | kOAppend | kONonblock
   std::atomic<Off> offset{0};
   // kLockSh or kLockEx while held via this file. Mutated only under the
   // kernel big lock; read atomically by the close fast path to decide
@@ -43,12 +51,15 @@ class OpenFile {
 
   bool CanRead() const { return (flags.load(std::memory_order_relaxed) & kOAccmode) != kOWronly; }
   bool CanWrite() const { return (flags.load(std::memory_order_relaxed) & kOAccmode) != kORdonly; }
-  bool IsPipe() const { return pipe != nullptr; }
 };
 
 using OpenFileRef = std::shared_ptr<OpenFile>;
 
-// Creates an OpenFile for a pipe end, registering it with the pipe.
+// Creates an OpenFile over the shared vnode backing.
+OpenFileRef MakeVnodeFile(InodeRef inode, int flags);
+
+// Creates an OpenFile for a pipe end, registering it with the pipe (via the
+// PipeBacking constructor).
 OpenFileRef MakePipeEnd(std::shared_ptr<Pipe> pipe, bool write_end);
 
 struct FdEntry {

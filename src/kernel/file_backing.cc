@@ -1,0 +1,226 @@
+#include "src/kernel/file_backing.h"
+
+#include "src/kernel/fdtable.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/pipe.h"
+#include "src/kernel/process.h"
+#include "src/kernel/vfs.h"
+
+namespace ia {
+
+// ---------------------------------------------------------------------------
+// The narrow kernel API (FileBacking is a friend of Kernel).
+// ---------------------------------------------------------------------------
+
+void FileBacking::SleepOnKernel(Kernel& k, KernelLock& lk) { k.cv_.wait(lk); }
+
+void FileBacking::WakeKernel(Kernel& k) { k.cv_.notify_all(); }
+
+void FileBacking::PostSignal(Kernel& k, Process& p, int signo) { k.PostSignalLocked(p, signo); }
+
+SyscallStatus FileBacking::ReadRegular(Kernel& k, Process& p, OpenFile& f, char* buf,
+                                       int64_t count, SyscallResult* rv) {
+  // read() is a kBlocking row, so DispatchLocked did not take the tree lock;
+  // hold one stripe shared around the data section to coexist with the
+  // fast-path readers and exclude writers.
+  SharedTreeLock tree(k.fs_.TreeMutex(), TreeLock::HintForIno(f.inode->ino()));
+  return k.ReadRegularLocked(p, f, buf, count, rv);
+}
+
+SyscallStatus FileBacking::WriteRegular(Kernel& k, Process& p, OpenFile& f, const char* buf,
+                                        int64_t count, SyscallResult* rv) {
+  // write() is a kBlocking row, so DispatchLocked did not take the tree lock;
+  // hold it exclusively around the resize/copy to exclude fast-path readers.
+  std::unique_lock<TreeLock> tree(k.fs_.TreeMutex());
+  return k.WriteRegularLocked(p, f, buf, count, rv);
+}
+
+// ---------------------------------------------------------------------------
+// VnodeBacking.
+// ---------------------------------------------------------------------------
+
+const std::shared_ptr<FileBacking>& VnodeBacking::Instance() {
+  static const std::shared_ptr<FileBacking> instance = std::make_shared<VnodeBacking>();
+  return instance;
+}
+
+SyscallStatus VnodeBacking::Read(Kernel& k, Process& p, OpenFile& f, char* buf, int64_t count,
+                                 SyscallResult* rv, KernelLock& /*lk*/) {
+  const InodeRef inode = f.inode;
+  if (inode == nullptr) {
+    return -kEBadf;
+  }
+  if (inode->IsDevice()) {
+    const int64_t n = inode->device->Read(buf, count, f.offset);
+    if (n > 0) {
+      f.offset += n;
+    }
+    rv->rv[0] = n;
+    return static_cast<SyscallStatus>(n);
+  }
+  return ReadRegular(k, p, f, buf, count, rv);
+}
+
+SyscallStatus VnodeBacking::Write(Kernel& k, Process& p, OpenFile& f, const char* buf,
+                                  int64_t count, SyscallResult* rv, KernelLock& /*lk*/) {
+  const InodeRef inode = f.inode;
+  if (inode == nullptr) {
+    return -kEBadf;
+  }
+  if (inode->IsDirectory()) {
+    return -kEIsdir;
+  }
+  if (inode->IsDevice()) {
+    const int64_t n = inode->device->Write(buf, count, f.offset);
+    if (n > 0) {
+      f.offset += n;
+    }
+    rv->rv[0] = n;
+    return static_cast<SyscallStatus>(n);
+  }
+  return WriteRegular(k, p, f, buf, count, rv);
+}
+
+SyscallStatus VnodeBacking::Fstat(Kernel& /*k*/, OpenFile& f, Stat* st) {
+  if (f.inode == nullptr) {
+    return -kEBadf;
+  }
+  f.inode->FillStat(st);
+  return 0;
+}
+
+SyscallStatus VnodeBacking::Lseek(Kernel& /*k*/, OpenFile& f, Off offset, int whence,
+                                  SyscallResult* rv) {
+  Off base = 0;
+  switch (whence) {
+    case kSeekSet:
+      base = 0;
+      break;
+    case kSeekCur:
+      base = f.offset;
+      break;
+    case kSeekEnd:
+      base = f.inode != nullptr ? static_cast<Off>(f.inode->data.size()) : 0;
+      break;
+    default:
+      return -kEInval;
+  }
+  // Sum in unsigned so hostile offsets near INT64_MAX cannot overflow the
+  // signed addition. Offsets past the per-file byte ceiling are rejected
+  // outright: no byte there can ever be read or written, and bounding the
+  // stored offset keeps every later offset sum overflow-free.
+  const Off target = static_cast<Off>(static_cast<uint64_t>(base) + static_cast<uint64_t>(offset));
+  if (target < 0 || target > kMaxFileBytes) {
+    return -kEInval;
+  }
+  f.offset = target;
+  rv->rv[0] = target;
+  return static_cast<SyscallStatus>(target >= 0 ? 0 : target);
+}
+
+// ---------------------------------------------------------------------------
+// PipeBacking.
+// ---------------------------------------------------------------------------
+
+PipeBacking::PipeBacking(std::shared_ptr<Pipe> pipe, bool write_end)
+    : pipe_(std::move(pipe)), write_end_(write_end) {
+  if (write_end_) {
+    pipe_->writers += 1;
+  } else {
+    pipe_->readers += 1;
+  }
+}
+
+PipeBacking::~PipeBacking() {
+  if (write_end_) {
+    pipe_->writers -= 1;
+  } else {
+    pipe_->readers -= 1;
+  }
+}
+
+SyscallStatus PipeBacking::Read(Kernel& k, Process& p, OpenFile& f, char* buf, int64_t count,
+                                SyscallResult* rv, KernelLock& lk) {
+  for (;;) {
+    if (pipe_->BytesBuffered() > 0) {
+      const int64_t n = pipe_->ReadSome(buf, count);
+      rv->rv[0] = n;
+      WakeKernel(k);
+      return static_cast<SyscallStatus>(n);
+    }
+    if (pipe_->writers == 0) {
+      rv->rv[0] = 0;
+      return 0;  // EOF
+    }
+    if ((f.flags & kONonblock) != 0) {
+      return -kEWouldblock;
+    }
+    if (p.HasDeliverableSignal()) {
+      return -kEIntr;
+    }
+    SleepOnKernel(k, lk);
+  }
+}
+
+SyscallStatus PipeBacking::Write(Kernel& k, Process& p, OpenFile& f, const char* buf,
+                                 int64_t count, SyscallResult* rv, KernelLock& lk) {
+  int64_t total = 0;
+  for (;;) {
+    if (pipe_->readers == 0) {
+      PostSignal(k, p, kSigPipe);
+      return total > 0 ? static_cast<SyscallStatus>(total) : -kEPipe;
+    }
+    const int64_t n = pipe_->WriteSome(buf + total, count - total);
+    if (n > 0) {
+      total += n;
+      WakeKernel(k);
+    }
+    if (total == count) {
+      rv->rv[0] = total;
+      return static_cast<SyscallStatus>(total);
+    }
+    if ((f.flags & kONonblock) != 0) {
+      if (total > 0) {
+        rv->rv[0] = total;
+        return static_cast<SyscallStatus>(total);
+      }
+      return -kEWouldblock;
+    }
+    if (p.HasDeliverableSignal()) {
+      if (total > 0) {
+        rv->rv[0] = total;
+        return static_cast<SyscallStatus>(total);
+      }
+      return -kEIntr;
+    }
+    SleepOnKernel(k, lk);
+  }
+}
+
+SyscallStatus PipeBacking::Fstat(Kernel& /*k*/, OpenFile& f, Stat* st) {
+  if (f.inode != nullptr) {
+    f.inode->FillStat(st);  // named fifo: the inode carries the attributes
+    return 0;
+  }
+  // Anonymous pipe.
+  *st = Stat{};
+  st->st_mode = kSIfifo | 0600;
+  st->st_size = static_cast<Off>(pipe_->BytesBuffered());
+  st->st_nlink = 1;
+  return 0;
+}
+
+SyscallStatus PipeBacking::Lseek(Kernel& /*k*/, OpenFile& /*f*/, Off /*offset*/, int /*whence*/,
+                                 SyscallResult* /*rv*/) {
+  return -kESpipe;
+}
+
+bool PipeBacking::ReadReady(const OpenFile& /*f*/) const {
+  return pipe_->BytesBuffered() > 0 || pipe_->writers == 0;
+}
+
+bool PipeBacking::WriteReady(const OpenFile& /*f*/) const {
+  return pipe_->SpaceAvailable() > 0 || pipe_->readers == 0;
+}
+
+}  // namespace ia

@@ -1,0 +1,143 @@
+// The polymorphic open-file object layer — 4.3BSD's `struct fileops` shape.
+//
+// An OpenFile no longer discriminates between an inode and a pipe end by
+// hand; it holds exactly one FileBacking, and the kernel's data-plane
+// handlers (read/write/fstat/lseek, the kVfsRead fast paths, the ring
+// batcher's reorder planner) dispatch through it. Three implementations:
+//
+//   VnodeBacking   - regular files, directories, devices (everything the VFS
+//                    tree names); stateless, shared as a singleton
+//   PipeBacking    - one end of a bounded Pipe (anonymous pipes and fifos);
+//                    registers/deregisters the end count in ctor/dtor, so
+//                    end-of-life accounting is exact at OpenFile granularity
+//   SocketBacking  - one endpoint of an AF_UNIX socket (src/kernel/socket.h)
+//
+// Blocking stays kernel-owned: a backing that must sleep parks on the
+// kernel's big-lock condition variable through the narrow protected API below
+// (FileBacking is a friend of Kernel; derived classes reach kernel internals
+// only through these hooks). Vector transfers (readv/writev) decompose onto
+// the scalar Read/Write hooks in the kernel's segment loop, as 4.3BSD's
+// fo_rw did. The close hook is the destructor: dup() and fork() share the
+// OpenFile (and therefore the backing), so the last reference dropping is
+// exactly the descriptor-object close event.
+#ifndef SRC_KERNEL_FILE_BACKING_H_
+#define SRC_KERNEL_FILE_BACKING_H_
+
+#include <memory>
+#include <mutex>
+
+#include "src/kernel/types.h"
+
+namespace ia {
+
+class Kernel;
+class OpenFile;
+class Pipe;
+class Process;
+
+// The kernel big lock as handed to blocking syscall handlers (Kernel::Lock).
+using KernelLock = std::unique_lock<std::mutex>;
+
+enum class BackingKind : uint8_t {
+  kVnode,
+  kPipe,
+  kSocket,
+};
+
+class FileBacking {
+ public:
+  virtual ~FileBacking() = default;
+
+  // Identity for the fast-path gates: only kVnode files may take the shared
+  // tree-lock read/close/reorder routes; everything else needs the big lock
+  // (its state lives behind the CV protocol).
+  virtual BackingKind kind() const = 0;
+
+  // Scalar transfer hooks. Entered from big-lock handlers with `lk` holding
+  // the big kernel lock; the caller has already validated fd/buf/count and
+  // rejected count <= 0. Vnode backings drop into tree-stripe locking
+  // internally; pipe/socket backings may sleep on `lk`.
+  virtual SyscallStatus Read(Kernel& k, Process& p, OpenFile& f, char* buf, int64_t count,
+                             SyscallResult* rv, KernelLock& lk) = 0;
+  virtual SyscallStatus Write(Kernel& k, Process& p, OpenFile& f, const char* buf, int64_t count,
+                              SyscallResult* rv, KernelLock& lk) = 0;
+
+  // fstat(2): fills `st` (never null). Files that reach a backing through a
+  // named node (regular files, fifos, bound sockets) report the inode's
+  // attributes; anonymous objects synthesize one.
+  virtual SyscallStatus Fstat(Kernel& k, OpenFile& f, Stat* st) = 0;
+
+  // lseek(2): pipe-like objects refuse with ESPIPE before whence validation
+  // (4.3BSD order); vnodes do the offset arithmetic.
+  virtual SyscallStatus Lseek(Kernel& k, OpenFile& f, Off offset, int whence,
+                              SyscallResult* rv) = 0;
+
+  // Poll-style readiness (select-shaped; also what the blocking loops test
+  // before parking). "Ready" includes terminal states — EOF and closed-peer
+  // conditions are readable/writable-with-error, never a sleep.
+  virtual bool ReadReady(const OpenFile& f) const = 0;
+  virtual bool WriteReady(const OpenFile& f) const = 0;
+
+ protected:
+  // The narrow kernel services a backing may use (the big-lock CV protocol
+  // plus the vnode data plane). FileBacking is a friend of Kernel; these are
+  // the only doors it opens to subclasses.
+  static void SleepOnKernel(Kernel& k, KernelLock& lk);
+  static void WakeKernel(Kernel& k);
+  static void PostSignal(Kernel& k, Process& p, int signo);
+  // Regular-file transfer under the proper tree-lock mode (shared stripe for
+  // reads, exclusive for writes — identical locking to the pre-backing
+  // handlers).
+  static SyscallStatus ReadRegular(Kernel& k, Process& p, OpenFile& f, char* buf, int64_t count,
+                                   SyscallResult* rv);
+  static SyscallStatus WriteRegular(Kernel& k, Process& p, OpenFile& f, const char* buf,
+                                    int64_t count, SyscallResult* rv);
+};
+
+// Regular files, directories, and devices. Stateless (all state lives on
+// OpenFile::inode), so every vnode-backed OpenFile shares one instance.
+class VnodeBacking final : public FileBacking {
+ public:
+  static const std::shared_ptr<FileBacking>& Instance();
+
+  BackingKind kind() const override { return BackingKind::kVnode; }
+  SyscallStatus Read(Kernel& k, Process& p, OpenFile& f, char* buf, int64_t count,
+                     SyscallResult* rv, KernelLock& lk) override;
+  SyscallStatus Write(Kernel& k, Process& p, OpenFile& f, const char* buf, int64_t count,
+                      SyscallResult* rv, KernelLock& lk) override;
+  SyscallStatus Fstat(Kernel& k, OpenFile& f, Stat* st) override;
+  SyscallStatus Lseek(Kernel& k, OpenFile& f, Off offset, int whence, SyscallResult* rv) override;
+  bool ReadReady(const OpenFile& /*f*/) const override { return true; }
+  bool WriteReady(const OpenFile& /*f*/) const override { return true; }
+};
+
+// One end of a bounded Pipe (anonymous pipe or fifo). Construction registers
+// the end with the pipe; destruction — always under the big lock, the close
+// fast path refuses non-vnode files — deregisters it, which is what turns
+// the last write-end close into EOF and the last read-end close into EPIPE.
+class PipeBacking final : public FileBacking {
+ public:
+  PipeBacking(std::shared_ptr<Pipe> pipe, bool write_end);
+  ~PipeBacking() override;
+
+  BackingKind kind() const override { return BackingKind::kPipe; }
+  SyscallStatus Read(Kernel& k, Process& p, OpenFile& f, char* buf, int64_t count,
+                     SyscallResult* rv, KernelLock& lk) override;
+  SyscallStatus Write(Kernel& k, Process& p, OpenFile& f, const char* buf, int64_t count,
+                      SyscallResult* rv, KernelLock& lk) override;
+  SyscallStatus Fstat(Kernel& k, OpenFile& f, Stat* st) override;
+  SyscallStatus Lseek(Kernel& k, OpenFile& f, Off offset, int whence, SyscallResult* rv) override;
+  bool ReadReady(const OpenFile& f) const override;
+  bool WriteReady(const OpenFile& f) const override;
+
+  const std::shared_ptr<Pipe>& pipe() const { return pipe_; }
+  bool write_end() const { return write_end_; }
+
+ private:
+  std::shared_ptr<Pipe> pipe_;
+  bool write_end_;
+};
+
+}  // namespace ia
+
+#endif  // SRC_KERNEL_FILE_BACKING_H_

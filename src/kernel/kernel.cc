@@ -6,6 +6,7 @@
 #include "src/base/shardslot.h"
 #include "src/base/strings.h"
 #include "src/kernel/direntry_codec.h"
+#include "src/kernel/socket.h"
 
 namespace ia {
 namespace {
@@ -120,10 +121,7 @@ Pid Kernel::Spawn(const SpawnOptions& options) {
     NameiResult tty;
     if (fs_.Namei(env, "/dev/tty", NameiOp::kLookup, true, &tty) == 0) {
       for (int fd = 0; fd <= 2; ++fd) {
-        auto file = std::make_shared<OpenFile>();
-        file->inode = tty.inode;
-        file->flags = fd == 0 ? kORdonly : kOWronly;
-        proc.fds.Set(fd, file);
+        proc.fds.Set(fd, MakeVnodeFile(tty.inode, fd == 0 ? kORdonly : kOWronly));
       }
     }
   }
@@ -828,9 +826,7 @@ bool Kernel::TryDispatchVfsRead(Process& proc, int number, const SyscallArgs& ar
         *out = fd;
         return true;
       }
-      auto file = std::make_shared<OpenFile>();
-      file->inode = inode;
-      file->flags = flags;
+      OpenFileRef file = MakeVnodeFile(inode, flags);
       if ((flags & kOAppend) != 0) {
         SharedTreeLock tree(fs_.TreeMutex(), TreeLock::HintForIno(inode->ino()));
         file->offset = static_cast<Off>(inode->data.size());
@@ -848,9 +844,11 @@ bool Kernel::TryDispatchVfsRead(Process& proc, int number, const SyscallArgs& ar
         *out = -kEBadf;
         return true;
       }
-      if (file->IsPipe() || file->flock_mode.load(std::memory_order_acquire) != 0) {
-        // Dropping the last reference would detach a pipe end or release an
-        // flock — big-lock transitions that must also wake condvar sleepers.
+      if (file->backing->kind() != BackingKind::kVnode ||
+          file->flock_mode.load(std::memory_order_acquire) != 0) {
+        // Dropping the last reference would detach a pipe end / close a socket
+        // endpoint or release an flock — big-lock transitions that must also
+        // wake condvar sleepers.
         return false;
       }
       file.reset();
@@ -880,8 +878,8 @@ bool Kernel::TryDispatchVfsRead(Process& proc, int number, const SyscallArgs& ar
         *out = 0;
         return true;
       }
-      if (file->IsPipe()) {
-        return false;  // may sleep on the condvar
+      if (file->backing->kind() != BackingKind::kVnode) {
+        return false;  // pipe/socket: may sleep on the condvar
       }
       const InodeRef inode = file->inode;
       if (inode == nullptr) {
@@ -965,8 +963,8 @@ bool Kernel::PlanVfsReadEntry(Process& proc, const SyscallRequest& req, BatchEnt
         return false;
       }
       OpenFileRef file = proc.fds.Get(req.args.Int(0));
-      if (file == nullptr || !file->CanRead() || file->IsPipe() || file->inode == nullptr ||
-          file->inode->IsDevice()) {
+      if (file == nullptr || !file->CanRead() || file->backing->kind() != BackingKind::kVnode ||
+          file->inode == nullptr || file->inode->IsDevice()) {
         return false;  // needs the big lock (or error handling) at its position
       }
       hint = reinterpret_cast<uintptr_t>(file.get());
@@ -1024,6 +1022,9 @@ bool AllocatesDescriptor(int number, const SyscallArgs& a) {
     case kSysCreat:
     case kSysDup:
     case kSysPipe:
+    case kSysSocket:
+    case kSysAccept:
+    case kSysSocketpair:
       return true;
     case kSysFcntl:
       return a.Int(1) == kFDupfd;
@@ -1040,6 +1041,7 @@ bool AllocatesNode(int number, const SyscallArgs& a) {
     case kSysMkdir:
     case kSysSymlink:
     case kSysMknod:
+    case kSysBind:  // binds mint a socket node at the given pathname
       return true;
     case kSysOpen:
       return (a.Int(1) & kOCreat) != 0;
@@ -1060,7 +1062,8 @@ bool Kernel::MaybeInjectFaultLocked(Process& p, int number, const SyscallArgs& a
     env.open_fds = p.fds.OpenCount();
   }
   env.fs_bytes = fs_.total_bytes();
-  if (number == kSysRead || number == kSysWrite) {
+  if (number == kSysRead || number == kSysWrite || number == kSysSend || number == kSysRecv ||
+      number == kSysSendto || number == kSysRecvfrom) {
     env.transfer_count = a.Long(2);
   } else if (number == kSysReadv || number == kSysWritev) {
     // Vector rows expose their summed byte count so the short-transfer regime
@@ -1305,9 +1308,7 @@ SyscallStatus Kernel::SysOpen(Process& p, const SyscallArgs& a, SyscallResult* r
     file->inode = inode;
     file->flags = flags;
   } else {
-    file = std::make_shared<OpenFile>();
-    file->inode = inode;
-    file->flags = flags;
+    file = MakeVnodeFile(inode, flags);
     if ((flags & kOAppend) != 0) {
       file->offset = static_cast<Off>(inode->data.size());
     }
@@ -1349,61 +1350,7 @@ SyscallStatus Kernel::SysRead(Process& p, const SyscallArgs& a, SyscallResult* r
     rv->rv[0] = 0;
     return 0;
   }
-
-  if (file->IsPipe()) {
-    for (;;) {
-      if (file->pipe->BytesBuffered() > 0) {
-        const int64_t n = file->pipe->ReadSome(buf, count);
-        rv->rv[0] = n;
-        cv_.notify_all();
-        return static_cast<SyscallStatus>(n);
-      }
-      if (file->pipe->writers == 0) {
-        rv->rv[0] = 0;
-        return 0;  // EOF
-      }
-      if ((file->flags & kONonblock) != 0) {
-        return -kEWouldblock;
-      }
-      if (p.HasDeliverableSignal()) {
-        return -kEIntr;
-      }
-      cv_.wait(lk);
-    }
-  }
-
-  const InodeRef inode = file->inode;
-  if (inode == nullptr) {
-    return -kEBadf;
-  }
-  if (inode->IsDirectory()) {
-    return -kEIsdir;
-  }
-  if (inode->IsDevice()) {
-    const int64_t n = inode->device->Read(buf, count, file->offset);
-    if (n > 0) {
-      file->offset += n;
-    }
-    rv->rv[0] = n;
-    return static_cast<SyscallStatus>(n);
-  }
-  // Regular file. read() is a kBlocking row, so DispatchLocked did not take
-  // the tree lock for us; hold one stripe shared around the data section to
-  // coexist with the fast-path readers and exclude writers.
-  SharedTreeLock tree(fs_.TreeMutex(), TreeLock::HintForIno(inode->ino()));
-  const Off off = file->offset.load(std::memory_order_relaxed);
-  const int64_t size = static_cast<int64_t>(inode->data.size());
-  const int64_t avail = size - off;
-  const int64_t n = avail <= 0 ? 0 : std::min(count, avail);
-  if (n > 0) {
-    std::memcpy(buf, inode->data.data() + off, static_cast<size_t>(n));
-    file->offset.store(off + n, std::memory_order_relaxed);
-    inode->atime = fs_.now();
-    std::lock_guard<std::mutex> pm(p.mu);
-    p.rusage.ru_inblock += (n + 4095) / 4096;
-  }
-  rv->rv[0] = n;
-  return static_cast<SyscallStatus>(n);
+  return file->backing->Read(*this, p, *file, buf, count, rv, lk);
 }
 
 SyscallStatus Kernel::SysWrite(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk) {
@@ -1424,65 +1371,18 @@ SyscallStatus Kernel::SysWrite(Process& p, const SyscallArgs& a, SyscallResult* 
     rv->rv[0] = 0;
     return 0;
   }
+  return file->backing->Write(*this, p, *file, buf, count, rv, lk);
+}
 
-  if (file->IsPipe()) {
-    int64_t total = 0;
-    for (;;) {
-      if (file->pipe->readers == 0) {
-        PostSignalLocked(p, kSigPipe);
-        return total > 0 ? static_cast<SyscallStatus>(total) : -kEPipe;
-      }
-      const int64_t n = file->pipe->WriteSome(buf + total, count - total);
-      if (n > 0) {
-        total += n;
-        cv_.notify_all();
-      }
-      if (total == count) {
-        rv->rv[0] = total;
-        return static_cast<SyscallStatus>(total);
-      }
-      if ((file->flags & kONonblock) != 0) {
-        if (total > 0) {
-          rv->rv[0] = total;
-          return static_cast<SyscallStatus>(total);
-        }
-        return -kEWouldblock;
-      }
-      if (p.HasDeliverableSignal()) {
-        if (total > 0) {
-          rv->rv[0] = total;
-          return static_cast<SyscallStatus>(total);
-        }
-        return -kEIntr;
-      }
-      cv_.wait(lk);
-    }
-  }
-
-  const InodeRef inode = file->inode;
-  if (inode == nullptr) {
-    return -kEBadf;
-  }
-  if (inode->IsDirectory()) {
-    return -kEIsdir;
-  }
-  if (inode->IsDevice()) {
-    const int64_t n = inode->device->Write(buf, count, file->offset);
-    if (n > 0) {
-      file->offset += n;
-    }
-    rv->rv[0] = n;
-    return static_cast<SyscallStatus>(n);
-  }
-  // Regular file. A write that hits a limit mid-buffer — the per-file size
-  // ceiling or an installed fault plan's disk budget — writes the prefix that
-  // fits and reports bytes-written-so-far (4.3BSD short-write semantics);
-  // only a write that cannot make progress at all fails (EFBIG / ENOSPC).
-  // write() is a kBlocking row, so DispatchLocked did not take the tree lock;
-  // hold it exclusively around the resize/copy to exclude fast-path readers.
-  std::unique_lock<TreeLock> tree(fs_.TreeMutex());
-  Off off = file->offset.load(std::memory_order_relaxed);
-  if ((file->flags & kOAppend) != 0) {
+SyscallStatus Kernel::WriteRegularLocked(Process& p, OpenFile& file, const char* buf,
+                                         int64_t count, SyscallResult* rv) {
+  const InodeRef& inode = file.inode;
+  // A write that hits a limit mid-buffer — the per-file size ceiling or an
+  // installed fault plan's disk budget — writes the prefix that fits and
+  // reports bytes-written-so-far (4.3BSD short-write semantics); only a write
+  // that cannot make progress at all fails (EFBIG / ENOSPC).
+  Off off = file.offset.load(std::memory_order_relaxed);
+  if ((file.flags & kOAppend) != 0) {
     off = static_cast<Off>(inode->data.size());
   }
   if (off >= kMaxFileBytes) {
@@ -1512,7 +1412,7 @@ SyscallStatus Kernel::SysWrite(Process& p, const SyscallArgs& a, SyscallResult* 
     }
   }
   std::memcpy(inode->data.data() + off, buf, static_cast<size_t>(wcount));
-  file->offset.store(end, std::memory_order_relaxed);
+  file.offset.store(end, std::memory_order_relaxed);
   inode->mtime = fs_.now();
   {
     std::lock_guard<std::mutex> pm(p.mu);
@@ -1593,36 +1493,7 @@ SyscallStatus Kernel::SysLseek(Process& p, const SyscallArgs& a, SyscallResult* 
   if (file == nullptr) {
     return -kEBadf;
   }
-  if (file->IsPipe()) {
-    return -kESpipe;
-  }
-  const Off offset = a.Long(1);
-  const int whence = a.Int(2);
-  Off base = 0;
-  switch (whence) {
-    case kSeekSet:
-      base = 0;
-      break;
-    case kSeekCur:
-      base = file->offset;
-      break;
-    case kSeekEnd:
-      base = file->inode != nullptr ? static_cast<Off>(file->inode->data.size()) : 0;
-      break;
-    default:
-      return -kEInval;
-  }
-  // Sum in unsigned so hostile offsets near INT64_MAX cannot overflow the
-  // signed addition. Offsets past the per-file byte ceiling are rejected
-  // outright: no byte there can ever be read or written, and bounding the
-  // stored offset keeps every later offset sum overflow-free.
-  const Off target = static_cast<Off>(static_cast<uint64_t>(base) + static_cast<uint64_t>(offset));
-  if (target < 0 || target > kMaxFileBytes) {
-    return -kEInval;
-  }
-  file->offset = target;
-  rv->rv[0] = target;
-  return static_cast<SyscallStatus>(target >= 0 ? 0 : target);
+  return file->backing->Lseek(*this, *file, a.Long(1), a.Int(2), rv);
 }
 
 SyscallStatus Kernel::SysStatCommon(Process& p, const SyscallArgs& a, bool follow) {
@@ -1652,16 +1523,7 @@ SyscallStatus Kernel::SysFstat(Process& p, const SyscallArgs& a, SyscallResult* 
   if (st == nullptr) {
     return -kEFault;
   }
-  if (file->inode != nullptr) {
-    file->inode->FillStat(st);
-  } else {
-    // Anonymous pipe.
-    *st = ia::Stat{};
-    st->st_mode = kSIfifo | 0600;
-    st->st_size = static_cast<Off>(file->pipe != nullptr ? file->pipe->BytesBuffered() : 0);
-    st->st_nlink = 1;
-  }
-  return 0;
+  return file->backing->Fstat(*this, *file, st);
 }
 
 SyscallStatus Kernel::SysLink(Process& p, const SyscallArgs& a, SyscallResult* /*rv*/, Lock& /*lk*/) {

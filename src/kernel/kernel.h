@@ -252,6 +252,7 @@ class Kernel {
   void NoteReinstate(const FrameHealth& health);
 
  private:
+  friend class FileBacking;  // the narrow backing API in file_backing.cc
   friend class ProcessContext;
 
   using Lock = std::unique_lock<std::mutex>;
@@ -297,12 +298,17 @@ class Kernel {
   // Executes a planned entry; the caller holds the plan's tree stripe shared.
   SyscallStatus ExecuteVfsReadPlanned(Process& proc, const SyscallRequest& req,
                                       const BatchEntryPlan& plan, SyscallResult* rv);
-  // The regular-file read body shared by TryDispatchVfsRead and the planned
-  // executor. Preconditions: `file` is a readable non-pipe regular/symlink
-  // inode-backed descriptor, buf != nullptr, count > 0, and the caller holds
-  // a tree stripe in shared mode.
+  // The regular-file read body shared by TryDispatchVfsRead, the planned
+  // executor, and VnodeBacking. Preconditions: `file` is a readable
+  // vnode-backed regular/symlink descriptor, buf != nullptr, count > 0, and
+  // the caller holds a tree stripe in shared mode.
   SyscallStatus ReadRegularLocked(Process& proc, OpenFile& file, char* buf, int64_t count,
                                   SyscallResult* rv);
+  // The regular-file write body (append positioning, kEFbig ceiling, disk
+  // budget and short-transfer accounting, resize+copy). Preconditions mirror
+  // ReadRegularLocked, with the tree lock held exclusively.
+  SyscallStatus WriteRegularLocked(Process& proc, OpenFile& file, const char* buf, int64_t count,
+                                   SyscallResult* rv);
 
   // Consults the installed fault plan for this dispatch. Returns true when the
   // call is consumed (out_status holds the injected result); on a short
@@ -361,6 +367,22 @@ class Kernel {
   SyscallStatus SysIoctl(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
   SyscallStatus SysGetdirentries(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
   SyscallStatus SysMknod(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+
+  // AF_UNIX sockets (src/kernel/socket.cc). Blocking rows: accept, send,
+  // recv, sendto, recvfrom.
+  SyscallStatus SysSocket(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysBind(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysConnect(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysListen(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysAccept(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysSocketpair(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysSend(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysRecv(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysSendto(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysRecvfrom(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysGetsockname(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysGetpeername(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
+  SyscallStatus SysShutdown(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
 
   SyscallStatus SysFork(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);
   SyscallStatus SysExecve(Process& p, const SyscallArgs& a, SyscallResult* rv, Lock& lk);

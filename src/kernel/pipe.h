@@ -6,34 +6,72 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
+#include <cstring>
 
 #include "src/kernel/types.h"
 
 namespace ia {
 
-class Pipe {
+// A fixed-capacity contiguous ring of bytes: at most two memcpy calls per
+// transfer, no per-byte container churn on the pipe/socket data plane. Shared
+// by Pipe and the AF_UNIX socket receive queue.
+class ByteRing {
  public:
   static constexpr size_t kCapacity = 4096;
 
-  size_t BytesBuffered() const { return buffer_.size(); }
-  size_t SpaceAvailable() const { return kCapacity - buffer_.size(); }
+  size_t size() const { return count_; }
+  size_t space() const { return kCapacity - count_; }
 
   // Transfers up to min(count, space); returns bytes accepted.
   int64_t WriteSome(const char* buf, int64_t count) {
-    const int64_t n = std::min<int64_t>(count, static_cast<int64_t>(SpaceAvailable()));
-    buffer_.insert(buffer_.end(), buf, buf + n);
+    if (count <= 0) {
+      return 0;
+    }
+    const size_t n = std::min(static_cast<size_t>(count), space());
+    const size_t tail = (head_ + count_) % kCapacity;
+    const size_t first = std::min(n, kCapacity - tail);
+    std::memcpy(buf_ + tail, buf, first);
+    std::memcpy(buf_, buf + first, n - first);
+    count_ += n;
+    return static_cast<int64_t>(n);
+  }
+
+  // Transfers up to min(count, buffered); returns bytes copied out.
+  int64_t ReadSome(char* buf, int64_t count) {
+    if (count <= 0) {
+      return 0;
+    }
+    const size_t n = std::min(static_cast<size_t>(count), count_);
+    const size_t first = std::min(n, kCapacity - head_);
+    std::memcpy(buf, buf_ + head_, first);
+    std::memcpy(buf + first, buf_, n - first);
+    head_ = (head_ + n) % kCapacity;
+    count_ -= n;
+    return static_cast<int64_t>(n);
+  }
+
+ private:
+  char buf_[kCapacity];
+  size_t head_ = 0;   // index of the oldest buffered byte
+  size_t count_ = 0;  // bytes buffered
+};
+
+class Pipe {
+ public:
+  static constexpr size_t kCapacity = ByteRing::kCapacity;
+
+  size_t BytesBuffered() const { return ring_.size(); }
+  size_t SpaceAvailable() const { return ring_.space(); }
+
+  // Transfers up to min(count, space); returns bytes accepted.
+  int64_t WriteSome(const char* buf, int64_t count) {
+    const int64_t n = ring_.WriteSome(buf, count);
     total_written_ += n;
     return n;
   }
 
   // Transfers up to min(count, buffered); returns bytes copied out.
-  int64_t ReadSome(char* buf, int64_t count) {
-    const int64_t n = std::min<int64_t>(count, static_cast<int64_t>(buffer_.size()));
-    std::copy_n(buffer_.begin(), n, buf);
-    buffer_.erase(buffer_.begin(), buffer_.begin() + n);
-    return n;
-  }
+  int64_t ReadSome(char* buf, int64_t count) { return ring_.ReadSome(buf, count); }
 
   int readers = 0;  // open read ends (struct-file granularity)
   int writers = 0;  // open write ends
@@ -41,7 +79,7 @@ class Pipe {
   int64_t total_written() const { return total_written_; }
 
  private:
-  std::deque<char> buffer_;
+  ByteRing ring_;
   int64_t total_written_ = 0;
 };
 

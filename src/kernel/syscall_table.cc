@@ -1,5 +1,6 @@
 #include "src/kernel/syscall_table.h"
 
+#include <cstring>
 #include <initializer_list>
 #include <unordered_map>
 
@@ -40,6 +41,8 @@ namespace {
 #define IA_ARG_KIND_GidPtr ArgKind::kGidPtr
 #define IA_ARG_KIND_CGidPtr ArgKind::kCGidPtr
 #define IA_ARG_KIND_IoVecPtr ArgKind::kIoVecPtr
+#define IA_ARG_KIND_SockAddrPtr ArgKind::kSockAddrPtr
+#define IA_ARG_KIND_CSockAddrPtr ArgKind::kCSockAddrPtr
 
 class SyscallTable {
  public:
@@ -79,6 +82,11 @@ class SyscallTable {
   Add(num, #name, (flags) | kImplemented, cost, {IA_K(k0), IA_K(k1), IA_K(k2)});
 #define IA_SYSCALL4(num, name, handler, flags, cost, k0, k1, k2, k3) \
   Add(num, #name, (flags) | kImplemented, cost, {IA_K(k0), IA_K(k1), IA_K(k2), IA_K(k3)});
+#define IA_SYSCALL5(num, name, handler, flags, cost, k0, k1, k2, k3, k4) \
+  Add(num, #name, (flags) | kImplemented, cost, {IA_K(k0), IA_K(k1), IA_K(k2), IA_K(k3), IA_K(k4)});
+#define IA_SYSCALL6(num, name, handler, flags, cost, k0, k1, k2, k3, k4, k5)   \
+  Add(num, #name, (flags) | kImplemented, cost,                                \
+      {IA_K(k0), IA_K(k1), IA_K(k2), IA_K(k3), IA_K(k4), IA_K(k5)});
 #define IA_SYSCALL_ALIAS0(num, name, target, handler, flags, cost) \
   IA_SYSCALL0(num, name, handler, (flags) | kAlias, cost)
 #define IA_SYSCALL_ALIAS1(num, name, target, handler, flags, cost, k0) \
@@ -151,6 +159,22 @@ std::string FormatArg(ArgKind kind, const SyscallArgs& args, int i) {
     case ArgKind::kBufIn:
     case ArgKind::kBufOut:
       return StringPrintf("0x%llx", static_cast<unsigned long long>(args.U64(i)));
+    case ArgKind::kSockAddrPtr:
+    case ArgKind::kCSockAddrPtr: {
+      const auto* sa = args.Ptr<const SockAddr>(i);
+      if (sa == nullptr) {
+        return "NULL";
+      }
+      if (kind == ArgKind::kSockAddrPtr) {
+        return "...";  // out-parameter: contents are kernel-filled
+      }
+      if (sa->sun_family != kAfUnix) {
+        return StringPrintf("{family=%d}", sa->sun_family);
+      }
+      // sun_path need not be NUL-terminated; bound the scan at the field size.
+      const size_t len = strnlen(sa->sun_path, sizeof(sa->sun_path));
+      return StringPrintf("{AF_UNIX \"%.*s\"}", static_cast<int>(len), sa->sun_path);
+    }
     default:
       return "...";  // out-parameters and structured pointers
   }

@@ -37,6 +37,10 @@ inline constexpr uint32_t kPerProcess = 1u << 8;
 // opens, fifos, pipes, devices, flocked files). May combine with kBlocking:
 // exactly the fallback cases are the ones that can sleep.
 inline constexpr uint32_t kVfsRead = 1u << 9;
+// The socket interface class (paper Section 2.3's descriptor calls, restricted
+// to the AF_UNIX rows): socket-layer agents build their footprint from this
+// flag, and the ring batcher treats blocking members as reorder barriers.
+inline constexpr uint32_t kSocket = 1u << 10;
 
 // Default virtual-clock cost for calls the paper's Table 3-5 did not measure.
 inline constexpr int32_t kDefaultSyscallCost = 150;
@@ -75,6 +79,8 @@ enum class ArgKind : uint8_t {
   kGidPtr,
   kCGidPtr,
   kIoVecPtr,
+  kSockAddrPtr,   // struct SockAddr* the kernel writes (accept, getsockname)
+  kCSockAddrPtr,  // const struct SockAddr* the caller provides (bind, connect)
 };
 
 struct SyscallSpec {

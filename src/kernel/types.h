@@ -192,6 +192,41 @@ struct IoVec {
 };
 inline constexpr int kMaxIoVecs = 16;  // UIO_MAXIOV flavour
 
+// ---------------------------------------------------------------------------
+// Sockets (<sys/socket.h>, <sys/un.h> — the AF_UNIX subset).
+// ---------------------------------------------------------------------------
+inline constexpr int kAfUnix = 1;     // AF_UNIX / PF_UNIX
+inline constexpr int kSockStream = 1; // SOCK_STREAM
+inline constexpr int kSockDgram = 2;  // SOCK_DGRAM
+
+// shutdown(2) how.
+inline constexpr int kShutRd = 0;
+inline constexpr int kShutWr = 1;
+inline constexpr int kShutRdWr = 2;
+
+inline constexpr int kSoMaxConn = 5;  // SOMAXCONN in 4.3BSD
+
+inline constexpr int kMaxSunPath = 104;  // sizeof(sun_path) in <sys/un.h>
+
+// struct sockaddr_un, flattened: sun_family + NUL-terminated pathname (the
+// kernel tolerates a full, unterminated sun_path as 4.3BSD did).
+struct SockAddr {
+  int16_t sun_family = 0;
+  char sun_path[kMaxSunPath] = {};
+};
+
+// Builds an AF_UNIX SockAddr for `path`; returns the addrlen to pass to
+// bind/connect/sendto (family + pathname + NUL, as 4.3BSD callers computed).
+inline int MakeUnixSockAddr(std::string_view path, SockAddr* out) {
+  *out = SockAddr{};
+  out->sun_family = kAfUnix;
+  size_t n = 0;
+  for (; n < path.size() && n < sizeof(out->sun_path) - 1; ++n) {
+    out->sun_path[n] = path[n];
+  }
+  return static_cast<int>(sizeof(int16_t) + n + 1);
+}
+
 // rusage subset (<sys/resource.h>).
 struct Rusage {
   TimeVal ru_utime;
@@ -336,7 +371,8 @@ enum SyscallNumber : int {
   kSysConnect = 98,
 
   kSysGetpriority = 100,
-
+  kSysSend = 101,
+  kSysRecv = 102,
   kSysSigreturn = 103,
   kSysBind = 104,
   kSysSetsockopt = 105,

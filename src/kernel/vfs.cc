@@ -668,6 +668,31 @@ int Filesystem::MknodFifo(const NameiEnv& env, std::string_view path, Mode mode)
   return AttachEntry(nr.parent, nr.final_name, fifo);
 }
 
+int Filesystem::MknodSocket(const NameiEnv& env, std::string_view path, Mode mode,
+                            InodeRef* out) {
+  NameiResult nr;
+  int err = Namei(env, path, NameiOp::kCreate, /*follow_final=*/false, &nr);
+  if (err != 0) {
+    return err;
+  }
+  if (nr.inode != nullptr) {
+    return -kEExist;  // 4.3BSD: even a stale socket node must be unlinked first
+  }
+  if (nr.trailing_slash) {
+    return -kENoent;
+  }
+  if (!CredPermits(*env.cred, nr.parent->uid, nr.parent->gid, nr.parent->mode_bits, kWOk)) {
+    return -kEAcces;
+  }
+  InodeRef node = AllocInode(InodeType::kSocket, mode & 07777, *env.cred);
+  err = AttachEntry(nr.parent, nr.final_name, node);
+  if (err != 0) {
+    return err;
+  }
+  *out = std::move(node);
+  return 0;
+}
+
 int Filesystem::ResizeFile(const InodeRef& inode, Off length) {
   if (!inode->IsRegular()) {
     return -kEInval;

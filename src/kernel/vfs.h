@@ -48,6 +48,7 @@ namespace ia {
 
 class Inode;
 class Pipe;
+class Socket;
 using InodeRef = std::shared_ptr<Inode>;
 
 // The striped tree lock (see the file comment for the locking story).
@@ -198,6 +199,7 @@ class Inode {
   bool IsSymlink() const { return type_ == InodeType::kSymlink; }
   bool IsDevice() const { return type_ == InodeType::kCharDevice; }
   bool IsFifo() const { return type_ == InodeType::kFifo; }
+  bool IsSocket() const { return type_ == InodeType::kSocket; }
 
   // Full mode including the type bits, as stat(2) reports it.
   Mode FullMode() const;
@@ -251,6 +253,11 @@ class Inode {
 
   // --- fifo payload ------------------------------------------------------------
   std::shared_ptr<Pipe> fifo_pipe;
+
+  // --- socket payload ----------------------------------------------------------
+  // The listening (or bound) socket behind a bind(2)-created node; connect(2)
+  // rendezvouses through it. Big-lock-guarded like all socket state.
+  std::shared_ptr<Socket> bound_socket;
 
  private:
   Ino ino_;
@@ -326,6 +333,10 @@ class Filesystem {
   int Utimes(const NameiEnv& env, std::string_view path, const TimeVal* times);
   int Truncate(const NameiEnv& env, std::string_view path, Off length);
   int MknodFifo(const NameiEnv& env, std::string_view path, Mode mode);
+
+  // bind(2)'s node creation: a socket inode at `path`. Same shape as
+  // MknodFifo (EEXIST on any existing node, even a stale socket).
+  int MknodSocket(const NameiEnv& env, std::string_view path, Mode mode, InodeRef* out);
 
   // Attaches a directory entry; updates nlink/ctime. Fails with kEExist.
   int AttachEntry(const InodeRef& dir, const std::string& name, const InodeRef& child);

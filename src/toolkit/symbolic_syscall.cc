@@ -44,6 +44,8 @@ namespace ia {
 #define IA_ARG_GET_GidPtr(a, i) (a).Ptr<Gid>(i)
 #define IA_ARG_GET_CGidPtr(a, i) (a).Ptr<const Gid>(i)
 #define IA_ARG_GET_IoVecPtr(a, i) (a).Ptr<const IoVec>(i)
+#define IA_ARG_GET_SockAddrPtr(a, i) (a).Ptr<SockAddr>(i)
+#define IA_ARG_GET_CSockAddrPtr(a, i) (a).Ptr<const SockAddr>(i)
 
 // Kind tokens -> C++ parameter types (must match the handwritten declarations
 // in symbolic_syscall.h).
@@ -78,6 +80,8 @@ namespace ia {
 #define IA_ARG_TYPE_GidPtr Gid*
 #define IA_ARG_TYPE_CGidPtr const Gid*
 #define IA_ARG_TYPE_IoVecPtr const IoVec*
+#define IA_ARG_TYPE_SockAddrPtr SockAddr*
+#define IA_ARG_TYPE_CSockAddrPtr const SockAddr*
 
 void SymbolicSyscall::use_footprint(const Footprint& fp) {
   std::lock_guard<std::mutex> lock(footprint_mu_);
@@ -139,6 +143,14 @@ SyscallStatus SymbolicSyscall::syscall(AgentCall& call) {
 #define IA_SYSCALL4(num, name, handler, flags, cost, k0, k1, k2, k3) \
   case num:                                                          \
     return sys_##name(call, IA_GET(k0, 0), IA_GET(k1, 1), IA_GET(k2, 2), IA_GET(k3, 3));
+#define IA_SYSCALL5(num, name, handler, flags, cost, k0, k1, k2, k3, k4)                    \
+  case num:                                                                                 \
+    return sys_##name(call, IA_GET(k0, 0), IA_GET(k1, 1), IA_GET(k2, 2), IA_GET(k3, 3),     \
+                      IA_GET(k4, 4));
+#define IA_SYSCALL6(num, name, handler, flags, cost, k0, k1, k2, k3, k4, k5)                \
+  case num:                                                                                 \
+    return sys_##name(call, IA_GET(k0, 0), IA_GET(k1, 1), IA_GET(k2, 2), IA_GET(k3, 3),     \
+                      IA_GET(k4, 4), IA_GET(k5, 5));
 #define IA_SYSCALL_ALIAS0(num, name, target, handler, flags, cost) \
   case num:                                                        \
     return sys_##target(call);
@@ -182,6 +194,16 @@ SyscallStatus SymbolicSyscall::syscall(AgentCall& call) {
   SyscallStatus SymbolicSyscall::sys_##name(AgentCall& call, IA_T(k0), IA_T(k1), IA_T(k2), \
                                             IA_T(k3)) {                               \
     return sys_generic(call);                                                         \
+  }
+#define IA_SYSCALL5(num, name, handler, flags, cost, k0, k1, k2, k3, k4)                   \
+  SyscallStatus SymbolicSyscall::sys_##name(AgentCall& call, IA_T(k0), IA_T(k1), IA_T(k2), \
+                                            IA_T(k3), IA_T(k4)) {                          \
+    return sys_generic(call);                                                              \
+  }
+#define IA_SYSCALL6(num, name, handler, flags, cost, k0, k1, k2, k3, k4, k5)               \
+  SyscallStatus SymbolicSyscall::sys_##name(AgentCall& call, IA_T(k0), IA_T(k1), IA_T(k2), \
+                                            IA_T(k3), IA_T(k4), IA_T(k5)) {                \
+    return sys_generic(call);                                                              \
   }
 #define IA_SYSCALL_ALIAS0(num, name, target, handler, flags, cost)
 #define IA_SYSCALL_ALIAS1(num, name, target, handler, flags, cost, k0)

@@ -138,6 +138,26 @@ class SymbolicSyscall : public NumericSyscall {
   virtual SyscallStatus sys_setlogin(AgentCall& call, const char* name);
   virtual SyscallStatus sys_gethostname(AgentCall& call, char* buf, int len);
   virtual SyscallStatus sys_sethostname(AgentCall& call, const char* name, int64_t len);
+  // The AF_UNIX socket interface. Address arguments are struct-sockaddr
+  // pointers in the client's address space; a socket-layer agent (e.g. the
+  // proxy/firewall agent) overrides the rows it mediates.
+  virtual SyscallStatus sys_socket(AgentCall& call, int domain, int type, int protocol);
+  virtual SyscallStatus sys_bind(AgentCall& call, int fd, const SockAddr* addr, int addrlen);
+  virtual SyscallStatus sys_connect(AgentCall& call, int fd, const SockAddr* addr, int addrlen);
+  virtual SyscallStatus sys_listen(AgentCall& call, int fd, int backlog);
+  virtual SyscallStatus sys_accept(AgentCall& call, int fd, SockAddr* addr, int* addrlen);
+  virtual SyscallStatus sys_socketpair(AgentCall& call, int domain, int type, int protocol,
+                                       int* sv);
+  virtual SyscallStatus sys_send(AgentCall& call, int fd, const void* buf, int64_t cnt,
+                                 int flags);
+  virtual SyscallStatus sys_recv(AgentCall& call, int fd, void* buf, int64_t cnt, int flags);
+  virtual SyscallStatus sys_sendto(AgentCall& call, int fd, const void* buf, int64_t cnt,
+                                   int flags, const SockAddr* addr, int addrlen);
+  virtual SyscallStatus sys_recvfrom(AgentCall& call, int fd, void* buf, int64_t cnt, int flags,
+                                     SockAddr* addr, int* addrlen);
+  virtual SyscallStatus sys_getsockname(AgentCall& call, int fd, SockAddr* addr, int* addrlen);
+  virtual SyscallStatus sys_getpeername(AgentCall& call, int fd, SockAddr* addr, int* addrlen);
+  virtual SyscallStatus sys_shutdown(AgentCall& call, int fd, int how);
 
   // Any implemented call whose method is not overridden, after decode.
   virtual SyscallStatus sys_generic(AgentCall& call) { return call.CallDown(); }

@@ -6,8 +6,10 @@
 // written to maximize real interleavings, not to assert timing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/kernel/kernel.h"
@@ -348,6 +350,256 @@ TEST(ConcurrencyStress, SharedTreeReadersVsExclusiveMutator) {
   };
   pids.push_back(kernel->Spawn(mutator_options));
 
+  for (const Pid pid : pids) {
+    const int status = kernel->HostWaitPid(pid);
+    EXPECT_TRUE(WifExited(status));
+    EXPECT_EQ(WExitStatus(status), 0);
+  }
+}
+
+// World sizes self-cap under TSan (instrumentation slowdown), same as the
+// ring stress tests.
+#if defined(__SANITIZE_THREAD__)
+#define IA_SOCKET_STRESS_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define IA_SOCKET_STRESS_UNDER_TSAN 1
+#endif
+#endif
+#ifndef IA_SOCKET_STRESS_UNDER_TSAN
+#define IA_SOCKET_STRESS_UNDER_TSAN 0
+#endif
+
+// Forked children share BOTH ends of one socketpair and hammer them
+// concurrently: several writers pushing into the same ring (blocking when
+// full) while the parent drains from the shared read end. Byte conservation
+// is the only functional assertion; the interleavings — concurrent Send
+// big-lock dispatches, close-time end accounting, CV wakeups across
+// processes — are what TSan inspects.
+TEST(SocketStress, ForkSharedSocketpairHammering) {
+  auto kernel = test::MakeWorld();
+  const int status = RunBody(*kernel, [](ProcessContext& ctx) {
+    constexpr int kWriters = 3;
+    constexpr int kBytesEach = IA_SOCKET_STRESS_UNDER_TSAN ? 16 * 1024 : 64 * 1024;
+    int sv[2];
+    if (ctx.Socketpair(kAfUnix, kSockStream, 0, sv) != 0) {
+      return 10;
+    }
+    for (int w = 0; w < kWriters; ++w) {
+      ctx.Fork([&sv](ProcessContext& c) {
+        c.Close(sv[1]);  // writers hold only the write-side end
+        char chunk[512];
+        for (char& b : chunk) {
+          b = 'w';
+        }
+        int64_t sent = 0;
+        while (sent < kBytesEach) {
+          const int64_t n = c.Send(sv[0], chunk,
+                                   std::min<int64_t>(sizeof chunk, kBytesEach - sent));
+          if (n <= 0) {
+            return 1;
+          }
+          sent += n;
+          if (sent % 8192 == 0) {
+            // Stress the descriptor plane from the side: shared-fd fstat and
+            // dup/close churn race the transfer plane's big-lock handlers.
+            Stat st;
+            if (c.Fstat(sv[0], &st) != 0) {
+              return 2;
+            }
+            const int dup = c.Dup(sv[0]);
+            if (dup < 0 || c.Close(dup) != 0) {
+              return 3;
+            }
+          }
+        }
+        return c.Close(sv[0]) == 0 ? 0 : 4;
+      });
+    }
+    ctx.Close(sv[0]);  // parent holds only the read end; EOF when writers finish
+    int64_t received = 0;
+    char buf[1024];
+    for (;;) {
+      const int64_t n = ctx.Recv(sv[1], buf, sizeof buf);
+      if (n < 0) {
+        return 11;
+      }
+      if (n == 0) {
+        break;
+      }
+      received += n;
+    }
+    for (int w = 0; w < kWriters; ++w) {
+      int child_status = 0;
+      if (ctx.Wait(&child_status) < 0 || !WifExited(child_status) ||
+          WExitStatus(child_status) != 0) {
+        return 12;
+      }
+    }
+    return received == static_cast<int64_t>(kWriters) * kBytesEach ? 0 : 13;
+  });
+  ASSERT_TRUE(WifExited(status));
+  EXPECT_EQ(WExitStatus(status), 0);
+}
+
+// Accept racing client-side close: clients connect and sometimes slam the
+// connection shut before the server's accept pops it from the pending queue.
+// Every accept must still return a coherent endpoint — either live (ping
+// echoes) or orphaned (recv gives clean EOF, never a hang or a junk fd).
+TEST(SocketStress, AcceptVersusClientCloseRaces) {
+  auto kernel = test::MakeWorld();
+  const int status = RunBody(*kernel, [](ProcessContext& ctx) {
+    constexpr int kDials = IA_SOCKET_STRESS_UNDER_TSAN ? 60 : 200;
+    const int lfd = ctx.Socket(kAfUnix, kSockStream, 0);
+    if (ctx.BindUnix(lfd, "/race.sock") != 0 || ctx.Listen(lfd, kSoMaxConn) != 0) {
+      return 10;
+    }
+    const Pid child = ctx.Fork([](ProcessContext& c) {
+      for (int i = 0; i < kDials; ++i) {
+        const int fd = c.Socket(kAfUnix, kSockStream, 0);
+        if (fd < 0) {
+          return 1;
+        }
+        const int err = c.ConnectUnix(fd, "/race.sock");
+        if (err == -kEConnrefused) {
+          c.Close(fd);
+          --i;  // backlog momentarily full: redial
+          c.Compute(50);
+          std::this_thread::yield();  // give the accepting thread host cycles
+          continue;
+        }
+        if (err != 0) {
+          return 2;
+        }
+        if (i % 2 == 0) {
+          c.Close(fd);  // slam: close before the server accepts
+          continue;
+        }
+        char b = 'p';
+        if (c.Send(fd, &b, 1) != 1) {
+          return 3;
+        }
+        if (c.Recv(fd, &b, 1) != 1 || b != 'q') {
+          return 4;
+        }
+        c.Close(fd);
+      }
+      return 0;
+    });
+    for (int served = 0; served < kDials; ++served) {
+      const int cfd = ctx.Accept(lfd);
+      if (cfd < 0) {
+        return 11;
+      }
+      char b;
+      const int64_t n = ctx.Recv(cfd, &b, 1);
+      if (n == 1 && b == 'p') {
+        b = 'q';
+        if (ctx.Send(cfd, &b, 1) != 1) {
+          return 12;  // the client is still waiting for this reply
+        }
+      } else if (n != 0) {
+        return 13;  // orphaned connections must read as clean EOF
+      }
+      if (ctx.Close(cfd) != 0) {
+        return 14;
+      }
+    }
+    ctx.Close(lfd);
+    int child_status = 0;
+    ctx.Wait4(child, &child_status, 0, nullptr);
+    return WifExited(child_status) ? WExitStatus(child_status) : 15;
+  });
+  ASSERT_TRUE(WifExited(status));
+  EXPECT_EQ(WExitStatus(status), 0);
+}
+
+// Many client processes rendezvous with one server process by pathname while
+// an unrelated mutator churns the same directory: socket rendezvous
+// (Namei-driven connect under the full tree lock) interleaving with VFS
+// create/unlink traffic and the vfs-read fast lanes.
+TEST(SocketStress, PathnameRendezvousUnderVfsChurn) {
+  auto kernel = test::MakeWorld();
+  constexpr int kClients = IA_SOCKET_STRESS_UNDER_TSAN ? 3 : 6;
+  constexpr int kRequestsEach = IA_SOCKET_STRESS_UNDER_TSAN ? 15 : 40;
+
+  SpawnOptions server_options;
+  server_options.body = [](ProcessContext& ctx) {
+    ctx.Mkdir("/hub", 0755);
+    const int lfd = ctx.Socket(kAfUnix, kSockStream, 0);
+    if (ctx.BindUnix(lfd, "/hub/srv.sock") != 0 || ctx.Listen(lfd, kSoMaxConn) != 0) {
+      return 1;
+    }
+    for (int served = 0; served < kClients * kRequestsEach; ++served) {
+      const int cfd = ctx.Accept(lfd);
+      if (cfd < 0) {
+        return 2;
+      }
+      char b;
+      if (ctx.Recv(cfd, &b, 1) == 1) {
+        ctx.Send(cfd, &b, 1);
+      }
+      ctx.Close(cfd);
+    }
+    return 0;
+  };
+  const Pid server = kernel->Spawn(server_options);
+
+  std::vector<Pid> pids;
+  for (int c = 0; c < kClients; ++c) {
+    SpawnOptions options;
+    options.body = [](ProcessContext& ctx) {
+      for (int i = 0; i < kRequestsEach; ++i) {
+        int fd = -1;
+        for (int attempt = 0; attempt < 20000; ++attempt) {
+          fd = ctx.Socket(kAfUnix, kSockStream, 0);
+          const int err = ctx.ConnectUnix(fd, "/hub/srv.sock");
+          if (err == 0) {
+            break;
+          }
+          ctx.Close(fd);
+          fd = -1;
+          if (err != -kENoent && err != -kEConnrefused) {
+            return 1;
+          }
+          // Compute only advances the virtual clock; the yield hands real host
+          // cycles to the server thread racing to bind and accept.
+          ctx.Compute(100);
+          std::this_thread::yield();
+        }
+        if (fd < 0) {
+          return 2;
+        }
+        char b = 'm';
+        if (ctx.Send(fd, &b, 1) != 1 || ctx.Recv(fd, &b, 1) != 1 || b != 'm') {
+          return 3;
+        }
+        ctx.Close(fd);
+      }
+      return 0;
+    };
+    pids.push_back(kernel->Spawn(options));
+  }
+  SpawnOptions mutator_options;
+  mutator_options.body = [](ProcessContext& ctx) {
+    for (int i = 0; i < (IA_SOCKET_STRESS_UNDER_TSAN ? 200 : 800); ++i) {
+      const std::string name = "/hub/f" + std::to_string(i % 7);
+      const int fd = ctx.Open(name, kOCreat | kOWronly, 0644);
+      if (fd >= 0) {
+        ctx.Write(fd, "x", 1);
+        ctx.Close(fd);
+      }
+      Stat st;
+      ctx.Stat("/hub/srv.sock", &st);  // vfs-read lane against the socket node
+      if (i % 4 == 0) {
+        ctx.Unlink(name);
+      }
+    }
+    return 0;
+  };
+  pids.push_back(kernel->Spawn(mutator_options));
+
+  pids.push_back(server);
   for (const Pid pid : pids) {
     const int status = kernel->HostWaitPid(pid);
     EXPECT_TRUE(WifExited(status));

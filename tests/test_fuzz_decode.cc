@@ -103,8 +103,21 @@ struct HostileArena {
   std::string max_component;   // final component exactly kMaxNameLen chars
   std::string over_component;  // final component one past kMaxNameLen
   std::string over_path;       // total length past kMaxPathLen
+  SockAddr valid_sockaddr;     // well-formed AF_UNIX address
+  SockAddr alien_sockaddr;     // a family no kernel row knows
+  SockAddr runon_sockaddr;     // sun_path saturated with no NUL anywhere
+  SockAddr out_sockaddr;       // landing zone for address-writing rows
 
   HostileArena() {
+    MakeUnixSockAddr("/tmp/fuzz_sock", &valid_sockaddr);
+    alien_sockaddr = valid_sockaddr;
+    alien_sockaddr.sun_family = 0x6161;
+    runon_sockaddr = SockAddr{};
+    runon_sockaddr.sun_family = kAfUnix;
+    for (char& c : runon_sockaddr.sun_path) {
+      c = 'z';
+    }
+    out_sockaddr = SockAddr{};
     bytes.resize(static_cast<size_t>(kArenaBytes));
     for (size_t i = 0; i < bytes.size(); ++i) {
       // Pattern bytes with a NUL every 97 bytes so strlen-consumed kinds
@@ -229,6 +242,21 @@ void SetHostileArg(SyscallArgs* args, int i, ArgKind kind, int v, HostileArena& 
       args->SetPtr(i, vals[v]);
       return;
     }
+    case ArgKind::kCSockAddrPtr: {
+      // Coordinated with whatever addrlen variant rides beside it: the
+      // decoder's ExtractSockPath clamps its strnlen to
+      // min(addrlen - 2, kMaxSunPath), so the unterminated and
+      // pattern-garbage addresses must stay in bounds no matter the length.
+      const SockAddr* const vals[kHostileVariants] = {
+          &arena.valid_sockaddr,          nullptr, &arena.runon_sockaddr,
+          &arena.alien_sockaddr,          nullptr,
+          reinterpret_cast<SockAddr*>(base)};
+      args->SetPtr(i, vals[v]);
+      return;
+    }
+    case ArgKind::kSockAddrPtr:
+      args->SetPtr(i, typed_ptrs[v] != nullptr ? &arena.out_sockaddr : nullptr);
+      return;
     case ArgKind::kBufIn:
     case ArgKind::kBufOut:
     case ArgKind::kCharBuf:
@@ -323,6 +351,100 @@ TEST(DecodeFuzz, HostileArgsFormatSafely) {
       EXPECT_FALSE(text.empty()) << number;
     }
   }
+}
+
+TEST(DecodeFuzz, HostileSockAddrsSurviveSocketRows) {
+  // The all-numbers sweeps above only ever hit the socket rows' ENOTSOCK
+  // guards (fd 3 is a regular file by the time bind=104 fires). This drives
+  // the address decode itself — ExtractSockPath's family/length clamps and
+  // FillSockAddr's out-parameter handling — on real socket descriptors.
+  auto kernel = MakeWorld();
+  const int status = test::RunBody(*kernel, [](ProcessContext& ctx) {
+    HostileArena arena;
+    const SockAddr* const addrs[] = {&arena.valid_sockaddr, &arena.alien_sockaddr,
+                                     &arena.runon_sockaddr,
+                                     reinterpret_cast<const SockAddr*>(arena.base()), nullptr};
+    const int64_t lens[] = {-1, 0, 1, 2, 3, 64, INT32_MAX, INT64_MIN,
+                            static_cast<int64_t>(sizeof(SockAddr))};
+    for (const SockAddr* addr : addrs) {
+      for (const int64_t len : lens) {
+        const int fd = ctx.Socket(kAfUnix, kSockStream, 0);
+        if (fd < 0) {
+          return 1;
+        }
+        SyscallArgs args;
+        SyscallResult rv;
+        args.SetInt(0, fd);
+        args.SetPtr(1, addr);
+        args.SetInt(2, len);
+        ctx.Syscall(kSysBind, args, &rv);
+        ctx.Syscall(kSysConnect, args, &rv);
+        // sendto's trailing (addr, addrlen) pair rides the same decode path.
+        char b = 'x';
+        SyscallArgs sargs;
+        sargs.SetInt(0, fd);
+        sargs.SetPtr(1, &b);
+        sargs.SetInt(2, 1);
+        sargs.SetInt(3, 0);
+        sargs.SetPtr(4, addr);
+        sargs.SetInt(5, len);
+        ctx.Syscall(kSysSendto, sargs, &rv);
+        ctx.Close(fd);
+        ctx.Unlink("/tmp/fuzz_sock");  // a well-formed bind legitimately lands
+      }
+    }
+
+    // Address-writing rows: hostile out-pointer pairs against live endpoints.
+    // FillSockAddr must treat a null half as "caller declined" and never trust
+    // the inbound *addrlen value.
+    int sv[2];
+    if (ctx.Socketpair(kAfUnix, kSockStream, 0, sv) != 0) {
+      return 2;
+    }
+    int huge_len = INT32_MAX;
+    int neg_len = -1;
+    int zero_len = 0;
+    int* const out_lens[] = {nullptr, &huge_len, &neg_len, &zero_len};
+    SockAddr* const out_addrs[] = {nullptr, &arena.out_sockaddr,
+                                   reinterpret_cast<SockAddr*>(arena.base())};
+    for (SockAddr* const oa : out_addrs) {
+      for (int* const ol : out_lens) {
+        SyscallArgs args;
+        SyscallResult rv;
+        args.SetInt(0, sv[0]);
+        args.SetPtr(1, oa);
+        args.SetPtr(2, ol);
+        ctx.Syscall(kSysGetsockname, args, &rv);
+        ctx.Syscall(kSysGetpeername, args, &rv);
+      }
+    }
+    ctx.Close(sv[0]);
+    ctx.Close(sv[1]);
+
+    // accept's out-parameters, each round against a real pending connection.
+    const int lfd = ctx.Socket(kAfUnix, kSockStream, 0);
+    if (ctx.BindUnix(lfd, "/tmp/fuzz_accept") != 0 || ctx.Listen(lfd, 1) != 0) {
+      return 3;
+    }
+    for (SockAddr* const oa : out_addrs) {
+      for (int* const ol : out_lens) {
+        const int cfd = ctx.Socket(kAfUnix, kSockStream, 0);
+        if (ctx.ConnectUnix(cfd, "/tmp/fuzz_accept") != 0) {
+          return 4;
+        }
+        const int afd = ctx.Accept(lfd, oa, ol);
+        if (afd < 0) {
+          return 5;
+        }
+        ctx.Close(afd);
+        ctx.Close(cfd);
+      }
+    }
+    ctx.Close(lfd);
+    return 0;
+  });
+  ASSERT_TRUE(WifExited(status));
+  EXPECT_EQ(WExitStatus(status), 0);
 }
 
 TEST(DecodeFuzz, RawForkWithNoBodyIsReapable) {

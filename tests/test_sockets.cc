@@ -1,0 +1,632 @@
+// AF_UNIX socket semantics: socketpair plumbing, pathname rendezvous
+// (bind/listen/connect/accept), shutdown/EOF/EPIPE edges, address queries,
+// nonblocking modes, the client/server application pair, and the socket-layer
+// proxy agent.
+#include "tests/test_helpers.h"
+
+#include "src/agents/chaos.h"
+#include "src/agents/proxy.h"
+#include "src/agents/retry.h"
+
+namespace ia {
+namespace {
+
+using test::ExitCodeOf;
+using test::MakeWorld;
+using test::RunBody;
+using test::RunBodyUnder;
+
+TEST(Sockets, SocketpairTransfersBothDirections) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              int sv[2];
+              if (ctx.Socketpair(kAfUnix, kSockStream, 0, sv) != 0) {
+                return 1;
+              }
+              const std::string ping = "ping over a unix stream";
+              if (ctx.Send(sv[0], ping.data(), ping.size()) !=
+                  static_cast<int64_t>(ping.size())) {
+                return 2;
+              }
+              char buf[64] = {};
+              int64_t n = ctx.Recv(sv[1], buf, sizeof(buf));
+              if (std::string(buf, static_cast<size_t>(n)) != ping) {
+                return 3;
+              }
+              // The pair is symmetric, and read/write work on socket fds too
+              // (4.3BSD's soo_rw): reply through plain Write/Read.
+              const std::string pong = "pong";
+              if (ctx.Write(sv[1], pong.data(), pong.size()) !=
+                  static_cast<int64_t>(pong.size())) {
+                return 4;
+              }
+              n = ctx.Read(sv[0], buf, sizeof(buf));
+              return std::string(buf, static_cast<size_t>(n)) == pong ? 0 : 5;
+            }),
+            0);
+}
+
+TEST(Sockets, SocketpairSharedAcrossFork) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              int sv[2];
+              ctx.Socketpair(kAfUnix, kSockStream, 0, sv);
+              const Pid child = ctx.Fork([&sv](ProcessContext& c) {
+                c.Close(sv[0]);
+                char buf[32] = {};
+                const int64_t n = c.Recv(sv[1], buf, sizeof(buf));
+                if (n <= 0) {
+                  return 1;
+                }
+                const std::string echoed(buf, static_cast<size_t>(n));
+                return c.Send(sv[1], echoed.data(), echoed.size()) == n ? 0 : 2;
+              });
+              ctx.Close(sv[1]);
+              const std::string msg = "across fork";
+              ctx.Send(sv[0], msg.data(), msg.size());
+              char buf[32] = {};
+              const int64_t n = ctx.Recv(sv[0], buf, sizeof(buf));
+              int status = 0;
+              ctx.Wait4(child, &status, 0, nullptr);
+              if (!WifExited(status) || WExitStatus(status) != 0) {
+                return 10;
+              }
+              return std::string(buf, static_cast<size_t>(n)) == msg ? 0 : 11;
+            }),
+            0);
+}
+
+TEST(Sockets, BindListenConnectAcceptRoundTrip) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              const Pid child = ctx.Fork([](ProcessContext& c) {
+                // Client: dial until the parent's listener is up.
+                for (int attempt = 0; attempt < 100; ++attempt) {
+                  const int fd = c.Socket(kAfUnix, kSockStream, 0);
+                  const int err = c.ConnectUnix(fd, "/tmp/echo.sock");
+                  if (err == 0) {
+                    const std::string req = "hello";
+                    c.Send(fd, req.data(), req.size());
+                    c.Shutdown(fd, kShutWr);
+                    char buf[32] = {};
+                    const int64_t n = c.Recv(fd, buf, sizeof(buf));
+                    c.Close(fd);
+                    return std::string(buf, static_cast<size_t>(n)) == "HELLO?" ? 0 : 2;
+                  }
+                  c.Close(fd);
+                  if (err != -kENoent && err != -kEConnrefused) {
+                    return 3;
+                  }
+                  c.Compute(200);
+                }
+                return 4;
+              });
+              const int lfd = ctx.Socket(kAfUnix, kSockStream, 0);
+              if (ctx.BindUnix(lfd, "/tmp/echo.sock") != 0 || ctx.Listen(lfd, 2) != 0) {
+                return 5;
+              }
+              SockAddr peer{};
+              int peer_len = 0;
+              const int cfd = ctx.Accept(lfd, &peer, &peer_len);
+              if (cfd < 0 || peer.sun_family != kAfUnix) {
+                return 6;
+              }
+              std::string request;
+              char buf[32];
+              for (;;) {
+                const int64_t n = ctx.Recv(cfd, buf, sizeof(buf));
+                if (n < 0) {
+                  return 7;
+                }
+                if (n == 0) {
+                  break;  // the client's half-close
+                }
+                request.append(buf, static_cast<size_t>(n));
+              }
+              if (request != "hello") {
+                return 8;
+              }
+              const std::string reply = "HELLO?";
+              ctx.Send(cfd, reply.data(), reply.size());
+              ctx.Close(cfd);
+              ctx.Close(lfd);
+              int status = 0;
+              ctx.Wait4(child, &status, 0, nullptr);
+              return WifExited(status) ? WExitStatus(status) : 9;
+            }),
+            0);
+}
+
+TEST(Sockets, AddressQueriesReportBoundAndPeerNames) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              const Pid child = ctx.Fork([](ProcessContext& c) {
+                for (int attempt = 0; attempt < 100; ++attempt) {
+                  const int fd = c.Socket(kAfUnix, kSockStream, 0);
+                  if (c.ConnectUnix(fd, "/tmp/named.sock") == 0) {
+                    // The peer is the listener's name; our own socket never
+                    // bound, so getsockname reports the empty address.
+                    SockAddr sa{};
+                    int len = 0;
+                    if (c.Getpeername(fd, &sa, &len) != 0 ||
+                        std::string(sa.sun_path) != "/tmp/named.sock") {
+                      return 1;
+                    }
+                    if (c.Getsockname(fd, &sa, &len) != 0 ||
+                        std::string(sa.sun_path).size() != 0) {
+                      return 2;
+                    }
+                    char b = 'x';
+                    c.Send(fd, &b, 1);  // let the server finish
+                    c.Close(fd);
+                    return 0;
+                  }
+                  c.Close(fd);
+                  c.Compute(200);
+                }
+                return 3;
+              });
+              const int lfd = ctx.Socket(kAfUnix, kSockStream, 0);
+              ctx.BindUnix(lfd, "/tmp/named.sock");
+              ctx.Listen(lfd, 1);
+              SockAddr sa{};
+              int len = 0;
+              if (ctx.Getsockname(lfd, &sa, &len) != 0 ||
+                  std::string(sa.sun_path) != "/tmp/named.sock") {
+                return 4;
+              }
+              // A listener has no peer.
+              if (ctx.Getpeername(lfd, &sa, &len) != -kENotconn) {
+                return 5;
+              }
+              const int cfd = ctx.Accept(lfd);
+              // The accepted endpoint inherits the listener's name.
+              if (ctx.Getsockname(cfd, &sa, &len) != 0 ||
+                  std::string(sa.sun_path) != "/tmp/named.sock") {
+                return 6;
+              }
+              char b;
+              ctx.Recv(cfd, &b, 1);
+              ctx.Close(cfd);
+              ctx.Close(lfd);
+              int status = 0;
+              ctx.Wait4(child, &status, 0, nullptr);
+              return WifExited(status) ? WExitStatus(status) : 7;
+            }),
+            0);
+}
+
+TEST(Sockets, ShutdownWriteGivesPeerEofThenEpipeBack) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              ctx.Sigvec(kSigPipe, kSigIgn, nullptr);
+              int sv[2];
+              ctx.Socketpair(kAfUnix, kSockStream, 0, sv);
+              char b = 'q';
+              ctx.Send(sv[0], &b, 1);
+              if (ctx.Shutdown(sv[0], kShutWr) != 0) {
+                return 1;
+              }
+              // Buffered bytes still drain, then EOF.
+              char got;
+              if (ctx.Recv(sv[1], &got, 1) != 1 || got != 'q') {
+                return 2;
+              }
+              if (ctx.Recv(sv[1], &got, 1) != 0) {
+                return 3;
+              }
+              // Writing into the shut-down direction fails EPIPE.
+              if (ctx.Send(sv[0], &b, 1) != -kEPipe) {
+                return 4;
+              }
+              // The reverse direction still works.
+              if (ctx.Send(sv[1], &b, 1) != 1 || ctx.Recv(sv[0], &got, 1) != 1) {
+                return 5;
+              }
+              // SHUT_RD on sv[0]: its reads now EOF even with the peer open.
+              if (ctx.Shutdown(sv[0], kShutRd) != 0 || ctx.Recv(sv[0], &got, 1) != 0) {
+                return 6;
+              }
+              return 0;
+            }),
+            0);
+}
+
+TEST(Sockets, SendToClosedPeerRaisesSigpipe) {
+  auto kernel = MakeWorld();
+  const int status = RunBody(*kernel, [](ProcessContext& ctx) {
+    int sv[2];
+    ctx.Socketpair(kAfUnix, kSockStream, 0, sv);
+    ctx.Close(sv[1]);
+    char b = 'x';
+    ctx.Send(sv[0], &b, 1);  // EPIPE + SIGPIPE (default disposition terminates)
+    return 0;
+  });
+  EXPECT_TRUE(WifSignaled(status));
+  EXPECT_EQ(WTermSig(status), kSigPipe);
+}
+
+TEST(Sockets, ClosePeerGivesEofAfterDrain) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              int sv[2];
+              ctx.Socketpair(kAfUnix, kSockStream, 0, sv);
+              const std::string parting = "last words";
+              ctx.Send(sv[0], parting.data(), parting.size());
+              ctx.Close(sv[0]);
+              char buf[32] = {};
+              const int64_t n = ctx.Recv(sv[1], buf, sizeof(buf));
+              if (std::string(buf, static_cast<size_t>(n)) != parting) {
+                return 1;
+              }
+              return ctx.Recv(sv[1], buf, sizeof(buf)) == 0 ? 0 : 2;
+            }),
+            0);
+}
+
+TEST(Sockets, ConnectErrorCases) {
+  auto kernel = MakeWorld();
+  kernel->fs().InstallFile("/tmp/regular", "not a socket");
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              int fd = ctx.Socket(kAfUnix, kSockStream, 0);
+              // No such node at all.
+              if (ctx.ConnectUnix(fd, "/tmp/nope.sock") != -kENoent) {
+                return 1;
+              }
+              // A node that is not a socket.
+              if (ctx.ConnectUnix(fd, "/tmp/regular") != -kENotsock) {
+                return 2;
+              }
+              // A bound-but-not-listening socket refuses.
+              const int bound = ctx.Socket(kAfUnix, kSockStream, 0);
+              ctx.BindUnix(bound, "/tmp/mute.sock");
+              if (ctx.ConnectUnix(fd, "/tmp/mute.sock") != -kEConnrefused) {
+                return 3;
+              }
+              // A closed listener leaves a stale node that refuses.
+              ctx.Listen(bound, 1);
+              ctx.Close(bound);
+              if (ctx.ConnectUnix(fd, "/tmp/mute.sock") != -kEConnrefused) {
+                return 4;
+              }
+              ctx.Close(fd);
+              // Unsupported domains/types at socket() time.
+              if (ctx.Socket(2 /* AF_INET */, kSockStream, 0) != -kEAfnosupport) {
+                return 5;
+              }
+              if (ctx.Socket(kAfUnix, kSockDgram, 0) != -kEOpnotsupp) {
+                return 6;
+              }
+              return 0;
+            }),
+            0);
+}
+
+TEST(Sockets, BacklogOverflowRefusesFurtherConnects) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              const int lfd = ctx.Socket(kAfUnix, kSockStream, 0);
+              ctx.BindUnix(lfd, "/tmp/busy.sock");
+              ctx.Listen(lfd, 2);
+              // Fill the backlog without accepting.
+              int dialed[2];
+              for (int& fd : dialed) {
+                fd = ctx.Socket(kAfUnix, kSockStream, 0);
+                if (ctx.ConnectUnix(fd, "/tmp/busy.sock") != 0) {
+                  return 1;
+                }
+              }
+              const int refused = ctx.Socket(kAfUnix, kSockStream, 0);
+              if (ctx.ConnectUnix(refused, "/tmp/busy.sock") != -kEConnrefused) {
+                return 2;
+              }
+              // Accepting one drains a slot; the next connect succeeds.
+              const int cfd = ctx.Accept(lfd);
+              if (cfd < 0 || ctx.ConnectUnix(refused, "/tmp/busy.sock") != 0) {
+                return 3;
+              }
+              return 0;
+            }),
+            0);
+}
+
+TEST(Sockets, BindErrorCases) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              const int a = ctx.Socket(kAfUnix, kSockStream, 0);
+              if (ctx.BindUnix(a, "/tmp/claimed.sock") != 0) {
+                return 1;
+              }
+              // One address per socket lifetime.
+              if (ctx.BindUnix(a, "/tmp/second.sock") != -kEInval) {
+                return 2;
+              }
+              // The name stays claimed (even by a closed socket's stale node).
+              const int b = ctx.Socket(kAfUnix, kSockStream, 0);
+              if (ctx.BindUnix(b, "/tmp/claimed.sock") != -kEAddrinuse) {
+                return 3;
+              }
+              // Unlink releases the name for a fresh bind.
+              ctx.Unlink("/tmp/claimed.sock");
+              if (ctx.BindUnix(b, "/tmp/claimed.sock") != 0) {
+                return 4;
+              }
+              // Wrong family.
+              SockAddr sa{};
+              sa.sun_family = 99;
+              const int c = ctx.Socket(kAfUnix, kSockStream, 0);
+              if (ctx.Bind(c, &sa, sizeof(sa)) != -kEAfnosupport) {
+                return 5;
+              }
+              // Not a socket descriptor.
+              const int file = ctx.Open("/etc/motd", kORdonly);
+              if (ctx.BindUnix(file, "/tmp/x.sock") != -kENotsock) {
+                return 6;
+              }
+              if (ctx.BindUnix(77, "/tmp/x.sock") != -kEBadf) {
+                return 7;
+              }
+              return 0;
+            }),
+            0);
+}
+
+TEST(Sockets, TransferAndListenErrorCases) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              const int file = ctx.Open("/etc/motd", kORdonly);
+              char buf[8];
+              if (ctx.Recv(file, buf, sizeof(buf)) != -kENotsock) {
+                return 1;
+              }
+              const int fd = ctx.Socket(kAfUnix, kSockStream, 0);
+              // Not yet connected.
+              if (ctx.Recv(fd, buf, sizeof(buf)) != -kENotconn ||
+                  ctx.Send(fd, buf, 1) != -kENotconn) {
+                return 2;
+              }
+              // MSG_* flags are outside this subset.
+              int sv[2];
+              ctx.Socketpair(kAfUnix, kSockStream, 0, sv);
+              if (ctx.Recv(sv[0], buf, sizeof(buf), 0x1) != -kEOpnotsupp) {
+                return 3;
+              }
+              // Stream sockets reject explicit sendto destinations.
+              SockAddr sa{};
+              const int len = MakeUnixSockAddr("/tmp/any.sock", &sa);
+              if (ctx.Sendto(sv[0], buf, 1, 0, &sa, len) != -kEIsconn) {
+                return 4;
+              }
+              if (ctx.Sendto(fd, buf, 1, 0, &sa, len) != -kENotconn) {
+                return 5;
+              }
+              // recvfrom on a connected stream works and names the peer (the
+              // anonymous empty address here).
+              char b = 'y';
+              ctx.Send(sv[1], &b, 1);
+              int alen = 0;
+              if (ctx.Recvfrom(sv[0], buf, 1, 0, &sa, &alen) != 1) {
+                return 6;
+              }
+              // listen on unbound / accept on non-listener.
+              if (ctx.Listen(fd, 1) != -kEInval) {
+                return 7;
+              }
+              if (ctx.Accept(sv[0]) != -kEInval) {
+                return 8;
+              }
+              // shutdown needs a connection and a valid how.
+              if (ctx.Shutdown(fd, kShutRdWr) != -kENotconn) {
+                return 9;
+              }
+              if (ctx.Shutdown(sv[0], 5) != -kEInval) {
+                return 10;
+              }
+              // lseek has no meaning on sockets.
+              if (ctx.Lseek(sv[0], 0, kSeekSet) != -kESpipe) {
+                return 11;
+              }
+              return 0;
+            }),
+            0);
+}
+
+TEST(Sockets, NonblockingModes) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              int sv[2];
+              ctx.Socketpair(kAfUnix, kSockStream, 0, sv);
+              ctx.Fcntl(sv[0], kFSetfl, kONonblock);
+              char buf[600];
+              if (ctx.Recv(sv[0], buf, sizeof(buf)) != -kEWouldblock) {
+                return 1;  // empty ring: would block
+              }
+              // Fill the peer's ring: the final send reports the partial count,
+              // the next one EWOULDBLOCK.
+              int64_t total = 0;
+              for (;;) {
+                const int64_t n = ctx.Send(sv[0], buf, sizeof(buf));
+                if (n == -kEWouldblock) {
+                  break;
+                }
+                if (n <= 0) {
+                  return 2;
+                }
+                total += n;
+              }
+              if (total != 4096) {
+                return 3;  // ByteRing capacity, same as the pipe plane
+              }
+              // A nonblocking accept with an empty queue would block too.
+              const int lfd = ctx.Socket(kAfUnix, kSockStream, 0);
+              ctx.BindUnix(lfd, "/tmp/nb.sock");
+              ctx.Listen(lfd, 1);
+              ctx.Fcntl(lfd, kFSetfl, kONonblock);
+              if (ctx.Accept(lfd) != -kEWouldblock) {
+                return 4;
+              }
+              return 0;
+            }),
+            0);
+}
+
+TEST(Sockets, StatReportsSocketTypes) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              int sv[2];
+              ctx.Socketpair(kAfUnix, kSockStream, 0, sv);
+              Stat st{};
+              if (ctx.Fstat(sv[0], &st) != 0 || (st.st_mode & kSIfmt) != kSIfsock) {
+                return 1;
+              }
+              const int lfd = ctx.Socket(kAfUnix, kSockStream, 0);
+              ctx.BindUnix(lfd, "/tmp/stat.sock");
+              // Both fstat on the bound descriptor and stat by pathname see
+              // the socket node.
+              if (ctx.Fstat(lfd, &st) != 0 || (st.st_mode & kSIfmt) != kSIfsock) {
+                return 2;
+              }
+              if (ctx.Stat("/tmp/stat.sock", &st) != 0 || (st.st_mode & kSIfmt) != kSIfsock) {
+                return 3;
+              }
+              return 0;
+            }),
+            0);
+}
+
+TEST(Sockets, DupAndCloseOnExecSemantics) {
+  auto kernel = MakeWorld();
+  EXPECT_EQ(ExitCodeOf(*kernel, [](ProcessContext& ctx) {
+              int sv[2];
+              ctx.Socketpair(kAfUnix, kSockStream, 0, sv);
+              const int dup = ctx.Dup(sv[1]);
+              ctx.Close(sv[1]);
+              // The dup keeps the connection alive: no EOF yet.
+              char b = 'd';
+              if (ctx.Send(dup, &b, 1) != 1) {
+                return 1;
+              }
+              char got;
+              if (ctx.Recv(sv[0], &got, 1) != 1 || got != 'd') {
+                return 2;
+              }
+              ctx.Close(dup);
+              // Now the last write-capable reference is gone: EOF.
+              return ctx.Recv(sv[0], &got, 1) == 0 ? 0 : 3;
+            }),
+            0);
+}
+
+// --- the client/server application pair --------------------------------------
+
+int RunProg(Kernel& kernel, const std::string& path, const std::vector<std::string>& argv,
+            Pid* pid_out = nullptr) {
+  SpawnOptions options;
+  options.path = path;
+  options.argv = argv;
+  const Pid pid = kernel.Spawn(options);
+  EXPECT_GT(pid, 0) << path;
+  if (pid_out != nullptr) {
+    *pid_out = pid;
+    return 0;
+  }
+  return kernel.HostWaitPid(pid);
+}
+
+TEST(Sockets, ClientServerProgramsRendezvousByPathname) {
+  auto kernel = MakeWorld();
+  Pid server = 0;
+  RunProg(*kernel, "/usr/bin/sockserv", {"sockserv", "/tmp/srv.sock", "3"}, &server);
+  Pid clients[3] = {};
+  for (int i = 0; i < 3; ++i) {
+    RunProg(*kernel, "/usr/bin/sockclient",
+            {"sockclient", "/tmp/srv.sock", "req" + std::to_string(i)}, &clients[i]);
+  }
+  for (const Pid pid : clients) {
+    const int status = kernel->HostWaitPid(pid);
+    EXPECT_TRUE(WifExited(status));
+    EXPECT_EQ(WExitStatus(status), 0);
+  }
+  const int status = kernel->HostWaitPid(server);
+  EXPECT_TRUE(WifExited(status));
+  EXPECT_EQ(WExitStatus(status), 0);
+  // Each client printed its verified reply.
+  const std::string transcript = kernel->console().transcript();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NE(transcript.find("ok:req" + std::to_string(i)), std::string::npos) << transcript;
+  }
+}
+
+TEST(Sockets, ClientServerSurvivesChaosUnderRetry) {
+  auto kernel = MakeWorld();
+  FaultPlan plan;
+  plan.seed = 0x50c7;
+  plan.eintr_probability = 0.25;   // accept/send/recv are kBlocking rows
+  plan.short_probability = 0.25;   // clamp send/recv counts
+  RetryPolicy policy;
+  policy.resume_short_transfers = true;
+  const int status = RunBodyUnder(
+      *kernel, {std::make_shared<ChaosAgent>(plan), std::make_shared<RetryAgent>(policy)},
+      [](ProcessContext& ctx) {
+        const Pid child = ctx.Fork([](ProcessContext& c) {
+          c.process().argv = {"sockclient", "/tmp/chaotic.sock",
+                              "payload-under-fire-0123456789"};
+          return SockClientMain(c);
+        });
+        ctx.process().argv = {"sockserv", "/tmp/chaotic.sock", "1"};
+        const int rc = SockServMain(ctx);
+        int child_status = 0;
+        ctx.Wait4(child, &child_status, 0, nullptr);
+        if (rc != 0) {
+          return rc;
+        }
+        return WifExited(child_status) ? WExitStatus(child_status) : 20;
+      });
+  ASSERT_TRUE(WifExited(status));
+  EXPECT_EQ(WExitStatus(status), 0);
+}
+
+TEST(Sockets, ProxyAgentRewritesAndDeniesAddresses) {
+  auto kernel = MakeWorld();
+  ProxyPolicy policy;
+  policy.rewrites = {{"/srv/db", "/srv/real-db"}};
+  policy.deny_prefixes = {"/srv/secret"};
+  auto proxy = std::make_shared<ProxyAgent>(policy);
+  const int status = RunBodyUnder(*kernel, {proxy}, [](ProcessContext& ctx) {
+    ctx.Mkdir("/srv", 0755);
+    // The server binds /srv/db but — through the proxy — actually claims
+    // /srv/real-db; an unproxied observer sees only the real name.
+    const int lfd = ctx.Socket(kAfUnix, kSockStream, 0);
+    if (ctx.BindUnix(lfd, "/srv/db") != 0 || ctx.Listen(lfd, 2) != 0) {
+      return 1;
+    }
+    Stat st{};
+    if (ctx.Stat("/srv/real-db", &st) != 0 || (st.st_mode & kSIfmt) != kSIfsock) {
+      return 2;
+    }
+    if (ctx.Stat("/srv/db", &st) != -kENoent) {
+      return 3;
+    }
+    // A client dialing the alias reaches the rewritten endpoint.
+    const int fd = ctx.Socket(kAfUnix, kSockStream, 0);
+    if (ctx.ConnectUnix(fd, "/srv/db") != 0) {
+      return 4;
+    }
+    // Denied addresses look like a dead peer / protected directory.
+    const int blocked = ctx.Socket(kAfUnix, kSockStream, 0);
+    if (ctx.ConnectUnix(blocked, "/srv/secret/feed") != -kEConnrefused) {
+      return 5;
+    }
+    if (ctx.BindUnix(blocked, "/srv/secret/mine") != -kEAcces) {
+      return 6;
+    }
+    return 0;
+  });
+  ASSERT_TRUE(WifExited(status));
+  EXPECT_EQ(WExitStatus(status), 0);
+  EXPECT_EQ(proxy->rewrites(), 2);  // server bind + client connect
+  EXPECT_EQ(proxy->denials(), 2);   // denied connect + denied bind
+}
+
+}  // namespace
+}  // namespace ia

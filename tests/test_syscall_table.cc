@@ -5,6 +5,7 @@
 // trip, and the kernel's per-syscall counters observe real traffic.
 #include "tests/test_helpers.h"
 
+#include <cstdio>
 #include <fstream>
 #include <regex>
 #include <set>
@@ -89,8 +90,24 @@ TEST(SyscallTable, SpecsCarryArgMetadata) {
   // named but not implemented; gap numbers have neither.
   EXPECT_NE(SyscallSpecOf(kSysVfork).flags & kAlias, 0u);
   EXPECT_NE(SyscallSpecOf(kSysVfork).flags & kImplemented, 0u);
-  EXPECT_EQ(SyscallSpecOf(kSysSocket).flags & kImplemented, 0u);
-  EXPECT_FALSE(IsGapName(SyscallName(kSysSocket)));
+  EXPECT_EQ(SyscallSpecOf(kSysSendmsg).flags & kImplemented, 0u);
+  EXPECT_FALSE(IsGapName(SyscallName(kSysSendmsg)));
+
+  // The AF_UNIX rows decode sockaddr arguments and belong to the socket
+  // interest class; the rendezvous rows stay non-blocking while the transfer
+  // rows (and accept) can sleep.
+  const SyscallSpec& bind_spec = SyscallSpecOf(kSysBind);
+  EXPECT_NE(bind_spec.flags & kImplemented, 0u);
+  EXPECT_NE(bind_spec.flags & kSocket, 0u);
+  EXPECT_EQ(bind_spec.args[1], ArgKind::kCSockAddrPtr);
+  EXPECT_EQ(bind_spec.flags & kBlocking, 0u);
+  const SyscallSpec& accept_spec = SyscallSpecOf(kSysAccept);
+  EXPECT_NE(accept_spec.flags & kBlocking, 0u);
+  EXPECT_EQ(accept_spec.args[1], ArgKind::kSockAddrPtr);
+  const SyscallSpec& recvfrom_spec = SyscallSpecOf(kSysRecvfrom);
+  EXPECT_EQ(recvfrom_spec.nargs, 6);
+  EXPECT_EQ(recvfrom_spec.args[1], ArgKind::kBufOut);
+  EXPECT_EQ(recvfrom_spec.args[4], ArgKind::kSockAddrPtr);
 }
 
 // The kernel dispatch table and the kImplemented flag must agree for every
@@ -129,6 +146,30 @@ TEST(SyscallTable, FlagsAgreeWithArgKinds) {
         EXPECT_GE(spec.path_arg, 0)
             << spec.name << " is kTakesPath but records no path_arg";
       }
+    }
+    // Socket rows: decoding a sockaddr anywhere implies membership in the
+    // kSocket interest class, and every kSocket row stays off the lock-free
+    // lanes — they all touch the shared rendezvous/peer state, so a
+    // kPerProcess or kVfsRead socket row would race the big-lock handlers.
+    bool has_sockaddr = false;
+    for (int i = 0; i < spec.nargs; ++i) {
+      const ArgKind kind = spec.args[static_cast<size_t>(i)];
+      if (kind == ArgKind::kSockAddrPtr || kind == ArgKind::kCSockAddrPtr) {
+        has_sockaddr = true;
+        break;
+      }
+    }
+    if (has_sockaddr) {
+      EXPECT_NE(spec.flags & kSocket, 0u)
+          << spec.name << " decodes a sockaddr argument but lacks kSocket";
+    }
+    if ((spec.flags & kSocket) != 0) {
+      EXPECT_EQ(spec.flags & (kPerProcess | kVfsRead), 0u)
+          << spec.name << " is kSocket but claims a lock-free dispatch lane";
+      // Socket addresses travel as sockaddr structs, never Path arguments, so
+      // pathname-footprint agents don't accidentally claim socket rows.
+      EXPECT_EQ(spec.flags & kTakesPath, 0u)
+          << spec.name << " is kSocket but claims kTakesPath";
     }
   }
 }
@@ -179,8 +220,9 @@ TEST(SyscallTable, BlockingRowsAreImplementedAndGenuinelyInterruptible) {
         << SyscallName(number) << " is kBlocking but not implemented";
     blocking_names.insert(std::string(SyscallName(number)));
   }
-  const std::set<std::string> expected = {"read",  "write",    "readv", "writev",
-                                          "wait4", "sigpause", "wait"};
+  const std::set<std::string> expected = {"read",   "write", "readv",  "writev", "wait4",
+                                          "sigpause", "wait", "accept", "send",   "recv",
+                                          "sendto", "recvfrom"};
   EXPECT_EQ(blocking_names, expected);
 }
 
@@ -196,7 +238,20 @@ TEST(SyscallTable, FormatSyscallUsesKindMetadata) {
   // Null path decodes safely; unimplemented numbers format as raw hex words.
   SyscallArgs zeros;
   EXPECT_EQ(FormatSyscall(kSysUnlink, zeros), "unlink(NULL)");
-  EXPECT_EQ(FormatSyscall(kSysSocket, zeros), "socket(0x0, 0x0, 0x0)");
+  EXPECT_EQ(FormatSyscall(kSysSendmsg, zeros), "sendmsg(0x0, 0x0, 0x0)");
+
+  // Socket rows decode sockaddr arguments: const (input) addresses render
+  // their AF_UNIX pathname, out-parameter addresses render as opaque.
+  SockAddr sa{};
+  sa.sun_family = kAfUnix;
+  std::snprintf(sa.sun_path, sizeof(sa.sun_path), "/tmp/sock");
+  SyscallArgs bind_args;
+  bind_args.SetInt(0, 3);
+  bind_args.SetPtr(1, &sa);
+  bind_args.SetInt(2, static_cast<int>(sizeof(sa)));
+  EXPECT_EQ(FormatSyscall(kSysBind, bind_args),
+            "bind(3, {AF_UNIX \"/tmp/sock\"}, 106)");
+  EXPECT_EQ(FormatSyscall(kSysSocket, zeros), "socket(0, 0, 0)");
 }
 
 // Records which numbers the symbolic decoder routed to a decoded method versus
@@ -281,7 +336,7 @@ TEST(SyscallTable, KernelSyscallStatsCountCallsErrorsAndVtime) {
   EXPECT_GE(stats[kSysOpen].errors, 1);
   // Numbers never issued stay at zero.
   EXPECT_EQ(stats[kSysMknod].calls, 0);
-  EXPECT_EQ(stats[kSysSocket].calls, 0);
+  EXPECT_EQ(stats[kSysSendmsg].calls, 0);
 }
 
 TEST(SyscallTable, MonitorAgentSurfacesKernelStats) {
